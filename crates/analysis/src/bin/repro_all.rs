@@ -1,0 +1,34 @@
+//! Regenerates every table, figure, and prose claim in one run.
+//! Usage: `repro_all [mc_trials] [protocol_trials]`.
+
+use wanacl_baselines::prelude::ComparisonConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mc: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100_000);
+    let proto: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(200);
+    println!("{}", wanacl_analysis::report::table1_report(mc, proto));
+    println!("{}", wanacl_analysis::report::table2_report(mc));
+    println!("{}", wanacl_analysis::report::fig5_report(proto));
+    println!("{}", wanacl_analysis::report::overhead_report());
+    println!("{}", wanacl_analysis::report::freeze_report());
+    println!("{}", wanacl_analysis::report::hetero_report());
+    println!("{}", wanacl_analysis::report::baselines_report(&ComparisonConfig::default()));
+
+    // E10: scale (kept brief here; `repro_scale` runs the full sweeps).
+    use wanacl_analysis::scale::{measure_scale, measure_scale_affinity};
+    use wanacl_sim::time::SimDuration;
+    let te = SimDuration::from_secs(600);
+    let horizon = SimDuration::from_secs(1_200);
+    println!("== Scale spot check (8 hosts, 200 users) ==\n");
+    let scatter = measure_scale(8, 200, te, horizon, 1);
+    let affinity = measure_scale_affinity(8, 200, te, horizon, 1);
+    println!(
+        "scatter:  hit ratio {:.3}, {:.3} mgr queries/invoke",
+        scatter.cache_hit_ratio, scatter.queries_per_invoke
+    );
+    println!(
+        "affinity: hit ratio {:.3}, {:.3} mgr queries/invoke",
+        affinity.cache_hit_ratio, affinity.queries_per_invoke
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates the §3 dissemination-strategy comparison (experiment E8).
+
+use wanacl_baselines::prelude::ComparisonConfig;
+
+fn main() {
+    let cfg = ComparisonConfig::default();
+    print!("{}", wanacl_analysis::report::baselines_report(&cfg));
+}

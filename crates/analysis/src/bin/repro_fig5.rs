@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 5. Usage: `repro_fig5 [protocol_trials]`.
+
+fn main() {
+    let proto: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(200);
+    print!("{}", wanacl_analysis::report::fig5_report(proto));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the §3.3 freeze-vs-quorum comparison (experiment E6).
+
+fn main() {
+    print!("{}", wanacl_analysis::report::freeze_report());
+}

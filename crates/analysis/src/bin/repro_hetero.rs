@@ -1,0 +1,5 @@
+//! Regenerates the §4.1 heterogeneous-inaccessibility worked example.
+
+fn main() {
+    print!("{}", wanacl_analysis::report::hetero_report());
+}

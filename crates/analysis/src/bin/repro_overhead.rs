@@ -1,0 +1,5 @@
+//! Regenerates the §4.1 O(C/Te) overhead claim, model vs measured.
+
+fn main() {
+    print!("{}", wanacl_analysis::report::overhead_report());
+}

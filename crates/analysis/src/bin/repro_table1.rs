@@ -1,0 +1,9 @@
+//! Regenerates the paper's Table 1 (analytic, Monte Carlo, and
+//! protocol-level). Usage: `repro_table1 [mc_trials] [protocol_trials]`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mc: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100_000);
+    let proto: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(200);
+    print!("{}", wanacl_analysis::report::table1_report(mc, proto));
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Table 2. Usage: `repro_table2 [mc_trials]`.
+
+fn main() {
+    let mc: u64 =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(100_000);
+    print!("{}", wanacl_analysis::report::table2_report(mc));
+}

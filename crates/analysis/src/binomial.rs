@@ -1,0 +1,159 @@
+//! Exact binomial and Poisson-binomial machinery underlying §4.1.
+
+/// Binomial coefficient `C(n, k)` as `f64` (exact for the small `n` the
+/// model uses; `n` up to ~50 stays well within `f64` integer precision).
+///
+/// # Examples
+///
+/// ```
+/// use wanacl_analysis::binomial::choose;
+///
+/// assert_eq!(choose(10, 3), 120.0);
+/// assert_eq!(choose(10, 0), 1.0);
+/// assert_eq!(choose(3, 5), 0.0);
+/// ```
+pub fn choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut result = 1.0f64;
+    for i in 0..k {
+        result *= (n - i) as f64;
+        result /= (i + 1) as f64;
+    }
+    result
+}
+
+/// Probability of exactly `k` successes among `n` i.i.d. trials with
+/// success probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+pub fn pmf(n: u64, k: u64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0,1], got {p}");
+    if k > n {
+        return 0.0;
+    }
+    choose(n, k) * p.powi(k as i32) * (1.0 - p).powi((n - k) as i32)
+}
+
+/// Upper-tail probability `P[X >= k]` for `X ~ Binomial(n, p)`.
+///
+/// This is the exact shape of both `PA(C)` and `PS(C)` in §4.1.
+pub fn tail_at_least(n: u64, k: u64, p: f64) -> f64 {
+    (k..=n).map(|i| pmf(n, i, p)).sum()
+}
+
+/// Exact distribution of the number of successes among *independent but
+/// heterogeneous* trials (Poisson binomial), via the standard O(n²) DP.
+///
+/// Used for the §4.1 heterogeneous extension where each manager has its
+/// own accessibility probability. Returns `dist[k] = P[K = k]`.
+///
+/// # Panics
+///
+/// Panics if any probability is outside `[0, 1]`.
+pub fn poisson_binomial(probs: &[f64]) -> Vec<f64> {
+    for &p in probs {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1], got {p}");
+    }
+    let mut dist = vec![0.0; probs.len() + 1];
+    dist[0] = 1.0;
+    for (i, &p) in probs.iter().enumerate() {
+        // Walk down so each trial is counted once.
+        for k in (0..=i + 1).rev() {
+            let stay = if k <= i { dist[k] * (1.0 - p) } else { 0.0 };
+            let up = if k > 0 { dist[k - 1] * p } else { 0.0 };
+            dist[k] = stay + up;
+        }
+    }
+    dist
+}
+
+/// `P[K >= k]` for a Poisson-binomial `K`.
+pub fn poisson_binomial_tail(probs: &[f64], k: usize) -> f64 {
+    let dist = poisson_binomial(probs);
+    dist.iter().skip(k).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn choose_small_values() {
+        assert_eq!(choose(0, 0), 1.0);
+        assert_eq!(choose(5, 2), 10.0);
+        assert_eq!(choose(10, 10), 1.0);
+        assert_eq!(choose(52, 5), 2_598_960.0);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &(n, p) in &[(10u64, 0.1), (10, 0.5), (12, 0.2), (1, 0.9)] {
+            let total: f64 = (0..=n).map(|k| pmf(n, k, p)).sum();
+            assert!((total - 1.0).abs() < EPS, "n={n} p={p}: {total}");
+        }
+    }
+
+    #[test]
+    fn pmf_degenerate_probabilities() {
+        assert_eq!(pmf(5, 5, 1.0), 1.0);
+        assert_eq!(pmf(5, 0, 0.0), 1.0);
+        assert_eq!(pmf(5, 3, 0.0), 0.0);
+    }
+
+    #[test]
+    fn tail_bounds_and_monotonicity() {
+        assert!((tail_at_least(10, 0, 0.3) - 1.0).abs() < EPS);
+        let mut prev = 1.0;
+        for k in 0..=10 {
+            let t = tail_at_least(10, k, 0.3);
+            assert!(t <= prev + EPS, "tail must be non-increasing in k");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn tail_complements_pmf() {
+        // P[X >= k] + P[X < k] == 1
+        let n = 12;
+        let p = 0.35;
+        for k in 0..=n {
+            let lower: f64 = (0..k).map(|i| pmf(n, i, p)).sum();
+            assert!((tail_at_least(n, k, p) + lower - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn poisson_binomial_matches_binomial_when_homogeneous() {
+        let p = 0.3;
+        let n = 8;
+        let probs = vec![p; n];
+        let dist = poisson_binomial(&probs);
+        for k in 0..=n {
+            assert!((dist[k] - pmf(n as u64, k as u64, p)).abs() < 1e-10, "k={k}");
+        }
+    }
+
+    #[test]
+    fn poisson_binomial_heterogeneous_known_case() {
+        // Two trials: p1=0.5, p2=0.2.
+        let dist = poisson_binomial(&[0.5, 0.2]);
+        assert!((dist[0] - 0.4).abs() < EPS);
+        assert!((dist[1] - 0.5).abs() < EPS);
+        assert!((dist[2] - 0.1).abs() < EPS);
+        assert!((poisson_binomial_tail(&[0.5, 0.2], 1) - 0.6).abs() < EPS);
+    }
+
+    #[test]
+    fn poisson_binomial_empty_input() {
+        let dist = poisson_binomial(&[]);
+        assert_eq!(dist, vec![1.0]);
+        assert!((poisson_binomial_tail(&[], 0) - 1.0).abs() < EPS);
+    }
+}

@@ -1,0 +1,173 @@
+//! Figure 5: availability and security curves as functions of the check
+//! quorum `C`, with an ASCII renderer for terminal output.
+
+use crate::model::{pa, ps};
+
+/// The two series of Figure 5 sampled at every `C`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Series {
+    /// Number of managers `M`.
+    pub m: u64,
+    /// Pairwise inaccessibility `Pi`.
+    pub pi: f64,
+    /// `PA(C)` for `C = 1..=M`.
+    pub availability: Vec<f64>,
+    /// `PS(C)` for `C = 1..=M`.
+    pub security: Vec<f64>,
+}
+
+/// Computes the Figure 5 curves.
+///
+/// # Examples
+///
+/// ```
+/// use wanacl_analysis::figures::fig5;
+///
+/// let s = fig5(10, 0.1);
+/// assert_eq!(s.availability.len(), 10);
+/// // PA falls with C, PS rises.
+/// assert!(s.availability[0] > s.availability[9]);
+/// assert!(s.security[0] < s.security[9]);
+/// ```
+pub fn fig5(m: u64, pi: f64) -> Fig5Series {
+    Fig5Series {
+        m,
+        pi,
+        availability: (1..=m).map(|c| pa(m, c, pi)).collect(),
+        security: (1..=m).map(|c| ps(m, c, pi)).collect(),
+    }
+}
+
+impl Fig5Series {
+    /// The widest contiguous range of `C` where both probabilities stay
+    /// at or above `threshold` — the paper's "relatively large range of
+    /// values of C around M/2 where both availability and security are
+    /// very close to 1".
+    pub fn sweet_range(&self, threshold: f64) -> Option<(u64, u64)> {
+        let mut best: Option<(u64, u64)> = None;
+        let mut start: Option<u64> = None;
+        for c in 1..=self.m {
+            let i = (c - 1) as usize;
+            let good = self.availability[i] >= threshold && self.security[i] >= threshold;
+            match (good, start) {
+                (true, None) => start = Some(c),
+                (false, Some(s)) => {
+                    track_best(&mut best, s, c - 1);
+                    start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = start {
+            track_best(&mut best, s, self.m);
+        }
+        best
+    }
+}
+
+fn track_best(best: &mut Option<(u64, u64)>, lo: u64, hi: u64) {
+    let width = hi - lo;
+    match best {
+        Some((blo, bhi)) if *bhi - *blo >= width => {}
+        _ => *best = Some((lo, hi)),
+    }
+}
+
+/// Renders the two curves as an ASCII chart (rows = probability bins,
+/// columns = `C`), mirroring the shape of the paper's Figure 5.
+///
+/// `A` marks availability, `S` security, `*` both.
+pub fn render_fig5(series: &Fig5Series, height: usize) -> String {
+    assert!(height >= 2, "chart needs at least two rows");
+    let m = series.m as usize;
+    let mut grid = vec![vec![' '; m]; height];
+    for c in 0..m {
+        let a_row = level_to_row(series.availability[c], height);
+        let s_row = level_to_row(series.security[c], height);
+        if a_row == s_row {
+            grid[a_row][c] = '*';
+        } else {
+            grid[a_row][c] = 'A';
+            grid[s_row][c] = 'S';
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("Figure 5: PA (A) and PS (S) vs C   [M={} Pi={}]\n", series.m, series.pi));
+    for (i, row) in grid.iter().enumerate() {
+        let level = 1.0 - i as f64 / (height - 1) as f64;
+        out.push_str(&format!("{level:4.2} |"));
+        for &ch in row {
+            out.push(' ');
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    out.push_str("      ");
+    for c in 1..=m {
+        out.push_str(&format!("{c:2}"));
+    }
+    out.push_str("   <- C\n");
+    out
+}
+
+fn level_to_row(p: f64, height: usize) -> usize {
+    let clamped = p.clamp(0.0, 1.0);
+    ((1.0 - clamped) * (height - 1) as f64).round() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_are_monotone() {
+        let s = fig5(10, 0.2);
+        for w in s.availability.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+        for w in s.security.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn sweet_range_exists_around_middle() {
+        // The paper's observation: a large range of C where both are
+        // close to 1 even at Pi = 0.2.
+        let s = fig5(10, 0.1);
+        let (lo, hi) = s.sweet_range(0.99).expect("range must exist at Pi=0.1");
+        assert!(lo <= 5 && hi >= 5, "range {lo}..{hi} should straddle M/2");
+        assert!(hi - lo >= 2, "paper claims a relatively large range");
+    }
+
+    #[test]
+    fn sweet_range_absent_when_threshold_impossible() {
+        let s = fig5(10, 0.5);
+        assert_eq!(s.sweet_range(0.999999), None);
+    }
+
+    #[test]
+    fn render_contains_both_series_markers() {
+        let s = fig5(10, 0.2);
+        let chart = render_fig5(&s, 12);
+        assert!(chart.contains('A'));
+        assert!(chart.contains('S'));
+        assert!(chart.contains("<- C"));
+        // 1 title + 12 rows + 1 axis.
+        assert_eq!(chart.lines().count(), 14);
+    }
+
+    #[test]
+    fn crossing_point_renders_star() {
+        // At some C the curves cross; with coarse rows they collide.
+        let s = fig5(10, 0.2);
+        let chart = render_fig5(&s, 6);
+        assert!(chart.contains('*'), "curves should collide somewhere:\n{chart}");
+    }
+
+    #[test]
+    fn level_mapping_endpoints() {
+        assert_eq!(level_to_row(1.0, 10), 0);
+        assert_eq!(level_to_row(0.0, 10), 9);
+    }
+}

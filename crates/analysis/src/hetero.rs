@@ -1,0 +1,185 @@
+//! The §4.1 heterogeneous extension: per-pair inaccessibility
+//! probabilities, exact per-host/per-manager quorum probabilities via the
+//! Poisson-binomial distribution, and frequency-weighted system averages.
+//!
+//! "If the pairwise inaccessibility probabilities … can be estimated, it
+//! is possible to calculate for each host the probability of reaching the
+//! check quorum and for each manager the probability of reaching the
+//! update quorum. The system availability and security can be estimated
+//! by averaging these probabilities … the average can be weighted using
+//! these frequencies."
+
+use crate::binomial::poisson_binomial_tail;
+
+/// A heterogeneous deployment model: `hosts × managers` and
+/// `managers × managers` inaccessibility matrices.
+#[derive(Debug, Clone)]
+pub struct HeteroModel {
+    /// `host_pi[h][m]` = P[host `h` cannot reach manager `m`].
+    pub host_pi: Vec<Vec<f64>>,
+    /// `mgr_pi[i][j]` = P[manager `i` cannot reach manager `j`]
+    /// (diagonal ignored).
+    pub mgr_pi: Vec<Vec<f64>>,
+    /// Check quorum `C`.
+    pub c: usize,
+}
+
+impl HeteroModel {
+    /// Creates the model, validating shapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if matrices are ragged, probabilities are out of range, or
+    /// `c` is outside `1..=M`.
+    pub fn new(host_pi: Vec<Vec<f64>>, mgr_pi: Vec<Vec<f64>>, c: usize) -> Self {
+        let m = mgr_pi.len();
+        assert!(m >= 1, "need at least one manager");
+        assert!((1..=m).contains(&c), "check quorum must be in 1..=M");
+        for row in &host_pi {
+            assert_eq!(row.len(), m, "host matrix must have M columns");
+            for &p in row {
+                assert!((0.0..=1.0).contains(&p), "Pi out of range");
+            }
+        }
+        for row in &mgr_pi {
+            assert_eq!(row.len(), m, "manager matrix must be square");
+            for &p in row {
+                assert!((0.0..=1.0).contains(&p), "Pi out of range");
+            }
+        }
+        HeteroModel { host_pi, mgr_pi, c }
+    }
+
+    /// A homogeneous model (every pair has the same `pi`) for
+    /// cross-checking against the binomial formulas.
+    pub fn homogeneous(hosts: usize, managers: usize, pi: f64, c: usize) -> Self {
+        HeteroModel::new(
+            vec![vec![pi; managers]; hosts],
+            vec![vec![pi; managers]; managers],
+            c,
+        )
+    }
+
+    /// Number of managers.
+    pub fn managers(&self) -> usize {
+        self.mgr_pi.len()
+    }
+
+    /// Exact `PA` for one host: probability that at least `C` of its
+    /// manager links are up (Poisson binomial over the host's row).
+    pub fn host_availability(&self, host: usize) -> f64 {
+        let up: Vec<f64> = self.host_pi[host].iter().map(|pi| 1.0 - pi).collect();
+        poisson_binomial_tail(&up, self.c)
+    }
+
+    /// Exact `PS` for one manager: probability that it reaches at least
+    /// `M − C` of its `M − 1` peers.
+    pub fn manager_security(&self, mgr: usize) -> f64 {
+        let m = self.managers();
+        let up: Vec<f64> = (0..m)
+            .filter(|&j| j != mgr)
+            .map(|j| 1.0 - self.mgr_pi[mgr][j])
+            .collect();
+        poisson_binomial_tail(&up, m - self.c)
+    }
+
+    /// System availability as a weighted average over hosts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` does not match the host count or sums to zero.
+    pub fn system_availability(&self, weights: &[f64]) -> f64 {
+        weighted_average(
+            (0..self.host_pi.len()).map(|h| self.host_availability(h)),
+            weights,
+        )
+    }
+
+    /// System security as a weighted average over managers, weighted by
+    /// how often each manager issues operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` does not match the manager count or sums to
+    /// zero.
+    pub fn system_security(&self, weights: &[f64]) -> f64 {
+        weighted_average((0..self.managers()).map(|m| self.manager_security(m)), weights)
+    }
+}
+
+fn weighted_average(values: impl Iterator<Item = f64>, weights: &[f64]) -> f64 {
+    let values: Vec<f64> = values.collect();
+    assert_eq!(values.len(), weights.len(), "one weight per entity");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must not sum to zero");
+    values.iter().zip(weights).map(|(v, w)| v * w).sum::<f64>() / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{pa, ps};
+
+    #[test]
+    fn homogeneous_matches_binomial_model() {
+        let model = HeteroModel::homogeneous(3, 10, 0.1, 5);
+        for h in 0..3 {
+            assert!((model.host_availability(h) - pa(10, 5, 0.1)).abs() < 1e-10);
+        }
+        for m in 0..10 {
+            assert!((model.manager_security(m) - ps(10, 5, 0.1)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn well_connected_host_beats_poorly_connected_one() {
+        let host_pi = vec![vec![0.01; 10], vec![0.4; 10]];
+        let model = HeteroModel::new(host_pi, vec![vec![0.1; 10]; 10], 5);
+        assert!(model.host_availability(0) > model.host_availability(1));
+    }
+
+    #[test]
+    fn isolated_manager_drags_down_weighted_security() {
+        // Manager 0 is nearly cut off from everyone.
+        let m = 6;
+        let mut mgr_pi = vec![vec![0.05; m]; m];
+        for j in 1..m {
+            mgr_pi[0][j] = 0.9;
+            mgr_pi[j][0] = 0.9;
+        }
+        let model = HeteroModel::new(vec![vec![0.05; m]; 1], mgr_pi, 3);
+        let uniform = vec![1.0; m];
+        // The paper: "if there is one manager that is frequently
+        // inaccessible from the others, the overall security of the
+        // system can be seriously reduced if this manager frequently
+        // issues and revokes access rights."
+        let mut hot_isolated = vec![1.0; m];
+        hot_isolated[0] = 100.0;
+        let s_uniform = model.system_security(&uniform);
+        let s_hot = model.system_security(&hot_isolated);
+        assert!(s_hot < s_uniform, "{s_hot} !< {s_uniform}");
+        assert!(model.manager_security(0) < model.manager_security(1));
+    }
+
+    #[test]
+    fn weighted_availability_follows_traffic() {
+        let host_pi = vec![vec![0.0; 4], vec![0.5; 4]];
+        let model = HeteroModel::new(host_pi, vec![vec![0.1; 4]; 4], 2);
+        let toward_good = model.system_availability(&[10.0, 1.0]);
+        let toward_bad = model.system_availability(&[1.0, 10.0]);
+        assert!(toward_good > toward_bad);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per entity")]
+    fn weight_shape_is_validated() {
+        let model = HeteroModel::homogeneous(2, 4, 0.1, 2);
+        model.system_availability(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn manager_matrix_must_be_square() {
+        HeteroModel::new(vec![], vec![vec![0.1; 3], vec![0.1; 3]], 1);
+    }
+}

@@ -1,0 +1,240 @@
+//! The §4.1 availability/security model.
+//!
+//! With i.i.d. pairwise inaccessibility `Pi`, `M` managers, check quorum
+//! `C`, and `R = ∞` (access only on a full check quorum):
+//!
+//! * **availability** `PA(C) = P[at least C of the M managers are
+//!   accessible to the querying host]`,
+//! * **security** `PS(C) = P[the revoking manager reaches at least
+//!   M − C of the other M − 1 managers]` (an update quorum counting
+//!   itself).
+//!
+//! Both are binomial upper tails in the accessibility probability
+//! `1 − Pi`.
+
+use crate::binomial::tail_at_least;
+
+/// Parameters of one model evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelPoint {
+    /// Number of managers `M`.
+    pub m: u64,
+    /// Check quorum `C` (`1 ..= M`).
+    pub c: u64,
+    /// Pairwise inaccessibility probability `Pi`.
+    pub pi: f64,
+}
+
+impl ModelPoint {
+    /// Creates a point, validating the parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is outside `1..=m` or `pi` outside `[0, 1]`.
+    pub fn new(m: u64, c: u64, pi: f64) -> Self {
+        assert!(m >= 1, "need at least one manager");
+        assert!((1..=m).contains(&c), "check quorum must be in 1..=M, got C={c} M={m}");
+        assert!((0.0..=1.0).contains(&pi), "Pi must be in [0,1], got {pi}");
+        ModelPoint { m, c, pi }
+    }
+
+    /// The availability probability `PA(C)`.
+    pub fn availability(&self) -> f64 {
+        pa(self.m, self.c, self.pi)
+    }
+
+    /// The security probability `PS(C)`.
+    pub fn security(&self) -> f64 {
+        ps(self.m, self.c, self.pi)
+    }
+}
+
+/// `PA(C)`: probability that a host reaches a check quorum.
+///
+/// # Examples
+///
+/// ```
+/// use wanacl_analysis::model::pa;
+///
+/// // Paper Table 1, M=10, Pi=0.1: PA(10) = 0.9^10 = 0.34868.
+/// assert!((pa(10, 10, 0.1) - 0.34868).abs() < 5e-6);
+/// ```
+pub fn pa(m: u64, c: u64, pi: f64) -> f64 {
+    tail_at_least(m, c, 1.0 - pi)
+}
+
+/// `PS(C)`: probability that a revoking manager reaches an update quorum
+/// (`M − C + 1` including itself, i.e. `M − C` of its `M − 1` peers).
+///
+/// # Examples
+///
+/// ```
+/// use wanacl_analysis::model::ps;
+///
+/// // Paper Table 1, M=10, Pi=0.1: PS(1) = 0.9^9 = 0.38742.
+/// assert!((ps(10, 1, 0.1) - 0.38742).abs() < 5e-6);
+/// ```
+pub fn ps(m: u64, c: u64, pi: f64) -> f64 {
+    tail_at_least(m - 1, m - c, 1.0 - pi)
+}
+
+/// Finds the `C` maximizing the minimum of availability and security —
+/// the "relatively large range of values of C around M/2 where both …
+/// are very close to 1" observation under Figure 5.
+pub fn best_balanced_c(m: u64, pi: f64) -> u64 {
+    (1..=m)
+        .max_by(|&a, &b| {
+            let fa = pa(m, a, pi).min(ps(m, a, pi));
+            let fb = pa(m, b, pi).min(ps(m, b, pi));
+            fa.partial_cmp(&fb).expect("probabilities are not NaN")
+        })
+        .expect("m >= 1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Table 1 values for Pi = 0.1 (columns PA, PS; rows C=1..10).
+    pub const TABLE1_PI01: [(f64, f64); 10] = [
+        (1.00000, 0.38742),
+        (1.00000, 0.77484),
+        (1.00000, 0.94703),
+        (0.99999, 0.99167),
+        (0.99985, 0.99911),
+        (0.99837, 0.99994),
+        (0.98720, 1.00000),
+        (0.92981, 1.00000),
+        (0.73610, 1.00000),
+        (0.34868, 1.00000),
+    ];
+
+    /// Paper Table 1 values for Pi = 0.2.
+    pub const TABLE1_PI02: [(f64, f64); 10] = [
+        (1.00000, 0.13422),
+        (1.00000, 0.43621),
+        (0.99992, 0.73820),
+        (0.99914, 0.91436),
+        (0.99363, 0.98042),
+        (0.96721, 0.99693),
+        (0.87913, 0.99969),
+        (0.67780, 0.99998),
+        (0.37581, 1.00000),
+        (0.10737, 1.00000),
+    ];
+
+    /// A printed paper value has 5 decimals; one Table 2 entry (M=6,
+    /// C=2, Pi=0.1 → 0.999945 printed as 0.99994) appears truncated
+    /// rather than rounded, so allow 6e-6.
+    const PRINT_EPS: f64 = 6e-6;
+
+    #[test]
+    fn reproduces_paper_table1_pi_01() {
+        for (i, &(want_pa, want_ps)) in TABLE1_PI01.iter().enumerate() {
+            let c = (i + 1) as u64;
+            assert!(
+                (pa(10, c, 0.1) - want_pa).abs() < PRINT_EPS,
+                "PA({c}) = {} want {want_pa}",
+                pa(10, c, 0.1)
+            );
+            assert!(
+                (ps(10, c, 0.1) - want_ps).abs() < PRINT_EPS,
+                "PS({c}) = {} want {want_ps}",
+                ps(10, c, 0.1)
+            );
+        }
+    }
+
+    #[test]
+    fn reproduces_paper_table1_pi_02() {
+        for (i, &(want_pa, want_ps)) in TABLE1_PI02.iter().enumerate() {
+            let c = (i + 1) as u64;
+            assert!((pa(10, c, 0.2) - want_pa).abs() < PRINT_EPS, "PA({c})");
+            assert!((ps(10, c, 0.2) - want_ps).abs() < PRINT_EPS, "PS({c})");
+        }
+    }
+
+    #[test]
+    fn reproduces_paper_table2_upper() {
+        // M varies, C=2 fixed, Pi=0.1: PA rises, PS falls.
+        let rows: [(u64, f64, f64); 5] = [
+            (4, 0.99630, 0.97200),
+            (6, 0.99994, 0.91854),
+            (8, 1.00000, 0.85031),
+            (10, 1.00000, 0.77484),
+            (12, 1.00000, 0.69736),
+        ];
+        for &(m, want_pa, want_ps) in &rows {
+            assert!((pa(m, 2, 0.1) - want_pa).abs() < PRINT_EPS, "M={m} PA");
+            assert!((ps(m, 2, 0.1) - want_ps).abs() < PRINT_EPS, "M={m} PS");
+        }
+    }
+
+    #[test]
+    fn reproduces_paper_table2_lower() {
+        // C scales with M (C = M/2), Pi = 0.2: both improve.
+        let rows: [(u64, u64, f64, f64); 5] = [
+            (4, 2, 0.97280, 0.89600),
+            (6, 3, 0.98304, 0.94208),
+            (8, 4, 0.98959, 0.96666),
+            (10, 5, 0.99363, 0.98042),
+            (12, 6, 0.99610, 0.98835),
+        ];
+        for &(m, c, want_pa, want_ps) in &rows {
+            assert!((pa(m, c, 0.2) - want_pa).abs() < PRINT_EPS, "M={m} C={c} PA");
+            assert!((ps(m, c, 0.2) - want_ps).abs() < PRINT_EPS, "M={m} C={c} PS");
+        }
+    }
+
+    #[test]
+    fn pa_decreases_in_c_ps_increases() {
+        for &pi in &[0.05, 0.1, 0.2, 0.4] {
+            for c in 1..10u64 {
+                assert!(pa(10, c, pi) >= pa(10, c + 1, pi) - 1e-12);
+                assert!(ps(10, c, pi) <= ps(10, c + 1, pi) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_network_gives_perfect_everything() {
+        for c in 1..=10 {
+            assert_eq!(pa(10, c, 0.0), 1.0);
+            assert_eq!(ps(10, c, 0.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn fully_partitioned_network() {
+        // Pi = 1: nothing is reachable. PA = 0 for any C; PS(C) = 0
+        // unless the update quorum is just the issuer itself (C = M).
+        for c in 1..=10 {
+            assert_eq!(pa(10, c, 1.0), 0.0);
+        }
+        assert_eq!(ps(10, 10, 1.0), 1.0);
+        for c in 1..10 {
+            assert_eq!(ps(10, c, 1.0), 0.0);
+        }
+    }
+
+    #[test]
+    fn balanced_c_lands_near_middle() {
+        let c = best_balanced_c(10, 0.1);
+        assert!((4..=7).contains(&c), "got C={c}");
+        let c2 = best_balanced_c(10, 0.2);
+        assert!((4..=7).contains(&c2), "got C={c2}");
+    }
+
+    #[test]
+    fn model_point_validates() {
+        let p = ModelPoint::new(10, 5, 0.1);
+        assert!((p.availability() - pa(10, 5, 0.1)).abs() < 1e-15);
+        assert!((p.security() - ps(10, 5, 0.1)).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "check quorum")]
+    fn model_point_rejects_bad_c() {
+        ModelPoint::new(10, 11, 0.1);
+    }
+}

@@ -1,0 +1,126 @@
+//! Monte Carlo estimators for the §4.1 model — an independent cross-check
+//! of the closed-form binomial tails.
+
+use wanacl_sim::rng::SimRng;
+
+/// A Monte Carlo estimate with its standard error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// The sample mean.
+    pub value: f64,
+    /// Standard error of the mean.
+    pub std_error: f64,
+    /// Number of trials.
+    pub trials: u64,
+}
+
+impl Estimate {
+    /// Whether `other` lies within `sigmas` standard errors.
+    pub fn consistent_with(&self, other: f64, sigmas: f64) -> bool {
+        (self.value - other).abs() <= sigmas * self.std_error.max(1e-9)
+    }
+}
+
+impl std::fmt::Display for Estimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.5} ± {:.5}", self.value, self.std_error)
+    }
+}
+
+fn bernoulli_estimate(successes: u64, trials: u64) -> Estimate {
+    let p = successes as f64 / trials as f64;
+    Estimate { value: p, std_error: (p * (1.0 - p) / trials as f64).sqrt(), trials }
+}
+
+/// Estimates `PA(C)`: draw `M` manager accessibilities i.i.d. with
+/// `P[accessible] = 1 − Pi` and count trials with at least `C` accessible.
+///
+/// # Panics
+///
+/// Panics if `trials` is zero or `c` outside `1..=m`.
+pub fn estimate_pa(m: u64, c: u64, pi: f64, trials: u64, rng: &mut SimRng) -> Estimate {
+    assert!(trials > 0, "need at least one trial");
+    assert!((1..=m).contains(&c), "check quorum must be in 1..=M");
+    let mut hits = 0u64;
+    for _ in 0..trials {
+        let accessible = (0..m).filter(|_| !rng.chance(pi)).count() as u64;
+        if accessible >= c {
+            hits += 1;
+        }
+    }
+    bernoulli_estimate(hits, trials)
+}
+
+/// Estimates `PS(C)`: the revoking manager reaches at least `M − C` of
+/// its `M − 1` peers.
+///
+/// # Panics
+///
+/// Panics if `trials` is zero or `c` outside `1..=m`.
+pub fn estimate_ps(m: u64, c: u64, pi: f64, trials: u64, rng: &mut SimRng) -> Estimate {
+    assert!(trials > 0, "need at least one trial");
+    assert!((1..=m).contains(&c), "check quorum must be in 1..=M");
+    let mut hits = 0u64;
+    for _ in 0..trials {
+        let reachable_peers = (0..m - 1).filter(|_| !rng.chance(pi)).count() as u64;
+        if reachable_peers >= m - c {
+            hits += 1;
+        }
+    }
+    bernoulli_estimate(hits, trials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{pa, ps};
+
+    #[test]
+    fn pa_estimate_matches_closed_form() {
+        let mut rng = SimRng::seed_from(1);
+        for &(m, c, pi) in &[(10u64, 5u64, 0.1), (10, 8, 0.2), (4, 2, 0.3)] {
+            let est = estimate_pa(m, c, pi, 200_000, &mut rng);
+            assert!(
+                est.consistent_with(pa(m, c, pi), 4.0),
+                "M={m} C={c} Pi={pi}: {est} vs {}",
+                pa(m, c, pi)
+            );
+        }
+    }
+
+    #[test]
+    fn ps_estimate_matches_closed_form() {
+        let mut rng = SimRng::seed_from(2);
+        for &(m, c, pi) in &[(10u64, 5u64, 0.1), (10, 3, 0.2), (6, 3, 0.25)] {
+            let est = estimate_ps(m, c, pi, 200_000, &mut rng);
+            assert!(
+                est.consistent_with(ps(m, c, pi), 4.0),
+                "M={m} C={c} Pi={pi}: {est} vs {}",
+                ps(m, c, pi)
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_probabilities_are_exact() {
+        let mut rng = SimRng::seed_from(3);
+        let est = estimate_pa(10, 5, 0.0, 1_000, &mut rng);
+        assert_eq!(est.value, 1.0);
+        assert_eq!(est.std_error, 0.0);
+        let est = estimate_pa(10, 5, 1.0, 1_000, &mut rng);
+        assert_eq!(est.value, 0.0);
+    }
+
+    #[test]
+    fn estimates_are_deterministic_per_seed() {
+        let a = estimate_pa(10, 5, 0.1, 10_000, &mut SimRng::seed_from(7));
+        let b = estimate_pa(10, 5, 0.1, 10_000, &mut SimRng::seed_from(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_shows_error_bar() {
+        let est = estimate_pa(10, 5, 0.1, 1_000, &mut SimRng::seed_from(9));
+        assert!(est.to_string().contains('±'));
+    }
+}

@@ -1,0 +1,128 @@
+//! The §4.1 overhead model: "The performance overhead of the access
+//! control algorithm is naturally O(C/Te), since the access rights have
+//! to be checked every Te time units and checking them involves
+//! communication with at least C managers."
+//!
+//! [`OverheadPoint::control_messages_per_second`] is that closed form;
+//! `experiments::overhead_experiment` measures the same quantity on the
+//! real protocol.
+
+/// Parameters of the overhead model for one (host, user) pair that uses
+/// the application continuously.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadPoint {
+    /// Check quorum `C`.
+    pub c: u64,
+    /// Expiration time `Te` in seconds.
+    pub te_secs: f64,
+    /// Request rate of the user (invokes per second).
+    pub invoke_rate: f64,
+}
+
+impl OverheadPoint {
+    /// Creates a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all parameters are positive.
+    pub fn new(c: u64, te_secs: f64, invoke_rate: f64) -> Self {
+        assert!(c >= 1, "check quorum must be at least 1");
+        assert!(te_secs > 0.0, "Te must be positive");
+        assert!(invoke_rate > 0.0, "invoke rate must be positive");
+        OverheadPoint { c, te_secs, invoke_rate }
+    }
+
+    /// Steady-state control messages per second for an actively used
+    /// right: one check per `Te` window, each costing `2C` messages
+    /// (query + reply per quorum member). This is the paper's `O(C/Te)`.
+    pub fn control_messages_per_second(&self) -> f64 {
+        // A continuously used right is re-checked once per expiry window;
+        // checks cannot happen more often than invokes arrive.
+        let checks_per_second = (1.0 / self.te_secs).min(self.invoke_rate);
+        checks_per_second * 2.0 * self.c as f64
+    }
+
+    /// Expected fraction of invokes served from the cache.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let invokes_per_window = self.invoke_rate * self.te_secs;
+        if invokes_per_window <= 1.0 {
+            0.0
+        } else {
+            1.0 - 1.0 / invokes_per_window
+        }
+    }
+}
+
+/// Sweeps `Te` for a fixed `C` (and vice versa), producing `(x, messages
+/// per second)` series for the overhead figure.
+pub fn sweep_te(c: u64, te_values: &[f64], invoke_rate: f64) -> Vec<(f64, f64)> {
+    te_values
+        .iter()
+        .map(|&te| (te, OverheadPoint::new(c, te, invoke_rate).control_messages_per_second()))
+        .collect()
+}
+
+/// Sweeps `C` for a fixed `Te`.
+pub fn sweep_c(c_values: &[u64], te_secs: f64, invoke_rate: f64) -> Vec<(u64, f64)> {
+    c_values
+        .iter()
+        .map(|&c| (c, OverheadPoint::new(c, te_secs, invoke_rate).control_messages_per_second()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_is_linear_in_c() {
+        let base = OverheadPoint::new(1, 10.0, 100.0).control_messages_per_second();
+        for c in 2..=10 {
+            let v = OverheadPoint::new(c, 10.0, 100.0).control_messages_per_second();
+            assert!((v - base * c as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn overhead_is_inverse_in_te() {
+        let at_10 = OverheadPoint::new(3, 10.0, 100.0).control_messages_per_second();
+        let at_20 = OverheadPoint::new(3, 20.0, 100.0).control_messages_per_second();
+        assert!((at_10 / at_20 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_saturates_at_invoke_rate() {
+        // With Te smaller than the inter-arrival time, every invoke
+        // checks: the cap is the invoke rate.
+        let p = OverheadPoint::new(2, 0.001, 5.0);
+        assert!((p.control_messages_per_second() - 5.0 * 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_hit_ratio_behaviour() {
+        // 100 invokes per window: 99% hits.
+        let p = OverheadPoint::new(1, 10.0, 10.0);
+        assert!((p.cache_hit_ratio() - 0.99).abs() < 1e-12);
+        // Less than one invoke per window: every invoke is a miss.
+        let p = OverheadPoint::new(1, 1.0, 0.5);
+        assert_eq!(p.cache_hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn sweeps_have_expected_shapes() {
+        let te_series = sweep_te(2, &[1.0, 2.0, 4.0, 8.0], 100.0);
+        for w in te_series.windows(2) {
+            assert!(w[1].1 < w[0].1, "bigger Te, less overhead");
+        }
+        let c_series = sweep_c(&[1, 2, 4, 8], 10.0, 100.0);
+        for w in c_series.windows(2) {
+            assert!(w[1].1 > w[0].1, "bigger C, more overhead");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Te must be positive")]
+    fn te_validated() {
+        OverheadPoint::new(1, 0.0, 1.0);
+    }
+}

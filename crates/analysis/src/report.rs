@@ -1,0 +1,285 @@
+//! Shared printing routines for the `repro_*` binaries: each function
+//! regenerates one paper artifact (or prose claim) and writes it to
+//! stdout in paper-vs-measured form.
+
+use wanacl_baselines::prelude::{run_strategy, ComparisonConfig, Strategy};
+use wanacl_sim::rng::SimRng;
+use wanacl_sim::time::SimDuration;
+
+use crate::experiments::{freeze_vs_quorum, measure_availability, measure_overhead, measure_security};
+use crate::figures::{fig5, render_fig5};
+use crate::hetero::HeteroModel;
+use crate::model::{pa, ps};
+use crate::montecarlo::{estimate_pa, estimate_ps};
+use crate::overhead::OverheadPoint;
+use crate::tables::{prob, render_table};
+
+/// Table 1 with closed-form, Monte Carlo, and protocol-level columns.
+pub fn table1_report(mc_trials: u64, protocol_trials: u64) -> String {
+    let mut out = String::new();
+    out.push_str("== Table 1: effects of C on availability and security (M = 10) ==\n");
+    out.push_str("   (analytic = paper's closed form; mc = Monte Carlo; proto = real protocol runs)\n\n");
+    for &pi in &[0.1, 0.2] {
+        let mut rng = SimRng::seed_from(42);
+        out.push_str(&format!("-- Pi = {pi} --\n"));
+        let headers =
+            ["C", "PA analytic", "PA mc", "PA proto", "PS analytic", "PS mc", "PS proto"];
+        let mut rows = Vec::new();
+        for c in 1..=10u64 {
+            let pa_mc = estimate_pa(10, c, pi, mc_trials, &mut rng);
+            let ps_mc = estimate_ps(10, c, pi, mc_trials, &mut rng);
+            let pa_proto = measure_availability(10, c as usize, pi, protocol_trials, 100 + c);
+            let ps_proto = measure_security(10, c as usize, pi, protocol_trials, 200 + c);
+            rows.push(vec![
+                c.to_string(),
+                prob(pa(10, c, pi)),
+                prob(pa_mc.value),
+                prob(pa_proto.value),
+                prob(ps(10, c, pi)),
+                prob(ps_mc.value),
+                prob(ps_proto.value),
+            ]);
+        }
+        out.push_str(&render_table(&headers, &rows));
+        out.push('\n');
+    }
+    out
+}
+
+/// Table 2 with closed-form and Monte Carlo columns.
+pub fn table2_report(mc_trials: u64) -> String {
+    let mut out = String::new();
+    out.push_str("== Table 2: effects of M and C on availability and security ==\n\n");
+    let headers = [
+        "M", "C", "PA a(0.1)", "PS a(0.1)", "PA mc(0.1)", "PS mc(0.1)", "PA a(0.2)", "PS a(0.2)",
+        "PA mc(0.2)", "PS mc(0.2)",
+    ];
+    let mut rng = SimRng::seed_from(7);
+    let mut rows = Vec::new();
+    let ms = [4u64, 6, 8, 10, 12];
+    let specs: Vec<(u64, u64)> =
+        ms.iter().map(|&m| (m, 2)).chain(ms.iter().map(|&m| (m, m / 2))).collect();
+    for (m, c) in specs {
+        let mut row = vec![m.to_string(), c.to_string()];
+        for &pi in &[0.1, 0.2] {
+            row.push(prob(pa(m, c, pi)));
+            row.push(prob(ps(m, c, pi)));
+        }
+        for &pi in &[0.1, 0.2] {
+            row.push(prob(estimate_pa(m, c, pi, mc_trials, &mut rng).value));
+            row.push(prob(estimate_ps(m, c, pi, mc_trials, &mut rng).value));
+        }
+        // Reorder: analytic(0.1), analytic(0.2), mc(0.1), mc(0.2) →
+        // match header order analytic(0.1), mc(0.1), analytic(0.2), mc(0.2).
+        let reordered = vec![
+            row[0].clone(),
+            row[1].clone(),
+            row[2].clone(),
+            row[3].clone(),
+            row[6].clone(),
+            row[7].clone(),
+            row[4].clone(),
+            row[5].clone(),
+            row[8].clone(),
+            row[9].clone(),
+        ];
+        rows.push(reordered);
+    }
+    out.push_str(&render_table(&headers, &rows));
+    out.push('\n');
+    out.push_str("Upper half (C fixed at 2): growing M raises PA but lowers PS.\n");
+    out.push_str("Lower half (C = M/2): growing M raises both.\n");
+    out
+}
+
+/// Figure 5: curves, ASCII charts, sweet range, protocol-level points.
+pub fn fig5_report(protocol_trials: u64) -> String {
+    let mut out = String::new();
+    out.push_str("== Figure 5: availability and security curves vs check quorum ==\n\n");
+    for &pi in &[0.1, 0.2] {
+        let series = fig5(10, pi);
+        out.push_str(&render_fig5(&series, 16));
+        if let Some((lo, hi)) = series.sweet_range(0.99) {
+            out.push_str(&format!(
+                "Range of C with both PA and PS >= 0.99: {lo}..={hi} (around M/2, as the paper observes)\n"
+            ));
+        } else {
+            out.push_str("No C keeps both probabilities >= 0.99 at this Pi.\n");
+        }
+        out.push('\n');
+        if protocol_trials > 0 {
+            out.push_str("Protocol-level spot checks (empirical, real protocol):\n");
+            let headers = ["C", "PA model", "PA protocol", "PS model", "PS protocol"];
+            let mut rows = Vec::new();
+            for &c in &[1usize, 3, 5, 7, 10] {
+                let pa_p = measure_availability(10, c, pi, protocol_trials, 300 + c as u64);
+                let ps_p = measure_security(10, c, pi, protocol_trials, 400 + c as u64);
+                rows.push(vec![
+                    c.to_string(),
+                    prob(pa(10, c as u64, pi)),
+                    prob(pa_p.value),
+                    prob(ps(10, c as u64, pi)),
+                    prob(ps_p.value),
+                ]);
+            }
+            out.push_str(&render_table(&headers, &rows));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// The §4.1 `O(C/Te)` overhead claim, model vs measured.
+pub fn overhead_report() -> String {
+    let mut out = String::new();
+    out.push_str("== Overhead: control messages per second, O(C/Te) (§4.1) ==\n\n");
+    let headers = ["C", "Te (s)", "model msg/s", "measured msg/s", "cache hit ratio"];
+    let mut rows = Vec::new();
+    for &(c, te) in &[(1usize, 5u64), (1, 10), (1, 20), (2, 10), (4, 10), (8, 10)] {
+        let m = measure_overhead(c, SimDuration::from_secs(te), 1000 + c as u64 + te);
+        let model = OverheadPoint::new(c as u64, te as f64, 2.0).control_messages_per_second();
+        rows.push(vec![
+            c.to_string(),
+            te.to_string(),
+            format!("{model:.3}"),
+            format!("{:.3}", m.measured_msgs_per_sec),
+            format!("{:.3}", m.cache_hit_ratio),
+        ]);
+    }
+    out.push_str(&render_table(&headers, &rows));
+    out.push_str("\nOverhead grows linearly in C and inversely in Te, as the paper states.\n");
+    out
+}
+
+/// The §3.3 freeze-vs-quorum tradeoff.
+pub fn freeze_report() -> String {
+    let cmp = freeze_vs_quorum(99);
+    let mut out = String::new();
+    out.push_str("== Freeze strategy vs quorum strategy during a manager partition (§3.3) ==\n\n");
+    out.push_str(&format!(
+        "requests during partition window: {}\n\
+         allowed under quorum strategy:    {:.1}%\n\
+         allowed under freeze strategy:    {:.1}%\n\n",
+        cmp.requests,
+        cmp.quorum_allowed * 100.0,
+        cmp.freeze_allowed * 100.0
+    ));
+    out.push_str(
+        "The freeze strategy \"may force managers to expire all access rights and\n\
+         therefore make the application completely inaccessible\" (§3.3) — the\n\
+         quorum strategy keeps serving, trading revocation latency instead.\n",
+    );
+    out
+}
+
+/// The §4.1 heterogeneous extension worked example.
+pub fn hetero_report() -> String {
+    let mut out = String::new();
+    out.push_str("== Heterogeneous inaccessibility (§4.1 extension) ==\n\n");
+    // 6 managers; manager 0 is poorly connected to its peers.
+    let m = 6;
+    let c = 3;
+    let mut mgr_pi = vec![vec![0.05; m]; m];
+    for j in 1..m {
+        mgr_pi[0][j] = 0.6;
+        mgr_pi[j][0] = 0.6;
+    }
+    // Two hosts: one well connected, one behind a congested link.
+    let host_pi = vec![vec![0.05; m], vec![0.35; m]];
+    let model = HeteroModel::new(host_pi, mgr_pi, c);
+
+    let headers = ["entity", "probability"];
+    let mut rows = Vec::new();
+    rows.push(vec!["PA host0 (good links)".into(), prob(model.host_availability(0))]);
+    rows.push(vec!["PA host1 (congested)".into(), prob(model.host_availability(1))]);
+    rows.push(vec!["PS manager0 (isolated)".into(), prob(model.manager_security(0))]);
+    rows.push(vec!["PS manager1 (normal)".into(), prob(model.manager_security(1))]);
+    rows.push(vec![
+        "system PA (uniform traffic)".into(),
+        prob(model.system_availability(&[1.0, 1.0])),
+    ]);
+    rows.push(vec![
+        "system PS (uniform issuers)".into(),
+        prob(model.system_security(&vec![1.0; m])),
+    ]);
+    let mut hot = vec![1.0; m];
+    hot[0] = 10.0;
+    rows.push(vec![
+        "system PS (isolated mgr issues 10x)".into(),
+        prob(model.system_security(&hot)),
+    ]);
+    out.push_str(&render_table(&headers, &rows));
+    out.push_str(
+        "\n\"…if there is one manager that is frequently inaccessible from the\n\
+         others, the overall security of the system can be seriously reduced if\n\
+         this manager frequently issues and revokes access rights.\" (§4.1)\n",
+    );
+    out
+}
+
+/// The §3 dissemination-strategy comparison (E8).
+pub fn baselines_report(cfg: &ComparisonConfig) -> String {
+    let mut out = String::new();
+    out.push_str("== Dissemination strategies under an identical workload (§3 / E8) ==\n\n");
+    let headers = [
+        "strategy",
+        "total msgs",
+        "checks",
+        "ctrl msg/check",
+        "update msgs",
+        "stale allows",
+        "allowed frac",
+    ];
+    let mut rows = Vec::new();
+    for s in Strategy::all() {
+        let r = run_strategy(s, cfg);
+        rows.push(vec![
+            s.name().to_string(),
+            r.total_messages.to_string(),
+            r.checks.to_string(),
+            format!("{:.2}", r.control_per_check),
+            r.update_messages.to_string(),
+            r.stale_allows.to_string(),
+            format!("{:.3}", r.allowed_fraction),
+        ]);
+    }
+    out.push_str(&render_table(&headers, &rows));
+    out.push_str(
+        "\nFull replication: free checks, expensive updates. Local-only: free\n\
+         updates, O(M) checks. Eventual gossip: cheap but unbounded staleness.\n\
+         The paper's design caches manager grants: check cost amortizes toward\n\
+         zero while revocation stays time-bounded.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_report_is_well_formed() {
+        let text = table2_report(2_000);
+        assert!(text.contains("0.97200") || text.contains("0.9720"));
+        assert!(text.lines().count() > 12);
+    }
+
+    #[test]
+    fn overhead_report_mentions_linearity() {
+        let text = overhead_report();
+        assert!(text.contains("linearly in C"));
+    }
+
+    #[test]
+    fn hetero_report_shows_isolated_manager_penalty() {
+        let text = hetero_report();
+        assert!(text.contains("PS manager0"));
+    }
+
+    #[test]
+    fn fig5_report_without_protocol_runs_is_fast() {
+        let text = fig5_report(0);
+        assert!(text.contains("Figure 5"));
+        assert!(text.contains("Range of C"));
+    }
+}

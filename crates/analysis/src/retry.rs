@@ -1,0 +1,199 @@
+//! Retry-level availability and check-latency models.
+//!
+//! §4.1: "the delay is O(C) in the normal case where at least C managers
+//! are accessible, but O(R) if the required number are not accessible.
+//! Reducing R will naturally reduce this worst case delay, but at the
+//! cost of reduced security." This module quantifies both statements for
+//! the three query fan-outs, under the independence assumption that each
+//! attempt sees a fresh connectivity draw (attempts spaced at least one
+//! congestion epoch apart).
+
+use crate::model::pa;
+use wanacl_core::policy::QueryFanout;
+
+/// Per-attempt success probability for one check attempt under the given
+/// fan-out.
+///
+/// * `All` — succeed iff at least `C` of `M` managers are accessible:
+///   the binomial `PA(C)`.
+/// * `Subset` — a random `C`-subset is queried; all of it must be up:
+///   `(1 − Pi)^C`.
+/// * `Sequential` — one manager per attempt (`C = 1`): `1 − Pi`.
+///
+/// # Panics
+///
+/// Panics if `c` is outside `1..=m`, `pi` outside `[0, 1]`, or
+/// `Sequential` is combined with `c > 1`.
+pub fn attempt_success(m: u64, c: u64, pi: f64, fanout: QueryFanout) -> f64 {
+    assert!((1..=m).contains(&c), "check quorum must be in 1..=M");
+    assert!((0.0..=1.0).contains(&pi), "Pi must be in [0,1]");
+    match fanout {
+        QueryFanout::All => pa(m, c, pi),
+        QueryFanout::Subset => (1.0 - pi).powi(c as i32),
+        QueryFanout::Sequential => {
+            assert_eq!(c, 1, "sequential fan-out needs C = 1");
+            1.0 - pi
+        }
+    }
+}
+
+/// Availability after up to `r` attempts with independent connectivity
+/// draws: `1 − (1 − p)^r` where `p` is the per-attempt success.
+///
+/// # Examples
+///
+/// ```
+/// use wanacl_analysis::retry::pa_with_retries;
+/// use wanacl_core::policy::QueryFanout;
+///
+/// // One attempt reduces to the base model.
+/// let one = pa_with_retries(10, 5, 0.2, 1, QueryFanout::All);
+/// let three = pa_with_retries(10, 5, 0.2, 3, QueryFanout::All);
+/// assert!(three > one);
+/// ```
+pub fn pa_with_retries(m: u64, c: u64, pi: f64, r: u32, fanout: QueryFanout) -> f64 {
+    assert!(r >= 1, "at least one attempt is required");
+    let p = attempt_success(m, c, pi, fanout);
+    1.0 - (1.0 - p).powi(r as i32)
+}
+
+/// Expected and worst-case check latency for a retrying host.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckLatency {
+    /// Probability the check succeeds within `R` attempts.
+    pub success_probability: f64,
+    /// Expected latency *given success*, in seconds.
+    pub expected_on_success: f64,
+    /// The worst case (all `R` attempts time out): `R × timeout` — the
+    /// paper's `O(R)`.
+    pub worst_case: f64,
+}
+
+/// Computes the latency profile: attempt `k` succeeds with probability
+/// `(1−p)^(k−1)·p`, costing `(k−1)·timeout + rtt` seconds.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ p ≤ 1`, `r ≥ 1`, and `rtt ≤ timeout`.
+pub fn check_latency(p: f64, r: u32, timeout_s: f64, rtt_s: f64) -> CheckLatency {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    assert!(r >= 1, "at least one attempt is required");
+    assert!(rtt_s <= timeout_s, "a successful attempt completes within its timeout");
+    let mut success = 0.0;
+    let mut weighted = 0.0;
+    let mut miss = 1.0;
+    for k in 1..=r {
+        let p_here = miss * p;
+        let latency = (k - 1) as f64 * timeout_s + rtt_s;
+        success += p_here;
+        weighted += p_here * latency;
+        miss *= 1.0 - p;
+    }
+    CheckLatency {
+        success_probability: success,
+        expected_on_success: if success > 0.0 { weighted / success } else { f64::NAN },
+        worst_case: r as f64 * timeout_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wanacl_sim::rng::SimRng;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn one_attempt_reduces_to_base_model() {
+        for &(m, c, pi) in &[(10u64, 5u64, 0.1), (4, 2, 0.3)] {
+            assert!(
+                (pa_with_retries(m, c, pi, 1, QueryFanout::All) - pa(m, c, pi)).abs() < EPS
+            );
+        }
+    }
+
+    #[test]
+    fn retries_monotonically_help() {
+        let mut prev = 0.0;
+        for r in 1..=8 {
+            let v = pa_with_retries(10, 5, 0.3, r, QueryFanout::Subset);
+            assert!(v >= prev - EPS);
+            assert!(v <= 1.0 + EPS);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn fanout_ordering_per_attempt() {
+        // Querying everyone can only beat querying a blind subset.
+        for &pi in &[0.05, 0.1, 0.3] {
+            for c in 1..=10u64 {
+                let all = attempt_success(10, c, pi, QueryFanout::All);
+                let subset = attempt_success(10, c, pi, QueryFanout::Subset);
+                assert!(all >= subset - EPS, "C={c} Pi={pi}: {all} < {subset}");
+            }
+        }
+        assert!(
+            (attempt_success(10, 1, 0.2, QueryFanout::Sequential) - 0.8).abs() < EPS
+        );
+    }
+
+    #[test]
+    fn subset_with_retries_approaches_all_fanout() {
+        // The paper's O(C) strategy recovers availability through R.
+        let base_all = pa(10, 3, 0.2);
+        let subset_r10 = pa_with_retries(10, 3, 0.2, 10, QueryFanout::Subset);
+        assert!(subset_r10 > base_all - 0.01, "{subset_r10} vs {base_all}");
+    }
+
+    #[test]
+    fn latency_profile_matches_hand_computation() {
+        // p = 0.5, r = 2, timeout 1 s, rtt 0.2 s.
+        let l = check_latency(0.5, 2, 1.0, 0.2);
+        // success: 0.5 + 0.25 = 0.75
+        assert!((l.success_probability - 0.75).abs() < EPS);
+        // E[L|success] = (0.5*0.2 + 0.25*1.2) / 0.75 = 0.4/0.75
+        assert!((l.expected_on_success - 0.4 / 0.75).abs() < EPS);
+        assert!((l.worst_case - 2.0).abs() < EPS);
+    }
+
+    #[test]
+    fn latency_worst_case_is_o_r() {
+        for r in 1..=10 {
+            let l = check_latency(0.9, r, 0.5, 0.1);
+            assert!((l.worst_case - r as f64 * 0.5).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn perfect_network_latency_is_one_rtt() {
+        let l = check_latency(1.0, 5, 1.0, 0.08);
+        assert!((l.success_probability - 1.0).abs() < EPS);
+        assert!((l.expected_on_success - 0.08).abs() < EPS);
+    }
+
+    #[test]
+    fn zero_success_probability_gives_nan_expectation() {
+        let l = check_latency(0.0, 3, 1.0, 0.1);
+        assert_eq!(l.success_probability, 0.0);
+        assert!(l.expected_on_success.is_nan());
+    }
+
+    #[test]
+    fn monte_carlo_validates_retry_model() {
+        // Sample the independent-attempt process directly.
+        let (m, c, pi, r) = (10u64, 3u64, 0.3, 4u32);
+        let p_model = pa_with_retries(m, c, pi, r, QueryFanout::Subset);
+        let mut rng = SimRng::seed_from(77);
+        let trials = 100_000;
+        let mut hits = 0u64;
+        for _ in 0..trials {
+            let ok = (0..r).any(|_| (0..c).all(|_| !rng.chance(pi)));
+            if ok {
+                hits += 1;
+            }
+        }
+        let p_mc = hits as f64 / trials as f64;
+        assert!((p_mc - p_model).abs() < 0.005, "mc {p_mc} vs model {p_model}");
+    }
+}

@@ -1,0 +1,314 @@
+//! Scale experiments (E10): the paper targets systems where "each
+//! application may be replicated on a large number of hosts and may have
+//! a large number of users" while "the number of managers … is
+//! relatively small". These measurements show how host-side caching
+//! keeps the small manager set off the critical path as hosts and users
+//! grow, and how real (Zipf-skewed) user populations make the cache even
+//! more effective.
+
+use wanacl_core::prelude::*;
+use wanacl_sim::clock::ClockSpec;
+use wanacl_sim::node::NodeId;
+use wanacl_sim::rng::Zipf;
+use wanacl_sim::time::{SimDuration, SimTime};
+use wanacl_sim::world::World;
+
+/// One point of the host/user scaling sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalePoint {
+    /// Application hosts.
+    pub hosts: usize,
+    /// Users.
+    pub users: usize,
+    /// Invokes served during the horizon.
+    pub invokes: u64,
+    /// Fraction answered from host caches.
+    pub cache_hit_ratio: f64,
+    /// Manager queries per invoke (the managers' share of the work).
+    pub queries_per_invoke: f64,
+    /// All network messages per invoke.
+    pub messages_per_invoke: f64,
+}
+
+/// Runs a uniform workload over a growing deployment: `M = 5`, `C = 2`,
+/// one request per user per ~30 s.
+pub fn measure_scale(
+    hosts: usize,
+    users: usize,
+    te: SimDuration,
+    horizon: SimDuration,
+    seed: u64,
+) -> ScalePoint {
+    let policy = Policy::builder(2)
+        .revocation_bound(te)
+        .query_timeout(SimDuration::from_millis(500))
+        .max_attempts(2)
+        .build();
+    let mut d = Scenario::builder(seed)
+        .managers(5)
+        .hosts(hosts)
+        .users(users)
+        .policy(policy)
+        .all_users_granted()
+        .workload(SimDuration::from_secs(30))
+        .build();
+    d.run_for(horizon);
+    let m = d.world.metrics();
+    let invokes = m.counter("host.invokes");
+    let hits = m.counter("host.cache_hit");
+    let queries = m.counter("mgr.queries");
+    ScalePoint {
+        hosts,
+        users,
+        invokes,
+        cache_hit_ratio: hits as f64 / invokes.max(1) as f64,
+        queries_per_invoke: queries as f64 / invokes.max(1) as f64,
+        messages_per_invoke: m.counter("net.sent") as f64 / invokes.max(1) as f64,
+    }
+}
+
+/// Like [`measure_scale`], but with **session affinity**: each user is
+/// pinned to one host instead of spraying requests across all of them,
+/// so its lease lives on exactly one cache. This is the standard remedy
+/// for cache dilution in replicated services.
+pub fn measure_scale_affinity(
+    hosts: usize,
+    users: usize,
+    te: SimDuration,
+    horizon: SimDuration,
+    seed: u64,
+) -> ScalePoint {
+    let policy = Policy::builder(2)
+        .revocation_bound(te)
+        .query_timeout(SimDuration::from_millis(500))
+        .max_attempts(2)
+        .build();
+    let managers = 5usize;
+    let mut acl = Acl::new();
+    for i in 1..=users {
+        acl.add(UserId(i as u64), Right::Use);
+    }
+    let mut world: World<ProtoMsg> = World::new(seed);
+    let manager_ids: Vec<NodeId> = (0..managers).map(NodeId::from_index).collect();
+    for (i, &id) in manager_ids.iter().enumerate() {
+        let peers = manager_ids.iter().copied().filter(|p| *p != id).collect();
+        let got = world.add_node(
+            format!("m{i}"),
+            Box::new(ManagerNode::new(ManagerConfig {
+                peers,
+                apps: vec![ManagerApp {
+                    app: AppId(0),
+                    policy: policy.clone(),
+                    initial_acl: acl.clone(),
+                }],
+                ..ManagerConfig::default()
+            })),
+            ClockSpec::Perfect,
+        );
+        assert_eq!(got, id);
+    }
+    let mut host_ids = Vec::new();
+    for i in 0..hosts {
+        host_ids.push(world.add_node(
+            format!("h{i}"),
+            Box::new(HostNode::new(
+                vec![AppHost {
+                    app: AppId(0),
+                    policy: policy.clone(),
+                    directory: ManagerDirectory::Static(manager_ids.clone()),
+                    application: Box::new(CountingApp::new()),
+                }],
+                None,
+            )),
+            ClockSpec::Perfect,
+        ));
+    }
+    for i in 0..users {
+        let pinned = host_ids[i % hosts];
+        world.add_node(
+            format!("u{}", i + 1),
+            Box::new(UserAgent::new(UserAgentConfig {
+                user: UserId((i + 1) as u64),
+                app: AppId(0),
+                hosts: vec![pinned],
+                workload: Some(WorkloadShape::Poisson { mean: SimDuration::from_secs(30) }),
+                payload: "req".into(),
+                secret: None,
+                request_timeout: SimDuration::from_secs(10),
+                max_requests: None,
+            })),
+            ClockSpec::Perfect,
+        );
+    }
+    world.run_until(SimTime::ZERO + horizon);
+    let m = world.metrics();
+    let invokes = m.counter("host.invokes");
+    ScalePoint {
+        hosts,
+        users,
+        invokes,
+        cache_hit_ratio: m.counter("host.cache_hit") as f64 / invokes.max(1) as f64,
+        queries_per_invoke: m.counter("mgr.queries") as f64 / invokes.max(1) as f64,
+        messages_per_invoke: m.counter("net.sent") as f64 / invokes.max(1) as f64,
+    }
+}
+
+/// One point of the popularity-skew sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkewPoint {
+    /// Zipf exponent of the user-popularity distribution.
+    pub exponent: f64,
+    /// Invokes served.
+    pub invokes: u64,
+    /// Fraction answered from host caches.
+    pub cache_hit_ratio: f64,
+}
+
+/// Runs a fixed aggregate request rate split across `users` according to
+/// a Zipf(`exponent`) popularity distribution (exponent 0 = uniform) and
+/// measures the cache hit ratio. The skew experiment assembles the world
+/// by hand so each user gets its own arrival rate.
+pub fn measure_skew(
+    users: usize,
+    exponent: f64,
+    te: SimDuration,
+    horizon: SimDuration,
+    seed: u64,
+) -> SkewPoint {
+    assert!(users >= 1, "need at least one user");
+    let policy = Policy::builder(2)
+        .revocation_bound(te)
+        .query_timeout(SimDuration::from_millis(500))
+        .max_attempts(2)
+        .build();
+    let managers = 3usize;
+    let hosts = 2usize;
+
+    let mut acl = Acl::new();
+    for i in 1..=users {
+        acl.add(UserId(i as u64), Right::Use);
+    }
+
+    let mut world: World<ProtoMsg> = World::new(seed);
+    let manager_ids: Vec<NodeId> = (0..managers).map(NodeId::from_index).collect();
+    for (i, &id) in manager_ids.iter().enumerate() {
+        let peers = manager_ids.iter().copied().filter(|p| *p != id).collect();
+        let got = world.add_node(
+            format!("m{i}"),
+            Box::new(ManagerNode::new(ManagerConfig {
+                peers,
+                apps: vec![ManagerApp {
+                    app: AppId(0),
+                    policy: policy.clone(),
+                    initial_acl: acl.clone(),
+                }],
+                ..ManagerConfig::default()
+            })),
+            ClockSpec::Perfect,
+        );
+        assert_eq!(got, id);
+    }
+    let mut host_ids = Vec::new();
+    for i in 0..hosts {
+        host_ids.push(world.add_node(
+            format!("h{i}"),
+            Box::new(HostNode::new(
+                vec![AppHost {
+                    app: AppId(0),
+                    policy: policy.clone(),
+                    directory: ManagerDirectory::Static(manager_ids.clone()),
+                    application: Box::new(CountingApp::new()),
+                }],
+                None,
+            )),
+            ClockSpec::Perfect,
+        ));
+    }
+
+    // Aggregate rate: one request per second across the population,
+    // split by Zipf popularity.
+    let zipf = Zipf::new(users, exponent);
+    let aggregate_rate = 1.0; // requests per second
+    for i in 0..users {
+        let rate = aggregate_rate * zipf.mass(i);
+        // A user slower than one request per two horizons contributes
+        // nothing; clamp so the mean stays finite.
+        let mean_secs = (1.0 / rate).min(horizon.as_secs_f64() * 2.0);
+        world.add_node(
+            format!("u{}", i + 1),
+            Box::new(UserAgent::new(UserAgentConfig {
+                user: UserId((i + 1) as u64),
+                app: AppId(0),
+                hosts: host_ids.clone(),
+                workload: Some(WorkloadShape::Poisson {
+                    mean: SimDuration::from_secs_f64(mean_secs),
+                }),
+                payload: "req".into(),
+                secret: None,
+                request_timeout: SimDuration::from_secs(10),
+                max_requests: None,
+            })),
+            ClockSpec::Perfect,
+        );
+    }
+
+    world.run_until(SimTime::ZERO + horizon);
+    let invokes = world.metrics().counter("host.invokes");
+    let hits = world.metrics().counter("host.cache_hit");
+    SkewPoint {
+        exponent,
+        invokes,
+        cache_hit_ratio: hits as f64 / invokes.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn managers_stay_off_the_critical_path_as_users_grow() {
+        // Requests scatter over all hosts, so the per-(user, host)
+        // inter-arrival is think-time × hosts; Te must cover that for
+        // leases to stay warm (600 s ≫ 30 s × 4).
+        let te = SimDuration::from_secs(600);
+        let horizon = SimDuration::from_secs(1_200);
+        let small = measure_scale(2, 20, te, horizon, 1);
+        let large = measure_scale(4, 100, te, horizon, 1);
+        assert!(large.invokes > small.invokes * 3, "{large:?} vs {small:?}");
+        // The steady-state hit ratio stays high at both scales and the
+        // managers' share of the work stays bounded.
+        assert!(small.cache_hit_ratio > 0.7, "{small:?}");
+        assert!(large.cache_hit_ratio > 0.7, "{large:?}");
+        assert!(large.queries_per_invoke < 1.5, "{large:?}");
+    }
+
+    #[test]
+    fn session_affinity_beats_scatter_at_scale() {
+        let te = SimDuration::from_secs(120);
+        let horizon = SimDuration::from_secs(1_200);
+        let scatter = measure_scale(8, 100, te, horizon, 3);
+        let affinity = measure_scale_affinity(8, 100, te, horizon, 3);
+        assert!(
+            affinity.cache_hit_ratio > scatter.cache_hit_ratio + 0.1,
+            "affinity {affinity:?} vs scatter {scatter:?}"
+        );
+        assert!(
+            affinity.queries_per_invoke < scatter.queries_per_invoke,
+            "affinity must unload the managers: {affinity:?} vs {scatter:?}"
+        );
+    }
+
+    #[test]
+    fn skewed_popularity_improves_hit_ratio() {
+        let te = SimDuration::from_secs(60);
+        let horizon = SimDuration::from_secs(1_200);
+        let uniform = measure_skew(100, 0.0, te, horizon, 2);
+        let skewed = measure_skew(100, 1.2, te, horizon, 2);
+        assert!(uniform.invokes > 500, "{uniform:?}");
+        assert!(
+            skewed.cache_hit_ratio > uniform.cache_hit_ratio + 0.05,
+            "skew must help the cache: {skewed:?} vs {uniform:?}"
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! Generators for the paper's Table 1 and Table 2, plus a plain-text
+//! table renderer used by all the repro binaries.
+
+use crate::model::{pa, ps};
+
+/// One row of Table 1: `C`, then `(PA, PS)` per `Pi` column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// The check quorum.
+    pub c: u64,
+    /// `(PA(C), PS(C))` for each requested `Pi`.
+    pub cells: Vec<(f64, f64)>,
+}
+
+/// Regenerates Table 1: `M = 10`, `C = 1..=10`, one column pair per `Pi`.
+///
+/// The paper uses `Pi ∈ {0.1, 0.2}`.
+pub fn table1(m: u64, pis: &[f64]) -> Vec<Table1Row> {
+    (1..=m)
+        .map(|c| Table1Row { c, cells: pis.iter().map(|&pi| (pa(m, c, pi), ps(m, c, pi))).collect() })
+        .collect()
+}
+
+/// One row of Table 2: `(M, C)`, then `(PA, PS)` per `Pi` column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Number of managers.
+    pub m: u64,
+    /// Check quorum.
+    pub c: u64,
+    /// `(PA, PS)` for each requested `Pi`.
+    pub cells: Vec<(f64, f64)>,
+}
+
+/// Regenerates Table 2. The paper's upper half fixes `C = 2` while `M`
+/// grows; the lower half scales `C = M/2`.
+pub fn table2(pis: &[f64]) -> Vec<Table2Row> {
+    let ms = [4u64, 6, 8, 10, 12];
+    let mut rows = Vec::new();
+    for &m in &ms {
+        rows.push(make_row(m, 2, pis));
+    }
+    for &m in &ms {
+        rows.push(make_row(m, m / 2, pis));
+    }
+    rows
+}
+
+fn make_row(m: u64, c: u64, pis: &[f64]) -> Table2Row {
+    Table2Row { m, c, cells: pis.iter().map(|&pi| (pa(m, c, pi), ps(m, c, pi))).collect() }
+}
+
+/// A minimal plain-text table renderer (right-aligned columns).
+///
+/// # Examples
+///
+/// ```
+/// use wanacl_analysis::tables::render_table;
+///
+/// let text = render_table(
+///     &["C", "PA"],
+///     &[vec!["1".to_string(), "1.00000".to_string()]],
+/// );
+/// assert!(text.contains("PA"));
+/// ```
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width must match header width");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let mut line = String::new();
+    for (i, h) in headers.iter().enumerate() {
+        line.push_str(&format!("{:>width$}  ", h, width = widths[i]));
+    }
+    out.push_str(line.trim_end());
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * cols;
+    out.push_str(&"-".repeat(total.saturating_sub(2)));
+    out.push('\n');
+    for row in rows {
+        let mut line = String::new();
+        for (i, cell) in row.iter().enumerate() {
+            line.push_str(&format!("{:>width$}  ", cell, width = widths[i]));
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a probability with the paper's five decimals.
+pub fn prob(p: f64) -> String {
+    format!("{p:.5}")
+}
+
+/// Renders Table 1 as the paper prints it.
+pub fn render_table1(m: u64, pis: &[f64]) -> String {
+    let mut headers: Vec<String> = vec!["C".to_string()];
+    for pi in pis {
+        headers.push(format!("PA(C) Pi={pi}"));
+        headers.push(format!("PS(C) Pi={pi}"));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = table1(m, pis)
+        .into_iter()
+        .map(|r| {
+            let mut row = vec![r.c.to_string()];
+            for (a, s) in r.cells {
+                row.push(prob(a));
+                row.push(prob(s));
+            }
+            row
+        })
+        .collect();
+    render_table(&header_refs, &rows)
+}
+
+/// Renders Table 2 as the paper prints it.
+pub fn render_table2(pis: &[f64]) -> String {
+    let mut headers: Vec<String> = vec!["M".to_string(), "C".to_string()];
+    for pi in pis {
+        headers.push(format!("PA(C) Pi={pi}"));
+        headers.push(format!("PS(C) Pi={pi}"));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = table2(pis)
+        .into_iter()
+        .map(|r| {
+            let mut row = vec![r.m.to_string(), r.c.to_string()];
+            for (a, s) in r.cells {
+                row.push(prob(a));
+                row.push(prob(s));
+            }
+            row
+        })
+        .collect();
+    render_table(&header_refs, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape() {
+        let t = table1(10, &[0.1, 0.2]);
+        assert_eq!(t.len(), 10);
+        assert_eq!(t[0].c, 1);
+        assert_eq!(t[9].c, 10);
+        assert_eq!(t[0].cells.len(), 2);
+    }
+
+    #[test]
+    fn table1_first_and_last_rows_match_paper() {
+        let t = table1(10, &[0.1, 0.2]);
+        // C=1, Pi=0.1.
+        assert!((t[0].cells[0].0 - 1.00000).abs() < 5e-6);
+        assert!((t[0].cells[0].1 - 0.38742).abs() < 5e-6);
+        // C=10, Pi=0.2.
+        assert!((t[9].cells[1].0 - 0.10737).abs() < 5e-6);
+        assert!((t[9].cells[1].1 - 1.00000).abs() < 5e-6);
+    }
+
+    #[test]
+    fn table2_shape_and_structure() {
+        let t = table2(&[0.1, 0.2]);
+        assert_eq!(t.len(), 10);
+        // Upper half: C fixed at 2.
+        for row in &t[..5] {
+            assert_eq!(row.c, 2);
+        }
+        // Lower half: C = M/2.
+        for row in &t[5..] {
+            assert_eq!(row.c, row.m / 2);
+        }
+    }
+
+    #[test]
+    fn table2_demonstrates_papers_claim() {
+        // "increasing M without increasing C … increases availability,
+        // decreases security; when C is increased at the same rate as M,
+        // both … improve."
+        let t = table2(&[0.2]);
+        let upper = &t[..5];
+        for w in upper.windows(2) {
+            assert!(w[1].cells[0].0 >= w[0].cells[0].0 - 1e-9, "PA must not fall");
+            assert!(w[1].cells[0].1 <= w[0].cells[0].1 + 1e-9, "PS must not rise");
+        }
+        let lower = &t[5..];
+        for w in lower.windows(2) {
+            assert!(w[1].cells[0].0 >= w[0].cells[0].0 - 1e-9, "PA must improve");
+            assert!(w[1].cells[0].1 >= w[0].cells[0].1 - 1e-9, "PS must improve");
+        }
+    }
+
+    #[test]
+    fn renderer_aligns_and_contains_all_cells() {
+        let text = render_table(
+            &["a", "bb"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["333".into(), "4".into()],
+            ],
+        );
+        assert!(text.contains("333"));
+        assert_eq!(text.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn renderer_rejects_ragged_rows() {
+        render_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn rendered_tables_contain_known_values() {
+        let t1 = render_table1(10, &[0.1, 0.2]);
+        assert!(t1.contains("0.38742"));
+        assert!(t1.contains("0.34868"));
+        assert!(t1.contains("0.10737"));
+        let t2 = render_table2(&[0.1, 0.2]);
+        assert!(t2.contains("0.97200"));
+        assert!(t2.contains("0.98835"));
+    }
+
+    #[test]
+    fn prob_formats_five_decimals() {
+        assert_eq!(prob(1.0), "1.00000");
+        assert_eq!(prob(0.387424), "0.38742");
+    }
+}

@@ -1,0 +1,143 @@
+//! HMAC-SHA-256 (RFC 2104), for symmetric message authentication.
+//!
+//! Used by the simulated deployment where a host and a manager share a
+//! session key; the protocol only requires *some* authentication method
+//! (§2.1), and HMAC exercises the cheap symmetric path while RSA (see
+//! [`crate::rsa`]) exercises the public-key path.
+
+use crate::sha256::{Digest, Sha256};
+
+const BLOCK_LEN: usize = 64;
+
+/// A 32-byte HMAC-SHA-256 tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tag(pub [u8; 32]);
+
+impl Tag {
+    /// Lowercase hex rendering.
+    pub fn to_hex(&self) -> String {
+        Digest(self.0).to_hex()
+    }
+}
+
+impl std::fmt::Display for Tag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_hex())
+    }
+}
+
+/// Computes `HMAC-SHA256(key, message)`.
+///
+/// Keys longer than the 64-byte block are hashed first, per RFC 2104.
+///
+/// # Examples
+///
+/// ```
+/// use wanacl_auth::hmac::hmac_sha256;
+///
+/// let tag = hmac_sha256(b"key", b"message");
+/// assert_eq!(tag, hmac_sha256(b"key", b"message"));
+/// assert_ne!(tag, hmac_sha256(b"other", b"message"));
+/// ```
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> Tag {
+    let mut key_block = [0u8; BLOCK_LEN];
+    if key.len() > BLOCK_LEN {
+        key_block[..32].copy_from_slice(Digest::of(key).as_bytes());
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; BLOCK_LEN];
+    let mut opad = [0x5cu8; BLOCK_LEN];
+    for i in 0..BLOCK_LEN {
+        ipad[i] ^= key_block[i];
+        opad[i] ^= key_block[i];
+    }
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finish();
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(inner_digest.as_bytes());
+    Tag(outer.finish().0)
+}
+
+/// Constant-time-ish tag comparison (full scan regardless of mismatch).
+pub fn verify(key: &[u8], message: &[u8], tag: &Tag) -> bool {
+    let expected = hmac_sha256(key, message);
+    let mut diff = 0u8;
+    for (a, b) in expected.0.iter().zip(tag.0.iter()) {
+        diff |= a ^ b;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            tag.to_hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            tag.to_hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let tag = hmac_sha256(&key, &data);
+        assert_eq!(
+            tag.to_hex(),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_long_key() {
+        // Case 6: 131-byte key forces the hash-the-key path.
+        let key = [0xaau8; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            tag.to_hex(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = hmac_sha256(b"k", b"m");
+        assert!(verify(b"k", b"m", &tag));
+        assert!(!verify(b"k", b"m2", &tag));
+        assert!(!verify(b"k2", b"m", &tag));
+        let mut bad = tag;
+        bad.0[0] ^= 1;
+        assert!(!verify(b"k", b"m", &bad));
+    }
+
+    #[test]
+    fn empty_inputs_work() {
+        let t1 = hmac_sha256(b"", b"");
+        let t2 = hmac_sha256(b"", b"");
+        assert_eq!(t1, t2);
+        assert!(verify(b"", b"", &t1));
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(hmac_sha256(b"a", b"b").to_string().len(), 64);
+    }
+}

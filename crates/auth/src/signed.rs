@@ -1,0 +1,274 @@
+//! Signed message envelopes and the principal key registry.
+//!
+//! §2.1: "we assume that … an authentication method is available to ensure
+//! that a message sent by a user U has indeed been sent by this user".
+//! [`Signed`] is that method's interface: a payload plus the signer's id
+//! and an RSA signature over the payload's canonical bytes, checked
+//! against a [`KeyRegistry`].
+
+use std::collections::BTreeMap;
+
+use crate::rsa::{self, KeyPair, PublicKey, SecretKey, Signature};
+
+/// Identifies a principal (user, manager, or host) in the auth domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PrincipalId(pub u64);
+
+impl std::fmt::Display for PrincipalId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Canonical byte encoding for signing.
+///
+/// Implementations must be injective for values that should be
+/// distinguishable: two different payloads must encode to different byte
+/// strings, or signatures could be replayed across meanings.
+pub trait AuthEncode {
+    /// Appends the canonical encoding of `self` to `out`.
+    fn auth_encode(&self, out: &mut Vec<u8>);
+
+    /// The canonical encoding as a fresh buffer.
+    fn auth_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.auth_encode(&mut out);
+        out
+    }
+}
+
+impl AuthEncode for u64 {
+    fn auth_encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_be_bytes());
+    }
+}
+
+impl AuthEncode for &str {
+    fn auth_encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.len() as u64).to_be_bytes());
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl AuthEncode for String {
+    fn auth_encode(&self, out: &mut Vec<u8>) {
+        self.as_str().auth_encode(out);
+    }
+}
+
+impl<T: AuthEncode> AuthEncode for Vec<T> {
+    fn auth_encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.len() as u64).to_be_bytes());
+        for item in self {
+            item.auth_encode(out);
+        }
+    }
+}
+
+/// A payload carrying a verifiable claim of who produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Signed<T> {
+    /// The signed payload.
+    pub payload: T,
+    /// Who claims to have signed it.
+    pub signer: PrincipalId,
+    /// RSA signature over `signer || payload` canonical bytes.
+    pub signature: Signature,
+}
+
+impl<T: AuthEncode> Signed<T> {
+    /// Signs `payload` as `signer` using `key`.
+    pub fn seal(payload: T, signer: PrincipalId, key: &SecretKey) -> Signed<T> {
+        let bytes = signing_bytes(&payload, signer);
+        Signed { payload, signer, signature: rsa::sign(key, &bytes) }
+    }
+
+    /// Verifies the envelope against the registry.
+    ///
+    /// Returns `false` when the signer is unknown or the signature does
+    /// not check out.
+    pub fn verify(&self, registry: &KeyRegistry) -> bool {
+        match registry.public_key(self.signer) {
+            Some(pk) => {
+                let bytes = signing_bytes(&self.payload, self.signer);
+                rsa::verify(&pk, &bytes, &self.signature)
+            }
+            None => false,
+        }
+    }
+}
+
+fn signing_bytes<T: AuthEncode>(payload: &T, signer: PrincipalId) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    signer.0.auth_encode(&mut bytes);
+    payload.auth_encode(&mut bytes);
+    bytes
+}
+
+/// Maps principals to their public keys.
+///
+/// In the paper's deployment this would be distributed via the trusted
+/// name service; here it is a plain map shared by construction.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use wanacl_auth::rsa::KeyPair;
+/// use wanacl_auth::signed::{KeyRegistry, PrincipalId, Signed};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let alice = PrincipalId(1);
+/// let kp = KeyPair::generate(&mut rng);
+/// let mut registry = KeyRegistry::new();
+/// registry.register(alice, kp.public);
+///
+/// let msg = Signed::seal("invoke".to_string(), alice, &kp.secret);
+/// assert!(msg.verify(&registry));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct KeyRegistry {
+    keys: BTreeMap<PrincipalId, PublicKey>,
+}
+
+impl KeyRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a principal's public key.
+    pub fn register(&mut self, id: PrincipalId, key: PublicKey) {
+        self.keys.insert(id, key);
+    }
+
+    /// Removes a principal (e.g. a compromised identity).
+    pub fn remove(&mut self, id: PrincipalId) -> Option<PublicKey> {
+        self.keys.remove(&id)
+    }
+
+    /// Looks up a principal's public key.
+    pub fn public_key(&self, id: PrincipalId) -> Option<PublicKey> {
+        self.keys.get(&id).copied()
+    }
+
+    /// Number of registered principals.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Convenience: generates a key pair with `rng`, registers the public
+    /// half, and returns the pair.
+    pub fn enroll<R: rand::Rng>(&mut self, id: PrincipalId, rng: &mut R) -> KeyPair {
+        let kp = KeyPair::generate(rng);
+        self.register(id, kp.public);
+        kp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (KeyRegistry, KeyPair, PrincipalId) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut reg = KeyRegistry::new();
+        let id = PrincipalId(42);
+        let kp = reg.enroll(id, &mut rng);
+        (reg, kp, id)
+    }
+
+    #[test]
+    fn seal_verify_roundtrip() {
+        let (reg, kp, id) = setup();
+        let s = Signed::seal("hello".to_string(), id, &kp.secret);
+        assert!(s.verify(&reg));
+    }
+
+    #[test]
+    fn tampered_payload_fails() {
+        let (reg, kp, id) = setup();
+        let mut s = Signed::seal("hello".to_string(), id, &kp.secret);
+        s.payload = "hacked".to_string();
+        assert!(!s.verify(&reg));
+    }
+
+    #[test]
+    fn unknown_signer_fails() {
+        let (reg, kp, _) = setup();
+        let s = Signed::seal("hello".to_string(), PrincipalId(999), &kp.secret);
+        assert!(!s.verify(&reg));
+    }
+
+    #[test]
+    fn impersonation_fails() {
+        // Mallory signs with her key but claims to be Alice.
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut reg = KeyRegistry::new();
+        let alice = PrincipalId(1);
+        let mallory = PrincipalId(2);
+        let _alice_kp = reg.enroll(alice, &mut rng);
+        let mallory_kp = reg.enroll(mallory, &mut rng);
+        let s = Signed::seal("pay mallory".to_string(), alice, &mallory_kp.secret);
+        assert!(!s.verify(&reg));
+    }
+
+    #[test]
+    fn removed_principal_no_longer_verifies() {
+        let (mut reg, kp, id) = setup();
+        let s = Signed::seal("hello".to_string(), id, &kp.secret);
+        assert!(reg.remove(id).is_some());
+        assert!(!s.verify(&reg));
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn signer_is_bound_into_signature() {
+        // The same payload signed by the same key but attributed to a
+        // different principal must not verify even if that principal has
+        // the same public key (id is part of the signed bytes).
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut reg = KeyRegistry::new();
+        let a = PrincipalId(1);
+        let b = PrincipalId(2);
+        let kp = KeyPair::generate(&mut rng);
+        reg.register(a, kp.public);
+        reg.register(b, kp.public);
+        let s = Signed::seal(7u64, a, &kp.secret);
+        let forged = Signed { payload: 7u64, signer: b, signature: s.signature };
+        assert!(s.verify(&reg));
+        assert!(!forged.verify(&reg));
+    }
+
+    #[test]
+    fn auth_encode_is_length_prefixed() {
+        // "ab" + "c" must differ from "a" + "bc".
+        let mut v1 = Vec::new();
+        "ab".auth_encode(&mut v1);
+        "c".auth_encode(&mut v1);
+        let mut v2 = Vec::new();
+        "a".auth_encode(&mut v2);
+        "bc".auth_encode(&mut v2);
+        assert_ne!(v1, v2);
+    }
+
+    #[test]
+    fn vec_encoding_includes_length() {
+        let a: Vec<u64> = vec![1, 2];
+        let b: Vec<u64> = vec![1, 2, 0];
+        assert_ne!(a.auth_bytes(), b.auth_bytes());
+    }
+
+    #[test]
+    fn registry_len_tracks_enrollment() {
+        let (reg, _, _) = setup();
+        assert_eq!(reg.len(), 1);
+    }
+}

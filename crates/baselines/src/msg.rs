@@ -1,0 +1,117 @@
+//! Wire format shared by the three baseline strategies.
+
+use wanacl_core::msg::{AclOp, OpId};
+use wanacl_core::types::UserId;
+
+/// A logical timestamp for last-writer-wins gossip: `(counter, origin)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Stamp {
+    /// Lamport-style counter.
+    pub counter: u64,
+    /// Tie-breaking origin id.
+    pub origin: u32,
+}
+
+/// One gossiped ACL entry: the user, the right's present/absent state,
+/// and the stamp of the update that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GossipEntry {
+    /// The user.
+    pub user: UserId,
+    /// Whether the user currently holds the `use` right.
+    pub has_use: bool,
+    /// When that state was written.
+    pub stamp: Stamp,
+}
+
+/// Messages of all three baseline strategies (variants document which
+/// strategy uses them).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineMsg {
+    /// user → host: access request (all strategies).
+    Invoke {
+        /// The requesting user.
+        user: UserId,
+        /// Request id, echoed back.
+        req: u64,
+    },
+    /// host → user: decision (all strategies).
+    InvokeReply {
+        /// Echo of the request id.
+        req: u64,
+        /// Whether access was allowed.
+        allowed: bool,
+    },
+    /// admin → manager: an ACL change (all strategies).
+    Admin {
+        /// The operation.
+        op: AclOp,
+    },
+    /// manager → host: full-replication push of one operation.
+    AclPush {
+        /// Operation id for idempotence/acks.
+        id: OpId,
+        /// The operation.
+        op: AclOp,
+    },
+    /// host → manager: full-replication ack.
+    AclPushAck {
+        /// The acknowledged operation.
+        id: OpId,
+    },
+    /// host → manager: local-only strategy lookup ("does *your* local
+    /// state grant this user?").
+    LocateQuery {
+        /// The user checked.
+        user: UserId,
+        /// Query id.
+        req: u64,
+    },
+    /// manager → host: local-only reply.
+    LocateReply {
+        /// Echo of the query id.
+        req: u64,
+        /// Whether this manager's local state grants the right.
+        has_right: bool,
+    },
+    /// manager ↔ manager: eventual-consistency anti-entropy exchange.
+    Gossip {
+        /// Entries with stamps; receiver keeps the newest per user.
+        entries: Vec<GossipEntry>,
+    },
+    /// host → manager: eventual-consistency check (one manager, C = 1).
+    CheckQuery {
+        /// The user checked.
+        user: UserId,
+        /// Query id.
+        req: u64,
+    },
+    /// manager → host: eventual-consistency reply.
+    CheckReply {
+        /// Echo of the query id.
+        req: u64,
+        /// Whether access is allowed per this replica.
+        allowed: bool,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamps_order_by_counter_then_origin() {
+        let a = Stamp { counter: 1, origin: 5 };
+        let b = Stamp { counter: 2, origin: 0 };
+        let c = Stamp { counter: 2, origin: 1 };
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn messages_compare() {
+        let m1 = BaselineMsg::Invoke { user: UserId(1), req: 7 };
+        let m2 = BaselineMsg::Invoke { user: UserId(1), req: 7 };
+        assert_eq!(m1, m2);
+    }
+}

@@ -1,0 +1,168 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **Caching** (the paper's core optimization over "check with a
+//!   manager every time"): Te tiny (no effective cache) vs Te large.
+//! * **Query fan-out**: All vs Subset vs Sequential — message cost vs
+//!   check latency.
+//! * **Retransmission cadence**: how the manager retry interval trades
+//!   traffic against time-to-quorum under loss.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use wanacl_core::prelude::*;
+use wanacl_sim::net::WanNet;
+use wanacl_sim::time::{SimDuration, SimTime};
+
+/// 60 s of steady single-user workload; returns (allowed, control msgs).
+fn run_workload(policy: Policy, seed: u64, loss: f64) -> (u64, u64) {
+    let net = WanNet::builder()
+        .constant_delay(SimDuration::from_millis(20))
+        .loss(loss)
+        .build();
+    let mut d = Scenario::builder(seed)
+        .managers(5)
+        .hosts(1)
+        .users(1)
+        .policy(policy)
+        .all_users_granted()
+        .net(Box::new(net))
+        .build();
+    let mut t = SimTime::from_secs(1);
+    while t < SimTime::from_secs(60) {
+        d.world.inject(
+            t,
+            d.users[0].1,
+            ProtoMsg::Invoke {
+                app: d.app,
+                user: UserId(1),
+                req: ReqId(0),
+                payload: "tick".into(),
+                signature: None,
+            },
+        );
+        t = t + SimDuration::from_millis(500);
+    }
+    d.run_until(SimTime::from_secs(65));
+    let m = d.world.metrics();
+    let control = m.counter("host.queries_sent") + m.counter("mgr.grants") + m.counter("mgr.denies");
+    (d.aggregate_user_stats().allowed, control)
+}
+
+fn bench_caching_ablation(c: &mut Criterion) {
+    // Print the ablation result once: with vs without the cache.
+    let with_cache = run_workload(
+        Policy::builder(2).revocation_bound(SimDuration::from_secs(30)).build(),
+        1,
+        0.0,
+    );
+    let no_cache = run_workload(
+        Policy::builder(2).revocation_bound(SimDuration::from_millis(1)).build(),
+        1,
+        0.0,
+    );
+    eprintln!(
+        "\ncaching ablation (120 invokes): cached -> {} ctrl msgs, uncached -> {} ctrl msgs",
+        with_cache.1, no_cache.1
+    );
+
+    let mut group = c.benchmark_group("ablation/caching");
+    group.sample_size(10);
+    for (name, te) in [("with_cache_te30s", 30_000u64), ("no_cache_te1ms", 1)] {
+        group.bench_function(name, |b| {
+            let policy =
+                Policy::builder(2).revocation_bound(SimDuration::from_millis(te)).build();
+            b.iter(|| black_box(run_workload(policy.clone(), 2, 0.0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fanout_ablation(c: &mut Criterion) {
+    let cases: [(&str, Policy); 3] = [
+        (
+            "all",
+            Policy::builder(1)
+                .revocation_bound(SimDuration::from_millis(1))
+                .fanout(QueryFanout::All)
+                .build(),
+        ),
+        (
+            "subset",
+            Policy::builder(1)
+                .revocation_bound(SimDuration::from_millis(1))
+                .fanout(QueryFanout::Subset)
+                .build(),
+        ),
+        (
+            "sequential",
+            Policy::builder(1)
+                .revocation_bound(SimDuration::from_millis(1))
+                .fanout(QueryFanout::Sequential)
+                .build(),
+        ),
+    ];
+    eprintln!("\nfan-out ablation (uncached checks, M=5, C=1):");
+    for (name, policy) in &cases {
+        let (allowed, control) = run_workload(policy.clone(), 3, 0.0);
+        eprintln!("  {name:<10} allowed={allowed:<4} ctrl msgs={control}");
+    }
+
+    let mut group = c.benchmark_group("ablation/fanout");
+    group.sample_size(10);
+    for (name, policy) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, p| {
+            b.iter(|| black_box(run_workload(p.clone(), 4, 0.0)))
+        });
+    }
+    group.finish();
+}
+
+/// Time-to-quorum vs retry cadence under 20% loss.
+fn bench_retry_cadence(c: &mut Criterion) {
+    fn time_to_quorum(retry_ms: u64, seed: u64) -> f64 {
+        let tuning = ManagerConfig {
+            retry_interval: SimDuration::from_millis(retry_ms),
+            ..ManagerConfig::default()
+        };
+        let net = WanNet::builder()
+            .constant_delay(SimDuration::from_millis(20))
+            .loss(0.2)
+            .build();
+        let mut d = Scenario::builder(seed)
+            .managers(5)
+            .hosts(1)
+            .users(1)
+            .policy(Policy::builder(3).build())
+            .all_users_granted()
+            .manager_tuning(tuning)
+            .net(Box::new(net))
+            .build();
+        d.run_for(SimDuration::from_secs(1));
+        d.revoke(UserId(1), Right::Use);
+        d.run_for(SimDuration::from_secs(30));
+        d.admin_agent()
+            .stable_latency(0)
+            .map(|l| l.as_secs_f64())
+            .unwrap_or(f64::INFINITY)
+    }
+
+    eprintln!("\nretry-cadence ablation (20% loss, time to update quorum):");
+    for retry_ms in [100u64, 500, 2_000] {
+        eprintln!("  retry {retry_ms:>5} ms -> {:.3} s", time_to_quorum(retry_ms, 5));
+    }
+
+    let mut group = c.benchmark_group("ablation/retry_cadence");
+    group.sample_size(10);
+    for retry_ms in [100u64, 500, 2_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(retry_ms),
+            &retry_ms,
+            |b, &retry_ms| b.iter(|| black_box(time_to_quorum(retry_ms, 6))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_caching_ablation, bench_fanout_ablation, bench_retry_cadence);
+criterion_main!(benches);

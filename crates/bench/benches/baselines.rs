@@ -1,0 +1,40 @@
+//! Bench: the §3 dissemination-strategy comparison (experiment E8) —
+//! the full shared workload under each strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use wanacl_baselines::prelude::{run_strategy, ComparisonConfig, Strategy};
+use wanacl_sim::time::SimDuration;
+
+fn bench_baselines(c: &mut Criterion) {
+    let cfg = ComparisonConfig {
+        horizon: SimDuration::from_secs(300),
+        ..ComparisonConfig::default()
+    };
+
+    eprintln!("\nstrategy comparison (300 s simulated, 4 mgrs / 3 hosts / 5 users):");
+    for s in Strategy::all() {
+        let r = run_strategy(s, &cfg);
+        eprintln!(
+            "  {:<22} total={:<6} ctrl/check={:<6.2} update_msgs={:<5} stale_allows={}",
+            s.name(),
+            r.total_messages,
+            r.control_per_check,
+            r.update_messages,
+            r.stale_allows
+        );
+    }
+
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    for s in Strategy::all() {
+        group.bench_with_input(BenchmarkId::new("workload_300s", s.name()), &s, |b, &s| {
+            b.iter(|| black_box(run_strategy(s, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Bench: regenerating Figure 5 (curves + sweet-range search +
+//! protocol-level point). Prints the ASCII figure once so bench logs
+//! carry the reproduced artifact.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use wanacl_analysis::experiments::measure_security;
+use wanacl_analysis::figures::{fig5, render_fig5};
+
+fn bench_fig5(c: &mut Criterion) {
+    for pi in [0.1, 0.2] {
+        eprintln!("\n{}", render_fig5(&fig5(10, pi), 16));
+    }
+
+    let mut group = c.benchmark_group("fig5");
+    group.bench_function("curves_m10", |b| b.iter(|| black_box(fig5(10, black_box(0.2)))));
+    group.bench_function("sweet_range", |b| {
+        let s = fig5(10, 0.1);
+        b.iter(|| black_box(s.sweet_range(black_box(0.99))))
+    });
+    group.sample_size(10);
+    group.bench_function("protocol_security_point_20_trials", |b| {
+        b.iter(|| black_box(measure_security(10, 5, 0.1, 20, 9)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

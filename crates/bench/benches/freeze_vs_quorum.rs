@@ -1,0 +1,25 @@
+//! Bench: the §3.3 freeze-vs-quorum comparison (experiment E6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use wanacl_analysis::experiments::freeze_vs_quorum;
+
+fn bench_freeze(c: &mut Criterion) {
+    let cmp = freeze_vs_quorum(42);
+    eprintln!(
+        "\nfreeze vs quorum during a 100 s manager partition:\n  quorum strategy allowed {:.1}% — freeze strategy allowed {:.1}%",
+        cmp.quorum_allowed * 100.0,
+        cmp.freeze_allowed * 100.0
+    );
+
+    let mut group = c.benchmark_group("freeze_vs_quorum");
+    group.sample_size(10);
+    group.bench_function("both_strategies_125s_sim", |b| {
+        b.iter(|| black_box(freeze_vs_quorum(black_box(42))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_freeze);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Bench: the §4.1 `O(C/Te)` overhead claim — closed form plus the
+//! protocol-level measurement at several `(C, Te)` points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use wanacl_analysis::experiments::measure_overhead;
+use wanacl_analysis::overhead::{sweep_c, sweep_te, OverheadPoint};
+use wanacl_sim::time::SimDuration;
+
+fn bench_overhead(c: &mut Criterion) {
+    eprintln!("\nO(C/Te) model sweep (msgs/s, invoke rate 2/s):");
+    for (te, v) in sweep_te(2, &[5.0, 10.0, 20.0, 40.0], 2.0) {
+        eprintln!("  C=2 Te={te:>4}s -> {v:.3}");
+    }
+    for (cq, v) in sweep_c(&[1, 2, 4, 8], 10.0, 2.0) {
+        eprintln!("  C={cq} Te=  10s -> {v:.3}");
+    }
+
+    let mut group = c.benchmark_group("overhead");
+    group.bench_function("model_point", |b| {
+        b.iter(|| {
+            black_box(
+                OverheadPoint::new(black_box(4), black_box(10.0), black_box(2.0))
+                    .control_messages_per_second(),
+            )
+        })
+    });
+    group.sample_size(10);
+    for (cq, te) in [(1usize, 10u64), (4, 10), (1, 40)] {
+        group.bench_with_input(
+            BenchmarkId::new("protocol_600s_sim", format!("C{cq}_Te{te}")),
+            &(cq, te),
+            |b, &(cq, te)| {
+                b.iter(|| black_box(measure_overhead(cq, SimDuration::from_secs(te), 3)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

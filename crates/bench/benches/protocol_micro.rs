@@ -1,0 +1,98 @@
+//! Micro-benchmarks of the protocol hot paths: cache-hit invoke,
+//! cold-check invoke, revocation round, and raw simulator throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use wanacl_core::prelude::*;
+use wanacl_sim::time::{SimDuration, SimTime};
+
+fn fresh_deployment(seed: u64, c: usize, m: usize) -> Deployment {
+    let policy = Policy::builder(c)
+        .revocation_bound(SimDuration::from_secs(3_600))
+        .query_timeout(SimDuration::from_millis(500))
+        .max_attempts(2)
+        .build();
+    Scenario::builder(seed).managers(m).hosts(1).users(1).policy(policy).all_users_granted().build()
+}
+
+/// One invoke end to end through the simulator (cache hit after warmup).
+fn bench_cache_hit_invoke(c: &mut Criterion) {
+    c.bench_function("protocol/cache_hit_invoke", |b| {
+        let mut d = fresh_deployment(1, 2, 3);
+        d.run_for(SimDuration::from_secs(1));
+        d.invoke_from(0); // warm the cache
+        d.run_for(SimDuration::from_secs(2));
+        b.iter(|| {
+            d.invoke_from(0);
+            d.run_for(SimDuration::from_millis(500));
+            black_box(d.user_agent(0).stats().allowed)
+        });
+    });
+}
+
+/// A full cold check (query quorum, grant, reply) per iteration.
+fn bench_cold_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol/cold_check");
+    for (m, cq) in [(3usize, 2usize), (10, 5), (20, 10)] {
+        group.bench_function(format!("M{m}_C{cq}"), |b| {
+            // Te tiny: every invoke is a cold check.
+            let policy = Policy::builder(cq)
+                .revocation_bound(SimDuration::from_millis(1))
+                .query_timeout(SimDuration::from_millis(500))
+                .max_attempts(2)
+                .build();
+            let mut d = Scenario::builder(2)
+                .managers(m)
+                .hosts(1)
+                .users(1)
+                .policy(policy)
+                .all_users_granted()
+                .build();
+            d.run_for(SimDuration::from_secs(1));
+            b.iter(|| {
+                d.invoke_from(0);
+                d.run_for(SimDuration::from_millis(700));
+                black_box(d.user_agent(0).stats().allowed)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// A grant + quorum dissemination + revoke + notice round.
+fn bench_admin_round(c: &mut Criterion) {
+    c.bench_function("protocol/grant_revoke_round", |b| {
+        let mut d = fresh_deployment(3, 2, 5);
+        d.run_for(SimDuration::from_secs(1));
+        let mut user = 100u64;
+        b.iter(|| {
+            user += 1;
+            d.grant(UserId(user), Right::Use);
+            d.run_for(SimDuration::from_secs(1));
+            d.revoke(UserId(user), Right::Use);
+            d.run_for(SimDuration::from_secs(1));
+            black_box(d.admin_agent().stable_count())
+        });
+    });
+}
+
+/// Raw simulator event throughput: a dense heartbeat mesh.
+fn bench_sim_throughput(c: &mut Criterion) {
+    c.bench_function("sim/heartbeat_mesh_10mgr_60s", |b| {
+        b.iter(|| {
+            let mut d = fresh_deployment(black_box(4), 5, 10);
+            d.run_until(SimTime::from_secs(60));
+            black_box(d.world.metrics().counter("net.sent"))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cache_hit_invoke,
+    bench_cold_check,
+    bench_admin_round,
+    bench_sim_throughput
+);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Bench: regenerating Table 1 (analytic, Monte Carlo, and one
+//! protocol-level cell). Prints the analytic table once so bench logs
+//! carry the reproduced artifact.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use wanacl_analysis::experiments::measure_availability;
+use wanacl_analysis::montecarlo::estimate_pa;
+use wanacl_analysis::tables::{render_table1, table1};
+use wanacl_sim::rng::SimRng;
+
+fn bench_table1(c: &mut Criterion) {
+    eprintln!("\n{}", render_table1(10, &[0.1, 0.2]));
+
+    let mut group = c.benchmark_group("table1");
+    group.bench_function("analytic_full_table", |b| {
+        b.iter(|| black_box(table1(black_box(10), black_box(&[0.1, 0.2]))))
+    });
+    group.bench_function("monte_carlo_cell_10k", |b| {
+        let mut rng = SimRng::seed_from(1);
+        b.iter(|| black_box(estimate_pa(10, 5, 0.1, 10_000, &mut rng)))
+    });
+    group.sample_size(10);
+    group.bench_function("protocol_cell_20_trials", |b| {
+        b.iter(|| black_box(measure_availability(10, 5, 0.1, 20, 7)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

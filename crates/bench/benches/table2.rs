@@ -1,0 +1,26 @@
+//! Bench: regenerating Table 2 (analytic + Monte Carlo). Prints the
+//! analytic table once so bench logs carry the reproduced artifact.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use wanacl_analysis::montecarlo::estimate_ps;
+use wanacl_analysis::tables::{render_table2, table2};
+use wanacl_sim::rng::SimRng;
+
+fn bench_table2(c: &mut Criterion) {
+    eprintln!("\n{}", render_table2(&[0.1, 0.2]));
+
+    let mut group = c.benchmark_group("table2");
+    group.bench_function("analytic_full_table", |b| {
+        b.iter(|| black_box(table2(black_box(&[0.1, 0.2]))))
+    });
+    group.bench_function("monte_carlo_cell_10k", |b| {
+        let mut rng = SimRng::seed_from(2);
+        b.iter(|| black_box(estimate_ps(12, 6, 0.2, 10_000, &mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,3 @@
+//! Criterion benchmark harness for wanacl; see the `benches/` targets,
+//! one per table/figure of the paper plus protocol and auth
+//! micro-benchmarks.

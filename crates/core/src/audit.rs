@@ -1,0 +1,302 @@
+//! Offline audit: independently verify the protocol's guarantees from a
+//! recorded run trace.
+//!
+//! Hosts and managers emit structured `audit=` notes into the world
+//! trace (when tracing is enabled). [`AuditLog::from_trace`] parses them
+//! back into typed events, and [`AuditLog::verify_bounded_revocation`]
+//! re-checks invariant I1 — "no access allowed more than `Te` after a
+//! revoke reached its update quorum" — against what *actually happened*,
+//! with no help from the protocol code being audited.
+
+use wanacl_sim::time::{SimDuration, SimTime};
+use wanacl_sim::trace::{Trace, TraceEvent};
+
+use crate::types::{AppId, UserId};
+
+/// One parsed audit event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditEvent {
+    /// A host let a request through to the application.
+    Allow {
+        /// When (real simulation time).
+        at: SimTime,
+        /// The application.
+        app: AppId,
+        /// The user.
+        user: UserId,
+    },
+    /// A host rejected a request on a manager verdict.
+    Deny {
+        /// When.
+        at: SimTime,
+        /// The application.
+        app: AppId,
+        /// The user.
+        user: UserId,
+    },
+    /// A revoke reached its update quorum: the `Te` clock starts here.
+    RevokeStable {
+        /// When.
+        at: SimTime,
+        /// The application.
+        app: AppId,
+        /// The user.
+        user: UserId,
+    },
+}
+
+impl AuditEvent {
+    /// The event's timestamp.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            AuditEvent::Allow { at, .. }
+            | AuditEvent::Deny { at, .. }
+            | AuditEvent::RevokeStable { at, .. } => at,
+        }
+    }
+}
+
+/// A violation of the bounded-revocation invariant found by the auditor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Violation {
+    /// The application.
+    pub app: AppId,
+    /// The revoked user who was still allowed.
+    pub user: UserId,
+    /// When the revoke stabilized.
+    pub revoked_at: SimTime,
+    /// When the offending access happened.
+    pub allowed_at: SimTime,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} allowed on {} at {} although revoked (stable) at {}",
+            self.user, self.app, self.allowed_at, self.revoked_at
+        )
+    }
+}
+
+/// A parsed audit log.
+///
+/// # Examples
+///
+/// ```
+/// use wanacl_core::audit::AuditLog;
+/// use wanacl_core::prelude::*;
+/// use wanacl_sim::time::SimDuration;
+///
+/// let mut d = Scenario::builder(1)
+///     .managers(2)
+///     .hosts(1)
+///     .users(1)
+///     .policy(Policy::builder(1).revocation_bound(SimDuration::from_secs(10)).build())
+///     .all_users_granted()
+///     .build();
+/// d.world.enable_trace();
+/// d.invoke_from(0);
+/// d.run_for(SimDuration::from_secs(2));
+/// d.revoke(UserId(1), Right::Use);
+/// d.run_for(SimDuration::from_secs(30));
+///
+/// let log = AuditLog::from_trace(d.world.trace());
+/// assert_eq!(log.allow_count(), 1);
+/// assert_eq!(log.revoke_count(), 1);
+/// assert!(log
+///     .verify_bounded_revocation(SimDuration::from_secs(10), SimDuration::from_millis(500))
+///     .is_ok());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AuditLog {
+    events: Vec<AuditEvent>,
+}
+
+impl AuditLog {
+    /// Parses the `audit=` notes out of a world trace. Non-audit notes
+    /// and unparsable lines are ignored.
+    pub fn from_trace(trace: &Trace) -> AuditLog {
+        let mut events = Vec::new();
+        for entry in trace.entries() {
+            if let TraceEvent::Note { text, .. } = &entry.event {
+                if let Some(event) = parse_note(entry.at, text) {
+                    events.push(event);
+                }
+            }
+        }
+        AuditLog { events }
+    }
+
+    /// All parsed events, in trace order.
+    pub fn events(&self) -> &[AuditEvent] {
+        &self.events
+    }
+
+    /// Number of allows recorded.
+    pub fn allow_count(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e, AuditEvent::Allow { .. })).count()
+    }
+
+    /// Number of revoke-stable marks recorded.
+    pub fn revoke_count(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e, AuditEvent::RevokeStable { .. })).count()
+    }
+
+    /// Checks invariant I1: for every `(app, user)` with a stable revoke
+    /// at time `t`, no `Allow` occurs after `t + te + slack` (slack
+    /// covers in-flight reply delivery). Returns the first violation
+    /// found, if any.
+    ///
+    /// A later re-grant legitimises later allows: only the window
+    /// between a revoke and the next observed allow-after-bound matters,
+    /// so the auditor tracks the *latest* stable revoke per `(app,
+    /// user)` seen before each allow.
+    pub fn verify_bounded_revocation(
+        &self,
+        te: SimDuration,
+        slack: SimDuration,
+    ) -> Result<(), Violation> {
+        use std::collections::BTreeMap;
+        let mut latest_revoke: BTreeMap<(AppId, UserId), SimTime> = BTreeMap::new();
+        for event in &self.events {
+            match *event {
+                AuditEvent::RevokeStable { at, app, user } => {
+                    latest_revoke.insert((app, user), at);
+                }
+                AuditEvent::Allow { at, app, user } => {
+                    if let Some(&revoked_at) = latest_revoke.get(&(app, user)) {
+                        if at > revoked_at + te + slack {
+                            return Err(Violation { app, user, revoked_at, allowed_at: at });
+                        }
+                    }
+                }
+                AuditEvent::Deny { .. } => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_note(at: SimTime, text: &str) -> Option<AuditEvent> {
+    let mut kind = None;
+    let mut app = None;
+    let mut user = None;
+    for token in text.split_whitespace() {
+        if let Some(v) = token.strip_prefix("audit=") {
+            kind = Some(v.to_owned());
+        } else if let Some(v) = token.strip_prefix("app=") {
+            app = v.parse::<u32>().ok().map(AppId);
+        } else if let Some(v) = token.strip_prefix("user=") {
+            user = v.parse::<u64>().ok().map(UserId);
+        }
+    }
+    match (kind.as_deref(), app, user) {
+        (Some("allow"), Some(app), Some(user)) => Some(AuditEvent::Allow { at, app, user }),
+        (Some("deny"), Some(app), Some(user)) => Some(AuditEvent::Deny { at, app, user }),
+        (Some("revoke-stable"), Some(app), Some(user)) => {
+            Some(AuditEvent::RevokeStable { at, app, user })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wanacl_sim::node::NodeId;
+
+    fn note(trace: &mut Trace, at_secs: u64, text: &str) {
+        trace.push(
+            SimTime::from_secs(at_secs),
+            TraceEvent::Note { node: NodeId::from_index(0), text: text.to_owned() },
+        );
+    }
+
+    fn traced(lines: &[(u64, &str)]) -> AuditLog {
+        let mut t = Trace::new();
+        t.set_enabled(true);
+        for &(at, text) in lines {
+            note(&mut t, at, text);
+        }
+        AuditLog::from_trace(&t)
+    }
+
+    #[test]
+    fn parses_well_formed_notes() {
+        let log = traced(&[
+            (1, "audit=allow app=1 user=2"),
+            (2, "audit=deny app=1 user=3"),
+            (3, "audit=revoke-stable app=1 user=2"),
+            (4, "unrelated note"),
+            (5, "audit=bogus app=1 user=1"),
+        ]);
+        assert_eq!(log.events().len(), 3);
+        assert_eq!(log.allow_count(), 1);
+        assert_eq!(log.revoke_count(), 1);
+        assert_eq!(
+            log.events()[0],
+            AuditEvent::Allow { at: SimTime::from_secs(1), app: AppId(1), user: UserId(2) }
+        );
+    }
+
+    #[test]
+    fn accepts_allows_inside_the_window() {
+        let log = traced(&[
+            (10, "audit=revoke-stable app=0 user=1"),
+            (15, "audit=allow app=0 user=1"), // within Te = 10
+        ]);
+        assert!(log
+            .verify_bounded_revocation(SimDuration::from_secs(10), SimDuration::ZERO)
+            .is_ok());
+    }
+
+    #[test]
+    fn flags_allows_past_the_bound() {
+        let log = traced(&[
+            (10, "audit=revoke-stable app=0 user=1"),
+            (25, "audit=allow app=0 user=1"), // past 10 + Te(10)
+        ]);
+        let violation = log
+            .verify_bounded_revocation(SimDuration::from_secs(10), SimDuration::ZERO)
+            .expect_err("must be flagged");
+        assert_eq!(violation.user, UserId(1));
+        assert_eq!(violation.revoked_at, SimTime::from_secs(10));
+        assert!(!violation.to_string().is_empty());
+    }
+
+    #[test]
+    fn other_users_and_apps_are_unaffected() {
+        let log = traced(&[
+            (10, "audit=revoke-stable app=0 user=1"),
+            (100, "audit=allow app=0 user=2"),
+            (100, "audit=allow app=1 user=1"),
+        ]);
+        assert!(log
+            .verify_bounded_revocation(SimDuration::from_secs(5), SimDuration::ZERO)
+            .is_ok());
+    }
+
+    #[test]
+    fn slack_tolerates_in_flight_replies() {
+        let log = traced(&[
+            (10, "audit=revoke-stable app=0 user=1"),
+            (21, "audit=allow app=0 user=1"),
+        ]);
+        assert!(log
+            .verify_bounded_revocation(SimDuration::from_secs(10), SimDuration::ZERO)
+            .is_err());
+        assert!(log
+            .verify_bounded_revocation(SimDuration::from_secs(10), SimDuration::from_secs(2))
+            .is_ok());
+    }
+
+    #[test]
+    fn empty_trace_passes() {
+        let log = AuditLog::from_trace(&Trace::new());
+        assert!(log
+            .verify_bounded_revocation(SimDuration::from_secs(1), SimDuration::ZERO)
+            .is_ok());
+        assert_eq!(log.events().len(), 0);
+    }
+}

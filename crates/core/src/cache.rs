@@ -1,0 +1,240 @@
+//! The host-side ACL cache (`ACL_cache(A)` of Figures 2–3).
+//!
+//! Each entry is a `(user, limit)` tuple: the user's `use` right is
+//! trusted until `limit` on the *host's local clock*. The limit is set to
+//! `query_start + te` where `te = b·Te` came from a manager — the `δ`
+//! adjustment of §3.2 (charging the whole round trip against the budget)
+//! falls out of anchoring at query start rather than response receipt.
+
+use std::collections::BTreeMap;
+
+use wanacl_sim::clock::LocalTime;
+
+use crate::types::UserId;
+
+/// Result of a cache lookup at a given local time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheDecision {
+    /// A live entry exists; valid until the contained limit.
+    Fresh(LocalTime),
+    /// An entry existed but its limit has passed; the lookup removed it
+    /// (Figure 3: "the access control tuple is removed and the access is
+    /// rechecked with a manager").
+    Expired,
+    /// No entry for this user.
+    Missing,
+}
+
+/// One cached grant: the expiry limit plus when the entry last served a
+/// request (drives the proactive-refresh policy: only leases that are
+/// actually being used get renewed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    limit: LocalTime,
+    last_used: LocalTime,
+}
+
+/// The per-application cache of granted rights held by a host.
+///
+/// # Examples
+///
+/// ```
+/// use wanacl_core::cache::{AclCache, CacheDecision};
+/// use wanacl_core::types::UserId;
+/// use wanacl_sim::clock::LocalTime;
+///
+/// let mut cache = AclCache::new();
+/// cache.insert(UserId(1), LocalTime::from_nanos(1_000));
+/// assert!(matches!(
+///     cache.lookup(UserId(1), LocalTime::from_nanos(500)),
+///     CacheDecision::Fresh(_)
+/// ));
+/// assert_eq!(cache.lookup(UserId(1), LocalTime::from_nanos(1_000)), CacheDecision::Expired);
+/// assert_eq!(cache.lookup(UserId(1), LocalTime::from_nanos(2_000)), CacheDecision::Missing);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AclCache {
+    entries: BTreeMap<UserId, Entry>,
+}
+
+impl AclCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up `user` at local time `now`, removing the entry if it has
+    /// expired. A fresh hit also records `now` as the entry's last use.
+    ///
+    /// An entry whose limit equals `now` counts as expired: Figure 3
+    /// grants only while `Time() < Rec.limit`.
+    pub fn lookup(&mut self, user: UserId, now: LocalTime) -> CacheDecision {
+        match self.entries.get_mut(&user) {
+            Some(entry) if now < entry.limit => {
+                entry.last_used = now;
+                CacheDecision::Fresh(entry.limit)
+            }
+            Some(_) => {
+                self.entries.remove(&user);
+                CacheDecision::Expired
+            }
+            None => CacheDecision::Missing,
+        }
+    }
+
+    /// Inserts (or refreshes) the entry for `user` valid until `limit`.
+    ///
+    /// A refresh never shortens an existing entry's life — a concurrent
+    /// slower grant must not truncate a newer one.
+    pub fn insert(&mut self, user: UserId, limit: LocalTime) {
+        let entry = self
+            .entries
+            .entry(user)
+            .or_insert(Entry { limit, last_used: LocalTime::ZERO });
+        if limit > entry.limit {
+            entry.limit = limit;
+        }
+    }
+
+    /// Flushes the entry for `user` (the `Revoke` handler of Figures 2–3;
+    /// removing a non-existent entry is a no-op).
+    pub fn remove(&mut self, user: UserId) -> bool {
+        self.entries.remove(&user).is_some()
+    }
+
+    /// Drops every entry (host recovery: §3.4 "ACL cache(A) can simply be
+    /// initialized to null").
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Removes all entries expired at `now`; returns how many were
+    /// dropped. This is the §3.2 periodic check that "can save memory and
+    /// processing overhead".
+    pub fn sweep(&mut self, now: LocalTime) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, entry| now < entry.limit);
+        before - self.entries.len()
+    }
+
+    /// Number of live entries (including any that have expired but not
+    /// yet been swept or looked up).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The stored limit for `user` without expiry side effects (for
+    /// inspection in tests and experiments).
+    pub fn peek(&self, user: UserId) -> Option<LocalTime> {
+        self.entries.get(&user).map(|e| e.limit)
+    }
+
+    /// When the entry for `user` last served a request, if cached.
+    pub fn last_used(&self, user: UserId) -> Option<LocalTime> {
+        self.entries.get(&user).map(|e| e.last_used)
+    }
+
+    /// Marks the entry as used at `now` without a lookup (the grant that
+    /// creates an entry counts as a use; background refreshes do not).
+    pub fn touch(&mut self, user: UserId, now: LocalTime) {
+        if let Some(entry) = self.entries.get_mut(&user) {
+            if now > entry.last_used {
+                entry.last_used = now;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> LocalTime {
+        LocalTime::from_nanos(n)
+    }
+
+    #[test]
+    fn lookup_fresh_then_expired() {
+        let mut c = AclCache::new();
+        c.insert(UserId(1), t(100));
+        assert_eq!(c.lookup(UserId(1), t(99)), CacheDecision::Fresh(t(100)));
+        assert_eq!(c.lookup(UserId(1), t(100)), CacheDecision::Expired);
+        // The expired lookup removed the entry.
+        assert_eq!(c.lookup(UserId(1), t(100)), CacheDecision::Missing);
+    }
+
+    #[test]
+    fn missing_user_is_missing() {
+        let mut c = AclCache::new();
+        assert_eq!(c.lookup(UserId(5), t(0)), CacheDecision::Missing);
+    }
+
+    #[test]
+    fn insert_refresh_extends_but_never_shortens() {
+        let mut c = AclCache::new();
+        c.insert(UserId(1), t(100));
+        c.insert(UserId(1), t(50));
+        assert_eq!(c.peek(UserId(1)), Some(t(100)));
+        c.insert(UserId(1), t(200));
+        assert_eq!(c.peek(UserId(1)), Some(t(200)));
+    }
+
+    #[test]
+    fn remove_is_noop_when_absent() {
+        let mut c = AclCache::new();
+        assert!(!c.remove(UserId(1)));
+        c.insert(UserId(1), t(10));
+        assert!(c.remove(UserId(1)));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn sweep_drops_only_expired() {
+        let mut c = AclCache::new();
+        c.insert(UserId(1), t(10));
+        c.insert(UserId(2), t(20));
+        c.insert(UserId(3), t(30));
+        assert_eq!(c.sweep(t(20)), 2); // limits 10 and 20 are both dead at 20
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.peek(UserId(3)), Some(t(30)));
+    }
+
+    #[test]
+    fn clear_empties_cache() {
+        let mut c = AclCache::new();
+        c.insert(UserId(1), t(10));
+        c.insert(UserId(2), t(10));
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn last_used_tracks_fresh_hits_only() {
+        let mut c = AclCache::new();
+        c.insert(UserId(1), t(100));
+        assert_eq!(c.last_used(UserId(1)), Some(LocalTime::ZERO));
+        c.lookup(UserId(1), t(40));
+        assert_eq!(c.last_used(UserId(1)), Some(t(40)));
+        // A refresh keeps the usage mark.
+        c.insert(UserId(1), t(200));
+        assert_eq!(c.last_used(UserId(1)), Some(t(40)));
+        // Expired lookup removes the entry.
+        c.lookup(UserId(1), t(300));
+        assert_eq!(c.last_used(UserId(1)), None);
+    }
+
+    #[test]
+    fn entries_are_per_user() {
+        let mut c = AclCache::new();
+        c.insert(UserId(1), t(10));
+        c.insert(UserId(2), t(100));
+        assert_eq!(c.lookup(UserId(1), t(50)), CacheDecision::Expired);
+        assert_eq!(c.lookup(UserId(2), t(50)), CacheDecision::Fresh(t(100)));
+    }
+}

@@ -1,0 +1,547 @@
+//! Workload agents: users invoking applications and admins issuing
+//! access-right changes.
+//!
+//! These are the traffic generators of every experiment. A [`UserAgent`]
+//! issues `Invoke`s (Poisson arrivals) against a set of hosts and records
+//! outcomes; an [`AdminAgent`] plays the manager-principal of §2.3,
+//! issuing `Add`/`Revoke` operations and persistently retrying until the
+//! receiving manager confirms them.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use wanacl_auth::rsa::{self, SecretKey};
+use wanacl_sim::clock::LocalTime;
+use wanacl_sim::node::{Context, Node, NodeId, TimerId};
+use wanacl_sim::time::SimDuration;
+
+use crate::msg::{
+    admin_signing_bytes, invoke_signing_bytes, AclOp, AdminStatus, InvokeOutcome, ProtoMsg,
+    RejectReason, ReqId,
+};
+use crate::types::{AppId, UserId};
+
+const TAG_KIND_SHIFT: u64 = 56;
+const TAG_ARRIVAL: u64 = 1 << TAG_KIND_SHIFT;
+const TAG_TIMEOUT: u64 = 2 << TAG_KIND_SHIFT;
+const TAG_ACTION: u64 = 3 << TAG_KIND_SHIFT;
+const TAG_RESEND: u64 = 4 << TAG_KIND_SHIFT;
+const TAG_PAYLOAD_MASK: u64 = (1 << TAG_KIND_SHIFT) - 1;
+
+/// Shape of a user's automatic request stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadShape {
+    /// Memoryless arrivals with the given mean inter-arrival time.
+    Poisson {
+        /// Mean inter-arrival time.
+        mean: SimDuration,
+    },
+    /// Fixed-period arrivals (useful for deterministic experiments).
+    Periodic {
+        /// The period.
+        period: SimDuration,
+    },
+    /// On/off bursts: idle for ~`off_mean`, then a burst lasting
+    /// ~`on_mean` with requests every ~`rate_mean` (all exponential).
+    /// Models the flash-crowd traffic the paper's "massively
+    /// replicated" services see.
+    Bursty {
+        /// Mean burst duration.
+        on_mean: SimDuration,
+        /// Mean idle gap between bursts.
+        off_mean: SimDuration,
+        /// Mean inter-arrival time inside a burst.
+        rate_mean: SimDuration,
+    },
+}
+
+/// Configuration of a [`UserAgent`].
+#[derive(Debug, Clone)]
+pub struct UserAgentConfig {
+    /// The user this agent acts as.
+    pub user: UserId,
+    /// The application it invokes.
+    pub app: AppId,
+    /// Hosts it may contact (chosen uniformly per request).
+    pub hosts: Vec<NodeId>,
+    /// Automatic request stream; `None` disables it (requests are then
+    /// only triggered by the harness injecting an `Invoke` from the
+    /// environment).
+    pub workload: Option<WorkloadShape>,
+    /// Request body.
+    pub payload: String,
+    /// Secret key for signing requests (`None` sends unsigned).
+    pub secret: Option<SecretKey>,
+    /// How long to wait for a host reply before counting a timeout.
+    pub request_timeout: SimDuration,
+    /// Stop after this many automatic requests (`None` = unbounded).
+    pub max_requests: Option<u64>,
+}
+
+/// Outcome counters kept by a [`UserAgent`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UserStats {
+    /// Requests sent.
+    pub sent: u64,
+    /// Requests allowed (the application ran).
+    pub allowed: u64,
+    /// Requests denied by access control.
+    pub denied: u64,
+    /// Requests rejected as unavailable (quorum unreachable).
+    pub unavailable: u64,
+    /// Requests rejected for bad signatures.
+    pub bad_signature: u64,
+    /// Requests that got no reply within the timeout.
+    pub timeouts: u64,
+}
+
+impl UserStats {
+    /// Requests with any definitive reply.
+    pub fn replied(&self) -> u64 {
+        self.allowed + self.denied + self.unavailable + self.bad_signature
+    }
+}
+
+#[derive(Debug)]
+struct OutstandingRequest {
+    timer: TimerId,
+}
+
+/// A user issuing `Invoke`s against application hosts.
+#[derive(Debug)]
+pub struct UserAgent {
+    config: UserAgentConfig,
+    next_req: u64,
+    outstanding: BTreeMap<ReqId, OutstandingRequest>,
+    stats: UserStats,
+    last_outcome: Option<InvokeOutcome>,
+    auto_sent: u64,
+    /// For bursty workloads: local time the current burst ends.
+    burst_until: Option<LocalTime>,
+}
+
+impl UserAgent {
+    /// Creates the agent.
+    pub fn new(config: UserAgentConfig) -> Self {
+        UserAgent {
+            config,
+            next_req: 0,
+            outstanding: BTreeMap::new(),
+            stats: UserStats::default(),
+            last_outcome: None,
+            auto_sent: 0,
+            burst_until: None,
+        }
+    }
+
+    /// The agent's outcome counters.
+    pub fn stats(&self) -> UserStats {
+        self.stats
+    }
+
+    /// The most recent reply outcome (for scripted tests).
+    pub fn last_outcome(&self) -> Option<&InvokeOutcome> {
+        self.last_outcome.as_ref()
+    }
+
+    /// Requests still awaiting a reply.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    fn send_request(&mut self, ctx: &mut Context<'_, ProtoMsg>, payload: Option<String>) {
+        if self.config.hosts.is_empty() {
+            return;
+        }
+        self.next_req += 1;
+        let req = ReqId(self.next_req);
+        let host = *ctx.rng().choose(&self.config.hosts);
+        let payload = payload.unwrap_or_else(|| self.config.payload.clone());
+        let signature = self.config.secret.as_ref().map(|key| {
+            let bytes = invoke_signing_bytes(self.config.user, self.config.app, req, &payload);
+            rsa::sign(key, &bytes)
+        });
+        self.stats.sent += 1;
+        ctx.metric_incr("user.sent");
+        ctx.send(
+            host,
+            ProtoMsg::Invoke {
+                app: self.config.app,
+                user: self.config.user,
+                req,
+                payload,
+                signature,
+            },
+        );
+        let timer = ctx.set_timer(self.config.request_timeout, TAG_TIMEOUT | req.0);
+        self.outstanding.insert(req, OutstandingRequest { timer });
+    }
+
+    fn schedule_arrival(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        let Some(shape) = self.config.workload else { return };
+        if let Some(max) = self.config.max_requests {
+            if self.auto_sent >= max {
+                return;
+            }
+        }
+        let wait = match shape {
+            WorkloadShape::Poisson { mean } => {
+                SimDuration::from_secs_f64(ctx.rng().exponential(mean.as_secs_f64()))
+            }
+            WorkloadShape::Periodic { period } => period,
+            WorkloadShape::Bursty { on_mean, off_mean, rate_mean } => {
+                let now = ctx.local_now();
+                let in_burst = self.burst_until.map(|until| now < until).unwrap_or(false);
+                if in_burst {
+                    SimDuration::from_secs_f64(ctx.rng().exponential(rate_mean.as_secs_f64()))
+                } else {
+                    // Rest, then open a new burst; its first request
+                    // arrives when the gap ends.
+                    let gap =
+                        SimDuration::from_secs_f64(ctx.rng().exponential(off_mean.as_secs_f64()));
+                    let burst_len =
+                        SimDuration::from_secs_f64(ctx.rng().exponential(on_mean.as_secs_f64()));
+                    self.burst_until = Some(now.plus(gap + burst_len));
+                    gap
+                }
+            }
+        };
+        ctx.set_timer(wait, TAG_ARRIVAL);
+    }
+}
+
+impl Node for UserAgent {
+    type Msg = ProtoMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        self.schedule_arrival(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, ProtoMsg>, from: NodeId, msg: ProtoMsg) {
+        match msg {
+            // Harness path: an Invoke sent *to* a user agent from the
+            // environment means "issue one request now".
+            ProtoMsg::Invoke { payload, .. } if from == NodeId::ENV => {
+                self.send_request(ctx, Some(payload));
+            }
+            ProtoMsg::InvokeReply { req, outcome } => {
+                let Some(out) = self.outstanding.remove(&req) else { return };
+                ctx.cancel_timer(out.timer);
+                match &outcome {
+                    InvokeOutcome::Allowed { .. } => {
+                        self.stats.allowed += 1;
+                        ctx.metric_incr("user.allowed");
+                    }
+                    InvokeOutcome::Denied => {
+                        self.stats.denied += 1;
+                        ctx.metric_incr("user.denied");
+                    }
+                    InvokeOutcome::Unavailable => {
+                        self.stats.unavailable += 1;
+                        ctx.metric_incr("user.unavailable");
+                    }
+                    InvokeOutcome::BadSignature => {
+                        self.stats.bad_signature += 1;
+                        ctx.metric_incr("user.bad_signature");
+                    }
+                }
+                self.last_outcome = Some(outcome);
+            }
+            _ => {
+                ctx.metric_incr("user.unexpected_msg");
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, ProtoMsg>, tag: u64) {
+        match tag & !TAG_PAYLOAD_MASK {
+            TAG_ARRIVAL => {
+                self.auto_sent += 1;
+                self.send_request(ctx, None);
+                self.schedule_arrival(ctx);
+            }
+            TAG_TIMEOUT => {
+                let req = ReqId(tag & TAG_PAYLOAD_MASK);
+                if self.outstanding.remove(&req).is_some() {
+                    self.stats.timeouts += 1;
+                    ctx.metric_incr("user.timeout");
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_crash(&mut self) {
+        self.outstanding.clear();
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        self.schedule_arrival(ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// One scripted admin action.
+#[derive(Debug, Clone)]
+pub struct AdminAction {
+    /// Delay (local clock) from agent start to issuing the operation.
+    pub delay: SimDuration,
+    /// The operation.
+    pub op: AclOp,
+}
+
+/// Progress of one admin operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpProgress {
+    /// Not yet sent.
+    Scheduled,
+    /// Sent, awaiting the manager's `Applied`.
+    Sent,
+    /// Applied at the receiving manager.
+    Applied,
+    /// Reached its update quorum; the `Te` revocation clock is running.
+    Stable,
+    /// Refused by the manager.
+    Rejected(RejectReason),
+}
+
+#[derive(Debug)]
+struct OpRecord {
+    op: AclOp,
+    req: ReqId,
+    progress: OpProgress,
+    sent_at: Option<LocalTime>,
+    stable_after: Option<SimDuration>,
+}
+
+/// Configuration of an [`AdminAgent`].
+#[derive(Debug, Clone)]
+pub struct AdminAgentConfig {
+    /// The manager-principal issuing operations.
+    pub issuer: UserId,
+    /// Secret key for signing operations (`None` sends unsigned).
+    pub secret: Option<SecretKey>,
+    /// The manager node the agent talks to.
+    pub manager: NodeId,
+    /// Scripted operations.
+    pub script: Vec<AdminAction>,
+    /// Retransmission period until the manager confirms `Applied`.
+    pub resend_interval: SimDuration,
+    /// §2.3 blocking semantics: issue operations strictly one at a
+    /// time, starting the next only once the previous one is `Stable`
+    /// (or rejected). `false` pipelines them.
+    pub serial: bool,
+}
+
+/// An administrator issuing `Add`/`Revoke` operations against a manager.
+///
+/// Beyond the script, the harness can inject `ProtoMsg::Admin` messages
+/// from the environment to trigger operations dynamically.
+#[derive(Debug)]
+pub struct AdminAgent {
+    config: AdminAgentConfig,
+    ops: Vec<OpRecord>,
+    by_req: BTreeMap<ReqId, usize>,
+    next_req: u64,
+    /// Operations waiting behind an in-flight one in serial mode.
+    backlog: std::collections::VecDeque<AclOp>,
+}
+
+impl AdminAgent {
+    /// Creates the agent.
+    pub fn new(config: AdminAgentConfig) -> Self {
+        AdminAgent {
+            config,
+            ops: Vec::new(),
+            by_req: BTreeMap::new(),
+            next_req: 0,
+            backlog: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Progress of the `i`-th operation (script order, then dynamic
+    /// injections in arrival order).
+    pub fn progress(&self, i: usize) -> Option<OpProgress> {
+        self.ops.get(i).map(|r| r.progress)
+    }
+
+    /// Local-clock latency from send to `Stable` for the `i`-th
+    /// operation, if it has stabilized.
+    pub fn stable_latency(&self, i: usize) -> Option<SimDuration> {
+        self.ops.get(i).and_then(|r| r.stable_after)
+    }
+
+    /// Local-clock instant the `i`-th operation was first sent.
+    pub fn sent_at(&self, i: usize) -> Option<LocalTime> {
+        self.ops.get(i).and_then(|r| r.sent_at)
+    }
+
+    /// Number of tracked operations.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// How many operations have reached `Stable`.
+    pub fn stable_count(&self) -> usize {
+        self.ops.iter().filter(|r| r.progress == OpProgress::Stable).count()
+    }
+
+    /// Whether an operation is still awaiting its `Stable` confirmation.
+    pub fn has_in_flight(&self) -> bool {
+        self.ops
+            .iter()
+            .any(|r| matches!(r.progress, OpProgress::Sent | OpProgress::Applied))
+    }
+
+    /// Operations queued behind the in-flight one (serial mode only).
+    pub fn backlog_len(&self) -> usize {
+        self.backlog.len()
+    }
+
+    /// Issues now, or queues behind the in-flight op in serial mode.
+    fn submit(&mut self, ctx: &mut Context<'_, ProtoMsg>, op: AclOp) {
+        if self.config.serial && self.has_in_flight() {
+            self.backlog.push_back(op);
+            ctx.metric_incr("admin.op_queued");
+        } else {
+            self.issue(ctx, op);
+        }
+    }
+
+    /// In serial mode, launches the next queued op once the previous one
+    /// settled.
+    fn drain_backlog(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        if self.config.serial && !self.has_in_flight() {
+            if let Some(op) = self.backlog.pop_front() {
+                self.issue(ctx, op);
+            }
+        }
+    }
+
+    fn issue(&mut self, ctx: &mut Context<'_, ProtoMsg>, op: AclOp) -> usize {
+        self.next_req += 1;
+        let req = ReqId(self.next_req);
+        let idx = self.ops.len();
+        self.ops.push(OpRecord {
+            op,
+            req,
+            progress: OpProgress::Sent,
+            sent_at: Some(ctx.local_now()),
+            stable_after: None,
+        });
+        self.by_req.insert(req, idx);
+        self.send_op(ctx, idx);
+        idx
+    }
+
+    fn send_op(&mut self, ctx: &mut Context<'_, ProtoMsg>, idx: usize) {
+        let rec = &self.ops[idx];
+        let signature = self.config.secret.as_ref().map(|key| {
+            rsa::sign(key, &admin_signing_bytes(self.config.issuer, &rec.op))
+        });
+        ctx.metric_incr("admin.op_sent");
+        ctx.send(
+            self.config.manager,
+            ProtoMsg::Admin {
+                op: rec.op,
+                req: rec.req,
+                issuer: self.config.issuer,
+                signature,
+            },
+        );
+    }
+}
+
+impl Node for AdminAgent {
+    type Msg = ProtoMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        for (i, action) in self.config.script.clone().into_iter().enumerate() {
+            ctx.set_timer(action.delay, TAG_ACTION | i as u64);
+        }
+        ctx.set_timer(self.config.resend_interval, TAG_RESEND);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, ProtoMsg>, from: NodeId, msg: ProtoMsg) {
+        match msg {
+            // Harness path: an Admin message from the environment means
+            // "issue this operation now".
+            ProtoMsg::Admin { op, .. } if from == NodeId::ENV => {
+                self.submit(ctx, op);
+            }
+            ProtoMsg::AdminReply { req, status } => {
+                let Some(&idx) = self.by_req.get(&req) else { return };
+                let rec = &mut self.ops[idx];
+                match status {
+                    AdminStatus::Applied => {
+                        if rec.progress == OpProgress::Sent {
+                            rec.progress = OpProgress::Applied;
+                        }
+                    }
+                    AdminStatus::Stable => {
+                        if rec.progress != OpProgress::Stable {
+                            rec.progress = OpProgress::Stable;
+                            let elapsed = rec
+                                .sent_at
+                                .map(|s| ctx.local_now().since(s))
+                                .unwrap_or(SimDuration::ZERO);
+                            rec.stable_after = Some(elapsed);
+                            ctx.metric_observe("admin.time_to_stable_s", elapsed.as_secs_f64());
+                        }
+                        self.drain_backlog(ctx);
+                    }
+                    AdminStatus::Rejected { reason } => {
+                        rec.progress = OpProgress::Rejected(reason);
+                        ctx.metric_incr("admin.rejected");
+                        self.drain_backlog(ctx);
+                    }
+                }
+            }
+            _ => {
+                ctx.metric_incr("admin.unexpected_msg");
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, ProtoMsg>, tag: u64) {
+        match tag & !TAG_PAYLOAD_MASK {
+            TAG_ACTION => {
+                let idx = (tag & TAG_PAYLOAD_MASK) as usize;
+                if let Some(action) = self.config.script.get(idx).cloned() {
+                    self.submit(ctx, action.op);
+                }
+            }
+            TAG_RESEND => {
+                // Persist toward the manager until it confirms receipt.
+                let unconfirmed: Vec<usize> = self
+                    .ops
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| r.progress == OpProgress::Sent)
+                    .map(|(i, _)| i)
+                    .collect();
+                for idx in unconfirmed {
+                    ctx.metric_incr("admin.op_resent");
+                    self.send_op(ctx, idx);
+                }
+                ctx.set_timer(self.config.resend_interval, TAG_RESEND);
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,993 @@
+//! The application-host side of the protocol (Figures 2–4 plus the check
+//! quorum of §3.3).
+//!
+//! A [`HostNode`] wraps one or more applications (Figure 1). For each
+//! arriving `Invoke` it:
+//!
+//! 1. authenticates the request (if the deployment runs with signatures),
+//! 2. consults the per-application [`AclCache`], honouring the
+//!    time-based expiration of §3.2,
+//! 3. on a miss, runs the check protocol: query managers, collect a
+//!    check quorum of `C` grants (any deny vetoes), retrying up to `R`
+//!    attempts with per-attempt timeouts, and finally applying the
+//!    fail-open/fail-closed policy of Figure 4,
+//! 4. caches a granted right until `query_start + te` on its local clock
+//!    (the `δ` adjustment of §3.2), and
+//! 5. flushes cache entries when a manager forwards a `RevokeNotice`.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use wanacl_auth::rsa;
+use wanacl_auth::signed::KeyRegistry;
+use wanacl_sim::clock::LocalTime;
+use wanacl_sim::node::{Context, Node, NodeId, TimerId};
+use wanacl_sim::time::SimDuration;
+
+use crate::cache::{AclCache, CacheDecision};
+use crate::msg::{invoke_signing_bytes, InvokeOutcome, ProtoMsg, QueryVerdict, ReqId};
+use crate::policy::{ExhaustionBehavior, Policy, QueryFanout};
+use crate::types::{AppId, UserId};
+use crate::wrapper::Application;
+
+/// Timer-tag namespaces (top byte selects the kind).
+const TAG_KIND_SHIFT: u64 = 56;
+const TAG_QUERY: u64 = 1 << TAG_KIND_SHIFT;
+const TAG_SWEEP: u64 = 2 << TAG_KIND_SHIFT;
+const TAG_NS: u64 = 3 << TAG_KIND_SHIFT;
+const TAG_REFRESH: u64 = 4 << TAG_KIND_SHIFT;
+const TAG_PAYLOAD_MASK: u64 = (1 << TAG_KIND_SHIFT) - 1;
+
+/// Where a host learns the manager set for an application (§3.2).
+#[derive(Debug, Clone)]
+pub enum ManagerDirectory {
+    /// A fixed set, "known to all the hosts in Hosts(A)".
+    Static(Vec<NodeId>),
+    /// A trusted name service queried with TTL-based refresh.
+    NameService {
+        /// The name-service node.
+        ns: NodeId,
+    },
+}
+
+/// Configuration of one application served by a host.
+pub struct AppHost {
+    /// The application id.
+    pub app: AppId,
+    /// The per-application policy.
+    pub policy: Policy,
+    /// How the manager set is discovered.
+    pub directory: ManagerDirectory,
+    /// The wrapped application (Figure 1).
+    pub application: Box<dyn Application>,
+}
+
+impl std::fmt::Debug for AppHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppHost").field("app", &self.app).finish_non_exhaustive()
+    }
+}
+
+/// Counters a host keeps about its own decisions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HostStats {
+    /// Invokes received.
+    pub invokes: u64,
+    /// Invokes answered from a live cache entry.
+    pub cache_hits: u64,
+    /// Invokes that had to run the check protocol.
+    pub cache_misses: u64,
+    /// Invokes allowed (cache or quorum or fail-open).
+    pub allowed: u64,
+    /// Invokes denied by a manager verdict.
+    pub denied: u64,
+    /// Invokes rejected after `R` failed attempts (fail-closed).
+    pub unavailable: u64,
+    /// Invokes allowed by the Figure 4 fail-open rule.
+    pub fail_open_allows: u64,
+    /// Invokes rejected because the signature did not verify.
+    pub auth_rejects: u64,
+    /// Queries sent to managers.
+    pub queries_sent: u64,
+    /// RevokeNotice messages that flushed a live cache entry.
+    pub revoke_flushes: u64,
+}
+
+#[derive(Debug)]
+struct PendingInvoke {
+    app: AppId,
+    user: UserId,
+    requester: NodeId,
+    user_req: ReqId,
+    payload: String,
+    attempt: u32,
+    attempt_started: LocalTime,
+    query_req: ReqId,
+    grants: BTreeMap<NodeId, SimDuration>,
+    timer: Option<TimerId>,
+    first_started: LocalTime,
+    /// A proactive lease refresh: no requester to answer, no
+    /// application call — just renew (or flush) the cache entry.
+    background: bool,
+}
+
+struct AppState {
+    policy: Policy,
+    directory: ManagerDirectory,
+    managers: Vec<NodeId>,
+    cache: AclCache,
+    application: Box<dyn Application>,
+    ns_timer: Option<TimerId>,
+}
+
+impl std::fmt::Debug for AppState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppState")
+            .field("managers", &self.managers)
+            .field("cached", &self.cache.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A host running one or more access-controlled applications.
+#[derive(Debug)]
+pub struct HostNode {
+    apps: BTreeMap<AppId, AppState>,
+    registry: Option<Arc<KeyRegistry>>,
+    pending: BTreeMap<u64, PendingInvoke>,
+    query_index: BTreeMap<ReqId, u64>,
+    refresh_index: BTreeMap<u64, (AppId, UserId)>,
+    next_pending: u64,
+    next_req: u64,
+    next_refresh: u64,
+    channel: Option<Arc<crate::channel::ChannelKeys>>,
+    stats: HostStats,
+}
+
+impl HostNode {
+    /// Creates a host serving the given applications.
+    ///
+    /// When `registry` is provided, every `Invoke` must carry a valid
+    /// signature from the claimed user; without it the deployment runs
+    /// unauthenticated (useful for protocol-only experiments).
+    pub fn new(apps: Vec<AppHost>, registry: Option<Arc<KeyRegistry>>) -> Self {
+        let mut map = BTreeMap::new();
+        for spec in apps {
+            let managers = match &spec.directory {
+                ManagerDirectory::Static(m) => m.clone(),
+                ManagerDirectory::NameService { .. } => Vec::new(),
+            };
+            map.insert(
+                spec.app,
+                AppState {
+                    policy: spec.policy,
+                    directory: spec.directory,
+                    managers,
+                    cache: AclCache::new(),
+                    application: spec.application,
+                    ns_timer: None,
+                },
+            );
+        }
+        HostNode {
+            apps: map,
+            registry,
+            pending: BTreeMap::new(),
+            query_index: BTreeMap::new(),
+            refresh_index: BTreeMap::new(),
+            next_pending: 0,
+            next_req: 0,
+            next_refresh: 0,
+            channel: None,
+            stats: HostStats::default(),
+        }
+    }
+
+    /// Installs pairwise channel keys: `QueryReply` and `RevokeNotice`
+    /// messages must then carry valid HMAC tags (see [`crate::channel`]).
+    pub fn set_channel_keys(&mut self, keys: Arc<crate::channel::ChannelKeys>) {
+        self.channel = Some(keys);
+    }
+
+    /// The host's decision counters.
+    pub fn stats(&self) -> HostStats {
+        self.stats
+    }
+
+    /// The current manager view for an application (empty when a
+    /// name-service lookup has not answered yet).
+    pub fn manager_view(&self, app: AppId) -> &[NodeId] {
+        self.apps.get(&app).map(|a| a.managers.as_slice()).unwrap_or(&[])
+    }
+
+    /// Live cache-entry count for an application.
+    pub fn cached_entries(&self, app: AppId) -> usize {
+        self.apps.get(&app).map(|a| a.cache.len()).unwrap_or(0)
+    }
+
+    /// Inspects the cached expiry limit for a user (tests/experiments).
+    pub fn cached_limit(&self, app: AppId, user: UserId) -> Option<LocalTime> {
+        self.apps.get(&app).and_then(|a| a.cache.peek(user))
+    }
+
+    /// Access to a wrapped application for inspection (e.g.
+    /// [`crate::wrapper::CountingApp::handled`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the app is not served here or is not a `T`.
+    pub fn application_as<T: 'static>(&self, app: AppId) -> &T {
+        let state = self.apps.get(&app).unwrap_or_else(|| panic!("{app} not served by this host"));
+        state
+            .application
+            .as_any()
+            .downcast_ref::<T>()
+            .unwrap_or_else(|| panic!("{app} is not a {}", std::any::type_name::<T>()))
+    }
+
+    fn fresh_req(&mut self) -> ReqId {
+        self.next_req += 1;
+        ReqId(self.next_req)
+    }
+
+    fn arm_periodic(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        let apps: Vec<AppId> = self.apps.keys().copied().collect();
+        for app in apps {
+            let state = self.apps.get_mut(&app).expect("just listed");
+            let sweep = state.policy.cache_sweep_interval();
+            ctx.set_timer(sweep, TAG_SWEEP | u64::from(app.0));
+            if let ManagerDirectory::NameService { ns } = state.directory {
+                ctx.send(ns, ProtoMsg::NsQuery { app });
+                let retry = state.policy.query_timeout() + state.policy.query_timeout();
+                state.ns_timer = Some(ctx.set_timer(retry, TAG_NS | u64::from(app.0)));
+            }
+        }
+    }
+
+    /// Starts (or restarts) one check attempt for a pending invoke.
+    fn start_attempt(&mut self, ctx: &mut Context<'_, ProtoMsg>, pending_id: u64) {
+        let query_req = self.fresh_req();
+        let Some(p) = self.pending.get_mut(&pending_id) else { return };
+        let Some(state) = self.apps.get(&p.app) else { return };
+        let old_query = p.query_req;
+        self.query_index.remove(&old_query);
+        if let Some(t) = p.timer.take() {
+            ctx.cancel_timer(t);
+        }
+        p.query_req = query_req;
+        p.grants.clear();
+        p.attempt += 1;
+        p.attempt_started = ctx.local_now();
+        self.query_index.insert(query_req, pending_id);
+
+        // Choose which managers to ask this attempt.
+        let targets: Vec<NodeId> = match state.policy.fanout() {
+            QueryFanout::All => state.managers.clone(),
+            QueryFanout::Subset => {
+                let c = state.policy.check_quorum().min(state.managers.len());
+                let mut pool = state.managers.clone();
+                ctx.rng().shuffle(&mut pool);
+                pool.truncate(c);
+                pool
+            }
+            QueryFanout::Sequential => {
+                // Figure 2: one manager at a time, rotating per attempt.
+                if state.managers.is_empty() {
+                    Vec::new()
+                } else {
+                    let idx = (p.attempt as usize - 1) % state.managers.len();
+                    vec![state.managers[idx]]
+                }
+            }
+        };
+        let msg = ProtoMsg::Query { app: p.app, user: p.user, req: query_req };
+        self.stats.queries_sent += targets.len() as u64;
+        for t in &targets {
+            ctx.metric_incr("host.queries_sent");
+            ctx.send(*t, msg.clone());
+        }
+        let timeout = state.policy.query_timeout();
+        let p = self.pending.get_mut(&pending_id).expect("still pending");
+        p.timer = Some(ctx.set_timer(timeout, TAG_QUERY | pending_id));
+    }
+
+    /// Finishes a pending invoke with the given outcome.
+    fn finish(
+        &mut self,
+        ctx: &mut Context<'_, ProtoMsg>,
+        pending_id: u64,
+        outcome_kind: FinishKind,
+    ) {
+        let Some(p) = self.pending.remove(&pending_id) else { return };
+        self.query_index.remove(&p.query_req);
+        if let Some(t) = p.timer {
+            ctx.cancel_timer(t);
+        }
+        if p.background {
+            self.finish_background(ctx, &p, outcome_kind);
+            return;
+        }
+        let elapsed = ctx.local_now().since(p.first_started);
+        ctx.metric_observe("host.check_latency_s", elapsed.as_secs_f64());
+        let outcome = match outcome_kind {
+            FinishKind::Grant => {
+                // Cache: limit anchored at attempt start (δ adjustment).
+                let min_te = p
+                    .grants
+                    .values()
+                    .copied()
+                    .min()
+                    .unwrap_or(SimDuration::ZERO);
+                if min_te > SimDuration::ZERO {
+                    let limit = p.attempt_started.plus(min_te);
+                    if let Some(state) = self.apps.get_mut(&p.app) {
+                        state.cache.insert(p.user, limit);
+                        // The grant that creates the entry is a use.
+                        state.cache.touch(p.user, ctx.local_now());
+                    }
+                    self.arm_refresh(ctx, p.app, p.user, limit);
+                }
+                self.allow(ctx, p.app, p.user, &p.payload)
+            }
+            FinishKind::FailOpen => {
+                // Figure 4: allow, but nothing is cached — no te is known.
+                self.stats.fail_open_allows += 1;
+                ctx.metric_incr("host.fail_open");
+                self.allow(ctx, p.app, p.user, &p.payload)
+            }
+            FinishKind::Deny => {
+                self.stats.denied += 1;
+                ctx.metric_incr("host.denied");
+                ctx.trace(format!("audit=deny app={} user={}", p.app.0, p.user.0));
+                InvokeOutcome::Denied
+            }
+            FinishKind::Unavailable => {
+                self.stats.unavailable += 1;
+                ctx.metric_incr("host.unavailable");
+                InvokeOutcome::Unavailable
+            }
+        };
+        ctx.send(p.requester, ProtoMsg::InvokeReply { req: p.user_req, outcome });
+    }
+
+    /// Completes a proactive refresh: renew on grant, flush on deny.
+    fn finish_background(
+        &mut self,
+        ctx: &mut Context<'_, ProtoMsg>,
+        p: &PendingInvoke,
+        outcome_kind: FinishKind,
+    ) {
+        match outcome_kind {
+            FinishKind::Grant => {
+                let min_te =
+                    p.grants.values().copied().min().unwrap_or(SimDuration::ZERO);
+                if min_te > SimDuration::ZERO {
+                    let limit = p.attempt_started.plus(min_te);
+                    if let Some(state) = self.apps.get_mut(&p.app) {
+                        // Renew without touching last_used: only real
+                        // requests count as activity, so idle leases
+                        // stop being refreshed.
+                        state.cache.insert(p.user, limit);
+                    }
+                    ctx.metric_incr("host.refresh_renewed");
+                    self.arm_refresh(ctx, p.app, p.user, limit);
+                }
+            }
+            FinishKind::Deny => {
+                // The right is gone: flush immediately instead of
+                // letting the lease run out.
+                if let Some(state) = self.apps.get_mut(&p.app) {
+                    state.cache.remove(p.user);
+                }
+                ctx.metric_incr("host.refresh_denied");
+            }
+            FinishKind::FailOpen | FinishKind::Unavailable => {
+                // No quorum reachable: the lease lapses on its own
+                // schedule, exactly as without refresh.
+                ctx.metric_incr("host.refresh_failed");
+            }
+        }
+    }
+
+    /// Arms a proactive-refresh timer `margin` before `limit`, when the
+    /// policy asks for one.
+    fn arm_refresh(
+        &mut self,
+        ctx: &mut Context<'_, ProtoMsg>,
+        app: AppId,
+        user: UserId,
+        limit: LocalTime,
+    ) {
+        let Some(state) = self.apps.get(&app) else { return };
+        let Some(margin) = state.policy.refresh_margin() else { return };
+        let delay = limit.since(ctx.local_now()).saturating_sub(margin);
+        if delay == SimDuration::ZERO {
+            return; // too late to refresh this lease meaningfully
+        }
+        let key = self.next_refresh;
+        self.next_refresh += 1;
+        self.refresh_index.insert(key, (app, user));
+        ctx.set_timer(delay, TAG_REFRESH | key);
+    }
+
+    /// Fires a proactive refresh if the lease is still alive and the
+    /// user has actually been active during the current lease term.
+    fn on_refresh_timer(&mut self, ctx: &mut Context<'_, ProtoMsg>, key: u64) {
+        let Some((app, user)) = self.refresh_index.remove(&key) else { return };
+        let Some(state) = self.apps.get(&app) else { return };
+        let now = ctx.local_now();
+        let Some(limit) = state.cache.peek(user) else { return };
+        if now >= limit {
+            return; // already expired; a future request will re-check
+        }
+        let te = state.policy.expiry_budget();
+        let active = state
+            .cache
+            .last_used(user)
+            .map(|used| now.since(used) < te)
+            .unwrap_or(false);
+        if !active {
+            ctx.metric_incr("host.refresh_skipped_idle");
+            return;
+        }
+        ctx.metric_incr("host.refresh_started");
+        let pending_id = self.next_pending;
+        self.next_pending += 1;
+        self.pending.insert(
+            pending_id,
+            PendingInvoke {
+                app,
+                user,
+                requester: ctx.id(),
+                user_req: ReqId(0),
+                payload: String::new(),
+                attempt: 0,
+                attempt_started: now,
+                query_req: ReqId(u64::MAX),
+                grants: BTreeMap::new(),
+                timer: None,
+                first_started: now,
+                background: true,
+            },
+        );
+        self.start_attempt(ctx, pending_id);
+    }
+
+    fn allow(
+        &mut self,
+        ctx: &mut Context<'_, ProtoMsg>,
+        app: AppId,
+        user: UserId,
+        payload: &str,
+    ) -> InvokeOutcome {
+        self.stats.allowed += 1;
+        ctx.metric_incr("host.allowed");
+        ctx.trace(format!("audit=allow app={} user={}", app.0, user.0));
+        let response = match self.apps.get_mut(&app) {
+            Some(state) => state.application.handle(user, payload),
+            None => String::new(),
+        };
+        InvokeOutcome::Allowed { response }
+    }
+
+    fn on_invoke(
+        &mut self,
+        ctx: &mut Context<'_, ProtoMsg>,
+        from: NodeId,
+        app: AppId,
+        user: UserId,
+        req: ReqId,
+        payload: String,
+        signature: Option<rsa::Signature>,
+    ) {
+        self.stats.invokes += 1;
+        ctx.metric_incr("host.invokes");
+        // Authentication (§2.1): the message must really come from `user`.
+        if let Some(registry) = &self.registry {
+            let ok = match signature {
+                Some(sig) => match registry.public_key(user.into()) {
+                    Some(pk) => {
+                        let bytes = invoke_signing_bytes(user, app, req, &payload);
+                        rsa::verify(&pk, &bytes, &sig)
+                    }
+                    None => false,
+                },
+                None => false,
+            };
+            if !ok {
+                self.stats.auth_rejects += 1;
+                ctx.metric_incr("host.auth_reject");
+                ctx.send(
+                    from,
+                    ProtoMsg::InvokeReply { req, outcome: InvokeOutcome::BadSignature },
+                );
+                return;
+            }
+        }
+        let Some(state) = self.apps.get_mut(&app) else {
+            ctx.metric_incr("host.unknown_app");
+            ctx.send(from, ProtoMsg::InvokeReply { req, outcome: InvokeOutcome::Denied });
+            return;
+        };
+        // Figure 3: cache lookup with expiry.
+        match state.cache.lookup(user, ctx.local_now()) {
+            CacheDecision::Fresh(_) => {
+                self.stats.cache_hits += 1;
+                ctx.metric_incr("host.cache_hit");
+                let outcome = self.allow(ctx, app, user, &payload);
+                ctx.send(from, ProtoMsg::InvokeReply { req, outcome });
+            }
+            CacheDecision::Expired | CacheDecision::Missing => {
+                self.stats.cache_misses += 1;
+                ctx.metric_incr("host.cache_miss");
+                let pending_id = self.next_pending;
+                self.next_pending += 1;
+                self.pending.insert(
+                    pending_id,
+                    PendingInvoke {
+                        app,
+                        user,
+                        requester: from,
+                        user_req: req,
+                        payload,
+                        attempt: 0,
+                        attempt_started: ctx.local_now(),
+                        query_req: ReqId(u64::MAX),
+                        grants: BTreeMap::new(),
+                        timer: None,
+                        first_started: ctx.local_now(),
+                        background: false,
+                    },
+                );
+                self.start_attempt(ctx, pending_id);
+            }
+        }
+    }
+
+    fn on_query_reply(
+        &mut self,
+        ctx: &mut Context<'_, ProtoMsg>,
+        from: NodeId,
+        req: ReqId,
+        verdict: QueryVerdict,
+    ) {
+        // Figure 3: responses arriving after the attempt's timer are
+        // ignored — the query_index only maps the *current* attempt.
+        let Some(&pending_id) = self.query_index.get(&req) else {
+            ctx.metric_incr("host.late_reply");
+            return;
+        };
+        let Some(app) = self.pending.get(&pending_id).map(|p| p.app) else { return };
+        // Only nodes in the current manager view may vote: a reply from
+        // anywhere else (a compromised host guessing request ids, per
+        // the §2.1 failure model) must not count toward the quorum.
+        let from_manager =
+            self.apps.get(&app).map(|s| s.managers.contains(&from)).unwrap_or(false);
+        if !from_manager {
+            ctx.metric_incr("host.reply_from_non_manager");
+            return;
+        }
+        let Some(p) = self.pending.get_mut(&pending_id) else { return };
+        match verdict {
+            QueryVerdict::Deny => {
+                // One deny vetoes: after a revoke reaches its update
+                // quorum, every check quorum contains a denier.
+                self.finish(ctx, pending_id, FinishKind::Deny);
+            }
+            QueryVerdict::Grant { te } => {
+                p.grants.insert(from, te);
+                let needed = self
+                    .apps
+                    .get(&p.app)
+                    .map(|s| s.policy.check_quorum())
+                    .unwrap_or(usize::MAX);
+                if p.grants.len() >= needed {
+                    self.finish(ctx, pending_id, FinishKind::Grant);
+                }
+            }
+        }
+    }
+
+    fn on_query_timeout(&mut self, ctx: &mut Context<'_, ProtoMsg>, pending_id: u64) {
+        let Some(p) = self.pending.get(&pending_id) else { return };
+        let Some(state) = self.apps.get(&p.app) else { return };
+        let exhausted = p.attempt >= state.policy.max_attempts();
+        if exhausted {
+            match state.policy.exhaustion() {
+                ExhaustionBehavior::FailOpen => self.finish(ctx, pending_id, FinishKind::FailOpen),
+                ExhaustionBehavior::FailClosed => {
+                    self.finish(ctx, pending_id, FinishKind::Unavailable)
+                }
+            }
+        } else {
+            self.start_attempt(ctx, pending_id);
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FinishKind {
+    Grant,
+    Deny,
+    FailOpen,
+    Unavailable,
+}
+
+impl Node for HostNode {
+    type Msg = ProtoMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        self.arm_periodic(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, ProtoMsg>, from: NodeId, msg: ProtoMsg) {
+        match msg {
+            ProtoMsg::Invoke { app, user, req, payload, signature } => {
+                self.on_invoke(ctx, from, app, user, req, payload, signature);
+            }
+            ProtoMsg::QueryReply { req, app, user, verdict, mac } => {
+                if let Some(keys) = &self.channel {
+                    let ok = mac
+                        .map(|tag| {
+                            keys.verify_query_reply(from, ctx.id(), req, app, user, &verdict, &tag)
+                        })
+                        .unwrap_or(false);
+                    if !ok {
+                        ctx.metric_incr("host.bad_channel_mac");
+                        return;
+                    }
+                }
+                self.on_query_reply(ctx, from, req, verdict);
+            }
+            ProtoMsg::RevokeNotice { app, user, mac } => {
+                if let Some(keys) = &self.channel {
+                    let ok = mac
+                        .map(|tag| keys.verify_revoke_notice(from, ctx.id(), app, user, &tag))
+                        .unwrap_or(false);
+                    if !ok {
+                        ctx.metric_incr("host.bad_channel_mac");
+                        return;
+                    }
+                }
+                if let Some(state) = self.apps.get_mut(&app) {
+                    if state.cache.remove(user) {
+                        self.stats.revoke_flushes += 1;
+                        ctx.metric_incr("host.revoke_flush");
+                    }
+                }
+            }
+            ProtoMsg::NsReply { app, managers, ttl } => {
+                if let Some(state) = self.apps.get_mut(&app) {
+                    // Only the configured (trusted, §3.2) name service
+                    // may change the manager view; a forged NsReply
+                    // would otherwise redirect checks to an attacker.
+                    let trusted = matches!(
+                        state.directory,
+                        ManagerDirectory::NameService { ns } if ns == from
+                    );
+                    if !trusted {
+                        ctx.metric_incr("host.ns_reply_untrusted");
+                        return;
+                    }
+                    if let Some(t) = state.ns_timer.take() {
+                        ctx.cancel_timer(t);
+                    }
+                    state.managers = managers;
+                    // Re-query shortly before the TTL runs out.
+                    let refresh = ttl.mul_f64(0.8);
+                    state.ns_timer =
+                        Some(ctx.set_timer(refresh, TAG_NS | u64::from(app.0)));
+                }
+            }
+            _ => {
+                ctx.metric_incr("host.unexpected_msg");
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, ProtoMsg>, tag: u64) {
+        let payload = tag & TAG_PAYLOAD_MASK;
+        match tag & !TAG_PAYLOAD_MASK {
+            TAG_QUERY => self.on_query_timeout(ctx, payload),
+            TAG_REFRESH => self.on_refresh_timer(ctx, payload),
+            TAG_SWEEP => {
+                let app = AppId(payload as u32);
+                if let Some(state) = self.apps.get_mut(&app) {
+                    let swept = state.cache.sweep(ctx.local_now());
+                    if swept > 0 {
+                        ctx.metric_incr("host.cache_swept");
+                    }
+                    let interval = state.policy.cache_sweep_interval();
+                    ctx.set_timer(interval, TAG_SWEEP | payload);
+                }
+            }
+            TAG_NS => {
+                let app = AppId(payload as u32);
+                if let Some(state) = self.apps.get_mut(&app) {
+                    if let ManagerDirectory::NameService { ns } = state.directory {
+                        ctx.send(ns, ProtoMsg::NsQuery { app });
+                        let retry = state.policy.query_timeout() + state.policy.query_timeout();
+                        state.ns_timer = Some(ctx.set_timer(retry, TAG_NS | payload));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_crash(&mut self) {
+        // §3.4: the cache is volatile; recovery restarts from empty.
+        for state in self.apps.values_mut() {
+            state.cache.clear();
+            state.ns_timer = None;
+            if let ManagerDirectory::NameService { .. } = state.directory {
+                state.managers.clear();
+            }
+        }
+        self.pending.clear();
+        self.query_index.clear();
+        self.refresh_index.clear();
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        self.arm_periodic(ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wrapper::CountingApp;
+    use wanacl_sim::node::Effect;
+    use wanacl_sim::rng::SimRng;
+
+    /// A tiny single-step harness: drives one node event and returns the
+    /// effects it produced.
+    struct Harness {
+        rng: SimRng,
+        next_timer: u64,
+        now: LocalTime,
+        id: NodeId,
+    }
+
+    impl Harness {
+        fn new(id: usize) -> Self {
+            Harness {
+                rng: SimRng::seed_from(1),
+                next_timer: 0,
+                now: LocalTime::ZERO,
+                id: NodeId::from_index(id),
+            }
+        }
+
+        fn at(&mut self, nanos: u64) -> &mut Self {
+            self.now = LocalTime::from_nanos(nanos);
+            self
+        }
+
+        fn deliver(
+            &mut self,
+            node: &mut HostNode,
+            from: usize,
+            msg: ProtoMsg,
+        ) -> Vec<Effect<ProtoMsg>> {
+            let mut effects = Vec::new();
+            {
+                let mut ctx = Context::new(
+                    self.id,
+                    self.now,
+                    &mut effects,
+                    &mut self.rng,
+                    &mut self.next_timer,
+                );
+                node.on_message(&mut ctx, NodeId::from_index(from), msg);
+            }
+            effects
+        }
+    }
+
+    fn host_with_managers(managers: &[usize]) -> HostNode {
+        let ids: Vec<NodeId> = managers.iter().map(|&i| NodeId::from_index(i)).collect();
+        HostNode::new(
+            vec![AppHost {
+                app: AppId(0),
+                policy: Policy::builder(1)
+                    .revocation_bound(SimDuration::from_secs(10))
+                    .query_timeout(SimDuration::from_millis(100))
+                    .max_attempts(1)
+                    .build(),
+                directory: ManagerDirectory::Static(ids),
+                application: Box::new(CountingApp::new()),
+            }],
+            None,
+        )
+    }
+
+    fn invoke(user: u64) -> ProtoMsg {
+        ProtoMsg::Invoke {
+            app: AppId(0),
+            user: UserId(user),
+            req: ReqId(1),
+            payload: "x".into(),
+            signature: None,
+        }
+    }
+
+    fn sends(effects: &[Effect<ProtoMsg>]) -> Vec<(NodeId, &ProtoMsg)> {
+        effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Send { to, msg } => Some((*to, msg)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cold_invoke_queries_every_manager_in_view() {
+        let mut host = host_with_managers(&[0, 1, 2]);
+        let mut h = Harness::new(9);
+        let effects = h.deliver(&mut host, 7, invoke(1));
+        let queries: Vec<NodeId> = sends(&effects)
+            .into_iter()
+            .filter(|(_, m)| matches!(m, ProtoMsg::Query { .. }))
+            .map(|(to, _)| to)
+            .collect();
+        assert_eq!(
+            queries,
+            vec![NodeId::from_index(0), NodeId::from_index(1), NodeId::from_index(2)]
+        );
+        assert_eq!(host.stats().cache_misses, 1);
+    }
+
+    #[test]
+    fn grant_reply_caches_and_answers_requester() {
+        let mut host = host_with_managers(&[0]);
+        let mut h = Harness::new(9);
+        let effects = h.deliver(&mut host, 7, invoke(1));
+        // Extract the query id the host used.
+        let req = sends(&effects)
+            .into_iter()
+            .find_map(|(_, m)| match m {
+                ProtoMsg::Query { req, .. } => Some(*req),
+                _ => None,
+            })
+            .expect("query sent");
+        let effects = h.at(1_000).deliver(
+            &mut host,
+            0,
+            ProtoMsg::QueryReply {
+                req,
+                app: AppId(0),
+                user: UserId(1),
+                verdict: QueryVerdict::Grant { te: SimDuration::from_secs(9) },
+                mac: None,
+            },
+        );
+        let replies = sends(&effects);
+        assert!(replies.iter().any(|(to, m)| {
+            *to == NodeId::from_index(7)
+                && matches!(m, ProtoMsg::InvokeReply { outcome: InvokeOutcome::Allowed { .. }, .. })
+        }));
+        // Cached with the delta adjustment: limit anchored at the query
+        // send time (t = 0), not the reply time.
+        assert_eq!(
+            host.cached_limit(AppId(0), UserId(1)),
+            Some(LocalTime::from_nanos(SimDuration::from_secs(9).as_nanos()))
+        );
+    }
+
+    #[test]
+    fn deny_reply_rejects_without_caching() {
+        let mut host = host_with_managers(&[0]);
+        let mut h = Harness::new(9);
+        let effects = h.deliver(&mut host, 7, invoke(2));
+        let req = sends(&effects)
+            .into_iter()
+            .find_map(|(_, m)| match m {
+                ProtoMsg::Query { req, .. } => Some(*req),
+                _ => None,
+            })
+            .expect("query sent");
+        let effects = h.deliver(
+            &mut host,
+            0,
+            ProtoMsg::QueryReply {
+                req,
+                app: AppId(0),
+                user: UserId(2),
+                verdict: QueryVerdict::Deny,
+                mac: None,
+            },
+        );
+        assert!(sends(&effects).iter().any(|(_, m)| matches!(
+            m,
+            ProtoMsg::InvokeReply { outcome: InvokeOutcome::Denied, .. }
+        )));
+        assert_eq!(host.cached_entries(AppId(0)), 0);
+        assert_eq!(host.stats().denied, 1);
+    }
+
+    #[test]
+    fn reply_from_outside_manager_view_is_ignored() {
+        let mut host = host_with_managers(&[0]);
+        let mut h = Harness::new(9);
+        let effects = h.deliver(&mut host, 7, invoke(1));
+        let req = sends(&effects)
+            .into_iter()
+            .find_map(|(_, m)| match m {
+                ProtoMsg::Query { req, .. } => Some(*req),
+                _ => None,
+            })
+            .expect("query sent");
+        // Node 5 is not a manager.
+        let effects = h.deliver(
+            &mut host,
+            5,
+            ProtoMsg::QueryReply {
+                req,
+                app: AppId(0),
+                user: UserId(1),
+                verdict: QueryVerdict::Grant { te: SimDuration::from_secs(9) },
+                mac: None,
+            },
+        );
+        assert!(sends(&effects).is_empty(), "forged grant must produce nothing");
+        assert_eq!(host.cached_entries(AppId(0)), 0);
+    }
+
+    #[test]
+    fn revoke_notice_flushes_only_named_user() {
+        let mut host = host_with_managers(&[0]);
+        // Seed the cache directly through the protocol: grant user 1.
+        let mut h = Harness::new(9);
+        let effects = h.deliver(&mut host, 7, invoke(1));
+        let req = sends(&effects)
+            .into_iter()
+            .find_map(|(_, m)| match m {
+                ProtoMsg::Query { req, .. } => Some(*req),
+                _ => None,
+            })
+            .expect("query sent");
+        h.deliver(
+            &mut host,
+            0,
+            ProtoMsg::QueryReply {
+                req,
+                app: AppId(0),
+                user: UserId(1),
+                verdict: QueryVerdict::Grant { te: SimDuration::from_secs(9) },
+                mac: None,
+            },
+        );
+        assert_eq!(host.cached_entries(AppId(0)), 1);
+        // A notice for a different user is a no-op.
+        h.deliver(&mut host, 0, ProtoMsg::RevokeNotice { app: AppId(0), user: UserId(2), mac: None });
+        assert_eq!(host.cached_entries(AppId(0)), 1);
+        h.deliver(&mut host, 0, ProtoMsg::RevokeNotice { app: AppId(0), user: UserId(1), mac: None });
+        assert_eq!(host.cached_entries(AppId(0)), 0);
+        assert_eq!(host.stats().revoke_flushes, 1);
+    }
+
+    #[test]
+    fn crash_clears_volatile_state() {
+        let mut host = host_with_managers(&[0]);
+        let mut h = Harness::new(9);
+        h.deliver(&mut host, 7, invoke(1));
+        assert_eq!(host.stats().cache_misses, 1);
+        host.on_crash();
+        assert_eq!(host.cached_entries(AppId(0)), 0);
+        // Stats survive (they are measurement, not protocol state).
+        assert_eq!(host.stats().cache_misses, 1);
+    }
+}

@@ -1,0 +1,1001 @@
+//! The manager side of the protocol (§3.1, §3.3, §3.4).
+//!
+//! Managers hold the authoritative ACL for each application. A manager:
+//!
+//! * answers host `Query`s with `Grant{te}`/`Deny` and records which hosts
+//!   cache which users' rights (the grant table of §3.1),
+//! * applies admin `Add`/`Revoke` operations and disseminates them to
+//!   peer managers with a **persistent retransmission** strategy (§3.3),
+//!   reporting `Stable` to the issuer once the update quorum `M − C + 1`
+//!   has applied the operation,
+//! * forwards `RevokeNotice`s to caching hosts, retransmitting until the
+//!   cached right would have expired anyway (§3.4: a manager "can stop
+//!   resending the message when the access right would have expired"),
+//! * optionally runs the §3.3 **freeze strategy**: stop answering checks
+//!   while any peer manager has been silent longer than `Ti`,
+//! * recovers after a crash by refusing to answer queries until a peer
+//!   supplies a state snapshot (§3.4).
+
+use std::any::Any;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use wanacl_auth::rsa;
+use wanacl_auth::signed::KeyRegistry;
+use wanacl_sim::clock::LocalTime;
+use wanacl_sim::node::{Context, Node, NodeId};
+use wanacl_sim::time::SimDuration;
+
+use crate::msg::{
+    admin_signing_bytes, AclOp, AdminStatus, OpId, ProtoMsg, QueryVerdict, RejectReason, ReqId,
+};
+use crate::policy::Policy;
+use crate::types::{Acl, AppId, Right, UserId};
+
+const TAG_KIND_SHIFT: u64 = 56;
+const TAG_HEARTBEAT: u64 = 1 << TAG_KIND_SHIFT;
+const TAG_RETRY: u64 = 2 << TAG_KIND_SHIFT;
+const TAG_GSWEEP: u64 = 3 << TAG_KIND_SHIFT;
+const TAG_SYNC: u64 = 4 << TAG_KIND_SHIFT;
+
+/// One application managed by a manager node.
+#[derive(Debug, Clone)]
+pub struct ManagerApp {
+    /// The application id.
+    pub app: AppId,
+    /// The per-application policy (must match the hosts' policy).
+    pub policy: Policy,
+    /// The ACL this manager starts with (bootstrap state; must include
+    /// at least one `manage`-right holder if admin authorization is
+    /// enforced).
+    pub initial_acl: Acl,
+}
+
+/// Manager configuration.
+#[derive(Debug, Clone)]
+pub struct ManagerConfig {
+    /// The other managers of the deployment.
+    pub peers: Vec<NodeId>,
+    /// Applications this manager serves.
+    pub apps: Vec<ManagerApp>,
+    /// Key registry for verifying admin signatures (`None` disables
+    /// message authentication).
+    pub registry: Option<Arc<KeyRegistry>>,
+    /// Whether admin operations require the issuer to hold the `manage`
+    /// right in the local ACL.
+    pub enforce_manage_right: bool,
+    /// Retransmission period for unacknowledged updates and revocation
+    /// notices (the "persistent strategy").
+    pub retry_interval: SimDuration,
+    /// Heartbeat period between managers (freeze detection; should be
+    /// well below any app's `Ti`).
+    pub heartbeat_interval: SimDuration,
+    /// How often the grant table is swept of expired entries.
+    pub grant_sweep_interval: SimDuration,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        ManagerConfig {
+            peers: Vec::new(),
+            apps: Vec::new(),
+            registry: None,
+            enforce_manage_right: false,
+            retry_interval: SimDuration::from_millis(500),
+            heartbeat_interval: SimDuration::from_secs(1),
+            grant_sweep_interval: SimDuration::from_secs(30),
+        }
+    }
+}
+
+/// Counters a manager keeps about its own behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ManagerStats {
+    /// Host queries received.
+    pub queries: u64,
+    /// Grants issued.
+    pub grants: u64,
+    /// Denies issued.
+    pub denies: u64,
+    /// Queries silently dropped because the manager was frozen (§3.3).
+    pub frozen_drops: u64,
+    /// Queries silently dropped while recovering (§3.4).
+    pub recovering_drops: u64,
+    /// Operations this manager originated.
+    pub ops_originated: u64,
+    /// Operations that reached their update quorum here.
+    pub quorum_reached: u64,
+    /// Peer updates applied.
+    pub peer_updates_applied: u64,
+    /// State snapshots served to recovering peers.
+    pub syncs_served: u64,
+}
+
+#[derive(Debug)]
+struct ManagedApp {
+    policy: Policy,
+    acl: Acl,
+    frozen: bool,
+}
+
+#[derive(Debug)]
+struct PendingUpdate {
+    op: AclOp,
+    unacked: BTreeSet<NodeId>,
+    applied_count: usize,
+    stable: bool,
+    issuer: Option<(NodeId, ReqId)>,
+    started: LocalTime,
+}
+
+#[derive(Debug)]
+struct PendingRevoke {
+    app: AppId,
+    user: UserId,
+    /// Host → local deadline after which the cached right has expired on
+    /// its own and retransmission stops.
+    targets: BTreeMap<NodeId, LocalTime>,
+}
+
+/// A manager node.
+#[derive(Debug)]
+pub struct ManagerNode {
+    config: ManagerConfig,
+    apps: BTreeMap<AppId, ManagedApp>,
+    applied: BTreeSet<OpId>,
+    /// Lamport clock; `OpId.seq` values are drawn from it so concurrent
+    /// conflicting operations resolve identically at every manager.
+    /// Treated as persisted across crashes (a real deployment would keep
+    /// it on stable storage with the op log).
+    lamport: u64,
+    /// Per-slot last writer: `(app, user, right) → newest OpId applied`.
+    lww: BTreeMap<(AppId, UserId, Right), OpId>,
+    pending: BTreeMap<OpId, PendingUpdate>,
+    pending_revokes: Vec<PendingRevoke>,
+    grant_table: BTreeMap<(AppId, UserId), BTreeMap<NodeId, LocalTime>>,
+    last_heard: BTreeMap<NodeId, LocalTime>,
+    recovering: bool,
+    channel: Option<Arc<crate::channel::ChannelKeys>>,
+    stats: ManagerStats,
+}
+
+impl ManagerNode {
+    /// Creates a manager from its configuration.
+    pub fn new(config: ManagerConfig) -> Self {
+        let apps = config
+            .apps
+            .iter()
+            .map(|a| {
+                (a.app, ManagedApp { policy: a.policy.clone(), acl: a.initial_acl.clone(), frozen: false })
+            })
+            .collect();
+        ManagerNode {
+            config,
+            apps,
+            applied: BTreeSet::new(),
+            lamport: 0,
+            lww: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            pending_revokes: Vec::new(),
+            grant_table: BTreeMap::new(),
+            last_heard: BTreeMap::new(),
+            recovering: false,
+            channel: None,
+            stats: ManagerStats::default(),
+        }
+    }
+
+    /// Installs pairwise channel keys: `QueryReply` and `RevokeNotice`
+    /// messages will carry HMAC tags (see [`crate::channel`]).
+    pub fn set_channel_keys(&mut self, keys: Arc<crate::channel::ChannelKeys>) {
+        self.channel = Some(keys);
+    }
+
+    /// The manager's counters.
+    pub fn stats(&self) -> ManagerStats {
+        self.stats
+    }
+
+    /// Whether the manager currently holds `right` for `user` on `app`.
+    pub fn acl_has(&self, app: AppId, user: UserId, right: Right) -> bool {
+        self.apps.get(&app).map(|a| a.acl.has(user, right)).unwrap_or(false)
+    }
+
+    /// Whether the app is currently frozen by the §3.3 strategy.
+    pub fn is_frozen(&self, app: AppId) -> bool {
+        self.apps.get(&app).map(|a| a.frozen).unwrap_or(false)
+    }
+
+    /// Whether the manager is recovering and refusing queries.
+    pub fn is_recovering(&self) -> bool {
+        self.recovering
+    }
+
+    /// Number of operations awaiting full dissemination.
+    pub fn pending_updates(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Number of hosts currently recorded as caching `user`'s right.
+    pub fn granted_hosts(&self, app: AppId, user: UserId) -> usize {
+        self.grant_table.get(&(app, user)).map(|m| m.len()).unwrap_or(0)
+    }
+
+    /// Total managers in the deployment (`M`).
+    fn deployment_size(&self) -> usize {
+        self.config.peers.len() + 1
+    }
+
+    fn note_peer(&mut self, from: NodeId, now: LocalTime) {
+        if self.config.peers.contains(&from) {
+            self.last_heard.insert(from, now);
+        }
+    }
+
+    fn heartbeat_period(&self) -> SimDuration {
+        let mut period = self.config.heartbeat_interval;
+        for app in self.apps.values() {
+            if let Some(f) = app.policy.freeze() {
+                period = period.min(f.heartbeat_interval);
+            }
+        }
+        period
+    }
+
+    fn arm_periodic(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        ctx.set_timer(self.heartbeat_period(), TAG_HEARTBEAT);
+        ctx.set_timer(self.config.retry_interval, TAG_RETRY);
+        ctx.set_timer(self.config.grant_sweep_interval, TAG_GSWEEP);
+    }
+
+    /// Applies an operation under last-writer-wins ordering: the effect
+    /// lands only if `id` is newer than the slot's current writer, so
+    /// every manager converges to the same ACL regardless of delivery
+    /// order. Returns whether the effect was applied.
+    fn apply_op(&mut self, op: &AclOp, id: OpId) -> bool {
+        self.lamport = self.lamport.max(id.seq);
+        let slot = (op.app(), op.user(), op.right());
+        if let Some(&current) = self.lww.get(&slot) {
+            if id <= current {
+                return false; // an equal-or-newer write already landed
+            }
+        }
+        self.lww.insert(slot, id);
+        if let Some(state) = self.apps.get_mut(&op.app()) {
+            match *op {
+                AclOp::Add { user, right, .. } => state.acl.add(user, right),
+                AclOp::Revoke { user, right, .. } => state.acl.revoke(user, right),
+            }
+        }
+        true
+    }
+
+    /// Starts forwarding a revocation to every host recorded as caching
+    /// the user's right, and keeps retransmitting until each cached entry
+    /// would have expired on its own.
+    fn forward_revocation(&mut self, ctx: &mut Context<'_, ProtoMsg>, app: AppId, user: UserId) {
+        let Some(targets) = self.grant_table.remove(&(app, user)) else { return };
+        if targets.is_empty() {
+            return;
+        }
+        for host in targets.keys() {
+            ctx.metric_incr("mgr.revoke_notices");
+            let mac =
+                self.channel.as_ref().map(|k| k.tag_revoke_notice(ctx.id(), *host, app, user));
+            ctx.send(*host, ProtoMsg::RevokeNotice { app, user, mac });
+        }
+        self.pending_revokes.push(PendingRevoke { app, user, targets });
+    }
+
+    fn on_admin(
+        &mut self,
+        ctx: &mut Context<'_, ProtoMsg>,
+        from: NodeId,
+        op: AclOp,
+        req: ReqId,
+        issuer: UserId,
+        signature: Option<rsa::Signature>,
+    ) {
+        let reject = |ctx: &mut Context<'_, ProtoMsg>, reason: RejectReason| {
+            ctx.metric_incr("mgr.admin_rejected");
+            ctx.send(
+                from,
+                ProtoMsg::AdminReply { req, status: AdminStatus::Rejected { reason } },
+            );
+        };
+        if self.recovering {
+            reject(ctx, RejectReason::Recovering);
+            return;
+        }
+        let Some(state) = self.apps.get(&op.app()) else {
+            reject(ctx, RejectReason::UnknownApp);
+            return;
+        };
+        if let Some(registry) = &self.config.registry {
+            let ok = match signature {
+                Some(sig) => match registry.public_key(issuer.into()) {
+                    Some(pk) => rsa::verify(&pk, &admin_signing_bytes(issuer, &op), &sig),
+                    None => false,
+                },
+                None => false,
+            };
+            if !ok {
+                reject(ctx, RejectReason::BadSignature);
+                return;
+            }
+        }
+        if self.config.enforce_manage_right && !state.acl.has(issuer, Right::Manage) {
+            reject(ctx, RejectReason::NotAuthorized);
+            return;
+        }
+
+        // Apply locally and start dissemination.
+        self.stats.ops_originated += 1;
+        ctx.metric_incr("mgr.ops_originated");
+        self.lamport += 1;
+        let id = OpId { origin: ctx.id(), seq: self.lamport };
+        self.apply_op(&op, id);
+        self.applied.insert(id);
+        ctx.send(from, ProtoMsg::AdminReply { req, status: AdminStatus::Applied });
+
+        let update_quorum = state_policy_update_quorum(&self.apps, op.app(), self.deployment_size());
+        let mut pending = PendingUpdate {
+            op,
+            unacked: self.config.peers.iter().copied().collect(),
+            applied_count: 1,
+            stable: false,
+            issuer: Some((from, req)),
+            started: ctx.local_now(),
+        };
+        for peer in &self.config.peers {
+            ctx.metric_incr("mgr.updates_sent");
+            ctx.send(*peer, ProtoMsg::Update { id, op: pending.op });
+        }
+        if pending.applied_count >= update_quorum {
+            pending.stable = true;
+            self.stats.quorum_reached += 1;
+            ctx.metric_incr("mgr.quorum_reached");
+            ctx.metric_observe("mgr.time_to_quorum_s", 0.0);
+            if op.is_revoke() {
+                ctx.trace(format!("audit=revoke-stable app={} user={}", op.app().0, op.user().0));
+            }
+            ctx.send(from, ProtoMsg::AdminReply { req, status: AdminStatus::Stable });
+        }
+        if op.is_revoke() {
+            self.forward_revocation(ctx, op.app(), op.user());
+        }
+        if !pending.unacked.is_empty() {
+            self.pending.insert(id, pending);
+        }
+    }
+
+    /// Inter-manager messages are only honoured from configured peers:
+    /// §2.1 trusts managers but nobody else, so a forged `Update` from a
+    /// compromised host must not touch the ACL.
+    fn from_peer(&self, ctx: &mut Context<'_, ProtoMsg>, from: NodeId) -> bool {
+        if self.config.peers.contains(&from) {
+            true
+        } else {
+            ctx.metric_incr("mgr.msg_from_non_peer");
+            false
+        }
+    }
+
+    fn on_update(&mut self, ctx: &mut Context<'_, ProtoMsg>, from: NodeId, id: OpId, op: AclOp) {
+        if !self.from_peer(ctx, from) {
+            return;
+        }
+        self.note_peer(from, ctx.local_now());
+        if self.recovering {
+            // Do not apply or ack while our own state is stale; the
+            // origin's persistent retransmission will retry after sync.
+            ctx.metric_incr("mgr.update_deferred_recovering");
+            return;
+        }
+        if !self.applied.contains(&id) {
+            self.applied.insert(id);
+            self.apply_op(&op, id);
+            self.stats.peer_updates_applied += 1;
+            ctx.metric_incr("mgr.peer_updates_applied");
+            if op.is_revoke() {
+                self.forward_revocation(ctx, op.app(), op.user());
+            }
+        }
+        ctx.send(from, ProtoMsg::UpdateAck { id });
+    }
+
+    fn on_update_ack(&mut self, ctx: &mut Context<'_, ProtoMsg>, from: NodeId, id: OpId) {
+        if !self.from_peer(ctx, from) {
+            return;
+        }
+        self.note_peer(from, ctx.local_now());
+        let deployment = self.deployment_size();
+        let Some(pending) = self.pending.get_mut(&id) else { return };
+        if !pending.unacked.remove(&from) {
+            return; // duplicate ack
+        }
+        pending.applied_count += 1;
+        let update_quorum =
+            state_policy_update_quorum(&self.apps, pending.op.app(), deployment);
+        if !pending.stable && pending.applied_count >= update_quorum {
+            pending.stable = true;
+            self.stats.quorum_reached += 1;
+            ctx.metric_incr("mgr.quorum_reached");
+            let elapsed = ctx.local_now().since(pending.started);
+            ctx.metric_observe("mgr.time_to_quorum_s", elapsed.as_secs_f64());
+            if pending.op.is_revoke() {
+                ctx.trace(format!(
+                    "audit=revoke-stable app={} user={}",
+                    pending.op.app().0,
+                    pending.op.user().0
+                ));
+            }
+            if let Some((issuer, req)) = pending.issuer {
+                ctx.send(issuer, ProtoMsg::AdminReply { req, status: AdminStatus::Stable });
+            }
+        }
+        if pending.unacked.is_empty() {
+            self.pending.remove(&id);
+        }
+    }
+
+    fn on_query(
+        &mut self,
+        ctx: &mut Context<'_, ProtoMsg>,
+        from: NodeId,
+        app: AppId,
+        user: UserId,
+        req: ReqId,
+    ) {
+        self.stats.queries += 1;
+        ctx.metric_incr("mgr.queries");
+        if self.recovering {
+            // §3.4: do not answer until state has been retrieved.
+            self.stats.recovering_drops += 1;
+            ctx.metric_incr("mgr.recovering_drops");
+            return;
+        }
+        let Some(state) = self.apps.get(&app) else {
+            self.send_query_reply(ctx, from, req, app, user, QueryVerdict::Deny);
+            return;
+        };
+        if state.frozen {
+            // §3.3: "no responses are sent to application hosts until all
+            // managers are accessible again".
+            self.stats.frozen_drops += 1;
+            ctx.metric_incr("mgr.frozen_drops");
+            return;
+        }
+        if state.acl.has(user, Right::Use) {
+            let te = state.policy.expiry_budget();
+            let verdict = QueryVerdict::Grant { te };
+            self.stats.grants += 1;
+            ctx.metric_incr("mgr.grants");
+            // Remember which host caches this right, and until when the
+            // entry can matter. The manager measures the bound on its own
+            // clock; Te is an upper bound on the entry's real lifetime
+            // and manager clocks run no faster than real time, so
+            // `local_now + Te` is safe.
+            let deadline = ctx.local_now().plus(state.policy.revocation_bound());
+            self.grant_table.entry((app, user)).or_default().insert(from, deadline);
+            self.send_query_reply(ctx, from, req, app, user, verdict);
+        } else {
+            self.stats.denies += 1;
+            ctx.metric_incr("mgr.denies");
+            self.send_query_reply(ctx, from, req, app, user, QueryVerdict::Deny);
+        }
+    }
+
+    fn send_query_reply(
+        &self,
+        ctx: &mut Context<'_, ProtoMsg>,
+        host: NodeId,
+        req: ReqId,
+        app: AppId,
+        user: UserId,
+        verdict: QueryVerdict,
+    ) {
+        let mac = self
+            .channel
+            .as_ref()
+            .map(|k| k.tag_query_reply(ctx.id(), host, req, app, user, &verdict));
+        ctx.send(host, ProtoMsg::QueryReply { req, app, user, verdict, mac });
+    }
+
+    fn on_heartbeat_tick(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        for peer in &self.config.peers {
+            ctx.send(*peer, ProtoMsg::Heartbeat);
+        }
+        // Evaluate the freeze predicate per app.
+        let now = ctx.local_now();
+        for state in self.apps.values_mut() {
+            let Some(freeze) = state.policy.freeze() else { continue };
+            // Scale Ti by the rate bound: a clock running at rate >= b
+            // measuring b*Ti local units has waited at most Ti real time.
+            let ti_local = freeze.ti.mul_f64(state.policy.clock_rate_bound());
+            let was_frozen = state.frozen;
+            state.frozen = self.config.peers.iter().any(|p| {
+                match self.last_heard.get(p) {
+                    Some(&heard) => now.since(heard) > ti_local,
+                    None => true,
+                }
+            });
+            if state.frozen && !was_frozen {
+                ctx.metric_incr("mgr.freeze_transitions");
+            }
+        }
+        ctx.set_timer(self.heartbeat_period(), TAG_HEARTBEAT);
+    }
+
+    fn on_retry_tick(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        for (id, pending) in &self.pending {
+            for peer in &pending.unacked {
+                ctx.metric_incr("mgr.updates_resent");
+                ctx.send(*peer, ProtoMsg::Update { id: *id, op: pending.op });
+            }
+        }
+        // Revocation notices: resend until the cached right would have
+        // expired anyway (§3.4).
+        let now = ctx.local_now();
+        for pr in &mut self.pending_revokes {
+            pr.targets.retain(|_, deadline| now < *deadline);
+            for host in pr.targets.keys() {
+                ctx.metric_incr("mgr.revoke_notices_resent");
+                let mac = self
+                    .channel
+                    .as_ref()
+                    .map(|k| k.tag_revoke_notice(ctx.id(), *host, pr.app, pr.user));
+                ctx.send(*host, ProtoMsg::RevokeNotice { app: pr.app, user: pr.user, mac });
+            }
+        }
+        self.pending_revokes.retain(|pr| !pr.targets.is_empty());
+        ctx.set_timer(self.config.retry_interval, TAG_RETRY);
+    }
+
+    fn on_grant_sweep_tick(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        let now = ctx.local_now();
+        self.grant_table.retain(|_, hosts| {
+            hosts.retain(|_, deadline| now < *deadline);
+            !hosts.is_empty()
+        });
+        ctx.set_timer(self.config.grant_sweep_interval, TAG_GSWEEP);
+    }
+
+    fn send_sync_request(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        for peer in &self.config.peers {
+            ctx.send(*peer, ProtoMsg::SyncRequest);
+        }
+        ctx.set_timer(self.config.retry_interval, TAG_SYNC);
+    }
+
+    fn on_sync_request(&mut self, ctx: &mut Context<'_, ProtoMsg>, from: NodeId) {
+        if !self.from_peer(ctx, from) {
+            return;
+        }
+        self.note_peer(from, ctx.local_now());
+        if self.recovering {
+            return;
+        }
+        self.stats.syncs_served += 1;
+        ctx.metric_incr("mgr.syncs_served");
+        let acls = self
+            .apps
+            .iter()
+            .map(|(app, state)| {
+                let mut entries = Vec::new();
+                for (user, rights) in state.acl.iter() {
+                    if rights.has(Right::Use) {
+                        entries.push((user, Right::Use));
+                    }
+                    if rights.has(Right::Manage) {
+                        entries.push((user, Right::Manage));
+                    }
+                }
+                (*app, entries)
+            })
+            .collect();
+        let applied = self.applied.iter().copied().collect();
+        let lww = self
+            .lww
+            .iter()
+            .map(|(&(app, user, right), &id)| (app, user, right, id))
+            .collect();
+        ctx.send(from, ProtoMsg::SyncResponse { acls, applied, lww });
+    }
+
+    fn on_sync_response(
+        &mut self,
+        ctx: &mut Context<'_, ProtoMsg>,
+        from: NodeId,
+        acls: Vec<(AppId, Vec<(UserId, Right)>)>,
+        applied: Vec<OpId>,
+        lww: Vec<(AppId, UserId, Right, OpId)>,
+    ) {
+        if !self.from_peer(ctx, from) {
+            return;
+        }
+        self.note_peer(from, ctx.local_now());
+        if !self.recovering {
+            return;
+        }
+        for (app, entries) in acls {
+            if let Some(state) = self.apps.get_mut(&app) {
+                state.acl = entries.into_iter().collect();
+            }
+        }
+        self.applied.extend(applied);
+        for (app, user, right, id) in lww {
+            self.lamport = self.lamport.max(id.seq);
+            let slot = (app, user, right);
+            let newer = self.lww.get(&slot).map(|cur| id > *cur).unwrap_or(true);
+            if newer {
+                self.lww.insert(slot, id);
+            }
+        }
+        self.recovering = false;
+        ctx.metric_incr("mgr.recovered_via_sync");
+    }
+}
+
+/// The update quorum for `app` given the deployment size, falling back to
+/// a majority-free `1` when the app is unknown (cannot happen for ops
+/// that passed validation).
+fn state_policy_update_quorum(
+    apps: &BTreeMap<AppId, ManagedApp>,
+    app: AppId,
+    deployment: usize,
+) -> usize {
+    apps.get(&app).map(|s| s.policy.update_quorum(deployment)).unwrap_or(1)
+}
+
+impl Node for ManagerNode {
+    type Msg = ProtoMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        let now = ctx.local_now();
+        for peer in self.config.peers.clone() {
+            self.last_heard.insert(peer, now);
+        }
+        self.arm_periodic(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, ProtoMsg>, from: NodeId, msg: ProtoMsg) {
+        match msg {
+            ProtoMsg::Admin { op, req, issuer, signature } => {
+                self.on_admin(ctx, from, op, req, issuer, signature);
+            }
+            ProtoMsg::Update { id, op } => self.on_update(ctx, from, id, op),
+            ProtoMsg::UpdateAck { id } => self.on_update_ack(ctx, from, id),
+            ProtoMsg::Query { app, user, req } => self.on_query(ctx, from, app, user, req),
+            ProtoMsg::Heartbeat => {
+                if self.from_peer(ctx, from) {
+                    self.note_peer(from, ctx.local_now());
+                }
+            }
+            ProtoMsg::SyncRequest => self.on_sync_request(ctx, from),
+            ProtoMsg::SyncResponse { acls, applied, lww } => {
+                self.on_sync_response(ctx, from, acls, applied, lww);
+            }
+            _ => {
+                ctx.metric_incr("mgr.unexpected_msg");
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, ProtoMsg>, tag: u64) {
+        match tag {
+            TAG_HEARTBEAT => self.on_heartbeat_tick(ctx),
+            TAG_RETRY => self.on_retry_tick(ctx),
+            TAG_GSWEEP => self.on_grant_sweep_tick(ctx),
+            TAG_SYNC => {
+                if self.recovering {
+                    self.send_sync_request(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_crash(&mut self) {
+        // Crash model (§2.1): managers are crash-only. All volatile
+        // coordination state is lost; the ACL itself is treated as stale
+        // and replaced during recovery sync. The Lamport counter is
+        // modelled as persisted (stable storage), so post-crash
+        // operations never reuse an OpId.
+        self.pending.clear();
+        self.pending_revokes.clear();
+        self.grant_table.clear();
+        self.last_heard.clear();
+        self.applied.clear();
+        self.lww.clear();
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        let now = ctx.local_now();
+        for peer in self.config.peers.clone() {
+            self.last_heard.insert(peer, now);
+        }
+        self.arm_periodic(ctx);
+        if self.config.peers.is_empty() {
+            self.recovering = false;
+        } else {
+            self.recovering = true;
+            self.send_sync_request(ctx);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wanacl_sim::node::Effect;
+    use wanacl_sim::rng::SimRng;
+
+    struct Harness {
+        rng: SimRng,
+        next_timer: u64,
+        now: LocalTime,
+        id: NodeId,
+    }
+
+    impl Harness {
+        fn new(id: usize) -> Self {
+            Harness {
+                rng: SimRng::seed_from(1),
+                next_timer: 0,
+                now: LocalTime::ZERO,
+                id: NodeId::from_index(id),
+            }
+        }
+
+        fn deliver(
+            &mut self,
+            node: &mut ManagerNode,
+            from: usize,
+            msg: ProtoMsg,
+        ) -> Vec<Effect<ProtoMsg>> {
+            let mut effects = Vec::new();
+            {
+                let mut ctx = Context::new(
+                    self.id,
+                    self.now,
+                    &mut effects,
+                    &mut self.rng,
+                    &mut self.next_timer,
+                );
+                node.on_message(&mut ctx, NodeId::from_index(from), msg);
+            }
+            effects
+        }
+    }
+
+    fn manager_with_peers(id: usize, peers: &[usize]) -> (ManagerNode, Harness) {
+        let mut acl = Acl::new();
+        acl.add(UserId(1), Right::Use);
+        let node = ManagerNode::new(ManagerConfig {
+            peers: peers.iter().map(|&p| NodeId::from_index(p)).collect(),
+            apps: vec![ManagerApp {
+                app: AppId(0),
+                policy: Policy::builder(1).build(),
+                initial_acl: acl,
+            }],
+            ..ManagerConfig::default()
+        });
+        (node, Harness::new(id))
+    }
+
+    fn sends(effects: &[Effect<ProtoMsg>]) -> Vec<(NodeId, &ProtoMsg)> {
+        effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Send { to, msg } => Some((*to, msg)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn query_grants_known_user_and_records_host() {
+        let (mut mgr, mut h) = manager_with_peers(0, &[]);
+        let effects = h.deliver(
+            &mut mgr,
+            7,
+            ProtoMsg::Query { app: AppId(0), user: UserId(1), req: ReqId(3) },
+        );
+        let replies = sends(&effects);
+        assert!(matches!(
+            replies[0].1,
+            ProtoMsg::QueryReply { verdict: QueryVerdict::Grant { .. }, .. }
+        ));
+        assert_eq!(mgr.granted_hosts(AppId(0), UserId(1)), 1);
+        assert_eq!(mgr.stats().grants, 1);
+    }
+
+    #[test]
+    fn query_denies_unknown_user() {
+        let (mut mgr, mut h) = manager_with_peers(0, &[]);
+        let effects = h.deliver(
+            &mut mgr,
+            7,
+            ProtoMsg::Query { app: AppId(0), user: UserId(9), req: ReqId(3) },
+        );
+        assert!(matches!(
+            sends(&effects)[0].1,
+            ProtoMsg::QueryReply { verdict: QueryVerdict::Deny, .. }
+        ));
+        assert_eq!(mgr.granted_hosts(AppId(0), UserId(9)), 0);
+    }
+
+    #[test]
+    fn admin_op_disseminates_to_all_peers() {
+        let (mut mgr, mut h) = manager_with_peers(0, &[1, 2]);
+        let effects = h.deliver(
+            &mut mgr,
+            9,
+            ProtoMsg::Admin {
+                op: AclOp::Add { app: AppId(0), user: UserId(5), right: Right::Use },
+                req: ReqId(1),
+                issuer: UserId(0),
+                signature: None,
+            },
+        );
+        let updates: Vec<NodeId> = sends(&effects)
+            .into_iter()
+            .filter(|(_, m)| matches!(m, ProtoMsg::Update { .. }))
+            .map(|(to, _)| to)
+            .collect();
+        assert_eq!(updates, vec![NodeId::from_index(1), NodeId::from_index(2)]);
+        assert!(mgr.acl_has(AppId(0), UserId(5), Right::Use));
+        assert_eq!(mgr.pending_updates(), 1);
+        // C = 1 -> update quorum 3: not yet stable with only self.
+        assert_eq!(mgr.stats().quorum_reached, 0);
+    }
+
+    #[test]
+    fn acks_complete_the_quorum_and_clear_pending() {
+        let (mut mgr, mut h) = manager_with_peers(0, &[1, 2]);
+        let effects = h.deliver(
+            &mut mgr,
+            9,
+            ProtoMsg::Admin {
+                op: AclOp::Revoke { app: AppId(0), user: UserId(1), right: Right::Use },
+                req: ReqId(1),
+                issuer: UserId(0),
+                signature: None,
+            },
+        );
+        let id = sends(&effects)
+            .into_iter()
+            .find_map(|(_, m)| match m {
+                ProtoMsg::Update { id, .. } => Some(*id),
+                _ => None,
+            })
+            .expect("update sent");
+        let effects = h.deliver(&mut mgr, 1, ProtoMsg::UpdateAck { id });
+        // Quorum (3 of 3 for C=1... M=3, uq = M-C+1 = 3): needs both acks.
+        assert!(!sends(&effects)
+            .iter()
+            .any(|(_, m)| matches!(m, ProtoMsg::AdminReply { status: AdminStatus::Stable, .. })));
+        let effects = h.deliver(&mut mgr, 2, ProtoMsg::UpdateAck { id });
+        assert!(sends(&effects)
+            .iter()
+            .any(|(_, m)| matches!(m, ProtoMsg::AdminReply { status: AdminStatus::Stable, .. })));
+        assert_eq!(mgr.pending_updates(), 0);
+    }
+
+    #[test]
+    fn peer_update_applies_once_and_acks_every_time() {
+        let (mut mgr, mut h) = manager_with_peers(0, &[1]);
+        let id = OpId { origin: NodeId::from_index(1), seq: 5 };
+        let op = AclOp::Add { app: AppId(0), user: UserId(8), right: Right::Use };
+        let e1 = h.deliver(&mut mgr, 1, ProtoMsg::Update { id, op });
+        assert!(matches!(sends(&e1)[0].1, ProtoMsg::UpdateAck { .. }));
+        assert!(mgr.acl_has(AppId(0), UserId(8), Right::Use));
+        assert_eq!(mgr.stats().peer_updates_applied, 1);
+        // Duplicate delivery: still acked, not re-applied.
+        let e2 = h.deliver(&mut mgr, 1, ProtoMsg::Update { id, op });
+        assert!(matches!(sends(&e2)[0].1, ProtoMsg::UpdateAck { .. }));
+        assert_eq!(mgr.stats().peer_updates_applied, 1);
+    }
+
+    #[test]
+    fn lww_keeps_the_newest_write_regardless_of_arrival_order() {
+        let (mut mgr, mut h) = manager_with_peers(0, &[1, 2]);
+        let newer = OpId { origin: NodeId::from_index(2), seq: 9 };
+        let older = OpId { origin: NodeId::from_index(1), seq: 3 };
+        h.deliver(
+            &mut mgr,
+            2,
+            ProtoMsg::Update {
+                id: newer,
+                op: AclOp::Revoke { app: AppId(0), user: UserId(1), right: Right::Use },
+            },
+        );
+        assert!(!mgr.acl_has(AppId(0), UserId(1), Right::Use));
+        // The older concurrent Add arrives late: it must lose.
+        h.deliver(
+            &mut mgr,
+            1,
+            ProtoMsg::Update {
+                id: older,
+                op: AclOp::Add { app: AppId(0), user: UserId(1), right: Right::Use },
+            },
+        );
+        assert!(!mgr.acl_has(AppId(0), UserId(1), Right::Use), "older write must not win");
+    }
+
+    #[test]
+    fn non_peer_update_is_rejected() {
+        let (mut mgr, mut h) = manager_with_peers(0, &[1]);
+        let id = OpId { origin: NodeId::from_index(9), seq: 1 };
+        let effects = h.deliver(
+            &mut mgr,
+            9, // not a peer
+            ProtoMsg::Update {
+                id,
+                op: AclOp::Revoke { app: AppId(0), user: UserId(1), right: Right::Use },
+            },
+        );
+        assert!(sends(&effects).is_empty(), "no ack for a non-peer");
+        assert!(mgr.acl_has(AppId(0), UserId(1), Right::Use), "ACL untouched");
+    }
+
+    #[test]
+    fn recovering_manager_defers_updates_and_queries() {
+        let (mut mgr, mut h) = manager_with_peers(0, &[1]);
+        mgr.on_crash();
+        // Simulate the world's recovery callback.
+        let mut effects = Vec::new();
+        {
+            let mut ctx =
+                Context::new(h.id, h.now, &mut effects, &mut h.rng, &mut h.next_timer);
+            mgr.on_recover(&mut ctx);
+        }
+        assert!(mgr.is_recovering());
+        // Queries are silently dropped.
+        let effects =
+            h.deliver(&mut mgr, 7, ProtoMsg::Query { app: AppId(0), user: UserId(1), req: ReqId(1) });
+        assert!(sends(&effects).is_empty());
+        // A sync response restores service.
+        let effects = h.deliver(
+            &mut mgr,
+            1,
+            ProtoMsg::SyncResponse {
+                acls: vec![(AppId(0), vec![(UserId(1), Right::Use)])],
+                applied: vec![],
+                lww: vec![],
+            },
+        );
+        let _ = effects;
+        assert!(!mgr.is_recovering());
+        let effects =
+            h.deliver(&mut mgr, 7, ProtoMsg::Query { app: AppId(0), user: UserId(1), req: ReqId(2) });
+        assert!(matches!(
+            sends(&effects)[0].1,
+            ProtoMsg::QueryReply { verdict: QueryVerdict::Grant { .. }, .. }
+        ));
+    }
+
+    #[test]
+    fn sync_request_is_served_with_full_state() {
+        let (mut mgr, mut h) = manager_with_peers(0, &[1]);
+        let effects = h.deliver(&mut mgr, 1, ProtoMsg::SyncRequest);
+        let reply = sends(&effects);
+        match reply[0].1 {
+            ProtoMsg::SyncResponse { acls, .. } => {
+                assert_eq!(acls.len(), 1);
+                assert_eq!(acls[0].1, vec![(UserId(1), Right::Use)]);
+            }
+            other => panic!("expected sync response, got {other:?}"),
+        }
+        assert_eq!(mgr.stats().syncs_served, 1);
+    }
+}

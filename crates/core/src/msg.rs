@@ -1,0 +1,442 @@
+//! The protocol wire format: every message exchanged between users,
+//! hosts, managers, admins, and the name service.
+
+use wanacl_auth::rsa::Signature;
+use wanacl_auth::signed::AuthEncode;
+use wanacl_sim::node::NodeId;
+use wanacl_sim::time::SimDuration;
+
+use crate::types::{AppId, Right, UserId};
+
+/// A request identifier, unique per issuing node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReqId(pub u64);
+
+impl std::fmt::Display for ReqId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Globally unique id of an ACL update operation: a Lamport timestamp
+/// plus the originating manager as tie-breaker.
+///
+/// Managers apply operations to each `(app, user, right)` slot in
+/// `(seq, origin)` order (last-writer-wins), so concurrent conflicting
+/// operations issued at different managers resolve identically
+/// everywhere — a detail the paper leaves implicit in its "method exists
+/// for instantaneously updating the access control information"
+/// assumption (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OpId {
+    /// The manager the operation was issued at.
+    pub origin: NodeId,
+    /// The originating manager's Lamport timestamp.
+    pub seq: u64,
+}
+
+impl Ord for OpId {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Lamport order: timestamp first, origin breaks ties.
+        (self.seq, self.origin).cmp(&(other.seq, other.origin))
+    }
+}
+
+impl PartialOrd for OpId {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl std::fmt::Display for OpId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "op({},{})", self.origin, self.seq)
+    }
+}
+
+/// An access-control update (§2.3's `Add` and `Revoke`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AclOp {
+    /// `Add(A, U, R)`: grant right `R` on application `A` to user `U`.
+    Add {
+        /// The application.
+        app: AppId,
+        /// The user gaining the right.
+        user: UserId,
+        /// The right granted.
+        right: Right,
+    },
+    /// `Revoke(A, U, R)`: remove right `R` on `A` from `U`.
+    Revoke {
+        /// The application.
+        app: AppId,
+        /// The user losing the right.
+        user: UserId,
+        /// The right revoked.
+        right: Right,
+    },
+}
+
+impl AclOp {
+    /// The application the operation targets.
+    pub fn app(&self) -> AppId {
+        match *self {
+            AclOp::Add { app, .. } | AclOp::Revoke { app, .. } => app,
+        }
+    }
+
+    /// The user the operation targets.
+    pub fn user(&self) -> UserId {
+        match *self {
+            AclOp::Add { user, .. } | AclOp::Revoke { user, .. } => user,
+        }
+    }
+
+    /// The right the operation targets.
+    pub fn right(&self) -> Right {
+        match *self {
+            AclOp::Add { right, .. } | AclOp::Revoke { right, .. } => right,
+        }
+    }
+
+    /// Whether this is a revocation.
+    pub fn is_revoke(&self) -> bool {
+        matches!(self, AclOp::Revoke { .. })
+    }
+}
+
+impl std::fmt::Display for AclOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AclOp::Add { app, user, right } => write!(f, "Add({app},{user},{right})"),
+            AclOp::Revoke { app, user, right } => write!(f, "Revoke({app},{user},{right})"),
+        }
+    }
+}
+
+impl AuthEncode for AclOp {
+    fn auth_encode(&self, out: &mut Vec<u8>) {
+        match self {
+            AclOp::Add { app, user, right } => {
+                out.push(0);
+                app.auth_encode(out);
+                user.auth_encode(out);
+                right.auth_encode(out);
+            }
+            AclOp::Revoke { app, user, right } => {
+                out.push(1);
+                app.auth_encode(out);
+                user.auth_encode(out);
+                right.auth_encode(out);
+            }
+        }
+    }
+}
+
+/// A manager's answer to an access-check query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryVerdict {
+    /// The user holds the right; the cached entry may live for `te` units
+    /// of the *host's* local clock (already scaled by the rate bound `b`).
+    Grant {
+        /// The expiration budget `te`.
+        te: SimDuration,
+    },
+    /// The user does not hold the right.
+    Deny,
+}
+
+/// The outcome a host reports to the invoking user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvokeOutcome {
+    /// Access allowed; carries the wrapped application's response.
+    Allowed {
+        /// The application-level response body.
+        response: String,
+    },
+    /// A manager definitively denied the right.
+    Denied,
+    /// No check quorum could be reached within `R` attempts and the
+    /// policy fails closed.
+    Unavailable,
+    /// The request's signature did not verify.
+    BadSignature,
+}
+
+/// Outcome of an admin operation, reported by the receiving manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdminStatus {
+    /// Applied at the receiving manager; dissemination in progress.
+    Applied,
+    /// An update quorum (`M − C + 1` managers) has applied the operation:
+    /// the `Te` revocation clock is now guaranteed (§3.3).
+    Stable,
+    /// The manager refused the operation.
+    Rejected {
+        /// Why.
+        reason: RejectReason,
+    },
+}
+
+/// Why a manager refused an admin operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The issuer does not hold the `manage` right for the application.
+    NotAuthorized,
+    /// The operation's signature did not verify.
+    BadSignature,
+    /// The manager is recovering and has not yet synchronized state.
+    Recovering,
+    /// The manager does not serve this application.
+    UnknownApp,
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::NotAuthorized => write!(f, "issuer lacks manage right"),
+            RejectReason::BadSignature => write!(f, "bad signature"),
+            RejectReason::Recovering => write!(f, "manager recovering"),
+            RejectReason::UnknownApp => write!(f, "unknown application"),
+        }
+    }
+}
+
+/// Every message of the protocol.
+///
+/// One enum (rather than per-channel types) because the simulated network
+/// carries a single message type per world; the variants document which
+/// role sends them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtoMsg {
+    // ---- user -> host ----
+    /// `Invoke(A)` (§2.3): a user asks a host to run the application.
+    Invoke {
+        /// Target application.
+        app: AppId,
+        /// The invoking user.
+        user: UserId,
+        /// The user's request id (echoed in the reply).
+        req: ReqId,
+        /// Application-level request body.
+        payload: String,
+        /// RSA signature over the invoke (absent when the deployment
+        /// runs without message authentication).
+        signature: Option<Signature>,
+    },
+    // ---- host -> user ----
+    /// The host's answer to an `Invoke`.
+    InvokeReply {
+        /// Echo of the request id.
+        req: ReqId,
+        /// What happened.
+        outcome: InvokeOutcome,
+    },
+    // ---- host -> manager ----
+    /// An access-check query (Figure 2/3's "send query to a manager").
+    Query {
+        /// Target application.
+        app: AppId,
+        /// The user whose right is checked.
+        user: UserId,
+        /// The host's query id (scoped to one attempt).
+        req: ReqId,
+    },
+    // ---- manager -> host ----
+    /// The manager's answer to a `Query`.
+    QueryReply {
+        /// Echo of the query id.
+        req: ReqId,
+        /// Target application.
+        app: AppId,
+        /// The user checked.
+        user: UserId,
+        /// Grant (with `te`) or deny.
+        verdict: QueryVerdict,
+        /// HMAC channel tag (present when the deployment authenticates
+        /// the host↔manager channel; see [`crate::channel`]).
+        mac: Option<wanacl_auth::hmac::Tag>,
+    },
+    /// Explicit revocation forwarded to a caching host (§3.1: "the
+    /// manager forwards it to all hosts to which it has granted access").
+    RevokeNotice {
+        /// Target application.
+        app: AppId,
+        /// The user whose cached right must be flushed.
+        user: UserId,
+        /// HMAC channel tag, as for `QueryReply`.
+        mac: Option<wanacl_auth::hmac::Tag>,
+    },
+    // ---- admin -> manager ----
+    /// An `Add`/`Revoke` issued by a manager-principal (§2.3).
+    Admin {
+        /// The operation.
+        op: AclOp,
+        /// The issuer's request id (echoed in replies).
+        req: ReqId,
+        /// Who issues it (must hold `manage` on the app).
+        issuer: UserId,
+        /// RSA signature over `(issuer, op)`, if authentication is on.
+        signature: Option<Signature>,
+    },
+    // ---- manager -> admin ----
+    /// Progress reports for an admin operation (`Applied`, then `Stable`
+    /// once the update quorum is reached).
+    AdminReply {
+        /// Echo of the request id.
+        req: ReqId,
+        /// Progress.
+        status: AdminStatus,
+    },
+    // ---- manager <-> manager ----
+    /// Dissemination of an operation to peer managers (persistent: the
+    /// origin retransmits until every peer acknowledges).
+    Update {
+        /// Operation id.
+        id: OpId,
+        /// The operation.
+        op: AclOp,
+    },
+    /// Acknowledgement of an `Update`.
+    UpdateAck {
+        /// The acknowledged operation.
+        id: OpId,
+    },
+    /// Liveness beacon between managers (drives the §3.3 freeze strategy
+    /// and recovery detection).
+    Heartbeat,
+    /// A recovering manager asks a peer for current state (§3.4).
+    SyncRequest,
+    /// Full state transfer answering a `SyncRequest`.
+    SyncResponse {
+        /// `(app, entries)` snapshot of every ACL the sender manages.
+        acls: Vec<(AppId, Vec<(UserId, Right)>)>,
+        /// Operation ids the sender has applied.
+        applied: Vec<OpId>,
+        /// Per-slot last-writer marks, so the recovering manager orders
+        /// later concurrent operations consistently.
+        lww: Vec<(AppId, UserId, Right, OpId)>,
+    },
+    // ---- host <-> name service ----
+    /// Who manages `app`? (§3.2's trusted name service.)
+    NsQuery {
+        /// The application looked up.
+        app: AppId,
+    },
+    /// Name-service answer with a time-to-live after which the host must
+    /// re-query (the paper's "scheme similar to the time-based expiration
+    /// of cached information").
+    NsReply {
+        /// The application looked up.
+        app: AppId,
+        /// Current manager set.
+        managers: Vec<NodeId>,
+        /// How long the host may rely on it (host local clock).
+        ttl: SimDuration,
+    },
+}
+
+/// Canonical bytes signed for an admin operation.
+pub fn admin_signing_bytes(issuer: UserId, op: &AclOp) -> Vec<u8> {
+    let mut out = Vec::new();
+    issuer.auth_encode(&mut out);
+    op.auth_encode(&mut out);
+    out
+}
+
+/// Canonical bytes signed for an invoke request.
+pub fn invoke_signing_bytes(user: UserId, app: AppId, req: ReqId, payload: &str) -> Vec<u8> {
+    let mut out = Vec::new();
+    user.auth_encode(&mut out);
+    app.auth_encode(&mut out);
+    req.0.auth_encode(&mut out);
+    payload.auth_encode(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn add() -> AclOp {
+        AclOp::Add { app: AppId(1), user: UserId(2), right: Right::Use }
+    }
+
+    fn revoke() -> AclOp {
+        AclOp::Revoke { app: AppId(1), user: UserId(2), right: Right::Use }
+    }
+
+    #[test]
+    fn op_accessors() {
+        assert_eq!(add().app(), AppId(1));
+        assert_eq!(add().user(), UserId(2));
+        assert_eq!(add().right(), Right::Use);
+        assert!(!add().is_revoke());
+        assert!(revoke().is_revoke());
+    }
+
+    #[test]
+    fn op_display() {
+        assert_eq!(add().to_string(), "Add(app1,u2,use)");
+        assert_eq!(revoke().to_string(), "Revoke(app1,u2,use)");
+    }
+
+    #[test]
+    fn add_and_revoke_encode_differently() {
+        assert_ne!(add().auth_bytes(), revoke().auth_bytes());
+    }
+
+    #[test]
+    fn signing_bytes_bind_all_fields() {
+        let base = admin_signing_bytes(UserId(1), &add());
+        assert_ne!(base, admin_signing_bytes(UserId(2), &add()));
+        assert_ne!(base, admin_signing_bytes(UserId(1), &revoke()));
+
+        let inv = invoke_signing_bytes(UserId(1), AppId(1), ReqId(1), "x");
+        assert_ne!(inv, invoke_signing_bytes(UserId(2), AppId(1), ReqId(1), "x"));
+        assert_ne!(inv, invoke_signing_bytes(UserId(1), AppId(2), ReqId(1), "x"));
+        assert_ne!(inv, invoke_signing_bytes(UserId(1), AppId(1), ReqId(2), "x"));
+        assert_ne!(inv, invoke_signing_bytes(UserId(1), AppId(1), ReqId(1), "y"));
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(ReqId(5).to_string(), "r5");
+        let op = OpId { origin: NodeId::from_index(2), seq: 9 };
+        assert_eq!(op.to_string(), "op(n2,9)");
+    }
+
+    #[test]
+    fn op_ids_order_by_lamport_then_origin() {
+        let a = OpId { origin: NodeId::from_index(5), seq: 1 };
+        let b = OpId { origin: NodeId::from_index(0), seq: 2 };
+        let c = OpId { origin: NodeId::from_index(1), seq: 2 };
+        assert!(a < b, "lower timestamp loses");
+        assert!(b < c, "origin breaks timestamp ties");
+    }
+
+    #[test]
+    fn verdicts_and_outcomes_compare() {
+        assert_eq!(
+            QueryVerdict::Grant { te: SimDuration::from_secs(1) },
+            QueryVerdict::Grant { te: SimDuration::from_secs(1) }
+        );
+        assert_ne!(QueryVerdict::Deny, QueryVerdict::Grant { te: SimDuration::ZERO });
+        assert_ne!(
+            InvokeOutcome::Denied,
+            InvokeOutcome::Allowed { response: String::new() }
+        );
+    }
+
+    #[test]
+    fn reject_reasons_display() {
+        for r in [
+            RejectReason::NotAuthorized,
+            RejectReason::BadSignature,
+            RejectReason::Recovering,
+            RejectReason::UnknownApp,
+        ] {
+            assert!(!r.to_string().is_empty());
+        }
+    }
+}

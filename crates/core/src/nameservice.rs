@@ -1,0 +1,99 @@
+//! The trusted name service of §3.2.
+//!
+//! "This assumption [a fixed, known manager set] can easily be eliminated
+//! by using a trusted name service that provides each host with the set
+//! of managers when requested. If the set of managers changes, a scheme
+//! similar to the time-based expiration of cached information can be used
+//! to trigger a new query to the name service."
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use wanacl_sim::node::{Context, Node, NodeId};
+use wanacl_sim::time::SimDuration;
+
+use crate::msg::ProtoMsg;
+use crate::types::AppId;
+
+/// A trusted directory mapping applications to their manager sets.
+#[derive(Debug, Default)]
+pub struct NameServiceNode {
+    entries: BTreeMap<AppId, Vec<NodeId>>,
+    ttl: SimDuration,
+    lookups: u64,
+}
+
+impl NameServiceNode {
+    /// Creates a name service whose answers carry the given TTL.
+    pub fn new(ttl: SimDuration) -> Self {
+        NameServiceNode { entries: BTreeMap::new(), ttl, lookups: 0 }
+    }
+
+    /// Registers (or replaces) the manager set for an application.
+    pub fn register(&mut self, app: AppId, managers: Vec<NodeId>) {
+        self.entries.insert(app, managers);
+    }
+
+    /// The current manager set for an application.
+    pub fn managers(&self, app: AppId) -> &[NodeId] {
+        self.entries.get(&app).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// How many lookups have been served.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+}
+
+impl Node for NameServiceNode {
+    type Msg = ProtoMsg;
+
+    fn on_message(&mut self, ctx: &mut Context<'_, ProtoMsg>, from: NodeId, msg: ProtoMsg) {
+        match msg {
+            ProtoMsg::NsQuery { app } => {
+                self.lookups += 1;
+                ctx.metric_incr("ns.lookups");
+                let managers = self.entries.get(&app).cloned().unwrap_or_default();
+                ctx.send(from, ProtoMsg::NsReply { app, managers, ttl: self.ttl });
+            }
+            // Environment injection: replace a manager set at runtime by
+            // sending the service an NsReply (harness-only path).
+            ProtoMsg::NsReply { app, managers, .. } if from == NodeId::ENV => {
+                self.register(app, managers);
+            }
+            _ => {
+                ctx.metric_incr("ns.unexpected_msg");
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut ns = NameServiceNode::new(SimDuration::from_secs(60));
+        let managers = vec![NodeId::from_index(1), NodeId::from_index(2)];
+        ns.register(AppId(1), managers.clone());
+        assert_eq!(ns.managers(AppId(1)), managers.as_slice());
+        assert_eq!(ns.managers(AppId(2)), &[]);
+    }
+
+    #[test]
+    fn replace_manager_set() {
+        let mut ns = NameServiceNode::new(SimDuration::from_secs(60));
+        ns.register(AppId(1), vec![NodeId::from_index(1)]);
+        ns.register(AppId(1), vec![NodeId::from_index(9)]);
+        assert_eq!(ns.managers(AppId(1)), &[NodeId::from_index(9)]);
+    }
+}

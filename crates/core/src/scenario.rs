@@ -1,0 +1,452 @@
+//! One-stop deployment assembly for experiments, examples, and tests.
+//!
+//! A [`Scenario`] describes a complete §2.2 system — managers, application
+//! hosts, users, an admin, optionally a name service — and builds it into
+//! a ready-to-run [`Deployment`] over a simulated WAN.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use wanacl_auth::rsa::SecretKey;
+use wanacl_auth::signed::KeyRegistry;
+use wanacl_sim::clock::ClockSpec;
+use wanacl_sim::net::NetModel;
+use wanacl_sim::node::NodeId;
+use wanacl_sim::time::{SimDuration, SimTime};
+use wanacl_sim::world::World;
+
+use crate::client::{AdminAction, AdminAgent, AdminAgentConfig, UserAgent, UserAgentConfig};
+use crate::host::{AppHost, HostNode, ManagerDirectory};
+use crate::manager::{ManagerApp, ManagerConfig, ManagerNode};
+use crate::msg::{AclOp, ProtoMsg, ReqId};
+use crate::nameservice::NameServiceNode;
+use crate::policy::Policy;
+use crate::types::{Acl, AppId, Right, UserId};
+use crate::wrapper::{Application, CountingApp};
+
+/// Builder describing a full deployment. Start from [`Scenario::builder`].
+pub struct Scenario {
+    seed: u64,
+    app: AppId,
+    policy: Policy,
+    managers: usize,
+    hosts: usize,
+    users: usize,
+    initial_rights: Vec<(UserId, Right)>,
+    authenticate: bool,
+    use_name_service: bool,
+    ns_ttl: SimDuration,
+    net: Option<Box<dyn NetModel>>,
+    manager_clock: ClockSpec,
+    host_clock: ClockSpec,
+    workload: Option<crate::client::WorkloadShape>,
+    request_timeout: SimDuration,
+    admin_script: Vec<AdminAction>,
+    serial_admin: bool,
+    app_factory: Box<dyn Fn(usize) -> Box<dyn Application>>,
+    manager_config: ManagerConfig,
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("managers", &self.managers)
+            .field("hosts", &self.hosts)
+            .field("users", &self.users)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Scenario {
+    /// Starts a scenario with the given seed. Defaults: one manager, one
+    /// host, one user (id 1, granted `use`), no authentication, perfect
+    /// clocks, 50 ms perfect network, counting application.
+    pub fn builder(seed: u64) -> Scenario {
+        Scenario {
+            seed,
+            app: AppId(0),
+            policy: Policy::default(),
+            managers: 1,
+            hosts: 1,
+            users: 1,
+            initial_rights: Vec::new(),
+            authenticate: false,
+            use_name_service: false,
+            ns_ttl: SimDuration::from_secs(300),
+            net: None,
+            manager_clock: ClockSpec::Perfect,
+            host_clock: ClockSpec::Perfect,
+            workload: None,
+            request_timeout: SimDuration::from_secs(10),
+            admin_script: Vec::new(),
+            serial_admin: false,
+            app_factory: Box::new(|_| Box::new(CountingApp::new())),
+            manager_config: ManagerConfig::default(),
+        }
+    }
+
+    /// Sets the number of managers `M`.
+    pub fn managers(mut self, m: usize) -> Self {
+        assert!(m >= 1, "need at least one manager");
+        self.managers = m;
+        self
+    }
+
+    /// Sets the number of application hosts.
+    pub fn hosts(mut self, n: usize) -> Self {
+        assert!(n >= 1, "need at least one host");
+        self.hosts = n;
+        self
+    }
+
+    /// Sets the number of users. Users get ids `1..=n`.
+    pub fn users(mut self, n: usize) -> Self {
+        self.users = n;
+        self
+    }
+
+    /// Sets the per-application policy.
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Grants initial rights in the bootstrap ACL (beyond the admin's
+    /// `manage` right, which is always present).
+    pub fn initial_rights(mut self, rights: Vec<(UserId, Right)>) -> Self {
+        self.initial_rights = rights;
+        self
+    }
+
+    /// Grants every user the `use` right at bootstrap.
+    pub fn all_users_granted(mut self) -> Self {
+        for i in 1..=self.users {
+            self.initial_rights.push((UserId(i as u64), Right::Use));
+        }
+        self
+    }
+
+    /// Turns on RSA message authentication for invokes and admin ops.
+    pub fn authenticate(mut self) -> Self {
+        self.authenticate = true;
+        self
+    }
+
+    /// Discovers managers through a name service instead of static
+    /// configuration.
+    pub fn with_name_service(mut self, ttl: SimDuration) -> Self {
+        self.use_name_service = true;
+        self.ns_ttl = ttl;
+        self
+    }
+
+    /// Installs a network model (default: perfect 50 ms links).
+    pub fn net(mut self, net: Box<dyn NetModel>) -> Self {
+        self.net = Some(net);
+        self
+    }
+
+    /// Clock spec for manager nodes.
+    pub fn manager_clock(mut self, spec: ClockSpec) -> Self {
+        self.manager_clock = spec;
+        self
+    }
+
+    /// Clock spec for host nodes.
+    pub fn host_clock(mut self, spec: ClockSpec) -> Self {
+        self.host_clock = spec;
+        self
+    }
+
+    /// Enables the automatic Poisson workload on every user agent.
+    pub fn workload(mut self, mean_interarrival: SimDuration) -> Self {
+        self.workload = Some(crate::client::WorkloadShape::Poisson { mean: mean_interarrival });
+        self
+    }
+
+    /// Installs an arbitrary workload shape on every user agent.
+    pub fn workload_shape(mut self, shape: crate::client::WorkloadShape) -> Self {
+        self.workload = Some(shape);
+        self
+    }
+
+    /// Sets the user-side request timeout.
+    pub fn request_timeout(mut self, t: SimDuration) -> Self {
+        self.request_timeout = t;
+        self
+    }
+
+    /// Scripts admin operations.
+    pub fn admin_script(mut self, script: Vec<AdminAction>) -> Self {
+        self.admin_script = script;
+        self
+    }
+
+    /// Gives the admin §2.3 blocking semantics: operations issue one at
+    /// a time, each waiting for the previous `Stable`.
+    pub fn serial_admin(mut self) -> Self {
+        self.serial_admin = true;
+        self
+    }
+
+    /// Sets the application each host wraps (called once per host index).
+    pub fn application<F>(mut self, factory: F) -> Self
+    where
+        F: Fn(usize) -> Box<dyn Application> + 'static,
+    {
+        self.app_factory = Box::new(factory);
+        self
+    }
+
+    /// Overrides manager timing configuration (retry/heartbeat/sweep).
+    pub fn manager_tuning(mut self, config: ManagerConfig) -> Self {
+        self.manager_config = config;
+        self
+    }
+
+    /// Builds the deployment.
+    pub fn build(self) -> Deployment {
+        let mut world: World<ProtoMsg> = World::new(self.seed);
+        if let Some(net) = self.net {
+            world.set_net(net);
+        }
+
+        // Deterministic key material.
+        let mut keyrng = StdRng::seed_from_u64(self.seed ^ 0xa11c_e5);
+        let admin_user = UserId(1_000_000);
+        let mut registry = KeyRegistry::new();
+        let mut user_secrets: Vec<Option<SecretKey>> = Vec::new();
+        let mut admin_secret = None;
+        if self.authenticate {
+            for i in 1..=self.users {
+                let kp = registry.enroll(UserId(i as u64).into(), &mut keyrng);
+                user_secrets.push(Some(kp.secret));
+            }
+            let kp = registry.enroll(admin_user.into(), &mut keyrng);
+            admin_secret = Some(kp.secret);
+        } else {
+            user_secrets.resize(self.users, None);
+        }
+        let registry = Arc::new(registry);
+        let registry_opt = if self.authenticate { Some(registry.clone()) } else { None };
+        // Authenticated deployments also authenticate the host<->manager
+        // channel with pairwise HMAC keys.
+        let channel = if self.authenticate {
+            Some(Arc::new(crate::channel::ChannelKeys::from_seed(self.seed ^ 0xc4a7)))
+        } else {
+            None
+        };
+
+        // Bootstrap ACL: admin manages, plus configured rights.
+        let mut initial_acl = Acl::new();
+        initial_acl.add(admin_user, Right::Manage);
+        for (user, right) in &self.initial_rights {
+            initial_acl.add(*user, *right);
+        }
+
+        // Managers occupy ids 0..M (added first, so ids are known up
+        // front for peer lists).
+        let manager_ids: Vec<NodeId> = (0..self.managers).map(NodeId::from_index).collect();
+        for (i, &id) in manager_ids.iter().enumerate() {
+            let peers: Vec<NodeId> =
+                manager_ids.iter().copied().filter(|p| *p != id).collect();
+            let config = ManagerConfig {
+                peers,
+                apps: vec![ManagerApp {
+                    app: self.app,
+                    policy: self.policy.clone(),
+                    initial_acl: initial_acl.clone(),
+                }],
+                registry: registry_opt.clone(),
+                enforce_manage_right: self.authenticate,
+                ..self.manager_config.clone()
+            };
+            let mut node = ManagerNode::new(config);
+            if let Some(keys) = &channel {
+                node.set_channel_keys(keys.clone());
+            }
+            let got = world.add_node(format!("manager{i}"), Box::new(node), self.manager_clock);
+            assert_eq!(got, id, "manager ids must be dense from zero");
+        }
+
+        // Optional name service.
+        let name_service = if self.use_name_service {
+            let mut ns = NameServiceNode::new(self.ns_ttl);
+            ns.register(self.app, manager_ids.clone());
+            Some(world.add_node("nameservice", Box::new(ns), ClockSpec::Perfect))
+        } else {
+            None
+        };
+
+        // Hosts.
+        let mut host_ids = Vec::with_capacity(self.hosts);
+        for i in 0..self.hosts {
+            let directory = match name_service {
+                Some(ns) => ManagerDirectory::NameService { ns },
+                None => ManagerDirectory::Static(manager_ids.clone()),
+            };
+            let mut host = HostNode::new(
+                vec![AppHost {
+                    app: self.app,
+                    policy: self.policy.clone(),
+                    directory,
+                    application: (self.app_factory)(i),
+                }],
+                registry_opt.clone(),
+            );
+            if let Some(keys) = &channel {
+                host.set_channel_keys(keys.clone());
+            }
+            host_ids.push(world.add_node(format!("host{i}"), Box::new(host), self.host_clock));
+        }
+
+        // Users.
+        let mut users = Vec::with_capacity(self.users);
+        for i in 1..=self.users {
+            let user = UserId(i as u64);
+            let agent = UserAgent::new(UserAgentConfig {
+                user,
+                app: self.app,
+                hosts: host_ids.clone(),
+                workload: self.workload,
+                payload: format!("request-from-{user}"),
+                secret: user_secrets[i - 1],
+                request_timeout: self.request_timeout,
+                max_requests: None,
+            });
+            let id = world.add_node(format!("user{i}"), Box::new(agent), ClockSpec::Perfect);
+            users.push((user, id));
+        }
+
+        // Admin.
+        let admin = world.add_node(
+            "admin",
+            Box::new(AdminAgent::new(AdminAgentConfig {
+                issuer: admin_user,
+                secret: admin_secret,
+                manager: manager_ids[0],
+                script: self.admin_script,
+                resend_interval: SimDuration::from_millis(500),
+                serial: self.serial_admin,
+            })),
+            ClockSpec::Perfect,
+        );
+
+        Deployment {
+            world,
+            app: self.app,
+            managers: manager_ids,
+            hosts: host_ids,
+            users,
+            admin,
+            admin_user,
+        }
+    }
+}
+
+/// A built deployment, ready to run.
+#[derive(Debug)]
+pub struct Deployment {
+    /// The simulated world (run it with `run_until`/`run_for`).
+    pub world: World<ProtoMsg>,
+    /// The application under access control.
+    pub app: AppId,
+    /// Manager node ids.
+    pub managers: Vec<NodeId>,
+    /// Host node ids.
+    pub hosts: Vec<NodeId>,
+    /// `(user, agent node)` pairs.
+    pub users: Vec<(UserId, NodeId)>,
+    /// The admin agent's node id.
+    pub admin: NodeId,
+    /// The admin principal (holds `manage` at bootstrap).
+    pub admin_user: UserId,
+}
+
+impl Deployment {
+    /// Injects an admin `Add(app, user, right)` now (routed through the
+    /// admin agent, so it is signed and retried like any real op).
+    pub fn grant(&mut self, user: UserId, right: Right) {
+        let op = AclOp::Add { app: self.app, user, right };
+        self.inject_admin(op);
+    }
+
+    /// Injects an admin `Revoke(app, user, right)` now.
+    pub fn revoke(&mut self, user: UserId, right: Right) {
+        let op = AclOp::Revoke { app: self.app, user, right };
+        self.inject_admin(op);
+    }
+
+    fn inject_admin(&mut self, op: AclOp) {
+        let now = self.world.now();
+        self.world.inject(
+            now,
+            self.admin,
+            ProtoMsg::Admin { op, req: ReqId(0), issuer: self.admin_user, signature: None },
+        );
+    }
+
+    /// Makes user `i` (0-based index) issue one request now.
+    pub fn invoke_from(&mut self, user_index: usize) {
+        let (user, node) = self.users[user_index];
+        let now = self.world.now();
+        self.world.inject(
+            now,
+            node,
+            ProtoMsg::Invoke {
+                app: self.app,
+                user,
+                req: ReqId(0),
+                payload: String::from("triggered"),
+                signature: None,
+            },
+        );
+    }
+
+    /// The user agent for index `i`.
+    pub fn user_agent(&self, i: usize) -> &UserAgent {
+        self.world.node_as::<UserAgent>(self.users[i].1)
+    }
+
+    /// The host node for index `i`.
+    pub fn host(&self, i: usize) -> &HostNode {
+        self.world.node_as::<HostNode>(self.hosts[i])
+    }
+
+    /// The manager node for index `i`.
+    pub fn manager(&self, i: usize) -> &ManagerNode {
+        self.world.node_as::<ManagerNode>(self.managers[i])
+    }
+
+    /// The admin agent.
+    pub fn admin_agent(&self) -> &AdminAgent {
+        self.world.node_as::<AdminAgent>(self.admin)
+    }
+
+    /// Sums allowed/denied/unavailable across all user agents.
+    pub fn aggregate_user_stats(&self) -> crate::client::UserStats {
+        let mut total = crate::client::UserStats::default();
+        for i in 0..self.users.len() {
+            let s = self.user_agent(i).stats();
+            total.sent += s.sent;
+            total.allowed += s.allowed;
+            total.denied += s.denied;
+            total.unavailable += s.unavailable;
+            total.bad_signature += s.bad_signature;
+            total.timeouts += s.timeouts;
+        }
+        total
+    }
+
+    /// Convenience: run the world for a span.
+    pub fn run_for(&mut self, span: SimDuration) {
+        self.world.run_for(span);
+    }
+
+    /// Convenience: run the world until an absolute time.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.world.run_until(deadline);
+    }
+}

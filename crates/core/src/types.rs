@@ -1,0 +1,297 @@
+//! Domain types: applications, users, rights, and the authoritative ACL.
+//!
+//! §2.1 of the paper: each distributed application `A` has `Hosts(A)`,
+//! `Users(A)` (holders of the *use* right), and `Managers(A)` (holders of
+//! the *manage* right). Only two right kinds exist: `use` and `manage`.
+
+use std::collections::BTreeMap;
+
+use wanacl_auth::signed::AuthEncode;
+
+/// Identifies a distributed application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AppId(pub u32);
+
+impl std::fmt::Display for AppId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "app{}", self.0)
+    }
+}
+
+impl AuthEncode for AppId {
+    fn auth_encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.0.to_be_bytes());
+    }
+}
+
+/// Identifies a user. Doubles as the user's
+/// [`wanacl_auth::signed::PrincipalId`] in the key registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UserId(pub u64);
+
+impl std::fmt::Display for UserId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl AuthEncode for UserId {
+    fn auth_encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.0.to_be_bytes());
+    }
+}
+
+impl From<UserId> for wanacl_auth::signed::PrincipalId {
+    fn from(u: UserId) -> Self {
+        wanacl_auth::signed::PrincipalId(u.0)
+    }
+}
+
+/// The two access-right kinds of §2.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Right {
+    /// May send messages to (invoke) the application.
+    Use,
+    /// May change the access rights associated with the application.
+    Manage,
+}
+
+impl std::fmt::Display for Right {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Right::Use => write!(f, "use"),
+            Right::Manage => write!(f, "manage"),
+        }
+    }
+}
+
+impl AuthEncode for Right {
+    fn auth_encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            Right::Use => 0,
+            Right::Manage => 1,
+        });
+    }
+}
+
+/// The rights one user holds on one application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RightsSet {
+    use_right: bool,
+    manage_right: bool,
+}
+
+impl RightsSet {
+    /// No rights at all.
+    pub const EMPTY: RightsSet = RightsSet { use_right: false, manage_right: false };
+
+    /// Whether the given right is held.
+    pub fn has(&self, right: Right) -> bool {
+        match right {
+            Right::Use => self.use_right,
+            Right::Manage => self.manage_right,
+        }
+    }
+
+    /// Adds a right (idempotent).
+    pub fn grant(&mut self, right: Right) {
+        match right {
+            Right::Use => self.use_right = true,
+            Right::Manage => self.manage_right = true,
+        }
+    }
+
+    /// Removes a right (idempotent).
+    pub fn revoke(&mut self, right: Right) {
+        match right {
+            Right::Use => self.use_right = false,
+            Right::Manage => self.manage_right = false,
+        }
+    }
+
+    /// Whether no rights remain.
+    pub fn is_empty(&self) -> bool {
+        !self.use_right && !self.manage_right
+    }
+}
+
+/// The authoritative access-control list for one application, as held by a
+/// manager (§3.1: "only the managers of a given application maintain
+/// complete access control information").
+///
+/// # Examples
+///
+/// ```
+/// use wanacl_core::types::{Acl, Right, UserId};
+///
+/// let mut acl = Acl::new();
+/// acl.add(UserId(1), Right::Use);
+/// assert!(acl.has(UserId(1), Right::Use));
+/// assert!(!acl.has(UserId(1), Right::Manage));
+/// acl.revoke(UserId(1), Right::Use);
+/// assert!(!acl.has(UserId(1), Right::Use));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Acl {
+    entries: BTreeMap<UserId, RightsSet>,
+}
+
+impl Acl {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grants `right` to `user` (idempotent).
+    pub fn add(&mut self, user: UserId, right: Right) {
+        self.entries.entry(user).or_default().grant(right);
+    }
+
+    /// Revokes `right` from `user`; removing a non-existent right is a
+    /// no-op, as §2.3 specifies.
+    pub fn revoke(&mut self, user: UserId, right: Right) {
+        if let Some(set) = self.entries.get_mut(&user) {
+            set.revoke(right);
+            if set.is_empty() {
+                self.entries.remove(&user);
+            }
+        }
+    }
+
+    /// Whether `user` currently holds `right`.
+    pub fn has(&self, user: UserId, right: Right) -> bool {
+        self.entries.get(&user).map(|s| s.has(right)).unwrap_or(false)
+    }
+
+    /// Users holding the given right, in id order.
+    pub fn users_with(&self, right: Right) -> impl Iterator<Item = UserId> + '_ {
+        self.entries.iter().filter(move |(_, s)| s.has(right)).map(|(u, _)| *u)
+    }
+
+    /// Number of users holding any right.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no user holds any right.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over all entries in user order.
+    pub fn iter(&self) -> impl Iterator<Item = (UserId, RightsSet)> + '_ {
+        self.entries.iter().map(|(u, s)| (*u, *s))
+    }
+}
+
+impl FromIterator<(UserId, Right)> for Acl {
+    fn from_iter<I: IntoIterator<Item = (UserId, Right)>>(iter: I) -> Self {
+        let mut acl = Acl::new();
+        for (u, r) in iter {
+            acl.add(u, r);
+        }
+        acl
+    }
+}
+
+impl Extend<(UserId, Right)> for Acl {
+    fn extend<I: IntoIterator<Item = (UserId, Right)>>(&mut self, iter: I) {
+        for (u, r) in iter {
+            self.add(u, r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rights_set_grant_revoke() {
+        let mut s = RightsSet::EMPTY;
+        assert!(s.is_empty());
+        s.grant(Right::Use);
+        assert!(s.has(Right::Use));
+        assert!(!s.has(Right::Manage));
+        s.grant(Right::Manage);
+        s.revoke(Right::Use);
+        assert!(!s.has(Right::Use));
+        assert!(s.has(Right::Manage));
+        s.revoke(Right::Manage);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn acl_add_is_idempotent() {
+        let mut acl = Acl::new();
+        acl.add(UserId(1), Right::Use);
+        acl.add(UserId(1), Right::Use);
+        assert_eq!(acl.len(), 1);
+        assert!(acl.has(UserId(1), Right::Use));
+    }
+
+    #[test]
+    fn revoking_missing_right_is_noop() {
+        let mut acl = Acl::new();
+        acl.revoke(UserId(9), Right::Use);
+        assert!(acl.is_empty());
+        acl.add(UserId(9), Right::Manage);
+        acl.revoke(UserId(9), Right::Use);
+        assert!(acl.has(UserId(9), Right::Manage));
+    }
+
+    #[test]
+    fn empty_entries_are_garbage_collected() {
+        let mut acl = Acl::new();
+        acl.add(UserId(1), Right::Use);
+        acl.revoke(UserId(1), Right::Use);
+        assert!(acl.is_empty());
+    }
+
+    #[test]
+    fn users_with_filters_by_right() {
+        let acl: Acl = [
+            (UserId(1), Right::Use),
+            (UserId(2), Right::Manage),
+            (UserId(3), Right::Use),
+        ]
+        .into_iter()
+        .collect();
+        let users: Vec<UserId> = acl.users_with(Right::Use).collect();
+        assert_eq!(users, vec![UserId(1), UserId(3)]);
+        let mgrs: Vec<UserId> = acl.users_with(Right::Manage).collect();
+        assert_eq!(mgrs, vec![UserId(2)]);
+    }
+
+    #[test]
+    fn extend_merges_entries() {
+        let mut acl = Acl::new();
+        acl.extend([(UserId(1), Right::Use), (UserId(1), Right::Manage)]);
+        assert!(acl.has(UserId(1), Right::Use));
+        assert!(acl.has(UserId(1), Right::Manage));
+        assert_eq!(acl.iter().count(), 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(AppId(3).to_string(), "app3");
+        assert_eq!(UserId(4).to_string(), "u4");
+        assert_eq!(Right::Use.to_string(), "use");
+        assert_eq!(Right::Manage.to_string(), "manage");
+    }
+
+    #[test]
+    fn auth_encoding_distinguishes_rights() {
+        let mut a = Vec::new();
+        Right::Use.auth_encode(&mut a);
+        let mut b = Vec::new();
+        Right::Manage.auth_encode(&mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn user_id_converts_to_principal() {
+        let p: wanacl_auth::signed::PrincipalId = UserId(77).into();
+        assert_eq!(p.0, 77);
+    }
+}

@@ -1,0 +1,174 @@
+//! The application wrapper of Figure 1.
+//!
+//! "The access control mechanisms encapsulate the application, essentially
+//! creating a wrapper that enables the application to be written without
+//! needing to address access control." [`Application`] is what an
+//! application author writes; the host node invokes it only after the
+//! access check passes, so application code never sees an unauthorized
+//! request.
+
+use crate::types::UserId;
+
+/// A wrapped distributed application.
+///
+/// Implementations handle already-authorized requests; the host performs
+/// authentication and access control before calling [`Application::handle`].
+/// `Send` is required so the same application can run under the threaded
+/// runtime.
+pub trait Application: Send {
+    /// A short human-readable name (used in traces).
+    fn name(&self) -> &str;
+
+    /// Handles one authorized request and produces a response body.
+    fn handle(&mut self, user: UserId, request: &str) -> String;
+
+    /// Downcasting support so harnesses can inspect application state.
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+/// An application that echoes requests back — the simplest possible
+/// workload, used by the quickstart example and many tests.
+#[derive(Debug, Clone, Default)]
+pub struct EchoApp;
+
+impl Application for EchoApp {
+    fn name(&self) -> &str {
+        "echo"
+    }
+
+    fn handle(&mut self, user: UserId, request: &str) -> String {
+        format!("echo[{user}]: {request}")
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// A stock-quote service: the paper's first motivating example ("a
+/// service that provides stock quotes, but only to those users who have
+/// paid for the service"). Quotes follow a deterministic pseudo-random
+/// walk so runs replay exactly.
+#[derive(Debug, Clone)]
+pub struct StockQuoteApp {
+    state: u64,
+}
+
+impl StockQuoteApp {
+    /// Creates the service with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        StockQuoteApp { state: seed | 1 }
+    }
+
+    fn next(&mut self) -> u64 {
+        // xorshift64* — deterministic and dependency-free.
+        self.state ^= self.state >> 12;
+        self.state ^= self.state << 25;
+        self.state ^= self.state >> 27;
+        self.state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+impl Application for StockQuoteApp {
+    fn name(&self) -> &str {
+        "stock-quotes"
+    }
+
+    fn handle(&mut self, _user: UserId, request: &str) -> String {
+        let cents = 1_000 + (self.next() % 100_000);
+        format!("{request}: {}.{:02} USD", cents / 100, cents % 100)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// A request counter, useful for asserting exactly how many requests
+/// reached the application (i.e. passed access control).
+#[derive(Debug, Clone, Default)]
+pub struct CountingApp {
+    handled: u64,
+}
+
+impl CountingApp {
+    /// Creates the counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// How many requests have reached the application.
+    pub fn handled(&self) -> u64 {
+        self.handled
+    }
+}
+
+impl Application for CountingApp {
+    fn name(&self) -> &str {
+        "counter"
+    }
+
+    fn handle(&mut self, _user: UserId, _request: &str) -> String {
+        self.handled += 1;
+        format!("handled #{}", self.handled)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_includes_user_and_request() {
+        let mut app = EchoApp;
+        let out = app.handle(UserId(3), "hello");
+        assert!(out.contains("u3"));
+        assert!(out.contains("hello"));
+        assert_eq!(app.name(), "echo");
+    }
+
+    #[test]
+    fn stock_quotes_are_deterministic_per_seed() {
+        let mut a = StockQuoteApp::new(7);
+        let mut b = StockQuoteApp::new(7);
+        assert_eq!(a.handle(UserId(1), "AAPL"), b.handle(UserId(1), "AAPL"));
+        // And the stream advances per request.
+        let first = a.handle(UserId(1), "AAPL");
+        let second = a.handle(UserId(1), "AAPL");
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn stock_quote_format_looks_like_money() {
+        let mut app = StockQuoteApp::new(1);
+        let out = app.handle(UserId(1), "TICK");
+        assert!(out.starts_with("TICK: "));
+        assert!(out.ends_with(" USD"));
+    }
+
+    #[test]
+    fn counting_app_counts() {
+        let mut app = CountingApp::new();
+        assert_eq!(app.handled(), 0);
+        app.handle(UserId(1), "x");
+        app.handle(UserId(2), "y");
+        assert_eq!(app.handled(), 2);
+    }
+
+    #[test]
+    fn applications_are_object_safe() {
+        let mut apps: Vec<Box<dyn Application>> = vec![
+            Box::new(EchoApp),
+            Box::new(StockQuoteApp::new(1)),
+            Box::new(CountingApp::new()),
+        ];
+        for app in &mut apps {
+            let _ = app.handle(UserId(1), "req");
+            assert!(!app.name().is_empty());
+        }
+    }
+}

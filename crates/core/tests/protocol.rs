@@ -1,0 +1,1293 @@
+//! End-to-end protocol scenarios (experiment E4/E5 of DESIGN.md):
+//! behavioural reproduction of Figures 2–4 and Sections 3.2–3.4.
+
+use wanacl_core::prelude::*;
+use wanacl_sim::clock::ClockSpec;
+use wanacl_sim::net::partition::ScheduledPartitions;
+use wanacl_sim::net::WanNet;
+use wanacl_sim::node::NodeId;
+use wanacl_sim::time::{SimDuration, SimTime};
+
+fn n(i: usize) -> NodeId {
+    NodeId::from_index(i)
+}
+
+fn fast_policy(c: usize) -> Policy {
+    Policy::builder(c)
+        .revocation_bound(SimDuration::from_secs(30))
+        .clock_rate_bound(1.0)
+        .query_timeout(SimDuration::from_millis(200))
+        .max_attempts(2)
+        .cache_sweep_interval(SimDuration::from_secs(5))
+        .build()
+}
+
+#[test]
+fn granted_user_is_allowed_and_cached() {
+    let mut d = Scenario::builder(1)
+        .managers(3)
+        .hosts(1)
+        .users(1)
+        .policy(fast_policy(2))
+        .all_users_granted()
+        .build();
+    d.run_for(SimDuration::from_secs(1));
+    d.invoke_from(0);
+    d.run_for(SimDuration::from_secs(2));
+    let host = d.host(0);
+    assert_eq!(host.stats().cache_misses, 1);
+    assert_eq!(host.stats().allowed, 1);
+    assert_eq!(host.cached_entries(d.app), 1);
+
+    // Second invoke hits the cache: no new queries.
+    let queries_before = d.host(0).stats().queries_sent;
+    d.invoke_from(0);
+    d.run_for(SimDuration::from_secs(2));
+    let host = d.host(0);
+    assert_eq!(host.stats().cache_hits, 1);
+    assert_eq!(host.stats().allowed, 2);
+    assert_eq!(host.stats().queries_sent, queries_before);
+    assert_eq!(d.user_agent(0).stats().allowed, 2);
+}
+
+#[test]
+fn unauthorized_user_is_denied() {
+    let mut d = Scenario::builder(2)
+        .managers(3)
+        .hosts(1)
+        .users(1)
+        .policy(fast_policy(2))
+        // No initial rights.
+        .build();
+    d.run_for(SimDuration::from_secs(1));
+    d.invoke_from(0);
+    d.run_for(SimDuration::from_secs(2));
+    assert_eq!(d.user_agent(0).stats().denied, 1);
+    assert_eq!(d.user_agent(0).stats().allowed, 0);
+    assert_eq!(d.host(0).cached_entries(d.app), 0);
+}
+
+#[test]
+fn dynamic_grant_takes_effect_after_dissemination() {
+    let mut d = Scenario::builder(3)
+        .managers(3)
+        .hosts(1)
+        .users(1)
+        .policy(fast_policy(3)) // C = M: every manager must agree
+        .build();
+    d.run_for(SimDuration::from_secs(1));
+    d.invoke_from(0);
+    d.run_for(SimDuration::from_secs(2));
+    assert_eq!(d.user_agent(0).stats().denied, 1);
+
+    d.grant(UserId(1), Right::Use);
+    d.run_for(SimDuration::from_secs(3));
+    // Update quorum for C=3 is M-C+1 = 1, but with C=3 every manager must
+    // grant; dissemination must have reached all three by now.
+    assert_eq!(d.admin_agent().stable_count(), 1);
+    d.invoke_from(0);
+    d.run_for(SimDuration::from_secs(2));
+    assert_eq!(d.user_agent(0).stats().allowed, 1);
+}
+
+#[test]
+fn revocation_flushes_host_caches() {
+    let mut d = Scenario::builder(4)
+        .managers(2)
+        .hosts(2)
+        .users(1)
+        .policy(fast_policy(1))
+        .all_users_granted()
+        .build();
+    d.run_for(SimDuration::from_secs(1));
+    // Prime both hosts' caches.
+    for _ in 0..2 {
+        d.invoke_from(0);
+        d.run_for(SimDuration::from_secs(1));
+    }
+    // The user agent picks hosts randomly; make sure at least one host
+    // cached the right.
+    let cached: usize = (0..2).map(|i| d.host(i).cached_entries(d.app)).sum();
+    assert!(cached >= 1);
+
+    d.revoke(UserId(1), Right::Use);
+    d.run_for(SimDuration::from_secs(3));
+    let cached_after: usize = (0..2).map(|i| d.host(i).cached_entries(d.app)).sum();
+    assert_eq!(cached_after, 0, "RevokeNotice must flush caches");
+
+    d.invoke_from(0);
+    d.run_for(SimDuration::from_secs(2));
+    assert_eq!(d.user_agent(0).stats().denied, 1);
+}
+
+/// Invariant I1: with the host partitioned away from every manager, a
+/// revoked right survives only until its cache entry expires — never past
+/// `Te` after the revoke stabilized.
+#[test]
+fn revocation_is_time_bounded_under_partition() {
+    // Layout: managers 0..2, host 2, user 3, admin 4.
+    let te = SimDuration::from_secs(20);
+    let policy = Policy::builder(1)
+        .revocation_bound(te)
+        .clock_rate_bound(1.0)
+        .query_timeout(SimDuration::from_millis(200))
+        .max_attempts(2)
+        .cache_sweep_interval(SimDuration::from_secs(2))
+        .build();
+    // Cut host <-> managers from t=5s onwards, far beyond the horizon.
+    let cut = ScheduledPartitions::cut_between(
+        vec![n(0), n(1)],
+        vec![n(2)],
+        SimTime::from_secs(5),
+        SimTime::from_secs(10_000),
+    );
+    let net = WanNet::builder()
+        .constant_delay(SimDuration::from_millis(20))
+        .partitions(Box::new(cut))
+        .build();
+    let mut d = Scenario::builder(5)
+        .managers(2)
+        .hosts(1)
+        .users(1)
+        .policy(policy)
+        .all_users_granted()
+        .net(Box::new(net))
+        .build();
+
+    // Grant gets cached at ~t=1s; cache entry dies by t=1s+te=21s.
+    d.run_until(SimTime::from_secs(1));
+    d.invoke_from(0);
+    d.run_until(SimTime::from_secs(2));
+    assert_eq!(d.user_agent(0).stats().allowed, 1);
+
+    // Partition starts at 5 s; revoke at 6 s. It stabilizes immediately
+    // at the issuing manager's quorum (uq = M - C + 1 = 2... with C=1,
+    // uq=2: needs the peer, which is still reachable — managers are not
+    // cut from each other).
+    d.run_until(SimTime::from_secs(6));
+    d.revoke(UserId(1), Right::Use);
+    d.run_until(SimTime::from_secs(8));
+    assert_eq!(d.admin_agent().stable_count(), 1, "revoke must reach update quorum");
+
+    // While the cache entry lives, the host (cut off from managers and
+    // from the RevokeNotice) still serves the user: the availability
+    // side of the tradeoff.
+    d.invoke_from(0);
+    d.run_until(SimTime::from_secs(10));
+    assert_eq!(d.user_agent(0).stats().allowed, 2, "cached right still valid");
+
+    // After the entry expires (t = 21 s < revoke-stable + Te = 26 s), the
+    // host can no longer check with any manager: access dies.
+    d.run_until(SimTime::from_secs(22));
+    d.invoke_from(0);
+    d.run_until(SimTime::from_secs(25));
+    let stats = d.user_agent(0).stats();
+    assert_eq!(stats.allowed, 2, "no access after expiry");
+    assert_eq!(stats.unavailable, 1);
+    // The guarantee: nothing was allowed after revoke-stable + Te.
+    assert!(d.world.now() <= SimTime::from_secs(26) || stats.allowed == 2);
+}
+
+/// Invariant I4: a slow (rate = b) host clock still respects the
+/// real-time bound, because managers hand out te = b·Te.
+#[test]
+fn expiry_respects_clock_drift() {
+    let te_real = SimDuration::from_secs(20);
+    let b = 0.8;
+    let policy = Policy::builder(1)
+        .revocation_bound(te_real)
+        .clock_rate_bound(b)
+        .query_timeout(SimDuration::from_millis(200))
+        .max_attempts(1)
+        .cache_sweep_interval(SimDuration::from_secs(100)) // no sweeping: lookups expire entries
+        .build();
+    // Host cut from managers right after the initial grant.
+    let cut = ScheduledPartitions::cut_between(
+        vec![n(0)],
+        vec![n(1)],
+        SimTime::from_secs(3),
+        SimTime::from_secs(10_000),
+    );
+    let net = WanNet::builder()
+        .constant_delay(SimDuration::from_millis(20))
+        .partitions(Box::new(cut))
+        .build();
+    let mut d = Scenario::builder(6)
+        .managers(1)
+        .hosts(1)
+        .users(1)
+        .policy(policy)
+        .all_users_granted()
+        .host_clock(ClockSpec::Fixed { rate: b, offset: SimDuration::ZERO })
+        .net(Box::new(net))
+        .build();
+
+    d.run_until(SimTime::from_secs(1));
+    d.invoke_from(0); // grant cached; limit = local(t~1s) + b*Te
+    d.run_until(SimTime::from_secs(2));
+    assert_eq!(d.user_agent(0).stats().allowed, 1);
+
+    // The entry was anchored at ~1 s; with the slow clock it lives until
+    // 1 + (b*Te)/b = 1 + Te = 21 s of real time. At 19 s it is alive:
+    d.run_until(SimTime::from_secs(19));
+    d.invoke_from(0);
+    d.run_until(SimTime::from_secs(20));
+    assert_eq!(d.user_agent(0).stats().allowed, 2);
+
+    // Past 21 s real time it must be dead even on the slow clock.
+    d.run_until(SimTime::from_secs(22));
+    d.invoke_from(0);
+    d.run_until(SimTime::from_secs(24));
+    let stats = d.user_agent(0).stats();
+    assert_eq!(stats.allowed, 2, "entry must have expired by Te real time after grant");
+    assert_eq!(stats.unavailable, 1);
+}
+
+#[test]
+fn check_quorum_blocks_when_too_few_managers_reachable() {
+    // Managers 0,1,2; host 3. Cut managers 1,2 from the host: only one
+    // manager reachable.
+    let cut = ScheduledPartitions::cut_between(
+        vec![n(1), n(2)],
+        vec![n(3)],
+        SimTime::ZERO,
+        SimTime::from_secs(10_000),
+    );
+    let net = WanNet::builder()
+        .constant_delay(SimDuration::from_millis(20))
+        .partitions(Box::new(cut))
+        .build();
+
+    // C = 2 cannot be met.
+    let mut d = Scenario::builder(7)
+        .managers(3)
+        .hosts(1)
+        .users(1)
+        .policy(fast_policy(2))
+        .all_users_granted()
+        .net(Box::new(net))
+        .build();
+    d.run_for(SimDuration::from_secs(1));
+    d.invoke_from(0);
+    d.run_for(SimDuration::from_secs(5));
+    assert_eq!(d.user_agent(0).stats().unavailable, 1);
+    assert_eq!(d.user_agent(0).stats().allowed, 0);
+
+    // Same partition, C = 1: the one reachable manager suffices.
+    let cut = ScheduledPartitions::cut_between(
+        vec![n(1), n(2)],
+        vec![n(3)],
+        SimTime::ZERO,
+        SimTime::from_secs(10_000),
+    );
+    let net = WanNet::builder()
+        .constant_delay(SimDuration::from_millis(20))
+        .partitions(Box::new(cut))
+        .build();
+    let mut d = Scenario::builder(8)
+        .managers(3)
+        .hosts(1)
+        .users(1)
+        .policy(fast_policy(1))
+        .all_users_granted()
+        .net(Box::new(net))
+        .build();
+    d.run_for(SimDuration::from_secs(1));
+    d.invoke_from(0);
+    d.run_for(SimDuration::from_secs(5));
+    assert_eq!(d.user_agent(0).stats().allowed, 1);
+}
+
+/// Figure 4: after R failed attempts a fail-open application allows the
+/// access; a fail-closed one rejects it.
+#[test]
+fn exhaustion_policy_fail_open_vs_closed() {
+    let run = |behavior: ExhaustionBehavior, seed: u64| -> UserStats {
+        let policy = Policy::builder(1)
+            .revocation_bound(SimDuration::from_secs(30))
+            .query_timeout(SimDuration::from_millis(100))
+            .max_attempts(3)
+            .exhaustion(behavior)
+            .build();
+        // Host 1 permanently cut from the single manager 0.
+        let cut = ScheduledPartitions::cut_between(
+            vec![n(0)],
+            vec![n(1)],
+            SimTime::ZERO,
+            SimTime::from_secs(10_000),
+        );
+        let net = WanNet::builder()
+            .constant_delay(SimDuration::from_millis(10))
+            .partitions(Box::new(cut))
+            .build();
+        let mut d = Scenario::builder(seed)
+            .managers(1)
+            .hosts(1)
+            .users(1)
+            .policy(policy)
+            .all_users_granted()
+            .net(Box::new(net))
+            .build();
+        d.run_for(SimDuration::from_secs(1));
+        d.invoke_from(0);
+        d.run_for(SimDuration::from_secs(10));
+        d.user_agent(0).stats()
+    };
+
+    let open = run(ExhaustionBehavior::FailOpen, 9);
+    assert_eq!(open.allowed, 1, "fail-open must allow after R attempts");
+    let closed = run(ExhaustionBehavior::FailClosed, 10);
+    assert_eq!(closed.allowed, 0);
+    assert_eq!(closed.unavailable, 1);
+}
+
+/// Fail-open grants are not cached: every request re-runs the R attempts.
+#[test]
+fn fail_open_does_not_cache() {
+    let policy = Policy::builder(1)
+        .revocation_bound(SimDuration::from_secs(30))
+        .query_timeout(SimDuration::from_millis(100))
+        .max_attempts(2)
+        .exhaustion(ExhaustionBehavior::FailOpen)
+        .build();
+    let cut = ScheduledPartitions::cut_between(
+        vec![n(0)],
+        vec![n(1)],
+        SimTime::ZERO,
+        SimTime::from_secs(10_000),
+    );
+    let net = WanNet::builder()
+        .constant_delay(SimDuration::from_millis(10))
+        .partitions(Box::new(cut))
+        .build();
+    let mut d = Scenario::builder(11)
+        .managers(1)
+        .hosts(1)
+        .users(1)
+        .policy(policy)
+        .all_users_granted()
+        .net(Box::new(net))
+        .build();
+    d.run_for(SimDuration::from_secs(1));
+    d.invoke_from(0);
+    d.run_for(SimDuration::from_secs(5));
+    d.invoke_from(0);
+    d.run_for(SimDuration::from_secs(5));
+    let host = d.host(0);
+    assert_eq!(host.stats().fail_open_allows, 2);
+    assert_eq!(host.cached_entries(d.app), 0, "fail-open must not populate the cache");
+}
+
+/// §3.3 freeze strategy: a manager that loses contact with a peer for
+/// longer than Ti stops answering checks; it resumes when connectivity
+/// returns.
+#[test]
+fn freeze_strategy_stops_grants_during_manager_partition() {
+    let policy = Policy::builder(1)
+        .revocation_bound(SimDuration::from_secs(60))
+        .clock_rate_bound(0.5) // te = 30 s
+        .query_timeout(SimDuration::from_millis(200))
+        .max_attempts(1)
+        .freeze(FreezePolicy {
+            ti: SimDuration::from_secs(10),
+            heartbeat_interval: SimDuration::from_secs(1),
+        })
+        .build();
+    // Managers 0 and 1 cut from each other between t=5 and t=40. The
+    // host (2) stays connected to both.
+    let cut = ScheduledPartitions::cut_between(
+        vec![n(0)],
+        vec![n(1)],
+        SimTime::from_secs(5),
+        SimTime::from_secs(40),
+    );
+    let net = WanNet::builder()
+        .constant_delay(SimDuration::from_millis(20))
+        .partitions(Box::new(cut))
+        .build();
+    let mut d = Scenario::builder(12)
+        .managers(2)
+        .hosts(1)
+        .users(1)
+        .policy(policy)
+        .all_users_granted()
+        .net(Box::new(net))
+        .build();
+
+    // Before the partition: fine.
+    d.run_until(SimTime::from_secs(1));
+    d.invoke_from(0);
+    d.run_until(SimTime::from_secs(3));
+    assert_eq!(d.user_agent(0).stats().allowed, 1);
+
+    // Inside the partition, past Ti (freeze scales Ti by b, so it trips
+    // within 5 s of local silence): both managers freeze. The cached
+    // entry at the host is still valid (te = 30 s), so cached access
+    // continues — but a *new* user check must fail.
+    d.run_until(SimTime::from_secs(25));
+    assert!(d.manager(0).is_frozen(d.app), "manager 0 must freeze");
+    assert!(d.manager(1).is_frozen(d.app), "manager 1 must freeze");
+
+    // Partition heals at 40 s; heartbeats resume; unfreeze.
+    d.run_until(SimTime::from_secs(45));
+    assert!(!d.manager(0).is_frozen(d.app));
+    assert!(!d.manager(1).is_frozen(d.app));
+    d.invoke_from(0);
+    d.run_until(SimTime::from_secs(48));
+    assert_eq!(d.user_agent(0).stats().allowed, 2);
+}
+
+/// §3.4: a crashed manager refuses queries until it has synchronized
+/// state from a peer, then serves the post-crash ACL.
+#[test]
+fn manager_recovery_synchronizes_state() {
+    let mut d = Scenario::builder(13)
+        .managers(2)
+        .hosts(1)
+        .users(1)
+        .policy(fast_policy(1))
+        .all_users_granted()
+        .build();
+    d.run_until(SimTime::from_secs(1));
+
+    // Crash manager 1; then revoke the user's right at manager 0.
+    let m1 = d.managers[1];
+    d.world.schedule_crash(SimTime::from_secs(2), m1);
+    d.run_until(SimTime::from_secs(3));
+    d.revoke(UserId(1), Right::Use);
+    d.run_until(SimTime::from_secs(4));
+    // Update quorum for C=1 is 2: cannot stabilize while m1 is down.
+    assert_eq!(d.admin_agent().stable_count(), 0);
+    assert_eq!(d.manager(0).pending_updates(), 1);
+
+    // Recover m1: it must sync (learning the revoke) and the pending
+    // update must reach its quorum via the retransmission path.
+    d.world.schedule_recover(SimTime::from_secs(5), m1);
+    d.run_until(SimTime::from_secs(8));
+    assert!(!d.manager(1).is_recovering());
+    assert!(!d.manager(1).acl_has(d.app, UserId(1), Right::Use), "sync must carry the revoke");
+    assert_eq!(d.admin_agent().stable_count(), 1, "retransmission must complete the quorum");
+
+    // And the user is now denied by both managers.
+    d.invoke_from(0);
+    d.run_until(SimTime::from_secs(10));
+    assert_eq!(d.user_agent(0).stats().denied, 1);
+}
+
+/// §3.4: host recovery restarts with an empty cache and refills it via
+/// the normal check protocol.
+#[test]
+fn host_recovery_clears_cache() {
+    let mut d = Scenario::builder(14)
+        .managers(1)
+        .hosts(1)
+        .users(1)
+        .policy(fast_policy(1))
+        .all_users_granted()
+        .build();
+    d.run_until(SimTime::from_secs(1));
+    d.invoke_from(0);
+    d.run_until(SimTime::from_secs(2));
+    assert_eq!(d.host(0).cached_entries(d.app), 1);
+
+    let h = d.hosts[0];
+    d.world.schedule_crash(SimTime::from_secs(3), h);
+    d.world.schedule_recover(SimTime::from_secs(4), h);
+    d.run_until(SimTime::from_secs(5));
+    assert_eq!(d.host(0).cached_entries(d.app), 0, "recovered host starts empty");
+
+    d.invoke_from(0);
+    d.run_until(SimTime::from_secs(7));
+    assert_eq!(d.user_agent(0).stats().allowed, 2);
+    assert_eq!(d.host(0).stats().cache_misses, 2, "recovered host re-checks");
+}
+
+#[test]
+fn name_service_discovery_works() {
+    let mut d = Scenario::builder(15)
+        .managers(3)
+        .hosts(1)
+        .users(1)
+        .policy(fast_policy(2))
+        .all_users_granted()
+        .with_name_service(SimDuration::from_secs(60))
+        .build();
+    d.run_for(SimDuration::from_secs(1));
+    assert_eq!(d.host(0).manager_view(d.app).len(), 3, "host must learn managers from NS");
+    d.invoke_from(0);
+    d.run_for(SimDuration::from_secs(3));
+    assert_eq!(d.user_agent(0).stats().allowed, 1);
+}
+
+#[test]
+fn authentication_rejects_forged_invokes() {
+    let mut d = Scenario::builder(16)
+        .managers(1)
+        .hosts(1)
+        .users(1)
+        .policy(fast_policy(1))
+        .all_users_granted()
+        .authenticate()
+        .build();
+    d.run_for(SimDuration::from_secs(1));
+
+    // The legitimate signed path works.
+    d.invoke_from(0);
+    d.run_for(SimDuration::from_secs(2));
+    assert_eq!(d.user_agent(0).stats().allowed, 1);
+
+    // A forged (unsigned) invoke straight to the host is rejected before
+    // any access-control processing.
+    let host = d.hosts[0];
+    let now = d.world.now();
+    d.world.inject(
+        now,
+        host,
+        ProtoMsg::Invoke {
+            app: d.app,
+            user: UserId(1),
+            req: ReqId(999),
+            payload: "forged".into(),
+            signature: None,
+        },
+    );
+    d.run_for(SimDuration::from_secs(1));
+    assert_eq!(d.host(0).stats().auth_rejects, 1);
+    assert_eq!(d.host(0).stats().allowed, 1, "forged request must not reach the app");
+}
+
+#[test]
+fn unauthorized_admin_op_is_rejected() {
+    let mut d = Scenario::builder(17)
+        .managers(2)
+        .hosts(1)
+        .users(2)
+        .policy(fast_policy(1))
+        .initial_rights(vec![(UserId(1), Right::Use)])
+        .authenticate()
+        .build();
+    d.run_for(SimDuration::from_secs(1));
+
+    // A rogue op claiming to be from user 2 (no manage right, and not
+    // even signed) goes straight to a manager.
+    let mgr = d.managers[0];
+    let now = d.world.now();
+    d.world.inject(
+        now,
+        mgr,
+        ProtoMsg::Admin {
+            op: AclOp::Add { app: d.app, user: UserId(2), right: Right::Use },
+            req: ReqId(1),
+            issuer: UserId(2),
+            signature: None,
+        },
+    );
+    d.run_for(SimDuration::from_secs(2));
+    assert_eq!(d.world.metrics().counter("mgr.admin_rejected"), 1);
+    assert!(!d.manager(0).acl_has(d.app, UserId(2), Right::Use));
+
+    // The legitimate admin still works.
+    d.grant(UserId(2), Right::Use);
+    d.run_for(SimDuration::from_secs(3));
+    assert!(d.manager(0).acl_has(d.app, UserId(2), Right::Use));
+}
+
+/// Figure 3's timeliness rule: grants arriving after the attempt's timer
+/// are ignored rather than trusted.
+#[test]
+fn late_query_replies_are_ignored() {
+    // One manager whose replies take 600 ms; query timeout 200 ms, one
+    // attempt, fail closed.
+    let policy = Policy::builder(1)
+        .revocation_bound(SimDuration::from_secs(30))
+        .query_timeout(SimDuration::from_millis(200))
+        .max_attempts(1)
+        .build();
+    let net = WanNet::builder().constant_delay(SimDuration::from_millis(300)).build();
+    let mut d = Scenario::builder(18)
+        .managers(1)
+        .hosts(1)
+        .users(1)
+        .policy(policy)
+        .all_users_granted()
+        .net(Box::new(net))
+        .request_timeout(SimDuration::from_secs(30))
+        .build();
+    d.run_for(SimDuration::from_secs(1));
+    d.invoke_from(0);
+    d.run_for(SimDuration::from_secs(5));
+    let stats = d.user_agent(0).stats();
+    assert_eq!(stats.unavailable, 1, "slow grant must not be honoured");
+    assert_eq!(stats.allowed, 0);
+    assert!(d.world.metrics().counter("host.late_reply") >= 1);
+    assert_eq!(d.host(0).cached_entries(d.app), 0);
+}
+
+/// Invariant I6: identical seeds give identical runs.
+#[test]
+fn full_scenario_is_deterministic() {
+    let run = |seed: u64| -> (u64, u64, u64) {
+        let net = WanNet::builder()
+            .uniform_delay(SimDuration::from_millis(10), SimDuration::from_millis(200))
+            .loss(0.05)
+            .build();
+        let mut d = Scenario::builder(seed)
+            .managers(5)
+            .hosts(3)
+            .users(10)
+            .policy(fast_policy(3))
+            .all_users_granted()
+            .workload(SimDuration::from_secs(2))
+            .net(Box::new(net))
+            .build();
+        d.run_for(SimDuration::from_secs(120));
+        let s = d.aggregate_user_stats();
+        (s.sent, s.allowed, d.world.metrics().counter("net.sent"))
+    };
+    let a = run(42);
+    let b = run(42);
+    assert_eq!(a, b);
+    let c = run(43);
+    assert_ne!(a, c, "different seeds should differ somewhere");
+}
+
+/// Subset fan-out sends O(C) queries per check instead of O(M).
+#[test]
+fn subset_fanout_limits_query_cost() {
+    let policy = Policy::builder(2)
+        .revocation_bound(SimDuration::from_secs(30))
+        .query_timeout(SimDuration::from_millis(300))
+        .max_attempts(3)
+        .fanout(QueryFanout::Subset)
+        .build();
+    let mut d = Scenario::builder(19)
+        .managers(10)
+        .hosts(1)
+        .users(1)
+        .policy(policy)
+        .all_users_granted()
+        .build();
+    d.run_for(SimDuration::from_secs(1));
+    d.invoke_from(0);
+    d.run_for(SimDuration::from_secs(3));
+    let host = d.host(0);
+    assert_eq!(d.user_agent(0).stats().allowed, 1);
+    assert_eq!(host.stats().queries_sent, 2, "subset fan-out queries exactly C managers");
+}
+
+/// Concurrent conflicting operations issued at different managers during
+/// a manager partition resolve identically everywhere after the heal
+/// (Lamport last-writer-wins; see msg::OpId).
+#[test]
+fn conflicting_concurrent_ops_converge() {
+    // Managers 0,1,2 — manager 0 cut from 1,2 between 5 s and 15 s.
+    let cut = ScheduledPartitions::cut_between(
+        vec![n(0)],
+        vec![n(1), n(2)],
+        SimTime::from_secs(5),
+        SimTime::from_secs(15),
+    );
+    let net = WanNet::builder()
+        .constant_delay(SimDuration::from_millis(20))
+        .partitions(Box::new(cut))
+        .build();
+    let mut d = Scenario::builder(21)
+        .managers(3)
+        .hosts(1)
+        .users(1)
+        .policy(fast_policy(1))
+        .net(Box::new(net))
+        .build();
+    d.run_until(SimTime::from_secs(6));
+
+    // During the partition: Add at manager 0, Revoke at manager 1 —
+    // concurrent (neither has seen the other).
+    let target = UserId(9);
+    let now = d.world.now();
+    d.world.inject(
+        now,
+        d.managers[0],
+        ProtoMsg::Admin {
+            op: AclOp::Add { app: d.app, user: target, right: Right::Use },
+            req: ReqId(1),
+            issuer: UserId(0),
+            signature: None,
+        },
+    );
+    d.world.inject(
+        now,
+        d.managers[1],
+        ProtoMsg::Admin {
+            op: AclOp::Revoke { app: d.app, user: target, right: Right::Use },
+            req: ReqId(2),
+            issuer: UserId(0),
+            signature: None,
+        },
+    );
+
+    // Heal and let persistent retransmission finish.
+    d.run_until(SimTime::from_secs(25));
+    let answers: Vec<bool> =
+        (0..3).map(|i| d.manager(i).acl_has(d.app, target, Right::Use)).collect();
+    assert!(
+        answers.iter().all(|&a| a == answers[0]),
+        "managers diverged: {answers:?}"
+    );
+    // Equal Lamport timestamps: the higher origin id (manager 1's
+    // revoke) wins deterministically.
+    assert!(!answers[0], "revoke from the higher-origin manager must win");
+}
+
+/// Figure 2's basic loop: one manager queried per attempt, rotating past
+/// an unreachable one.
+#[test]
+fn sequential_fanout_rotates_past_dead_manager() {
+    let policy = Policy::builder(1)
+        .revocation_bound(SimDuration::from_secs(30))
+        .query_timeout(SimDuration::from_millis(200))
+        .max_attempts(3)
+        .fanout(QueryFanout::Sequential)
+        .build();
+    // Managers 0,1; host 2. Manager 0 is cut from the host, so the first
+    // attempt times out and the second (manager 1) succeeds.
+    let cut = ScheduledPartitions::cut_between(
+        vec![n(0)],
+        vec![n(2)],
+        SimTime::ZERO,
+        SimTime::from_secs(10_000),
+    );
+    let net = WanNet::builder()
+        .constant_delay(SimDuration::from_millis(20))
+        .partitions(Box::new(cut))
+        .build();
+    let mut d = Scenario::builder(22)
+        .managers(2)
+        .hosts(1)
+        .users(1)
+        .policy(policy)
+        .all_users_granted()
+        .net(Box::new(net))
+        .build();
+    d.run_for(SimDuration::from_secs(1));
+    d.invoke_from(0);
+    d.run_for(SimDuration::from_secs(3));
+    assert_eq!(d.user_agent(0).stats().allowed, 1);
+    // Exactly one query per attempt: 1 (to dead m0) + 1 (to m1).
+    assert_eq!(d.host(0).stats().queries_sent, 2);
+}
+
+/// Per-application independence (§3.1): one host serving two
+/// applications with different policies and different ACLs keeps them
+/// fully isolated.
+#[test]
+fn multiple_applications_are_independent() {
+    use wanacl_core::host::{AppHost, HostNode, ManagerDirectory};
+    use wanacl_core::manager::{ManagerApp, ManagerConfig, ManagerNode};
+    use wanacl_core::wrapper::CountingApp;
+    use wanacl_sim::clock::ClockSpec;
+    use wanacl_sim::world::World;
+
+    let magazine = AppId(1);
+    let vault = AppId(2);
+    let mag_policy = Policy::builder(1)
+        .revocation_bound(SimDuration::from_secs(60))
+        .query_timeout(SimDuration::from_millis(200))
+        .max_attempts(1)
+        .exhaustion(ExhaustionBehavior::FailOpen)
+        .build();
+    let vault_policy = Policy::builder(2)
+        .revocation_bound(SimDuration::from_secs(10))
+        .query_timeout(SimDuration::from_millis(200))
+        .max_attempts(1)
+        .build();
+
+    let mut mag_acl = Acl::new();
+    mag_acl.add(UserId(1), Right::Use);
+    let mut vault_acl = Acl::new();
+    vault_acl.add(UserId(2), Right::Use);
+
+    let mut world: World<ProtoMsg> = World::new(23);
+    let manager_ids = [NodeId::from_index(0), NodeId::from_index(1)];
+    for (i, &id) in manager_ids.iter().enumerate() {
+        let peers = manager_ids.iter().copied().filter(|p| *p != id).collect();
+        let got = world.add_node(
+            format!("m{i}"),
+            Box::new(ManagerNode::new(ManagerConfig {
+                peers,
+                apps: vec![
+                    ManagerApp {
+                        app: magazine,
+                        policy: mag_policy.clone(),
+                        initial_acl: mag_acl.clone(),
+                    },
+                    ManagerApp {
+                        app: vault,
+                        policy: vault_policy.clone(),
+                        initial_acl: vault_acl.clone(),
+                    },
+                ],
+                ..ManagerConfig::default()
+            })),
+            ClockSpec::Perfect,
+        );
+        assert_eq!(got, id);
+    }
+    let host = world.add_node(
+        "host",
+        Box::new(HostNode::new(
+            vec![
+                AppHost {
+                    app: magazine,
+                    policy: mag_policy,
+                    directory: ManagerDirectory::Static(manager_ids.to_vec()),
+                    application: Box::new(CountingApp::new()),
+                },
+                AppHost {
+                    app: vault,
+                    policy: vault_policy,
+                    directory: ManagerDirectory::Static(manager_ids.to_vec()),
+                    application: Box::new(CountingApp::new()),
+                },
+            ],
+            None,
+        )),
+        ClockSpec::Perfect,
+    );
+
+    // User 1 may read the magazine but not the vault; user 2 vice versa.
+    let mut req = 0u64;
+    let mut invoke = |world: &mut World<ProtoMsg>, app: AppId, user: u64, at: SimTime| {
+        req += 1;
+        world.inject(
+            at,
+            host,
+            ProtoMsg::Invoke {
+                app,
+                user: UserId(user),
+                req: ReqId(req),
+                payload: "x".into(),
+                signature: None,
+            },
+        );
+    };
+    invoke(&mut world, magazine, 1, SimTime::from_secs(1));
+    invoke(&mut world, vault, 1, SimTime::from_secs(1));
+    invoke(&mut world, magazine, 2, SimTime::from_secs(1));
+    invoke(&mut world, vault, 2, SimTime::from_secs(1));
+    world.run_until(SimTime::from_secs(5));
+
+    let host_node = world.node_as::<HostNode>(host);
+    let mag_app: &CountingApp = host_node.application_as(magazine);
+    let vault_app: &CountingApp = host_node.application_as(vault);
+    assert_eq!(mag_app.handled(), 1, "only user 1 reaches the magazine");
+    assert_eq!(vault_app.handled(), 1, "only user 2 reaches the vault");
+    assert_eq!(host_node.cached_entries(magazine), 1);
+    assert_eq!(host_node.cached_entries(vault), 1);
+}
+
+/// §3.2: "If the set of managers changes, a scheme similar to the
+/// time-based expiration of cached information can be used to trigger a
+/// new query to the name service." Hosts pick up a replaced manager set
+/// after the TTL refresh.
+#[test]
+fn manager_set_change_via_name_service() {
+    let ttl = SimDuration::from_secs(10);
+    let mut d = Scenario::builder(24)
+        .managers(3)
+        .hosts(1)
+        .users(1)
+        .policy(fast_policy(1))
+        .all_users_granted()
+        .with_name_service(ttl)
+        .build();
+    d.run_for(SimDuration::from_secs(1));
+    assert_eq!(d.host(0).manager_view(d.app).len(), 3);
+
+    // The deployment shrinks to managers {1, 2}: update the directory.
+    let ns = NodeId::from_index(3); // managers 0..3, NS at index 3
+    let new_set = vec![d.managers[1], d.managers[2]];
+    let now = d.world.now();
+    d.world.inject(
+        now,
+        ns,
+        ProtoMsg::NsReply { app: d.app, managers: new_set.clone(), ttl },
+    );
+    // After the TTL-driven refresh the host holds the new set.
+    d.run_for(SimDuration::from_secs(12));
+    assert_eq!(d.host(0).manager_view(d.app), new_set.as_slice());
+
+    // And checks still work against the new set.
+    d.invoke_from(0);
+    d.run_for(SimDuration::from_secs(2));
+    assert_eq!(d.user_agent(0).stats().allowed, 1);
+}
+
+/// Proactive refresh: an actively used lease is renewed before expiry,
+/// so a steady user never sees a second cold check.
+#[test]
+fn proactive_refresh_keeps_active_lease_warm() {
+    let policy = Policy::builder(2)
+        .revocation_bound(SimDuration::from_secs(5))
+        .query_timeout(SimDuration::from_millis(300))
+        .max_attempts(2)
+        .refresh_margin(SimDuration::from_secs(1))
+        .build();
+    let mut d = Scenario::builder(25)
+        .managers(3)
+        .hosts(1)
+        .users(1)
+        .policy(policy)
+        .all_users_granted()
+        .build();
+    // One request per second for 30 s: far beyond the 5 s lease.
+    let user = d.users[0].1;
+    for t in 1..30u64 {
+        d.world.inject(
+            SimTime::from_secs(t),
+            user,
+            ProtoMsg::Invoke {
+                app: d.app,
+                user: UserId(1),
+                req: ReqId(0),
+                payload: "steady".into(),
+                signature: None,
+            },
+        );
+    }
+    d.run_until(SimTime::from_secs(35));
+    let stats = d.host(0).stats();
+    assert_eq!(d.user_agent(0).stats().allowed, 29);
+    assert_eq!(stats.cache_misses, 1, "only the very first check is cold: {stats:?}");
+    assert!(
+        d.world.metrics().counter("host.refresh_renewed") >= 4,
+        "the lease must have been renewed repeatedly"
+    );
+}
+
+/// Proactive refresh tightens revocation in practice: the renewal check
+/// hits a denying manager and flushes the entry before its natural
+/// expiry (the Te bound still holds either way).
+#[test]
+fn proactive_refresh_flushes_revoked_lease_early() {
+    let policy = Policy::builder(1)
+        .revocation_bound(SimDuration::from_secs(10))
+        .query_timeout(SimDuration::from_millis(300))
+        .max_attempts(2)
+        .refresh_margin(SimDuration::from_secs(2))
+        .build();
+    let mut d = Scenario::builder(26)
+        .managers(2)
+        .hosts(1)
+        .users(1)
+        .policy(policy)
+        .all_users_granted()
+        .build();
+    // Lease granted at ~1 s (limit ~11 s); user stays active.
+    let user = d.users[0].1;
+    for t in [1u64, 3, 5] {
+        d.world.inject(
+            SimTime::from_secs(t),
+            user,
+            ProtoMsg::Invoke {
+                app: d.app,
+                user: UserId(1),
+                req: ReqId(0),
+                payload: "steady".into(),
+                signature: None,
+            },
+        );
+    }
+    // Revoke at 6 s. The manager also sends RevokeNotice — to isolate
+    // the refresh path we just check the refresh-denied counter fires
+    // when the notice would have been lost; with perfect links both
+    // mechanisms race, so assert the final state plus metrics.
+    d.run_until(SimTime::from_secs(6));
+    d.revoke(UserId(1), Right::Use);
+    d.run_until(SimTime::from_secs(15));
+    assert_eq!(d.host(0).cached_entries(d.app), 0);
+    d.invoke_from(0);
+    d.run_until(SimTime::from_secs(18));
+    assert_eq!(d.user_agent(0).stats().denied, 1);
+}
+
+/// An idle lease is not refreshed: no background traffic for users who
+/// stopped making requests.
+#[test]
+fn proactive_refresh_lets_idle_leases_lapse() {
+    let policy = Policy::builder(1)
+        .revocation_bound(SimDuration::from_secs(5))
+        .query_timeout(SimDuration::from_millis(300))
+        .max_attempts(2)
+        .refresh_margin(SimDuration::from_secs(1))
+        .cache_sweep_interval(SimDuration::from_secs(2))
+        .build();
+    let mut d = Scenario::builder(27)
+        .managers(2)
+        .hosts(1)
+        .users(1)
+        .policy(policy)
+        .all_users_granted()
+        .build();
+    d.run_until(SimTime::from_secs(1));
+    d.invoke_from(0); // one request, then silence
+    d.run_until(SimTime::from_secs(30));
+    assert_eq!(d.host(0).cached_entries(d.app), 0, "idle lease must lapse");
+    let renewed = d.world.metrics().counter("host.refresh_renewed");
+    assert!(renewed <= 1, "at most one renewal for a one-shot user, got {renewed}");
+}
+
+/// §2.3 blocking semantics: a serial admin issues operations strictly
+/// one at a time, each waiting for the previous one to stabilize.
+#[test]
+fn serial_admin_blocks_until_stable() {
+    // Managers 0,1 cut from each other 0s-10s: the first revoke cannot
+    // reach its update quorum (uq = 2) until the heal.
+    let cut = ScheduledPartitions::cut_between(
+        vec![n(0)],
+        vec![n(1)],
+        SimTime::ZERO,
+        SimTime::from_secs(10),
+    );
+    let net = WanNet::builder()
+        .constant_delay(SimDuration::from_millis(20))
+        .partitions(Box::new(cut))
+        .build();
+    let mut d = Scenario::builder(28)
+        .managers(2)
+        .hosts(1)
+        .users(3)
+        .policy(fast_policy(1))
+        .all_users_granted()
+        .serial_admin()
+        .net(Box::new(net))
+        .build();
+    d.run_until(SimTime::from_secs(1));
+    // Three revokes back to back.
+    for u in 1..=3u64 {
+        d.revoke(UserId(u), Right::Use);
+    }
+    d.run_until(SimTime::from_secs(5));
+    // Mid-partition: op 1 is in flight, ops 2 and 3 are queued.
+    assert!(d.admin_agent().has_in_flight());
+    assert_eq!(d.admin_agent().backlog_len(), 2);
+    assert_eq!(d.admin_agent().op_count(), 1, "only one op may be outstanding");
+
+    // After the heal, all three drain in order.
+    d.run_until(SimTime::from_secs(20));
+    assert_eq!(d.admin_agent().op_count(), 3);
+    assert_eq!(d.admin_agent().stable_count(), 3);
+    assert_eq!(d.admin_agent().backlog_len(), 0);
+    for i in 0..3 {
+        assert_eq!(d.admin_agent().progress(i), Some(OpProgress::Stable));
+    }
+}
+
+/// With channel authentication on, a reply lacking (or failing) its
+/// HMAC tag is dropped before any protocol processing — even if it
+/// claims to come from a real manager.
+#[test]
+fn channel_auth_rejects_untagged_replies() {
+    let policy = Policy::builder(1)
+        .revocation_bound(SimDuration::from_secs(30))
+        .query_timeout(SimDuration::from_millis(400))
+        .max_attempts(1)
+        .build();
+    let mut d = Scenario::builder(31)
+        .managers(2)
+        .hosts(1)
+        .users(1)
+        .policy(policy)
+        .all_users_granted()
+        .authenticate() // turns on channel HMAC too
+        .build();
+    d.run_for(SimDuration::from_secs(1));
+
+    // The legitimate (tagged) path works end to end.
+    d.invoke_from(0);
+    d.run_for(SimDuration::from_secs(2));
+    assert_eq!(d.user_agent(0).stats().allowed, 1);
+
+    // An untagged RevokeNotice — even "from" a manager id via env
+    // injection — must not flush the cache.
+    let host = d.hosts[0];
+    assert_eq!(d.host(0).cached_entries(d.app), 1);
+    let now = d.world.now();
+    d.world.inject(now, host, ProtoMsg::RevokeNotice { app: d.app, user: UserId(1), mac: None });
+    d.run_for(SimDuration::from_secs(1));
+    assert_eq!(d.host(0).cached_entries(d.app), 1, "untagged notice must be ignored");
+    assert!(d.world.metrics().counter("host.bad_channel_mac") >= 1);
+}
+
+/// §2.1 threat model: non-manager hosts "can experience any type of
+/// failure" — a forged grant from a compromised node must not count
+/// toward the check quorum.
+#[test]
+fn forged_query_replies_are_rejected() {
+    let policy = Policy::builder(2)
+        .revocation_bound(SimDuration::from_secs(30))
+        .query_timeout(SimDuration::from_millis(400))
+        .max_attempts(1)
+        .build();
+    let mut d = Scenario::builder(29)
+        .managers(2)
+        .hosts(1)
+        .users(2)
+        .policy(policy)
+        .initial_rights(vec![(UserId(1), Right::Use)]) // user 2 unauthorized
+        .build();
+    d.run_for(SimDuration::from_secs(1));
+
+    // User 2 invokes; while the check is pending, an attacker floods the
+    // host with forged grants guessing small request ids (the host's
+    // ReqIds are sequential, so guessing is realistic).
+    d.invoke_from(1);
+    let host = d.hosts[0];
+    let now = d.world.now();
+    // The invoke reaches the host at +50 ms and real replies land at
+    // +150 ms; the forged flood lands at +120 ms, inside the window
+    // where the check is pending.
+    for guess in 0..64u64 {
+        d.world.inject(
+            now + SimDuration::from_millis(120),
+            host,
+            ProtoMsg::QueryReply {
+                req: ReqId(guess),
+                app: d.app,
+                user: UserId(2),
+                verdict: QueryVerdict::Grant { te: SimDuration::from_secs(3_600) },
+                mac: None,
+            },
+        );
+    }
+    d.run_for(SimDuration::from_secs(3));
+    let stats = d.user_agent(1).stats();
+    assert_eq!(stats.allowed, 0, "forged grants must not admit the user: {stats:?}");
+    assert_eq!(stats.denied, 1, "the real managers deny: {stats:?}");
+    assert!(d.world.metrics().counter("host.reply_from_non_manager") > 0);
+    assert_eq!(d.host(0).cached_entries(d.app), 0);
+}
+
+/// The protocol is idempotent under message duplication: duplicated
+/// updates apply once, duplicated acks count once, duplicated grants
+/// extend rather than corrupt the cache, and managers still converge.
+#[test]
+fn protocol_is_idempotent_under_duplication() {
+    let net = WanNet::builder()
+        .constant_delay(SimDuration::from_millis(20))
+        .duplication(0.5) // half of all messages are delivered twice
+        .build();
+    let mut d = Scenario::builder(30)
+        .managers(3)
+        .hosts(2)
+        .users(2)
+        .policy(fast_policy(2))
+        .all_users_granted()
+        .net(Box::new(net))
+        .build();
+    d.run_for(SimDuration::from_secs(1));
+    for _ in 0..3 {
+        d.invoke_from(0);
+        d.invoke_from(1);
+        d.run_for(SimDuration::from_secs(2));
+    }
+    assert!(d.world.metrics().counter("net.duplicated") > 0, "duplication must be active");
+    let stats = d.aggregate_user_stats();
+    assert_eq!(stats.allowed, 6);
+    assert_eq!(stats.denied + stats.unavailable, 0, "{stats:?}");
+
+    // A grant/revoke cycle still converges and stabilizes exactly once
+    // per op.
+    d.grant(UserId(7), Right::Use);
+    d.run_for(SimDuration::from_secs(3));
+    d.revoke(UserId(7), Right::Use);
+    d.run_for(SimDuration::from_secs(3));
+    assert_eq!(d.admin_agent().stable_count(), 2);
+    for i in 0..3 {
+        assert!(!d.manager(i).acl_has(d.app, UserId(7), Right::Use));
+        assert_eq!(d.manager(i).pending_updates(), 0, "dissemination must complete");
+    }
+}
+
+/// §3.3: "if it takes too long to reach a quorum, external methods are
+/// always possible … human operators could … request that the update be
+/// entered manually at unreachable managers." The harness plays the
+/// operator: entering the revoke at the partitioned manager makes every
+/// manager deny immediately, and the two operation records reconcile
+/// after the heal.
+#[test]
+fn manual_override_unsticks_a_partitioned_revocation() {
+    // Managers 0 and 1 are cut from each other for a long time.
+    let cut = ScheduledPartitions::cut_between(
+        vec![n(0)],
+        vec![n(1)],
+        SimTime::from_secs(2),
+        SimTime::from_secs(100),
+    );
+    let net = WanNet::builder()
+        .constant_delay(SimDuration::from_millis(20))
+        .partitions(Box::new(cut))
+        .build();
+    let mut d = Scenario::builder(32)
+        .managers(2)
+        .hosts(1)
+        .users(1)
+        .policy(fast_policy(2)) // C = M = 2: checks need both managers
+        .all_users_granted()
+        .net(Box::new(net))
+        .build();
+    d.run_until(SimTime::from_secs(3));
+
+    // The admin's revoke reaches only manager 0 (update quorum 1 for
+    // C=2, so it even stabilizes) — but manager 1 still grants.
+    d.revoke(UserId(1), Right::Use);
+    d.run_until(SimTime::from_secs(5));
+    assert!(!d.manager(0).acl_has(d.app, UserId(1), Right::Use));
+    assert!(d.manager(1).acl_has(d.app, UserId(1), Right::Use), "m1 is behind");
+
+    // The operator enters the same revoke manually at manager 1.
+    let now = d.world.now();
+    d.world.inject(
+        now,
+        d.managers[1],
+        ProtoMsg::Admin {
+            op: AclOp::Revoke { app: d.app, user: UserId(1), right: Right::Use },
+            req: ReqId(99),
+            issuer: UserId(0),
+            signature: None,
+        },
+    );
+    d.run_until(SimTime::from_secs(8));
+    assert!(!d.manager(1).acl_has(d.app, UserId(1), Right::Use));
+
+    // Still partitioned, but every manager now denies.
+    d.invoke_from(0);
+    d.run_until(SimTime::from_secs(12));
+    assert_eq!(d.user_agent(0).stats().denied, 1);
+
+    // After the heal the duplicate records reconcile (LWW) and the
+    // retransmissions drain.
+    d.run_until(SimTime::from_secs(130));
+    for i in 0..2 {
+        assert!(!d.manager(i).acl_has(d.app, UserId(1), Right::Use));
+        assert_eq!(d.manager(i).pending_updates(), 0);
+    }
+}
+
+#[test]
+fn counting_app_only_sees_authorized_requests() {
+    use wanacl_core::wrapper::CountingApp;
+    let mut d = Scenario::builder(20)
+        .managers(1)
+        .hosts(1)
+        .users(2)
+        .policy(fast_policy(1))
+        .initial_rights(vec![(UserId(1), Right::Use)]) // user 2 unauthorized
+        .build();
+    d.run_for(SimDuration::from_secs(1));
+    d.invoke_from(0); // user 1: allowed
+    d.invoke_from(1); // user 2: denied
+    d.run_for(SimDuration::from_secs(3));
+    let host = d.host(0);
+    let app: &CountingApp = host.application_as(d.app);
+    assert_eq!(app.handled(), 1, "the wrapper must shield the app from unauthorized requests");
+}

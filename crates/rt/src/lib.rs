@@ -1,0 +1,27 @@
+//! # wanacl-rt — real-time threaded driver
+//!
+//! The protocol nodes of `wanacl-core` are written against the
+//! [`wanacl_sim::node::Node`] interface: they observe only incoming
+//! messages, local-clock timers, and their RNG. This crate drives those
+//! *same* node implementations over OS threads, crossbeam channels, and
+//! wall-clock timers — demonstrating that the logic is
+//! substrate-independent and providing a live deployment vehicle.
+//!
+//! Each node runs on its own thread with an inbox; effects requested
+//! through the [`wanacl_sim::node::Context`] are executed by the driver:
+//! sends are routed through an in-process [`router`] (with optional
+//! loss/partition policy), timers become `recv_timeout` deadlines.
+//!
+//! Unlike the simulator, a threaded run is *not* deterministic — thread
+//! scheduling and wall-clock jitter are real. That is the point: the
+//! protocol must tolerate it, and the tests in this crate check outcomes
+//! rather than traces.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod router;
+pub mod runtime;
+
+pub use router::LinkPolicy;
+pub use runtime::{Runtime, RuntimeBuilder};

@@ -1,0 +1,244 @@
+//! In-process message routing between node threads.
+
+use crossbeam::channel::Sender;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use wanacl_sim::node::NodeId;
+
+/// An inbox item: a message or a lifecycle command.
+#[derive(Debug)]
+pub enum Envelope<M> {
+    /// A routed protocol message.
+    Msg {
+        /// The sender.
+        from: NodeId,
+        /// The payload.
+        msg: M,
+    },
+    /// Simulate a crash: the node drops volatile state and ignores
+    /// traffic until [`Envelope::Recover`].
+    Crash,
+    /// Recover from a crash.
+    Recover,
+    /// Stop the node thread.
+    Stop,
+}
+
+/// Per-link delivery policy (loss and symmetric partitions), evaluated at
+/// send time like the simulator's network model.
+pub trait LinkPolicy<M>: Send + Sync {
+    /// Whether the message may be delivered.
+    fn allow(&self, from: NodeId, to: NodeId, msg: &M) -> bool;
+}
+
+/// Deliver everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeliverAll;
+
+impl<M> LinkPolicy<M> for DeliverAll {
+    fn allow(&self, _from: NodeId, _to: NodeId, _msg: &M) -> bool {
+        true
+    }
+}
+
+/// A dynamic partition switch: when engaged, messages between the two
+/// sides are dropped. Useful for live partition experiments.
+#[derive(Debug)]
+pub struct PartitionSwitch {
+    side_a: Vec<NodeId>,
+    side_b: Vec<NodeId>,
+    engaged: std::sync::atomic::AtomicBool,
+}
+
+impl PartitionSwitch {
+    /// Creates a disengaged switch between two node sets.
+    pub fn new(side_a: Vec<NodeId>, side_b: Vec<NodeId>) -> Arc<Self> {
+        Arc::new(PartitionSwitch {
+            side_a,
+            side_b,
+            engaged: std::sync::atomic::AtomicBool::new(false),
+        })
+    }
+
+    /// Engages or heals the partition.
+    pub fn set(&self, engaged: bool) {
+        self.engaged.store(engaged, Ordering::SeqCst);
+    }
+}
+
+impl<M> LinkPolicy<M> for PartitionSwitch {
+    fn allow(&self, from: NodeId, to: NodeId, _msg: &M) -> bool {
+        if !self.engaged.load(Ordering::SeqCst) {
+            return true;
+        }
+        let a_from = self.side_a.contains(&from);
+        let b_from = self.side_b.contains(&from);
+        let a_to = self.side_a.contains(&to);
+        let b_to = self.side_b.contains(&to);
+        !((a_from && b_to) || (b_from && a_to))
+    }
+}
+
+/// Pseudo-random message loss: drops a deterministic fraction of
+/// messages using a per-policy counter hash (deterministic in *send
+/// order*, which under threads is itself nondeterministic — fine for
+/// live chaos testing).
+#[derive(Debug)]
+pub struct LossyPolicy {
+    /// Drop `numerator` out of every `denominator` messages.
+    numerator: u64,
+    denominator: u64,
+    counter: AtomicU64,
+}
+
+impl LossyPolicy {
+    /// Drops roughly `fraction` of all messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ fraction < 1`.
+    pub fn new(fraction: f64) -> Arc<Self> {
+        assert!((0.0..1.0).contains(&fraction), "loss fraction must be in [0,1)");
+        let denominator = 1_000;
+        Arc::new(LossyPolicy {
+            numerator: (fraction * denominator as f64).round() as u64,
+            denominator,
+            counter: AtomicU64::new(0),
+        })
+    }
+}
+
+impl<M> LinkPolicy<M> for LossyPolicy {
+    fn allow(&self, _from: NodeId, _to: NodeId, _msg: &M) -> bool {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        // Golden-ratio hash spreads drops evenly through the stream.
+        let h = n.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32;
+        (h % self.denominator) >= self.numerator
+    }
+}
+
+/// Routes messages to node inboxes, applying the link policy.
+pub struct Router<M> {
+    inboxes: RwLock<Vec<Sender<Envelope<M>>>>,
+    policy: RwLock<Arc<dyn LinkPolicy<M>>>,
+    sent: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl<M> std::fmt::Debug for Router<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("nodes", &self.inboxes.read().len())
+            .field("sent", &self.sent.load(Ordering::Relaxed))
+            .field("dropped", &self.dropped.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<M: Send + 'static> Router<M> {
+    /// Creates an empty router delivering everything.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Router {
+            inboxes: RwLock::new(Vec::new()),
+            policy: RwLock::new(Arc::new(DeliverAll)),
+            sent: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// Installs a link policy.
+    pub fn set_policy(&self, policy: Arc<dyn LinkPolicy<M>>) {
+        *self.policy.write() = policy;
+    }
+
+    pub(crate) fn register(&self, sender: Sender<Envelope<M>>) -> NodeId {
+        let mut inboxes = self.inboxes.write();
+        inboxes.push(sender);
+        NodeId::from_index(inboxes.len() - 1)
+    }
+
+    /// Routes one message; silently drops on policy denial or a closed
+    /// inbox (matching the unreliable-network model).
+    pub fn send(&self, from: NodeId, to: NodeId, msg: M) {
+        self.sent.fetch_add(1, Ordering::Relaxed);
+        if !self.policy.read().allow(from, to, &msg) {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let inboxes = self.inboxes.read();
+        if let Some(sender) = inboxes.get(to.index()) {
+            let _ = sender.send(Envelope::Msg { from, msg });
+        }
+    }
+
+    /// Messages sent / dropped so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.sent.load(Ordering::Relaxed), self.dropped.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+
+    #[test]
+    fn routes_to_registered_inbox() {
+        let router: Arc<Router<u32>> = Router::new();
+        let (tx, rx) = unbounded();
+        let id = router.register(tx);
+        router.send(NodeId::ENV, id, 42);
+        match rx.try_recv().expect("delivered") {
+            Envelope::Msg { msg, .. } => assert_eq!(msg, 42),
+            other => panic!("unexpected envelope: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partition_switch_blocks_and_heals() {
+        let router: Arc<Router<u32>> = Router::new();
+        let (tx_a, _rx_a) = unbounded();
+        let (tx_b, rx_b) = unbounded();
+        let a = router.register(tx_a);
+        let b = router.register(tx_b);
+        let switch = PartitionSwitch::new(vec![a], vec![b]);
+        router.set_policy(switch.clone());
+
+        switch.set(true);
+        router.send(a, b, 1);
+        assert!(rx_b.try_recv().is_err());
+        assert_eq!(router.stats().1, 1);
+
+        switch.set(false);
+        router.send(a, b, 2);
+        assert!(rx_b.try_recv().is_ok());
+    }
+
+    #[test]
+    fn lossy_policy_drops_roughly_the_requested_fraction() {
+        let router: Arc<Router<u32>> = Router::new();
+        let (tx, rx) = unbounded();
+        let id = router.register(tx);
+        router.set_policy(LossyPolicy::new(0.3));
+        for i in 0..10_000 {
+            router.send(NodeId::ENV, id, i);
+        }
+        let delivered = rx.try_iter().count();
+        assert!((6_500..7_500).contains(&delivered), "delivered {delivered}");
+    }
+
+    #[test]
+    #[should_panic(expected = "loss fraction")]
+    fn lossy_policy_rejects_certain_loss() {
+        let _ = LossyPolicy::new(1.0);
+    }
+
+    #[test]
+    fn send_to_unknown_node_is_silent() {
+        let router: Arc<Router<u32>> = Router::new();
+        router.send(NodeId::ENV, NodeId::from_index(9), 1);
+        assert_eq!(router.stats(), (1, 0));
+    }
+}

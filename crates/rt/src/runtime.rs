@@ -1,0 +1,355 @@
+//! The node-per-thread runtime.
+
+use std::collections::{BinaryHeap, HashSet};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
+
+use wanacl_sim::clock::LocalTime;
+use wanacl_sim::node::{Context, Effect, Node, NodeId};
+use wanacl_sim::rng::SimRng;
+
+use crate::router::{Envelope, Router};
+
+/// A protocol node that can run on a thread.
+pub trait RtNode<M>: Node<Msg = M> + Send {}
+impl<M, T: Node<Msg = M> + Send> RtNode<M> for T {}
+
+#[derive(Debug, PartialEq, Eq)]
+struct DueTimer {
+    due: Instant,
+    id: u64,
+    tag: u64,
+}
+
+impl Ord for DueTimer {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other.due.cmp(&self.due).then(other.id.cmp(&self.id))
+    }
+}
+impl PartialOrd for DueTimer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Builds a threaded deployment.
+pub struct RuntimeBuilder<M> {
+    nodes: Vec<(String, Box<dyn RtNode<M>>)>,
+    seed: u64,
+}
+
+impl<M> std::fmt::Debug for RuntimeBuilder<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuntimeBuilder").field("nodes", &self.nodes.len()).finish()
+    }
+}
+
+impl<M: Send + Clone + std::fmt::Debug + 'static> RuntimeBuilder<M> {
+    /// Starts a builder; `seed` feeds each node's RNG stream.
+    pub fn new(seed: u64) -> Self {
+        RuntimeBuilder { nodes: Vec::new(), seed }
+    }
+
+    /// Adds a node; returns the id it will run under. Ids are assigned
+    /// densely in add order, exactly like the simulator.
+    pub fn add_node(&mut self, name: impl Into<String>, node: Box<dyn RtNode<M>>) -> NodeId {
+        self.nodes.push((name.into(), node));
+        NodeId::from_index(self.nodes.len() - 1)
+    }
+
+    /// Spawns all node threads and returns the running deployment.
+    pub fn start(self) -> Runtime<M> {
+        let router: Arc<Router<M>> = Router::new();
+        let mut senders: Vec<Sender<Envelope<M>>> = Vec::new();
+        // Register all inboxes first so ids are stable before any thread
+        // runs.
+        let mut inboxes = Vec::new();
+        for _ in &self.nodes {
+            let (tx, rx) = unbounded();
+            let id = router.register(tx.clone());
+            senders.push(tx);
+            inboxes.push((id, rx));
+        }
+        let mut handles = Vec::new();
+        for ((name, mut node), (id, rx)) in self.nodes.into_iter().zip(inboxes) {
+            let router = router.clone();
+            let seed = self.seed ^ (id.index() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let handle = std::thread::Builder::new()
+                .name(name)
+                .spawn(move || {
+                    run_node_thread(&mut *node, id, rx, router, seed);
+                    node
+                })
+                .expect("thread spawn");
+            handles.push(handle);
+        }
+        Runtime { router, senders, handles }
+    }
+}
+
+fn run_node_thread<M: Send + Clone + std::fmt::Debug + 'static>(
+    node: &mut dyn RtNode<M>,
+    id: NodeId,
+    rx: crossbeam::channel::Receiver<Envelope<M>>,
+    router: Arc<Router<M>>,
+    seed: u64,
+) {
+    let start = Instant::now();
+    let mut rng = SimRng::seed_from(seed);
+    let mut next_timer: u64 = 0;
+    let mut timers: BinaryHeap<DueTimer> = BinaryHeap::new();
+    let mut cancelled: HashSet<u64> = HashSet::new();
+    let mut up = true;
+
+    let local_now = |start: Instant| LocalTime::from_nanos(start.elapsed().as_nanos() as u64);
+
+    // on_start.
+    let mut effects = Vec::new();
+    {
+        let mut ctx = Context::new(id, local_now(start), &mut effects, &mut rng, &mut next_timer);
+        node.on_start(&mut ctx);
+    }
+    apply_effects(id, effects, &router, &mut timers, &mut cancelled, start);
+
+    loop {
+        // Fire due timers (only while up; a crash clears them anyway).
+        let now = Instant::now();
+        while up {
+            let Some(t) = timers.peek() else { break };
+            if t.due > now {
+                break;
+            }
+            let t = timers.pop().expect("peeked");
+            if cancelled.remove(&t.id) {
+                continue;
+            }
+            let mut effects = Vec::new();
+            {
+                let mut ctx =
+                    Context::new(id, local_now(start), &mut effects, &mut rng, &mut next_timer);
+                node.on_timer(&mut ctx, t.tag);
+            }
+            apply_effects(id, effects, &router, &mut timers, &mut cancelled, start);
+        }
+        // Wait for the next message or timer deadline.
+        let wait = if up {
+            timers
+                .peek()
+                .map(|t| t.due.saturating_duration_since(Instant::now()))
+                .unwrap_or(Duration::from_millis(50))
+        } else {
+            Duration::from_millis(50)
+        };
+        match rx.recv_timeout(wait) {
+            Ok(Envelope::Msg { from, msg }) => {
+                if !up {
+                    continue; // a crashed node hears nothing
+                }
+                let mut effects = Vec::new();
+                {
+                    let mut ctx =
+                        Context::new(id, local_now(start), &mut effects, &mut rng, &mut next_timer);
+                    node.on_message(&mut ctx, from, msg);
+                }
+                apply_effects(id, effects, &router, &mut timers, &mut cancelled, start);
+            }
+            Ok(Envelope::Crash) => {
+                if up {
+                    up = false;
+                    timers.clear();
+                    cancelled.clear();
+                    node.on_crash();
+                }
+            }
+            Ok(Envelope::Recover) => {
+                if !up {
+                    up = true;
+                    let mut effects = Vec::new();
+                    {
+                        let mut ctx = Context::new(
+                            id,
+                            local_now(start),
+                            &mut effects,
+                            &mut rng,
+                            &mut next_timer,
+                        );
+                        node.on_recover(&mut ctx);
+                    }
+                    apply_effects(id, effects, &router, &mut timers, &mut cancelled, start);
+                }
+            }
+            Ok(Envelope::Stop) => break,
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+fn apply_effects<M: Send + Clone + std::fmt::Debug + 'static>(
+    id: NodeId,
+    effects: Vec<Effect<M>>,
+    router: &Router<M>,
+    timers: &mut BinaryHeap<DueTimer>,
+    cancelled: &mut HashSet<u64>,
+    _start: Instant,
+) {
+    for effect in effects {
+        match effect {
+            Effect::Send { to, msg } => router.send(id, to, msg),
+            Effect::SetTimer { id: timer_id, local_delay, tag } => {
+                let due = Instant::now() + Duration::from_nanos(local_delay.as_nanos());
+                timers.push(DueTimer { due, id: timer_id.into_raw(), tag });
+            }
+            Effect::CancelTimer { id: timer_id } => {
+                cancelled.insert(timer_id.into_raw());
+            }
+            // Trace/metric effects are simulator-side conveniences; the
+            // threaded runtime drops them (nodes keep their own stats).
+            Effect::Trace { .. } | Effect::MetricIncr { .. } | Effect::MetricObserve { .. } => {}
+        }
+    }
+}
+
+/// A running threaded deployment.
+pub struct Runtime<M> {
+    router: Arc<Router<M>>,
+    senders: Vec<Sender<Envelope<M>>>,
+    handles: Vec<JoinHandle<Box<dyn RtNode<M>>>>,
+}
+
+impl<M> std::fmt::Debug for Runtime<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime").field("nodes", &self.senders.len()).finish()
+    }
+}
+
+impl<M: Send + Clone + std::fmt::Debug + 'static> Runtime<M> {
+    /// The router (for installing link policies and reading traffic
+    /// stats).
+    pub fn router(&self) -> &Arc<Router<M>> {
+        &self.router
+    }
+
+    /// Injects a message as the environment.
+    pub fn send_from_env(&self, to: NodeId, msg: M) {
+        self.router.send(NodeId::ENV, to, msg);
+    }
+
+    /// Crashes a node: it drops volatile state (`Node::on_crash`) and
+    /// ignores all traffic until [`Runtime::recover`].
+    pub fn crash(&self, node: NodeId) {
+        if let Some(tx) = self.senders.get(node.index()) {
+            let _ = tx.send(Envelope::Crash);
+        }
+    }
+
+    /// Recovers a crashed node (`Node::on_recover`).
+    pub fn recover(&self, node: NodeId) {
+        if let Some(tx) = self.senders.get(node.index()) {
+            let _ = tx.send(Envelope::Recover);
+        }
+    }
+
+    /// Stops every node thread and returns the node objects for
+    /// inspection, in id order.
+    pub fn shutdown(self) -> Vec<Box<dyn RtNode<M>>> {
+        for tx in &self.senders {
+            let _ = tx.send(Envelope::Stop);
+        }
+        self.handles.into_iter().map(|h| h.join().expect("node thread panicked")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::any::Any;
+
+    #[derive(Debug, Default)]
+    struct Counter {
+        seen: u64,
+        timer_fired: bool,
+    }
+
+    impl Node for Counter {
+        type Msg = u64;
+        fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+            ctx.set_timer(wanacl_sim::time::SimDuration::from_millis(20), 7);
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, u64>, from: NodeId, msg: u64) {
+            self.seen += 1;
+            if from != NodeId::ENV && msg < 3 {
+                ctx.send(from, msg + 1);
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Context<'_, u64>, tag: u64) {
+            assert_eq!(tag, 7);
+            self.timer_fired = true;
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[derive(Debug)]
+    struct Opener {
+        target: NodeId,
+        replies: u64,
+    }
+
+    impl Node for Opener {
+        type Msg = u64;
+        fn on_message(&mut self, ctx: &mut Context<'_, u64>, from: NodeId, msg: u64) {
+            if from == NodeId::ENV {
+                ctx.send(self.target, 0);
+            } else {
+                self.replies += 1;
+                if msg < 3 {
+                    ctx.send(from, msg + 1);
+                }
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn threads_exchange_messages_and_fire_timers() {
+        let mut b: RuntimeBuilder<u64> = RuntimeBuilder::new(1);
+        let counter_id = b.add_node("counter", Box::new(Counter::default()));
+        let opener_id = b.add_node("opener", Box::new(Opener { target: counter_id, replies: 0 }));
+        let rt = b.start();
+        rt.send_from_env(opener_id, 0);
+        std::thread::sleep(Duration::from_millis(200));
+        let nodes = rt.shutdown();
+        let counter = nodes[0].as_any().downcast_ref::<Counter>().expect("counter");
+        let opener = nodes[1].as_any().downcast_ref::<Opener>().expect("opener");
+        // Ping-pong 0->1->2->3 gives the counter messages 0 and 2.
+        assert_eq!(counter.seen, 2);
+        assert!(counter.timer_fired);
+        assert_eq!(opener.replies, 2);
+    }
+
+    #[test]
+    fn shutdown_returns_nodes_in_id_order() {
+        let mut b: RuntimeBuilder<u64> = RuntimeBuilder::new(2);
+        let a = b.add_node("a", Box::new(Counter::default()));
+        let c = b.add_node("b", Box::new(Counter::default()));
+        assert_eq!(a.index(), 0);
+        assert_eq!(c.index(), 1);
+        let rt = b.start();
+        let nodes = rt.shutdown();
+        assert_eq!(nodes.len(), 2);
+    }
+}

@@ -1,0 +1,189 @@
+//! The full access-control protocol on real OS threads: the same
+//! `wanacl-core` node objects the simulator runs, driven by wall-clock
+//! timers and crossbeam channels.
+
+use std::time::Duration;
+
+use wanacl_core::prelude::*;
+use wanacl_rt::router::PartitionSwitch;
+use wanacl_rt::RuntimeBuilder;
+use wanacl_sim::node::NodeId;
+use wanacl_sim::time::SimDuration;
+
+fn live_policy(c: usize) -> Policy {
+    Policy::builder(c)
+        .revocation_bound(SimDuration::from_secs(2))
+        .clock_rate_bound(1.0)
+        .query_timeout(SimDuration::from_millis(100))
+        .max_attempts(2)
+        .cache_sweep_interval(SimDuration::from_millis(500))
+        .build()
+}
+
+fn fast_manager_config(peers: Vec<NodeId>, app_policy: Policy, acl: Acl) -> ManagerConfig {
+    ManagerConfig {
+        peers,
+        apps: vec![ManagerApp { app: AppId(0), policy: app_policy, initial_acl: acl }],
+        registry: None,
+        enforce_manage_right: false,
+        retry_interval: SimDuration::from_millis(100),
+        heartbeat_interval: SimDuration::from_millis(100),
+        grant_sweep_interval: SimDuration::from_millis(500),
+    }
+}
+
+/// Builds M managers + 1 host + 1 user agent on threads and returns
+/// (runtime, host id, user-agent id, manager ids).
+fn build_live(
+    m: usize,
+    c: usize,
+) -> (wanacl_rt::Runtime<ProtoMsg>, NodeId, NodeId, Vec<NodeId>) {
+    let policy = live_policy(c);
+    let mut acl = Acl::new();
+    acl.add(UserId(1), Right::Use);
+
+    let mut b: RuntimeBuilder<ProtoMsg> = RuntimeBuilder::new(7);
+    let manager_ids: Vec<NodeId> = (0..m).map(NodeId::from_index).collect();
+    for (i, &id) in manager_ids.iter().enumerate() {
+        let peers = manager_ids.iter().copied().filter(|p| *p != id).collect();
+        let got = b.add_node(
+            format!("manager{i}"),
+            Box::new(ManagerNode::new(fast_manager_config(peers, policy.clone(), acl.clone()))),
+        );
+        assert_eq!(got, id);
+    }
+    let host = b.add_node(
+        "host",
+        Box::new(HostNode::new(
+            vec![AppHost {
+                app: AppId(0),
+                policy: policy.clone(),
+                directory: ManagerDirectory::Static(manager_ids.clone()),
+                application: Box::new(CountingApp::new()),
+            }],
+            None,
+        )),
+    );
+    let user = b.add_node(
+        "user",
+        Box::new(UserAgent::new(UserAgentConfig {
+            user: UserId(1),
+            app: AppId(0),
+            hosts: vec![host],
+            workload: None,
+            payload: "live".into(),
+            secret: None,
+            request_timeout: SimDuration::from_secs(5),
+            max_requests: None,
+        })),
+    );
+    (b.start(), host, user, manager_ids)
+}
+
+fn trigger_invoke(rt: &wanacl_rt::Runtime<ProtoMsg>, user: NodeId) {
+    rt.send_from_env(
+        user,
+        ProtoMsg::Invoke {
+            app: AppId(0),
+            user: UserId(1),
+            req: ReqId(0),
+            payload: "go".into(),
+            signature: None,
+        },
+    );
+}
+
+#[test]
+fn live_grant_flow_with_quorum() {
+    let (rt, host_id, user_id, _mgrs) = build_live(3, 2);
+    std::thread::sleep(Duration::from_millis(100));
+    trigger_invoke(&rt, user_id);
+    std::thread::sleep(Duration::from_millis(400));
+    trigger_invoke(&rt, user_id); // should be a cache hit
+    std::thread::sleep(Duration::from_millis(400));
+    let nodes = rt.shutdown();
+    let user = nodes[user_id.index()].as_any().downcast_ref::<UserAgent>().expect("user");
+    assert_eq!(user.stats().allowed, 2, "stats: {:?}", user.stats());
+    let host = nodes[host_id.index()].as_any().downcast_ref::<HostNode>().expect("host");
+    assert!(host.stats().cache_hits >= 1, "second invoke should hit the cache");
+}
+
+#[test]
+fn live_revocation_denies_user() {
+    let (rt, _host_id, user_id, mgrs) = build_live(2, 1);
+    std::thread::sleep(Duration::from_millis(100));
+    trigger_invoke(&rt, user_id);
+    std::thread::sleep(Duration::from_millis(300));
+    // Revoke straight at manager 0 (unauthenticated deployment).
+    rt.send_from_env(
+        mgrs[0],
+        ProtoMsg::Admin {
+            op: AclOp::Revoke { app: AppId(0), user: UserId(1), right: Right::Use },
+            req: ReqId(1),
+            issuer: UserId(999),
+            signature: None,
+        },
+    );
+    // Wait past dissemination + RevokeNotice + cache flush.
+    std::thread::sleep(Duration::from_millis(500));
+    trigger_invoke(&rt, user_id);
+    std::thread::sleep(Duration::from_millis(400));
+    let nodes = rt.shutdown();
+    let user = nodes[user_id.index()].as_any().downcast_ref::<UserAgent>().expect("user");
+    let stats = user.stats();
+    assert_eq!(stats.allowed, 1, "{stats:?}");
+    assert_eq!(stats.denied, 1, "{stats:?}");
+}
+
+/// §3.4 on real threads: a crashed manager refuses queries until it has
+/// synced from its peer, then serves post-crash state.
+#[test]
+fn live_manager_crash_and_recovery() {
+    let (rt, _host_id, user_id, mgrs) = build_live(2, 1);
+    std::thread::sleep(Duration::from_millis(150));
+    // Crash manager 1, then revoke at manager 0 while it is down.
+    rt.crash(mgrs[1]);
+    std::thread::sleep(Duration::from_millis(100));
+    rt.send_from_env(
+        mgrs[0],
+        ProtoMsg::Admin {
+            op: AclOp::Revoke { app: AppId(0), user: UserId(1), right: Right::Use },
+            req: ReqId(1),
+            issuer: UserId(999),
+            signature: None,
+        },
+    );
+    std::thread::sleep(Duration::from_millis(200));
+    rt.recover(mgrs[1]);
+    // Recovery sync + update retransmission settle.
+    std::thread::sleep(Duration::from_millis(600));
+    trigger_invoke(&rt, user_id);
+    std::thread::sleep(Duration::from_millis(400));
+    let nodes = rt.shutdown();
+    let m1 = nodes[mgrs[1].index()].as_any().downcast_ref::<ManagerNode>().expect("manager");
+    assert!(!m1.is_recovering(), "manager must have synced");
+    assert!(!m1.acl_has(AppId(0), UserId(1), Right::Use), "sync must carry the revoke");
+    let user = nodes[user_id.index()].as_any().downcast_ref::<UserAgent>().expect("user");
+    assert_eq!(user.stats().denied, 1, "{:?}", user.stats());
+}
+
+#[test]
+fn live_partition_trips_check_quorum() {
+    let (rt, host_id, user_id, mgrs) = build_live(3, 2);
+    // Cut managers 1 and 2 away from the host: C = 2 unreachable.
+    let switch = PartitionSwitch::new(vec![mgrs[1], mgrs[2]], vec![host_id]);
+    rt.router().set_policy(switch.clone());
+    switch.set(true);
+    std::thread::sleep(Duration::from_millis(100));
+    trigger_invoke(&rt, user_id);
+    std::thread::sleep(Duration::from_millis(600)); // 2 attempts x 100 ms + slack
+    switch.set(false);
+    std::thread::sleep(Duration::from_millis(100));
+    trigger_invoke(&rt, user_id);
+    std::thread::sleep(Duration::from_millis(500));
+    let nodes = rt.shutdown();
+    let user = nodes[user_id.index()].as_any().downcast_ref::<UserAgent>().expect("user");
+    let stats = user.stats();
+    assert_eq!(stats.unavailable, 1, "partitioned check must fail closed: {stats:?}");
+    assert_eq!(stats.allowed, 1, "healed network must serve again: {stats:?}");
+}

@@ -1,0 +1,241 @@
+//! Rate-bounded drifting local clocks.
+//!
+//! Section 3.2 of the paper assumes no clock synchronization (impossible
+//! under partitions) but a known bound on clock *rate*: there is a constant
+//! `b ∈ (0, 1]` such that every local clock advances at a rate of at least
+//! `b` relative to real time (and at most real time). Under that assumption
+//! a manager that wants a cached right to die within `Te` *real* time units
+//! hands out an expiration budget of `te = b · Te` *local* time units: even
+//! the slowest admissible clock measures `te` local units within
+//! `te / b = Te` real units.
+//!
+//! [`DriftClock`] models one such clock; [`ClockSpec`] describes how the
+//! world assigns clocks to nodes.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A point on a node's *local* clock, in nanoseconds since the node's clock
+/// epoch. Distinct from [`SimTime`] so protocol code cannot accidentally
+/// compare local readings against real time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LocalTime(u64);
+
+impl LocalTime {
+    /// The node's clock epoch.
+    pub const ZERO: LocalTime = LocalTime(0);
+
+    /// Creates a local instant from raw nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        LocalTime(nanos)
+    }
+
+    /// Raw nanoseconds since the clock epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Adds a local-clock duration.
+    pub fn plus(self, d: SimDuration) -> LocalTime {
+        LocalTime(self.0.saturating_add(d.as_nanos()))
+    }
+
+    /// Local span since `earlier` (saturating).
+    pub fn since(self, earlier: LocalTime) -> SimDuration {
+        SimDuration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl std::fmt::Display for LocalTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.6}s(local)", self.0 as f64 / 1e9)
+    }
+}
+
+/// A local clock advancing at a constant rate relative to real time.
+///
+/// `rate` must lie in `[b, 1]` for whatever rate bound `b` the deployment
+/// assumes; the protocol's expiry math is only sound when every clock in
+/// the system honours the bound (invariant I4).
+///
+/// # Examples
+///
+/// ```
+/// use wanacl_sim::clock::DriftClock;
+/// use wanacl_sim::time::{SimTime, SimDuration};
+///
+/// // A clock running 5% slow.
+/// let clock = DriftClock::new(0.95, SimDuration::ZERO);
+/// let local = clock.read(SimTime::from_secs(100));
+/// assert_eq!(local.as_nanos(), 95_000_000_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftClock {
+    rate: f64,
+    offset: SimDuration,
+}
+
+impl DriftClock {
+    /// Creates a clock with the given rate and initial offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not in `(0, 1]`.
+    pub fn new(rate: f64, offset: SimDuration) -> Self {
+        assert!(rate > 0.0 && rate <= 1.0, "clock rate must be in (0, 1], got {rate}");
+        DriftClock { rate, offset }
+    }
+
+    /// A perfect clock (rate 1, no offset).
+    pub fn perfect() -> Self {
+        DriftClock::new(1.0, SimDuration::ZERO)
+    }
+
+    /// The clock's rate relative to real time.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Reads the local clock at real instant `now`.
+    pub fn read(&self, now: SimTime) -> LocalTime {
+        let elapsed = SimDuration::from_nanos(now.as_nanos()).mul_f64(self.rate);
+        LocalTime::from_nanos(self.offset.as_nanos().saturating_add(elapsed.as_nanos()))
+    }
+
+    /// The real-time span needed for this clock to measure `local` units.
+    ///
+    /// Used by the world to turn a node's local-clock timer request into a
+    /// real-time event.
+    pub fn real_duration_for(&self, local: SimDuration) -> SimDuration {
+        local.div_f64(self.rate)
+    }
+}
+
+/// How the world assigns a clock to a node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum ClockSpec {
+    /// A perfect clock.
+    Perfect,
+    /// A fixed rate in `(0, 1]` and an initial offset.
+    Fixed { rate: f64, offset: SimDuration },
+    /// A rate drawn uniformly from `[min_rate, 1]` with zero offset; the
+    /// draw comes from the world's seeded RNG so runs stay deterministic.
+    RandomRate { min_rate: f64 },
+}
+
+impl Default for ClockSpec {
+    fn default() -> Self {
+        ClockSpec::Perfect
+    }
+}
+
+impl ClockSpec {
+    /// Materializes the spec into a concrete clock using `rng`.
+    pub fn build(&self, rng: &mut crate::rng::SimRng) -> DriftClock {
+        match *self {
+            ClockSpec::Perfect => DriftClock::perfect(),
+            ClockSpec::Fixed { rate, offset } => DriftClock::new(rate, offset),
+            ClockSpec::RandomRate { min_rate } => {
+                assert!(
+                    min_rate > 0.0 && min_rate <= 1.0,
+                    "min_rate must be in (0, 1], got {min_rate}"
+                );
+                if min_rate == 1.0 {
+                    DriftClock::perfect()
+                } else {
+                    DriftClock::new(rng.uniform(min_rate, 1.0), SimDuration::ZERO)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    #[test]
+    fn perfect_clock_tracks_real_time() {
+        let c = DriftClock::perfect();
+        let t = SimTime::from_secs(42);
+        assert_eq!(c.read(t).as_nanos(), t.as_nanos());
+    }
+
+    #[test]
+    fn slow_clock_lags() {
+        let c = DriftClock::new(0.9, SimDuration::ZERO);
+        let local = c.read(SimTime::from_secs(10));
+        assert_eq!(local.as_nanos(), 9_000_000_000);
+    }
+
+    #[test]
+    fn offset_shifts_epoch() {
+        let c = DriftClock::new(1.0, SimDuration::from_secs(100));
+        assert_eq!(c.read(SimTime::ZERO).as_nanos(), 100_000_000_000);
+    }
+
+    #[test]
+    fn real_duration_inverts_rate() {
+        let c = DriftClock::new(0.5, SimDuration::ZERO);
+        assert_eq!(
+            c.real_duration_for(SimDuration::from_secs(5)),
+            SimDuration::from_secs(10)
+        );
+    }
+
+    #[test]
+    fn expiry_budget_bound_holds() {
+        // Core soundness of te = b * Te: for any rate >= b, a timer of
+        // b*Te local units fires within Te real units.
+        let te_real = SimDuration::from_secs(60);
+        let b = 0.9;
+        let local_budget = te_real.mul_f64(b);
+        for rate in [0.9, 0.93, 0.97, 1.0] {
+            let clock = DriftClock::new(rate, SimDuration::ZERO);
+            let real_needed = clock.real_duration_for(local_budget);
+            assert!(
+                real_needed <= te_real,
+                "rate {rate}: needed {real_needed} > bound {te_real}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "clock rate")]
+    fn rejects_zero_rate() {
+        let _ = DriftClock::new(0.0, SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock rate")]
+    fn rejects_fast_clock() {
+        let _ = DriftClock::new(1.5, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn spec_builds_deterministically() {
+        let mut r1 = SimRng::seed_from(1);
+        let mut r2 = SimRng::seed_from(1);
+        let spec = ClockSpec::RandomRate { min_rate: 0.8 };
+        let c1 = spec.build(&mut r1);
+        let c2 = spec.build(&mut r2);
+        assert_eq!(c1.rate(), c2.rate());
+        assert!((0.8..=1.0).contains(&c1.rate()));
+    }
+
+    #[test]
+    fn random_rate_of_one_is_perfect() {
+        let mut rng = SimRng::seed_from(2);
+        let c = ClockSpec::RandomRate { min_rate: 1.0 }.build(&mut rng);
+        assert_eq!(c.rate(), 1.0);
+    }
+
+    #[test]
+    fn local_time_arithmetic() {
+        let t = LocalTime::from_nanos(1_000);
+        let later = t.plus(SimDuration::from_nanos(500));
+        assert_eq!(later.since(t), SimDuration::from_nanos(500));
+        assert_eq!(t.since(later), SimDuration::ZERO);
+    }
+}

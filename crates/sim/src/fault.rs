@@ -1,0 +1,222 @@
+//! Failure injection: crash/recovery schedules from MTTF/MTTR processes.
+//!
+//! §2.1 assumes individual host failures are relatively rare (MTTF on the
+//! order of weeks, citing Long et al.'s Internet host survey) while
+//! partitions are frequent. [`CrashPlan`] samples alternating exponential
+//! up/down intervals per node and installs them into a
+//! [`crate::world::World`] before a run.
+
+use crate::node::NodeId;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// One scheduled lifecycle change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleEvent {
+    /// Node goes down.
+    Crash(SimTime),
+    /// Node comes back up.
+    Recover(SimTime),
+}
+
+impl LifecycleEvent {
+    /// When the change happens.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            LifecycleEvent::Crash(t) | LifecycleEvent::Recover(t) => t,
+        }
+    }
+}
+
+/// A crash/recovery schedule for a set of nodes.
+///
+/// # Examples
+///
+/// ```
+/// use wanacl_sim::fault::CrashPlan;
+/// use wanacl_sim::node::NodeId;
+/// use wanacl_sim::rng::SimRng;
+/// use wanacl_sim::time::{SimDuration, SimTime};
+///
+/// let mut rng = SimRng::seed_from(1);
+/// let plan = CrashPlan::sample(
+///     &[NodeId::from_index(0)],
+///     SimDuration::from_secs(3_600), // MTTF
+///     SimDuration::from_secs(60),    // MTTR
+///     SimTime::from_secs(86_400),    // horizon
+///     &mut rng,
+/// );
+/// assert!(plan.events(NodeId::from_index(0)).len() > 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CrashPlan {
+    per_node: Vec<(NodeId, Vec<LifecycleEvent>)>,
+}
+
+impl CrashPlan {
+    /// An empty plan (no failures).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Samples alternating up (mean `mttf`) and down (mean `mttr`)
+    /// intervals for each node until `horizon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mttf` or `mttr` is zero.
+    pub fn sample(
+        nodes: &[NodeId],
+        mttf: SimDuration,
+        mttr: SimDuration,
+        horizon: SimTime,
+        rng: &mut SimRng,
+    ) -> Self {
+        assert!(mttf > SimDuration::ZERO, "mttf must be positive");
+        assert!(mttr > SimDuration::ZERO, "mttr must be positive");
+        let mut per_node = Vec::with_capacity(nodes.len());
+        for &node in nodes {
+            let mut events = Vec::new();
+            let mut t = SimTime::ZERO;
+            loop {
+                let up = SimDuration::from_secs_f64(rng.exponential(mttf.as_secs_f64()));
+                t = t + up;
+                if t >= horizon {
+                    break;
+                }
+                events.push(LifecycleEvent::Crash(t));
+                let down = SimDuration::from_secs_f64(rng.exponential(mttr.as_secs_f64()));
+                t = t + down;
+                if t >= horizon {
+                    break;
+                }
+                events.push(LifecycleEvent::Recover(t));
+            }
+            per_node.push((node, events));
+        }
+        CrashPlan { per_node }
+    }
+
+    /// The scheduled events for one node (empty if the node is not in the
+    /// plan).
+    pub fn events(&self, node: NodeId) -> &[LifecycleEvent] {
+        self.per_node
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map(|(_, e)| e.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Total number of scheduled events across all nodes.
+    pub fn len(&self) -> usize {
+        self.per_node.iter().map(|(_, e)| e.len()).sum()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Installs the plan into a world.
+    pub fn install<M: Clone + std::fmt::Debug + 'static>(&self, world: &mut crate::world::World<M>) {
+        for (node, events) in &self.per_node {
+            for event in events {
+                match *event {
+                    LifecycleEvent::Crash(at) => world.schedule_crash(at, *node),
+                    LifecycleEvent::Recover(at) => world.schedule_recover(at, *node),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn events_alternate_crash_recover() {
+        let mut rng = SimRng::seed_from(1);
+        let plan = CrashPlan::sample(
+            &[n(0)],
+            SimDuration::from_secs(100),
+            SimDuration::from_secs(10),
+            SimTime::from_secs(10_000),
+            &mut rng,
+        );
+        let events = plan.events(n(0));
+        assert!(!events.is_empty());
+        for (i, e) in events.iter().enumerate() {
+            match (i % 2, e) {
+                (0, LifecycleEvent::Crash(_)) | (1, LifecycleEvent::Recover(_)) => {}
+                _ => panic!("event {i} out of order: {e:?}"),
+            }
+        }
+        // Strictly increasing times.
+        for pair in events.windows(2) {
+            assert!(pair[0].at() <= pair[1].at());
+        }
+    }
+
+    #[test]
+    fn availability_matches_mttf_mttr_ratio() {
+        let mut rng = SimRng::seed_from(2);
+        let mttf = SimDuration::from_secs(900);
+        let mttr = SimDuration::from_secs(100);
+        let horizon = SimTime::from_secs(4_000_000);
+        let plan = CrashPlan::sample(&[n(0)], mttf, mttr, horizon, &mut rng);
+        // Accumulate downtime.
+        let mut down = SimDuration::ZERO;
+        let mut down_since: Option<SimTime> = None;
+        for e in plan.events(n(0)) {
+            match *e {
+                LifecycleEvent::Crash(t) => down_since = Some(t),
+                LifecycleEvent::Recover(t) => {
+                    if let Some(s) = down_since.take() {
+                        down = down + (t - s);
+                    }
+                }
+            }
+        }
+        let frac = down.as_secs_f64() / horizon.as_secs_f64();
+        assert!((0.07..0.13).contains(&frac), "down fraction {frac}");
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        let plan = CrashPlan::none();
+        assert!(plan.is_empty());
+        assert_eq!(plan.events(n(3)), &[]);
+    }
+
+    #[test]
+    fn sample_is_deterministic() {
+        let mut r1 = SimRng::seed_from(5);
+        let mut r2 = SimRng::seed_from(5);
+        let args = (SimDuration::from_secs(50), SimDuration::from_secs(5), SimTime::from_secs(1_000));
+        let p1 = CrashPlan::sample(&[n(0), n(1)], args.0, args.1, args.2, &mut r1);
+        let p2 = CrashPlan::sample(&[n(0), n(1)], args.0, args.1, args.2, &mut r2);
+        assert_eq!(p1.events(n(0)), p2.events(n(0)));
+        assert_eq!(p1.events(n(1)), p2.events(n(1)));
+    }
+
+    #[test]
+    fn horizon_bounds_all_events() {
+        let mut rng = SimRng::seed_from(9);
+        let horizon = SimTime::from_secs(500);
+        let plan = CrashPlan::sample(
+            &[n(0)],
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(10),
+            horizon,
+            &mut rng,
+        );
+        for e in plan.events(n(0)) {
+            assert!(e.at() < horizon);
+        }
+    }
+}

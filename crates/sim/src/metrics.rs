@@ -1,0 +1,217 @@
+//! Run-level measurement: counters and latency histograms.
+//!
+//! Experiments read these after a run to compute empirical availability,
+//! security, and overhead numbers.
+
+use std::collections::BTreeMap;
+
+/// A bag of named counters plus named sample sets.
+///
+/// Counter and histogram names are free-form; the protocol crates document
+/// the names they emit.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// Creates an empty metrics bag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter, creating it at zero if absent.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Increments the named counter by one.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of a counter (zero if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records one sample into the named histogram.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms.entry(name.to_owned()).or_default().record(value);
+    }
+
+    /// The named histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates over all counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Clears all counters and histograms.
+    pub fn reset(&mut self) {
+        self.counters.clear();
+        self.histograms.clear();
+    }
+}
+
+/// An exact-sample histogram (stores every observation).
+///
+/// Simulation runs record at most a few million samples, so exact storage
+/// is affordable and keeps quantile math trivially correct.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn record(&mut self, value: f64) {
+        assert!(!value.is_nan(), "histogram samples must not be NaN");
+        self.samples.push(value);
+        self.sorted = false;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    /// The `q`-quantile (nearest-rank), or `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
+            self.sorted = true;
+        }
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
+        Some(self.samples[rank - 1])
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.samples.iter().copied().fold(None, |acc, v| match acc {
+            None => Some(v),
+            Some(m) => Some(m.max(v)),
+        })
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.samples.iter().copied().fold(None, |acc, v| match acc {
+            None => Some(v),
+            Some(m) => Some(m.min(v)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.incr("msgs");
+        m.add("msgs", 4);
+        assert_eq!(m.counter("msgs"), 5);
+        assert_eq!(m.counter("other"), 0);
+    }
+
+    #[test]
+    fn counters_iterate_in_name_order() {
+        let mut m = Metrics::new();
+        m.incr("z");
+        m.incr("a");
+        let names: Vec<&str> = m.counters().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "z"]);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = Metrics::new();
+        m.incr("x");
+        m.observe("h", 1.0);
+        m.reset();
+        assert_eq!(m.counter("x"), 0);
+        assert!(m.histogram("h").is_none());
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::new();
+        for v in [4.0, 1.0, 3.0, 2.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.mean(), Some(2.5));
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(4.0));
+        assert_eq!(h.quantile(0.5), Some(2.0));
+        assert_eq!(h.quantile(1.0), Some(4.0));
+        assert_eq!(h.quantile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn empty_histogram_returns_none() {
+        let mut h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn histogram_rejects_nan() {
+        Histogram::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn quantile_after_more_records_resorts() {
+        let mut h = Histogram::new();
+        h.record(5.0);
+        assert_eq!(h.quantile(0.5), Some(5.0));
+        h.record(1.0);
+        assert_eq!(h.quantile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn observe_via_metrics() {
+        let mut m = Metrics::new();
+        m.observe("latency", 0.25);
+        m.observe("latency", 0.75);
+        assert_eq!(m.histogram("latency").map(|h| h.count()), Some(2));
+        assert_eq!(m.histogram("latency").and_then(|h| h.mean()), Some(0.5));
+    }
+}

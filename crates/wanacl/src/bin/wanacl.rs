@@ -1,0 +1,170 @@
+//! `wanacl` — command-line driver for the access-control system.
+//!
+//! ```console
+//! $ wanacl demo --managers 5 --check-quorum 3 --users 4 --minutes 10
+//! $ wanacl tradeoff --pi 0.2 --trials 200
+//! $ wanacl tables
+//! $ wanacl audit --seed 7
+//! ```
+
+use std::collections::HashMap;
+
+use wanacl::core::audit::AuditLog;
+use wanacl::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, flags) = parse(&args);
+    match command.as_deref() {
+        Some("demo") => demo(&flags),
+        Some("tradeoff") => tradeoff(&flags),
+        Some("tables") => tables(&flags),
+        Some("audit") => audit(&flags),
+        _ => {
+            eprintln!(
+                "usage: wanacl <command> [--flag value ...]\n\n\
+                 commands:\n\
+                 \x20 demo      run a deployment and print outcome statistics\n\
+                 \x20           flags: --managers N --hosts N --users N --check-quorum C\n\
+                 \x20                  --te SECS --minutes M --pi P --seed S\n\
+                 \x20 tradeoff  sweep the check quorum and print PA/PS (model + measured)\n\
+                 \x20           flags: --managers N --pi P --trials N\n\
+                 \x20 tables    print the paper's Table 1 and Table 2 (analytic)\n\
+                 \x20 audit     run a revocation scenario and verify the trace offline\n\
+                 \x20           flags: --seed S"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parses `<command> --key value ...` without external crates.
+fn parse(args: &[String]) -> (Option<String>, HashMap<String, String>) {
+    let mut flags = HashMap::new();
+    let command = args.first().cloned();
+    let mut i = 1;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            let value = args.get(i + 1).cloned().unwrap_or_default();
+            flags.insert(key.to_owned(), value);
+            i += 2;
+        } else {
+            eprintln!("unexpected argument: {}", args[i]);
+            std::process::exit(2);
+        }
+    }
+    (command, flags)
+}
+
+fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    flags.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn demo(flags: &HashMap<String, String>) {
+    let managers: usize = get(flags, "managers", 5);
+    let hosts: usize = get(flags, "hosts", 3);
+    let users: usize = get(flags, "users", 4);
+    let c: usize = get(flags, "check-quorum", (managers / 2).max(1));
+    let te: u64 = get(flags, "te", 60);
+    let minutes: u64 = get(flags, "minutes", 10);
+    let pi: f64 = get(flags, "pi", 0.1);
+    let seed: u64 = get(flags, "seed", 1);
+
+    let policy = Policy::builder(c)
+        .revocation_bound(SimDuration::from_secs(te))
+        .query_timeout(SimDuration::from_millis(400))
+        .max_attempts(3)
+        .build();
+    let net = wanacl::sim::net::WanNet::builder()
+        .uniform_delay(SimDuration::from_millis(20), SimDuration::from_millis(80))
+        .partitions(Box::new(wanacl::sim::net::partition::EpochIid::new(
+            pi,
+            SimDuration::from_secs(10),
+            seed ^ 0xdead,
+        )))
+        .build();
+    let mut d = Scenario::builder(seed)
+        .managers(managers)
+        .hosts(hosts)
+        .users(users)
+        .policy(policy)
+        .all_users_granted()
+        .workload(SimDuration::from_secs(3))
+        .net(Box::new(net))
+        .build();
+    println!(
+        "running {minutes} simulated minutes: M={managers} C={c} Te={te}s Pi={pi} \
+         ({hosts} hosts, {users} users)"
+    );
+    d.run_for(SimDuration::from_secs(minutes * 60));
+    let s = d.aggregate_user_stats();
+    println!("requests:     {}", s.sent);
+    println!("allowed:      {} ({:.2}%)", s.allowed, 100.0 * s.allowed as f64 / s.sent.max(1) as f64);
+    println!("denied:       {}", s.denied);
+    println!("unavailable:  {}", s.unavailable);
+    println!("timeouts:     {}", s.timeouts);
+    println!("messages:     {}", d.world.metrics().counter("net.sent"));
+    if let Some(h) = d.world.metrics().histogram("host.check_latency_s") {
+        if let Some(mean) = h.mean() {
+            println!("mean cold-check latency: {:.3}s over {} checks", mean, h.count());
+        }
+    }
+}
+
+fn tradeoff(flags: &HashMap<String, String>) {
+    let managers: usize = get(flags, "managers", 10);
+    let pi: f64 = get(flags, "pi", 0.2);
+    let trials: u64 = get(flags, "trials", 150);
+    println!("M={managers} Pi={pi} trials={trials}\n");
+    println!("  C | PA model  PA measured | PS model  PS measured");
+    println!(" ---+------------------------+----------------------");
+    for c in 1..=managers {
+        let pa = wanacl::analysis::model::pa(managers as u64, c as u64, pi);
+        let ps = wanacl::analysis::model::ps(managers as u64, c as u64, pi);
+        let pa_m =
+            wanacl::analysis::experiments::measure_availability(managers, c, pi, trials, 40 + c as u64);
+        let ps_m =
+            wanacl::analysis::experiments::measure_security(managers, c, pi, trials, 80 + c as u64);
+        println!(
+            " {c:2} |  {pa:.4}     {:.4}    |  {ps:.4}     {:.4}",
+            pa_m.value, ps_m.value
+        );
+    }
+}
+
+fn tables(_flags: &HashMap<String, String>) {
+    println!("{}", wanacl::analysis::tables::render_table1(10, &[0.1, 0.2]));
+    println!("{}", wanacl::analysis::tables::render_table2(&[0.1, 0.2]));
+}
+
+fn audit(flags: &HashMap<String, String>) {
+    let seed: u64 = get(flags, "seed", 7);
+    let te = SimDuration::from_secs(20);
+    let policy = Policy::builder(2)
+        .revocation_bound(te)
+        .query_timeout(SimDuration::from_millis(300))
+        .max_attempts(2)
+        .build();
+    let mut d = Scenario::builder(seed)
+        .managers(3)
+        .hosts(2)
+        .users(3)
+        .policy(policy)
+        .all_users_granted()
+        .workload(SimDuration::from_secs(2))
+        .build();
+    d.world.enable_trace();
+    d.run_for(SimDuration::from_secs(30));
+    d.revoke(UserId(1), Right::Use);
+    d.run_for(SimDuration::from_secs(90));
+
+    let log = AuditLog::from_trace(d.world.trace());
+    println!("audit: {} allows, {} stable revokes recorded", log.allow_count(), log.revoke_count());
+    match log.verify_bounded_revocation(te, SimDuration::from_millis(500)) {
+        Ok(()) => println!("bounded-revocation invariant HOLDS (Te = {te})"),
+        Err(v) => {
+            println!("VIOLATION: {v}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! # wanacl — access control in wide-area networks
+//!
+//! A production-quality Rust reproduction of Matti A. Hiltunen and
+//! Richard D. Schlichting, *Access Control in Wide-Area Networks*,
+//! ICDCS '97. The system keeps per-application access-control lists at a
+//! small set of **managers**, caches grants at application **hosts** as
+//! time-bounded leases (`te = b·Te`), and coordinates manager updates
+//! through **check/update quorums** (`C` and `M − C + 1`), so each
+//! application chooses its own point on the security–availability
+//! tradeoff under network partitions.
+//!
+//! This facade re-exports the component crates:
+//!
+//! * [`core`] (`wanacl-core`) — the protocol: hosts, managers, name
+//!   service, workload agents, policies, deployment builder.
+//! * [`sim`] (`wanacl-sim`) — the deterministic discrete-event WAN
+//!   simulator (delays, loss, congestion, partitions, drifting clocks,
+//!   crash/recovery).
+//! * [`auth`] (`wanacl-auth`) — SHA-256 / HMAC / RSA authentication
+//!   substrate.
+//! * [`baselines`] (`wanacl-baselines`) — the §3 dissemination
+//!   alternatives and the eventual-consistency comparator.
+//! * [`analysis`] (`wanacl-analysis`) — the §4.1 model and the
+//!   harness regenerating every table and figure of the paper.
+//! * [`rt`] (`wanacl-rt`) — a threaded real-time driver for the same
+//!   protocol state machines.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use wanacl::prelude::*;
+//!
+//! // 5 managers, 3 hosts, 2 users; check quorum 3; revocation bound 60 s.
+//! let policy = Policy::builder(3)
+//!     .revocation_bound(SimDuration::from_secs(60))
+//!     .build();
+//! let mut d = Scenario::builder(42)
+//!     .managers(5)
+//!     .hosts(3)
+//!     .users(2)
+//!     .policy(policy)
+//!     .all_users_granted()
+//!     .build();
+//!
+//! d.run_for(SimDuration::from_secs(1));
+//! d.invoke_from(0);
+//! d.run_for(SimDuration::from_secs(2));
+//! assert_eq!(d.user_agent(0).stats().allowed, 1);
+//!
+//! // Revoke user 2 and watch the deny.
+//! d.revoke(UserId(2), Right::Use);
+//! d.run_for(SimDuration::from_secs(2));
+//! d.invoke_from(1);
+//! d.run_for(SimDuration::from_secs(2));
+//! assert_eq!(d.user_agent(1).stats().denied, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use wanacl_analysis as analysis;
+pub use wanacl_auth as auth;
+pub use wanacl_baselines as baselines;
+pub use wanacl_core as core;
+pub use wanacl_rt as rt;
+pub use wanacl_sim as sim;
+
+/// One-stop imports for applications and experiments.
+pub mod prelude {
+    pub use wanacl_core::prelude::*;
+    pub use wanacl_sim::prelude::*;
+}

@@ -1,0 +1,2 @@
+//! Workspace umbrella crate; see the `wanacl` facade crate.
+pub use wanacl::*;

@@ -1,0 +1,173 @@
+//! Property-based tests for the core invariants (I2, I3, I4 of
+//! DESIGN.md) and the substrate primitives.
+
+use proptest::prelude::*;
+
+use wanacl::analysis::model::{pa, ps};
+use wanacl::auth::hmac::{hmac_sha256, verify};
+use wanacl::auth::rsa::{self, KeyPair};
+use wanacl::auth::sha256::{Digest, Sha256};
+use wanacl::core::cache::{AclCache, CacheDecision};
+use wanacl::core::policy::Policy;
+use wanacl::core::types::UserId;
+use wanacl::sim::clock::{DriftClock, LocalTime};
+use wanacl::sim::rng::SimRng;
+use wanacl::sim::time::SimDuration;
+
+proptest! {
+    /// I2: any check quorum intersects any update quorum — verified on
+    /// concrete random subsets, not just by counting.
+    #[test]
+    fn check_and_update_quorums_intersect(
+        m in 1usize..15,
+        c_seed in 0usize..15,
+        pick_seed in any::<u64>(),
+    ) {
+        let c = 1 + c_seed % m;
+        let policy = Policy::builder(c).build();
+        let uq = policy.update_quorum(m);
+        prop_assert_eq!(c + uq, m + 1);
+
+        // Draw a random C-subset and a random uq-subset of 0..m.
+        let mut rng = SimRng::seed_from(pick_seed);
+        let mut all: Vec<usize> = (0..m).collect();
+        rng.shuffle(&mut all);
+        let check: Vec<usize> = all[..c].to_vec();
+        rng.shuffle(&mut all);
+        let update: Vec<usize> = all[..uq].to_vec();
+        prop_assert!(
+            check.iter().any(|x| update.contains(x)),
+            "subsets {:?} and {:?} of {} managers must intersect",
+            check, update, m
+        );
+    }
+
+    /// I4: for any admissible clock rate and any Te, a lease budget of
+    /// te = b*Te measured on the local clock elapses within Te real time.
+    #[test]
+    fn lease_budget_respects_real_bound(
+        b_millis in 1u64..=1000,
+        rate_extra in 0.0f64..1.0,
+        te_ms in 1u64..10_000_000,
+    ) {
+        let b = b_millis as f64 / 1000.0;
+        let rate = b + (1.0 - b) * rate_extra; // in [b, 1]
+        let clock = DriftClock::new(rate.clamp(1e-3, 1.0), SimDuration::ZERO);
+        let te_real = SimDuration::from_millis(te_ms);
+        let budget = te_real.mul_f64(b);
+        let real_needed = clock.real_duration_for(budget);
+        // Allow one nanosecond of rounding per conversion.
+        prop_assert!(
+            real_needed.as_nanos() <= te_real.as_nanos() + 2,
+            "rate {rate}, b {b}: {real_needed} > {te_real}"
+        );
+    }
+
+    /// Model sanity on arbitrary parameters: probabilities in range and
+    /// the tradeoff monotone in C.
+    #[test]
+    fn model_probabilities_behave(m in 1u64..20, pi in 0.0f64..=1.0) {
+        let mut prev_pa = f64::INFINITY;
+        let mut prev_ps = -1.0;
+        for c in 1..=m {
+            let a = pa(m, c, pi);
+            let s = ps(m, c, pi);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&a));
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&s));
+            prop_assert!(a <= prev_pa + 1e-12, "PA must fall with C");
+            prop_assert!(s >= prev_ps - 1e-12, "PS must rise with C");
+            prev_pa = a;
+            prev_ps = s;
+        }
+    }
+
+    /// I3 (cache soundness, data-structure level): a lookup never
+    /// reports Fresh at or past the stored limit, whatever operation
+    /// sequence produced the state.
+    #[test]
+    fn cache_never_serves_expired_entries(
+        ops in prop::collection::vec((0u8..4, 0u64..8, 0u64..1000), 1..200),
+    ) {
+        let mut cache = AclCache::new();
+        let mut clock = 0u64;
+        for (op, user, arg) in ops {
+            let user = UserId(user);
+            clock += arg / 4; // time moves forward
+            let now = LocalTime::from_nanos(clock);
+            match op {
+                0 => cache.insert(user, LocalTime::from_nanos(clock + arg)),
+                1 => { cache.remove(user); }
+                2 => { cache.sweep(now); }
+                _ => {
+                    if let CacheDecision::Fresh(limit) = cache.lookup(user, now) {
+                        prop_assert!(now < limit, "fresh entry must be unexpired");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Incremental SHA-256 equals one-shot hashing under arbitrary
+    /// chunk boundaries.
+    #[test]
+    fn sha256_chunking_is_invisible(
+        data in prop::collection::vec(any::<u8>(), 0..2048),
+        cuts in prop::collection::vec(0usize..2048, 0..8),
+    ) {
+        let mut boundaries: Vec<usize> =
+            cuts.into_iter().map(|c| c % (data.len() + 1)).collect();
+        boundaries.sort_unstable();
+        boundaries.dedup();
+        let mut h = Sha256::new();
+        let mut prev = 0;
+        for &b in &boundaries {
+            h.update(&data[prev..b]);
+            prev = b;
+        }
+        h.update(&data[prev..]);
+        prop_assert_eq!(h.finish(), Digest::of(&data));
+    }
+
+    /// HMAC verifies its own tags and rejects tampered messages.
+    #[test]
+    fn hmac_roundtrip_and_tamper(
+        key in prop::collection::vec(any::<u8>(), 0..100),
+        msg in prop::collection::vec(any::<u8>(), 1..200),
+        flip in 0usize..200,
+    ) {
+        let tag = hmac_sha256(&key, &msg);
+        prop_assert!(verify(&key, &msg, &tag));
+        let mut tampered = msg.clone();
+        let idx = flip % tampered.len();
+        tampered[idx] ^= 0x01;
+        prop_assert!(!verify(&key, &tampered, &tag));
+    }
+
+    /// RSA signatures verify for the signer and fail for other messages.
+    #[test]
+    fn rsa_signatures_bind_messages(seed in any::<u64>(), msg in ".{1,64}", other in ".{1,64}") {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let kp = KeyPair::generate(&mut rng);
+        let sig = kp.sign(msg.as_bytes());
+        prop_assert!(rsa::verify(&kp.public, msg.as_bytes(), &sig));
+        if msg != other {
+            // Hash-then-sign over a 64-bit group: distinct messages can
+            // collide only with ~2^-64 probability.
+            prop_assert!(!rsa::verify(&kp.public, other.as_bytes(), &sig));
+        }
+    }
+
+    /// Seeded RNG streams are reproducible and label-forked streams
+    /// stay independent of fork order.
+    #[test]
+    fn rng_fork_stability(seed in any::<u64>()) {
+        let mut a = SimRng::seed_from(seed);
+        let mut b = SimRng::seed_from(seed);
+        let mut fa = a.fork("x");
+        let mut fb = b.fork("x");
+        for _ in 0..16 {
+            prop_assert_eq!(fa.next_u64(), fb.next_u64());
+        }
+    }
+}
