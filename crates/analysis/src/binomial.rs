@@ -135,8 +135,8 @@ mod tests {
         let n = 8;
         let probs = vec![p; n];
         let dist = poisson_binomial(&probs);
-        for k in 0..=n {
-            assert!((dist[k] - pmf(n as u64, k as u64, p)).abs() < 1e-10, "k={k}");
+        for (k, d) in dist.iter().enumerate() {
+            assert!((d - pmf(n as u64, k as u64, p)).abs() < 1e-10, "k={k}");
         }
     }
 

@@ -345,7 +345,7 @@ pub fn measure_overhead(c: usize, te: SimDuration, seed: u64) -> OverheadMeasure
             },
         );
         invokes += 1;
-        t = t + invoke_period;
+        t += invoke_period;
     }
     d.run_until(SimTime::ZERO + horizon + SimDuration::from_secs(5));
     let queries = d.world.metrics().counter("host.queries_sent");

@@ -81,9 +81,9 @@ pub fn render_fig5(series: &Fig5Series, height: usize) -> String {
     assert!(height >= 2, "chart needs at least two rows");
     let m = series.m as usize;
     let mut grid = vec![vec![' '; m]; height];
-    for c in 0..m {
-        let a_row = level_to_row(series.availability[c], height);
-        let s_row = level_to_row(series.security[c], height);
+    for (c, (&a, &s)) in series.availability.iter().zip(series.security.iter()).enumerate().take(m) {
+        let a_row = level_to_row(a, height);
+        let s_row = level_to_row(s, height);
         if a_row == s_row {
             grid[a_row][c] = '*';
         } else {

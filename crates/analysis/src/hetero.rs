@@ -143,9 +143,9 @@ mod tests {
         // Manager 0 is nearly cut off from everyone.
         let m = 6;
         let mut mgr_pi = vec![vec![0.05; m]; m];
-        for j in 1..m {
-            mgr_pi[0][j] = 0.9;
-            mgr_pi[j][0] = 0.9;
+        mgr_pi[0][1..].fill(0.9);
+        for row in mgr_pi.iter_mut().skip(1) {
+            row[0] = 0.9;
         }
         let model = HeteroModel::new(vec![vec![0.05; m]; 1], mgr_pi, 3);
         let uniform = vec![1.0; m];

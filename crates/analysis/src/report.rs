@@ -180,20 +180,21 @@ pub fn hetero_report() -> String {
     let m = 6;
     let c = 3;
     let mut mgr_pi = vec![vec![0.05; m]; m];
-    for j in 1..m {
-        mgr_pi[0][j] = 0.6;
-        mgr_pi[j][0] = 0.6;
+    mgr_pi[0][1..].fill(0.6);
+    for row in mgr_pi.iter_mut().skip(1) {
+        row[0] = 0.6;
     }
     // Two hosts: one well connected, one behind a congested link.
     let host_pi = vec![vec![0.05; m], vec![0.35; m]];
     let model = HeteroModel::new(host_pi, mgr_pi, c);
 
     let headers = ["entity", "probability"];
-    let mut rows = Vec::new();
-    rows.push(vec!["PA host0 (good links)".into(), prob(model.host_availability(0))]);
-    rows.push(vec!["PA host1 (congested)".into(), prob(model.host_availability(1))]);
-    rows.push(vec!["PS manager0 (isolated)".into(), prob(model.manager_security(0))]);
-    rows.push(vec!["PS manager1 (normal)".into(), prob(model.manager_security(1))]);
+    let mut rows = vec![
+        vec!["PA host0 (good links)".into(), prob(model.host_availability(0))],
+        vec!["PA host1 (congested)".into(), prob(model.host_availability(1))],
+        vec!["PS manager0 (isolated)".into(), prob(model.manager_security(0))],
+        vec!["PS manager1 (normal)".into(), prob(model.manager_security(1))],
+    ];
     rows.push(vec![
         "system PA (uniform traffic)".into(),
         prob(model.system_availability(&[1.0, 1.0])),

@@ -41,7 +41,7 @@ fn run_workload(policy: Policy, seed: u64, loss: f64) -> (u64, u64) {
                 signature: None,
             },
         );
-        t = t + SimDuration::from_millis(500);
+        t += SimDuration::from_millis(500);
     }
     d.run_until(SimTime::from_secs(65));
     let m = d.world.metrics();

@@ -55,6 +55,12 @@ struct Entry {
 #[derive(Debug, Clone, Default)]
 pub struct AclCache {
     entries: BTreeMap<UserId, Entry>,
+    /// Fault-injection knob: when set, `lookup` treats expired entries as
+    /// fresh and `sweep` drops nothing. This deliberately breaks the
+    /// protocol's time-bound revocation guarantee so nemesis campaigns
+    /// can prove the invariant oracle catches a real safety bug. Never
+    /// set outside fault-injection harnesses.
+    ignore_expiry: bool,
 }
 
 impl AclCache {
@@ -70,7 +76,7 @@ impl AclCache {
     /// grants only while `Time() < Rec.limit`.
     pub fn lookup(&mut self, user: UserId, now: LocalTime) -> CacheDecision {
         match self.entries.get_mut(&user) {
-            Some(entry) if now < entry.limit => {
+            Some(entry) if now < entry.limit || self.ignore_expiry => {
                 entry.last_used = now;
                 CacheDecision::Fresh(entry.limit)
             }
@@ -112,6 +118,9 @@ impl AclCache {
     /// dropped. This is the §3.2 periodic check that "can save memory and
     /// processing overhead".
     pub fn sweep(&mut self, now: LocalTime) -> usize {
+        if self.ignore_expiry {
+            return 0;
+        }
         let before = self.entries.len();
         self.entries.retain(|_, entry| now < entry.limit);
         before - self.entries.len()
@@ -137,6 +146,14 @@ impl AclCache {
     /// When the entry for `user` last served a request, if cached.
     pub fn last_used(&self, user: UserId) -> Option<LocalTime> {
         self.entries.get(&user).map(|e| e.last_used)
+    }
+
+    /// Enables (or disables) the deliberate ignore-expiry bug — a
+    /// fault-injection hook for validating the invariant oracle. With it
+    /// on, entries never expire from `lookup` or `sweep`, so a revoked
+    /// right keeps being honoured far past the `Te` bound.
+    pub fn set_ignore_expiry(&mut self, on: bool) {
+        self.ignore_expiry = on;
     }
 
     /// Marks the entry as used at `now` without a lookup (the grant that
@@ -227,6 +244,17 @@ mod tests {
         // Expired lookup removes the entry.
         c.lookup(UserId(1), t(300));
         assert_eq!(c.last_used(UserId(1)), None);
+    }
+
+    #[test]
+    fn ignore_expiry_keeps_dead_entries_alive() {
+        let mut c = AclCache::new();
+        c.insert(UserId(1), t(100));
+        c.set_ignore_expiry(true);
+        assert_eq!(c.lookup(UserId(1), t(500)), CacheDecision::Fresh(t(100)));
+        assert_eq!(c.sweep(t(500)), 0);
+        c.set_ignore_expiry(false);
+        assert_eq!(c.lookup(UserId(1), t(500)), CacheDecision::Expired);
     }
 
     #[test]

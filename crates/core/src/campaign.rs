@@ -1,0 +1,372 @@
+//! Nemesis campaigns: run the full protocol under a randomized
+//! adversarial schedule with the [`InvariantOracle`] watching.
+//!
+//! A campaign is a pure function of a [`CampaignConfig`]: the same seed
+//! reproduces the same deployment, the same [`NemesisPlan`], and the
+//! same event schedule, so a violation report is a *replayable
+//! counterexample* — `(seed, plan, event index)` identifies the exact
+//! offending event in any rerun. [`shrink_plan`] then greedily minimizes
+//! the plan while the violation persists, the way property-testing
+//! shrinkers minimize failing inputs.
+
+use wanacl_sim::clock::ClockSpec;
+use wanacl_sim::nemesis::{NemesisPlan, NemesisTargets};
+use wanacl_sim::net::WanNet;
+use wanacl_sim::node::NodeId;
+use wanacl_sim::rng::SimRng;
+use wanacl_sim::time::{SimDuration, SimTime};
+use wanacl_sim::world::ObserverId;
+
+use crate::client::AdminAction;
+use crate::host::HostNode;
+use crate::msg::AclOp;
+use crate::oracle::{InvariantOracle, OracleStats, OracleViolation};
+use crate::policy::Policy;
+use crate::scenario::{Deployment, Scenario};
+use crate::types::{Right, UserId};
+
+/// A deliberately planted protocol bug, for proving the oracle catches
+/// real unsafety (a campaign harness that never fires is worthless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedBug {
+    /// One host's ACL cache stops expiring entries (see
+    /// [`crate::cache::AclCache::set_ignore_expiry`]): revoked rights
+    /// keep being honoured from cache far past `Te`.
+    IgnoreCacheExpiry {
+        /// Which host (0-based) carries the bug.
+        host_index: usize,
+    },
+}
+
+/// Everything that defines one campaign run.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Master seed: deployment, workload, admin schedule, and nemesis
+    /// plan all derive from it.
+    pub seed: u64,
+    /// Number of ACL managers.
+    pub managers: usize,
+    /// Number of application hosts.
+    pub hosts: usize,
+    /// Number of users issuing requests.
+    pub users: usize,
+    /// The per-application policy every node runs.
+    pub policy: Policy,
+    /// Fault-injection horizon; the world runs a drain tail beyond it
+    /// so post-fault residual accesses are still checked.
+    pub horizon: SimDuration,
+    /// Fault density (1.0 ≈ one fault per 5 s of horizon).
+    pub intensity: f64,
+    /// Route host→manager discovery through a name service (and expose
+    /// it to nemesis outages).
+    pub use_name_service: bool,
+    /// Optional planted bug.
+    pub inject_bug: Option<InjectedBug>,
+}
+
+impl CampaignConfig {
+    /// A policy tuned for short campaigns: C = 2, Te = 2 s, b = 0.9,
+    /// tight timeouts, fail-closed, frequent cache sweeps.
+    pub fn default_policy() -> Policy {
+        Policy::builder(2)
+            .revocation_bound(SimDuration::from_secs(2))
+            .clock_rate_bound(0.9)
+            .query_timeout(SimDuration::from_millis(250))
+            .max_attempts(3)
+            .cache_sweep_interval(SimDuration::from_millis(500))
+            .build()
+    }
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 1,
+            managers: 3,
+            hosts: 2,
+            users: 2,
+            policy: Self::default_policy(),
+            horizon: SimDuration::from_secs(10),
+            intensity: 1.0,
+            use_name_service: false,
+            inject_bug: None,
+        }
+    }
+}
+
+/// The outcome of one campaign.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// The seed that produced everything below.
+    pub seed: u64,
+    /// The nemesis plan that ran.
+    pub plan: NemesisPlan,
+    /// Invariant violations the oracle caught (empty = safe run).
+    pub violations: Vec<OracleViolation>,
+    /// How much evidence the oracle checked.
+    pub oracle_stats: OracleStats,
+    /// Aggregate user-visible outcomes.
+    pub user_stats: crate::client::UserStats,
+}
+
+impl CampaignReport {
+    /// Whether the run broke no invariant.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Renders the replayable counterexample (or a clean summary).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.is_clean() {
+            out.push_str(&format!(
+                "seed {}: clean — {} allows checked ({} quorum, {} cache, {} fail-open), {} revokes observed\n",
+                self.seed,
+                self.oracle_stats.allows,
+                self.oracle_stats.quorum_allows,
+                self.oracle_stats.cache_allows,
+                self.oracle_stats.fail_open_allows,
+                self.oracle_stats.revokes,
+            ));
+        } else {
+            out.push_str(&format!(
+                "seed {}: {} violation(s)\n",
+                self.seed,
+                self.violations.len()
+            ));
+            for v in &self.violations {
+                out.push_str(&format!("  {v}\n"));
+            }
+            out.push_str("replay with:\n");
+            out.push_str(&format!(
+                "  wanacl nemesis --seed {} (event #{} is the offense)\n",
+                self.seed, self.violations[0].event_index
+            ));
+        }
+        out.push_str(&self.plan.describe());
+        out
+    }
+}
+
+/// The deterministic node layout a campaign deployment will get, known
+/// before the world is built (managers first, then the optional name
+/// service, then hosts — asserted against the real deployment).
+pub fn campaign_targets(config: &CampaignConfig) -> NemesisTargets {
+    let managers: Vec<NodeId> = (0..config.managers).map(NodeId::from_index).collect();
+    let name_service =
+        config.use_name_service.then(|| NodeId::from_index(config.managers));
+    let host_base = config.managers + usize::from(config.use_name_service);
+    let hosts: Vec<NodeId> =
+        (host_base..host_base + config.hosts).map(NodeId::from_index).collect();
+    NemesisTargets { managers, hosts, name_service }
+}
+
+/// Samples the nemesis plan the given config's seed implies.
+pub fn sample_plan(config: &CampaignConfig) -> NemesisPlan {
+    let targets = campaign_targets(config);
+    let horizon = SimTime::ZERO + config.horizon;
+    let mut rng = SimRng::seed_from(config.seed ^ 0x6e65_6d65);
+    NemesisPlan::sample(&targets, horizon, config.intensity, &mut rng)
+}
+
+/// Admin churn: every user gets its `use` right revoked and re-granted
+/// at seed-deterministic times inside the horizon, so the oracle's
+/// bounded-revocation check has real revocations to bite on.
+fn admin_script(config: &CampaignConfig) -> Vec<AdminAction> {
+    let mut rng = SimRng::seed_from(config.seed ^ 0x6164_6d69);
+    let h = config.horizon.as_secs_f64();
+    let mut script = Vec::new();
+    for i in 1..=config.users {
+        let user = UserId(i as u64);
+        let revoke_at = h * (0.2 + 0.4 * rng.unit());
+        let regrant_at = revoke_at + h * (0.1 + 0.2 * rng.unit());
+        script.push(AdminAction {
+            delay: SimDuration::from_secs_f64(revoke_at),
+            op: AclOp::Revoke { app: crate::types::AppId(0), user, right: Right::Use },
+        });
+        script.push(AdminAction {
+            delay: SimDuration::from_secs_f64(regrant_at),
+            op: AclOp::Add { app: crate::types::AppId(0), user, right: Right::Use },
+        });
+    }
+    script
+}
+
+fn build_deployment(
+    config: &CampaignConfig,
+    plan: &NemesisPlan,
+) -> (Deployment, ObserverId) {
+    let base = WanNet::builder()
+        .uniform_delay(SimDuration::from_millis(10), SimDuration::from_millis(60))
+        .loss(0.01)
+        .build();
+    let min_rate = config.policy.clock_rate_bound();
+    let mean_interarrival = SimDuration::from_millis(300);
+    let mut scenario = Scenario::builder(config.seed)
+        .managers(config.managers)
+        .hosts(config.hosts)
+        .users(config.users)
+        .policy(config.policy.clone())
+        .all_users_granted()
+        .manager_clock(ClockSpec::RandomRate { min_rate })
+        .host_clock(ClockSpec::RandomRate { min_rate })
+        .workload(mean_interarrival)
+        .request_timeout(SimDuration::from_secs(5))
+        .admin_script(admin_script(config))
+        .net(Box::new(plan.wrap_net(Box::new(base))));
+    if config.use_name_service {
+        scenario = scenario.with_name_service(SimDuration::from_secs(2));
+    }
+    let mut deployment = scenario.build();
+
+    // The arithmetic layout used for plan sampling must match reality.
+    let targets = campaign_targets(config);
+    assert_eq!(deployment.managers, targets.managers, "manager layout drifted");
+    assert_eq!(deployment.hosts, targets.hosts, "host layout drifted");
+
+    if let Some(InjectedBug::IgnoreCacheExpiry { host_index }) = config.inject_bug {
+        let host = deployment.hosts[host_index];
+        let app = deployment.app;
+        deployment.world.node_as_mut::<HostNode>(host).inject_ignore_expiry(app);
+    }
+
+    plan.install_lifecycle(&mut deployment.world);
+    let oracle = InvariantOracle::new(&config.policy, SimDuration::ZERO);
+    let oracle_id = deployment.world.add_observer(Box::new(oracle));
+    (deployment, oracle_id)
+}
+
+/// Runs one campaign with the plan the seed implies.
+pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
+    let plan = sample_plan(config);
+    run_with_plan(config, &plan)
+}
+
+/// Runs one campaign under an explicit plan (replay and shrinking).
+pub fn run_with_plan(config: &CampaignConfig, plan: &NemesisPlan) -> CampaignReport {
+    let (mut deployment, oracle_id) = build_deployment(config, plan);
+    // Drain tail: any lease issued near the horizon is still live for up
+    // to Te afterwards; keep the oracle watching until it must be dead.
+    let total = config.horizon + config.policy.revocation_bound() + config.policy.revocation_bound();
+    let chunk = SimDuration::from_nanos((total.as_nanos() / 40).max(1));
+    let deadline = SimTime::ZERO + total;
+    while deployment.world.now() < deadline {
+        deployment.run_for(chunk);
+        // Early exit: the first violation already carries the replay
+        // coordinate; running on only piles up repeats.
+        if !deployment.world.observer_as::<InvariantOracle>(oracle_id).is_clean() {
+            break;
+        }
+    }
+    let user_stats = deployment.aggregate_user_stats();
+    let oracle = deployment.world.observer_as::<InvariantOracle>(oracle_id);
+    CampaignReport {
+        seed: config.seed,
+        plan: plan.clone(),
+        violations: oracle.violations().to_vec(),
+        oracle_stats: oracle.stats(),
+        user_stats,
+    }
+}
+
+/// Greedily shrinks a violating plan: repeatedly drop any fault whose
+/// removal keeps the campaign failing, until no single removal does.
+/// Returns the (possibly empty) minimal plan and its report.
+///
+/// If `plan` does not actually fail under `config`, it is returned
+/// unchanged with its clean report.
+pub fn shrink_plan(
+    config: &CampaignConfig,
+    plan: &NemesisPlan,
+) -> (NemesisPlan, CampaignReport) {
+    let mut best_report = run_with_plan(config, plan);
+    let mut best = plan.clone();
+    if best_report.is_clean() {
+        return (best, best_report);
+    }
+    loop {
+        let mut shrunk = false;
+        let mut i = 0;
+        while i < best.len() {
+            let candidate = best.without(i);
+            let report = run_with_plan(config, &candidate);
+            if !report.is_clean() {
+                best = candidate;
+                best_report = report;
+                shrunk = true;
+                // Same index now names the next fault; do not advance.
+            } else {
+                i += 1;
+            }
+        }
+        if !shrunk {
+            return (best, best_report);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(seed: u64) -> CampaignConfig {
+        CampaignConfig { seed, horizon: SimDuration::from_secs(5), ..CampaignConfig::default() }
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let config = quick_config(42);
+        let a = run_campaign(&config);
+        let b = run_campaign(&config);
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.violations, b.violations);
+        assert_eq!(a.oracle_stats, b.oracle_stats);
+    }
+
+    #[test]
+    fn unmodified_protocol_survives_a_campaign() {
+        let report = run_campaign(&quick_config(7));
+        assert!(report.is_clean(), "{}", report.render());
+        assert!(report.oracle_stats.allows > 0, "campaign produced no evidence");
+    }
+
+    #[test]
+    fn injected_expiry_bug_is_caught_and_shrinks() {
+        // Hunt a seed whose schedule actually exercises the planted bug:
+        // the host must serve the revoked user from its immortal cache
+        // more than Te after the revoke stabilizes.
+        let mut caught = None;
+        for seed in 0..20 {
+            let config = CampaignConfig {
+                inject_bug: Some(InjectedBug::IgnoreCacheExpiry { host_index: 0 }),
+                ..quick_config(seed)
+            };
+            let report = run_campaign(&config);
+            if !report.is_clean() {
+                caught = Some((config, report));
+                break;
+            }
+        }
+        let (config, report) = caught.expect("no seed in 0..20 tripped the planted bug");
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.kind == crate::oracle::InvariantKind::BoundedRevocation
+                || v.kind == crate::oracle::InvariantKind::CacheExpiry));
+        let (small, small_report) = shrink_plan(&config, &report.plan);
+        assert!(!small_report.is_clean(), "shrunk plan must still fail");
+        assert!(small.len() <= report.plan.len(), "shrinking must not grow the plan");
+    }
+
+    #[test]
+    fn name_service_layout_matches_deployment() {
+        let config = CampaignConfig {
+            use_name_service: true,
+            horizon: SimDuration::from_secs(3),
+            ..quick_config(3)
+        };
+        // build_deployment asserts the arithmetic layout internally.
+        let report = run_campaign(&config);
+        assert!(report.oracle_stats.allows > 0 || report.user_stats.sent > 0);
+    }
+}

@@ -77,6 +77,7 @@ impl ChannelKeys {
     }
 
     /// Verifies a `QueryReply` tag.
+    #[allow(clippy::too_many_arguments)]
     pub fn verify_query_reply(
         &self,
         manager: NodeId,

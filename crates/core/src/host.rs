@@ -119,6 +119,9 @@ struct AppState {
     cache: AclCache,
     application: Box<dyn Application>,
     ns_timer: Option<TimerId>,
+    /// Consecutive unanswered name-service queries; indexes the
+    /// [`Policy::ns_retry_backoff`] schedule and resets on a reply.
+    ns_round: u32,
 }
 
 impl std::fmt::Debug for AppState {
@@ -167,6 +170,7 @@ impl HostNode {
                     cache: AclCache::new(),
                     application: spec.application,
                     ns_timer: None,
+                    ns_round: 0,
                 },
             );
         }
@@ -211,6 +215,22 @@ impl HostNode {
         self.apps.get(&app).and_then(|a| a.cache.peek(user))
     }
 
+    /// Fault injection: makes this host's cache for `app` ignore entry
+    /// expiry (see [`crate::cache::AclCache::set_ignore_expiry`]). Used
+    /// by nemesis campaigns to plant a known safety bug and prove the
+    /// invariant oracle detects it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the app is not served by this host.
+    pub fn inject_ignore_expiry(&mut self, app: AppId) {
+        self.apps
+            .get_mut(&app)
+            .unwrap_or_else(|| panic!("{app} not served by this host"))
+            .cache
+            .set_ignore_expiry(true);
+    }
+
     /// Access to a wrapped application for inspection (e.g.
     /// [`crate::wrapper::CountingApp::handled`]).
     ///
@@ -239,7 +259,9 @@ impl HostNode {
             ctx.set_timer(sweep, TAG_SWEEP | u64::from(app.0));
             if let ManagerDirectory::NameService { ns } = state.directory {
                 ctx.send(ns, ProtoMsg::NsQuery { app });
-                let retry = state.policy.query_timeout() + state.policy.query_timeout();
+                state.ns_round = 0;
+                let retry = state.policy.ns_retry_backoff().delay(state.ns_round, ctx.rng());
+                state.ns_round = state.ns_round.saturating_add(1);
                 state.ns_timer = Some(ctx.set_timer(retry, TAG_NS | u64::from(app.0)));
             }
         }
@@ -319,8 +341,35 @@ impl HostNode {
                     .copied()
                     .min()
                     .unwrap_or(SimDuration::ZERO);
+                let check_quorum = self
+                    .apps
+                    .get(&p.app)
+                    .map(|s| s.policy.check_quorum())
+                    .unwrap_or(0);
+                let mgrs = p
+                    .grants
+                    .keys()
+                    .map(|n| n.index().to_string())
+                    .collect::<Vec<_>>()
+                    .join(";");
+                let mut detail = format!(
+                    "mode=quorum confirms={} c={} mgrs={} started={}",
+                    p.grants.len(),
+                    check_quorum,
+                    mgrs,
+                    p.attempt_started.as_nanos(),
+                );
                 if min_te > SimDuration::ZERO {
                     let limit = p.attempt_started.plus(min_te);
+                    detail.push_str(&format!(" limit={}", limit.as_nanos()));
+                    ctx.trace(format!(
+                        "audit=cache-store app={} user={} started={} limit={} te={}",
+                        p.app.0,
+                        p.user.0,
+                        p.attempt_started.as_nanos(),
+                        limit.as_nanos(),
+                        min_te.as_nanos(),
+                    ));
                     if let Some(state) = self.apps.get_mut(&p.app) {
                         state.cache.insert(p.user, limit);
                         // The grant that creates the entry is a use.
@@ -328,13 +377,13 @@ impl HostNode {
                     }
                     self.arm_refresh(ctx, p.app, p.user, limit);
                 }
-                self.allow(ctx, p.app, p.user, &p.payload)
+                self.allow(ctx, p.app, p.user, &p.payload, &detail)
             }
             FinishKind::FailOpen => {
                 // Figure 4: allow, but nothing is cached — no te is known.
                 self.stats.fail_open_allows += 1;
                 ctx.metric_incr("host.fail_open");
-                self.allow(ctx, p.app, p.user, &p.payload)
+                self.allow(ctx, p.app, p.user, &p.payload, "mode=failopen")
             }
             FinishKind::Deny => {
                 self.stats.denied += 1;
@@ -364,6 +413,14 @@ impl HostNode {
                     p.grants.values().copied().min().unwrap_or(SimDuration::ZERO);
                 if min_te > SimDuration::ZERO {
                     let limit = p.attempt_started.plus(min_te);
+                    ctx.trace(format!(
+                        "audit=cache-store app={} user={} started={} limit={} te={}",
+                        p.app.0,
+                        p.user.0,
+                        p.attempt_started.as_nanos(),
+                        limit.as_nanos(),
+                        min_te.as_nanos(),
+                    ));
                     if let Some(state) = self.apps.get_mut(&p.app) {
                         // Renew without touching last_used: only real
                         // requests count as activity, so idle leases
@@ -454,16 +511,21 @@ impl HostNode {
         self.start_attempt(ctx, pending_id);
     }
 
+    /// Grants the invocation. `detail` is appended to the audit note as
+    /// extra `key=value` tokens recording *why* the host said yes
+    /// (cache hit, fresh quorum, fail-open) — the invariant oracle
+    /// reads these; `parse_note` ignores them.
     fn allow(
         &mut self,
         ctx: &mut Context<'_, ProtoMsg>,
         app: AppId,
         user: UserId,
         payload: &str,
+        detail: &str,
     ) -> InvokeOutcome {
         self.stats.allowed += 1;
         ctx.metric_incr("host.allowed");
-        ctx.trace(format!("audit=allow app={} user={}", app.0, user.0));
+        ctx.trace(format!("audit=allow app={} user={} {}", app.0, user.0, detail));
         let response = match self.apps.get_mut(&app) {
             Some(state) => state.application.handle(user, payload),
             None => String::new(),
@@ -471,6 +533,7 @@ impl HostNode {
         InvokeOutcome::Allowed { response }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn on_invoke(
         &mut self,
         ctx: &mut Context<'_, ProtoMsg>,
@@ -512,10 +575,15 @@ impl HostNode {
         };
         // Figure 3: cache lookup with expiry.
         match state.cache.lookup(user, ctx.local_now()) {
-            CacheDecision::Fresh(_) => {
+            CacheDecision::Fresh(limit) => {
                 self.stats.cache_hits += 1;
                 ctx.metric_incr("host.cache_hit");
-                let outcome = self.allow(ctx, app, user, &payload);
+                let detail = format!(
+                    "mode=cache now={} limit={}",
+                    ctx.local_now().as_nanos(),
+                    limit.as_nanos(),
+                );
+                let outcome = self.allow(ctx, app, user, &payload, &detail);
                 ctx.send(from, ProtoMsg::InvokeReply { req, outcome });
             }
             CacheDecision::Expired | CacheDecision::Missing => {
@@ -673,6 +741,7 @@ impl Node for HostNode {
                     if let Some(t) = state.ns_timer.take() {
                         ctx.cancel_timer(t);
                     }
+                    state.ns_round = 0;
                     state.managers = managers;
                     // Re-query shortly before the TTL runs out.
                     let refresh = ttl.mul_f64(0.8);
@@ -707,7 +776,12 @@ impl Node for HostNode {
                 if let Some(state) = self.apps.get_mut(&app) {
                     if let ManagerDirectory::NameService { ns } = state.directory {
                         ctx.send(ns, ProtoMsg::NsQuery { app });
-                        let retry = state.policy.query_timeout() + state.policy.query_timeout();
+                        // Each fruitless round widens the re-query gap
+                        // (capped), so a dead name service is probed
+                        // gently instead of hammered at full cadence.
+                        let retry =
+                            state.policy.ns_retry_backoff().delay(state.ns_round, ctx.rng());
+                        state.ns_round = state.ns_round.saturating_add(1);
                         state.ns_timer = Some(ctx.set_timer(retry, TAG_NS | payload));
                     }
                 }
@@ -721,6 +795,7 @@ impl Node for HostNode {
         for state in self.apps.values_mut() {
             state.cache.clear();
             state.ns_timer = None;
+            state.ns_round = 0;
             if let ManagerDirectory::NameService { .. } = state.directory {
                 state.managers.clear();
             }

@@ -52,12 +52,14 @@
 
 pub mod audit;
 pub mod cache;
+pub mod campaign;
 pub mod channel;
 pub mod client;
 pub mod host;
 pub mod manager;
 pub mod msg;
 pub mod nameservice;
+pub mod oracle;
 pub mod policy;
 pub mod scenario;
 pub mod types;
@@ -67,6 +69,10 @@ pub mod wrapper;
 pub mod prelude {
     pub use crate::audit::{AuditEvent, AuditLog, Violation};
     pub use crate::cache::{AclCache, CacheDecision};
+    pub use crate::campaign::{
+        run_campaign, run_with_plan, sample_plan, shrink_plan, CampaignConfig, CampaignReport,
+        InjectedBug,
+    };
     pub use crate::channel::ChannelKeys;
     pub use crate::client::{
         AdminAction, AdminAgent, AdminAgentConfig, OpProgress, UserAgent, UserAgentConfig,
@@ -78,6 +84,7 @@ pub mod prelude {
         AclOp, AdminStatus, InvokeOutcome, OpId, ProtoMsg, QueryVerdict, RejectReason, ReqId,
     };
     pub use crate::nameservice::NameServiceNode;
+    pub use crate::oracle::{InvariantKind, InvariantOracle, OracleStats, OracleViolation};
     pub use crate::policy::{ExhaustionBehavior, FreezePolicy, Policy, QueryFanout};
     pub use crate::scenario::{Deployment, Scenario};
     pub use crate::types::{Acl, AppId, Right, RightsSet, UserId};

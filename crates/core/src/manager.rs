@@ -22,6 +22,7 @@ use std::sync::Arc;
 
 use wanacl_auth::rsa;
 use wanacl_auth::signed::KeyRegistry;
+use wanacl_sim::backoff::Backoff;
 use wanacl_sim::clock::LocalTime;
 use wanacl_sim::node::{Context, Node, NodeId};
 use wanacl_sim::time::SimDuration;
@@ -64,9 +65,19 @@ pub struct ManagerConfig {
     /// Whether admin operations require the issuer to hold the `manage`
     /// right in the local ACL.
     pub enforce_manage_right: bool,
-    /// Retransmission period for unacknowledged updates and revocation
-    /// notices (the "persistent strategy").
+    /// Base retransmission period for unacknowledged updates and
+    /// revocation notices (the "persistent strategy"). Consecutive
+    /// fruitless rounds back off exponentially from this base up to
+    /// [`ManagerConfig::retry_cap`].
     pub retry_interval: SimDuration,
+    /// Upper bound on the retransmission period once backoff has grown
+    /// it; long partitions degrade to this cadence instead of hammering
+    /// unreachable peers at the base rate.
+    pub retry_cap: SimDuration,
+    /// Symmetric jitter fraction in `[0, 1)` applied to every retry
+    /// delay (drawn from the node's seeded RNG, so runs stay
+    /// deterministic). Decorrelates retry storms after a partition heals.
+    pub retry_jitter: f64,
     /// Heartbeat period between managers (freeze detection; should be
     /// well below any app's `Ti`).
     pub heartbeat_interval: SimDuration,
@@ -82,9 +93,19 @@ impl Default for ManagerConfig {
             registry: None,
             enforce_manage_right: false,
             retry_interval: SimDuration::from_millis(500),
+            retry_cap: SimDuration::from_secs(10),
+            retry_jitter: 0.1,
             heartbeat_interval: SimDuration::from_secs(1),
             grant_sweep_interval: SimDuration::from_secs(30),
         }
+    }
+}
+
+impl ManagerConfig {
+    /// The retransmission backoff schedule derived from the config.
+    pub fn retry_backoff(&self) -> Backoff {
+        Backoff::new(self.retry_interval, self.retry_cap.max(self.retry_interval))
+            .jitter(self.retry_jitter)
     }
 }
 
@@ -154,6 +175,12 @@ pub struct ManagerNode {
     pending_revokes: Vec<PendingRevoke>,
     grant_table: BTreeMap<(AppId, UserId), BTreeMap<NodeId, LocalTime>>,
     last_heard: BTreeMap<NodeId, LocalTime>,
+    /// Consecutive retry rounds that actually resent something; indexes
+    /// into the retry backoff schedule. Reset when a round finds nothing
+    /// to resend or fresh work arrives.
+    retry_round: u32,
+    /// Consecutive recovery sync requests without a response.
+    sync_round: u32,
     recovering: bool,
     channel: Option<Arc<crate::channel::ChannelKeys>>,
     stats: ManagerStats,
@@ -179,6 +206,8 @@ impl ManagerNode {
             pending_revokes: Vec::new(),
             grant_table: BTreeMap::new(),
             last_heard: BTreeMap::new(),
+            retry_round: 0,
+            sync_round: 0,
             recovering: false,
             channel: None,
             stats: ManagerStats::default(),
@@ -244,8 +273,13 @@ impl ManagerNode {
 
     fn arm_periodic(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
         ctx.set_timer(self.heartbeat_period(), TAG_HEARTBEAT);
-        ctx.set_timer(self.config.retry_interval, TAG_RETRY);
+        self.arm_retry(ctx);
         ctx.set_timer(self.config.grant_sweep_interval, TAG_GSWEEP);
+    }
+
+    fn arm_retry(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        let delay = self.config.retry_backoff().delay(self.retry_round, ctx.rng());
+        ctx.set_timer(delay, TAG_RETRY);
     }
 
     /// Applies an operation under last-writer-wins ordering: the effect
@@ -285,6 +319,7 @@ impl ManagerNode {
             ctx.send(*host, ProtoMsg::RevokeNotice { app, user, mac });
         }
         self.pending_revokes.push(PendingRevoke { app, user, targets });
+        self.retry_round = 0;
     }
 
     fn on_admin(
@@ -336,6 +371,17 @@ impl ManagerNode {
         let id = OpId { origin: ctx.id(), seq: self.lamport };
         self.apply_op(&op, id);
         self.applied.insert(id);
+        // Origin apply note: the oracle reconstructs the ACL's
+        // last-writer-wins order from these (seq, origin) stamps, which
+        // survives admin resends reordering against concurrent ops.
+        ctx.trace(format!(
+            "audit=apply kind={} app={} user={} seq={} origin={}",
+            if op.is_revoke() { "revoke" } else { "add" },
+            op.app().0,
+            op.user().0,
+            id.seq,
+            id.origin.index(),
+        ));
         ctx.send(from, ProtoMsg::AdminReply { req, status: AdminStatus::Applied });
 
         let update_quorum = state_policy_update_quorum(&self.apps, op.app(), self.deployment_size());
@@ -356,9 +402,14 @@ impl ManagerNode {
             self.stats.quorum_reached += 1;
             ctx.metric_incr("mgr.quorum_reached");
             ctx.metric_observe("mgr.time_to_quorum_s", 0.0);
-            if op.is_revoke() {
-                ctx.trace(format!("audit=revoke-stable app={} user={}", op.app().0, op.user().0));
-            }
+            let kind = if op.is_revoke() { "revoke-stable" } else { "grant-stable" };
+            ctx.trace(format!(
+                "audit={kind} app={} user={} seq={} origin={}",
+                op.app().0,
+                op.user().0,
+                id.seq,
+                id.origin.index(),
+            ));
             ctx.send(from, ProtoMsg::AdminReply { req, status: AdminStatus::Stable });
         }
         if op.is_revoke() {
@@ -366,13 +417,16 @@ impl ManagerNode {
         }
         if !pending.unacked.is_empty() {
             self.pending.insert(id, pending);
+            // Fresh work re-probes at the base cadence even if earlier
+            // rounds had backed off.
+            self.retry_round = 0;
         }
     }
 
     /// Inter-manager messages are only honoured from configured peers:
     /// §2.1 trusts managers but nobody else, so a forged `Update` from a
     /// compromised host must not touch the ACL.
-    fn from_peer(&self, ctx: &mut Context<'_, ProtoMsg>, from: NodeId) -> bool {
+    fn is_from_peer(&self, ctx: &mut Context<'_, ProtoMsg>, from: NodeId) -> bool {
         if self.config.peers.contains(&from) {
             true
         } else {
@@ -382,7 +436,7 @@ impl ManagerNode {
     }
 
     fn on_update(&mut self, ctx: &mut Context<'_, ProtoMsg>, from: NodeId, id: OpId, op: AclOp) {
-        if !self.from_peer(ctx, from) {
+        if !self.is_from_peer(ctx, from) {
             return;
         }
         self.note_peer(from, ctx.local_now());
@@ -405,7 +459,7 @@ impl ManagerNode {
     }
 
     fn on_update_ack(&mut self, ctx: &mut Context<'_, ProtoMsg>, from: NodeId, id: OpId) {
-        if !self.from_peer(ctx, from) {
+        if !self.is_from_peer(ctx, from) {
             return;
         }
         self.note_peer(from, ctx.local_now());
@@ -423,13 +477,14 @@ impl ManagerNode {
             ctx.metric_incr("mgr.quorum_reached");
             let elapsed = ctx.local_now().since(pending.started);
             ctx.metric_observe("mgr.time_to_quorum_s", elapsed.as_secs_f64());
-            if pending.op.is_revoke() {
-                ctx.trace(format!(
-                    "audit=revoke-stable app={} user={}",
-                    pending.op.app().0,
-                    pending.op.user().0
-                ));
-            }
+            let kind = if pending.op.is_revoke() { "revoke-stable" } else { "grant-stable" };
+            ctx.trace(format!(
+                "audit={kind} app={} user={} seq={} origin={}",
+                pending.op.app().0,
+                pending.op.user().0,
+                id.seq,
+                id.origin.index(),
+            ));
             if let Some((issuer, req)) = pending.issuer {
                 ctx.send(issuer, ProtoMsg::AdminReply { req, status: AdminStatus::Stable });
             }
@@ -471,6 +526,12 @@ impl ManagerNode {
             let verdict = QueryVerdict::Grant { te };
             self.stats.grants += 1;
             ctx.metric_incr("mgr.grants");
+            ctx.trace(format!(
+                "audit=grant app={} user={} te={}",
+                app.0,
+                user.0,
+                te.as_nanos()
+            ));
             // Remember which host caches this right, and until when the
             // entry can matter. The manager measures the bound on its own
             // clock; Te is an upper bound on the entry's real lifetime
@@ -508,7 +569,7 @@ impl ManagerNode {
         }
         // Evaluate the freeze predicate per app.
         let now = ctx.local_now();
-        for state in self.apps.values_mut() {
+        for (app, state) in self.apps.iter_mut() {
             let Some(freeze) = state.policy.freeze() else { continue };
             // Scale Ti by the rate bound: a clock running at rate >= b
             // measuring b*Ti local units has waited at most Ti real time.
@@ -522,16 +583,21 @@ impl ManagerNode {
             });
             if state.frozen && !was_frozen {
                 ctx.metric_incr("mgr.freeze_transitions");
+                ctx.trace(format!("audit=freeze app={}", app.0));
+            } else if !state.frozen && was_frozen {
+                ctx.trace(format!("audit=thaw app={}", app.0));
             }
         }
         ctx.set_timer(self.heartbeat_period(), TAG_HEARTBEAT);
     }
 
     fn on_retry_tick(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        let mut resent = 0u64;
         for (id, pending) in &self.pending {
             for peer in &pending.unacked {
                 ctx.metric_incr("mgr.updates_resent");
                 ctx.send(*peer, ProtoMsg::Update { id: *id, op: pending.op });
+                resent += 1;
             }
         }
         // Revocation notices: resend until the cached right would have
@@ -546,10 +612,15 @@ impl ManagerNode {
                     .as_ref()
                     .map(|k| k.tag_revoke_notice(ctx.id(), *host, pr.app, pr.user));
                 ctx.send(*host, ProtoMsg::RevokeNotice { app: pr.app, user: pr.user, mac });
+                resent += 1;
             }
         }
         self.pending_revokes.retain(|pr| !pr.targets.is_empty());
-        ctx.set_timer(self.config.retry_interval, TAG_RETRY);
+        // Graceful degradation: rounds that keep finding unacknowledged
+        // work (a partition, a dead peer) back off toward `retry_cap`;
+        // an idle round snaps the cadence back to the base interval.
+        self.retry_round = if resent == 0 { 0 } else { self.retry_round.saturating_add(1) };
+        self.arm_retry(ctx);
     }
 
     fn on_grant_sweep_tick(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
@@ -565,11 +636,13 @@ impl ManagerNode {
         for peer in &self.config.peers {
             ctx.send(*peer, ProtoMsg::SyncRequest);
         }
-        ctx.set_timer(self.config.retry_interval, TAG_SYNC);
+        let delay = self.config.retry_backoff().delay(self.sync_round, ctx.rng());
+        self.sync_round = self.sync_round.saturating_add(1);
+        ctx.set_timer(delay, TAG_SYNC);
     }
 
     fn on_sync_request(&mut self, ctx: &mut Context<'_, ProtoMsg>, from: NodeId) {
-        if !self.from_peer(ctx, from) {
+        if !self.is_from_peer(ctx, from) {
             return;
         }
         self.note_peer(from, ctx.local_now());
@@ -611,7 +684,7 @@ impl ManagerNode {
         applied: Vec<OpId>,
         lww: Vec<(AppId, UserId, Right, OpId)>,
     ) {
-        if !self.from_peer(ctx, from) {
+        if !self.is_from_peer(ctx, from) {
             return;
         }
         self.note_peer(from, ctx.local_now());
@@ -633,6 +706,7 @@ impl ManagerNode {
             }
         }
         self.recovering = false;
+        self.sync_round = 0;
         ctx.metric_incr("mgr.recovered_via_sync");
     }
 }
@@ -668,7 +742,7 @@ impl Node for ManagerNode {
             ProtoMsg::UpdateAck { id } => self.on_update_ack(ctx, from, id),
             ProtoMsg::Query { app, user, req } => self.on_query(ctx, from, app, user, req),
             ProtoMsg::Heartbeat => {
-                if self.from_peer(ctx, from) {
+                if self.is_from_peer(ctx, from) {
                     self.note_peer(from, ctx.local_now());
                 }
             }
@@ -687,11 +761,10 @@ impl Node for ManagerNode {
             TAG_HEARTBEAT => self.on_heartbeat_tick(ctx),
             TAG_RETRY => self.on_retry_tick(ctx),
             TAG_GSWEEP => self.on_grant_sweep_tick(ctx),
-            TAG_SYNC => {
-                if self.recovering {
+            TAG_SYNC
+                if self.recovering => {
                     self.send_sync_request(ctx);
                 }
-            }
             _ => {}
         }
     }
@@ -708,6 +781,8 @@ impl Node for ManagerNode {
         self.last_heard.clear();
         self.applied.clear();
         self.lww.clear();
+        self.retry_round = 0;
+        self.sync_round = 0;
     }
 
     fn on_recover(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
@@ -716,6 +791,7 @@ impl Node for ManagerNode {
             self.last_heard.insert(peer, now);
         }
         self.arm_periodic(ctx);
+        self.sync_round = 0;
         if self.config.peers.is_empty() {
             self.recovering = false;
         } else {

@@ -1,0 +1,608 @@
+//! The always-on safety-invariant oracle.
+//!
+//! An [`InvariantOracle`] is a passive [`Observer`] attached to a
+//! [`World`](wanacl_sim::world::World): it watches the structured
+//! `audit=` notes that hosts and managers emit (see [`crate::audit`])
+//! *as the simulation runs*, and re-checks the paper's safety claims
+//! independently of the protocol code under test. Unlike the offline
+//! [`AuditLog`](crate::audit::AuditLog), it works even with the trace
+//! buffer disabled, and every violation carries the **event index** of
+//! the offending event — a stable coordinate in the deterministic
+//! schedule, so `(seed, plan, index)` pinpoints the bug in any replay.
+//!
+//! Invariants checked:
+//!
+//! * **Bounded revocation (I1)** — once a revoke of `(app, user)` is
+//!   stable (update quorum reached), no host may allow that user more
+//!   than `Te` later. Fail-open allows are exempt: Figure 4's fail-open
+//!   mode deliberately trades this guarantee for availability.
+//! * **Quorum intersection (I2)** — every quorum-backed allow must cite
+//!   at least `C` *distinct* managers.
+//! * **Cache expiry (I3)** — a cache-hit allow must happen strictly
+//!   before the entry's limit, and a stored entry's lifetime must not
+//!   exceed the local expiry budget `te = b·Te`.
+//! * **Freeze safety (I4)** — `Ti + te ≤ Te` must hold statically, and a
+//!   frozen manager (§3.3) must not issue grants.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use wanacl_sim::node::NodeId;
+use wanacl_sim::time::{SimDuration, SimTime};
+use wanacl_sim::trace::TraceEvent;
+use wanacl_sim::world::Observer;
+
+use crate::policy::Policy;
+use crate::types::{AppId, UserId};
+
+/// Which safety invariant a violation broke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvariantKind {
+    /// I1: an allow happened more than `Te` after a stable revoke.
+    BoundedRevocation,
+    /// I2: an allow cited fewer than `C` distinct confirming managers.
+    QuorumIntersection,
+    /// I3: a cache entry outlived its limit or its `te` budget.
+    CacheExpiry,
+    /// I4: freeze-strategy safety (static bound or grant-while-frozen).
+    FreezeSafety,
+}
+
+impl std::fmt::Display for InvariantKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            InvariantKind::BoundedRevocation => "bounded-revocation",
+            InvariantKind::QuorumIntersection => "quorum-intersection",
+            InvariantKind::CacheExpiry => "cache-expiry",
+            InvariantKind::FreezeSafety => "freeze-safety",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One invariant violation caught by the oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleViolation {
+    /// Real simulation time of the offending event.
+    pub at: SimTime,
+    /// Index of the offending event in the deterministic schedule —
+    /// combined with the seed and nemesis plan this makes the violation
+    /// replayable.
+    pub event_index: u64,
+    /// The node whose note triggered the check.
+    pub node: NodeId,
+    /// Which invariant broke.
+    pub kind: InvariantKind,
+    /// Human-readable account of the evidence.
+    pub detail: String,
+}
+
+impl std::fmt::Display for OracleViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] event #{} {}: {} violated: {}",
+            self.at, self.event_index, self.node, self.kind, self.detail
+        )
+    }
+}
+
+/// Counters describing how much evidence the oracle actually saw — a
+/// campaign with zero violations but also zero checked allows proved
+/// nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OracleStats {
+    /// Allow events checked.
+    pub allows: u64,
+    /// Quorum-backed allows whose manager sets were checked.
+    pub quorum_allows: u64,
+    /// Cache-hit allows whose limits were checked.
+    pub cache_allows: u64,
+    /// Fail-open allows (exempt from I1).
+    pub fail_open_allows: u64,
+    /// Revoke-stable events observed.
+    pub revokes: u64,
+    /// Cache-store events checked against the `te` budget.
+    pub cache_stores: u64,
+    /// Manager grants checked against freeze state.
+    pub grants: u64,
+}
+
+/// The online safety checker. Attach with
+/// [`World::add_observer`](wanacl_sim::world::World::add_observer);
+/// retrieve violations afterwards via
+/// [`World::observer_as`](wanacl_sim::world::World::observer_as).
+#[derive(Debug)]
+pub struct InvariantOracle {
+    te_real: SimDuration,
+    te_budget: SimDuration,
+    check_quorum: usize,
+    slack: SimDuration,
+    /// Newest applied `Add` op per (app, user), in the managers'
+    /// `(seq, origin)` last-writer-wins order.
+    last_add: BTreeMap<(AppId, UserId), (u64, u64)>,
+    /// Stable revoke ops per (app, user), each with its earliest
+    /// stabilization time. A user counts as revoked only while some
+    /// stable revoke is LWW-newer than every applied add — admin
+    /// resends can legitimately re-grant *after* a revoke stabilizes,
+    /// and stable-event arrival order does not reflect apply order.
+    stable_revokes: BTreeMap<(AppId, UserId), BTreeMap<(u64, u64), SimTime>>,
+    /// Managers currently frozen per app.
+    frozen: BTreeSet<(NodeId, AppId)>,
+    violations: Vec<OracleViolation>,
+    stats: OracleStats,
+}
+
+impl InvariantOracle {
+    /// Builds an oracle for a deployment where every app runs `policy`.
+    ///
+    /// `slack` absorbs measurement fuzz at the `Te` boundary; pass
+    /// [`SimDuration::ZERO`] for the exact paper bound (sound whenever
+    /// every clock in the run respects the policy's rate bound).
+    ///
+    /// The static freeze-safety bound `Ti + te ≤ Te` is checked here; a
+    /// violation is recorded at time zero.
+    pub fn new(policy: &Policy, slack: SimDuration) -> Self {
+        let mut o = InvariantOracle {
+            te_real: policy.revocation_bound(),
+            te_budget: policy.expiry_budget(),
+            check_quorum: policy.check_quorum(),
+            slack,
+            last_add: BTreeMap::new(),
+            stable_revokes: BTreeMap::new(),
+            frozen: BTreeSet::new(),
+            violations: Vec::new(),
+            stats: OracleStats::default(),
+        };
+        if let Some(freeze) = policy.freeze() {
+            if freeze.ti + policy.expiry_budget() > policy.revocation_bound() {
+                o.violations.push(OracleViolation {
+                    at: SimTime::ZERO,
+                    event_index: 0,
+                    node: NodeId::ENV,
+                    kind: InvariantKind::FreezeSafety,
+                    detail: format!(
+                        "static bound broken: Ti {} + te {} > Te {}",
+                        freeze.ti,
+                        policy.expiry_budget(),
+                        policy.revocation_bound()
+                    ),
+                });
+            }
+        }
+        o
+    }
+
+    /// The violations found so far (empty means every checked event was
+    /// safe).
+    pub fn violations(&self) -> &[OracleViolation] {
+        &self.violations
+    }
+
+    /// Whether no invariant has been broken so far.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Evidence counters.
+    pub fn stats(&self) -> OracleStats {
+        self.stats
+    }
+
+    fn fail(
+        &mut self,
+        at: SimTime,
+        index: u64,
+        node: NodeId,
+        kind: InvariantKind,
+        detail: String,
+    ) {
+        self.violations.push(OracleViolation { at, event_index: index, node, kind, detail });
+    }
+
+    /// When the user became definitively revoked: the earliest stable
+    /// revoke not overridden by a LWW-newer applied add. `None` while
+    /// the user effectively holds the right.
+    fn revoked_since(&self, app: AppId, user: UserId) -> Option<SimTime> {
+        let add = self.last_add.get(&(app, user)).copied();
+        self.stable_revokes
+            .get(&(app, user))?
+            .iter()
+            .filter(|(op, _)| add.is_none_or(|a| **op > a))
+            .map(|(_, &t)| t)
+            .min()
+    }
+
+    /// Records an applied add op: it overrides every LWW-older revoke.
+    fn note_add(&mut self, app: AppId, user: UserId, op: (u64, u64)) {
+        let slot = self.last_add.entry((app, user)).or_insert(op);
+        if op > *slot {
+            *slot = op;
+        }
+        let newest = *slot;
+        if let Some(revokes) = self.stable_revokes.get_mut(&(app, user)) {
+            revokes.retain(|rop, _| *rop > newest);
+        }
+    }
+
+    fn on_allow(&mut self, at: SimTime, index: u64, node: NodeId, kv: &Kv<'_>) {
+        let (Some(app), Some(user)) = (kv.app(), kv.user()) else { return };
+        self.stats.allows += 1;
+        let mode = kv.get("mode").unwrap_or("");
+        if mode == "failopen" {
+            self.stats.fail_open_allows += 1;
+        } else if let Some(revoked_at) = self.revoked_since(app, user) {
+            // I1: the paper's headline guarantee — at most Te of
+            // residual access after a revoke is stable.
+            let deadline = revoked_at + self.te_real + self.slack;
+            if at > deadline {
+                let over =
+                    SimDuration::from_nanos(at.as_nanos().saturating_sub(revoked_at.as_nanos()));
+                self.fail(
+                    at,
+                    index,
+                    node,
+                    InvariantKind::BoundedRevocation,
+                    format!(
+                        "{user} allowed on {app} ({mode}) {over} after revoke stabilized at {revoked_at} (bound Te = {})",
+                        self.te_real
+                    ),
+                );
+            }
+        }
+        match mode {
+            "quorum" => {
+                self.stats.quorum_allows += 1;
+                let confirms: usize =
+                    kv.get("confirms").and_then(|v| v.parse().ok()).unwrap_or(0);
+                let distinct: BTreeSet<&str> = kv
+                    .get("mgrs")
+                    .map(|v| v.split(';').filter(|s| !s.is_empty()).collect())
+                    .unwrap_or_default();
+                if confirms < self.check_quorum || distinct.len() < self.check_quorum {
+                    self.fail(
+                        at,
+                        index,
+                        node,
+                        InvariantKind::QuorumIntersection,
+                        format!(
+                            "allow for {user} on {app} backed by {} distinct managers ({confirms} confirms), need C = {}",
+                            distinct.len(),
+                            self.check_quorum
+                        ),
+                    );
+                }
+            }
+            "cache" => {
+                self.stats.cache_allows += 1;
+                let now = kv.nanos("now");
+                let limit = kv.nanos("limit");
+                if let (Some(now), Some(limit)) = (now, limit) {
+                    if now >= limit {
+                        self.fail(
+                            at,
+                            index,
+                            node,
+                            InvariantKind::CacheExpiry,
+                            format!(
+                                "cache hit for {user} on {app} at local {now} ns, entry limit {limit} ns already passed"
+                            ),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_cache_store(&mut self, at: SimTime, index: u64, node: NodeId, kv: &Kv<'_>) {
+        self.stats.cache_stores += 1;
+        let (Some(started), Some(limit)) = (kv.nanos("started"), kv.nanos("limit")) else {
+            return;
+        };
+        // I3: a host must never store a lease longer than te = b·Te.
+        let life = SimDuration::from_nanos(limit.saturating_sub(started));
+        if life > self.te_budget {
+            self.fail(
+                at,
+                index,
+                node,
+                InvariantKind::CacheExpiry,
+                format!(
+                    "stored lease lives {life} from its anchor, over the te budget {}",
+                    self.te_budget
+                ),
+            );
+        }
+    }
+
+    fn on_grant(&mut self, at: SimTime, index: u64, node: NodeId, kv: &Kv<'_>) {
+        self.stats.grants += 1;
+        let Some(app) = kv.app() else { return };
+        // I4: "no responses are sent to application hosts until all
+        // managers are accessible again" (§3.3).
+        if self.frozen.contains(&(node, app)) {
+            self.fail(
+                at,
+                index,
+                node,
+                InvariantKind::FreezeSafety,
+                format!("manager granted on {app} while frozen"),
+            );
+        }
+        if let Some(te) = kv.nanos("te") {
+            if SimDuration::from_nanos(te) > self.te_budget {
+                self.fail(
+                    at,
+                    index,
+                    node,
+                    InvariantKind::CacheExpiry,
+                    format!(
+                        "manager granted te {} over the budget {}",
+                        SimDuration::from_nanos(te),
+                        self.te_budget
+                    ),
+                );
+            }
+        }
+    }
+
+    fn on_note(&mut self, at: SimTime, index: u64, node: NodeId, text: &str) {
+        let kv = Kv::parse(text);
+        match kv.get("audit") {
+            Some("allow") => self.on_allow(at, index, node, &kv),
+            Some("cache-store") => self.on_cache_store(at, index, node, &kv),
+            Some("grant") => self.on_grant(at, index, node, &kv),
+            Some("apply") => {
+                if let (Some(app), Some(user)) = (kv.app(), kv.user()) {
+                    if kv.get("kind") == Some("add") {
+                        self.note_add(app, user, kv.op_id());
+                    }
+                }
+            }
+            Some("revoke-stable") => {
+                if let (Some(app), Some(user)) = (kv.app(), kv.user()) {
+                    self.stats.revokes += 1;
+                    // Keep the earliest stabilization per op: that is
+                    // when the paper's Te clock starts for it.
+                    self.stable_revokes
+                        .entry((app, user))
+                        .or_default()
+                        .entry(kv.op_id())
+                        .or_insert(at);
+                }
+            }
+            Some("grant-stable") => {
+                if let (Some(app), Some(user)) = (kv.app(), kv.user()) {
+                    // Stability implies the add was applied at its
+                    // origin; redundant with the apply note, kept for
+                    // robustness against truncated traces.
+                    self.note_add(app, user, kv.op_id());
+                }
+            }
+            Some("freeze") => {
+                if let Some(app) = kv.app() {
+                    self.frozen.insert((node, app));
+                }
+            }
+            Some("thaw") => {
+                if let Some(app) = kv.app() {
+                    self.frozen.remove(&(node, app));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Observer for InvariantOracle {
+    fn on_event(&mut self, at: SimTime, index: u64, event: &TraceEvent) {
+        if let TraceEvent::Note { node, text } = event {
+            self.on_note(at, index, *node, text);
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Lightweight `key=value` token view over one audit note.
+struct Kv<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Kv<'a> {
+    fn parse(text: &'a str) -> Kv<'a> {
+        let pairs = text
+            .split_whitespace()
+            .filter_map(|tok| tok.split_once('='))
+            .collect();
+        Kv { pairs }
+    }
+
+    fn get(&self, key: &str) -> Option<&'a str> {
+        self.pairs.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    fn nanos(&self, key: &str) -> Option<u64> {
+        self.get(key)?.parse().ok()
+    }
+
+    fn app(&self) -> Option<AppId> {
+        Some(AppId(self.get("app")?.parse().ok()?))
+    }
+
+    fn user(&self) -> Option<UserId> {
+        Some(UserId(self.get("user")?.parse().ok()?))
+    }
+
+    /// The `(seq, origin)` LWW stamp of an op note. Notes missing the
+    /// stamp sort newest, which keeps a bare `revoke-stable` armed —
+    /// the conservative reading.
+    fn op_id(&self) -> (u64, u64) {
+        (self.nanos("seq").unwrap_or(u64::MAX), self.nanos("origin").unwrap_or(u64::MAX))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::FreezePolicy;
+
+    fn policy() -> Policy {
+        Policy::builder(2)
+            .revocation_bound(SimDuration::from_secs(10))
+            .clock_rate_bound(0.9)
+            .build()
+    }
+
+    fn note(o: &mut InvariantOracle, at_s: u64, index: u64, node: usize, text: &str) {
+        o.on_event(
+            SimTime::from_secs(at_s),
+            index,
+            &TraceEvent::Note { node: NodeId::from_index(node), text: text.into() },
+        );
+    }
+
+    #[test]
+    fn allow_within_te_is_clean() {
+        let mut o = InvariantOracle::new(&policy(), SimDuration::ZERO);
+        note(&mut o, 5, 1, 0, "audit=revoke-stable app=0 user=1 seq=3 origin=0");
+        note(&mut o, 14, 2, 3, "audit=allow app=0 user=1 mode=cache now=1 limit=2");
+        assert!(o.is_clean(), "{:?}", o.violations());
+    }
+
+    #[test]
+    fn allow_past_te_is_a_violation() {
+        let mut o = InvariantOracle::new(&policy(), SimDuration::ZERO);
+        note(&mut o, 5, 1, 0, "audit=revoke-stable app=0 user=1 seq=3 origin=0");
+        note(&mut o, 16, 7, 3, "audit=allow app=0 user=1 mode=cache now=1 limit=2");
+        assert_eq!(o.violations().len(), 1);
+        let v = &o.violations()[0];
+        assert_eq!(v.kind, InvariantKind::BoundedRevocation);
+        assert_eq!(v.event_index, 7);
+    }
+
+    #[test]
+    fn fail_open_allows_are_exempt_from_bounded_revocation() {
+        let mut o = InvariantOracle::new(&policy(), SimDuration::ZERO);
+        note(&mut o, 5, 1, 0, "audit=revoke-stable app=0 user=1 seq=3 origin=0");
+        note(&mut o, 50, 2, 3, "audit=allow app=0 user=1 mode=failopen");
+        assert!(o.is_clean(), "{:?}", o.violations());
+        assert_eq!(o.stats().fail_open_allows, 1);
+    }
+
+    #[test]
+    fn regrant_clears_the_revocation() {
+        let mut o = InvariantOracle::new(&policy(), SimDuration::ZERO);
+        note(&mut o, 5, 1, 0, "audit=revoke-stable app=0 user=1 seq=3 origin=0");
+        note(&mut o, 20, 2, 0, "audit=apply kind=add app=0 user=1 seq=4 origin=0");
+        note(&mut o, 30, 3, 3, "audit=allow app=0 user=1 mode=cache now=1 limit=2");
+        assert!(o.is_clean(), "{:?}", o.violations());
+    }
+
+    #[test]
+    fn lww_order_beats_stable_arrival_order() {
+        // A resent add (seq 4) applied after the revoke (seq 3) keeps
+        // the user granted, even though the revoke's stability notice
+        // arrives *later* than the add's apply — stable-event order is
+        // not apply order.
+        let mut o = InvariantOracle::new(&policy(), SimDuration::ZERO);
+        note(&mut o, 5, 1, 0, "audit=apply kind=add app=0 user=1 seq=4 origin=0");
+        note(&mut o, 6, 2, 0, "audit=revoke-stable app=0 user=1 seq=3 origin=0");
+        note(&mut o, 40, 3, 3, "audit=allow app=0 user=1 mode=cache now=1 limit=2");
+        assert!(o.is_clean(), "{:?}", o.violations());
+        // A revoke that is LWW-newer than the add does arm the bound.
+        note(&mut o, 41, 4, 0, "audit=revoke-stable app=0 user=1 seq=5 origin=0");
+        note(&mut o, 60, 5, 3, "audit=allow app=0 user=1 mode=cache now=1 limit=2");
+        assert_eq!(o.violations().len(), 1);
+        assert_eq!(o.violations()[0].kind, InvariantKind::BoundedRevocation);
+    }
+
+    #[test]
+    fn quorum_allow_needs_c_distinct_managers() {
+        let mut o = InvariantOracle::new(&policy(), SimDuration::ZERO);
+        note(&mut o, 1, 1, 3, "audit=allow app=0 user=1 mode=quorum confirms=2 c=2 mgrs=0;1 started=0 limit=9");
+        assert!(o.is_clean());
+        note(&mut o, 2, 2, 3, "audit=allow app=0 user=1 mode=quorum confirms=1 c=2 mgrs=0 started=0 limit=9");
+        assert_eq!(o.violations().len(), 1);
+        assert_eq!(o.violations()[0].kind, InvariantKind::QuorumIntersection);
+    }
+
+    #[test]
+    fn cache_hit_past_limit_is_a_violation() {
+        let mut o = InvariantOracle::new(&policy(), SimDuration::ZERO);
+        note(&mut o, 1, 4, 3, "audit=allow app=0 user=1 mode=cache now=200 limit=100");
+        assert_eq!(o.violations().len(), 1);
+        assert_eq!(o.violations()[0].kind, InvariantKind::CacheExpiry);
+    }
+
+    #[test]
+    fn cache_store_over_budget_is_a_violation() {
+        let p = policy(); // te = 0.9 * 10s = 9s
+        let mut o = InvariantOracle::new(&p, SimDuration::ZERO);
+        let nine_s = SimDuration::from_secs(9).as_nanos();
+        note(
+            &mut o,
+            1,
+            1,
+            3,
+            &format!("audit=cache-store app=0 user=1 started=0 limit={nine_s} te={nine_s}"),
+        );
+        assert!(o.is_clean(), "{:?}", o.violations());
+        let ten_s = SimDuration::from_secs(10).as_nanos();
+        note(
+            &mut o,
+            2,
+            2,
+            3,
+            &format!("audit=cache-store app=0 user=1 started=0 limit={ten_s} te={ten_s}"),
+        );
+        assert_eq!(o.violations().len(), 1);
+        assert_eq!(o.violations()[0].kind, InvariantKind::CacheExpiry);
+    }
+
+    #[test]
+    fn grant_while_frozen_is_a_violation() {
+        let p = Policy::builder(1)
+            .revocation_bound(SimDuration::from_secs(10))
+            .clock_rate_bound(0.9)
+            .freeze(FreezePolicy {
+                ti: SimDuration::from_secs(1),
+                heartbeat_interval: SimDuration::from_millis(100),
+            })
+            .build();
+        let mut o = InvariantOracle::new(&p, SimDuration::ZERO);
+        note(&mut o, 1, 1, 0, "audit=freeze app=0");
+        note(&mut o, 2, 2, 0, "audit=grant app=0 user=1 te=1000");
+        assert_eq!(o.violations().len(), 1);
+        assert_eq!(o.violations()[0].kind, InvariantKind::FreezeSafety);
+        // Another manager granting is fine.
+        note(&mut o, 2, 3, 1, "audit=grant app=0 user=1 te=1000");
+        assert_eq!(o.violations().len(), 1);
+        // After thaw the same manager may grant again.
+        note(&mut o, 3, 4, 0, "audit=thaw app=0");
+        note(&mut o, 4, 5, 0, "audit=grant app=0 user=1 te=1000");
+        assert_eq!(o.violations().len(), 1);
+    }
+
+    #[test]
+    fn static_freeze_bound_checked_at_construction() {
+        // Ti + te > Te: 5 + 9 > 10.
+        let p = Policy::builder(1)
+            .revocation_bound(SimDuration::from_secs(10))
+            .clock_rate_bound(0.9)
+            .freeze(FreezePolicy {
+                ti: SimDuration::from_secs(5),
+                heartbeat_interval: SimDuration::from_millis(100),
+            })
+            .build_unchecked();
+        let o = InvariantOracle::new(&p, SimDuration::ZERO);
+        assert_eq!(o.violations().len(), 1);
+        assert_eq!(o.violations()[0].kind, InvariantKind::FreezeSafety);
+    }
+}

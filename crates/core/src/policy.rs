@@ -70,6 +70,8 @@ pub struct Policy {
     cache_sweep_interval: SimDuration,
     fanout: QueryFanout,
     refresh_margin: Option<SimDuration>,
+    ns_retry_cap: SimDuration,
+    ns_retry_jitter: f64,
 }
 
 impl Policy {
@@ -156,6 +158,28 @@ impl Policy {
     pub fn refresh_margin(&self) -> Option<SimDuration> {
         self.refresh_margin
     }
+
+    /// Cap on the name-service re-query delay (see
+    /// [`Policy::ns_retry_backoff`]).
+    pub fn ns_retry_cap(&self) -> SimDuration {
+        self.ns_retry_cap
+    }
+
+    /// Jitter fraction applied to name-service retries.
+    pub fn ns_retry_jitter(&self) -> f64 {
+        self.ns_retry_jitter
+    }
+
+    /// The backoff schedule a host uses when its name-service lookup
+    /// goes unanswered: starts at `2 · query_timeout` (the historical
+    /// fixed retry period) and doubles per fruitless round up to
+    /// [`Policy::ns_retry_cap`], with deterministic ±jitter so hosts
+    /// that lost the name service together do not re-query in lockstep.
+    pub fn ns_retry_backoff(&self) -> wanacl_sim::backoff::Backoff {
+        let base = self.query_timeout + self.query_timeout;
+        wanacl_sim::backoff::Backoff::new(base, self.ns_retry_cap.max(base))
+            .jitter(self.ns_retry_jitter)
+    }
 }
 
 impl Default for Policy {
@@ -205,6 +229,8 @@ impl PolicyBuilder {
                 cache_sweep_interval: SimDuration::from_secs(30),
                 fanout: QueryFanout::All,
                 refresh_margin: None,
+                ns_retry_cap: SimDuration::from_secs(15),
+                ns_retry_jitter: 0.1,
             },
         }
     }
@@ -284,6 +310,28 @@ impl PolicyBuilder {
         self
     }
 
+    /// Sets the cap on the name-service retry backoff.
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero.
+    pub fn ns_retry_cap(mut self, cap: SimDuration) -> Self {
+        assert!(cap > SimDuration::ZERO, "ns retry cap must be positive");
+        self.policy.ns_retry_cap = cap;
+        self
+    }
+
+    /// Sets the jitter fraction for name-service retries.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= j < 1`.
+    pub fn ns_retry_jitter(mut self, j: f64) -> Self {
+        assert!((0.0..1.0).contains(&j), "ns retry jitter must be in [0, 1), got {j}");
+        self.policy.ns_retry_jitter = j;
+        self
+    }
+
     /// Sets the host cache sweep interval.
     ///
     /// # Panics
@@ -331,6 +379,13 @@ impl PolicyBuilder {
                 "heartbeat interval must be below Ti"
             );
         }
+        self.policy
+    }
+
+    /// Finishes the build **without** the validity checks of
+    /// [`build`](Self::build). Only for fault-injection and oracle
+    /// tests that deliberately construct unsound configurations.
+    pub fn build_unchecked(self) -> Policy {
         self.policy
     }
 }

@@ -214,7 +214,7 @@ impl Scenario {
         }
 
         // Deterministic key material.
-        let mut keyrng = StdRng::seed_from_u64(self.seed ^ 0xa11c_e5);
+        let mut keyrng = StdRng::seed_from_u64(self.seed ^ 0x00a1_1ce5);
         let admin_user = UserId(1_000_000);
         let mut registry = KeyRegistry::new();
         let mut user_secrets: Vec<Option<SecretKey>> = Vec::new();

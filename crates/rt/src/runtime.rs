@@ -118,11 +118,7 @@ fn run_node_thread<M: Send + Clone + std::fmt::Debug + 'static>(
     loop {
         // Fire due timers (only while up; a crash clears them anyway).
         let now = Instant::now();
-        while up {
-            let Some(t) = timers.peek() else { break };
-            if t.due > now {
-                break;
-            }
+        while up && timers.peek().is_some_and(|t| t.due <= now) {
             let t = timers.pop().expect("peeked");
             if cancelled.remove(&t.id) {
                 continue;

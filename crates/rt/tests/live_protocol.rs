@@ -27,6 +27,8 @@ fn fast_manager_config(peers: Vec<NodeId>, app_policy: Policy, acl: Acl) -> Mana
         registry: None,
         enforce_manage_right: false,
         retry_interval: SimDuration::from_millis(100),
+        retry_cap: SimDuration::from_secs(2),
+        retry_jitter: 0.1,
         heartbeat_interval: SimDuration::from_millis(100),
         grant_sweep_interval: SimDuration::from_millis(500),
     }

@@ -1,0 +1,177 @@
+//! Capped exponential backoff with deterministic jitter.
+//!
+//! The paper's "persistent strategy" retransmits updates and revocation
+//! notices until acknowledged. A fixed retransmission period behaves
+//! badly under long partitions: every unreachable peer is hammered at
+//! full cadence for the whole outage, and when the partition heals all
+//! retry streams are phase-locked. [`Backoff`] computes per-round delays
+//! that grow geometrically from a base to a cap, with a seeded jitter
+//! band that decorrelates streams *deterministically* — the jitter draw
+//! comes from the caller's [`SimRng`], so simulation runs remain a pure
+//! function of their seed.
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// A capped exponential backoff schedule.
+///
+/// Round `n` (0-based) has nominal delay `min(base · multiplier^n, cap)`,
+/// widened by a symmetric jitter band of `±jitter` (fraction of the
+/// nominal delay).
+///
+/// # Examples
+///
+/// ```
+/// use wanacl_sim::backoff::Backoff;
+/// use wanacl_sim::rng::SimRng;
+/// use wanacl_sim::time::SimDuration;
+///
+/// let b = Backoff::new(SimDuration::from_millis(500), SimDuration::from_secs(8));
+/// let mut rng = SimRng::seed_from(1);
+/// let d0 = b.delay(0, &mut rng);
+/// let d3 = b.delay(3, &mut rng);
+/// assert!(d0 < d3);
+/// assert!(b.delay(30, &mut rng) <= SimDuration::from_secs(9)); // capped (+jitter)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Backoff {
+    /// Delay of round 0.
+    pub base: SimDuration,
+    /// Upper bound on the nominal (pre-jitter) delay.
+    pub cap: SimDuration,
+    /// Geometric growth factor per round (≥ 1).
+    pub multiplier: f64,
+    /// Symmetric jitter fraction in `[0, 1)`; 0 disables jitter.
+    pub jitter: f64,
+}
+
+impl Backoff {
+    /// A backoff growing ×2 per round from `base` to `cap` with ±10%
+    /// jitter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is zero or `cap < base`.
+    pub fn new(base: SimDuration, cap: SimDuration) -> Backoff {
+        Backoff { base, cap, multiplier: 2.0, jitter: 0.1 }.validated()
+    }
+
+    /// A degenerate schedule: every round waits exactly `interval`
+    /// (multiplier 1, no jitter). Matches the old fixed-period behaviour.
+    pub fn fixed(interval: SimDuration) -> Backoff {
+        Backoff { base: interval, cap: interval, multiplier: 1.0, jitter: 0.0 }.validated()
+    }
+
+    /// Sets the growth factor.
+    pub fn multiplier(mut self, multiplier: f64) -> Backoff {
+        self.multiplier = multiplier;
+        self.validated()
+    }
+
+    /// Sets the jitter fraction.
+    pub fn jitter(mut self, jitter: f64) -> Backoff {
+        self.jitter = jitter;
+        self.validated()
+    }
+
+    fn validated(self) -> Backoff {
+        assert!(self.base > SimDuration::ZERO, "backoff base must be positive");
+        assert!(self.cap >= self.base, "backoff cap must be >= base");
+        assert!(self.multiplier >= 1.0, "backoff multiplier must be >= 1");
+        assert!((0.0..1.0).contains(&self.jitter), "backoff jitter must be in [0, 1)");
+        self
+    }
+
+    /// The nominal (un-jittered) delay of round `round`.
+    pub fn nominal(&self, round: u32) -> SimDuration {
+        if self.multiplier == 1.0 {
+            return self.base;
+        }
+        // Once the geometric term would exceed the cap, stop multiplying
+        // (avoids overflow for large rounds).
+        let mut delay = self.base;
+        for _ in 0..round.min(64) {
+            if delay >= self.cap {
+                return self.cap;
+            }
+            delay = delay.mul_f64(self.multiplier);
+        }
+        delay.min(self.cap)
+    }
+
+    /// The jittered delay of round `round`, drawn deterministically from
+    /// `rng`. Always positive; at most `cap · (1 + jitter)`.
+    pub fn delay(&self, round: u32, rng: &mut SimRng) -> SimDuration {
+        let nominal = self.nominal(round);
+        if self.jitter == 0.0 {
+            return nominal;
+        }
+        let swing = 1.0 + self.jitter * (2.0 * rng.unit() - 1.0);
+        nominal.mul_f64(swing).max(SimDuration::from_nanos(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b() -> Backoff {
+        Backoff::new(SimDuration::from_millis(500), SimDuration::from_secs(8))
+    }
+
+    #[test]
+    fn nominal_doubles_to_the_cap() {
+        let b = b();
+        assert_eq!(b.nominal(0), SimDuration::from_millis(500));
+        assert_eq!(b.nominal(1), SimDuration::from_secs(1));
+        assert_eq!(b.nominal(2), SimDuration::from_secs(2));
+        assert_eq!(b.nominal(4), SimDuration::from_secs(8));
+        assert_eq!(b.nominal(10), SimDuration::from_secs(8));
+        assert_eq!(b.nominal(u32::MAX), SimDuration::from_secs(8));
+    }
+
+    #[test]
+    fn fixed_never_grows_or_jitters() {
+        let f = Backoff::fixed(SimDuration::from_millis(300));
+        let mut rng = SimRng::seed_from(3);
+        for round in 0..20 {
+            assert_eq!(f.delay(round, &mut rng), SimDuration::from_millis(300));
+        }
+    }
+
+    #[test]
+    fn jitter_stays_in_band_and_varies() {
+        let b = b();
+        let mut rng = SimRng::seed_from(5);
+        let nominal = b.nominal(2).as_secs_f64();
+        let mut distinct = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            let d = b.delay(2, &mut rng).as_secs_f64();
+            assert!(d >= nominal * 0.9 - 1e-9 && d <= nominal * 1.1 + 1e-9, "delay {d}");
+            distinct.insert((d * 1e9) as u64);
+        }
+        assert!(distinct.len() > 100, "jitter should spread: {}", distinct.len());
+    }
+
+    #[test]
+    fn delays_are_seed_deterministic() {
+        let b = b();
+        let mut r1 = SimRng::seed_from(9);
+        let mut r2 = SimRng::seed_from(9);
+        for round in 0..10 {
+            assert_eq!(b.delay(round, &mut r1), b.delay(round, &mut r2));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cap must be >= base")]
+    fn rejects_cap_below_base() {
+        let _ = Backoff::new(SimDuration::from_secs(2), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiplier")]
+    fn rejects_shrinking_multiplier() {
+        let _ = b().multiplier(0.5);
+    }
+}

@@ -113,8 +113,10 @@ impl DriftClock {
 /// How the world assigns a clock to a node.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[allow(missing_docs)] // variant fields are self-describing
+#[derive(Default)]
 pub enum ClockSpec {
     /// A perfect clock.
+    #[default]
     Perfect,
     /// A fixed rate in `(0, 1]` and an initial offset.
     Fixed { rate: f64, offset: SimDuration },
@@ -123,11 +125,6 @@ pub enum ClockSpec {
     RandomRate { min_rate: f64 },
 }
 
-impl Default for ClockSpec {
-    fn default() -> Self {
-        ClockSpec::Perfect
-    }
-}
 
 impl ClockSpec {
     /// Materializes the spec into a concrete clock using `rng`.

@@ -80,13 +80,13 @@ impl CrashPlan {
             let mut t = SimTime::ZERO;
             loop {
                 let up = SimDuration::from_secs_f64(rng.exponential(mttf.as_secs_f64()));
-                t = t + up;
+                t += up;
                 if t >= horizon {
                     break;
                 }
                 events.push(LifecycleEvent::Crash(t));
                 let down = SimDuration::from_secs_f64(rng.exponential(mttr.as_secs_f64()));
-                t = t + down;
+                t += down;
                 if t >= horizon {
                     break;
                 }

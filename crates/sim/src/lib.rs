@@ -48,9 +48,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod backoff;
 pub mod clock;
 pub mod fault;
 pub mod metrics;
+pub mod nemesis;
 pub mod net;
 pub mod node;
 pub mod rng;
@@ -60,12 +62,14 @@ pub mod world;
 
 /// Convenient glob-import surface for simulator users.
 pub mod prelude {
+    pub use crate::backoff::Backoff;
     pub use crate::clock::{ClockSpec, DriftClock, LocalTime};
     pub use crate::fault::CrashPlan;
     pub use crate::metrics::{Histogram, Metrics};
+    pub use crate::nemesis::{Fault, NemesisNet, NemesisPlan, NemesisTargets};
     pub use crate::net::{NetModel, PerfectNet, Verdict, WanNet};
     pub use crate::node::{Context, Node, NodeId, TimerId};
     pub use crate::rng::{SimRng, Zipf};
     pub use crate::time::{SimDuration, SimTime};
-    pub use crate::world::World;
+    pub use crate::world::{Observer, ObserverId, World};
 }

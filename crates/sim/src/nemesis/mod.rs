@@ -1,0 +1,747 @@
+//! Composable, seed-deterministic fault injection ("nemesis") for
+//! adversarial protocol testing.
+//!
+//! The paper's protocol claims a *safety* property — a revoked right is
+//! usable for at most `Te` — that must hold under every combination of
+//! the failures §2.1 admits: lost, duplicated, delayed, and reordered
+//! messages, asymmetric and flapping partitions, host crash/recovery,
+//! and bounded clock drift. This module turns that failure model into a
+//! declarative, replayable [`NemesisPlan`]:
+//!
+//! * each [`Fault`] is pure data (a window plus parameters), so plans
+//!   print, compare, and **shrink** ([`NemesisPlan::without`]);
+//! * plans either come from the builder (scripted scenarios) or from
+//!   [`NemesisPlan::sample`], which draws a weighted random campaign
+//!   from a [`SimRng`] — the same seed always yields the same plan;
+//! * network faults layer *on top of* any base [`NetModel`] via
+//!   [`NemesisNet`], and lifecycle faults install into a
+//!   [`crate::world::World`] as ordinary crash/recover events, so the
+//!   protocol under test cannot tell a nemesis run from a hostile WAN.
+//!
+//! Pair a plan with a passive safety checker (a
+//! [`crate::world::Observer`]) to get a randomized model checker: on a
+//! violation, the (seed, plan, event index) triple replays the exact
+//! schedule that broke the invariant.
+
+mod net;
+
+pub use net::NemesisNet;
+
+use crate::node::NodeId;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// A half-open real-time window `[start, end)` during which a fault is
+/// active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// First instant the fault applies.
+    pub start: SimTime,
+    /// First instant it no longer applies.
+    pub end: SimTime,
+}
+
+impl Window {
+    /// Creates a window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= end`.
+    pub fn new(start: SimTime, end: SimTime) -> Window {
+        assert!(start < end, "fault window must be non-empty ({start} >= {end})");
+        Window { start, end }
+    }
+
+    /// Whether `now` falls inside the window.
+    pub fn contains(&self, now: SimTime) -> bool {
+        now >= self.start && now < self.end
+    }
+}
+
+impl std::fmt::Display for Window {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{} .. {})", self.start, self.end)
+    }
+}
+
+/// One injected fault. Every variant is plain data so plans can be
+/// printed, diffed, and shrunk.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Extra i.i.d. message loss on every link while the window is open.
+    Drop {
+        /// When the fault is active.
+        window: Window,
+        /// Per-message drop probability added on top of the base model.
+        prob: f64,
+    },
+    /// Extra message duplication on every link.
+    Duplicate {
+        /// When the fault is active.
+        window: Window,
+        /// Per-message duplication probability.
+        prob: f64,
+    },
+    /// Random extra propagation delay, which also *reorders* messages
+    /// relative to ones sent nearby in time.
+    DelaySpike {
+        /// When the fault is active.
+        window: Window,
+        /// Minimum extra delay added to every delivery.
+        extra_min: SimDuration,
+        /// Maximum extra delay (exclusive).
+        extra_max: SimDuration,
+    },
+    /// Symmetric partition: no traffic between the two sides.
+    Partition {
+        /// When the cut holds.
+        window: Window,
+        /// One side of the cut.
+        side_a: Vec<NodeId>,
+        /// The other side.
+        side_b: Vec<NodeId>,
+    },
+    /// Asymmetric partition: messages *from* `from` *to* `to` are lost;
+    /// the reverse direction still works. Models one-way congestion and
+    /// routing pathologies a symmetric model cannot express.
+    AsymmetricPartition {
+        /// When the cut holds.
+        window: Window,
+        /// Senders whose messages are lost.
+        from: Vec<NodeId>,
+        /// Receivers they cannot reach.
+        to: Vec<NodeId>,
+    },
+    /// Flapping partition: the cut alternates severed/healed with the
+    /// given period (severed first), stressing retry and convergence
+    /// logic with partial progress.
+    FlappingPartition {
+        /// Envelope during which the flapping happens.
+        window: Window,
+        /// One side of the cut.
+        side_a: Vec<NodeId>,
+        /// The other side.
+        side_b: Vec<NodeId>,
+        /// Duration of each severed (and each healed) phase.
+        period: SimDuration,
+    },
+    /// Crash a node at `at`; it recovers `down_for` later.
+    Crash {
+        /// The victim.
+        node: NodeId,
+        /// Crash instant.
+        at: SimTime,
+        /// Downtime before the scheduled recovery.
+        down_for: SimDuration,
+    },
+    /// Name-service outage: the directory node is down for the whole
+    /// window, so hosts relying on discovery cannot refresh their
+    /// manager view.
+    NsOutage {
+        /// The name-service node.
+        ns: NodeId,
+        /// When it is down.
+        window: Window,
+    },
+}
+
+fn fmt_nodes(nodes: &[NodeId]) -> String {
+    let items: Vec<String> = nodes.iter().map(|n| n.to_string()).collect();
+    format!("{{{}}}", items.join(","))
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::Drop { window, prob } => write!(f, "drop p={prob:.2} {window}"),
+            Fault::Duplicate { window, prob } => write!(f, "duplicate p={prob:.2} {window}"),
+            Fault::DelaySpike { window, extra_min, extra_max } => {
+                write!(f, "delay-spike +[{extra_min} .. {extra_max}) {window}")
+            }
+            Fault::Partition { window, side_a, side_b } => {
+                write!(f, "partition {} | {} {window}", fmt_nodes(side_a), fmt_nodes(side_b))
+            }
+            Fault::AsymmetricPartition { window, from, to } => {
+                write!(f, "asym-partition {} -x-> {} {window}", fmt_nodes(from), fmt_nodes(to))
+            }
+            Fault::FlappingPartition { window, side_a, side_b, period } => write!(
+                f,
+                "flapping-partition {} | {} period={period} {window}",
+                fmt_nodes(side_a),
+                fmt_nodes(side_b)
+            ),
+            Fault::Crash { node, at, down_for } => {
+                write!(f, "crash {node} at {at} for {down_for}")
+            }
+            Fault::NsOutage { ns, window } => write!(f, "ns-outage {ns} {window}"),
+        }
+    }
+}
+
+impl Fault {
+    /// Whether the fault acts on the network layer (as opposed to node
+    /// lifecycle).
+    pub fn is_net(&self) -> bool {
+        !matches!(self, Fault::Crash { .. } | Fault::NsOutage { .. })
+    }
+
+    /// Whether a partition-style fault currently severs `from -> to`.
+    pub(crate) fn severs(&self, from: NodeId, to: NodeId, now: SimTime) -> bool {
+        match self {
+            Fault::Partition { window, side_a, side_b } => {
+                window.contains(now)
+                    && ((side_a.contains(&from) && side_b.contains(&to))
+                        || (side_b.contains(&from) && side_a.contains(&to)))
+            }
+            Fault::AsymmetricPartition { window, from: senders, to: receivers } => {
+                window.contains(now) && senders.contains(&from) && receivers.contains(&to)
+            }
+            Fault::FlappingPartition { window, side_a, side_b, period } => {
+                if !window.contains(now) {
+                    return false;
+                }
+                let elapsed = now.saturating_since(window.start).as_nanos();
+                let phase = (elapsed / period.as_nanos().max(1)) % 2;
+                phase == 0
+                    && ((side_a.contains(&from) && side_b.contains(&to))
+                        || (side_b.contains(&from) && side_a.contains(&to)))
+            }
+            _ => false,
+        }
+    }
+}
+
+/// The node roles a sampled campaign may attack.
+///
+/// Sampling never touches nodes outside these sets (user agents and the
+/// admin keep running, so the workload itself survives the campaign).
+#[derive(Debug, Clone, Default)]
+pub struct NemesisTargets {
+    /// ACL manager nodes (crash storms, partitions).
+    pub managers: Vec<NodeId>,
+    /// Application host nodes (crashes, partitions).
+    pub hosts: Vec<NodeId>,
+    /// The name-service node, if the deployment uses discovery.
+    pub name_service: Option<NodeId>,
+}
+
+impl NemesisTargets {
+    fn protocol_nodes(&self) -> Vec<NodeId> {
+        let mut all = self.managers.clone();
+        all.extend_from_slice(&self.hosts);
+        all
+    }
+}
+
+/// A declarative fault-injection campaign over a fixed horizon.
+///
+/// # Examples
+///
+/// A scripted plan:
+///
+/// ```
+/// use wanacl_sim::nemesis::NemesisPlan;
+/// use wanacl_sim::node::NodeId;
+/// use wanacl_sim::time::{SimDuration, SimTime};
+///
+/// let m = NodeId::from_index(0);
+/// let h = NodeId::from_index(1);
+/// let plan = NemesisPlan::builder(SimTime::from_secs(60))
+///     .partition(vec![m], vec![h], SimTime::from_secs(10), SimTime::from_secs(30))
+///     .crash(m, SimTime::from_secs(40), SimDuration::from_secs(5))
+///     .build();
+/// assert_eq!(plan.len(), 2);
+/// ```
+///
+/// A sampled campaign is a pure function of its seed:
+///
+/// ```
+/// use wanacl_sim::nemesis::{NemesisPlan, NemesisTargets};
+/// use wanacl_sim::node::NodeId;
+/// use wanacl_sim::rng::SimRng;
+/// use wanacl_sim::time::SimTime;
+///
+/// let targets = NemesisTargets {
+///     managers: (0..3).map(NodeId::from_index).collect(),
+///     hosts: (3..5).map(NodeId::from_index).collect(),
+///     name_service: None,
+/// };
+/// let horizon = SimTime::from_secs(60);
+/// let a = NemesisPlan::sample(&targets, horizon, 1.0, &mut SimRng::seed_from(7));
+/// let b = NemesisPlan::sample(&targets, horizon, 1.0, &mut SimRng::seed_from(7));
+/// assert_eq!(a, b);
+/// assert!(!a.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NemesisPlan {
+    /// End of the campaign; no fault extends past it.
+    pub horizon: SimTime,
+    /// The injected faults, in sampling order.
+    pub faults: Vec<Fault>,
+}
+
+impl NemesisPlan {
+    /// Starts a scripted plan over the given horizon.
+    pub fn builder(horizon: SimTime) -> NemesisPlanBuilder {
+        NemesisPlanBuilder { plan: NemesisPlan { horizon, faults: Vec::new() } }
+    }
+
+    /// Draws a weighted random campaign. `intensity` scales the number
+    /// of faults (1.0 ≈ one fault per 5 seconds of horizon); the mix
+    /// leans toward partitions and drop bursts, the failures the paper
+    /// calls frequent, with rarer crash storms and directory outages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no protocol nodes to attack, the horizon is
+    /// zero, or `intensity` is not positive.
+    pub fn sample(
+        targets: &NemesisTargets,
+        horizon: SimTime,
+        intensity: f64,
+        rng: &mut SimRng,
+    ) -> NemesisPlan {
+        assert!(horizon > SimTime::ZERO, "horizon must be positive");
+        assert!(intensity > 0.0, "intensity must be positive");
+        let nodes = targets.protocol_nodes();
+        assert!(!nodes.is_empty(), "nemesis needs at least one target node");
+
+        let horizon_s = SimDuration::from_nanos(horizon.as_nanos()).as_secs_f64();
+        let count = ((intensity * horizon_s / 5.0).ceil() as usize).max(1);
+
+        // (weight, kind) table; kinds guarded by availability.
+        let can_partition = nodes.len() >= 2;
+        let mut table: Vec<(u64, u8)> = vec![(3, 0), (2, 1), (2, 2)]; // drop, dup, delay
+        if can_partition {
+            table.push((3, 3)); // symmetric partition
+            table.push((2, 4)); // asymmetric partition
+            table.push((2, 5)); // flapping partition
+        }
+        table.push((2, 6)); // manager crash
+        if !targets.hosts.is_empty() {
+            table.push((1, 7)); // host crash
+        }
+        if targets.name_service.is_some() {
+            table.push((1, 8)); // name-service outage
+        }
+        let total_weight: u64 = table.iter().map(|(w, _)| w).sum();
+
+        let mut faults = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut pick = rng.range(0, total_weight);
+            let mut kind = table[0].1;
+            for (w, k) in &table {
+                if pick < *w {
+                    kind = *k;
+                    break;
+                }
+                pick -= w;
+            }
+            faults.push(Self::sample_fault(kind, targets, &nodes, horizon, rng));
+        }
+        NemesisPlan { horizon, faults }
+    }
+
+    fn sample_window(horizon: SimTime, rng: &mut SimRng) -> Window {
+        let horizon_ns = horizon.as_nanos();
+        let start_ns = rng.range(0, (horizon_ns * 9 / 10).max(1));
+        let mean = (horizon_ns / 8).max(1) as f64;
+        let len_ns = (rng.exponential(mean) as u64).clamp(100_000_000, horizon_ns - start_ns);
+        let start = SimTime::from_nanos(start_ns);
+        let end = SimTime::from_nanos((start_ns + len_ns).min(horizon_ns).max(start_ns + 1));
+        Window::new(start, end)
+    }
+
+    /// Random nonempty proper subset split of the protocol nodes.
+    fn sample_split(nodes: &[NodeId], rng: &mut SimRng) -> (Vec<NodeId>, Vec<NodeId>) {
+        loop {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            for &n in nodes {
+                if rng.chance(0.5) {
+                    a.push(n);
+                } else {
+                    b.push(n);
+                }
+            }
+            if !a.is_empty() && !b.is_empty() {
+                return (a, b);
+            }
+        }
+    }
+
+    fn sample_fault(
+        kind: u8,
+        targets: &NemesisTargets,
+        nodes: &[NodeId],
+        horizon: SimTime,
+        rng: &mut SimRng,
+    ) -> Fault {
+        match kind {
+            0 => Fault::Drop {
+                window: Self::sample_window(horizon, rng),
+                prob: rng.uniform(0.3, 1.0),
+            },
+            1 => Fault::Duplicate {
+                window: Self::sample_window(horizon, rng),
+                prob: rng.uniform(0.1, 0.5),
+            },
+            2 => {
+                let min_ms = rng.range(50, 500);
+                let max_ms = min_ms + rng.range(100, 2_000);
+                Fault::DelaySpike {
+                    window: Self::sample_window(horizon, rng),
+                    extra_min: SimDuration::from_millis(min_ms),
+                    extra_max: SimDuration::from_millis(max_ms),
+                }
+            }
+            3 => {
+                let (side_a, side_b) = Self::sample_split(nodes, rng);
+                Fault::Partition { window: Self::sample_window(horizon, rng), side_a, side_b }
+            }
+            4 => {
+                let (from, to) = Self::sample_split(nodes, rng);
+                Fault::AsymmetricPartition { window: Self::sample_window(horizon, rng), from, to }
+            }
+            5 => {
+                let (side_a, side_b) = Self::sample_split(nodes, rng);
+                Fault::FlappingPartition {
+                    window: Self::sample_window(horizon, rng),
+                    side_a,
+                    side_b,
+                    period: SimDuration::from_millis(rng.range(200, 2_000)),
+                }
+            }
+            6 | 7 => {
+                let pool = if kind == 6 { &targets.managers } else { &targets.hosts };
+                let node = *rng.choose(pool);
+                let at_ns = rng.range(0, (horizon.as_nanos() * 9 / 10).max(1));
+                let mean = (horizon.as_nanos() / 10).max(1) as f64;
+                let down_ns = (rng.exponential(mean) as u64).max(100_000_000);
+                Fault::Crash {
+                    node,
+                    at: SimTime::from_nanos(at_ns),
+                    down_for: SimDuration::from_nanos(down_ns),
+                }
+            }
+            _ => Fault::NsOutage {
+                ns: targets.name_service.expect("guarded by the weight table"),
+                window: Self::sample_window(horizon, rng),
+            },
+        }
+    }
+
+    /// Number of faults in the plan.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// A copy of the plan with fault `index` removed — the primitive a
+    /// greedy schedule shrinker is built from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn without(&self, index: usize) -> NemesisPlan {
+        let mut copy = self.clone();
+        copy.faults.remove(index);
+        copy
+    }
+
+    /// The network-layer faults (for [`NemesisNet`]).
+    pub fn net_faults(&self) -> Vec<Fault> {
+        self.faults.iter().filter(|f| f.is_net()).cloned().collect()
+    }
+
+    /// Wraps a base network model with this plan's network faults.
+    pub fn wrap_net(&self, base: Box<dyn crate::net::NetModel>) -> NemesisNet {
+        NemesisNet::new(base, self.net_faults())
+    }
+
+    /// Schedules the plan's lifecycle faults (crashes, recoveries,
+    /// name-service outages) into a world. Call before running; events
+    /// already in the past are skipped rather than panicking, so a plan
+    /// can be installed mid-run for staged scenarios.
+    pub fn install_lifecycle<M: Clone + std::fmt::Debug + 'static>(
+        &self,
+        world: &mut crate::world::World<M>,
+    ) {
+        let now = world.now();
+        let mut schedule = |down: SimTime, up: SimTime, node: NodeId| {
+            if down >= now {
+                world.schedule_crash(down, node);
+            }
+            if up >= now {
+                world.schedule_recover(up, node);
+            }
+        };
+        for fault in &self.faults {
+            match fault {
+                Fault::Crash { node, at, down_for } => schedule(*at, *at + *down_for, *node),
+                Fault::NsOutage { ns, window } => schedule(window.start, window.end, *ns),
+                _ => {}
+            }
+        }
+    }
+
+    /// A numbered, human-readable listing of the plan (for violation
+    /// reports and replay instructions).
+    pub fn describe(&self) -> String {
+        if self.faults.is_empty() {
+            return format!("nemesis plan: no faults, horizon {}\n", self.horizon);
+        }
+        let mut out = format!(
+            "nemesis plan: {} fault(s), horizon {}\n",
+            self.faults.len(),
+            self.horizon
+        );
+        for (i, fault) in self.faults.iter().enumerate() {
+            out.push_str(&format!("  [{i}] {fault}\n"));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for NemesisPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// Builder for scripted [`NemesisPlan`]s (C-BUILDER).
+#[derive(Debug, Clone)]
+pub struct NemesisPlanBuilder {
+    plan: NemesisPlan,
+}
+
+impl NemesisPlanBuilder {
+    /// Adds an extra-loss burst.
+    pub fn drop_burst(mut self, start: SimTime, end: SimTime, prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "drop probability must be in [0,1]");
+        self.plan.faults.push(Fault::Drop { window: Window::new(start, end), prob });
+        self
+    }
+
+    /// Adds a duplication burst.
+    pub fn duplicate_burst(mut self, start: SimTime, end: SimTime, prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "duplication probability must be in [0,1]");
+        self.plan.faults.push(Fault::Duplicate { window: Window::new(start, end), prob });
+        self
+    }
+
+    /// Adds a delay spike (which reorders traffic).
+    pub fn delay_spike(
+        mut self,
+        start: SimTime,
+        end: SimTime,
+        extra_min: SimDuration,
+        extra_max: SimDuration,
+    ) -> Self {
+        assert!(extra_min < extra_max, "delay spike needs extra_min < extra_max");
+        self.plan.faults.push(Fault::DelaySpike {
+            window: Window::new(start, end),
+            extra_min,
+            extra_max,
+        });
+        self
+    }
+
+    /// Adds a symmetric partition.
+    pub fn partition(
+        mut self,
+        side_a: Vec<NodeId>,
+        side_b: Vec<NodeId>,
+        start: SimTime,
+        end: SimTime,
+    ) -> Self {
+        self.plan.faults.push(Fault::Partition { window: Window::new(start, end), side_a, side_b });
+        self
+    }
+
+    /// Adds a one-way partition (`from` cannot reach `to`).
+    pub fn asymmetric_partition(
+        mut self,
+        from: Vec<NodeId>,
+        to: Vec<NodeId>,
+        start: SimTime,
+        end: SimTime,
+    ) -> Self {
+        self.plan
+            .faults
+            .push(Fault::AsymmetricPartition { window: Window::new(start, end), from, to });
+        self
+    }
+
+    /// Adds a flapping partition.
+    pub fn flapping_partition(
+        mut self,
+        side_a: Vec<NodeId>,
+        side_b: Vec<NodeId>,
+        start: SimTime,
+        end: SimTime,
+        period: SimDuration,
+    ) -> Self {
+        assert!(period > SimDuration::ZERO, "flap period must be positive");
+        self.plan.faults.push(Fault::FlappingPartition {
+            window: Window::new(start, end),
+            side_a,
+            side_b,
+            period,
+        });
+        self
+    }
+
+    /// Adds a crash with scheduled recovery.
+    pub fn crash(mut self, node: NodeId, at: SimTime, down_for: SimDuration) -> Self {
+        assert!(down_for > SimDuration::ZERO, "downtime must be positive");
+        self.plan.faults.push(Fault::Crash { node, at, down_for });
+        self
+    }
+
+    /// Adds a name-service outage.
+    pub fn ns_outage(mut self, ns: NodeId, start: SimTime, end: SimTime) -> Self {
+        self.plan.faults.push(Fault::NsOutage { ns, window: Window::new(start, end) });
+        self
+    }
+
+    /// Finishes the plan.
+    pub fn build(self) -> NemesisPlan {
+        self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    fn targets() -> NemesisTargets {
+        NemesisTargets {
+            managers: vec![n(0), n(1), n(2)],
+            hosts: vec![n(3), n(4)],
+            name_service: Some(n(5)),
+        }
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        let w = Window::new(SimTime::from_secs(1), SimTime::from_secs(2));
+        assert!(!w.contains(SimTime::from_millis(999)));
+        assert!(w.contains(SimTime::from_secs(1)));
+        assert!(w.contains(SimTime::from_millis(1_999)));
+        assert!(!w.contains(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be non-empty")]
+    fn empty_window_rejected() {
+        let _ = Window::new(SimTime::from_secs(2), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_bounded() {
+        let horizon = SimTime::from_secs(120);
+        let a = NemesisPlan::sample(&targets(), horizon, 1.0, &mut SimRng::seed_from(11));
+        let b = NemesisPlan::sample(&targets(), horizon, 1.0, &mut SimRng::seed_from(11));
+        assert_eq!(a, b);
+        let c = NemesisPlan::sample(&targets(), horizon, 1.0, &mut SimRng::seed_from(12));
+        assert_ne!(a, c, "different seeds should differ");
+        for fault in &a.faults {
+            match fault {
+                Fault::Drop { window, prob } | Fault::Duplicate { window, prob } => {
+                    assert!(window.end <= horizon);
+                    assert!((0.0..=1.0).contains(prob));
+                }
+                Fault::DelaySpike { window, extra_min, extra_max } => {
+                    assert!(window.end <= horizon);
+                    assert!(extra_min < extra_max);
+                }
+                Fault::Partition { window, side_a, side_b }
+                | Fault::FlappingPartition { window, side_a, side_b, .. } => {
+                    assert!(window.end <= horizon);
+                    assert!(!side_a.is_empty() && !side_b.is_empty());
+                    assert!(side_a.iter().all(|x| !side_b.contains(x)), "sides must be disjoint");
+                }
+                Fault::AsymmetricPartition { window, from, to } => {
+                    assert!(window.end <= horizon);
+                    assert!(!from.is_empty() && !to.is_empty());
+                }
+                Fault::Crash { at, down_for, .. } => {
+                    assert!(*at < horizon);
+                    assert!(*down_for > SimDuration::ZERO);
+                }
+                Fault::NsOutage { ns, window } => {
+                    assert_eq!(*ns, n(5));
+                    assert!(window.end <= horizon);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn intensity_scales_fault_count() {
+        let horizon = SimTime::from_secs(100);
+        let light = NemesisPlan::sample(&targets(), horizon, 0.2, &mut SimRng::seed_from(3));
+        let heavy = NemesisPlan::sample(&targets(), horizon, 3.0, &mut SimRng::seed_from(3));
+        assert!(heavy.len() > light.len(), "{} <= {}", heavy.len(), light.len());
+    }
+
+    #[test]
+    fn flapping_partition_alternates() {
+        let f = Fault::FlappingPartition {
+            window: Window::new(SimTime::ZERO, SimTime::from_secs(10)),
+            side_a: vec![n(0)],
+            side_b: vec![n(1)],
+            period: SimDuration::from_secs(1),
+        };
+        // Severed phase first, then healed, alternating each period.
+        assert!(f.severs(n(0), n(1), SimTime::from_millis(500)));
+        assert!(!f.severs(n(0), n(1), SimTime::from_millis(1_500)));
+        assert!(f.severs(n(1), n(0), SimTime::from_millis(2_500)));
+        assert!(!f.severs(n(0), n(1), SimTime::from_secs(11)), "outside the envelope");
+    }
+
+    #[test]
+    fn asymmetric_partition_is_one_way() {
+        let f = Fault::AsymmetricPartition {
+            window: Window::new(SimTime::ZERO, SimTime::from_secs(10)),
+            from: vec![n(0)],
+            to: vec![n(1)],
+        };
+        assert!(f.severs(n(0), n(1), SimTime::from_secs(5)));
+        assert!(!f.severs(n(1), n(0), SimTime::from_secs(5)), "reverse path must work");
+    }
+
+    #[test]
+    fn without_removes_exactly_one_fault() {
+        let plan = NemesisPlan::sample(
+            &targets(),
+            SimTime::from_secs(60),
+            2.0,
+            &mut SimRng::seed_from(4),
+        );
+        assert!(plan.len() >= 2);
+        let shrunk = plan.without(0);
+        assert_eq!(shrunk.len(), plan.len() - 1);
+        assert_eq!(shrunk.faults[0], plan.faults[1]);
+    }
+
+    #[test]
+    fn describe_numbers_every_fault() {
+        let plan = NemesisPlan::builder(SimTime::from_secs(30))
+            .drop_burst(SimTime::from_secs(1), SimTime::from_secs(2), 0.5)
+            .crash(n(0), SimTime::from_secs(3), SimDuration::from_secs(1))
+            .build();
+        let text = plan.describe();
+        assert!(text.contains("[0] drop"), "{text}");
+        assert!(text.contains("[1] crash"), "{text}");
+    }
+}

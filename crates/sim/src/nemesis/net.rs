@@ -1,0 +1,222 @@
+//! Network-layer fault injection: a [`NetModel`] decorator.
+
+use crate::net::{DropReason, NetModel, Verdict};
+use crate::node::NodeId;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+use super::Fault;
+
+/// Layers a [`NemesisPlan`](super::NemesisPlan)'s network faults on top
+/// of any base model. Evaluation order mirrors [`crate::net::WanNet`]:
+/// partitions first (certain loss), then injected random loss, then the
+/// base model's own verdict, and finally duplication and delay spikes
+/// rewriting the surviving delivery.
+///
+/// # Examples
+///
+/// ```
+/// use wanacl_sim::nemesis::NemesisPlan;
+/// use wanacl_sim::net::{NetModel, PerfectNet, Verdict, DropReason};
+/// use wanacl_sim::node::NodeId;
+/// use wanacl_sim::rng::SimRng;
+/// use wanacl_sim::time::{SimDuration, SimTime};
+///
+/// let a = NodeId::from_index(0);
+/// let b = NodeId::from_index(1);
+/// let plan = NemesisPlan::builder(SimTime::from_secs(60))
+///     .partition(vec![a], vec![b], SimTime::from_secs(10), SimTime::from_secs(20))
+///     .build();
+/// let mut net = plan.wrap_net(Box::new(PerfectNet::new(SimDuration::from_millis(5))));
+/// let mut rng = SimRng::seed_from(1);
+/// assert!(matches!(
+///     net.transmit(a, b, SimTime::from_secs(15), &mut rng),
+///     Verdict::Drop(DropReason::Partitioned)
+/// ));
+/// assert!(matches!(net.transmit(a, b, SimTime::from_secs(25), &mut rng), Verdict::Deliver(_)));
+/// ```
+pub struct NemesisNet {
+    base: Box<dyn NetModel>,
+    faults: Vec<Fault>,
+}
+
+impl std::fmt::Debug for NemesisNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NemesisNet").field("faults", &self.faults.len()).finish_non_exhaustive()
+    }
+}
+
+impl NemesisNet {
+    /// Wraps `base` with the given network faults (lifecycle faults in
+    /// the list are ignored; install those into the world instead).
+    pub fn new(base: Box<dyn NetModel>, faults: Vec<Fault>) -> NemesisNet {
+        NemesisNet { base, faults: faults.into_iter().filter(|f| f.is_net()).collect() }
+    }
+
+    /// Extra delay from any active delay-spike fault at `now`.
+    fn spike(&self, now: SimTime, rng: &mut SimRng) -> SimDuration {
+        let mut extra = SimDuration::ZERO;
+        for fault in &self.faults {
+            if let Fault::DelaySpike { window, extra_min, extra_max } = fault {
+                if window.contains(now) {
+                    let span = extra_max.as_nanos().saturating_sub(extra_min.as_nanos());
+                    let add = if span == 0 {
+                        *extra_min
+                    } else {
+                        SimDuration::from_nanos(extra_min.as_nanos() + rng.range(0, span))
+                    };
+                    extra = extra + add;
+                }
+            }
+        }
+        extra
+    }
+}
+
+impl NetModel for NemesisNet {
+    fn transmit(&mut self, from: NodeId, to: NodeId, now: SimTime, rng: &mut SimRng) -> Verdict {
+        // 1. Partitions: certain loss, regardless of the base model.
+        if self.faults.iter().any(|f| f.severs(from, to, now)) {
+            return Verdict::Drop(DropReason::Partitioned);
+        }
+        // 2. Injected random loss.
+        for fault in &self.faults {
+            if let Fault::Drop { window, prob } = fault {
+                if window.contains(now) && rng.chance(*prob) {
+                    return Verdict::Drop(DropReason::Loss);
+                }
+            }
+        }
+        // 3. The base network's own verdict.
+        let verdict = self.base.transmit(from, to, now, rng);
+        // 4. Injected duplication: a surviving single delivery may fork.
+        let verdict = match verdict {
+            Verdict::Deliver(d) => {
+                let duplicated = self.faults.iter().any(|f| match f {
+                    Fault::Duplicate { window, prob } => window.contains(now) && rng.chance(*prob),
+                    _ => false,
+                });
+                if duplicated {
+                    // Second copy trails the first by up to one base delay.
+                    let trail = d.mul_f64(1.0 + rng.unit());
+                    Verdict::Duplicate(d, trail)
+                } else {
+                    Verdict::Deliver(d)
+                }
+            }
+            other => other,
+        };
+        // 5. Delay spikes stretch whatever still gets delivered.
+        match verdict {
+            Verdict::Deliver(d) => Verdict::Deliver(d + self.spike(now, rng)),
+            Verdict::Duplicate(a, b) => {
+                Verdict::Duplicate(a + self.spike(now, rng), b + self.spike(now, rng))
+            }
+            drop => drop,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::NemesisPlan;
+    use super::*;
+    use crate::net::PerfectNet;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    fn perfect() -> Box<dyn NetModel> {
+        Box::new(PerfectNet::new(SimDuration::from_millis(10)))
+    }
+
+    #[test]
+    fn drop_burst_only_inside_window() {
+        let plan = NemesisPlan::builder(SimTime::from_secs(60))
+            .drop_burst(SimTime::from_secs(10), SimTime::from_secs(20), 1.0)
+            .build();
+        let mut net = plan.wrap_net(perfect());
+        let mut rng = SimRng::seed_from(1);
+        assert!(matches!(
+            net.transmit(n(0), n(1), SimTime::from_secs(15), &mut rng),
+            Verdict::Drop(DropReason::Loss)
+        ));
+        assert!(matches!(
+            net.transmit(n(0), n(1), SimTime::from_secs(5), &mut rng),
+            Verdict::Deliver(_)
+        ));
+    }
+
+    #[test]
+    fn duplication_forks_deliveries() {
+        let plan = NemesisPlan::builder(SimTime::from_secs(60))
+            .duplicate_burst(SimTime::ZERO, SimTime::from_secs(60), 1.0)
+            .build();
+        let mut net = plan.wrap_net(perfect());
+        let mut rng = SimRng::seed_from(2);
+        match net.transmit(n(0), n(1), SimTime::from_secs(1), &mut rng) {
+            Verdict::Duplicate(a, b) => assert!(b >= a, "trailing copy must not lead"),
+            other => panic!("expected duplicate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delay_spike_stretches_delivery() {
+        let extra_min = SimDuration::from_millis(100);
+        let extra_max = SimDuration::from_millis(200);
+        let plan = NemesisPlan::builder(SimTime::from_secs(60))
+            .delay_spike(SimTime::ZERO, SimTime::from_secs(60), extra_min, extra_max)
+            .build();
+        let mut net = plan.wrap_net(perfect());
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..50 {
+            match net.transmit(n(0), n(1), SimTime::from_secs(1), &mut rng) {
+                Verdict::Deliver(d) => {
+                    assert!(d >= SimDuration::from_millis(110), "delay {d}");
+                    assert!(d < SimDuration::from_millis(210), "delay {d}");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lifecycle_faults_are_ignored_by_the_net() {
+        let plan = NemesisPlan::builder(SimTime::from_secs(60))
+            .crash(n(0), SimTime::from_secs(1), SimDuration::from_secs(50))
+            .build();
+        let mut net = plan.wrap_net(perfect());
+        let mut rng = SimRng::seed_from(4);
+        // The net layer does not model the crash; the world does.
+        assert!(matches!(
+            net.transmit(n(0), n(1), SimTime::from_secs(10), &mut rng),
+            Verdict::Deliver(_)
+        ));
+    }
+
+    #[test]
+    fn composition_is_deterministic() {
+        let mk = || {
+            NemesisPlan::builder(SimTime::from_secs(60))
+                .drop_burst(SimTime::ZERO, SimTime::from_secs(60), 0.3)
+                .duplicate_burst(SimTime::ZERO, SimTime::from_secs(60), 0.3)
+                .delay_spike(
+                    SimTime::ZERO,
+                    SimTime::from_secs(60),
+                    SimDuration::from_millis(10),
+                    SimDuration::from_millis(50),
+                )
+                .build()
+                .wrap_net(perfect())
+        };
+        let mut a = mk();
+        let mut b = mk();
+        let mut ra = SimRng::seed_from(9);
+        let mut rb = SimRng::seed_from(9);
+        for i in 0..500 {
+            let t = SimTime::from_millis(i * 100);
+            assert_eq!(a.transmit(n(0), n(1), t, &mut ra), b.transmit(n(0), n(1), t, &mut rb));
+        }
+    }
+}

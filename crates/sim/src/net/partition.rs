@@ -187,7 +187,7 @@ impl PartitionOracle for GilbertElliott {
             let dwell = SimDuration::from_secs_f64(rng.exponential(mean.as_secs_f64()));
             // Guard against a zero-length dwell stalling the loop.
             let dwell = std::cmp::max(dwell, SimDuration::from_nanos(1));
-            entry.1 = entry.1 + dwell;
+            entry.1 += dwell;
         }
         entry.0
     }
@@ -315,7 +315,7 @@ impl DutyCycle {
             let mean = if entry.0 { self.mean_attached } else { self.mean_detached };
             let dwell = SimDuration::from_secs_f64(rng.exponential(mean.as_secs_f64()));
             let dwell = std::cmp::max(dwell, SimDuration::from_nanos(1));
-            entry.1 = entry.1 + dwell;
+            entry.1 += dwell;
         }
         entry.0
     }

@@ -325,8 +325,8 @@ mod tests {
         for _ in 0..trials {
             counts[zipf.sample(&mut rng)] += 1;
         }
-        for rank in 0..5 {
-            let observed = counts[rank] as f64 / trials as f64;
+        for (rank, &count) in counts.iter().enumerate() {
+            let observed = count as f64 / trials as f64;
             assert!(
                 (observed - zipf.mass(rank)).abs() < 0.01,
                 "rank {rank}: {observed} vs {}",

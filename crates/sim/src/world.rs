@@ -69,6 +69,34 @@ impl<M> std::fmt::Debug for Slot<M> {
     }
 }
 
+/// A passive observer of world events, registered with
+/// [`World::add_observer`].
+///
+/// Observers are called for every trace-worthy event *even when the
+/// trace buffer is disabled*, so always-on checkers (safety oracles,
+/// online statistics) do not pay the cost of storing a full trace.
+/// Observers cannot affect the simulation: they see each event after it
+/// has been applied and have no way to send messages or set timers, so
+/// attaching one never changes a run's outcome.
+///
+/// `index` is the ordinal of the event among all events shown to
+/// observers in this run — stable across identically-configured replays
+/// of the same seed, which makes it a precise coordinate for
+/// counterexample reports.
+pub trait Observer {
+    /// Called once per event, in simulation order.
+    fn on_event(&mut self, at: SimTime, index: u64, event: &TraceEvent);
+    /// Downcasting support (mirrors [`Node::as_any`]).
+    fn as_any(&self) -> &dyn std::any::Any;
+    /// Mutable downcasting support.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// Handle returned by [`World::add_observer`], used to retrieve the
+/// observer after a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObserverId(usize);
+
 /// A deterministic discrete-event world over message type `M`.
 ///
 /// # Examples
@@ -107,6 +135,8 @@ pub struct World<M> {
     next_timer: u64,
     metrics: Metrics,
     trace: Trace,
+    observers: Vec<Box<dyn Observer>>,
+    event_index: u64,
     started: bool,
 }
 
@@ -137,6 +167,8 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
             next_timer: 0,
             metrics: Metrics::new(),
             trace: Trace::new(),
+            observers: Vec::new(),
+            event_index: 0,
             started: false,
         }
     }
@@ -149,6 +181,59 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
     /// Turns on event tracing (off by default).
     pub fn enable_trace(&mut self) {
         self.trace.set_enabled(true);
+    }
+
+    /// Registers a passive [`Observer`] and returns a handle for
+    /// retrieving it later with [`World::observer_as`].
+    ///
+    /// Observers see every subsequent event whether or not tracing is
+    /// enabled. Register them before the first step for a complete view.
+    pub fn add_observer(&mut self, observer: Box<dyn Observer>) -> ObserverId {
+        self.observers.push(observer);
+        ObserverId(self.observers.len() - 1)
+    }
+
+    /// Immutable access to a registered observer downcast to its
+    /// concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is foreign or the observer is not a `T`.
+    pub fn observer_as<T: 'static>(&self, id: ObserverId) -> &T {
+        self.observers[id.0]
+            .as_any()
+            .downcast_ref::<T>()
+            .unwrap_or_else(|| panic!("observer {} is not a {}", id.0, std::any::type_name::<T>()))
+    }
+
+    /// Mutable access to a registered observer downcast to its concrete
+    /// type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is foreign or the observer is not a `T`.
+    pub fn observer_as_mut<T: 'static>(&mut self, id: ObserverId) -> &mut T {
+        self.observers[id.0]
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .unwrap_or_else(|| panic!("observer {} is not a {}", id.0, std::any::type_name::<T>()))
+    }
+
+    /// Whether per-message events (Sent/Delivered) need to be built at
+    /// all: only when something will consume them.
+    fn wants_message_events(&self) -> bool {
+        self.trace.is_enabled() || !self.observers.is_empty()
+    }
+
+    /// Records an event: observers first, then the trace buffer.
+    fn emit(&mut self, event: TraceEvent) {
+        let at = self.now;
+        let index = self.event_index;
+        self.event_index += 1;
+        for obs in &mut self.observers {
+            obs.on_event(at, index, &event);
+        }
+        self.trace.push(at, event);
     }
 
     /// Adds a node and returns its id.
@@ -377,18 +462,16 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
                 }
                 if !self.slots[to.index()].up {
                     self.metrics.incr("net.drop.destination_down");
-                    self.trace.push(
-                        self.now,
-                        TraceEvent::Dropped { from, to, reason: DropReason::DestinationDown },
-                    );
+                    self.emit(TraceEvent::Dropped {
+                        from,
+                        to,
+                        reason: DropReason::DestinationDown,
+                    });
                     return;
                 }
                 self.metrics.incr("net.delivered");
-                if self.trace.is_enabled() {
-                    self.trace.push(
-                        self.now,
-                        TraceEvent::Delivered { from, to, desc: format!("{msg:?}") },
-                    );
+                if self.wants_message_events() {
+                    self.emit(TraceEvent::Delivered { from, to, desc: format!("{msg:?}") });
                 }
                 let mut effects = Vec::new();
                 {
@@ -415,7 +498,7 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
                 if !slot_ok {
                     return;
                 }
-                self.trace.push(self.now, TraceEvent::TimerFired { node, tag });
+                self.emit(TraceEvent::TimerFired { node, tag });
                 let mut effects = Vec::new();
                 {
                     let slot = &mut self.slots[node.index()];
@@ -439,7 +522,7 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
                 slot.incarnation += 1;
                 slot.node.on_crash();
                 self.metrics.incr("node.crashes");
-                self.trace.push(self.now, TraceEvent::Crashed { node });
+                self.emit(TraceEvent::Crashed { node });
             }
             EventKind::Recover { node } => {
                 let up = self.slots[node.index()].up;
@@ -448,7 +531,7 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
                 }
                 self.slots[node.index()].up = true;
                 self.metrics.incr("node.recoveries");
-                self.trace.push(self.now, TraceEvent::Recovered { node });
+                self.emit(TraceEvent::Recovered { node });
                 let mut effects = Vec::new();
                 {
                     let slot = &mut self.slots[node.index()];
@@ -471,11 +554,8 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
             match effect {
                 Effect::Send { to, msg } => {
                     self.metrics.incr("net.sent");
-                    if self.trace.is_enabled() {
-                        self.trace.push(
-                            self.now,
-                            TraceEvent::Sent { from: origin, to, desc: format!("{msg:?}") },
-                        );
+                    if self.wants_message_events() {
+                        self.emit(TraceEvent::Sent { from: origin, to, desc: format!("{msg:?}") });
                     }
                     if to == origin {
                         // Self-sends bypass the network: local IPC.
@@ -501,10 +581,7 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
                                 DropReason::DestinationDown => "net.drop.destination_down",
                             };
                             self.metrics.incr(name);
-                            self.trace.push(
-                                self.now,
-                                TraceEvent::Dropped { from: origin, to, reason },
-                            );
+                            self.emit(TraceEvent::Dropped { from: origin, to, reason });
                         }
                     }
                 }
@@ -525,7 +602,7 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
                     self.cancelled_timers.insert(id.0);
                 }
                 Effect::Trace { text } => {
-                    self.trace.push(self.now, TraceEvent::Note { node: origin, text });
+                    self.emit(TraceEvent::Note { node: origin, text });
                 }
                 Effect::MetricIncr { name } => {
                     self.metrics.incr(name);
@@ -829,6 +906,65 @@ mod tests {
         // With a pending event beyond the deadline, it reports busy.
         world.inject(SimTime::from_secs(100), server, Msg::Ping);
         assert!(!world.run_until_idle(SimTime::from_secs(50)));
+    }
+
+    #[test]
+    fn observers_see_events_without_trace_enabled() {
+        #[derive(Default)]
+        struct Counter {
+            delivered: u32,
+            notes: Vec<String>,
+            crashes: u32,
+            last_index: Option<u64>,
+        }
+        impl Observer for Counter {
+            fn on_event(&mut self, _at: SimTime, index: u64, event: &TraceEvent) {
+                if let Some(prev) = self.last_index {
+                    assert!(index > prev, "indices must be strictly increasing");
+                }
+                self.last_index = Some(index);
+                match event {
+                    TraceEvent::Delivered { .. } => self.delivered += 1,
+                    TraceEvent::Note { text, .. } => self.notes.push(text.clone()),
+                    TraceEvent::Crashed { .. } => self.crashes += 1,
+                    _ => {}
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+
+        #[derive(Debug)]
+        struct Noter;
+        impl Node for Noter {
+            type Msg = Msg;
+            fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _f: NodeId, _m: Msg) {
+                ctx.trace("saw a message".to_string());
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+
+        let mut world: World<Msg> = World::new(21);
+        // Trace stays DISABLED: the observer must still see everything.
+        let node = world.add_node("noter", Box::new(Noter), ClockSpec::Perfect);
+        let obs = world.add_observer(Box::new(Counter::default()));
+        world.inject(SimTime::from_millis(5), node, Msg::Ping);
+        world.schedule_crash(SimTime::from_millis(10), node);
+        world.run_until(SimTime::from_secs(1));
+        assert_eq!(world.trace().len(), 0, "trace buffer must stay empty");
+        let counter = world.observer_as::<Counter>(obs);
+        assert_eq!(counter.delivered, 1);
+        assert_eq!(counter.notes, vec!["saw a message".to_string()]);
+        assert_eq!(counter.crashes, 1);
     }
 
     #[test]

@@ -5,11 +5,16 @@
 //! $ wanacl tradeoff --pi 0.2 --trials 200
 //! $ wanacl tables
 //! $ wanacl audit --seed 7
+//! $ wanacl nemesis --campaigns 100
+//! $ wanacl nemesis --seed 3 --inject-bug cache-expiry
 //! ```
 
 use std::collections::HashMap;
 
 use wanacl::core::audit::AuditLog;
+use wanacl::core::campaign::{
+    run_campaign, shrink_plan, CampaignConfig, InjectedBug,
+};
 use wanacl::prelude::*;
 
 fn main() {
@@ -20,6 +25,7 @@ fn main() {
         Some("tradeoff") => tradeoff(&flags),
         Some("tables") => tables(&flags),
         Some("audit") => audit(&flags),
+        Some("nemesis") => nemesis(&flags),
         _ => {
             eprintln!(
                 "usage: wanacl <command> [--flag value ...]\n\n\
@@ -31,7 +37,11 @@ fn main() {
                  \x20           flags: --managers N --pi P --trials N\n\
                  \x20 tables    print the paper's Table 1 and Table 2 (analytic)\n\
                  \x20 audit     run a revocation scenario and verify the trace offline\n\
-                 \x20           flags: --seed S"
+                 \x20           flags: --seed S\n\
+                 \x20 nemesis   run fault-injection campaigns with the invariant oracle\n\
+                 \x20           flags: --seed S --campaigns N --horizon-secs T\n\
+                 \x20                  --managers N --hosts N --users N --intensity X\n\
+                 \x20                  --name-service true --inject-bug cache-expiry"
             );
             std::process::exit(2);
         }
@@ -135,6 +145,69 @@ fn tradeoff(flags: &HashMap<String, String>) {
 fn tables(_flags: &HashMap<String, String>) {
     println!("{}", wanacl::analysis::tables::render_table1(10, &[0.1, 0.2]));
     println!("{}", wanacl::analysis::tables::render_table2(&[0.1, 0.2]));
+}
+
+/// Runs `--campaigns` nemesis campaigns starting at `--seed`, each a
+/// fresh deployment under a seed-derived adversarial schedule with the
+/// invariant oracle attached. On the first violation, prints the
+/// replayable counterexample, greedily shrinks the plan, and exits 1.
+fn nemesis(flags: &HashMap<String, String>) {
+    let seed: u64 = get(flags, "seed", 1);
+    let campaigns: u64 = get(flags, "campaigns", 1);
+    let horizon_secs: u64 = get(flags, "horizon-secs", 10);
+    let managers: usize = get(flags, "managers", 3);
+    let hosts: usize = get(flags, "hosts", 2);
+    let users: usize = get(flags, "users", 2);
+    let intensity: f64 = get(flags, "intensity", 1.0);
+    let use_name_service: bool = get(flags, "name-service", false);
+    let inject_bug = match flags.get("inject-bug").map(String::as_str) {
+        None | Some("none") => None,
+        Some("cache-expiry") => Some(InjectedBug::IgnoreCacheExpiry { host_index: 0 }),
+        Some(other) => {
+            eprintln!("unknown --inject-bug {other} (expected: cache-expiry)");
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "nemesis: {campaigns} campaign(s) from seed {seed}, horizon {horizon_secs}s, \
+         M={managers} hosts={hosts} users={users} intensity={intensity}{}",
+        if inject_bug.is_some() { " [BUG INJECTED: cache-expiry]" } else { "" }
+    );
+    for s in seed..seed + campaigns {
+        let config = CampaignConfig {
+            seed: s,
+            managers,
+            hosts,
+            users,
+            horizon: SimDuration::from_secs(horizon_secs),
+            intensity,
+            use_name_service,
+            inject_bug,
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(&config);
+        if report.is_clean() {
+            println!(
+                "  seed {s}: clean ({} faults, {} allows checked, {} revokes)",
+                report.plan.len(),
+                report.oracle_stats.allows,
+                report.oracle_stats.revokes
+            );
+            continue;
+        }
+        println!("\n{}", report.render());
+        println!("shrinking the failing plan...");
+        let (small, small_report) = shrink_plan(&config, &report.plan);
+        println!(
+            "shrunk from {} to {} fault(s); minimal counterexample:\n",
+            report.plan.len(),
+            small.len()
+        );
+        println!("{}", small_report.render());
+        std::process::exit(1);
+    }
+    println!("all {campaigns} campaign(s) clean: no invariant violations");
 }
 
 fn audit(flags: &HashMap<String, String>) {

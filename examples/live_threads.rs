@@ -36,6 +36,8 @@ fn main() {
                 registry: None,
                 enforce_manage_right: false,
                 retry_interval: SimDuration::from_millis(100),
+                retry_cap: SimDuration::from_secs(2),
+                retry_jitter: 0.1,
                 heartbeat_interval: SimDuration::from_millis(200),
                 grant_sweep_interval: SimDuration::from_secs(1),
             })),

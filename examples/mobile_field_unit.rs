@@ -71,7 +71,7 @@ fn main() {
             },
         );
         sent += 1;
-        t = t + SimDuration::from_secs(5);
+        t += SimDuration::from_secs(5);
     }
     d.run_until(SimTime::from_secs(620));
 

@@ -1,0 +1,233 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Mirrors criterion's execution model for `harness = false` bench
+//! targets: when invoked by `cargo test` (no `--bench` flag) every
+//! benchmark closure runs **once** as a smoke test; when invoked by
+//! `cargo bench` (`--bench` present) each benchmark is warmed up and
+//! timed over a fixed iteration budget, with a one-line mean printed per
+//! benchmark. No statistics, plots, or baselines — just enough to keep
+//! the workspace's bench targets building, smoke-testing, and producing
+//! rough numbers without a crate registry.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Measures closures handed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    bench_mode: bool,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` once (test mode) or repeatedly with timing (bench mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if !self.bench_mode {
+            std::hint::black_box(f());
+            self.iters = 1;
+            return;
+        }
+        // Warm-up, then scale the measured iteration count so one
+        // benchmark takes on the order of a second.
+        let warmup_start = Instant::now();
+        std::hint::black_box(f());
+        let once = warmup_start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(500);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+/// An identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Throughput annotation (recorded but only echoed in bench mode).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Matches real criterion's detection: `cargo bench` passes
+        // `--bench` to the target, `cargo test` does not.
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Criterion { bench_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.bench_mode, &name.into(), f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores it.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores it.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion.bench_mode, &label, f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion.bench_mode, &label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(bench_mode: bool, label: &str, mut f: F) {
+    let mut bencher = Bencher { bench_mode, iters: 0, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    if bench_mode && bencher.iters > 0 {
+        let mean_ns = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+        println!("{label:<50} {:>12.1} ns/iter ({} iters)", mean_ns, bencher.iters);
+    }
+}
+
+/// Re-export for benches that import `black_box` from criterion.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `fn main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_closure_once() {
+        let mut c = Criterion { bench_mode: false };
+        let mut count = 0;
+        c.bench_function("once", |b| b.iter(|| count += 1));
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn bench_mode_runs_closure_many_times() {
+        let mut c = Criterion { bench_mode: true };
+        let mut count = 0u64;
+        c.bench_function("many", |b| b.iter(|| count += 1));
+        assert!(count > 1, "count {count}");
+    }
+
+    #[test]
+    fn groups_compose_ids_and_inputs() {
+        let mut c = Criterion { bench_mode: false };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Bytes(64));
+        let mut hits = 0;
+        group.bench_function("plain", |b| b.iter(|| hits += 1));
+        group.bench_with_input(BenchmarkId::from_parameter(5), &5u32, |b, x| {
+            b.iter(|| hits += *x)
+        });
+        group.finish();
+        assert_eq!(hits, 6);
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+    }
+}

@@ -112,7 +112,7 @@ proptest! {
                 payload: "tick".into(),
                 signature: None,
             });
-            t = t + step;
+            t += step;
             d.run_until(t);
             let now_allowed = d.user_agent(0).stats().allowed;
             if now_allowed > allowed_so_far {
