@@ -14,11 +14,13 @@ use wanacl_sim::nemesis::{NemesisPlan, NemesisTargets};
 use wanacl_sim::net::WanNet;
 use wanacl_sim::node::NodeId;
 use wanacl_sim::rng::SimRng;
+use wanacl_sim::storage::{DiskFaultModel, SimStorage};
 use wanacl_sim::time::{SimDuration, SimTime};
 use wanacl_sim::world::ObserverId;
 
 use crate::client::AdminAction;
 use crate::host::HostNode;
+use crate::manager::ManagerNode;
 use crate::msg::AclOp;
 use crate::oracle::{InvariantOracle, OracleStats, OracleViolation};
 use crate::policy::Policy;
@@ -35,6 +37,15 @@ pub enum InjectedBug {
     IgnoreCacheExpiry {
         /// Which host (0-based) carries the bug.
         host_index: usize,
+    },
+    /// One manager's stable storage silently discards its WAL and
+    /// snapshot on recovery while still claiming a disk recovery (see
+    /// [`SimStorage::set_drop_state_on_recover`]): acked — hence
+    /// durably promised — operations vanish across a crash, which the
+    /// oracle's durability invariant must catch.
+    DropWal {
+        /// Which manager (0-based) carries the bug.
+        manager_index: usize,
     },
 }
 
@@ -60,6 +71,11 @@ pub struct CampaignConfig {
     /// Route host→manager discovery through a name service (and expose
     /// it to nemesis outages).
     pub use_name_service: bool,
+    /// Let the nemesis plan draw storage faults too: per-manager disk
+    /// degradation ([`wanacl_sim::nemesis::Fault::DiskFault`]) and
+    /// correlated crash-restarts of manager groups up to the whole
+    /// cluster ([`wanacl_sim::nemesis::Fault::ClusterRestart`]).
+    pub disk_faults: bool,
     /// Optional planted bug.
     pub inject_bug: Option<InjectedBug>,
 }
@@ -89,6 +105,7 @@ impl Default for CampaignConfig {
             horizon: SimDuration::from_secs(10),
             intensity: 1.0,
             use_name_service: false,
+            disk_faults: false,
             inject_bug: None,
         }
     }
@@ -107,6 +124,14 @@ pub struct CampaignReport {
     pub oracle_stats: OracleStats,
     /// Aggregate user-visible outcomes.
     pub user_stats: crate::client::UserStats,
+    /// WAL records fsynced across all managers (every ack is backed by
+    /// one of these).
+    pub wal_appends: u64,
+    /// Snapshots written across all managers.
+    pub snapshot_writes: u64,
+    /// Recoveries answered from local stable storage instead of a full
+    /// peer state transfer.
+    pub recovered_from_disk: u64,
 }
 
 impl CampaignReport {
@@ -127,6 +152,10 @@ impl CampaignReport {
                 self.oracle_stats.cache_allows,
                 self.oracle_stats.fail_open_allows,
                 self.oracle_stats.revokes,
+            ));
+            out.push_str(&format!(
+                "  storage: {} WAL appends, {} snapshots, {} disk recoveries\n",
+                self.wal_appends, self.snapshot_writes, self.recovered_from_disk,
             ));
         } else {
             out.push_str(&format!(
@@ -161,12 +190,19 @@ pub fn campaign_targets(config: &CampaignConfig) -> NemesisTargets {
     NemesisTargets { managers, hosts, name_service }
 }
 
-/// Samples the nemesis plan the given config's seed implies.
+/// Samples the nemesis plan the given config's seed implies. With
+/// `disk_faults` enabled the fault mix also draws storage faults and
+/// correlated cluster restarts; without it the plan is byte-identical
+/// to what earlier storage-unaware campaigns produced.
 pub fn sample_plan(config: &CampaignConfig) -> NemesisPlan {
     let targets = campaign_targets(config);
     let horizon = SimTime::ZERO + config.horizon;
     let mut rng = SimRng::seed_from(config.seed ^ 0x6e65_6d65);
-    NemesisPlan::sample(&targets, horizon, config.intensity, &mut rng)
+    if config.disk_faults {
+        NemesisPlan::sample_with_storage(&targets, horizon, config.intensity, &mut rng)
+    } else {
+        NemesisPlan::sample(&targets, horizon, config.intensity, &mut rng)
+    }
 }
 
 /// Admin churn: every user gets its `use` right revoked and re-granted
@@ -190,6 +226,20 @@ fn admin_script(config: &CampaignConfig) -> Vec<AdminAction> {
         });
     }
     script
+}
+
+/// The campaign-owned [`SimStorage`] of one manager (panics if the
+/// manager has no storage or a foreign storage type — campaigns attach
+/// `SimStorage` to every manager before faults or bugs touch it).
+fn sim_storage(deployment: &mut Deployment, mgr: NodeId) -> &mut SimStorage {
+    deployment
+        .world
+        .node_as_mut::<ManagerNode>(mgr)
+        .storage_mut()
+        .expect("campaign manager has storage attached")
+        .as_any_mut()
+        .downcast_mut::<SimStorage>()
+        .expect("campaign manager storage is SimStorage")
 }
 
 fn build_deployment(
@@ -224,10 +274,33 @@ fn build_deployment(
     assert_eq!(deployment.managers, targets.managers, "manager layout drifted");
     assert_eq!(deployment.hosts, targets.hosts, "host layout drifted");
 
-    if let Some(InjectedBug::IgnoreCacheExpiry { host_index }) = config.inject_bug {
-        let host = deployment.hosts[host_index];
-        let app = deployment.app;
-        deployment.world.node_as_mut::<HostNode>(host).inject_ignore_expiry(app);
+    // Every manager gets deterministic simulated stable storage: acks
+    // become durable promises (fsync-before-ack), and crash recovery
+    // replays snapshot + WAL locally before the delta peer sync.
+    for (i, &mgr) in deployment.managers.clone().iter().enumerate() {
+        let disk_seed = config.seed ^ (i as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        deployment
+            .world
+            .node_as_mut::<ManagerNode>(mgr)
+            .set_storage(Box::new(SimStorage::new(disk_seed)));
+    }
+    // Degrade the disks the plan targets.
+    for (node, sync_fail_prob, torn_tail_prob) in plan.disk_faults() {
+        sim_storage(&mut deployment, node)
+            .set_fault_model(DiskFaultModel { sync_fail_prob, torn_tail_prob });
+    }
+
+    match config.inject_bug {
+        Some(InjectedBug::IgnoreCacheExpiry { host_index }) => {
+            let host = deployment.hosts[host_index];
+            let app = deployment.app;
+            deployment.world.node_as_mut::<HostNode>(host).inject_ignore_expiry(app);
+        }
+        Some(InjectedBug::DropWal { manager_index }) => {
+            let mgr = deployment.managers[manager_index];
+            sim_storage(&mut deployment, mgr).set_drop_state_on_recover(true);
+        }
+        None => {}
     }
 
     plan.install_lifecycle(&mut deployment.world);
@@ -259,6 +332,13 @@ pub fn run_with_plan(config: &CampaignConfig, plan: &NemesisPlan) -> CampaignRep
         }
     }
     let user_stats = deployment.aggregate_user_stats();
+    let (mut wal_appends, mut snapshot_writes, mut recovered_from_disk) = (0, 0, 0);
+    for i in 0..deployment.managers.len() {
+        let stats = deployment.manager(i).stats();
+        wal_appends += stats.wal_appends;
+        snapshot_writes += stats.snapshot_writes;
+        recovered_from_disk += stats.recovered_from_disk;
+    }
     let oracle = deployment.world.observer_as::<InvariantOracle>(oracle_id);
     CampaignReport {
         seed: config.seed,
@@ -266,6 +346,9 @@ pub fn run_with_plan(config: &CampaignConfig, plan: &NemesisPlan) -> CampaignRep
         violations: oracle.violations().to_vec(),
         oracle_stats: oracle.stats(),
         user_stats,
+        wal_appends,
+        snapshot_writes,
+        recovered_from_disk,
     }
 }
 
@@ -356,6 +439,93 @@ mod tests {
         let (small, small_report) = shrink_plan(&config, &report.plan);
         assert!(!small_report.is_clean(), "shrunk plan must still fail");
         assert!(small.len() <= report.plan.len(), "shrinking must not grow the plan");
+    }
+
+    #[test]
+    fn full_cluster_restart_with_disk_faults_stays_clean() {
+        // The acceptance scenario: every manager's disk degrades (torn
+        // tails on crash, transient sync failures) and then the whole
+        // manager set crash-restarts at once. Quorum sync alone cannot
+        // survive that; local WAL replay must carry the state across.
+        let config = CampaignConfig {
+            disk_faults: true,
+            horizon: SimDuration::from_secs(6),
+            ..quick_config(11)
+        };
+        let targets = campaign_targets(&config);
+        let mut b = NemesisPlan::builder(SimTime::ZERO + config.horizon);
+        for &m in &targets.managers {
+            b = b.disk_fault(m, 0.2, 0.8);
+        }
+        let plan = b
+            .cluster_restart(
+                targets.managers.clone(),
+                SimTime::ZERO + SimDuration::from_millis(2500),
+                SimDuration::from_millis(400),
+            )
+            .build();
+        let report = run_with_plan(&config, &plan);
+        assert!(report.is_clean(), "{}", report.render());
+        assert!(report.wal_appends > 0, "no op was ever made durable");
+        assert_eq!(
+            report.recovered_from_disk, config.managers as u64,
+            "every manager must come back from its own disk"
+        );
+    }
+
+    #[test]
+    fn injected_drop_wal_bug_is_caught() {
+        // A manager whose storage forgets everything on recovery breaks
+        // the promise its acks made; the durability invariant must name
+        // the event with a replayable (seed, plan, index) coordinate.
+        let mut caught = None;
+        for seed in 0..20 {
+            let config = CampaignConfig {
+                disk_faults: true,
+                inject_bug: Some(InjectedBug::DropWal { manager_index: 0 }),
+                ..quick_config(seed)
+            };
+            let targets = campaign_targets(&config);
+            let plan = NemesisPlan::builder(SimTime::ZERO + config.horizon)
+                .cluster_restart(
+                    vec![targets.managers[0]],
+                    SimTime::ZERO + SimDuration::from_millis(3500),
+                    SimDuration::from_millis(300),
+                )
+                .build();
+            let report = run_with_plan(&config, &plan);
+            if !report.is_clean() {
+                caught = Some(report);
+                break;
+            }
+        }
+        let report = caught.expect("no seed in 0..20 tripped the drop-WAL bug");
+        let violation = report
+            .violations
+            .iter()
+            .find(|v| v.kind == crate::oracle::InvariantKind::Durability)
+            .expect("drop-WAL must surface as a durability violation");
+        assert!(violation.event_index > 0, "violation must carry a replay coordinate");
+        assert!(report.render().contains("replay with:"));
+    }
+
+    #[test]
+    fn disk_fault_campaigns_are_deterministic_and_clean() {
+        for seed in [5, 6] {
+            let config = CampaignConfig {
+                disk_faults: true,
+                intensity: 2.0,
+                horizon: SimDuration::from_secs(8),
+                ..quick_config(seed)
+            };
+            let a = run_campaign(&config);
+            let b = run_campaign(&config);
+            assert_eq!(a.plan, b.plan);
+            assert_eq!(a.violations, b.violations);
+            assert_eq!(a.oracle_stats, b.oracle_stats);
+            assert_eq!(a.wal_appends, b.wal_appends);
+            assert!(a.is_clean(), "{}", a.render());
+        }
     }
 
     #[test]

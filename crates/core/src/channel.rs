@@ -124,8 +124,22 @@ fn query_reply_bytes(req: ReqId, app: AppId, user: UserId, verdict: &QueryVerdic
             out.extend_from_slice(&te.as_nanos().to_be_bytes());
         }
         QueryVerdict::Deny => out.push(0),
+        QueryVerdict::Unavailable { reason } => {
+            out.push(2);
+            out.push(reject_reason_byte(*reason));
+        }
     }
     out
+}
+
+fn reject_reason_byte(reason: crate::msg::RejectReason) -> u8 {
+    use crate::msg::RejectReason::*;
+    match reason {
+        NotAuthorized => 0,
+        BadSignature => 1,
+        Recovering => 2,
+        UnknownApp => 3,
+    }
 }
 
 fn revoke_notice_bytes(app: AppId, user: UserId) -> Vec<u8> {
@@ -178,6 +192,25 @@ mod tests {
             &QueryVerdict::Deny,
             &tag
         ));
+    }
+
+    #[test]
+    fn unavailable_verdict_is_tagged_and_distinct() {
+        let keys = ChannelKeys::from_seed(5);
+        let v = QueryVerdict::Unavailable { reason: crate::msg::RejectReason::Recovering };
+        let tag = keys.tag_query_reply(n(0), n(5), ReqId(9), AppId(1), UserId(2), &v);
+        assert!(keys.verify_query_reply(n(0), n(5), ReqId(9), AppId(1), UserId(2), &v, &tag));
+        // Neither a deny nor a grant verifies under the unavailable tag.
+        assert!(!keys.verify_query_reply(
+            n(0),
+            n(5),
+            ReqId(9),
+            AppId(1),
+            UserId(2),
+            &QueryVerdict::Deny,
+            &tag
+        ));
+        assert!(!keys.verify_query_reply(n(0), n(5), ReqId(9), AppId(1), UserId(2), &grant(30), &tag));
     }
 
     #[test]

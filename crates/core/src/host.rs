@@ -16,7 +16,7 @@
 //! 5. flushes cache entries when a manager forwards a `RevokeNotice`.
 
 use std::any::Any;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use wanacl_auth::rsa;
@@ -105,6 +105,12 @@ struct PendingInvoke {
     attempt_started: LocalTime,
     query_req: ReqId,
     grants: BTreeMap<NodeId, SimDuration>,
+    /// The managers queried this attempt.
+    targets: Vec<NodeId>,
+    /// Managers that answered `Unavailable` this attempt (recovering —
+    /// §3.4). Not a veto, but they won't contribute grants either; once
+    /// the remainder cannot form the check quorum, the attempt is over.
+    unavailable: BTreeSet<NodeId>,
     timer: Option<TimerId>,
     first_started: LocalTime,
     /// A proactive lease refresh: no requester to answer, no
@@ -279,6 +285,7 @@ impl HostNode {
         }
         p.query_req = query_req;
         p.grants.clear();
+        p.unavailable.clear();
         p.attempt += 1;
         p.attempt_started = ctx.local_now();
         self.query_index.insert(query_req, pending_id);
@@ -311,6 +318,7 @@ impl HostNode {
         }
         let timeout = state.policy.query_timeout();
         let p = self.pending.get_mut(&pending_id).expect("still pending");
+        p.targets = targets;
         p.timer = Some(ctx.set_timer(timeout, TAG_QUERY | pending_id));
     }
 
@@ -503,6 +511,8 @@ impl HostNode {
                 attempt_started: now,
                 query_req: ReqId(u64::MAX),
                 grants: BTreeMap::new(),
+                targets: Vec::new(),
+                unavailable: BTreeSet::new(),
                 timer: None,
                 first_started: now,
                 background: true,
@@ -603,6 +613,8 @@ impl HostNode {
                         attempt_started: ctx.local_now(),
                         query_req: ReqId(u64::MAX),
                         grants: BTreeMap::new(),
+                        targets: Vec::new(),
+                        unavailable: BTreeSet::new(),
                         timer: None,
                         first_started: ctx.local_now(),
                         background: false,
@@ -654,10 +666,36 @@ impl HostNode {
                     self.finish(ctx, pending_id, FinishKind::Grant);
                 }
             }
+            QueryVerdict::Unavailable { .. } => {
+                // A recovering manager (§3.4) is *retryable*, not a veto:
+                // it neither denies nor grants. If the managers still
+                // able to answer cannot form the check quorum, give up on
+                // this attempt right away instead of waiting out the
+                // query timer.
+                ctx.metric_incr("host.manager_unavailable");
+                p.unavailable.insert(from);
+                let reachable =
+                    p.targets.iter().filter(|t| !p.unavailable.contains(t)).count();
+                let needed = self
+                    .apps
+                    .get(&p.app)
+                    .map(|s| s.policy.check_quorum())
+                    .unwrap_or(usize::MAX);
+                if reachable < needed {
+                    self.attempt_failed(ctx, pending_id);
+                }
+            }
         }
     }
 
     fn on_query_timeout(&mut self, ctx: &mut Context<'_, ProtoMsg>, pending_id: u64) {
+        self.attempt_failed(ctx, pending_id);
+    }
+
+    /// This attempt cannot produce a quorum (timeout, or every remaining
+    /// manager recovering): either run the next attempt or apply the
+    /// Figure 4 exhaustion policy.
+    fn attempt_failed(&mut self, ctx: &mut Context<'_, ProtoMsg>, pending_id: u64) {
         let Some(p) = self.pending.get(&pending_id) else { return };
         let Some(state) = self.apps.get(&p.app) else { return };
         let exhausted = p.attempt >= state.policy.max_attempts();
@@ -1052,6 +1090,104 @@ mod tests {
         h.deliver(&mut host, 0, ProtoMsg::RevokeNotice { app: AppId(0), user: UserId(1), mac: None });
         assert_eq!(host.cached_entries(AppId(0)), 0);
         assert_eq!(host.stats().revoke_flushes, 1);
+    }
+
+    fn host_with_two_managers_two_attempts() -> HostNode {
+        HostNode::new(
+            vec![AppHost {
+                app: AppId(0),
+                policy: Policy::builder(1)
+                    .revocation_bound(SimDuration::from_secs(10))
+                    .query_timeout(SimDuration::from_millis(100))
+                    .max_attempts(2)
+                    .build(),
+                directory: ManagerDirectory::Static(vec![
+                    NodeId::from_index(0),
+                    NodeId::from_index(1),
+                ]),
+                application: Box::new(CountingApp::new()),
+            }],
+            None,
+        )
+    }
+
+    fn query_req(effects: &[Effect<ProtoMsg>]) -> ReqId {
+        sends(effects)
+            .into_iter()
+            .find_map(|(_, m)| match m {
+                ProtoMsg::Query { req, .. } => Some(*req),
+                _ => None,
+            })
+            .expect("query sent")
+    }
+
+    fn unavailable_reply(req: ReqId, user: u64) -> ProtoMsg {
+        ProtoMsg::QueryReply {
+            req,
+            app: AppId(0),
+            user: UserId(user),
+            verdict: QueryVerdict::Unavailable {
+                reason: crate::msg::RejectReason::Recovering,
+            },
+            mac: None,
+        }
+    }
+
+    #[test]
+    fn unavailable_reply_is_retryable_not_a_veto() {
+        let mut host = host_with_two_managers_two_attempts();
+        let mut h = Harness::new(9);
+        let effects = h.deliver(&mut host, 7, invoke(1));
+        let req = query_req(&effects);
+        // Manager 0 is recovering: no outcome yet — C = 1 is still
+        // reachable through manager 1.
+        let e1 = h.deliver(&mut host, 0, unavailable_reply(req, 1));
+        assert!(
+            !sends(&e1).iter().any(|(_, m)| matches!(m, ProtoMsg::InvokeReply { .. })),
+            "an unavailable manager must not settle the invoke"
+        );
+        // Manager 1 grants: quorum met, allowed and cached as usual.
+        let e2 = h.deliver(
+            &mut host,
+            1,
+            ProtoMsg::QueryReply {
+                req,
+                app: AppId(0),
+                user: UserId(1),
+                verdict: QueryVerdict::Grant { te: SimDuration::from_secs(9) },
+                mac: None,
+            },
+        );
+        assert!(sends(&e2).iter().any(|(_, m)| matches!(
+            m,
+            ProtoMsg::InvokeReply { outcome: InvokeOutcome::Allowed { .. }, .. }
+        )));
+        assert_eq!(host.stats().denied, 0);
+    }
+
+    #[test]
+    fn quorum_impossible_after_unavailable_starts_next_attempt_immediately() {
+        let mut host = host_with_two_managers_two_attempts();
+        let mut h = Harness::new(9);
+        let effects = h.deliver(&mut host, 7, invoke(1));
+        let req1 = query_req(&effects);
+        h.deliver(&mut host, 0, unavailable_reply(req1, 1));
+        // The second unavailable leaves 0 reachable < C = 1: the host
+        // re-queries (attempt 2) without waiting for the query timer.
+        let effects = h.deliver(&mut host, 1, unavailable_reply(req1, 1));
+        let req2 = query_req(&effects);
+        assert_ne!(req1, req2, "a fresh attempt uses a fresh query id");
+        // Attempt 2 also finds every manager recovering: attempts are
+        // exhausted and the default fail-closed policy answers
+        // Unavailable (never Denied — recovery is not a veto).
+        h.deliver(&mut host, 0, unavailable_reply(req2, 1));
+        let effects = h.deliver(&mut host, 1, unavailable_reply(req2, 1));
+        assert!(sends(&effects).iter().any(|(_, m)| matches!(
+            m,
+            ProtoMsg::InvokeReply { outcome: InvokeOutcome::Unavailable, .. }
+        )));
+        assert_eq!(host.stats().unavailable, 1);
+        assert_eq!(host.stats().denied, 0);
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub mod nameservice;
 pub mod oracle;
 pub mod policy;
 pub mod scenario;
+pub mod storelog;
 pub mod types;
 pub mod wrapper;
 
@@ -87,6 +88,7 @@ pub mod prelude {
     pub use crate::oracle::{InvariantKind, InvariantOracle, OracleStats, OracleViolation};
     pub use crate::policy::{ExhaustionBehavior, FreezePolicy, Policy, QueryFanout};
     pub use crate::scenario::{Deployment, Scenario};
+    pub use crate::storelog::SnapshotState;
     pub use crate::types::{Acl, AppId, Right, RightsSet, UserId};
     pub use crate::wrapper::{Application, CountingApp, EchoApp, StockQuoteApp};
 }

@@ -13,8 +13,13 @@
 //!   resending the message when the access right would have expired"),
 //! * optionally runs the §3.3 **freeze strategy**: stop answering checks
 //!   while any peer manager has been silent longer than `Ti`,
-//! * recovers after a crash by refusing to answer queries until a peer
-//!   supplies a state snapshot (§3.4).
+//! * keeps its state **durable** when given a [`Storage`] backend: every
+//!   applied op is WAL-logged *before* it is acknowledged (an ack is a
+//!   quorum promise), snapshots truncate the log on a configurable
+//!   cadence, and crash recovery replays snapshot + WAL locally and then
+//!   runs a *delta* peer sync for freshness,
+//! * without storage, recovers after a crash by refusing to answer
+//!   queries until a peer supplies state (§3.4).
 
 use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet};
@@ -25,13 +30,21 @@ use wanacl_auth::signed::KeyRegistry;
 use wanacl_sim::backoff::Backoff;
 use wanacl_sim::clock::LocalTime;
 use wanacl_sim::node::{Context, Node, NodeId};
+use wanacl_sim::storage::{Recovered, Storage, StorageStats};
 use wanacl_sim::time::SimDuration;
 
 use crate::msg::{
     admin_signing_bytes, AclOp, AdminStatus, OpId, ProtoMsg, QueryVerdict, RejectReason, ReqId,
 };
 use crate::policy::Policy;
+use crate::storelog::{decode_record, decode_snapshot, encode_record, encode_snapshot, SnapshotState};
 use crate::types::{Acl, AppId, Right, UserId};
+
+/// Jump added to the Lamport clock after a disk recovery so a cold
+/// process restart (which loses the in-memory counter) can never mint an
+/// `OpId` that collides with one issued before the crash but not yet
+/// durable anywhere.
+const LAMPORT_RECOVERY_MARGIN: u64 = 1 << 10;
 
 const TAG_KIND_SHIFT: u64 = 56;
 const TAG_HEARTBEAT: u64 = 1 << TAG_KIND_SHIFT;
@@ -83,6 +96,10 @@ pub struct ManagerConfig {
     pub heartbeat_interval: SimDuration,
     /// How often the grant table is swept of expired entries.
     pub grant_sweep_interval: SimDuration,
+    /// Snapshot cadence when stable storage is attached: after this many
+    /// WAL appends the manager writes a snapshot and truncates the log.
+    /// `0` disables snapshotting (the WAL grows unboundedly).
+    pub snapshot_every: u64,
 }
 
 impl Default for ManagerConfig {
@@ -97,6 +114,7 @@ impl Default for ManagerConfig {
             retry_jitter: 0.1,
             heartbeat_interval: SimDuration::from_secs(1),
             grant_sweep_interval: SimDuration::from_secs(30),
+            snapshot_every: 64,
         }
     }
 }
@@ -120,7 +138,7 @@ pub struct ManagerStats {
     pub denies: u64,
     /// Queries silently dropped because the manager was frozen (§3.3).
     pub frozen_drops: u64,
-    /// Queries silently dropped while recovering (§3.4).
+    /// Queries refused (answered `Unavailable`) while recovering (§3.4).
     pub recovering_drops: u64,
     /// Operations this manager originated.
     pub ops_originated: u64,
@@ -128,8 +146,14 @@ pub struct ManagerStats {
     pub quorum_reached: u64,
     /// Peer updates applied.
     pub peer_updates_applied: u64,
-    /// State snapshots served to recovering peers.
+    /// Delta syncs served to recovering peers.
     pub syncs_served: u64,
+    /// WAL records appended (storage-backed managers only).
+    pub wal_appends: u64,
+    /// Snapshots written (each truncates the WAL).
+    pub snapshot_writes: u64,
+    /// Recoveries satisfied from local stable storage.
+    pub recovered_from_disk: u64,
 }
 
 #[derive(Debug)]
@@ -145,8 +169,23 @@ struct PendingUpdate {
     unacked: BTreeSet<NodeId>,
     applied_count: usize,
     stable: bool,
+    /// Whether this manager's own copy is durable yet. The origin counts
+    /// itself toward the update quorum only once the op is WAL-synced
+    /// (without storage this is immediate).
+    self_durable: bool,
     issuer: Option<(NodeId, ReqId)>,
     started: LocalTime,
+}
+
+/// An op applied in memory but awaiting a successful WAL sync barrier.
+/// The promise attached to it (ack to a peer, or counting ourselves
+/// toward the quorum) is withheld until the record is durable.
+#[derive(Debug)]
+struct UnloggedOp {
+    op: AclOp,
+    /// Peer to ack once durable; `None` for locally-originated or
+    /// sync-merged ops.
+    ack_to: Option<NodeId>,
 }
 
 #[derive(Debug)]
@@ -166,11 +205,19 @@ pub struct ManagerNode {
     applied: BTreeSet<OpId>,
     /// Lamport clock; `OpId.seq` values are drawn from it so concurrent
     /// conflicting operations resolve identically at every manager.
-    /// Treated as persisted across crashes (a real deployment would keep
-    /// it on stable storage with the op log).
+    /// Treated as persisted across crashes (the in-memory value survives
+    /// the crash model); disk recovery additionally maxes it against the
+    /// snapshot/WAL and adds a safety margin so a cold process restart
+    /// never reuses an OpId.
     lamport: u64,
-    /// Per-slot last writer: `(app, user, right) → newest OpId applied`.
-    lww: BTreeMap<(AppId, UserId, Right), OpId>,
+    /// Per-slot last writer: `(app, user, right) → (newest OpId applied,
+    /// the winning op)`. Keeping the op makes the table self-contained:
+    /// bootstrap ACL + winning op per slot *is* the ACL, which is what
+    /// snapshots persist and delta syncs exchange.
+    lww: BTreeMap<(AppId, UserId, Right), (OpId, AclOp)>,
+    /// Highest applied `seq` per origin manager (the delta-sync
+    /// high-water marks).
+    origin_stamps: BTreeMap<NodeId, u64>,
     pending: BTreeMap<OpId, PendingUpdate>,
     pending_revokes: Vec<PendingRevoke>,
     grant_table: BTreeMap<(AppId, UserId), BTreeMap<NodeId, LocalTime>>,
@@ -182,6 +229,19 @@ pub struct ManagerNode {
     /// Consecutive recovery sync requests without a response.
     sync_round: u32,
     recovering: bool,
+    /// Serving from locally-replayed durable state, with a delta peer
+    /// sync still in flight for freshness. Unlike `recovering`, queries
+    /// ARE answered in this mode (local replay is sufficient for
+    /// safety: everything this manager ever acked was fsynced first).
+    delta_syncing: bool,
+    /// Stable storage, if attached. `None` reproduces the paper's
+    /// volatile managers (sync-only recovery).
+    storage: Option<Box<dyn Storage>>,
+    /// Ops applied in memory whose WAL sync barrier has not yet
+    /// succeeded; their acks/quorum counts are withheld.
+    unlogged: BTreeMap<OpId, UnloggedOp>,
+    /// WAL appends since the last snapshot (drives the cadence).
+    wal_since_snapshot: u64,
     channel: Option<Arc<crate::channel::ChannelKeys>>,
     stats: ManagerStats,
 }
@@ -202,6 +262,7 @@ impl ManagerNode {
             applied: BTreeSet::new(),
             lamport: 0,
             lww: BTreeMap::new(),
+            origin_stamps: BTreeMap::new(),
             pending: BTreeMap::new(),
             pending_revokes: Vec::new(),
             grant_table: BTreeMap::new(),
@@ -209,9 +270,30 @@ impl ManagerNode {
             retry_round: 0,
             sync_round: 0,
             recovering: false,
+            delta_syncing: false,
+            storage: None,
+            unlogged: BTreeMap::new(),
+            wal_since_snapshot: 0,
             channel: None,
             stats: ManagerStats::default(),
         }
+    }
+
+    /// Attaches stable storage. Install before the node starts; if the
+    /// storage already holds state (a process restart), `on_start`
+    /// replays it before serving.
+    pub fn set_storage(&mut self, storage: Box<dyn Storage>) {
+        self.storage = Some(storage);
+    }
+
+    /// The attached storage, for fault-model configuration and stats.
+    pub fn storage_mut(&mut self) -> Option<&mut (dyn Storage + '_)> {
+        self.storage.as_deref_mut().map(|s| s as _)
+    }
+
+    /// Counters of the attached storage, if any.
+    pub fn storage_stats(&self) -> Option<StorageStats> {
+        self.storage.as_ref().map(|s| s.stats())
     }
 
     /// Installs pairwise channel keys: `QueryReply` and `RevokeNotice`
@@ -289,18 +371,241 @@ impl ManagerNode {
     fn apply_op(&mut self, op: &AclOp, id: OpId) -> bool {
         self.lamport = self.lamport.max(id.seq);
         let slot = (op.app(), op.user(), op.right());
-        if let Some(&current) = self.lww.get(&slot) {
+        if let Some(&(current, _)) = self.lww.get(&slot) {
             if id <= current {
                 return false; // an equal-or-newer write already landed
             }
         }
-        self.lww.insert(slot, id);
+        self.lww.insert(slot, (id, *op));
         if let Some(state) = self.apps.get_mut(&op.app()) {
             match *op {
                 AclOp::Add { user, right, .. } => state.acl.add(user, right),
                 AclOp::Revoke { user, right, .. } => state.acl.revoke(user, right),
             }
         }
+        true
+    }
+
+    /// Marks `id` as applied and advances its origin's high-water mark.
+    fn record_applied(&mut self, id: OpId) {
+        let stamp = self.origin_stamps.entry(id.origin).or_insert(0);
+        *stamp = (*stamp).max(id.seq);
+        self.applied.insert(id);
+    }
+
+    /// Makes an applied op durable before honouring the promise attached
+    /// to it (acking a peer, or counting ourselves toward the quorum).
+    /// Without storage the promise is honoured immediately.
+    fn log_op(
+        &mut self,
+        ctx: &mut Context<'_, ProtoMsg>,
+        id: OpId,
+        op: AclOp,
+        ack_to: Option<NodeId>,
+    ) {
+        if self.storage.is_none() {
+            self.op_committed(ctx, id, op, ack_to);
+            return;
+        }
+        let record = encode_record(id, &op);
+        if let Some(storage) = self.storage.as_mut() {
+            if storage.append(&record).is_err() {
+                ctx.metric_incr("mgr.wal_append_failed");
+            }
+        }
+        self.stats.wal_appends += 1;
+        ctx.metric_incr("mgr.wal_appends");
+        self.wal_since_snapshot += 1;
+        self.unlogged.insert(id, UnloggedOp { op, ack_to });
+        self.flush_wal(ctx);
+    }
+
+    /// Attempts the WAL sync barrier. On success every op waiting on it
+    /// commits (acks go out, quorum counts advance); on failure all of
+    /// them stay withheld — peers' persistent retransmission and the
+    /// retry tick drive further attempts.
+    fn flush_wal(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        if self.unlogged.is_empty() {
+            return;
+        }
+        let Some(storage) = self.storage.as_mut() else { return };
+        if storage.sync().is_err() {
+            ctx.metric_incr("mgr.wal_sync_failed");
+            return;
+        }
+        let committed: Vec<(OpId, UnloggedOp)> =
+            std::mem::take(&mut self.unlogged).into_iter().collect();
+        for (id, unlogged) in committed {
+            self.op_committed(ctx, id, unlogged.op, unlogged.ack_to);
+        }
+        self.maybe_snapshot(ctx);
+    }
+
+    /// The op is durable (or durability is not modelled): honour its
+    /// promise and note the commitment for the durability oracle.
+    fn op_committed(
+        &mut self,
+        ctx: &mut Context<'_, ProtoMsg>,
+        id: OpId,
+        op: AclOp,
+        ack_to: Option<NodeId>,
+    ) {
+        if self.storage.is_some() {
+            // Everything acked from here on must survive any crash; the
+            // oracle's durability invariant checks recoveries against
+            // these notes.
+            ctx.trace(format!(
+                "audit=durable app={} user={} right={} kind={} seq={} origin={}",
+                op.app().0,
+                op.user().0,
+                op.right(),
+                if op.is_revoke() { "revoke" } else { "add" },
+                id.seq,
+                id.origin.index(),
+            ));
+        }
+        match ack_to {
+            Some(peer) => ctx.send(peer, ProtoMsg::UpdateAck { id }),
+            None => self.note_self_applied(ctx, id),
+        }
+    }
+
+    /// Counts this manager's own (now durable) copy toward the quorum of
+    /// an op it originated. No-op for ops without a pending record.
+    fn note_self_applied(&mut self, ctx: &mut Context<'_, ProtoMsg>, id: OpId) {
+        {
+            let Some(pending) = self.pending.get_mut(&id) else { return };
+            if pending.self_durable {
+                return;
+            }
+            pending.self_durable = true;
+            pending.applied_count += 1;
+        }
+        self.finish_quorum_check(ctx, id);
+    }
+
+    /// Re-evaluates stability for a pending op after its applied count
+    /// changed, reporting `Stable` to the issuer at the quorum and
+    /// retiring the record once fully acked and locally durable.
+    fn finish_quorum_check(&mut self, ctx: &mut Context<'_, ProtoMsg>, id: OpId) {
+        let deployment = self.deployment_size();
+        let Some(pending) = self.pending.get_mut(&id) else { return };
+        let update_quorum =
+            state_policy_update_quorum(&self.apps, pending.op.app(), deployment);
+        if !pending.stable && pending.applied_count >= update_quorum {
+            pending.stable = true;
+            self.stats.quorum_reached += 1;
+            ctx.metric_incr("mgr.quorum_reached");
+            let elapsed = ctx.local_now().since(pending.started);
+            ctx.metric_observe("mgr.time_to_quorum_s", elapsed.as_secs_f64());
+            let kind = if pending.op.is_revoke() { "revoke-stable" } else { "grant-stable" };
+            ctx.trace(format!(
+                "audit={kind} app={} user={} seq={} origin={}",
+                pending.op.app().0,
+                pending.op.user().0,
+                id.seq,
+                id.origin.index(),
+            ));
+            if let Some((issuer, req)) = pending.issuer {
+                ctx.send(issuer, ProtoMsg::AdminReply { req, status: AdminStatus::Stable });
+            }
+        }
+        let done = pending.unacked.is_empty() && pending.self_durable;
+        if done {
+            self.pending.remove(&id);
+        }
+    }
+
+    /// Writes a snapshot and truncates the WAL once the cadence is due.
+    fn maybe_snapshot(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        if self.config.snapshot_every == 0
+            || self.wal_since_snapshot < self.config.snapshot_every
+        {
+            return;
+        }
+        let snapshot = encode_snapshot(&self.snapshot_state());
+        let Some(storage) = self.storage.as_mut() else { return };
+        if storage.write_snapshot(&snapshot).is_ok() {
+            self.wal_since_snapshot = 0;
+            self.stats.snapshot_writes += 1;
+            ctx.metric_incr("mgr.snapshot_writes");
+        }
+    }
+
+    /// The durable projection of the manager's state.
+    fn snapshot_state(&self) -> SnapshotState {
+        SnapshotState {
+            lamport: self.lamport,
+            applied: self.applied.iter().copied().collect(),
+            lww: self
+                .lww
+                .iter()
+                .map(|(&(app, user, right), &(id, op))| (app, user, right, id, op))
+                .collect(),
+        }
+    }
+
+    /// Rebuilds state from what storage yielded: bootstrap ACLs, then the
+    /// snapshot, then the surviving WAL records. Recovery is a pure
+    /// function of the durable state — exactly what a process restart
+    /// would see — so any in-memory remnants are discarded first.
+    fn restore_from(&mut self, ctx: &mut Context<'_, ProtoMsg>, recovered: Recovered) {
+        for spec in &self.config.apps {
+            if let Some(state) = self.apps.get_mut(&spec.app) {
+                state.acl = spec.initial_acl.clone();
+                state.frozen = false;
+            }
+        }
+        self.applied.clear();
+        self.lww.clear();
+        self.origin_stamps.clear();
+        self.unlogged.clear();
+        let mut floor = 0u64;
+        if let Some(bytes) = recovered.snapshot.as_deref() {
+            if let Some(snap) = decode_snapshot(bytes) {
+                floor = floor.max(snap.lamport);
+                for id in snap.applied {
+                    self.record_applied(id);
+                }
+                for (_, _, _, id, op) in snap.lww {
+                    self.apply_op(&op, id);
+                }
+            }
+        }
+        let mut replayed = 0u64;
+        for record in &recovered.records {
+            let Some((id, op)) = decode_record(record) else { continue };
+            self.record_applied(id);
+            self.apply_op(&op, id);
+            replayed += 1;
+        }
+        // `apply_op` maxes the Lamport clock along the way; the margin
+        // guards against OpId reuse when the in-memory counter did not
+        // survive (a real process restart).
+        self.lamport = self.lamport.max(floor) + LAMPORT_RECOVERY_MARGIN;
+        self.wal_since_snapshot = recovered.records.len() as u64;
+        self.stats.recovered_from_disk += 1;
+        ctx.metric_incr("mgr.recovered_from_disk");
+        let slots: Vec<String> = self
+            .lww
+            .iter()
+            .map(|(&(app, user, right), &(id, _))| {
+                format!("{}:{}:{}:{}:{}", app.0, user.0, right, id.seq, id.origin.index())
+            })
+            .collect();
+        ctx.trace(format!(
+            "audit=recovered mode=disk replayed={replayed} torn={} slots={}",
+            recovered.torn_records,
+            slots.join(",")
+        ));
+    }
+
+    /// Replays local stable storage if there is any; returns whether the
+    /// manager now holds a durably-recovered state.
+    fn recover_from_storage(&mut self, ctx: &mut Context<'_, ProtoMsg>) -> bool {
+        let Some(storage) = self.storage.as_mut() else { return false };
+        let recovered = storage.recover();
+        self.restore_from(ctx, recovered);
         true
     }
 
@@ -370,7 +675,7 @@ impl ManagerNode {
         self.lamport += 1;
         let id = OpId { origin: ctx.id(), seq: self.lamport };
         self.apply_op(&op, id);
-        self.applied.insert(id);
+        self.record_applied(id);
         // Origin apply note: the oracle reconstructs the ACL's
         // last-writer-wins order from these (seq, origin) stamps, which
         // survives admin resends reordering against concurrent ops.
@@ -384,43 +689,32 @@ impl ManagerNode {
         ));
         ctx.send(from, ProtoMsg::AdminReply { req, status: AdminStatus::Applied });
 
-        let update_quorum = state_policy_update_quorum(&self.apps, op.app(), self.deployment_size());
-        let mut pending = PendingUpdate {
-            op,
-            unacked: self.config.peers.iter().copied().collect(),
-            applied_count: 1,
-            stable: false,
-            issuer: Some((from, req)),
-            started: ctx.local_now(),
-        };
+        // The origin counts toward the quorum only once its own copy is
+        // durable (`log_op` → `note_self_applied`); without storage that
+        // happens before this call returns.
+        self.pending.insert(
+            id,
+            PendingUpdate {
+                op,
+                unacked: self.config.peers.iter().copied().collect(),
+                applied_count: 0,
+                stable: false,
+                self_durable: false,
+                issuer: Some((from, req)),
+                started: ctx.local_now(),
+            },
+        );
         for peer in &self.config.peers {
             ctx.metric_incr("mgr.updates_sent");
-            ctx.send(*peer, ProtoMsg::Update { id, op: pending.op });
+            ctx.send(*peer, ProtoMsg::Update { id, op });
         }
-        if pending.applied_count >= update_quorum {
-            pending.stable = true;
-            self.stats.quorum_reached += 1;
-            ctx.metric_incr("mgr.quorum_reached");
-            ctx.metric_observe("mgr.time_to_quorum_s", 0.0);
-            let kind = if op.is_revoke() { "revoke-stable" } else { "grant-stable" };
-            ctx.trace(format!(
-                "audit={kind} app={} user={} seq={} origin={}",
-                op.app().0,
-                op.user().0,
-                id.seq,
-                id.origin.index(),
-            ));
-            ctx.send(from, ProtoMsg::AdminReply { req, status: AdminStatus::Stable });
-        }
+        self.log_op(ctx, id, op, None);
         if op.is_revoke() {
             self.forward_revocation(ctx, op.app(), op.user());
         }
-        if !pending.unacked.is_empty() {
-            self.pending.insert(id, pending);
-            // Fresh work re-probes at the base cadence even if earlier
-            // rounds had backed off.
-            self.retry_round = 0;
-        }
+        // Fresh work re-probes at the base cadence even if earlier
+        // rounds had backed off.
+        self.retry_round = 0;
     }
 
     /// Inter-manager messages are only honoured from configured peers:
@@ -447,15 +741,23 @@ impl ManagerNode {
             return;
         }
         if !self.applied.contains(&id) {
-            self.applied.insert(id);
+            self.record_applied(id);
             self.apply_op(&op, id);
             self.stats.peer_updates_applied += 1;
             ctx.metric_incr("mgr.peer_updates_applied");
             if op.is_revoke() {
                 self.forward_revocation(ctx, op.app(), op.user());
             }
+            // Log-before-ack: the ack is a quorum promise, so it is
+            // withheld until the record survives a sync barrier.
+            self.log_op(ctx, id, op, Some(from));
+        } else if self.unlogged.contains_key(&id) {
+            // A retransmission of an op still awaiting its barrier:
+            // retry the barrier rather than acking prematurely.
+            self.flush_wal(ctx);
+        } else {
+            ctx.send(from, ProtoMsg::UpdateAck { id });
         }
-        ctx.send(from, ProtoMsg::UpdateAck { id });
     }
 
     fn on_update_ack(&mut self, ctx: &mut Context<'_, ProtoMsg>, from: NodeId, id: OpId) {
@@ -463,35 +765,14 @@ impl ManagerNode {
             return;
         }
         self.note_peer(from, ctx.local_now());
-        let deployment = self.deployment_size();
-        let Some(pending) = self.pending.get_mut(&id) else { return };
-        if !pending.unacked.remove(&from) {
-            return; // duplicate ack
-        }
-        pending.applied_count += 1;
-        let update_quorum =
-            state_policy_update_quorum(&self.apps, pending.op.app(), deployment);
-        if !pending.stable && pending.applied_count >= update_quorum {
-            pending.stable = true;
-            self.stats.quorum_reached += 1;
-            ctx.metric_incr("mgr.quorum_reached");
-            let elapsed = ctx.local_now().since(pending.started);
-            ctx.metric_observe("mgr.time_to_quorum_s", elapsed.as_secs_f64());
-            let kind = if pending.op.is_revoke() { "revoke-stable" } else { "grant-stable" };
-            ctx.trace(format!(
-                "audit={kind} app={} user={} seq={} origin={}",
-                pending.op.app().0,
-                pending.op.user().0,
-                id.seq,
-                id.origin.index(),
-            ));
-            if let Some((issuer, req)) = pending.issuer {
-                ctx.send(issuer, ProtoMsg::AdminReply { req, status: AdminStatus::Stable });
+        {
+            let Some(pending) = self.pending.get_mut(&id) else { return };
+            if !pending.unacked.remove(&from) {
+                return; // duplicate ack
             }
+            pending.applied_count += 1;
         }
-        if pending.unacked.is_empty() {
-            self.pending.remove(&id);
-        }
+        self.finish_quorum_check(ctx, id);
     }
 
     fn on_query(
@@ -505,9 +786,18 @@ impl ManagerNode {
         self.stats.queries += 1;
         ctx.metric_incr("mgr.queries");
         if self.recovering {
-            // §3.4: do not answer until state has been retrieved.
+            // §3.4: do not answer from stale state — but tell the host,
+            // so it can retry another manager instead of timing out.
             self.stats.recovering_drops += 1;
             ctx.metric_incr("mgr.recovering_drops");
+            self.send_query_reply(
+                ctx,
+                from,
+                req,
+                app,
+                user,
+                QueryVerdict::Unavailable { reason: RejectReason::Recovering },
+            );
             return;
         }
         let Some(state) = self.apps.get(&app) else {
@@ -592,6 +882,10 @@ impl ManagerNode {
     }
 
     fn on_retry_tick(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        // A failed sync barrier leaves committed-in-memory ops withheld;
+        // every retry tick re-attempts the barrier first so acks are not
+        // delayed past the next successful fsync.
+        self.flush_wal(ctx);
         let mut resent = 0u64;
         for (id, pending) in &self.pending {
             for peer in &pending.unacked {
@@ -633,15 +927,31 @@ impl ManagerNode {
     }
 
     fn send_sync_request(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        let stamps: Vec<(NodeId, u64)> =
+            self.origin_stamps.iter().map(|(&n, &s)| (n, s)).collect();
+        let slots: Vec<(AppId, UserId, Right, OpId)> = self
+            .lww
+            .iter()
+            .map(|(&(app, user, right), &(id, _))| (app, user, right, id))
+            .collect();
         for peer in &self.config.peers {
-            ctx.send(*peer, ProtoMsg::SyncRequest);
+            ctx.send(
+                *peer,
+                ProtoMsg::SyncRequest { stamps: stamps.clone(), slots: slots.clone() },
+            );
         }
         let delay = self.config.retry_backoff().delay(self.sync_round, ctx.rng());
         self.sync_round = self.sync_round.saturating_add(1);
         ctx.set_timer(delay, TAG_SYNC);
     }
 
-    fn on_sync_request(&mut self, ctx: &mut Context<'_, ProtoMsg>, from: NodeId) {
+    fn on_sync_request(
+        &mut self,
+        ctx: &mut Context<'_, ProtoMsg>,
+        from: NodeId,
+        stamps: Vec<(NodeId, u64)>,
+        slots: Vec<(AppId, UserId, Right, OpId)>,
+    ) {
         if !self.is_from_peer(ctx, from) {
             return;
         }
@@ -651,63 +961,90 @@ impl ManagerNode {
         }
         self.stats.syncs_served += 1;
         ctx.metric_incr("mgr.syncs_served");
-        let acls = self
-            .apps
-            .iter()
-            .map(|(app, state)| {
-                let mut entries = Vec::new();
-                for (user, rights) in state.acl.iter() {
-                    if rights.has(Right::Use) {
-                        entries.push((user, Right::Use));
-                    }
-                    if rights.has(Right::Manage) {
-                        entries.push((user, Right::Manage));
-                    }
+        let their_stamps: BTreeMap<NodeId, u64> = stamps.into_iter().collect();
+        let their_slots: BTreeMap<(AppId, UserId, Right), OpId> = slots
+            .into_iter()
+            .map(|(app, user, right, id)| ((app, user, right), id))
+            .collect();
+        let mut ops = Vec::new();
+        for (slot, &(id, op)) in &self.lww {
+            let behind = match their_slots.get(slot) {
+                Some(mark) => id > *mark,
+                None => true,
+            };
+            if behind {
+                // Slot marks — not stamps — are the source of truth: a
+                // stamp can cover a seq whose op the requester never
+                // durably held (gaps after an origin crash). Count the
+                // resends the stamps alone would have skipped.
+                if their_stamps.get(&id.origin).is_some_and(|&s| s >= id.seq) {
+                    ctx.metric_incr("mgr.sync_gap_resends");
                 }
-                (*app, entries)
-            })
-            .collect();
-        let applied = self.applied.iter().copied().collect();
-        let lww = self
-            .lww
-            .iter()
-            .map(|(&(app, user, right), &id)| (app, user, right, id))
-            .collect();
-        ctx.send(from, ProtoMsg::SyncResponse { acls, applied, lww });
+                ops.push((id, op));
+            }
+        }
+        let stamps: Vec<(NodeId, u64)> =
+            self.origin_stamps.iter().map(|(&n, &s)| (n, s)).collect();
+        ctx.send(from, ProtoMsg::SyncResponse { ops, stamps });
     }
 
     fn on_sync_response(
         &mut self,
         ctx: &mut Context<'_, ProtoMsg>,
         from: NodeId,
-        acls: Vec<(AppId, Vec<(UserId, Right)>)>,
-        applied: Vec<OpId>,
-        lww: Vec<(AppId, UserId, Right, OpId)>,
+        ops: Vec<(OpId, AclOp)>,
+        stamps: Vec<(NodeId, u64)>,
     ) {
         if !self.is_from_peer(ctx, from) {
             return;
         }
         self.note_peer(from, ctx.local_now());
-        if !self.recovering {
+        if !self.recovering && !self.delta_syncing {
             return;
         }
-        for (app, entries) in acls {
-            if let Some(state) = self.apps.get_mut(&app) {
-                state.acl = entries.into_iter().collect();
+        let was_cold = self.recovering;
+        if was_cold {
+            // Sync-only recovery (no storage): whatever ACL survived in
+            // memory is stale and untrusted. Reset to bootstrap so the
+            // result is exactly bootstrap + every winner the peer knows.
+            for spec in &self.config.apps {
+                if let Some(state) = self.apps.get_mut(&spec.app) {
+                    state.acl = spec.initial_acl.clone();
+                }
             }
+            self.lww.clear();
+            self.applied.clear();
+            self.origin_stamps.clear();
         }
-        self.applied.extend(applied);
-        for (app, user, right, id) in lww {
-            self.lamport = self.lamport.max(id.seq);
-            let slot = (app, user, right);
-            let newer = self.lww.get(&slot).map(|cur| id > *cur).unwrap_or(true);
-            if newer {
-                self.lww.insert(slot, id);
+        let mut merged = 0u64;
+        for (id, op) in ops {
+            if self.applied.contains(&id) {
+                continue;
             }
+            self.record_applied(id);
+            self.apply_op(&op, id);
+            merged += 1;
+            // Merged winners become durable too — otherwise a crash right
+            // after the delta sync would silently forget them again.
+            self.log_op(ctx, id, op, None);
+        }
+        // A peer's stamps describe what *it* has applied; ours must only
+        // ever reflect what we applied. Just note any remaining lag.
+        let behind = stamps
+            .iter()
+            .any(|(n, s)| self.origin_stamps.get(n).is_none_or(|mine| mine < s));
+        if behind {
+            ctx.metric_incr("mgr.sync_stamps_behind");
         }
         self.recovering = false;
+        self.delta_syncing = false;
         self.sync_round = 0;
-        ctx.metric_incr("mgr.recovered_via_sync");
+        if was_cold {
+            ctx.metric_incr("mgr.recovered_via_sync");
+            ctx.trace(format!("audit=recovered mode=sync merged={merged}"));
+        } else {
+            ctx.metric_incr("mgr.delta_sync_complete");
+        }
     }
 }
 
@@ -731,6 +1068,19 @@ impl Node for ManagerNode {
             self.last_heard.insert(peer, now);
         }
         self.arm_periodic(ctx);
+        // A process restart hands us storage that already holds state:
+        // replay it before serving, then delta-sync for freshness. A
+        // fresh deployment's storage is empty and this is a no-op.
+        if let Some(storage) = self.storage.as_mut() {
+            let recovered = storage.recover();
+            if recovered.snapshot.is_some() || !recovered.records.is_empty() {
+                self.restore_from(ctx, recovered);
+                if !self.config.peers.is_empty() {
+                    self.delta_syncing = true;
+                    self.send_sync_request(ctx);
+                }
+            }
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, ProtoMsg>, from: NodeId, msg: ProtoMsg) {
@@ -746,9 +1096,11 @@ impl Node for ManagerNode {
                     self.note_peer(from, ctx.local_now());
                 }
             }
-            ProtoMsg::SyncRequest => self.on_sync_request(ctx, from),
-            ProtoMsg::SyncResponse { acls, applied, lww } => {
-                self.on_sync_response(ctx, from, acls, applied, lww);
+            ProtoMsg::SyncRequest { stamps, slots } => {
+                self.on_sync_request(ctx, from, stamps, slots);
+            }
+            ProtoMsg::SyncResponse { ops, stamps } => {
+                self.on_sync_response(ctx, from, ops, stamps);
             }
             _ => {
                 ctx.metric_incr("mgr.unexpected_msg");
@@ -761,28 +1113,33 @@ impl Node for ManagerNode {
             TAG_HEARTBEAT => self.on_heartbeat_tick(ctx),
             TAG_RETRY => self.on_retry_tick(ctx),
             TAG_GSWEEP => self.on_grant_sweep_tick(ctx),
-            TAG_SYNC
-                if self.recovering => {
-                    self.send_sync_request(ctx);
-                }
+            TAG_SYNC if self.recovering || self.delta_syncing => {
+                self.send_sync_request(ctx);
+            }
             _ => {}
         }
     }
 
     fn on_crash(&mut self) {
         // Crash model (§2.1): managers are crash-only. All volatile
-        // coordination state is lost; the ACL itself is treated as stale
-        // and replaced during recovery sync. The Lamport counter is
-        // modelled as persisted (stable storage), so post-crash
-        // operations never reuse an OpId.
+        // coordination state is lost; storage drops whatever was not yet
+        // fsynced (and may tear the tail record). The Lamport counter is
+        // modelled as persisted in-memory, so post-crash operations never
+        // reuse an OpId; disk recovery additionally re-derives a floor.
+        if let Some(storage) = self.storage.as_mut() {
+            storage.crash();
+        }
         self.pending.clear();
         self.pending_revokes.clear();
         self.grant_table.clear();
         self.last_heard.clear();
         self.applied.clear();
         self.lww.clear();
+        self.origin_stamps.clear();
+        self.unlogged.clear();
         self.retry_round = 0;
         self.sync_round = 0;
+        self.delta_syncing = false;
     }
 
     fn on_recover(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
@@ -792,7 +1149,19 @@ impl Node for ManagerNode {
         }
         self.arm_periodic(ctx);
         self.sync_round = 0;
-        if self.config.peers.is_empty() {
+        if self.recover_from_storage(ctx) {
+            // Everything this manager ever acked was fsynced before the
+            // ack went out, so local replay alone already upholds quorum
+            // intersection: serve immediately, and run a *delta* peer
+            // sync purely for freshness. (This also avoids the deadlock
+            // where a whole-cluster restart leaves every manager waiting
+            // for a non-recovering peer.)
+            self.recovering = false;
+            if !self.config.peers.is_empty() {
+                self.delta_syncing = true;
+                self.send_sync_request(ctx);
+            }
+        } else if self.config.peers.is_empty() {
             self.recovering = false;
         } else {
             self.recovering = true;
@@ -814,6 +1183,7 @@ mod tests {
     use super::*;
     use wanacl_sim::node::Effect;
     use wanacl_sim::rng::SimRng;
+    use wanacl_sim::storage::{DiskFaultModel, SimStorage};
 
     struct Harness {
         rng: SimRng,
@@ -1024,36 +1394,134 @@ mod tests {
         assert!(mgr.acl_has(AppId(0), UserId(1), Right::Use), "ACL untouched");
     }
 
-    #[test]
-    fn recovering_manager_defers_updates_and_queries() {
-        let (mut mgr, mut h) = manager_with_peers(0, &[1]);
-        mgr.on_crash();
+    fn recover(mgr: &mut ManagerNode, h: &mut Harness) {
         // Simulate the world's recovery callback.
         let mut effects = Vec::new();
-        {
-            let mut ctx =
-                Context::new(h.id, h.now, &mut effects, &mut h.rng, &mut h.next_timer);
-            mgr.on_recover(&mut ctx);
-        }
+        let mut ctx = Context::new(h.id, h.now, &mut effects, &mut h.rng, &mut h.next_timer);
+        mgr.on_recover(&mut ctx);
+    }
+
+    #[test]
+    fn recovering_manager_answers_unavailable_until_synced() {
+        let (mut mgr, mut h) = manager_with_peers(0, &[1]);
+        mgr.on_crash();
+        recover(&mut mgr, &mut h);
         assert!(mgr.is_recovering());
-        // Queries are silently dropped.
-        let effects =
-            h.deliver(&mut mgr, 7, ProtoMsg::Query { app: AppId(0), user: UserId(1), req: ReqId(1) });
-        assert!(sends(&effects).is_empty());
-        // A sync response restores service.
+        // Queries are answered `Unavailable` (retryable), not denied and
+        // not silently dropped.
         let effects = h.deliver(
+            &mut mgr,
+            7,
+            ProtoMsg::Query { app: AppId(0), user: UserId(1), req: ReqId(1) },
+        );
+        assert!(matches!(
+            sends(&effects)[0].1,
+            ProtoMsg::QueryReply {
+                verdict: QueryVerdict::Unavailable { reason: RejectReason::Recovering },
+                ..
+            }
+        ));
+        // A delta sync response restores service: state is reset to
+        // bootstrap and the peer's winners are applied on top, so the
+        // newer revoke below beats the stale bootstrap grant.
+        let peer = NodeId::from_index(1);
+        let op = AclOp::Revoke { app: AppId(0), user: UserId(1), right: Right::Use };
+        h.deliver(
             &mut mgr,
             1,
             ProtoMsg::SyncResponse {
-                acls: vec![(AppId(0), vec![(UserId(1), Right::Use)])],
-                applied: vec![],
-                lww: vec![],
+                ops: vec![(OpId { origin: peer, seq: 4 }, op)],
+                stamps: vec![(peer, 4)],
             },
         );
-        let _ = effects;
         assert!(!mgr.is_recovering());
-        let effects =
-            h.deliver(&mut mgr, 7, ProtoMsg::Query { app: AppId(0), user: UserId(1), req: ReqId(2) });
+        let effects = h.deliver(
+            &mut mgr,
+            7,
+            ProtoMsg::Query { app: AppId(0), user: UserId(1), req: ReqId(2) },
+        );
+        assert!(matches!(
+            sends(&effects)[0].1,
+            ProtoMsg::QueryReply { verdict: QueryVerdict::Deny, .. }
+        ));
+    }
+
+    #[test]
+    fn sync_request_is_answered_with_only_newer_slot_winners() {
+        let (mut mgr, mut h) = manager_with_peers(0, &[1]);
+        let peer = NodeId::from_index(1);
+        let id_a = OpId { origin: peer, seq: 3 };
+        let op_a = AclOp::Add { app: AppId(0), user: UserId(8), right: Right::Use };
+        let id_b = OpId { origin: peer, seq: 5 };
+        let op_b = AclOp::Revoke { app: AppId(0), user: UserId(1), right: Right::Use };
+        h.deliver(&mut mgr, 1, ProtoMsg::Update { id: id_a, op: op_a });
+        h.deliver(&mut mgr, 1, ProtoMsg::Update { id: id_b, op: op_b });
+        // The requester already holds slot a: only the winner it lacks
+        // comes back, plus this manager's own high-water marks.
+        let effects = h.deliver(
+            &mut mgr,
+            1,
+            ProtoMsg::SyncRequest {
+                stamps: vec![(peer, 3)],
+                slots: vec![(AppId(0), UserId(8), Right::Use, id_a)],
+            },
+        );
+        match sends(&effects)[0].1 {
+            ProtoMsg::SyncResponse { ops, stamps } => {
+                assert_eq!(ops, &vec![(id_b, op_b)]);
+                assert_eq!(stamps, &vec![(peer, 5)]);
+            }
+            other => panic!("expected sync response, got {other:?}"),
+        }
+        assert_eq!(mgr.stats().syncs_served, 1);
+    }
+
+    #[test]
+    fn update_ack_is_withheld_until_the_wal_sync_succeeds() {
+        let (mut mgr, mut h) = manager_with_peers(0, &[1]);
+        mgr.set_storage(Box::new(SimStorage::with_faults(
+            7,
+            DiskFaultModel { sync_fail_prob: 1.0, torn_tail_prob: 0.0 },
+        )));
+        let id = OpId { origin: NodeId::from_index(1), seq: 5 };
+        let op = AclOp::Add { app: AppId(0), user: UserId(8), right: Right::Use };
+        let e1 = h.deliver(&mut mgr, 1, ProtoMsg::Update { id, op });
+        assert!(
+            !sends(&e1).iter().any(|(_, m)| matches!(m, ProtoMsg::UpdateAck { .. })),
+            "no ack while the record is not durable"
+        );
+        assert!(mgr.acl_has(AppId(0), UserId(8), Right::Use), "still applied in memory");
+        // The disk heals and the origin's retransmission arrives.
+        mgr.storage_mut()
+            .unwrap()
+            .as_any_mut()
+            .downcast_mut::<SimStorage>()
+            .unwrap()
+            .set_fault_model(DiskFaultModel::default());
+        let e2 = h.deliver(&mut mgr, 1, ProtoMsg::Update { id, op });
+        assert!(sends(&e2).iter().any(|(_, m)| matches!(m, ProtoMsg::UpdateAck { .. })));
+        assert_eq!(mgr.stats().wal_appends, 1, "the retransmission is not re-logged");
+    }
+
+    #[test]
+    fn disk_recovery_replays_the_wal_and_serves_immediately() {
+        let (mut mgr, mut h) = manager_with_peers(0, &[1]);
+        mgr.set_storage(Box::new(SimStorage::new(3)));
+        let id = OpId { origin: NodeId::from_index(1), seq: 5 };
+        let op = AclOp::Add { app: AppId(0), user: UserId(8), right: Right::Use };
+        h.deliver(&mut mgr, 1, ProtoMsg::Update { id, op });
+        mgr.on_crash();
+        recover(&mut mgr, &mut h);
+        assert!(!mgr.is_recovering(), "local replay is enough to serve");
+        assert!(mgr.acl_has(AppId(0), UserId(8), Right::Use));
+        assert_eq!(mgr.stats().recovered_from_disk, 1);
+        // Queries are answered right away, while the delta sync for
+        // freshness is still in flight.
+        let effects = h.deliver(
+            &mut mgr,
+            7,
+            ProtoMsg::Query { app: AppId(0), user: UserId(8), req: ReqId(1) },
+        );
         assert!(matches!(
             sends(&effects)[0].1,
             ProtoMsg::QueryReply { verdict: QueryVerdict::Grant { .. }, .. }
@@ -1061,17 +1529,50 @@ mod tests {
     }
 
     #[test]
-    fn sync_request_is_served_with_full_state() {
+    fn dropped_wal_recovery_silently_loses_acked_state() {
+        // The planted bug the durability oracle must catch: a recovery
+        // that reports disk mode but discarded the log.
         let (mut mgr, mut h) = manager_with_peers(0, &[1]);
-        let effects = h.deliver(&mut mgr, 1, ProtoMsg::SyncRequest);
-        let reply = sends(&effects);
-        match reply[0].1 {
-            ProtoMsg::SyncResponse { acls, .. } => {
-                assert_eq!(acls.len(), 1);
-                assert_eq!(acls[0].1, vec![(UserId(1), Right::Use)]);
-            }
-            other => panic!("expected sync response, got {other:?}"),
+        let mut storage = SimStorage::new(3);
+        storage.set_drop_state_on_recover(true);
+        mgr.set_storage(Box::new(storage));
+        let id = OpId { origin: NodeId::from_index(1), seq: 5 };
+        let op = AclOp::Add { app: AppId(0), user: UserId(8), right: Right::Use };
+        h.deliver(&mut mgr, 1, ProtoMsg::Update { id, op });
+        mgr.on_crash();
+        recover(&mut mgr, &mut h);
+        assert!(!mgr.is_recovering());
+        assert!(!mgr.acl_has(AppId(0), UserId(8), Right::Use), "the bug lost the acked op");
+    }
+
+    #[test]
+    fn snapshots_follow_the_configured_cadence_and_recovery_composes_them() {
+        let mut acl = Acl::new();
+        acl.add(UserId(1), Right::Use);
+        let mut mgr = ManagerNode::new(ManagerConfig {
+            peers: vec![NodeId::from_index(1)],
+            apps: vec![ManagerApp {
+                app: AppId(0),
+                policy: Policy::builder(1).build(),
+                initial_acl: acl,
+            }],
+            snapshot_every: 3,
+            ..ManagerConfig::default()
+        });
+        let mut h = Harness::new(0);
+        mgr.set_storage(Box::new(SimStorage::new(1)));
+        for seq in 1..=7u64 {
+            let id = OpId { origin: NodeId::from_index(1), seq };
+            let op = AclOp::Add { app: AppId(0), user: UserId(100 + seq), right: Right::Use };
+            h.deliver(&mut mgr, 1, ProtoMsg::Update { id, op });
         }
-        assert_eq!(mgr.stats().syncs_served, 1);
+        assert_eq!(mgr.stats().wal_appends, 7);
+        assert_eq!(mgr.stats().snapshot_writes, 2, "7 appends at cadence 3 → 2 snapshots");
+        // Snapshot + the leftover WAL tail rebuild everything.
+        mgr.on_crash();
+        recover(&mut mgr, &mut h);
+        for seq in 1..=7u64 {
+            assert!(mgr.acl_has(AppId(0), UserId(100 + seq), Right::Use), "user {seq} lost");
+        }
     }
 }

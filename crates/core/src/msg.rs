@@ -144,6 +144,13 @@ pub enum QueryVerdict {
     },
     /// The user does not hold the right.
     Deny,
+    /// The manager cannot answer right now (e.g. it is recovering and
+    /// its state is stale). Unlike `Deny`, this is **not** a veto: the
+    /// host should treat it as retryable and query another manager.
+    Unavailable {
+        /// Why the manager refused to answer.
+        reason: RejectReason,
+    },
 }
 
 /// The outcome a host reports to the invoking user.
@@ -305,17 +312,31 @@ pub enum ProtoMsg {
     /// Liveness beacon between managers (drives the §3.3 freeze strategy
     /// and recovery detection).
     Heartbeat,
-    /// A recovering manager asks a peer for current state (§3.4).
-    SyncRequest,
-    /// Full state transfer answering a `SyncRequest`.
+    /// A recovering (or freshly disk-restored) manager asks a peer for
+    /// the operations it is missing (§3.4, delta form). The requester
+    /// advertises what it already has; the peer answers with only the
+    /// newer per-slot winners instead of a full state transfer.
+    SyncRequest {
+        /// Highest applied `(seq)` per origin manager — the requester's
+        /// high-water marks. A peer whose own stamps are all covered can
+        /// tell at a glance that the requester is current.
+        stamps: Vec<(NodeId, u64)>,
+        /// Per-slot last-writer marks the requester currently holds.
+        /// These refine the stamps: an origin's sequence range can have
+        /// gaps after crashes, so slot marks — not stamps — decide which
+        /// winners the peer must resend.
+        slots: Vec<(AppId, UserId, Right, OpId)>,
+    },
+    /// Delta answering a `SyncRequest`: just the slot-winning operations
+    /// the requester is behind on.
     SyncResponse {
-        /// `(app, entries)` snapshot of every ACL the sender manages.
-        acls: Vec<(AppId, Vec<(UserId, Right)>)>,
-        /// Operation ids the sender has applied.
-        applied: Vec<OpId>,
-        /// Per-slot last-writer marks, so the recovering manager orders
-        /// later concurrent operations consistently.
-        lww: Vec<(AppId, UserId, Right, OpId)>,
+        /// Winning `(id, op)` per slot where the sender is strictly newer
+        /// than the requester's advertised mark (or the requester had no
+        /// mark at all).
+        ops: Vec<(OpId, AclOp)>,
+        /// The sender's own per-origin high-water marks, merged by the
+        /// requester for its next delta round.
+        stamps: Vec<(NodeId, u64)>,
     },
     // ---- host <-> name service ----
     /// Who manages `app`? (§3.2's trusted name service.)
@@ -422,6 +443,11 @@ mod tests {
             QueryVerdict::Grant { te: SimDuration::from_secs(1) }
         );
         assert_ne!(QueryVerdict::Deny, QueryVerdict::Grant { te: SimDuration::ZERO });
+        assert_ne!(
+            QueryVerdict::Deny,
+            QueryVerdict::Unavailable { reason: RejectReason::Recovering },
+            "an unavailable manager must not read as a veto"
+        );
         assert_ne!(
             InvokeOutcome::Denied,
             InvokeOutcome::Allowed { response: String::new() }

@@ -23,6 +23,12 @@
 //!   exceed the local expiry budget `te = b·Te`.
 //! * **Freeze safety (I4)** — `Ti + te ≤ Te` must hold statically, and a
 //!   frozen manager (§3.3) must not issue grants.
+//! * **Durability (I5)** — every op a storage-backed manager marked
+//!   durable (WAL-synced *before* the ack that lets it count toward an
+//!   update quorum) must still be present — at the same or a newer
+//!   last-writer stamp — after any disk recovery by that manager.
+//!   Sync-mode recoveries are exempt: without storage nothing was ever
+//!   promised durable.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -45,6 +51,9 @@ pub enum InvariantKind {
     CacheExpiry,
     /// I4: freeze-strategy safety (static bound or grant-while-frozen).
     FreezeSafety,
+    /// I5: a disk recovery lost or rolled back an op the manager had
+    /// already marked durable (and therefore acked).
+    Durability,
 }
 
 impl std::fmt::Display for InvariantKind {
@@ -54,6 +63,7 @@ impl std::fmt::Display for InvariantKind {
             InvariantKind::QuorumIntersection => "quorum-intersection",
             InvariantKind::CacheExpiry => "cache-expiry",
             InvariantKind::FreezeSafety => "freeze-safety",
+            InvariantKind::Durability => "durability",
         };
         f.write_str(s)
     }
@@ -105,7 +115,15 @@ pub struct OracleStats {
     pub cache_stores: u64,
     /// Manager grants checked against freeze state.
     pub grants: u64,
+    /// Ops observed being marked durable by storage-backed managers.
+    pub durable_ops: u64,
+    /// Disk-mode recoveries checked against the durable notes.
+    pub disk_recoveries: u64,
 }
+
+/// One manager's durably-noted slots: `(app, user, right)` → newest
+/// `(seq, origin)` stamp fsynced before an ack.
+type DurableSlots = BTreeMap<(AppId, UserId, String), (u64, u64)>;
 
 /// The online safety checker. Attach with
 /// [`World::add_observer`](wanacl_sim::world::World::add_observer);
@@ -128,6 +146,9 @@ pub struct InvariantOracle {
     stable_revokes: BTreeMap<(AppId, UserId), BTreeMap<(u64, u64), SimTime>>,
     /// Managers currently frozen per app.
     frozen: BTreeSet<(NodeId, AppId)>,
+    /// Per manager: slot → newest `(seq, origin)` stamp it marked
+    /// durable. The lower bound any later disk recovery must reach.
+    durable: BTreeMap<NodeId, DurableSlots>,
     violations: Vec<OracleViolation>,
     stats: OracleStats,
 }
@@ -150,6 +171,7 @@ impl InvariantOracle {
             last_add: BTreeMap::new(),
             stable_revokes: BTreeMap::new(),
             frozen: BTreeSet::new(),
+            durable: BTreeMap::new(),
             violations: Vec::new(),
             stats: OracleStats::default(),
         };
@@ -346,6 +368,75 @@ impl InvariantOracle {
         }
     }
 
+    /// Records a durability promise: the manager fsynced this op before
+    /// acking it, so it must survive every future disk recovery.
+    fn on_durable(&mut self, node: NodeId, kv: &Kv<'_>) {
+        let (Some(app), Some(user), Some(right)) = (kv.app(), kv.user(), kv.get("right"))
+        else {
+            return;
+        };
+        self.stats.durable_ops += 1;
+        let stamp = kv.op_id();
+        let slot = self
+            .durable
+            .entry(node)
+            .or_default()
+            .entry((app, user, right.to_string()))
+            .or_insert(stamp);
+        if stamp > *slot {
+            *slot = stamp;
+        }
+    }
+
+    /// I5: checks a recovery note against the node's durable promises.
+    /// The `slots=` list carries `app:user:right:seq:origin` items.
+    fn on_recovered(&mut self, at: SimTime, index: u64, node: NodeId, kv: &Kv<'_>) {
+        if kv.get("mode") != Some("disk") {
+            return; // sync-mode recovery promised nothing durable
+        }
+        self.stats.disk_recoveries += 1;
+        let Some(noted) = self.durable.get(&node) else { return };
+        let mut recovered: BTreeMap<(AppId, UserId, String), (u64, u64)> = BTreeMap::new();
+        for item in kv.get("slots").unwrap_or("").split(',').filter(|s| !s.is_empty()) {
+            let parts: Vec<&str> = item.split(':').collect();
+            if parts.len() != 5 {
+                continue;
+            }
+            let (Ok(app), Ok(user), Ok(seq), Ok(origin)) = (
+                parts[0].parse::<u32>(),
+                parts[1].parse::<u64>(),
+                parts[3].parse::<u64>(),
+                parts[4].parse::<u64>(),
+            ) else {
+                continue;
+            };
+            recovered.insert((AppId(app), UserId(user), parts[2].to_string()), (seq, origin));
+        }
+        let mut lost = Vec::new();
+        for ((app, user, right), &stamp) in noted {
+            match recovered.get(&(*app, *user, right.clone())) {
+                Some(&got) if got >= stamp => {}
+                Some(&got) => lost.push(format!(
+                    "{}:{}:{right} rolled back to seq {} origin {} (durable seq {} origin {})",
+                    app.0, user.0, got.0, got.1, stamp.0, stamp.1
+                )),
+                None => lost.push(format!(
+                    "{}:{}:{right} missing (durable up to seq {} origin {})",
+                    app.0, user.0, stamp.0, stamp.1
+                )),
+            }
+        }
+        if !lost.is_empty() {
+            self.fail(
+                at,
+                index,
+                node,
+                InvariantKind::Durability,
+                format!("disk recovery lost acked state: {}", lost.join("; ")),
+            );
+        }
+    }
+
     fn on_note(&mut self, at: SimTime, index: u64, node: NodeId, text: &str) {
         let kv = Kv::parse(text);
         match kv.get("audit") {
@@ -379,6 +470,8 @@ impl InvariantOracle {
                     self.note_add(app, user, kv.op_id());
                 }
             }
+            Some("durable") => self.on_durable(node, &kv),
+            Some("recovered") => self.on_recovered(at, index, node, &kv),
             Some("freeze") => {
                 if let Some(app) = kv.app() {
                     self.frozen.insert((node, app));
@@ -588,6 +681,45 @@ mod tests {
         note(&mut o, 3, 4, 0, "audit=thaw app=0");
         note(&mut o, 4, 5, 0, "audit=grant app=0 user=1 te=1000");
         assert_eq!(o.violations().len(), 1);
+    }
+
+    #[test]
+    fn disk_recovery_must_preserve_durable_ops() {
+        let mut o = InvariantOracle::new(&policy(), SimDuration::ZERO);
+        note(&mut o, 1, 1, 0, "audit=durable app=0 user=1 right=use kind=add seq=3 origin=0");
+        note(&mut o, 2, 2, 0, "audit=recovered mode=disk replayed=1 torn=0 slots=0:1:use:3:0");
+        assert!(o.is_clean(), "{:?}", o.violations());
+        // A newer recovered winner for the slot also satisfies the bound.
+        note(&mut o, 3, 3, 0, "audit=recovered mode=disk replayed=2 torn=0 slots=0:1:use:5:1");
+        assert!(o.is_clean(), "{:?}", o.violations());
+        assert_eq!(o.stats().durable_ops, 1);
+        assert_eq!(o.stats().disk_recoveries, 2);
+        // An empty recovery (the planted drop-the-WAL bug) is caught.
+        note(&mut o, 4, 9, 0, "audit=recovered mode=disk replayed=0 torn=1 slots=");
+        assert_eq!(o.violations().len(), 1);
+        assert_eq!(o.violations()[0].kind, InvariantKind::Durability);
+        assert_eq!(o.violations()[0].event_index, 9);
+    }
+
+    #[test]
+    fn stale_recovered_slot_is_a_durability_violation() {
+        let mut o = InvariantOracle::new(&policy(), SimDuration::ZERO);
+        note(&mut o, 1, 1, 0, "audit=durable app=0 user=1 right=use kind=revoke seq=6 origin=2");
+        note(&mut o, 2, 2, 0, "audit=recovered mode=disk replayed=1 torn=0 slots=0:1:use:4:1");
+        assert_eq!(o.violations().len(), 1);
+        assert_eq!(o.violations()[0].kind, InvariantKind::Durability);
+    }
+
+    #[test]
+    fn sync_mode_recovery_is_exempt_from_durability() {
+        let mut o = InvariantOracle::new(&policy(), SimDuration::ZERO);
+        note(&mut o, 1, 1, 0, "audit=durable app=0 user=1 right=use kind=add seq=3 origin=0");
+        note(&mut o, 2, 2, 0, "audit=recovered mode=sync merged=0");
+        assert!(o.is_clean(), "{:?}", o.violations());
+        // Another manager's disk recovery is not constrained by node 0's
+        // durable notes.
+        note(&mut o, 3, 3, 1, "audit=recovered mode=disk replayed=0 torn=0 slots=");
+        assert!(o.is_clean(), "{:?}", o.violations());
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! Binary codec for the manager's stable-storage records.
+//!
+//! The WAL holds one record per applied ACL operation — `(OpId, AclOp)` —
+//! and the snapshot holds everything needed to rebuild the manager's
+//! durable state: the Lamport counter, the applied-op-id set, and the
+//! per-slot last-writer table *with* the winning operations, from which
+//! the ACL itself is reconstructed (bootstrap ACL + winning op per slot
+//! is exactly the ACL, since every ACL change flows through an op).
+//!
+//! The encodings are versioned and length-prefixed so a torn or
+//! truncated read decodes to `None` instead of garbage; the storage layer
+//! (CRC framing in `wanacl-rt`, torn-tail simulation in `wanacl-sim`)
+//! handles physical corruption below this layer.
+
+use wanacl_sim::node::NodeId;
+
+use crate::msg::{AclOp, OpId};
+use crate::types::{AppId, Right, UserId};
+
+/// Snapshot format version (bumped on incompatible changes; decoders
+/// reject other versions).
+const SNAPSHOT_VERSION: u8 = 1;
+/// Magic prefix distinguishing a snapshot from arbitrary bytes.
+const SNAPSHOT_MAGIC: &[u8; 4] = b"WSNP";
+
+/// Bytes of one encoded WAL record.
+pub const RECORD_LEN: usize = 26;
+
+fn right_byte(right: Right) -> u8 {
+    match right {
+        Right::Use => 0,
+        Right::Manage => 1,
+    }
+}
+
+fn right_from(byte: u8) -> Option<Right> {
+    match byte {
+        0 => Some(Right::Use),
+        1 => Some(Right::Manage),
+        _ => None,
+    }
+}
+
+/// Encodes one applied operation as a fixed-size WAL record.
+pub fn encode_record(id: OpId, op: &AclOp) -> Vec<u8> {
+    let mut out = Vec::with_capacity(RECORD_LEN);
+    out.push(if op.is_revoke() { 1 } else { 0 });
+    out.extend_from_slice(&op.app().0.to_be_bytes());
+    out.extend_from_slice(&op.user().0.to_be_bytes());
+    out.push(right_byte(op.right()));
+    out.extend_from_slice(&(id.origin.index() as u32).to_be_bytes());
+    out.extend_from_slice(&id.seq.to_be_bytes());
+    out
+}
+
+/// Decodes a WAL record; `None` on wrong length or invalid fields.
+pub fn decode_record(bytes: &[u8]) -> Option<(OpId, AclOp)> {
+    if bytes.len() != RECORD_LEN {
+        return None;
+    }
+    let kind = bytes[0];
+    let app = AppId(u32::from_be_bytes(bytes[1..5].try_into().ok()?));
+    let user = UserId(u64::from_be_bytes(bytes[5..13].try_into().ok()?));
+    let right = right_from(bytes[13])?;
+    let origin = u32::from_be_bytes(bytes[14..18].try_into().ok()?);
+    let seq = u64::from_be_bytes(bytes[18..26].try_into().ok()?);
+    let id = OpId { origin: NodeId::from_index(origin as usize), seq };
+    let op = match kind {
+        0 => AclOp::Add { app, user, right },
+        1 => AclOp::Revoke { app, user, right },
+        _ => return None,
+    };
+    Some((id, op))
+}
+
+/// Everything a manager persists in a snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SnapshotState {
+    /// The Lamport counter at snapshot time.
+    pub lamport: u64,
+    /// Every operation id the manager has applied (and acked).
+    pub applied: Vec<OpId>,
+    /// Per-slot last writer with the winning op, in slot order.
+    pub lww: Vec<(AppId, UserId, Right, OpId, AclOp)>,
+}
+
+/// Encodes a snapshot.
+pub fn encode_snapshot(state: &SnapshotState) -> Vec<u8> {
+    let mut out = Vec::with_capacity(
+        16 + state.applied.len() * 12 + state.lww.len() * (14 + RECORD_LEN),
+    );
+    out.extend_from_slice(SNAPSHOT_MAGIC);
+    out.push(SNAPSHOT_VERSION);
+    out.extend_from_slice(&state.lamport.to_be_bytes());
+    out.extend_from_slice(&(state.applied.len() as u32).to_be_bytes());
+    for id in &state.applied {
+        out.extend_from_slice(&(id.origin.index() as u32).to_be_bytes());
+        out.extend_from_slice(&id.seq.to_be_bytes());
+    }
+    out.extend_from_slice(&(state.lww.len() as u32).to_be_bytes());
+    for (_, _, _, id, op) in &state.lww {
+        // The record's own (app, user, right) fields are the slot key, so
+        // the WAL record encoding doubles as the slot entry encoding.
+        out.extend_from_slice(&encode_record(*id, op));
+    }
+    out
+}
+
+/// Decodes a snapshot; `None` on any structural mismatch.
+pub fn decode_snapshot(bytes: &[u8]) -> Option<SnapshotState> {
+    let rest = bytes.strip_prefix(&SNAPSHOT_MAGIC[..])?;
+    let (&version, rest) = rest.split_first()?;
+    if version != SNAPSHOT_VERSION {
+        return None;
+    }
+    if rest.len() < 12 {
+        return None;
+    }
+    let lamport = u64::from_be_bytes(rest[..8].try_into().ok()?);
+    let applied_len = u32::from_be_bytes(rest[8..12].try_into().ok()?) as usize;
+    let mut rest = &rest[12..];
+    let mut applied = Vec::with_capacity(applied_len.min(1 << 20));
+    for _ in 0..applied_len {
+        if rest.len() < 12 {
+            return None;
+        }
+        let origin = u32::from_be_bytes(rest[..4].try_into().ok()?);
+        let seq = u64::from_be_bytes(rest[4..12].try_into().ok()?);
+        applied.push(OpId { origin: NodeId::from_index(origin as usize), seq });
+        rest = &rest[12..];
+    }
+    if rest.len() < 4 {
+        return None;
+    }
+    let lww_len = u32::from_be_bytes(rest[..4].try_into().ok()?) as usize;
+    rest = &rest[4..];
+    let mut lww = Vec::with_capacity(lww_len.min(1 << 20));
+    for _ in 0..lww_len {
+        if rest.len() < RECORD_LEN {
+            return None;
+        }
+        let (id, op) = decode_record(&rest[..RECORD_LEN])?;
+        lww.push((op.app(), op.user(), op.right(), id, op));
+        rest = &rest[RECORD_LEN..];
+    }
+    if !rest.is_empty() {
+        return None;
+    }
+    Some(SnapshotState { lamport, applied, lww })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(origin: usize, seq: u64) -> OpId {
+        OpId { origin: NodeId::from_index(origin), seq }
+    }
+
+    #[test]
+    fn record_round_trips() {
+        let ops = [
+            AclOp::Add { app: AppId(3), user: UserId(77), right: Right::Use },
+            AclOp::Revoke { app: AppId(0), user: UserId(u64::MAX), right: Right::Manage },
+        ];
+        for (i, op) in ops.iter().enumerate() {
+            let rid = id(i, 900 + i as u64);
+            let bytes = encode_record(rid, op);
+            assert_eq!(bytes.len(), RECORD_LEN);
+            assert_eq!(decode_record(&bytes), Some((rid, *op)));
+        }
+    }
+
+    #[test]
+    fn truncated_or_corrupt_record_is_rejected() {
+        let op = AclOp::Add { app: AppId(1), user: UserId(2), right: Right::Use };
+        let bytes = encode_record(id(0, 1), &op);
+        assert_eq!(decode_record(&bytes[..RECORD_LEN - 1]), None);
+        let mut bad_kind = bytes.clone();
+        bad_kind[0] = 9;
+        assert_eq!(decode_record(&bad_kind), None);
+        let mut bad_right = bytes;
+        bad_right[13] = 7;
+        assert_eq!(decode_record(&bad_right), None);
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let op_a = AclOp::Add { app: AppId(0), user: UserId(1), right: Right::Use };
+        let op_b = AclOp::Revoke { app: AppId(0), user: UserId(2), right: Right::Manage };
+        let state = SnapshotState {
+            lamport: 42,
+            applied: vec![id(0, 1), id(2, 41)],
+            lww: vec![
+                (op_a.app(), op_a.user(), op_a.right(), id(0, 1), op_a),
+                (op_b.app(), op_b.user(), op_b.right(), id(2, 41), op_b),
+            ],
+        };
+        let bytes = encode_snapshot(&state);
+        assert_eq!(decode_snapshot(&bytes), Some(state));
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let state = SnapshotState::default();
+        assert_eq!(decode_snapshot(&encode_snapshot(&state)), Some(state));
+    }
+
+    #[test]
+    fn snapshot_rejects_tampering() {
+        let bytes = encode_snapshot(&SnapshotState { lamport: 7, ..Default::default() });
+        assert_eq!(decode_snapshot(&bytes[..bytes.len() - 1]), None, "truncated");
+        let mut wrong_version = bytes.clone();
+        wrong_version[4] = 99;
+        assert_eq!(decode_snapshot(&wrong_version), None, "unknown version");
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        assert_eq!(decode_snapshot(&wrong_magic), None, "bad magic");
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert_eq!(decode_snapshot(&trailing), None, "trailing bytes");
+    }
+}

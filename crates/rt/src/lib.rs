@@ -22,6 +22,8 @@
 
 pub mod router;
 pub mod runtime;
+pub mod storage;
 
 pub use router::LinkPolicy;
 pub use runtime::{Runtime, RuntimeBuilder};
+pub use storage::FileStorage;

@@ -56,6 +56,7 @@ pub mod nemesis;
 pub mod net;
 pub mod node;
 pub mod rng;
+pub mod storage;
 pub mod time;
 pub mod trace;
 pub mod world;
@@ -70,6 +71,7 @@ pub mod prelude {
     pub use crate::net::{NetModel, PerfectNet, Verdict, WanNet};
     pub use crate::node::{Context, Node, NodeId, TimerId};
     pub use crate::rng::{SimRng, Zipf};
+    pub use crate::storage::{DiskFaultModel, Recovered, SimStorage, Storage, StorageStats};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::world::{Observer, ObserverId, World};
 }

@@ -143,6 +143,31 @@ pub enum Fault {
         /// When it is down.
         window: Window,
     },
+    /// Degraded stable storage on one node: WAL sync barriers fail
+    /// transiently and crashes tear the tail record with the given
+    /// probabilities. The campaign driver applies this to the node's
+    /// storage before the run starts (it is neither a network nor a
+    /// lifecycle fault).
+    DiskFault {
+        /// The node whose stable storage degrades.
+        node: NodeId,
+        /// Probability each WAL sync barrier fails (transient EIO).
+        sync_fail_prob: f64,
+        /// Probability a crash leaves a torn tail record.
+        torn_tail_prob: f64,
+    },
+    /// Correlated crash-restart of a node group — up to the *entire*
+    /// manager set at once, the scenario quorum sync alone cannot
+    /// survive. Every member crashes at `at` and recovers `down_for`
+    /// later.
+    ClusterRestart {
+        /// The victims (crash and recover together).
+        nodes: Vec<NodeId>,
+        /// Crash instant.
+        at: SimTime,
+        /// Downtime before the scheduled recovery.
+        down_for: SimDuration,
+    },
 }
 
 fn fmt_nodes(nodes: &[NodeId]) -> String {
@@ -174,6 +199,12 @@ impl std::fmt::Display for Fault {
                 write!(f, "crash {node} at {at} for {down_for}")
             }
             Fault::NsOutage { ns, window } => write!(f, "ns-outage {ns} {window}"),
+            Fault::DiskFault { node, sync_fail_prob, torn_tail_prob } => {
+                write!(f, "disk-fault {node} sync-fail={sync_fail_prob:.2} torn={torn_tail_prob:.2}")
+            }
+            Fault::ClusterRestart { nodes, at, down_for } => {
+                write!(f, "cluster-restart {} at {at} for {down_for}", fmt_nodes(nodes))
+            }
         }
     }
 }
@@ -182,7 +213,13 @@ impl Fault {
     /// Whether the fault acts on the network layer (as opposed to node
     /// lifecycle).
     pub fn is_net(&self) -> bool {
-        !matches!(self, Fault::Crash { .. } | Fault::NsOutage { .. })
+        !matches!(
+            self,
+            Fault::Crash { .. }
+                | Fault::NsOutage { .. }
+                | Fault::DiskFault { .. }
+                | Fault::ClusterRestart { .. }
+        )
     }
 
     /// Whether a partition-style fault currently severs `from -> to`.
@@ -301,6 +338,35 @@ impl NemesisPlan {
         intensity: f64,
         rng: &mut SimRng,
     ) -> NemesisPlan {
+        Self::sample_inner(targets, horizon, intensity, rng, false)
+    }
+
+    /// Like [`NemesisPlan::sample`], but the fault mix also includes
+    /// storage-level failures: [`Fault::DiskFault`] entries degrading a
+    /// manager's WAL, and [`Fault::ClusterRestart`] entries that
+    /// crash-restart a random manager subset — up to *all* managers at
+    /// once. A separate entry point (rather than a new kind inside
+    /// `sample`) so plans drawn for existing seeds stay byte-identical.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`NemesisPlan::sample`].
+    pub fn sample_with_storage(
+        targets: &NemesisTargets,
+        horizon: SimTime,
+        intensity: f64,
+        rng: &mut SimRng,
+    ) -> NemesisPlan {
+        Self::sample_inner(targets, horizon, intensity, rng, true)
+    }
+
+    fn sample_inner(
+        targets: &NemesisTargets,
+        horizon: SimTime,
+        intensity: f64,
+        rng: &mut SimRng,
+        storage_faults: bool,
+    ) -> NemesisPlan {
         assert!(horizon > SimTime::ZERO, "horizon must be positive");
         assert!(intensity > 0.0, "intensity must be positive");
         let nodes = targets.protocol_nodes();
@@ -323,6 +389,10 @@ impl NemesisPlan {
         }
         if targets.name_service.is_some() {
             table.push((1, 8)); // name-service outage
+        }
+        if storage_faults && !targets.managers.is_empty() {
+            table.push((2, 9)); // manager disk fault
+            table.push((2, 10)); // correlated cluster restart
         }
         let total_weight: u64 = table.iter().map(|(w, _)| w).sum();
 
@@ -424,10 +494,38 @@ impl NemesisPlan {
                     down_for: SimDuration::from_nanos(down_ns),
                 }
             }
-            _ => Fault::NsOutage {
+            8 => Fault::NsOutage {
                 ns: targets.name_service.expect("guarded by the weight table"),
                 window: Self::sample_window(horizon, rng),
             },
+            9 => Fault::DiskFault {
+                node: *rng.choose(&targets.managers),
+                sync_fail_prob: rng.uniform(0.05, 0.4),
+                torn_tail_prob: rng.uniform(0.2, 0.9),
+            },
+            _ => {
+                // Each manager joins the restart group with p=0.6; one
+                // time in four the whole manager set goes down together
+                // (the correlated failure quorum sync cannot survive).
+                let all = rng.chance(0.25);
+                let mut group: Vec<NodeId> = targets
+                    .managers
+                    .iter()
+                    .copied()
+                    .filter(|_| all || rng.chance(0.6))
+                    .collect();
+                if group.is_empty() {
+                    group.push(*rng.choose(&targets.managers));
+                }
+                let at_ns = rng.range(0, (horizon.as_nanos() * 8 / 10).max(1));
+                let mean = (horizon.as_nanos() / 10).max(1) as f64;
+                let down_ns = (rng.exponential(mean) as u64).max(100_000_000);
+                Fault::ClusterRestart {
+                    nodes: group,
+                    at: SimTime::from_nanos(at_ns),
+                    down_for: SimDuration::from_nanos(down_ns),
+                }
+            }
         }
     }
 
@@ -484,9 +582,29 @@ impl NemesisPlan {
             match fault {
                 Fault::Crash { node, at, down_for } => schedule(*at, *at + *down_for, *node),
                 Fault::NsOutage { ns, window } => schedule(window.start, window.end, *ns),
+                Fault::ClusterRestart { nodes, at, down_for } => {
+                    for node in nodes {
+                        schedule(*at, *at + *down_for, *node);
+                    }
+                }
                 _ => {}
             }
         }
+    }
+
+    /// The storage-fault entries, as `(node, sync_fail_prob,
+    /// torn_tail_prob)` triples. The campaign driver applies these to
+    /// each node's stable storage before the run starts.
+    pub fn disk_faults(&self) -> Vec<(NodeId, f64, f64)> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::DiskFault { node, sync_fail_prob, torn_tail_prob } => {
+                    Some((*node, *sync_fail_prob, *torn_tail_prob))
+                }
+                _ => None,
+            })
+            .collect()
     }
 
     /// A numbered, human-readable listing of the plan (for violation
@@ -609,6 +727,22 @@ impl NemesisPlanBuilder {
         self
     }
 
+    /// Adds a storage degradation on one node's WAL.
+    pub fn disk_fault(mut self, node: NodeId, sync_fail_prob: f64, torn_tail_prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&sync_fail_prob), "sync-fail probability must be in [0,1]");
+        assert!((0.0..=1.0).contains(&torn_tail_prob), "torn-tail probability must be in [0,1]");
+        self.plan.faults.push(Fault::DiskFault { node, sync_fail_prob, torn_tail_prob });
+        self
+    }
+
+    /// Adds a correlated crash-restart of a node group.
+    pub fn cluster_restart(mut self, nodes: Vec<NodeId>, at: SimTime, down_for: SimDuration) -> Self {
+        assert!(!nodes.is_empty(), "cluster restart needs at least one node");
+        assert!(down_for > SimDuration::ZERO, "downtime must be positive");
+        self.plan.faults.push(Fault::ClusterRestart { nodes, at, down_for });
+        self
+    }
+
     /// Finishes the plan.
     pub fn build(self) -> NemesisPlan {
         self.plan
@@ -682,8 +816,71 @@ mod tests {
                     assert_eq!(*ns, n(5));
                     assert!(window.end <= horizon);
                 }
+                Fault::DiskFault { .. } | Fault::ClusterRestart { .. } => {
+                    panic!("plain sample() must never draw storage faults")
+                }
             }
         }
+    }
+
+    #[test]
+    fn storage_sampling_is_deterministic_and_keeps_plain_plans_stable() {
+        let horizon = SimTime::from_secs(120);
+        let plain = NemesisPlan::sample(&targets(), horizon, 2.0, &mut SimRng::seed_from(11));
+        let a =
+            NemesisPlan::sample_with_storage(&targets(), horizon, 2.0, &mut SimRng::seed_from(11));
+        let b =
+            NemesisPlan::sample_with_storage(&targets(), horizon, 2.0, &mut SimRng::seed_from(11));
+        assert_eq!(a, b);
+        // Plain sampling must be untouched by the new kinds, so existing
+        // fixed-seed campaigns replay the same plans.
+        assert!(plain
+            .faults
+            .iter()
+            .all(|f| !matches!(f, Fault::DiskFault { .. } | Fault::ClusterRestart { .. })));
+        // The storage mix actually produces the new kinds at some seed.
+        let mut saw_disk = false;
+        let mut saw_restart = false;
+        for seed in 0..40 {
+            let p = NemesisPlan::sample_with_storage(
+                &targets(),
+                horizon,
+                2.0,
+                &mut SimRng::seed_from(seed),
+            );
+            for f in &p.faults {
+                match f {
+                    Fault::DiskFault { node, sync_fail_prob, torn_tail_prob } => {
+                        saw_disk = true;
+                        assert!(targets().managers.contains(node));
+                        assert!((0.0..=1.0).contains(sync_fail_prob));
+                        assert!((0.0..=1.0).contains(torn_tail_prob));
+                    }
+                    Fault::ClusterRestart { nodes, at, down_for } => {
+                        saw_restart = true;
+                        assert!(!nodes.is_empty());
+                        assert!(nodes.iter().all(|x| targets().managers.contains(x)));
+                        assert!(*at < horizon);
+                        assert!(*down_for > SimDuration::ZERO);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(saw_disk && saw_restart, "storage kinds never sampled");
+    }
+
+    #[test]
+    fn disk_faults_accessor_and_builder_round_trip() {
+        let plan = NemesisPlan::builder(SimTime::from_secs(30))
+            .disk_fault(n(0), 0.1, 0.5)
+            .cluster_restart(vec![n(0), n(1), n(2)], SimTime::from_secs(5), SimDuration::from_secs(1))
+            .build();
+        assert_eq!(plan.disk_faults(), vec![(n(0), 0.1, 0.5)]);
+        assert!(plan.net_faults().is_empty(), "storage faults are not network faults");
+        let text = plan.describe();
+        assert!(text.contains("disk-fault"), "{text}");
+        assert!(text.contains("cluster-restart"), "{text}");
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! $ wanacl audit --seed 7
 //! $ wanacl nemesis --campaigns 100
 //! $ wanacl nemesis --seed 3 --inject-bug cache-expiry
+//! $ wanacl nemesis --disk-faults true --campaigns 50
+//! $ wanacl nemesis --disk-faults true --inject-bug drop-wal
 //! ```
 
 use std::collections::HashMap;
@@ -41,7 +43,11 @@ fn main() {
                  \x20 nemesis   run fault-injection campaigns with the invariant oracle\n\
                  \x20           flags: --seed S --campaigns N --horizon-secs T\n\
                  \x20                  --managers N --hosts N --users N --intensity X\n\
-                 \x20                  --name-service true --inject-bug cache-expiry"
+                 \x20                  --name-service true\n\
+                 \x20                  --disk-faults true   add disk faults (torn tails,\n\
+                 \x20                                       failed fsyncs) and correlated\n\
+                 \x20                                       cluster restarts to the fault mix\n\
+                 \x20                  --inject-bug cache-expiry|drop-wal"
             );
             std::process::exit(2);
         }
@@ -160,19 +166,26 @@ fn nemesis(flags: &HashMap<String, String>) {
     let users: usize = get(flags, "users", 2);
     let intensity: f64 = get(flags, "intensity", 1.0);
     let use_name_service: bool = get(flags, "name-service", false);
+    let disk_faults: bool = get(flags, "disk-faults", false);
     let inject_bug = match flags.get("inject-bug").map(String::as_str) {
         None | Some("none") => None,
         Some("cache-expiry") => Some(InjectedBug::IgnoreCacheExpiry { host_index: 0 }),
+        Some("drop-wal") => Some(InjectedBug::DropWal { manager_index: 0 }),
         Some(other) => {
-            eprintln!("unknown --inject-bug {other} (expected: cache-expiry)");
+            eprintln!("unknown --inject-bug {other} (expected: cache-expiry or drop-wal)");
             std::process::exit(2);
         }
     };
 
     println!(
         "nemesis: {campaigns} campaign(s) from seed {seed}, horizon {horizon_secs}s, \
-         M={managers} hosts={hosts} users={users} intensity={intensity}{}",
-        if inject_bug.is_some() { " [BUG INJECTED: cache-expiry]" } else { "" }
+         M={managers} hosts={hosts} users={users} intensity={intensity}{}{}",
+        if disk_faults { " +disk-faults" } else { "" },
+        match inject_bug {
+            Some(InjectedBug::IgnoreCacheExpiry { .. }) => " [BUG INJECTED: cache-expiry]",
+            Some(InjectedBug::DropWal { .. }) => " [BUG INJECTED: drop-wal]",
+            None => "",
+        }
     );
     for s in seed..seed + campaigns {
         let config = CampaignConfig {
@@ -183,16 +196,20 @@ fn nemesis(flags: &HashMap<String, String>) {
             horizon: SimDuration::from_secs(horizon_secs),
             intensity,
             use_name_service,
+            disk_faults,
             inject_bug,
             ..CampaignConfig::default()
         };
         let report = run_campaign(&config);
         if report.is_clean() {
             println!(
-                "  seed {s}: clean ({} faults, {} allows checked, {} revokes)",
+                "  seed {s}: clean ({} faults, {} allows checked, {} revokes, \
+                 {} WAL appends, {} disk recoveries)",
                 report.plan.len(),
                 report.oracle_stats.allows,
-                report.oracle_stats.revokes
+                report.oracle_stats.revokes,
+                report.wal_appends,
+                report.recovered_from_disk,
             );
             continue;
         }

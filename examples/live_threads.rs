@@ -40,6 +40,7 @@ fn main() {
                 retry_jitter: 0.1,
                 heartbeat_interval: SimDuration::from_millis(200),
                 grant_sweep_interval: SimDuration::from_secs(1),
+                snapshot_every: 64,
             })),
         );
     }

@@ -61,7 +61,7 @@ fn forge(h: &Hostile) -> ProtoMsg {
         9 => ProtoMsg::UpdateAck {
             id: OpId { origin: NodeId::from_index((h.b % 4) as usize), seq: h.a },
         },
-        10 => ProtoMsg::SyncRequest,
+        10 => ProtoMsg::SyncRequest { stamps: vec![(NodeId::from_index((h.a % 4) as usize), h.b)], slots: vec![] },
         _ => ProtoMsg::NsReply {
             app,
             managers: vec![NodeId::from_index((h.a % 8) as usize)],
