@@ -55,6 +55,13 @@ struct Entry {
 #[derive(Debug, Clone, Default)]
 pub struct AclCache {
     entries: BTreeMap<UserId, Entry>,
+    /// Expiry-ordered index: `limit → users indexed under that limit`.
+    /// `sweep` walks only the buckets whose limit has passed instead of
+    /// scanning every live entry. Buckets are invalidated lazily — an
+    /// entry that was extended, removed, or re-created since its bucket
+    /// was written is re-validated against `entries` before removal —
+    /// so the index never has to be updated on those paths.
+    expiry: BTreeMap<LocalTime, Vec<UserId>>,
     /// Fault-injection knob: when set, `lookup` treats expired entries as
     /// fresh and `sweep` drops nothing. This deliberately breaks the
     /// protocol's time-bound revocation guarantee so nemesis campaigns
@@ -93,12 +100,21 @@ impl AclCache {
     /// A refresh never shortens an existing entry's life — a concurrent
     /// slower grant must not truncate a newer one.
     pub fn insert(&mut self, user: UserId, limit: LocalTime) {
-        let entry = self
-            .entries
-            .entry(user)
-            .or_insert(Entry { limit, last_used: LocalTime::ZERO });
-        if limit > entry.limit {
-            entry.limit = limit;
+        use std::collections::btree_map::Entry as Slot;
+        match self.entries.entry(user) {
+            Slot::Vacant(slot) => {
+                slot.insert(Entry { limit, last_used: LocalTime::ZERO });
+                self.expiry.entry(limit).or_default().push(user);
+            }
+            Slot::Occupied(mut slot) => {
+                let entry = slot.get_mut();
+                if limit > entry.limit {
+                    // The old bucket goes stale; sweep skips it because
+                    // the entry's limit no longer matches.
+                    entry.limit = limit;
+                    self.expiry.entry(limit).or_default().push(user);
+                }
+            }
         }
     }
 
@@ -112,18 +128,38 @@ impl AclCache {
     /// initialized to null").
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.expiry.clear();
     }
 
     /// Removes all entries expired at `now`; returns how many were
     /// dropped. This is the §3.2 periodic check that "can save memory and
     /// processing overhead".
+    ///
+    /// Cost is proportional to the number of *due* expiry buckets, not
+    /// the number of live entries: the expiry index orders entries by
+    /// limit, so a sweep with nothing expired is one `BTreeMap` peek.
     pub fn sweep(&mut self, now: LocalTime) -> usize {
         if self.ignore_expiry {
+            // Leave the index intact: if the injected bug is later
+            // turned off, the overdue buckets are still there to sweep.
             return 0;
         }
-        let before = self.entries.len();
-        self.entries.retain(|_, entry| now < entry.limit);
-        before - self.entries.len()
+        let mut dropped = 0;
+        while let Some((&bucket, _)) = self.expiry.first_key_value() {
+            if now < bucket {
+                break;
+            }
+            let (_, users) = self.expiry.pop_first().expect("peeked non-empty");
+            for user in users {
+                // Re-validate: the entry may have been extended past
+                // this bucket, removed, or re-created since.
+                if self.entries.get(&user).is_some_and(|e| now >= e.limit) {
+                    self.entries.remove(&user);
+                    dropped += 1;
+                }
+            }
+        }
+        dropped
     }
 
     /// Number of live entries (including any that have expired but not
@@ -255,6 +291,41 @@ mod tests {
         assert_eq!(c.sweep(t(500)), 0);
         c.set_ignore_expiry(false);
         assert_eq!(c.lookup(UserId(1), t(500)), CacheDecision::Expired);
+    }
+
+    #[test]
+    fn sweep_skips_stale_buckets_from_extended_entries() {
+        let mut c = AclCache::new();
+        c.insert(UserId(1), t(10));
+        c.insert(UserId(1), t(100)); // extension leaves a stale bucket at 10
+        assert_eq!(c.sweep(t(50)), 0, "extended entry must survive its old bucket");
+        assert_eq!(c.peek(UserId(1)), Some(t(100)));
+        assert_eq!(c.sweep(t(100)), 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn sweep_skips_buckets_of_removed_and_recreated_entries() {
+        let mut c = AclCache::new();
+        c.insert(UserId(1), t(10));
+        c.remove(UserId(1));
+        assert_eq!(c.sweep(t(50)), 0, "removed entry leaves only a stale bucket");
+        // Re-created with a later limit: the old bucket must not kill it.
+        c.insert(UserId(2), t(20));
+        c.lookup(UserId(2), t(30)); // expired lookup removes the entry
+        c.insert(UserId(2), t(100));
+        assert_eq!(c.sweep(t(40)), 0);
+        assert_eq!(c.peek(UserId(2)), Some(t(100)));
+    }
+
+    #[test]
+    fn sweep_after_ignore_expiry_disabled_still_drops_overdue_entries() {
+        let mut c = AclCache::new();
+        c.insert(UserId(1), t(10));
+        c.set_ignore_expiry(true);
+        assert_eq!(c.sweep(t(50)), 0);
+        c.set_ignore_expiry(false);
+        assert_eq!(c.sweep(t(50)), 1, "the overdue bucket must still be indexed");
     }
 
     #[test]

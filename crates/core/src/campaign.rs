@@ -9,6 +9,9 @@
 //! the plan while the violation persists, the way property-testing
 //! shrinkers minimize failing inputs.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
 use wanacl_sim::clock::ClockSpec;
 use wanacl_sim::nemesis::{NemesisPlan, NemesisTargets};
 use wanacl_sim::net::WanNet;
@@ -132,6 +135,11 @@ pub struct CampaignReport {
     /// Recoveries answered from local stable storage instead of a full
     /// peer state transfer.
     pub recovered_from_disk: u64,
+    /// Order-sensitive FNV-1a fingerprint of every audit note the oracle
+    /// saw (see [`InvariantOracle::audit_digest`]). Two runs of the same
+    /// seed must agree on this — it is how the parallel executor proves
+    /// each worker's world stayed bit-for-bit deterministic.
+    pub audit_digest: u64,
 }
 
 impl CampaignReport {
@@ -349,7 +357,79 @@ pub fn run_with_plan(config: &CampaignConfig, plan: &NemesisPlan) -> CampaignRep
         wal_appends,
         snapshot_writes,
         recovered_from_disk,
+        audit_digest: oracle.audit_digest(),
     }
+}
+
+/// Runs one campaign per config, fanned across a `std::thread` worker
+/// pool, and returns the reports in input order.
+///
+/// Each seed builds its own fully independent [`World`] — separate RNG
+/// streams, storage, oracle — so parallel execution cannot perturb a
+/// run: every report (violations, stats, audit digest) is bit-for-bit
+/// identical to what [`run_campaign`] produces for the same config.
+///
+/// `jobs = 0` uses [`std::thread::available_parallelism`]; `jobs = 1`
+/// degenerates to the sequential runner with no threads spawned.
+///
+/// [`World`]: wanacl_sim::world::World
+pub fn run_campaigns_parallel(
+    configs: &[CampaignConfig],
+    jobs: usize,
+) -> Vec<CampaignReport> {
+    run_indexed_parallel(configs.len(), jobs, |i| run_campaign(&configs[i]))
+}
+
+/// [`run_campaigns_parallel`] for explicit `(config, plan)` pairs —
+/// the parallel counterpart of [`run_with_plan`], used by replay-style
+/// sweeps that script their own fault plans.
+pub fn run_plans_parallel(
+    work: &[(CampaignConfig, NemesisPlan)],
+    jobs: usize,
+) -> Vec<CampaignReport> {
+    run_indexed_parallel(work.len(), jobs, |i| {
+        let (config, plan) = &work[i];
+        run_with_plan(config, plan)
+    })
+}
+
+/// Work-stealing fan-out over `0..count`: workers claim indices from a
+/// shared atomic counter and write results back into their input slots,
+/// so the output order never depends on thread scheduling.
+fn run_indexed_parallel<F>(count: usize, jobs: usize, run: F) -> Vec<CampaignReport>
+where
+    F: Fn(usize) -> CampaignReport + Sync,
+{
+    let jobs = if jobs == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        jobs
+    };
+    let jobs = jobs.min(count.max(1));
+    if jobs <= 1 {
+        return (0..count).map(run).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<CampaignReport>>> =
+        Mutex::new((0..count).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let report = run(i);
+                results.lock().expect("result slots poisoned")[i] = Some(report);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("result slots poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("every claimed index writes its slot"))
+        .collect()
 }
 
 /// Greedily shrinks a violating plan: repeatedly drop any fault whose
@@ -404,6 +484,35 @@ mod tests {
         assert_eq!(a.plan, b.plan);
         assert_eq!(a.violations, b.violations);
         assert_eq!(a.oracle_stats, b.oracle_stats);
+        assert_eq!(a.audit_digest, b.audit_digest);
+    }
+
+    #[test]
+    fn parallel_executor_matches_sequential_per_seed() {
+        let configs: Vec<CampaignConfig> = (0..4).map(quick_config).collect();
+        let parallel = run_campaigns_parallel(&configs, 4);
+        assert_eq!(parallel.len(), configs.len());
+        for (config, par) in configs.iter().zip(&parallel) {
+            let seq = run_campaign(config);
+            assert_eq!(par.seed, config.seed, "reports must come back in input order");
+            assert_eq!(par.plan, seq.plan);
+            assert_eq!(par.violations, seq.violations);
+            assert_eq!(par.oracle_stats, seq.oracle_stats);
+            assert_eq!(par.user_stats, seq.user_stats);
+            assert_eq!(par.audit_digest, seq.audit_digest);
+        }
+    }
+
+    #[test]
+    fn parallel_executor_handles_degenerate_inputs() {
+        assert!(run_campaigns_parallel(&[], 0).is_empty());
+        let one = [quick_config(9)];
+        // More workers than work, and the jobs=0 auto-detect path.
+        for jobs in [0, 1, 8] {
+            let reports = run_campaigns_parallel(&one, jobs);
+            assert_eq!(reports.len(), 1);
+            assert_eq!(reports[0].seed, 9);
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use std::any::Any;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use wanacl_auth::rsa::{self, SecretKey};
 use wanacl_sim::clock::LocalTime;
@@ -68,8 +69,8 @@ pub struct UserAgentConfig {
     /// only triggered by the harness injecting an `Invoke` from the
     /// environment).
     pub workload: Option<WorkloadShape>,
-    /// Request body.
-    pub payload: String,
+    /// Request body (shared, cheap to clone per request).
+    pub payload: Arc<str>,
     /// Secret key for signing requests (`None` sends unsigned).
     pub secret: Option<SecretKey>,
     /// How long to wait for a host reply before counting a timeout.
@@ -149,7 +150,7 @@ impl UserAgent {
         self.outstanding.len()
     }
 
-    fn send_request(&mut self, ctx: &mut Context<'_, ProtoMsg>, payload: Option<String>) {
+    fn send_request(&mut self, ctx: &mut Context<'_, ProtoMsg>, payload: Option<Arc<str>>) {
         if self.config.hosts.is_empty() {
             return;
         }

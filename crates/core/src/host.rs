@@ -100,7 +100,7 @@ struct PendingInvoke {
     user: UserId,
     requester: NodeId,
     user_req: ReqId,
-    payload: String,
+    payload: Arc<str>,
     attempt: u32,
     attempt_started: LocalTime,
     query_req: ReqId,
@@ -506,7 +506,7 @@ impl HostNode {
                 user,
                 requester: ctx.id(),
                 user_req: ReqId(0),
-                payload: String::new(),
+                payload: "".into(),
                 attempt: 0,
                 attempt_started: now,
                 query_req: ReqId(u64::MAX),
@@ -540,7 +540,7 @@ impl HostNode {
             Some(state) => state.application.handle(user, payload),
             None => String::new(),
         };
-        InvokeOutcome::Allowed { response }
+        InvokeOutcome::Allowed { response: response.into() }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -551,7 +551,7 @@ impl HostNode {
         app: AppId,
         user: UserId,
         req: ReqId,
-        payload: String,
+        payload: Arc<str>,
         signature: Option<rsa::Signature>,
     ) {
         self.stats.invokes += 1;

@@ -1064,7 +1064,10 @@ impl Node for ManagerNode {
 
     fn on_start(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
         let now = ctx.local_now();
-        for peer in self.config.peers.clone() {
+        // Index loop: iterating `&self.config.peers` would hold a borrow
+        // across the `last_heard` insert.
+        for i in 0..self.config.peers.len() {
+            let peer = self.config.peers[i];
             self.last_heard.insert(peer, now);
         }
         self.arm_periodic(ctx);
@@ -1144,7 +1147,8 @@ impl Node for ManagerNode {
 
     fn on_recover(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
         let now = ctx.local_now();
-        for peer in self.config.peers.clone() {
+        for i in 0..self.config.peers.len() {
+            let peer = self.config.peers[i];
             self.last_heard.insert(peer, now);
         }
         self.arm_periodic(ctx);

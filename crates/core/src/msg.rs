@@ -1,5 +1,12 @@
 //! The protocol wire format: every message exchanged between users,
 //! hosts, managers, admins, and the name service.
+//!
+//! Request and response bodies are `Arc<str>` rather than `String`:
+//! the hot paths clone messages per recipient (quorum fan-out, network
+//! duplication, retransmission), and a shared buffer makes each of
+//! those clones a reference-count bump instead of a heap copy.
+
+use std::sync::Arc;
 
 use wanacl_auth::rsa::Signature;
 use wanacl_auth::signed::AuthEncode;
@@ -158,8 +165,8 @@ pub enum QueryVerdict {
 pub enum InvokeOutcome {
     /// Access allowed; carries the wrapped application's response.
     Allowed {
-        /// The application-level response body.
-        response: String,
+        /// The application-level response body (shared, cheap to clone).
+        response: Arc<str>,
     },
     /// A manager definitively denied the right.
     Denied,
@@ -225,8 +232,8 @@ pub enum ProtoMsg {
         user: UserId,
         /// The user's request id (echoed in the reply).
         req: ReqId,
-        /// Application-level request body.
-        payload: String,
+        /// Application-level request body (shared, cheap to clone).
+        payload: Arc<str>,
         /// RSA signature over the invoke (absent when the deployment
         /// runs without message authentication).
         signature: Option<Signature>,
@@ -450,7 +457,7 @@ mod tests {
         );
         assert_ne!(
             InvokeOutcome::Denied,
-            InvokeOutcome::Allowed { response: String::new() }
+            InvokeOutcome::Allowed { response: "".into() }
         );
     }
 

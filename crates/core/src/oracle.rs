@@ -151,6 +151,23 @@ pub struct InvariantOracle {
     durable: BTreeMap<NodeId, DurableSlots>,
     violations: Vec<OracleViolation>,
     stats: OracleStats,
+    digest: u64,
+}
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds one audit note into a running FNV-1a digest. The digest is a
+/// cheap, order-sensitive fingerprint of the full audit stream — two
+/// runs of the same seed must produce the same digest, which is how the
+/// parallel campaign executor proves bit-for-bit determinism.
+fn fnv1a_note(mut hash: u64, node: NodeId, text: &str) -> u64 {
+    for byte in node.index().to_le_bytes().into_iter().chain(text.bytes()).chain([0xff]) {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
 }
 
 impl InvariantOracle {
@@ -174,6 +191,7 @@ impl InvariantOracle {
             durable: BTreeMap::new(),
             violations: Vec::new(),
             stats: OracleStats::default(),
+            digest: FNV_OFFSET,
         };
         if let Some(freeze) = policy.freeze() {
             if freeze.ti + policy.expiry_budget() > policy.revocation_bound() {
@@ -208,6 +226,13 @@ impl InvariantOracle {
     /// Evidence counters.
     pub fn stats(&self) -> OracleStats {
         self.stats
+    }
+
+    /// Order-sensitive FNV-1a fingerprint of every audit note seen so
+    /// far. Equal digests mean the two runs emitted byte-identical
+    /// audit streams in the same order.
+    pub fn audit_digest(&self) -> u64 {
+        self.digest
     }
 
     fn fail(
@@ -490,8 +515,15 @@ impl InvariantOracle {
 impl Observer for InvariantOracle {
     fn on_event(&mut self, at: SimTime, index: u64, event: &TraceEvent) {
         if let TraceEvent::Note { node, text } = event {
+            self.digest = fnv1a_note(self.digest, *node, text);
             self.on_note(at, index, *node, text);
         }
+    }
+
+    /// The oracle reads only `Note` events; telling the world so lets
+    /// it skip `Debug`-formatting every message on oracle-only runs.
+    fn wants_message_events(&self) -> bool {
+        false
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -720,6 +752,22 @@ mod tests {
         // durable notes.
         note(&mut o, 3, 3, 1, "audit=recovered mode=disk replayed=0 torn=0 slots=");
         assert!(o.is_clean(), "{:?}", o.violations());
+    }
+
+    #[test]
+    fn audit_digest_is_order_and_content_sensitive() {
+        let mk = |notes: &[(usize, &str)]| {
+            let mut o = InvariantOracle::new(&policy(), SimDuration::ZERO);
+            for (i, (node, text)) in notes.iter().enumerate() {
+                note(&mut o, i as u64, i as u64, *node, text);
+            }
+            o.audit_digest()
+        };
+        let a = [(0, "audit=grant app=0 user=1 te=1"), (1, "audit=freeze app=0")];
+        let b = [(1, "audit=freeze app=0"), (0, "audit=grant app=0 user=1 te=1")];
+        assert_eq!(mk(&a), mk(&a), "same stream, same digest");
+        assert_ne!(mk(&a), mk(&b), "order matters");
+        assert_ne!(mk(&a[..1]), mk(&a), "content matters");
     }
 
     #[test]

@@ -311,7 +311,7 @@ impl Scenario {
                 app: self.app,
                 hosts: host_ids.clone(),
                 workload: self.workload,
-                payload: format!("request-from-{user}"),
+                payload: format!("request-from-{user}").into(),
                 secret: user_secrets[i - 1],
                 request_timeout: self.request_timeout,
                 max_requests: None,
@@ -399,7 +399,7 @@ impl Deployment {
                 app: self.app,
                 user,
                 req: ReqId(0),
-                payload: String::from("triggered"),
+                payload: "triggered".into(),
                 signature: None,
             },
         );

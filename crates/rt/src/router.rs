@@ -10,12 +10,14 @@ use wanacl_sim::node::NodeId;
 /// An inbox item: a message or a lifecycle command.
 #[derive(Debug)]
 pub enum Envelope<M> {
-    /// A routed protocol message.
+    /// A routed protocol message. The payload is `Arc`-shared so a
+    /// broadcast clones a pointer per recipient instead of the message;
+    /// receivers that hold the only reference unwrap it without copying.
     Msg {
         /// The sender.
         from: NodeId,
-        /// The payload.
-        msg: M,
+        /// The payload (shared; see [`Router::broadcast`]).
+        msg: Arc<M>,
     },
     /// Simulate a crash: the node drops volatile state and ignores
     /// traffic until [`Envelope::Recover`].
@@ -137,7 +139,7 @@ impl<M> std::fmt::Debug for Router<M> {
     }
 }
 
-impl<M: Send + 'static> Router<M> {
+impl<M: Send + Sync + 'static> Router<M> {
     /// Creates an empty router delivering everything.
     pub fn new() -> Arc<Self> {
         Arc::new(Router {
@@ -162,6 +164,11 @@ impl<M: Send + 'static> Router<M> {
     /// Routes one message; silently drops on policy denial or a closed
     /// inbox (matching the unreliable-network model).
     pub fn send(&self, from: NodeId, to: NodeId, msg: M) {
+        self.send_shared(from, to, Arc::new(msg));
+    }
+
+    /// Routes one already-shared message (see [`Router::broadcast`]).
+    pub fn send_shared(&self, from: NodeId, to: NodeId, msg: Arc<M>) {
         self.sent.fetch_add(1, Ordering::Relaxed);
         if !self.policy.read().allow(from, to, &msg) {
             self.dropped.fetch_add(1, Ordering::Relaxed);
@@ -170,6 +177,17 @@ impl<M: Send + 'static> Router<M> {
         let inboxes = self.inboxes.read();
         if let Some(sender) = inboxes.get(to.index()) {
             let _ = sender.send(Envelope::Msg { from, msg });
+        }
+    }
+
+    /// Fans one message out to every target, allocating the payload
+    /// once and sharing it by `Arc` — the zero-copy path for
+    /// retransmit-to-all-peers traffic. Per-link policy still applies
+    /// to each target independently.
+    pub fn broadcast(&self, from: NodeId, targets: &[NodeId], msg: M) {
+        let msg = Arc::new(msg);
+        for &to in targets {
+            self.send_shared(from, to, Arc::clone(&msg));
         }
     }
 
@@ -191,9 +209,42 @@ mod tests {
         let id = router.register(tx);
         router.send(NodeId::ENV, id, 42);
         match rx.try_recv().expect("delivered") {
-            Envelope::Msg { msg, .. } => assert_eq!(msg, 42),
+            Envelope::Msg { msg, .. } => assert_eq!(*msg, 42),
             other => panic!("unexpected envelope: {other:?}"),
         }
+    }
+
+    #[test]
+    fn broadcast_shares_one_allocation_across_targets() {
+        let router: Arc<Router<u32>> = Router::new();
+        let (tx_a, rx_a) = unbounded();
+        let (tx_b, rx_b) = unbounded();
+        let a = router.register(tx_a);
+        let b = router.register(tx_b);
+        router.broadcast(NodeId::ENV, &[a, b], 7);
+        let Envelope::Msg { msg: msg_a, .. } = rx_a.try_recv().expect("a delivered") else {
+            panic!("expected Msg");
+        };
+        let Envelope::Msg { msg: msg_b, .. } = rx_b.try_recv().expect("b delivered") else {
+            panic!("expected Msg");
+        };
+        assert_eq!((*msg_a, *msg_b), (7, 7));
+        assert!(Arc::ptr_eq(&msg_a, &msg_b), "both recipients share the same buffer");
+    }
+
+    #[test]
+    fn broadcast_applies_policy_per_target() {
+        let router: Arc<Router<u32>> = Router::new();
+        let (tx_a, _rx_a) = unbounded();
+        let (tx_b, rx_b) = unbounded();
+        let a = router.register(tx_a);
+        let b = router.register(tx_b);
+        let switch = PartitionSwitch::new(vec![NodeId::ENV], vec![a]);
+        router.set_policy(switch.clone());
+        switch.set(true);
+        router.broadcast(NodeId::ENV, &[a, b], 9);
+        assert_eq!(router.stats(), (2, 1));
+        assert!(rx_b.try_recv().is_ok());
     }
 
     #[test]

@@ -48,7 +48,7 @@ impl<M> std::fmt::Debug for RuntimeBuilder<M> {
     }
 }
 
-impl<M: Send + Clone + std::fmt::Debug + 'static> RuntimeBuilder<M> {
+impl<M: Send + Sync + Clone + std::fmt::Debug + 'static> RuntimeBuilder<M> {
     /// Starts a builder; `seed` feeds each node's RNG stream.
     pub fn new(seed: u64) -> Self {
         RuntimeBuilder { nodes: Vec::new(), seed }
@@ -91,7 +91,7 @@ impl<M: Send + Clone + std::fmt::Debug + 'static> RuntimeBuilder<M> {
     }
 }
 
-fn run_node_thread<M: Send + Clone + std::fmt::Debug + 'static>(
+fn run_node_thread<M: Send + Sync + Clone + std::fmt::Debug + 'static>(
     node: &mut dyn RtNode<M>,
     id: NodeId,
     rx: crossbeam::channel::Receiver<Envelope<M>>,
@@ -145,6 +145,9 @@ fn run_node_thread<M: Send + Clone + std::fmt::Debug + 'static>(
                 if !up {
                     continue; // a crashed node hears nothing
                 }
+                // Point-to-point sends hold the only reference, so this
+                // unwraps without copying; broadcast recipients clone.
+                let msg = Arc::try_unwrap(msg).unwrap_or_else(|shared| (*shared).clone());
                 let mut effects = Vec::new();
                 {
                     let mut ctx =
@@ -185,7 +188,7 @@ fn run_node_thread<M: Send + Clone + std::fmt::Debug + 'static>(
     }
 }
 
-fn apply_effects<M: Send + Clone + std::fmt::Debug + 'static>(
+fn apply_effects<M: Send + Sync + Clone + std::fmt::Debug + 'static>(
     id: NodeId,
     effects: Vec<Effect<M>>,
     router: &Router<M>,
@@ -223,7 +226,7 @@ impl<M> std::fmt::Debug for Runtime<M> {
     }
 }
 
-impl<M: Send + Clone + std::fmt::Debug + 'static> Runtime<M> {
+impl<M: Send + Sync + Clone + std::fmt::Debug + 'static> Runtime<M> {
     /// The router (for installing link policies and reading traffic
     /// stats).
     pub fn router(&self) -> &Arc<Router<M>> {

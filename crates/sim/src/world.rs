@@ -86,6 +86,18 @@ impl<M> std::fmt::Debug for Slot<M> {
 pub trait Observer {
     /// Called once per event, in simulation order.
     fn on_event(&mut self, at: SimTime, index: u64, event: &TraceEvent);
+    /// Whether this observer consumes per-message `Sent`/`Delivered`
+    /// events. Building those `Debug`-formats every message — the
+    /// dominant allocation on the hot path of a large run — so
+    /// observers that only read notes, timers, and lifecycle events
+    /// should override this to return `false`. When the trace buffer is
+    /// disabled and no attached observer wants message events, the
+    /// world skips building them entirely (which also shifts event
+    /// indices relative to a run where they are built; indices are
+    /// stable across identically-configured replays either way).
+    fn wants_message_events(&self) -> bool {
+        true
+    }
     /// Downcasting support (mirrors [`Node::as_any`]).
     fn as_any(&self) -> &dyn std::any::Any;
     /// Mutable downcasting support.
@@ -136,6 +148,7 @@ pub struct World<M> {
     metrics: Metrics,
     trace: Trace,
     observers: Vec<Box<dyn Observer>>,
+    observers_want_messages: bool,
     event_index: u64,
     started: bool,
 }
@@ -168,6 +181,7 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
             metrics: Metrics::new(),
             trace: Trace::new(),
             observers: Vec::new(),
+            observers_want_messages: false,
             event_index: 0,
             started: false,
         }
@@ -189,6 +203,7 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
     /// Observers see every subsequent event whether or not tracing is
     /// enabled. Register them before the first step for a complete view.
     pub fn add_observer(&mut self, observer: Box<dyn Observer>) -> ObserverId {
+        self.observers_want_messages |= observer.wants_message_events();
         self.observers.push(observer);
         ObserverId(self.observers.len() - 1)
     }
@@ -222,7 +237,7 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
     /// Whether per-message events (Sent/Delivered) need to be built at
     /// all: only when something will consume them.
     fn wants_message_events(&self) -> bool {
-        self.trace.is_enabled() || !self.observers.is_empty()
+        self.trace.is_enabled() || self.observers_want_messages
     }
 
     /// Records an event: observers first, then the trace buffer.
@@ -965,6 +980,62 @@ mod tests {
         assert_eq!(counter.delivered, 1);
         assert_eq!(counter.notes, vec!["saw a message".to_string()]);
         assert_eq!(counter.crashes, 1);
+    }
+
+    #[test]
+    fn opt_out_observer_suppresses_message_event_construction() {
+        #[derive(Default)]
+        struct NotesOnly {
+            notes: u32,
+            message_events: u32,
+        }
+        impl Observer for NotesOnly {
+            fn on_event(&mut self, _at: SimTime, _index: u64, event: &TraceEvent) {
+                match event {
+                    TraceEvent::Note { .. } => self.notes += 1,
+                    TraceEvent::Sent { .. } | TraceEvent::Delivered { .. } => {
+                        self.message_events += 1
+                    }
+                    _ => {}
+                }
+            }
+            fn wants_message_events(&self) -> bool {
+                false
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+
+        #[derive(Debug)]
+        struct Noter;
+        impl Node for Noter {
+            type Msg = Msg;
+            fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _f: NodeId, _m: Msg) {
+                ctx.trace("noted".to_string());
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+
+        let mut world: World<Msg> = World::new(22);
+        let node = world.add_node("noter", Box::new(Noter), ClockSpec::Perfect);
+        let obs = world.add_observer(Box::new(NotesOnly::default()));
+        world.inject(SimTime::from_millis(5), node, Msg::Ping);
+        world.run_until(SimTime::from_secs(1));
+        // With only an opted-out observer and the trace disabled, the
+        // world never builds Sent/Delivered events at all.
+        let counter = world.observer_as::<NotesOnly>(obs);
+        assert_eq!(counter.notes, 1);
+        assert_eq!(counter.message_events, 0);
+        assert_eq!(world.metrics().counter("net.delivered"), 1, "delivery itself still happens");
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::collections::HashMap;
 
 use wanacl::core::audit::AuditLog;
 use wanacl::core::campaign::{
-    run_campaign, shrink_plan, CampaignConfig, InjectedBug,
+    run_campaigns_parallel, shrink_plan, CampaignConfig, InjectedBug,
 };
 use wanacl::prelude::*;
 
@@ -43,6 +43,9 @@ fn main() {
                  \x20 nemesis   run fault-injection campaigns with the invariant oracle\n\
                  \x20           flags: --seed S --campaigns N --horizon-secs T\n\
                  \x20                  --managers N --hosts N --users N --intensity X\n\
+                 \x20                  --jobs N             worker threads for the campaign\n\
+                 \x20                                       sweep (0 = one per core; results\n\
+                 \x20                                       are identical at any job count)\n\
                  \x20                  --name-service true\n\
                  \x20                  --disk-faults true   add disk faults (torn tails,\n\
                  \x20                                       failed fsyncs) and correlated\n\
@@ -155,11 +158,15 @@ fn tables(_flags: &HashMap<String, String>) {
 
 /// Runs `--campaigns` nemesis campaigns starting at `--seed`, each a
 /// fresh deployment under a seed-derived adversarial schedule with the
-/// invariant oracle attached. On the first violation, prints the
+/// invariant oracle attached. Campaigns fan out across `--jobs` worker
+/// threads (0 = one per core); each seed's result is bit-identical to a
+/// sequential run, and reports print in seed order regardless of which
+/// worker finished first. On the lowest-seed violation, prints the
 /// replayable counterexample, greedily shrinks the plan, and exits 1.
 fn nemesis(flags: &HashMap<String, String>) {
     let seed: u64 = get(flags, "seed", 1);
     let campaigns: u64 = get(flags, "campaigns", 1);
+    let jobs: usize = get(flags, "jobs", 0);
     let horizon_secs: u64 = get(flags, "horizon-secs", 10);
     let managers: usize = get(flags, "managers", 3);
     let hosts: usize = get(flags, "hosts", 2);
@@ -187,8 +194,8 @@ fn nemesis(flags: &HashMap<String, String>) {
             None => "",
         }
     );
-    for s in seed..seed + campaigns {
-        let config = CampaignConfig {
+    let configs: Vec<CampaignConfig> = (seed..seed + campaigns)
+        .map(|s| CampaignConfig {
             seed: s,
             managers,
             hosts,
@@ -199,8 +206,11 @@ fn nemesis(flags: &HashMap<String, String>) {
             disk_faults,
             inject_bug,
             ..CampaignConfig::default()
-        };
-        let report = run_campaign(&config);
+        })
+        .collect();
+    let reports = run_campaigns_parallel(&configs, jobs);
+    for (config, report) in configs.iter().zip(&reports) {
+        let s = config.seed;
         if report.is_clean() {
             println!(
                 "  seed {s}: clean ({} faults, {} allows checked, {} revokes, \
@@ -215,7 +225,7 @@ fn nemesis(flags: &HashMap<String, String>) {
         }
         println!("\n{}", report.render());
         println!("shrinking the failing plan...");
-        let (small, small_report) = shrink_plan(&config, &report.plan);
+        let (small, small_report) = shrink_plan(config, &report.plan);
         println!(
             "shrunk from {} to {} fault(s); minimal counterexample:\n",
             report.plan.len(),

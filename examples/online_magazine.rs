@@ -58,7 +58,7 @@ fn main() {
                 app: d.app,
                 user: UserId(1),
                 req: ReqId(0),
-                payload: format!("front-page@{t}s"),
+                payload: format!("front-page@{t}s").into(),
                 signature: None,
             },
         );

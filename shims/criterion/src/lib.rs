@@ -167,6 +167,35 @@ fn run_one<F: FnMut(&mut Bencher)>(bench_mode: bool, label: &str, mut f: F) {
     if bench_mode && bencher.iters > 0 {
         let mean_ns = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
         println!("{label:<50} {:>12.1} ns/iter ({} iters)", mean_ns, bencher.iters);
+        append_json_record(label, mean_ns, bencher.iters);
+    }
+}
+
+/// Appends one machine-readable result line to the file named by the
+/// `BENCH_JSON` env var (default `BENCH_sim.json`, relative to the bench
+/// target's working directory). One JSON object per line so regression
+/// guards can diff runs without a JSON dependency; write failures are
+/// ignored (benchmarks must never fail because a results file is
+/// unwritable).
+fn append_json_record(label: &str, mean_ns: f64, iters: u64) {
+    let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_sim.json".to_owned());
+    if path.is_empty() {
+        return;
+    }
+    let escaped: String = label
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => " ".chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    let line = format!("{{\"label\":\"{escaped}\",\"mean_ns\":{mean_ns:.1},\"iters\":{iters}}}\n");
+    if let Ok(mut file) =
+        std::fs::OpenOptions::new().create(true).append(true).open(&path)
+    {
+        use std::io::Write;
+        let _ = file.write_all(line.as_bytes());
     }
 }
 
@@ -209,11 +238,21 @@ mod tests {
     }
 
     #[test]
-    fn bench_mode_runs_closure_many_times() {
+    fn bench_mode_runs_closure_many_times_and_emits_json() {
+        let path = std::env::temp_dir().join(format!("bench_json_{}.jsonl", std::process::id()));
+        // Also keeps this test's bench-mode run from appending to the
+        // default BENCH_sim.json in the package directory.
+        std::env::set_var("BENCH_JSON", &path);
         let mut c = Criterion { bench_mode: true };
         let mut count = 0u64;
         c.bench_function("many", |b| b.iter(|| count += 1));
         assert!(count > 1, "count {count}");
+        let contents = std::fs::read_to_string(&path).expect("JSON results file written");
+        let _ = std::fs::remove_file(&path);
+        let line = contents.lines().last().expect("at least one record");
+        assert!(line.starts_with("{\"label\":\"many\",\"mean_ns\":"), "line: {line}");
+        assert!(line.ends_with('}'), "line: {line}");
+        assert!(line.contains("\"iters\":"), "line: {line}");
     }
 
     #[test]

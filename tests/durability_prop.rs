@@ -13,7 +13,8 @@
 use proptest::prelude::*;
 
 use wanacl::core::campaign::{
-    campaign_targets, run_campaign, run_with_plan, CampaignConfig, InjectedBug,
+    campaign_targets, run_campaign, run_campaigns_parallel, run_plans_parallel, run_with_plan,
+    CampaignConfig, InjectedBug,
 };
 use wanacl::prelude::*;
 use wanacl::sim::nemesis::NemesisPlan;
@@ -66,11 +67,12 @@ proptest! {
 /// CI failures bisect cleanly.
 #[test]
 fn hundred_seed_disk_fault_sweep_is_clean() {
+    let configs: Vec<CampaignConfig> = (0..100u64).map(|seed| disk_config(seed, 1.5)).collect();
+    let reports = run_campaigns_parallel(&configs, 0);
     let mut durable_evidence = 0u64;
     let mut recoveries = 0u64;
-    for seed in 0..100u64 {
-        let report = run_campaign(&disk_config(seed, 1.5));
-        assert!(report.is_clean(), "seed {seed}:\n{}", report.render());
+    for report in &reports {
+        assert!(report.is_clean(), "seed {}:\n{}", report.seed, report.render());
         durable_evidence += report.wal_appends;
         recoveries += report.recovered_from_disk;
     }
@@ -85,10 +87,16 @@ fn hundred_seed_disk_fault_sweep_is_clean() {
 /// green; every manager recovers from its own disk, not a peer).
 #[test]
 fn full_cluster_restart_preserves_stable_state_across_100_seeds() {
-    for seed in 0..100u64 {
-        let config = disk_config(seed, 0.0);
-        let plan = full_restart_plan(&config);
-        let report = run_with_plan(&config, &plan);
+    let work: Vec<(CampaignConfig, NemesisPlan)> = (0..100u64)
+        .map(|seed| {
+            let config = disk_config(seed, 0.0);
+            let plan = full_restart_plan(&config);
+            (config, plan)
+        })
+        .collect();
+    let reports = run_plans_parallel(&work, 0);
+    for ((config, _), report) in work.iter().zip(&reports) {
+        let seed = config.seed;
         assert!(report.is_clean(), "seed {seed}:\n{}", report.render());
         assert_eq!(
             report.recovered_from_disk, config.managers as u64,
@@ -127,4 +135,35 @@ fn planted_drop_wal_bug_is_caught_with_replayable_counterexample() {
     // Replay: the (seed, plan, event index) coordinate is deterministic.
     let replay = run_with_plan(&config, &plan);
     assert_eq!(replay.violations, report.violations, "counterexample must replay exactly");
+}
+
+/// The drop-WAL detector also fires on the parallel executor, with the
+/// exact violations the sequential path reports for every seed.
+#[test]
+fn planted_drop_wal_bug_is_caught_under_parallel_executor() {
+    let work: Vec<(CampaignConfig, NemesisPlan)> = (0..20u64)
+        .map(|seed| {
+            let config = CampaignConfig {
+                inject_bug: Some(InjectedBug::DropWal { manager_index: 0 }),
+                ..disk_config(seed, 0.0)
+            };
+            let plan = full_restart_plan(&config);
+            (config, plan)
+        })
+        .collect();
+    let reports = run_plans_parallel(&work, 0);
+    let dirty: Vec<&_> = reports.iter().filter(|r| !r.is_clean()).collect();
+    assert!(!dirty.is_empty(), "no seed in 0..20 tripped the drop-WAL bug in parallel");
+    assert!(
+        dirty.iter().any(|r| r.violations.iter().any(|v| v.kind == InvariantKind::Durability)),
+        "drop-WAL must surface as a durability violation"
+    );
+    for ((config, plan), report) in work.iter().zip(&reports) {
+        let sequential = run_with_plan(config, plan);
+        assert_eq!(
+            report.violations, sequential.violations,
+            "seed {}: parallel and sequential verdicts must match",
+            config.seed
+        );
+    }
 }
