@@ -39,6 +39,7 @@ fn main() -> ExitCode {
     let current = load(&paths[1]);
 
     let mut regressions = Vec::new();
+    let mut incomparable = Vec::new();
     let mut compared = 0usize;
     println!("{:<55} {:>12} {:>12} {:>8}", "benchmark", "baseline ns", "current ns", "delta");
     for (label, base_ns) in &baseline {
@@ -46,8 +47,15 @@ fn main() -> ExitCode {
             println!("{label:<55} {base_ns:>12.1} {:>12} {:>8}", "absent", "-");
             continue;
         };
+        let Some(delta) = relative_delta(*base_ns, *cur_ns) else {
+            // A zero/negative/non-finite mean is corrupt data, not a
+            // passing benchmark: `NaN > threshold` is false, so before
+            // this guard a broken baseline sailed through silently.
+            println!("{label:<55} {base_ns:>12.1} {cur_ns:>12.1} {:>8}", "n/a");
+            incomparable.push(label.clone());
+            continue;
+        };
         compared += 1;
-        let delta = cur_ns / base_ns - 1.0;
         println!("{label:<55} {base_ns:>12.1} {cur_ns:>12.1} {:>+7.1}%", delta * 100.0);
         if delta > threshold {
             regressions.push((label.clone(), delta));
@@ -55,6 +63,15 @@ fn main() -> ExitCode {
     }
     for label in current.keys().filter(|l| !baseline.contains_key(*l)) {
         println!("{label:<55} {:>12} {:>12.1} {:>8}", "absent", current[label], "new");
+    }
+    if !incomparable.is_empty() {
+        for label in &incomparable {
+            eprintln!(
+                "bench_guard: INCOMPARABLE {label}: non-positive or non-finite mean — \
+                 regenerate the baseline"
+            );
+        }
+        return ExitCode::from(2);
     }
     if compared == 0 {
         eprintln!("bench_guard: no overlapping labels between the two files");
@@ -75,6 +92,18 @@ fn main() -> ExitCode {
         );
     }
     ExitCode::FAILURE
+}
+
+/// Relative regression of `cur_ns` against `base_ns`, or `None` when
+/// the pair is incomparable: a non-positive baseline (a zero mean from
+/// a corrupt file would otherwise yield an Inf/NaN ratio that every
+/// `>` comparison silently answers `false` to) or a non-finite result.
+fn relative_delta(base_ns: f64, cur_ns: f64) -> Option<f64> {
+    if base_ns <= 0.0 || !base_ns.is_finite() || !cur_ns.is_finite() {
+        return None;
+    }
+    let delta = cur_ns / base_ns - 1.0;
+    delta.is_finite().then_some(delta)
 }
 
 fn usage(msg: &str) -> ! {
@@ -124,7 +153,35 @@ fn parse_line(line: &str) -> Option<(String, f64)> {
 
 #[cfg(test)]
 mod tests {
-    use super::parse_line;
+    use super::{parse_line, relative_delta};
+
+    #[test]
+    fn delta_of_healthy_pair() {
+        let d = relative_delta(100.0, 125.0).expect("comparable");
+        assert!((d - 0.25).abs() < 1e-12);
+        let d = relative_delta(100.0, 80.0).expect("comparable");
+        assert!((d + 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_or_negative_baseline_is_incomparable() {
+        // Regression: 125.0 / 0.0 - 1.0 = Inf used to flow into
+        // `delta > threshold` (true → at least it failed) but
+        // 0.0 / 0.0 - 1.0 = NaN compared false and PASSED silently.
+        assert_eq!(relative_delta(0.0, 125.0), None);
+        assert_eq!(relative_delta(0.0, 0.0), None);
+        assert_eq!(relative_delta(-5.0, 125.0), None);
+    }
+
+    #[test]
+    fn non_finite_inputs_are_incomparable() {
+        assert_eq!(relative_delta(f64::NAN, 1.0), None);
+        assert_eq!(relative_delta(1.0, f64::NAN), None);
+        assert_eq!(relative_delta(f64::INFINITY, 1.0), None);
+        assert_eq!(relative_delta(1.0, f64::INFINITY), None);
+        // A finite-but-huge ratio that overflows to Inf is also out.
+        assert_eq!(relative_delta(f64::MIN_POSITIVE, f64::MAX), None);
+    }
 
     #[test]
     fn parses_emitter_lines() {

@@ -13,6 +13,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use wanacl_sim::clock::ClockSpec;
+use wanacl_sim::metrics::Metrics;
 use wanacl_sim::nemesis::{NemesisPlan, NemesisTargets};
 use wanacl_sim::net::WanNet;
 use wanacl_sim::node::NodeId;
@@ -140,6 +141,12 @@ pub struct CampaignReport {
     /// seed must agree on this — it is how the parallel executor proves
     /// each worker's world stayed bit-for-bit deterministic.
     pub audit_digest: u64,
+    /// The world's full metric bag at the end of the run (every
+    /// `ctx.metric_incr`/`metric_observe` the nodes emitted, plus the
+    /// world's own `net.*`/`node.*` accounting). Deterministic per seed,
+    /// so rollups merged in seed order are bit-identical regardless of
+    /// `--jobs`.
+    pub metrics: Metrics,
 }
 
 impl CampaignReport {
@@ -347,6 +354,7 @@ pub fn run_with_plan(config: &CampaignConfig, plan: &NemesisPlan) -> CampaignRep
         snapshot_writes += stats.snapshot_writes;
         recovered_from_disk += stats.recovered_from_disk;
     }
+    let metrics = deployment.world.metrics().clone();
     let oracle = deployment.world.observer_as::<InvariantOracle>(oracle_id);
     CampaignReport {
         seed: config.seed,
@@ -358,7 +366,20 @@ pub fn run_with_plan(config: &CampaignConfig, plan: &NemesisPlan) -> CampaignRep
         snapshot_writes,
         recovered_from_disk,
         audit_digest: oracle.audit_digest(),
+        metrics,
     }
+}
+
+/// Folds the per-seed metric bags of a sweep into one rollup, merging
+/// in input (seed) order. Because each report's metrics are a pure
+/// function of its seed, the rollup is bit-identical however the
+/// reports were computed — sequentially or under any `--jobs` value.
+pub fn rollup_metrics(reports: &[CampaignReport]) -> Metrics {
+    let mut rollup = Metrics::new();
+    for report in reports {
+        rollup.merge(&report.metrics);
+    }
+    rollup
 }
 
 /// Runs one campaign per config, fanned across a `std::thread` worker
@@ -485,6 +506,7 @@ mod tests {
         assert_eq!(a.violations, b.violations);
         assert_eq!(a.oracle_stats, b.oracle_stats);
         assert_eq!(a.audit_digest, b.audit_digest);
+        assert_eq!(a.metrics, b.metrics);
     }
 
     #[test]
@@ -500,7 +522,32 @@ mod tests {
             assert_eq!(par.oracle_stats, seq.oracle_stats);
             assert_eq!(par.user_stats, seq.user_stats);
             assert_eq!(par.audit_digest, seq.audit_digest);
+            assert_eq!(par.metrics, seq.metrics);
         }
+    }
+
+    #[test]
+    fn metric_rollups_are_bit_identical_across_jobs() {
+        let configs: Vec<CampaignConfig> = (0..4).map(quick_config).collect();
+        let seq = run_campaigns_parallel(&configs, 1);
+        let par = run_campaigns_parallel(&configs, 8);
+        let seq_rollup = rollup_metrics(&seq);
+        let par_rollup = rollup_metrics(&par);
+        assert_eq!(seq_rollup, par_rollup);
+        // The exported artifacts must match byte for byte — this is what
+        // the CI obs-smoke job diffs between --jobs 1 and --jobs 2.
+        assert_eq!(
+            wanacl_sim::obs::metrics_jsonl(&seq_rollup, "rollup"),
+            wanacl_sim::obs::metrics_jsonl(&par_rollup, "rollup"),
+        );
+        assert_eq!(
+            wanacl_sim::obs::prometheus_text(&seq_rollup),
+            wanacl_sim::obs::prometheus_text(&par_rollup),
+        );
+        // And the rollup actually contains protocol evidence, not just
+        // an empty bag comparing equal to another empty bag.
+        assert!(seq_rollup.counter("host.invokes") > 0);
+        assert!(seq_rollup.histogram("host.check_latency_s").is_some());
     }
 
     #[test]

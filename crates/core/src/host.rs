@@ -237,6 +237,13 @@ impl HostNode {
             .set_ignore_expiry(true);
     }
 
+    /// Access to a wrapped application for inspection, or `None` when
+    /// the app is not served here or is not a `T`. The non-panicking
+    /// form of [`HostNode::application_as`].
+    pub fn try_application_as<T: 'static>(&self, app: AppId) -> Option<&T> {
+        self.apps.get(&app)?.application.as_any().downcast_ref::<T>()
+    }
+
     /// Access to a wrapped application for inspection (e.g.
     /// [`crate::wrapper::CountingApp::handled`]).
     ///
@@ -244,11 +251,8 @@ impl HostNode {
     ///
     /// Panics if the app is not served here or is not a `T`.
     pub fn application_as<T: 'static>(&self, app: AppId) -> &T {
-        let state = self.apps.get(&app).unwrap_or_else(|| panic!("{app} not served by this host"));
-        state
-            .application
-            .as_any()
-            .downcast_ref::<T>()
+        assert!(self.apps.contains_key(&app), "{app} not served by this host");
+        self.try_application_as(app)
             .unwrap_or_else(|| panic!("{app} is not a {}", std::any::type_name::<T>()))
     }
 
@@ -264,6 +268,7 @@ impl HostNode {
             let sweep = state.policy.cache_sweep_interval();
             ctx.set_timer(sweep, TAG_SWEEP | u64::from(app.0));
             if let ManagerDirectory::NameService { ns } = state.directory {
+                ctx.metric_incr("host.ns_refresh_rounds");
                 ctx.send(ns, ProtoMsg::NsQuery { app });
                 state.ns_round = 0;
                 let retry = state.policy.ns_retry_backoff().delay(state.ns_round, ctx.rng());
@@ -311,12 +316,32 @@ impl HostNode {
             }
         };
         let msg = ProtoMsg::Query { app: p.app, user: p.user, req: query_req };
+        if p.attempt > 1 {
+            ctx.metric_incr("host.attempt_retry");
+        }
+        let timeout = state.policy.query_timeout();
+        let exhaustion = state.policy.exhaustion();
+        if targets.is_empty() {
+            // An empty manager view — e.g. the name service is down and
+            // its TTL lapsed, or an NS reply carried no managers — can
+            // never produce a quorum, and retrying in the same event
+            // cannot change the view. Waiting out R query timeouts would
+            // only delay the inevitable, so resolve now per the Figure 4
+            // exhaustion policy.
+            ctx.metric_incr("host.empty_manager_view");
+            match exhaustion {
+                ExhaustionBehavior::FailOpen => self.finish(ctx, pending_id, FinishKind::FailOpen),
+                ExhaustionBehavior::FailClosed => {
+                    self.finish(ctx, pending_id, FinishKind::Unavailable)
+                }
+            }
+            return;
+        }
         self.stats.queries_sent += targets.len() as u64;
         for t in &targets {
             ctx.metric_incr("host.queries_sent");
             ctx.send(*t, msg.clone());
         }
-        let timeout = state.policy.query_timeout();
         let p = self.pending.get_mut(&pending_id).expect("still pending");
         p.targets = targets;
         p.timer = Some(ctx.set_timer(timeout, TAG_QUERY | pending_id));
@@ -340,6 +365,15 @@ impl HostNode {
         }
         let elapsed = ctx.local_now().since(p.first_started);
         ctx.metric_observe("host.check_latency_s", elapsed.as_secs_f64());
+        // The same latency, split by how the check resolved, so the
+        // manager round-trip path and the exhaustion paths can be
+        // compared directly (the paper's §5 overhead breakdown).
+        let split = match outcome_kind {
+            FinishKind::Grant | FinishKind::Deny => "host.latency.quorum_s",
+            FinishKind::FailOpen => "host.latency.failopen_s",
+            FinishKind::Unavailable => "host.latency.unavailable_s",
+        };
+        ctx.metric_observe(split, elapsed.as_secs_f64());
         let outcome = match outcome_kind {
             FinishKind::Grant => {
                 // Cache: limit anchored at attempt start (δ adjustment).
@@ -588,6 +622,11 @@ impl HostNode {
             CacheDecision::Fresh(limit) => {
                 self.stats.cache_hits += 1;
                 ctx.metric_incr("host.cache_hit");
+                // A cache hit resolves inside this event: no manager
+                // round trip, so its check latency is zero by
+                // construction. Recording it keeps the latency split
+                // histograms directly comparable.
+                ctx.metric_observe("host.latency.cache_s", 0.0);
                 let detail = format!(
                     "mode=cache now={} limit={}",
                     ctx.local_now().as_nanos(),
@@ -813,6 +852,7 @@ impl Node for HostNode {
                 let app = AppId(payload as u32);
                 if let Some(state) = self.apps.get_mut(&app) {
                     if let ManagerDirectory::NameService { ns } = state.directory {
+                        ctx.metric_incr("host.ns_refresh_rounds");
                         ctx.send(ns, ProtoMsg::NsQuery { app });
                         // Each fruitless round widens the re-query gap
                         // (capped), so a dead name service is probed
@@ -1188,6 +1228,189 @@ mod tests {
         )));
         assert_eq!(host.stats().unavailable, 1);
         assert_eq!(host.stats().denied, 0);
+    }
+
+    fn metric_incrs(effects: &[Effect<ProtoMsg>]) -> Vec<&str> {
+        effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::MetricIncr { name } => Some(*name),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn host_with_directory(directory: ManagerDirectory, policy: Policy) -> HostNode {
+        HostNode::new(
+            vec![AppHost {
+                app: AppId(0),
+                policy,
+                directory,
+                application: Box::new(CountingApp::new()),
+            }],
+            None,
+        )
+    }
+
+    fn base_policy() -> crate::policy::PolicyBuilder {
+        Policy::builder(1)
+            .revocation_bound(SimDuration::from_secs(10))
+            .query_timeout(SimDuration::from_millis(100))
+            .max_attempts(3)
+    }
+
+    #[test]
+    fn empty_manager_view_fails_closed_immediately() {
+        // Regression: with a name-service directory and no NsReply yet,
+        // the manager view is empty. The invoke used to sit through
+        // R query timeouts with nobody to query (and the Sequential
+        // fan-out arm risked a mod-by-zero on the empty view); it must
+        // resolve immediately per the exhaustion policy instead.
+        let ns = NodeId::from_index(5);
+        let mut host = host_with_directory(
+            ManagerDirectory::NameService { ns },
+            base_policy().fanout(QueryFanout::Sequential).build(),
+        );
+        let mut h = Harness::new(9);
+        let effects = h.deliver(&mut host, 7, invoke(1));
+        assert!(sends(&effects).iter().any(|(to, m)| {
+            *to == NodeId::from_index(7)
+                && matches!(m, ProtoMsg::InvokeReply { outcome: InvokeOutcome::Unavailable, .. })
+        }), "empty view must answer Unavailable in the same event");
+        assert!(metric_incrs(&effects).contains(&"host.empty_manager_view"));
+        assert!(
+            !effects.iter().any(|e| matches!(e, Effect::SetTimer { .. })),
+            "no query timer may be armed for an unqueryable attempt"
+        );
+        assert_eq!(host.stats().unavailable, 1);
+        assert_eq!(host.stats().queries_sent, 0);
+    }
+
+    #[test]
+    fn empty_manager_view_honours_fail_open_policy() {
+        let ns = NodeId::from_index(5);
+        let mut host = host_with_directory(
+            ManagerDirectory::NameService { ns },
+            base_policy().exhaustion(ExhaustionBehavior::FailOpen).build(),
+        );
+        let mut h = Harness::new(9);
+        let effects = h.deliver(&mut host, 7, invoke(1));
+        assert!(sends(&effects).iter().any(|(_, m)| matches!(
+            m,
+            ProtoMsg::InvokeReply { outcome: InvokeOutcome::Allowed { .. }, .. }
+        )));
+        assert_eq!(host.stats().fail_open_allows, 1);
+        // Fail-open caches nothing: the next invoke re-checks.
+        assert_eq!(host.cached_entries(AppId(0)), 0);
+    }
+
+    #[test]
+    fn ns_outage_emptying_the_view_fails_attempts_not_the_host() {
+        // Drive the outage through the protocol: a trusted NsReply
+        // carrying an empty manager set (the NS lost its registrations)
+        // replaces the view, then an invoke arrives.
+        let ns = 5usize;
+        let mut host = host_with_directory(
+            ManagerDirectory::NameService { ns: NodeId::from_index(ns) },
+            base_policy().build(),
+        );
+        let mut h = Harness::new(9);
+        h.deliver(
+            &mut host,
+            ns,
+            ProtoMsg::NsReply {
+                app: AppId(0),
+                managers: vec![NodeId::from_index(0)],
+                ttl: SimDuration::from_secs(60),
+            },
+        );
+        assert_eq!(host.manager_view(AppId(0)).len(), 1);
+        h.deliver(
+            &mut host,
+            ns,
+            ProtoMsg::NsReply { app: AppId(0), managers: Vec::new(), ttl: SimDuration::from_secs(60) },
+        );
+        assert!(host.manager_view(AppId(0)).is_empty());
+        let effects = h.deliver(&mut host, 7, invoke(1));
+        assert!(sends(&effects).iter().any(|(_, m)| matches!(
+            m,
+            ProtoMsg::InvokeReply { outcome: InvokeOutcome::Unavailable, .. }
+        )));
+        // The host survives to serve a later invoke once the view heals.
+        h.deliver(
+            &mut host,
+            ns,
+            ProtoMsg::NsReply {
+                app: AppId(0),
+                managers: vec![NodeId::from_index(0)],
+                ttl: SimDuration::from_secs(60),
+            },
+        );
+        let effects = h.deliver(&mut host, 7, invoke(1));
+        assert!(sends(&effects)
+            .iter()
+            .any(|(_, m)| matches!(m, ProtoMsg::Query { .. })));
+    }
+
+    #[test]
+    fn unknown_app_invoke_is_denied_not_a_crash() {
+        // Regression for the deny-not-crash contract on the public entry
+        // path: a malformed client naming an unserved app gets Denied.
+        let mut host = host_with_managers(&[0]);
+        let mut h = Harness::new(9);
+        let effects = h.deliver(
+            &mut host,
+            7,
+            ProtoMsg::Invoke {
+                app: AppId(42),
+                user: UserId(1),
+                req: ReqId(1),
+                payload: "x".into(),
+                signature: None,
+            },
+        );
+        assert!(sends(&effects).iter().any(|(to, m)| {
+            *to == NodeId::from_index(7)
+                && matches!(m, ProtoMsg::InvokeReply { outcome: InvokeOutcome::Denied, .. })
+        }));
+        assert!(metric_incrs(&effects).contains(&"host.unknown_app"));
+        // The inspection accessors follow the same contract.
+        assert!(host.try_application_as::<CountingApp>(AppId(42)).is_none());
+        assert!(host.try_application_as::<CountingApp>(AppId(0)).is_some());
+    }
+
+    #[test]
+    fn latency_split_records_cache_and_quorum_paths() {
+        let mut host = host_with_managers(&[0]);
+        let mut h = Harness::new(9);
+        let effects = h.deliver(&mut host, 7, invoke(1));
+        let req = query_req(&effects);
+        let effects = h.at(1_000).deliver(
+            &mut host,
+            0,
+            ProtoMsg::QueryReply {
+                req,
+                app: AppId(0),
+                user: UserId(1),
+                verdict: QueryVerdict::Grant { te: SimDuration::from_secs(9) },
+                mac: None,
+            },
+        );
+        let observes: Vec<&str> = effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::MetricObserve { name, .. } => Some(*name),
+                _ => None,
+            })
+            .collect();
+        assert!(observes.contains(&"host.check_latency_s"), "{observes:?}");
+        assert!(observes.contains(&"host.latency.quorum_s"), "{observes:?}");
+        // A second invoke hits the cache and records the cache split.
+        let effects = h.at(2_000).deliver(&mut host, 7, invoke(1));
+        assert!(effects.iter().any(|e| matches!(
+            e,
+            Effect::MetricObserve { name: "host.latency.cache_s", .. }
+        )));
     }
 
     #[test]

@@ -71,8 +71,8 @@ pub mod prelude {
     pub use crate::audit::{AuditEvent, AuditLog, Violation};
     pub use crate::cache::{AclCache, CacheDecision};
     pub use crate::campaign::{
-        run_campaign, run_with_plan, sample_plan, shrink_plan, CampaignConfig, CampaignReport,
-        InjectedBug,
+        rollup_metrics, run_campaign, run_with_plan, sample_plan, shrink_plan, CampaignConfig,
+        CampaignReport, InjectedBug,
     };
     pub use crate::channel::ChannelKeys;
     pub use crate::client::{

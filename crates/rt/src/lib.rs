@@ -27,3 +27,4 @@ pub mod storage;
 pub use router::LinkPolicy;
 pub use runtime::{Runtime, RuntimeBuilder};
 pub use storage::FileStorage;
+pub use wanacl_sim::obs::{metrics_jsonl, prometheus_text, MetricsSink};

@@ -9,6 +9,7 @@ use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
 
 use wanacl_sim::clock::LocalTime;
 use wanacl_sim::node::{Context, Effect, Node, NodeId};
+use wanacl_sim::obs::MetricsSink;
 use wanacl_sim::rng::SimRng;
 
 use crate::router::{Envelope, Router};
@@ -40,6 +41,7 @@ impl PartialOrd for DueTimer {
 pub struct RuntimeBuilder<M> {
     nodes: Vec<(String, Box<dyn RtNode<M>>)>,
     seed: u64,
+    metrics: MetricsSink,
 }
 
 impl<M> std::fmt::Debug for RuntimeBuilder<M> {
@@ -51,7 +53,15 @@ impl<M> std::fmt::Debug for RuntimeBuilder<M> {
 impl<M: Send + Sync + Clone + std::fmt::Debug + 'static> RuntimeBuilder<M> {
     /// Starts a builder; `seed` feeds each node's RNG stream.
     pub fn new(seed: u64) -> Self {
-        RuntimeBuilder { nodes: Vec::new(), seed }
+        RuntimeBuilder { nodes: Vec::new(), seed, metrics: MetricsSink::new() }
+    }
+
+    /// The deployment-wide metrics sink. All node threads record the
+    /// `ctx.metric_incr`/`ctx.metric_observe` effects here — the same
+    /// named counters and latency histograms the simulator's `World`
+    /// collects. Clone the handle to keep reading after `start`.
+    pub fn metrics(&self) -> &MetricsSink {
+        &self.metrics
     }
 
     /// Adds a node; returns the id it will run under. Ids are assigned
@@ -78,16 +88,17 @@ impl<M: Send + Sync + Clone + std::fmt::Debug + 'static> RuntimeBuilder<M> {
         for ((name, mut node), (id, rx)) in self.nodes.into_iter().zip(inboxes) {
             let router = router.clone();
             let seed = self.seed ^ (id.index() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let metrics = self.metrics.clone();
             let handle = std::thread::Builder::new()
                 .name(name)
                 .spawn(move || {
-                    run_node_thread(&mut *node, id, rx, router, seed);
+                    run_node_thread(&mut *node, id, rx, router, seed, &metrics);
                     node
                 })
                 .expect("thread spawn");
             handles.push(handle);
         }
-        Runtime { router, senders, handles }
+        Runtime { router, senders, handles, metrics: self.metrics }
     }
 }
 
@@ -97,6 +108,7 @@ fn run_node_thread<M: Send + Sync + Clone + std::fmt::Debug + 'static>(
     rx: crossbeam::channel::Receiver<Envelope<M>>,
     router: Arc<Router<M>>,
     seed: u64,
+    metrics: &MetricsSink,
 ) {
     let start = Instant::now();
     let mut rng = SimRng::seed_from(seed);
@@ -113,7 +125,7 @@ fn run_node_thread<M: Send + Sync + Clone + std::fmt::Debug + 'static>(
         let mut ctx = Context::new(id, local_now(start), &mut effects, &mut rng, &mut next_timer);
         node.on_start(&mut ctx);
     }
-    apply_effects(id, effects, &router, &mut timers, &mut cancelled, start);
+    apply_effects(id, effects, &router, &mut timers, &mut cancelled, metrics);
 
     loop {
         // Fire due timers (only while up; a crash clears them anyway).
@@ -129,7 +141,7 @@ fn run_node_thread<M: Send + Sync + Clone + std::fmt::Debug + 'static>(
                     Context::new(id, local_now(start), &mut effects, &mut rng, &mut next_timer);
                 node.on_timer(&mut ctx, t.tag);
             }
-            apply_effects(id, effects, &router, &mut timers, &mut cancelled, start);
+            apply_effects(id, effects, &router, &mut timers, &mut cancelled, metrics);
         }
         // Wait for the next message or timer deadline.
         let wait = if up {
@@ -154,7 +166,7 @@ fn run_node_thread<M: Send + Sync + Clone + std::fmt::Debug + 'static>(
                         Context::new(id, local_now(start), &mut effects, &mut rng, &mut next_timer);
                     node.on_message(&mut ctx, from, msg);
                 }
-                apply_effects(id, effects, &router, &mut timers, &mut cancelled, start);
+                apply_effects(id, effects, &router, &mut timers, &mut cancelled, metrics);
             }
             Ok(Envelope::Crash) => {
                 if up {
@@ -178,7 +190,7 @@ fn run_node_thread<M: Send + Sync + Clone + std::fmt::Debug + 'static>(
                         );
                         node.on_recover(&mut ctx);
                     }
-                    apply_effects(id, effects, &router, &mut timers, &mut cancelled, start);
+                    apply_effects(id, effects, &router, &mut timers, &mut cancelled, metrics);
                 }
             }
             Ok(Envelope::Stop) => break,
@@ -194,7 +206,7 @@ fn apply_effects<M: Send + Sync + Clone + std::fmt::Debug + 'static>(
     router: &Router<M>,
     timers: &mut BinaryHeap<DueTimer>,
     cancelled: &mut HashSet<u64>,
-    _start: Instant,
+    metrics: &MetricsSink,
 ) {
     for effect in effects {
         match effect {
@@ -206,9 +218,14 @@ fn apply_effects<M: Send + Sync + Clone + std::fmt::Debug + 'static>(
             Effect::CancelTimer { id: timer_id } => {
                 cancelled.insert(timer_id.into_raw());
             }
-            // Trace/metric effects are simulator-side conveniences; the
-            // threaded runtime drops them (nodes keep their own stats).
-            Effect::Trace { .. } | Effect::MetricIncr { .. } | Effect::MetricObserve { .. } => {}
+            // Metric effects land in the shared deployment sink, so the
+            // live runtime reports the same named counters/latencies as
+            // the simulator's World.
+            Effect::MetricIncr { name } => metrics.incr(name),
+            Effect::MetricObserve { name, value } => metrics.observe(name, value),
+            // Traces are a simulator-side convenience; the threaded
+            // runtime drops them.
+            Effect::Trace { .. } => {}
         }
     }
 }
@@ -218,6 +235,7 @@ pub struct Runtime<M> {
     router: Arc<Router<M>>,
     senders: Vec<Sender<Envelope<M>>>,
     handles: Vec<JoinHandle<Box<dyn RtNode<M>>>>,
+    metrics: MetricsSink,
 }
 
 impl<M> std::fmt::Debug for Runtime<M> {
@@ -231,6 +249,13 @@ impl<M: Send + Sync + Clone + std::fmt::Debug + 'static> Runtime<M> {
     /// stats).
     pub fn router(&self) -> &Arc<Router<M>> {
         &self.router
+    }
+
+    /// The deployment-wide metrics sink fed by every node thread.
+    /// `metrics().snapshot()` gives a point-in-time [`wanacl_sim::metrics::Metrics`]
+    /// for the exporters in [`wanacl_sim::obs`].
+    pub fn metrics(&self) -> &MetricsSink {
+        &self.metrics
     }
 
     /// Injects a message as the environment.
@@ -338,6 +363,43 @@ mod tests {
         assert_eq!(counter.seen, 2);
         assert!(counter.timer_fired);
         assert_eq!(opener.replies, 2);
+    }
+
+    #[derive(Debug, Default)]
+    struct Emitter;
+
+    impl Node for Emitter {
+        type Msg = u64;
+        fn on_message(&mut self, ctx: &mut Context<'_, u64>, _from: NodeId, msg: u64) {
+            ctx.metric_incr("test.msgs");
+            ctx.metric_observe("test.value", msg as f64);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn metric_effects_reach_the_shared_sink() {
+        let mut b: RuntimeBuilder<u64> = RuntimeBuilder::new(3);
+        let a = b.add_node("a", Box::new(Emitter));
+        let c = b.add_node("b", Box::new(Emitter));
+        let rt = b.start();
+        rt.send_from_env(a, 10);
+        rt.send_from_env(c, 30);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while rt.metrics().counter("test.msgs") < 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let snap = rt.metrics().snapshot();
+        rt.shutdown();
+        assert_eq!(snap.counter("test.msgs"), 2);
+        let summary = snap.histogram("test.value").and_then(|h| h.summary()).expect("samples");
+        assert_eq!(summary.count, 2);
+        assert_eq!(summary.sum, 40.0);
     }
 
     #[test]

@@ -23,6 +23,7 @@ use std::fs::{self, File, OpenOptions};
 use std::io::Write as _;
 use std::path::PathBuf;
 
+use wanacl_sim::obs::MetricsSink;
 use wanacl_sim::storage::{Recovered, Storage, StorageError, StorageStats};
 
 /// Bytes of one frame header: length + checksum.
@@ -102,6 +103,8 @@ pub struct FileStorage {
     /// Records appended but not yet written + fsynced.
     buffered: Vec<Vec<u8>>,
     stats: StorageStats,
+    /// Optional sink for `storage.*` counters and fsync latency.
+    metrics: Option<MetricsSink>,
 }
 
 impl FileStorage {
@@ -109,7 +112,22 @@ impl FileStorage {
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self, std::io::Error> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(FileStorage { dir, wal: None, buffered: Vec::new(), stats: StorageStats::default() })
+        Ok(FileStorage {
+            dir,
+            wal: None,
+            buffered: Vec::new(),
+            stats: StorageStats::default(),
+            metrics: None,
+        })
+    }
+
+    /// Attaches a metrics sink: every [`Storage::sync`] then records a
+    /// `storage.wal_fsync` count and a `storage.wal_fsync_s` wall-clock
+    /// latency sample — the real-disk analogue of the simulator's
+    /// `mgr.wal_appends` accounting.
+    pub fn with_metrics(mut self, metrics: MetricsSink) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// The directory this storage lives in.
@@ -155,11 +173,16 @@ impl Storage for FileStorage {
             return Ok(());
         }
         let frames: Vec<u8> = self.buffered.iter().flat_map(|r| frame(r)).collect();
+        let fsync_start = std::time::Instant::now();
         let result = (|| {
             let wal = self.wal_handle()?;
             wal.write_all(&frames)?;
             wal.sync_all()
         })();
+        if let Some(metrics) = &self.metrics {
+            metrics.incr("storage.wal_fsync");
+            metrics.observe("storage.wal_fsync_s", fsync_start.elapsed().as_secs_f64());
+        }
         match result {
             Ok(()) => {
                 self.buffered.clear();
@@ -168,6 +191,9 @@ impl Storage for FileStorage {
             }
             Err(_) => {
                 self.stats.sync_failures += 1;
+                if let Some(metrics) = &self.metrics {
+                    metrics.incr("storage.wal_fsync_failed");
+                }
                 Err(StorageError::SyncFailed)
             }
         }
@@ -380,6 +406,24 @@ mod tests {
 
         let mut st = FileStorage::open(&dir).unwrap();
         assert_eq!(st.recover().snapshot, None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sync_records_fsync_count_and_latency() {
+        let dir = scratch("metrics");
+        let sink = MetricsSink::new();
+        let mut st = FileStorage::open(&dir).unwrap().with_metrics(sink.clone());
+        st.append(b"r1").unwrap();
+        st.sync().unwrap();
+        st.append(b"r2").unwrap();
+        st.sync().unwrap();
+        assert_eq!(sink.counter("storage.wal_fsync"), 2);
+        assert_eq!(sink.counter("storage.wal_fsync_failed"), 0);
+        let snap = sink.snapshot();
+        let s = snap.histogram("storage.wal_fsync_s").and_then(|h| h.summary()).expect("samples");
+        assert_eq!(s.count, 2);
+        assert!(s.min >= 0.0);
         let _ = fs::remove_dir_all(&dir);
     }
 

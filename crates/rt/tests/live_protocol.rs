@@ -104,11 +104,27 @@ fn live_grant_flow_with_quorum() {
     std::thread::sleep(Duration::from_millis(400));
     trigger_invoke(&rt, user_id); // should be a cache hit
     std::thread::sleep(Duration::from_millis(400));
+    let snapshot = rt.metrics().snapshot();
     let nodes = rt.shutdown();
     let user = nodes[user_id.index()].as_any().downcast_ref::<UserAgent>().expect("user");
     assert_eq!(user.stats().allowed, 2, "stats: {:?}", user.stats());
     let host = nodes[host_id.index()].as_any().downcast_ref::<HostNode>().expect("host");
     assert!(host.stats().cache_hits >= 1, "second invoke should hit the cache");
+    // The live runtime records the same metric registry the simulator
+    // does: cache hit/miss counters and the quorum-check latency
+    // histogram must be present and exportable in both formats.
+    assert!(snapshot.counter("host.cache_hit") >= 1, "{snapshot:?}");
+    assert_eq!(snapshot.counter("host.cache_miss"), 1, "{snapshot:?}");
+    let latency =
+        snapshot.histogram("host.check_latency_s").and_then(|h| h.summary()).expect("latency");
+    assert_eq!(latency.count, 1, "one cold check ran the quorum path");
+    assert!(latency.min > 0.0, "a live quorum round trip takes wall-clock time");
+    let prom = wanacl_rt::prometheus_text(&snapshot);
+    assert!(prom.contains("wanacl_host_cache_hit"), "{prom}");
+    assert!(prom.contains("wanacl_host_check_latency_s_count 1"), "{prom}");
+    let jsonl = wanacl_rt::metrics_jsonl(&snapshot, "live");
+    assert!(jsonl.contains("\"name\":\"host.cache_hit\""), "{jsonl}");
+    assert!(jsonl.contains("\"name\":\"host.check_latency_s\""), "{jsonl}");
 }
 
 #[test]
@@ -191,7 +207,9 @@ fn live_full_cluster_restart_recovers_from_disk() {
         config.snapshot_every = 2; // force a live snapshot + WAL tail
         let mut node = ManagerNode::new(config);
         node.set_storage(Box::new(
-            wanacl_rt::FileStorage::open(base.join(format!("m{i}"))).expect("storage dir"),
+            wanacl_rt::FileStorage::open(base.join(format!("m{i}")))
+                .expect("storage dir")
+                .with_metrics(b.metrics().clone()),
         ));
         b.add_node(format!("manager{i}"), Box::new(node));
     }
@@ -252,7 +270,14 @@ fn live_full_cluster_restart_recovers_from_disk() {
 
     trigger_invoke(&rt, user); // user 1 was revoked pre-crash
     std::thread::sleep(Duration::from_millis(400));
+    let snapshot = rt.metrics().snapshot();
     let nodes = rt.shutdown();
+    // Each acked op was fsynced before its ack; the attached sink saw
+    // every barrier with a real wall-clock latency sample.
+    assert!(snapshot.counter("storage.wal_fsync") >= 3, "{snapshot:?}");
+    let fsync =
+        snapshot.histogram("storage.wal_fsync_s").and_then(|h| h.summary()).expect("fsync latency");
+    assert!(fsync.count >= 3 && fsync.min >= 0.0);
     for &m in &manager_ids {
         let mgr = nodes[m.index()].as_any().downcast_ref::<ManagerNode>().expect("manager");
         assert!(!mgr.is_recovering(), "disk recovery must serve without peer help");

@@ -55,6 +55,7 @@ pub mod metrics;
 pub mod nemesis;
 pub mod net;
 pub mod node;
+pub mod obs;
 pub mod rng;
 pub mod storage;
 pub mod time;
@@ -66,10 +67,11 @@ pub mod prelude {
     pub use crate::backoff::Backoff;
     pub use crate::clock::{ClockSpec, DriftClock, LocalTime};
     pub use crate::fault::CrashPlan;
-    pub use crate::metrics::{Histogram, Metrics};
+    pub use crate::metrics::{Histogram, HistogramSummary, Metrics};
     pub use crate::nemesis::{Fault, NemesisNet, NemesisPlan, NemesisTargets};
     pub use crate::net::{NetModel, PerfectNet, Verdict, WanNet};
     pub use crate::node::{Context, Node, NodeId, TimerId};
+    pub use crate::obs::{metrics_jsonl, prometheus_text, MetricsSink};
     pub use crate::rng::{SimRng, Zipf};
     pub use crate::storage::{DiskFaultModel, Recovered, SimStorage, Storage, StorageStats};
     pub use crate::time::{SimDuration, SimTime};

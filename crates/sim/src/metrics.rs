@@ -8,8 +8,8 @@ use std::collections::BTreeMap;
 /// A bag of named counters plus named sample sets.
 ///
 /// Counter and histogram names are free-form; the protocol crates document
-/// the names they emit.
-#[derive(Debug, Clone, Default)]
+/// the names they emit (see DESIGN.md §11 for the registry).
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Metrics {
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
@@ -51,6 +51,27 @@ impl Metrics {
         self.counters.iter().map(|(k, v)| (k.as_str(), *v))
     }
 
+    /// Iterates over all histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Folds `other` into `self`: counters add, histogram sample sets
+    /// concatenate in `other`'s recording order. Merging reports in a
+    /// fixed order therefore yields a bit-identical rollup regardless of
+    /// how the individual runs were scheduled.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, hist) in &other.histograms {
+            let target = self.histograms.entry(name.clone()).or_default();
+            for &sample in &hist.samples {
+                target.record(sample);
+            }
+        }
+    }
+
     /// Clears all counters and histograms.
     pub fn reset(&mut self) {
         self.counters.clear();
@@ -66,6 +87,50 @@ impl Metrics {
 pub struct Histogram {
     samples: Vec<f64>,
     sorted: bool,
+}
+
+/// Two histograms are equal when they hold the same multiset of samples.
+///
+/// The comparison sorts copies so that a histogram whose samples were
+/// lazily sorted by [`Histogram::quantile`] still equals an untouched
+/// recording of the same run — the `sorted` flag is an implementation
+/// detail, not data.
+impl PartialEq for Histogram {
+    fn eq(&self, other: &Self) -> bool {
+        if self.samples.len() != other.samples.len() {
+            return false;
+        }
+        let sort = |v: &[f64]| {
+            let mut s = v.to_vec();
+            s.sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
+            s
+        };
+        sort(&self.samples) == sort(&other.samples)
+    }
+}
+
+/// Order statistics of one histogram, computed without mutating it.
+///
+/// Produced by [`Histogram::summary`]; the exporters in [`crate::obs`]
+/// render these fields rather than raw samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Sum of all samples (in recording order, so deterministic).
+    pub sum: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median (nearest-rank).
+    pub p50: f64,
+    /// 90th percentile (nearest-rank).
+    pub p90: f64,
+    /// 99th percentile (nearest-rank).
+    pub p99: f64,
 }
 
 impl Histogram {
@@ -115,6 +180,34 @@ impl Histogram {
         }
         let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
         Some(self.samples[rank - 1])
+    }
+
+    /// Order statistics over the current samples, or `None` when empty.
+    ///
+    /// Unlike [`Histogram::quantile`] this never reorders the stored
+    /// samples (it sorts a copy), so snapshots stay comparable with
+    /// untouched recordings of the same run.
+    pub fn summary(&self) -> Option<HistogramSummary> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
+        let rank = |q: f64| {
+            let r = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[r - 1]
+        };
+        let sum: f64 = self.samples.iter().sum();
+        Some(HistogramSummary {
+            count: self.samples.len(),
+            sum,
+            mean: sum / self.samples.len() as f64,
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            p50: rank(0.5),
+            p90: rank(0.9),
+            p99: rank(0.99),
+        })
     }
 
     /// Largest sample, or `None` when empty.
@@ -204,6 +297,93 @@ mod tests {
         assert_eq!(h.quantile(0.5), Some(5.0));
         h.record(1.0);
         assert_eq!(h.quantile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn quantile_edges_single_sample() {
+        let mut h = Histogram::new();
+        h.record(7.5);
+        assert_eq!(h.quantile(0.0), Some(7.5));
+        assert_eq!(h.quantile(0.5), Some(7.5));
+        assert_eq!(h.quantile(1.0), Some(7.5));
+        let s = h.summary().expect("non-empty");
+        assert_eq!((s.count, s.min, s.max, s.p50, s.p99), (1, 7.5, 7.5, 7.5, 7.5));
+    }
+
+    #[test]
+    fn quantile_edges_duplicate_values() {
+        let mut h = Histogram::new();
+        for v in [2.0, 2.0, 2.0, 9.0] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(2.0));
+        assert_eq!(h.quantile(0.5), Some(2.0));
+        assert_eq!(h.quantile(0.75), Some(2.0));
+        assert_eq!(h.quantile(1.0), Some(9.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0,1]")]
+    fn quantile_out_of_range_panics() {
+        let mut h = Histogram::new();
+        h.record(1.0);
+        h.quantile(1.5);
+    }
+
+    #[test]
+    fn reset_allows_reuse() {
+        let mut m = Metrics::new();
+        m.incr("x");
+        m.observe("h", 1.0);
+        m.reset();
+        m.incr("x");
+        m.observe("h", 3.0);
+        assert_eq!(m.counter("x"), 1);
+        assert_eq!(m.histogram("h").and_then(|h| h.mean()), Some(3.0));
+    }
+
+    #[test]
+    fn summary_does_not_reorder_samples() {
+        let mut h = Histogram::new();
+        h.record(5.0);
+        h.record(1.0);
+        let s = h.summary().expect("non-empty");
+        assert_eq!((s.min, s.max, s.count), (1.0, 5.0, 2));
+        // Equality with a histogram recorded in the same order must hold
+        // (summary sorted a copy, not the samples themselves).
+        let mut same = Histogram::new();
+        same.record(5.0);
+        same.record(1.0);
+        assert_eq!(h, same);
+    }
+
+    #[test]
+    fn equality_ignores_lazy_sort_state() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [3.0, 1.0, 2.0] {
+            a.record(v);
+            b.record(v);
+        }
+        let _ = a.quantile(0.5); // sorts a's samples in place
+        assert_eq!(a, b, "lazily sorted histogram must equal its untouched twin");
+    }
+
+    #[test]
+    fn merge_adds_counters_and_concatenates_samples() {
+        let mut a = Metrics::new();
+        a.add("c", 2);
+        a.observe("h", 1.0);
+        let mut b = Metrics::new();
+        b.add("c", 3);
+        b.incr("only_b");
+        b.observe("h", 2.0);
+        b.observe("h2", 9.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 5);
+        assert_eq!(a.counter("only_b"), 1);
+        assert_eq!(a.histogram("h").map(|h| h.count()), Some(2));
+        assert_eq!(a.histogram("h2").map(|h| h.count()), Some(1));
     }
 
     #[test]

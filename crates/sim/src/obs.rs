@@ -1,0 +1,270 @@
+//! Unified observability: a shared, thread-safe metrics handle plus
+//! text exporters, used identically by the deterministic simulator and
+//! the live threaded runtime.
+//!
+//! Protocol nodes emit named counters and latency samples through
+//! [`crate::node::Context::metric_incr`] /
+//! [`crate::node::Context::metric_observe`]. Under simulation the
+//! [`crate::world::World`] folds those effects into its run-level
+//! [`Metrics`]; under `wanacl-rt` every node thread folds them into one
+//! shared [`MetricsSink`]. Either way the result is the same bag of
+//! names (the registry lives in DESIGN.md §11), exportable as:
+//!
+//! * [`prometheus_text`] — a Prometheus text-format snapshot, and
+//! * [`metrics_jsonl`] — one self-describing JSON object per metric,
+//!   suitable for campaign artifacts and offline rollups.
+//!
+//! Both exporters are pure functions of a [`Metrics`] value and never
+//! mutate it, so exporting a snapshot cannot perturb later comparisons.
+
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::Metrics;
+
+/// A cheap, cloneable, thread-safe handle onto one [`Metrics`] bag.
+///
+/// Cloning shares the underlying bag; recording takes a short mutex
+/// hold. This is the live-runtime counterpart of the simulator's
+/// world-owned metrics: every node thread gets a clone and the driver
+/// forwards `MetricIncr`/`MetricObserve` effects into it.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSink {
+    inner: Arc<Mutex<Metrics>>,
+}
+
+impl MetricsSink {
+    /// Creates a sink around an empty metrics bag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Metrics> {
+        // A panic while holding the lock poisons it; the metrics data
+        // itself is still coherent (every mutation is atomic under the
+        // lock), so keep recording rather than losing the run's numbers.
+        self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn add(&self, name: &str, delta: u64) {
+        self.lock().add(name, delta);
+    }
+
+    /// Increments the named counter by one.
+    pub fn incr(&self, name: &str) {
+        self.lock().incr(name);
+    }
+
+    /// Records one sample into the named histogram.
+    pub fn observe(&self, name: &str, value: f64) {
+        self.lock().observe(name, value);
+    }
+
+    /// Current value of a counter (zero if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().counter(name)
+    }
+
+    /// A point-in-time copy of the whole bag.
+    pub fn snapshot(&self) -> Metrics {
+        self.lock().clone()
+    }
+
+    /// Clears all counters and histograms.
+    pub fn reset(&self) {
+        self.lock().reset();
+    }
+}
+
+/// Maps a dotted metric name to a Prometheus-legal one:
+/// `host.cache_hit` → `wanacl_host_cache_hit`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 7);
+    out.push_str("wanacl_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    out
+}
+
+/// Renders a snapshot in the Prometheus text exposition format.
+///
+/// Counters become `counter` samples; histograms are rendered as
+/// summaries (`{quantile="..."}` samples plus `_sum` and `_count`),
+/// which matches how exact-sample histograms are conventionally
+/// exposed. Output is sorted by metric name and deterministic for a
+/// given snapshot.
+pub fn prometheus_text(metrics: &Metrics) -> String {
+    let mut out = String::new();
+    for (name, value) in metrics.counters() {
+        let p = prom_name(name);
+        out.push_str(&format!("# TYPE {p} counter\n{p} {value}\n"));
+    }
+    for (name, hist) in metrics.histograms() {
+        let Some(s) = hist.summary() else { continue };
+        let p = prom_name(name);
+        out.push_str(&format!("# TYPE {p} summary\n"));
+        for (q, v) in [("0.5", s.p50), ("0.9", s.p90), ("0.99", s.p99)] {
+            out.push_str(&format!("{p}{{quantile=\"{q}\"}} {v}\n"));
+        }
+        out.push_str(&format!("{p}_sum {}\n{p}_count {}\n", s.sum, s.count));
+    }
+    out
+}
+
+/// Escapes the two characters that can appear in a JSON string we emit.
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders a non-finite-safe JSON number (JSON has no Inf/NaN).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Renders a snapshot as JSON Lines: one object per metric, each
+/// tagged with `scope` (e.g. `"seed-7"` or `"rollup"`).
+///
+/// Counters: `{"scope":..,"kind":"counter","name":..,"value":N}`.
+/// Histograms: `{"scope":..,"kind":"histogram","name":..,"count":..,
+/// "sum":..,"mean":..,"min":..,"max":..,"p50":..,"p90":..,"p99":..}`.
+///
+/// Lines are sorted by kind then name; float rendering uses Rust's
+/// shortest-roundtrip formatting, so two identical snapshots produce
+/// byte-identical output — the property the campaign CI job asserts
+/// across `--jobs` values.
+pub fn metrics_jsonl(metrics: &Metrics, scope: &str) -> String {
+    let scope = json_escape(scope);
+    let mut out = String::new();
+    for (name, value) in metrics.counters() {
+        out.push_str(&format!(
+            "{{\"scope\":\"{scope}\",\"kind\":\"counter\",\"name\":\"{}\",\"value\":{value}}}\n",
+            json_escape(name),
+        ));
+    }
+    for (name, hist) in metrics.histograms() {
+        let Some(s) = hist.summary() else { continue };
+        out.push_str(&format!(
+            "{{\"scope\":\"{scope}\",\"kind\":\"histogram\",\"name\":\"{}\",\"count\":{},\
+             \"sum\":{},\"mean\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}\n",
+            json_escape(name),
+            s.count,
+            json_num(s.sum),
+            json_num(s.mean),
+            json_num(s.min),
+            json_num(s.max),
+            json_num(s.p50),
+            json_num(s.p90),
+            json_num(s.p99),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_records_and_snapshots() {
+        let sink = MetricsSink::new();
+        sink.incr("a");
+        sink.add("a", 4);
+        sink.observe("lat", 0.5);
+        assert_eq!(sink.counter("a"), 5);
+        let snap = sink.snapshot();
+        assert_eq!(snap.counter("a"), 5);
+        assert_eq!(snap.histogram("lat").map(|h| h.count()), Some(1));
+        // The snapshot is a copy: later recording does not change it.
+        sink.incr("a");
+        assert_eq!(snap.counter("a"), 5);
+        sink.reset();
+        assert_eq!(sink.counter("a"), 0);
+    }
+
+    #[test]
+    fn sink_clones_share_the_bag() {
+        let sink = MetricsSink::new();
+        let other = sink.clone();
+        sink.incr("x");
+        other.incr("x");
+        assert_eq!(sink.counter("x"), 2);
+    }
+
+    #[test]
+    fn sink_is_consistent_under_concurrent_recorders() {
+        let sink = MetricsSink::new();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let sink = sink.clone();
+                scope.spawn(move || {
+                    for i in 0..1_000 {
+                        sink.incr("shared");
+                        sink.observe("lat", (t * 1_000 + i) as f64);
+                    }
+                });
+            }
+        });
+        let snap = sink.snapshot();
+        assert_eq!(snap.counter("shared"), 8_000);
+        let s = snap.histogram("lat").and_then(|h| h.summary()).expect("samples");
+        assert_eq!(s.count, 8_000);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 7_999.0);
+    }
+
+    #[test]
+    fn prometheus_text_renders_counters_and_summaries() {
+        let mut m = Metrics::new();
+        m.add("host.cache_hit", 3);
+        m.observe("host.check_latency_s", 0.25);
+        m.observe("host.check_latency_s", 0.75);
+        let text = prometheus_text(&m);
+        assert!(text.contains("# TYPE wanacl_host_cache_hit counter"), "{text}");
+        assert!(text.contains("wanacl_host_cache_hit 3"), "{text}");
+        assert!(text.contains("wanacl_host_check_latency_s{quantile=\"0.5\"}"), "{text}");
+        assert!(text.contains("wanacl_host_check_latency_s_count 2"), "{text}");
+        assert!(text.contains("wanacl_host_check_latency_s_sum 1"), "{text}");
+    }
+
+    #[test]
+    fn jsonl_lines_are_well_formed_and_deterministic() {
+        let mut m = Metrics::new();
+        m.add("host.cache_hit", 3);
+        m.observe("host.check_latency_s", 0.25);
+        let a = metrics_jsonl(&m, "seed-1");
+        let b = metrics_jsonl(&m.clone(), "seed-1");
+        assert_eq!(a, b, "identical snapshots must export byte-identically");
+        for line in a.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "line: {line}");
+            assert!(line.contains("\"scope\":\"seed-1\""), "line: {line}");
+            assert!(line.contains("\"name\":\"host."), "line: {line}");
+        }
+        assert_eq!(a.lines().count(), 2);
+        assert!(a.contains("\"kind\":\"counter\",\"name\":\"host.cache_hit\",\"value\":3"));
+        assert!(a.contains("\"kind\":\"histogram\",\"name\":\"host.check_latency_s\",\"count\":1"));
+    }
+
+    #[test]
+    fn jsonl_escapes_quotes_and_backslashes() {
+        let mut m = Metrics::new();
+        m.incr("weird\"name\\x");
+        let out = metrics_jsonl(&m, "s");
+        assert!(out.contains("\"name\":\"weird\\\"name\\\\x\""), "{out}");
+    }
+
+    #[test]
+    fn exporting_does_not_mutate_the_snapshot() {
+        let mut m = Metrics::new();
+        m.observe("h", 5.0);
+        m.observe("h", 1.0);
+        let before = m.clone();
+        let _ = prometheus_text(&m);
+        let _ = metrics_jsonl(&m, "x");
+        assert_eq!(m, before);
+    }
+}

@@ -9,15 +9,18 @@
 //! $ wanacl nemesis --seed 3 --inject-bug cache-expiry
 //! $ wanacl nemesis --disk-faults true --campaigns 50
 //! $ wanacl nemesis --disk-faults true --inject-bug drop-wal
+//! $ wanacl nemesis --campaigns 20 --jobs 4 --metrics-out metrics.jsonl
+//! $ wanacl obs --minutes 2 --format prometheus
 //! ```
 
 use std::collections::HashMap;
 
 use wanacl::core::audit::AuditLog;
 use wanacl::core::campaign::{
-    run_campaigns_parallel, shrink_plan, CampaignConfig, InjectedBug,
+    rollup_metrics, run_campaigns_parallel, shrink_plan, CampaignConfig, InjectedBug,
 };
 use wanacl::prelude::*;
+use wanacl::sim::obs::{metrics_jsonl, prometheus_text};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,6 +31,7 @@ fn main() {
         Some("tables") => tables(&flags),
         Some("audit") => audit(&flags),
         Some("nemesis") => nemesis(&flags),
+        Some("obs") => obs(&flags),
         _ => {
             eprintln!(
                 "usage: wanacl <command> [--flag value ...]\n\n\
@@ -50,7 +54,15 @@ fn main() {
                  \x20                  --disk-faults true   add disk faults (torn tails,\n\
                  \x20                                       failed fsyncs) and correlated\n\
                  \x20                                       cluster restarts to the fault mix\n\
-                 \x20                  --inject-bug cache-expiry|drop-wal"
+                 \x20                  --inject-bug cache-expiry|drop-wal\n\
+                 \x20                  --metrics-out PATH   write per-seed + rollup metrics as\n\
+                 \x20                                       JSONL to PATH and the Prometheus\n\
+                 \x20                                       rollup snapshot to PATH.prom\n\
+                 \x20 obs       run a short deployment and export its metrics snapshot\n\
+                 \x20           flags: --managers N --hosts N --users N --check-quorum C\n\
+                 \x20                  --minutes M --pi P --seed S\n\
+                 \x20                  --format prometheus|jsonl (default prometheus)\n\
+                 \x20                  --out PATH (default stdout)"
             );
             std::process::exit(2);
         }
@@ -209,6 +221,26 @@ fn nemesis(flags: &HashMap<String, String>) {
         })
         .collect();
     let reports = run_campaigns_parallel(&configs, jobs);
+    // Metrics export happens before the violation scan so the artifact
+    // exists even when a counterexample aborts the run below.
+    if let Some(path) = flags.get("metrics-out") {
+        let mut jsonl = String::new();
+        for report in &reports {
+            jsonl.push_str(&metrics_jsonl(&report.metrics, &format!("seed-{}", report.seed)));
+        }
+        let rollup = rollup_metrics(&reports);
+        jsonl.push_str(&metrics_jsonl(&rollup, "rollup"));
+        if let Err(e) = std::fs::write(path, jsonl) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        let prom_path = format!("{path}.prom");
+        if let Err(e) = std::fs::write(&prom_path, prometheus_text(&rollup)) {
+            eprintln!("cannot write {prom_path}: {e}");
+            std::process::exit(2);
+        }
+        println!("metrics: per-seed + rollup JSONL -> {path}, Prometheus rollup -> {prom_path}");
+    }
     for (config, report) in configs.iter().zip(&reports) {
         let s = config.seed;
         if report.is_clean() {
@@ -235,6 +267,67 @@ fn nemesis(flags: &HashMap<String, String>) {
         std::process::exit(1);
     }
     println!("all {campaigns} campaign(s) clean: no invariant violations");
+}
+
+/// Runs a short standard deployment and exports its full metrics
+/// snapshot — the same registry (DESIGN.md §11) the simulator campaigns
+/// and the live rt runtime emit — as Prometheus text or JSONL.
+fn obs(flags: &HashMap<String, String>) {
+    let managers: usize = get(flags, "managers", 3);
+    let hosts: usize = get(flags, "hosts", 2);
+    let users: usize = get(flags, "users", 3);
+    let c: usize = get(flags, "check-quorum", (managers / 2).max(1));
+    let minutes: u64 = get(flags, "minutes", 2);
+    let pi: f64 = get(flags, "pi", 0.1);
+    let seed: u64 = get(flags, "seed", 1);
+    let format = flags.get("format").map(String::as_str).unwrap_or("prometheus");
+
+    let policy = Policy::builder(c)
+        .revocation_bound(SimDuration::from_secs(20))
+        .query_timeout(SimDuration::from_millis(400))
+        .max_attempts(3)
+        .build();
+    let net = wanacl::sim::net::WanNet::builder()
+        .uniform_delay(SimDuration::from_millis(20), SimDuration::from_millis(80))
+        .partitions(Box::new(wanacl::sim::net::partition::EpochIid::new(
+            pi,
+            SimDuration::from_secs(10),
+            seed ^ 0xdead,
+        )))
+        .build();
+    let mut d = Scenario::builder(seed)
+        .managers(managers)
+        .hosts(hosts)
+        .users(users)
+        .policy(policy)
+        .all_users_granted()
+        .workload(SimDuration::from_secs(2))
+        .net(Box::new(net))
+        .build();
+    d.run_for(SimDuration::from_secs(minutes * 60));
+    // Exercise the revocation path too, so mgr.* metrics show up.
+    d.revoke(UserId(1), Right::Use);
+    d.run_for(SimDuration::from_secs(30));
+
+    let metrics = d.world.metrics();
+    let rendered = match format {
+        "prometheus" | "prom" => prometheus_text(metrics),
+        "jsonl" => metrics_jsonl(metrics, &format!("seed-{seed}")),
+        other => {
+            eprintln!("unknown --format {other} (expected: prometheus or jsonl)");
+            std::process::exit(2);
+        }
+    };
+    match flags.get("out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, rendered) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+            println!("metrics snapshot ({format}) -> {path}");
+        }
+        None => print!("{rendered}"),
+    }
 }
 
 fn audit(flags: &HashMap<String, String>) {

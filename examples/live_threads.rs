@@ -109,6 +109,7 @@ fn main() {
     std::thread::sleep(Duration::from_millis(500));
 
     let (sent, dropped) = rt.router().stats();
+    let snapshot = rt.metrics().snapshot();
     let nodes = rt.shutdown();
     let agent = nodes[user.index()].as_any().downcast_ref::<UserAgent>().expect("user agent");
     let stats = agent.stats();
@@ -119,5 +120,14 @@ fn main() {
     println!("router traffic: {sent} messages, {dropped} dropped by the partition");
     assert_eq!(stats.allowed, 2);
     assert_eq!(stats.unavailable, 1);
+    // The live runtime collects the same metric registry the simulator
+    // does (DESIGN.md §11); export the Prometheus snapshot.
+    println!("\nmetrics snapshot (Prometheus text format):");
+    print!("{}", wanacl::rt::prometheus_text(&snapshot));
+    // Every request here runs a cold check (the Te = 2 s lease expires
+    // while the partition holds), so misses — not hits — are expected.
+    assert!(snapshot.counter("host.cache_miss") >= 3);
+    assert!(snapshot.counter("host.unavailable") >= 1);
+    assert!(snapshot.histogram("host.check_latency_s").is_some());
     println!("the same state machines that run under simulation just ran in real time.");
 }
