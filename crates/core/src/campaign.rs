@@ -26,6 +26,7 @@ use crate::client::AdminAction;
 use crate::host::HostNode;
 use crate::manager::ManagerNode;
 use crate::msg::AclOp;
+use crate::nameservice::DirectoryReplica;
 use crate::oracle::{InvariantOracle, OracleStats, OracleViolation};
 use crate::policy::Policy;
 use crate::scenario::{Deployment, Scenario};
@@ -51,6 +52,14 @@ pub enum InjectedBug {
         /// Which manager (0-based) carries the bug.
         manager_index: usize,
     },
+    /// One host skips record-signature verification on directory quorum
+    /// reads (see [`HostNode::inject_ns_trust_unsigned`]): a malicious
+    /// replica's forged or rolled-back record installs as if legitimate,
+    /// which the oracle's directory-integrity invariant must catch.
+    NsTrustUnsigned {
+        /// Which host (0-based) carries the bug.
+        host_index: usize,
+    },
 }
 
 /// Everything that defines one campaign run.
@@ -75,6 +84,18 @@ pub struct CampaignConfig {
     /// Route host→manager discovery through a name service (and expose
     /// it to nemesis outages).
     pub use_name_service: bool,
+    /// Run a replicated, signed directory with this many replicas
+    /// instead of the single name service (0 = off; takes precedence
+    /// over `use_name_service`). Hosts then install manager sets only
+    /// from verified quorum reads.
+    pub ns_replicas: usize,
+    /// Verified replies a directory quorum read needs (0 = majority of
+    /// `ns_replicas`).
+    pub ns_read_quorum: usize,
+    /// Let the nemesis plan draw directory faults too: stale replicas,
+    /// split-brain cuts, malicious partial masters, and replica
+    /// crash-restarts (requires `ns_replicas > 0` to have any effect).
+    pub ns_faults: bool,
     /// Let the nemesis plan draw storage faults too: per-manager disk
     /// degradation ([`wanacl_sim::nemesis::Fault::DiskFault`]) and
     /// correlated crash-restarts of manager groups up to the whole
@@ -109,6 +130,9 @@ impl Default for CampaignConfig {
             horizon: SimDuration::from_secs(10),
             intensity: 1.0,
             use_name_service: false,
+            ns_replicas: 0,
+            ns_read_quorum: 0,
+            ns_faults: false,
             disk_faults: false,
             inject_bug: None,
         }
@@ -192,28 +216,61 @@ impl CampaignReport {
     }
 }
 
+/// The TTL directory replicas serve records with in campaigns (short,
+/// so expiry/refresh churn happens many times per horizon).
+pub const CAMPAIGN_NS_TTL: SimDuration = SimDuration::from_secs(2);
+
+/// The effective directory read quorum a config implies (0 = majority).
+fn effective_read_quorum(config: &CampaignConfig) -> usize {
+    if config.ns_read_quorum == 0 {
+        config.ns_replicas / 2 + 1
+    } else {
+        config.ns_read_quorum
+    }
+}
+
 /// The deterministic node layout a campaign deployment will get, known
-/// before the world is built (managers first, then the optional name
-/// service, then hosts — asserted against the real deployment).
+/// before the world is built (managers first, then directory replicas
+/// or the optional name service, then hosts — asserted against the real
+/// deployment).
 pub fn campaign_targets(config: &CampaignConfig) -> NemesisTargets {
     let managers: Vec<NodeId> = (0..config.managers).map(NodeId::from_index).collect();
-    let name_service =
-        config.use_name_service.then(|| NodeId::from_index(config.managers));
-    let host_base = config.managers + usize::from(config.use_name_service);
+    let replicated = config.ns_replicas > 0;
+    let ns_replicas: Vec<NodeId> = if replicated {
+        (config.managers..config.managers + config.ns_replicas)
+            .map(NodeId::from_index)
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let name_service = (config.use_name_service && !replicated)
+        .then(|| NodeId::from_index(config.managers));
+    let host_base = config.managers
+        + config.ns_replicas
+        + usize::from(config.use_name_service && !replicated);
     let hosts: Vec<NodeId> =
         (host_base..host_base + config.hosts).map(NodeId::from_index).collect();
-    NemesisTargets { managers, hosts, name_service }
+    NemesisTargets { managers, hosts, name_service, ns_replicas }
 }
 
 /// Samples the nemesis plan the given config's seed implies. With
 /// `disk_faults` enabled the fault mix also draws storage faults and
-/// correlated cluster restarts; without it the plan is byte-identical
-/// to what earlier storage-unaware campaigns produced.
+/// correlated cluster restarts; with `ns_faults` (and replicas) it adds
+/// directory faults. Without either flag the plan is byte-identical to
+/// what earlier campaigns produced.
 pub fn sample_plan(config: &CampaignConfig) -> NemesisPlan {
     let targets = campaign_targets(config);
     let horizon = SimTime::ZERO + config.horizon;
     let mut rng = SimRng::seed_from(config.seed ^ 0x6e65_6d65);
-    if config.disk_faults {
+    if config.ns_faults && config.ns_replicas > 0 {
+        NemesisPlan::sample_with_directory(
+            &targets,
+            horizon,
+            config.intensity,
+            &mut rng,
+            config.disk_faults,
+        )
+    } else if config.disk_faults {
         NemesisPlan::sample_with_storage(&targets, horizon, config.intensity, &mut rng)
     } else {
         NemesisPlan::sample(&targets, horizon, config.intensity, &mut rng)
@@ -279,8 +336,14 @@ fn build_deployment(
         .request_timeout(SimDuration::from_secs(5))
         .admin_script(admin_script(config))
         .net(Box::new(plan.wrap_net(Box::new(base))));
-    if config.use_name_service {
-        scenario = scenario.with_name_service(SimDuration::from_secs(2));
+    if config.ns_replicas > 0 {
+        scenario = scenario.with_replicated_directory(
+            config.ns_replicas,
+            config.ns_read_quorum,
+            CAMPAIGN_NS_TTL,
+        );
+    } else if config.use_name_service {
+        scenario = scenario.with_name_service(CAMPAIGN_NS_TTL);
     }
     let mut deployment = scenario.build();
 
@@ -288,6 +351,7 @@ fn build_deployment(
     let targets = campaign_targets(config);
     assert_eq!(deployment.managers, targets.managers, "manager layout drifted");
     assert_eq!(deployment.hosts, targets.hosts, "host layout drifted");
+    assert_eq!(deployment.ns_replicas, targets.ns_replicas, "replica layout drifted");
 
     // Every manager gets deterministic simulated stable storage: acks
     // become durable promises (fsync-before-ack), and crash recovery
@@ -305,6 +369,34 @@ fn build_deployment(
             .set_fault_model(DiskFaultModel { sync_fail_prob, torn_tail_prob });
     }
 
+    // Directory replicas get their own stable storage (so crash-restart
+    // faults exercise WAL/snapshot recovery), then the plan's directory
+    // faults are armed, and a fresher record is published mid-horizon to
+    // ONE replica — anti-entropy must spread it, which is exactly the
+    // path stale-replica and split-brain faults attack.
+    if !deployment.ns_replicas.is_empty() {
+        for (i, &replica) in deployment.ns_replicas.clone().iter().enumerate() {
+            let disk_seed =
+                config.seed ^ 0x6e73_6469 ^ (i as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            deployment
+                .world
+                .node_as_mut::<DirectoryReplica>(replica)
+                .set_storage(Box::new(SimStorage::new(disk_seed)));
+        }
+        for replica in plan.stale_replicas() {
+            deployment
+                .world
+                .node_as_mut::<DirectoryReplica>(replica)
+                .set_suppress_sync(true);
+        }
+        for (replica, window) in plan.malicious_replicas() {
+            deployment.world.node_as_mut::<DirectoryReplica>(replica).set_malicious(window);
+        }
+        let at = SimTime::ZERO + config.horizon.mul_f64(0.4);
+        let managers = deployment.managers.clone();
+        deployment.republish_managers_at(at, 0, 2, managers);
+    }
+
     match config.inject_bug {
         Some(InjectedBug::IgnoreCacheExpiry { host_index }) => {
             let host = deployment.hosts[host_index];
@@ -315,11 +407,18 @@ fn build_deployment(
             let mgr = deployment.managers[manager_index];
             sim_storage(&mut deployment, mgr).set_drop_state_on_recover(true);
         }
+        Some(InjectedBug::NsTrustUnsigned { host_index }) => {
+            let host = deployment.hosts[host_index];
+            deployment.world.node_as_mut::<HostNode>(host).inject_ns_trust_unsigned();
+        }
         None => {}
     }
 
     plan.install_lifecycle(&mut deployment.world);
-    let oracle = InvariantOracle::new(&config.policy, SimDuration::ZERO);
+    let mut oracle = InvariantOracle::new(&config.policy, SimDuration::ZERO);
+    if config.ns_replicas > 0 {
+        oracle.set_directory(config.ns_replicas, effective_read_quorum(config), CAMPAIGN_NS_TTL);
+    }
     let oracle_id = deployment.world.add_observer(Box::new(oracle));
     (deployment, oracle_id)
 }
@@ -682,6 +781,39 @@ mod tests {
             assert_eq!(a.wal_appends, b.wal_appends);
             assert!(a.is_clean(), "{}", a.render());
         }
+    }
+
+    #[test]
+    fn replicated_directory_campaign_is_deterministic_and_produces_evidence() {
+        let config = CampaignConfig {
+            ns_replicas: 3,
+            ns_faults: true,
+            horizon: SimDuration::from_secs(6),
+            ..quick_config(13)
+        };
+        // build_deployment asserts the replica layout internally.
+        let a = run_campaign(&config);
+        let b = run_campaign(&config);
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.violations, b.violations);
+        assert_eq!(a.oracle_stats, b.oracle_stats);
+        assert_eq!(a.audit_digest, b.audit_digest);
+        assert!(a.is_clean(), "{}", a.render());
+        assert!(a.oracle_stats.ns_installs > 0, "no quorum read ever completed");
+        assert!(a.oracle_stats.ns_publishes > 0, "no replica ever published a record");
+    }
+
+    #[test]
+    fn replicated_directory_takes_precedence_over_name_service() {
+        let config = CampaignConfig {
+            ns_replicas: 3,
+            use_name_service: true,
+            ..quick_config(3)
+        };
+        let targets = campaign_targets(&config);
+        assert_eq!(targets.name_service, None);
+        assert_eq!(targets.ns_replicas.len(), 3);
+        assert_eq!(targets.hosts[0], NodeId::from_index(config.managers + 3));
     }
 
     #[test]

@@ -20,13 +20,17 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use wanacl_auth::rsa;
-use wanacl_auth::signed::KeyRegistry;
+use wanacl_auth::signed::{KeyRegistry, PrincipalId};
 use wanacl_sim::clock::LocalTime;
 use wanacl_sim::node::{Context, Node, NodeId, TimerId};
+use wanacl_sim::rng::SimRng;
 use wanacl_sim::time::SimDuration;
 
 use crate::cache::{AclCache, CacheDecision};
-use crate::msg::{invoke_signing_bytes, InvokeOutcome, ProtoMsg, QueryVerdict, ReqId};
+use crate::msg::{
+    invoke_signing_bytes, ns_record_signing_bytes, InvokeOutcome, ProtoMsg, QueryVerdict, ReqId,
+};
+use crate::nameservice::fmt_mgrs;
 use crate::policy::{ExhaustionBehavior, Policy, QueryFanout};
 use crate::types::{AppId, UserId};
 use crate::wrapper::Application;
@@ -37,7 +41,15 @@ const TAG_QUERY: u64 = 1 << TAG_KIND_SHIFT;
 const TAG_SWEEP: u64 = 2 << TAG_KIND_SHIFT;
 const TAG_NS: u64 = 3 << TAG_KIND_SHIFT;
 const TAG_REFRESH: u64 = 4 << TAG_KIND_SHIFT;
+const TAG_NSEXP: u64 = 5 << TAG_KIND_SHIFT;
 const TAG_PAYLOAD_MASK: u64 = (1 << TAG_KIND_SHIFT) - 1;
+
+/// The TTL-refresh delay: nominally 80% of the TTL, widened by a seeded
+/// ±10% band so hosts whose records expire together do not re-query in
+/// one synchronized storm.
+fn jittered_refresh(ttl: SimDuration, rng: &mut SimRng) -> SimDuration {
+    ttl.mul_f64(0.8 * (0.9 + 0.2 * rng.unit()))
+}
 
 /// Where a host learns the manager set for an application (§3.2).
 #[derive(Debug, Clone)]
@@ -48,6 +60,16 @@ pub enum ManagerDirectory {
     NameService {
         /// The name-service node.
         ns: NodeId,
+    },
+    /// A replicated directory read with a quorum: the host fans an
+    /// `NsQuery` to every replica, waits for `read_quorum` verified
+    /// [`ProtoMsg::NsRecordReply`] answers, and installs the freshest
+    /// version among them. No single replica is trusted.
+    Replicated {
+        /// The directory replicas.
+        replicas: Vec<NodeId>,
+        /// How many verified replies a read needs (≤ replicas).
+        read_quorum: usize,
     },
 }
 
@@ -128,6 +150,20 @@ struct AppState {
     /// Consecutive unanswered name-service queries; indexes the
     /// [`Policy::ns_retry_backoff`] schedule and resets on a reply.
     ns_round: u32,
+    /// Verified replies collected during the current quorum read:
+    /// replica → (version, managers, ttl). Only meaningful for
+    /// [`ManagerDirectory::Replicated`].
+    ns_replies: BTreeMap<NodeId, (u64, Vec<NodeId>, SimDuration)>,
+    /// When the current quorum read started (for the latency histogram).
+    ns_round_started: LocalTime,
+    /// Whether a quorum read is in flight (armed but not yet installed).
+    ns_inflight: bool,
+    /// Version stamp of the installed directory record (0 = none yet).
+    record_version: u64,
+    /// When the installed record's TTL runs out on the local clock.
+    record_expires: Option<LocalTime>,
+    /// The TTL-expiry timer for the installed record.
+    ns_expiry_timer: Option<TimerId>,
 }
 
 impl std::fmt::Debug for AppState {
@@ -151,6 +187,13 @@ pub struct HostNode {
     next_req: u64,
     next_refresh: u64,
     channel: Option<Arc<crate::channel::ChannelKeys>>,
+    /// Trust anchor for replicated-directory records: the registry to
+    /// verify against and the principal whose signature records must
+    /// carry. `None` accepts records unverified (protocol-only runs).
+    ns_trust: Option<(Arc<KeyRegistry>, PrincipalId)>,
+    /// Fault injection: skip record-signature verification (the planted
+    /// bug the I7 oracle must catch).
+    ns_trust_unsigned: bool,
     stats: HostStats,
 }
 
@@ -166,6 +209,13 @@ impl HostNode {
             let managers = match &spec.directory {
                 ManagerDirectory::Static(m) => m.clone(),
                 ManagerDirectory::NameService { .. } => Vec::new(),
+                ManagerDirectory::Replicated { replicas, read_quorum } => {
+                    assert!(
+                        *read_quorum >= 1 && *read_quorum <= replicas.len(),
+                        "read quorum must satisfy 1 <= q <= replicas"
+                    );
+                    Vec::new()
+                }
             };
             map.insert(
                 spec.app,
@@ -177,6 +227,12 @@ impl HostNode {
                     application: spec.application,
                     ns_timer: None,
                     ns_round: 0,
+                    ns_replies: BTreeMap::new(),
+                    ns_round_started: LocalTime::ZERO,
+                    ns_inflight: false,
+                    record_version: 0,
+                    record_expires: None,
+                    ns_expiry_timer: None,
                 },
             );
         }
@@ -190,8 +246,33 @@ impl HostNode {
             next_req: 0,
             next_refresh: 0,
             channel: None,
+            ns_trust: None,
+            ns_trust_unsigned: false,
             stats: HostStats::default(),
         }
+    }
+
+    /// Installs the replicated-directory trust anchor: records must
+    /// verify against `registry` as signed by `writer` or they are
+    /// discarded (`host.ns_reject_bad_sig`). Without a trust anchor the
+    /// host accepts any well-formed record — fine for protocol-only
+    /// experiments, unsafe with a malicious replica.
+    pub fn set_ns_trust(&mut self, registry: Arc<KeyRegistry>, writer: PrincipalId) {
+        self.ns_trust = Some((registry, writer));
+    }
+
+    /// Fault injection: makes this host skip record-signature checks on
+    /// quorum reads, so a forged or rolled-back record from a malicious
+    /// replica is installed as if legitimate. Used by nemesis campaigns
+    /// to plant a known integrity bug and prove invariant I7 detects it.
+    pub fn inject_ns_trust_unsigned(&mut self) {
+        self.ns_trust_unsigned = true;
+    }
+
+    /// Version stamp of the installed directory record for `app`
+    /// (0 until a quorum read completes).
+    pub fn directory_version(&self, app: AppId) -> u64 {
+        self.apps.get(&app).map(|a| a.record_version).unwrap_or(0)
     }
 
     /// Installs pairwise channel keys: `QueryReply` and `RevokeNotice`
@@ -267,15 +348,203 @@ impl HostNode {
             let state = self.apps.get_mut(&app).expect("just listed");
             let sweep = state.policy.cache_sweep_interval();
             ctx.set_timer(sweep, TAG_SWEEP | u64::from(app.0));
-            if let ManagerDirectory::NameService { ns } = state.directory {
-                ctx.metric_incr("host.ns_refresh_rounds");
-                ctx.send(ns, ProtoMsg::NsQuery { app });
-                state.ns_round = 0;
-                let retry = state.policy.ns_retry_backoff().delay(state.ns_round, ctx.rng());
-                state.ns_round = state.ns_round.saturating_add(1);
-                state.ns_timer = Some(ctx.set_timer(retry, TAG_NS | u64::from(app.0)));
+            match &state.directory {
+                ManagerDirectory::NameService { ns } => {
+                    let ns = *ns;
+                    ctx.metric_incr("host.ns_refresh_rounds");
+                    ctx.send(ns, ProtoMsg::NsQuery { app });
+                    state.ns_round = 0;
+                    let retry = state.policy.ns_retry_backoff().delay(state.ns_round, ctx.rng());
+                    state.ns_round = state.ns_round.saturating_add(1);
+                    state.ns_timer = Some(ctx.set_timer(retry, TAG_NS | u64::from(app.0)));
+                }
+                ManagerDirectory::Replicated { .. } => {
+                    state.ns_round = 0;
+                    self.start_ns_round(ctx, app);
+                }
+                ManagerDirectory::Static(_) => {}
             }
         }
+    }
+
+    /// Starts one quorum-read round against a replicated directory:
+    /// fans an `NsQuery` to every replica, clears the reply set, and
+    /// arms the capped-backoff retry timer for the round.
+    fn start_ns_round(&mut self, ctx: &mut Context<'_, ProtoMsg>, app: AppId) {
+        let Some(state) = self.apps.get_mut(&app) else { return };
+        let ManagerDirectory::Replicated { replicas, .. } = &state.directory else { return };
+        let replicas = replicas.clone();
+        if let Some(t) = state.ns_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        ctx.metric_incr("ns.read_rounds");
+        state.ns_replies.clear();
+        state.ns_round_started = ctx.local_now();
+        state.ns_inflight = true;
+        for r in &replicas {
+            ctx.send(*r, ProtoMsg::NsQuery { app });
+        }
+        let retry = state.policy.ns_retry_backoff().delay(state.ns_round, ctx.rng());
+        state.ns_round = state.ns_round.saturating_add(1);
+        state.ns_timer = Some(ctx.set_timer(retry, TAG_NS | u64::from(app.0)));
+    }
+
+    /// One replica answered a quorum read. Verifies the record
+    /// signature, collects the reply, and — once `read_quorum` verified
+    /// answers are in — installs the freshest version among them.
+    #[allow(clippy::too_many_arguments)]
+    fn on_ns_record_reply(
+        &mut self,
+        ctx: &mut Context<'_, ProtoMsg>,
+        from: NodeId,
+        app: AppId,
+        version: u64,
+        managers: Vec<NodeId>,
+        ttl: SimDuration,
+        signature: Option<rsa::Signature>,
+    ) {
+        let Some(state) = self.apps.get_mut(&app) else { return };
+        let ManagerDirectory::Replicated { replicas, read_quorum } = &state.directory else {
+            ctx.metric_incr("host.ns_reply_untrusted");
+            return;
+        };
+        // Only configured replicas may vote; anyone else guessing at the
+        // protocol (§2.1 failure model) is ignored.
+        if !replicas.contains(&from) {
+            ctx.metric_incr("host.ns_reply_untrusted");
+            return;
+        }
+        let quorum = *read_quorum;
+        if !state.ns_inflight {
+            // A straggler from an already-settled round.
+            ctx.metric_incr("host.late_reply");
+            return;
+        }
+        // Negative answers (version 0) are unsigned by construction;
+        // positive records must verify against the trust anchor.
+        if version > 0 && !self.ns_trust_unsigned {
+            let verified = match (&self.ns_trust, &signature) {
+                (Some((registry, writer)), Some(sig)) => {
+                    let bytes = ns_record_signing_bytes(app, version, &managers);
+                    wanacl_auth::signed::verify_bytes(registry, *writer, &bytes, sig)
+                }
+                (Some(_), None) => false,
+                // No trust anchor configured: accept, but leave a trace
+                // that this deployment runs without record integrity.
+                (None, _) => {
+                    ctx.metric_incr("host.ns_unverified");
+                    true
+                }
+            };
+            if !verified {
+                ctx.metric_incr("host.ns_reject_bad_sig");
+                return;
+            }
+        }
+        let state = self.apps.get_mut(&app).expect("checked above");
+        state.ns_replies.insert(from, (version, managers, ttl));
+        if state.ns_replies.len() >= quorum {
+            self.install_ns_record(ctx, app, quorum);
+        }
+    }
+
+    /// A quorum of verified replies is in: freshest-version-wins.
+    fn install_ns_record(&mut self, ctx: &mut Context<'_, ProtoMsg>, app: AppId, quorum: usize) {
+        let Some(state) = self.apps.get_mut(&app) else { return };
+        let acks = state.ns_replies.len();
+        let Some((version, managers, ttl)) = state
+            .ns_replies
+            .values()
+            .max_by_key(|(v, _, _)| *v)
+            .cloned()
+        else {
+            return;
+        };
+        state.ns_replies.clear();
+        state.ns_inflight = false;
+        state.ns_round = 0;
+        if let Some(t) = state.ns_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        ctx.metric_observe(
+            "ns.lookup_latency_s",
+            ctx.local_now().since(state.ns_round_started).as_secs_f64(),
+        );
+        if version < state.record_version {
+            // The quorum's freshest answer is older than what we hold —
+            // e.g. every reachable replica is stale. Never roll the view
+            // back: keep the installed record on its original TTL.
+            ctx.metric_incr("ns.stale_quorum");
+        } else {
+            state.managers = managers;
+            state.record_version = version;
+            state.record_expires = Some(ctx.local_now().plus(ttl));
+            if let Some(t) = state.ns_expiry_timer.take() {
+                ctx.cancel_timer(t);
+            }
+            state.ns_expiry_timer = Some(ctx.set_timer(ttl, TAG_NSEXP | u64::from(app.0)));
+            ctx.metric_incr("ns.installs");
+            ctx.trace(format!(
+                "audit=ns-install app={} version={} mode=quorum acks={} quorum={} mgrs={} ttl={}",
+                app.0,
+                version,
+                acks,
+                quorum,
+                fmt_mgrs(&state.managers),
+                ttl.as_nanos(),
+            ));
+        }
+        // Re-query shortly before the TTL runs out, jittered so hosts
+        // sharing a TTL don't re-query in lockstep.
+        let state = self.apps.get_mut(&app).expect("still present");
+        let refresh = jittered_refresh(ttl, ctx.rng());
+        state.ns_timer = Some(ctx.set_timer(refresh, TAG_NS | u64::from(app.0)));
+    }
+
+    /// The quorum-read retry timer fired. Either this is the scheduled
+    /// TTL refresh (no round in flight) or the previous round failed to
+    /// reach its quorum — count the timeout, note degraded mode if a
+    /// live record is carrying us, and start the next round under the
+    /// capped backoff.
+    fn on_ns_round_timer(&mut self, ctx: &mut Context<'_, ProtoMsg>, app: AppId) {
+        let Some(state) = self.apps.get_mut(&app) else { return };
+        state.ns_timer = None;
+        if state.ns_inflight {
+            ctx.metric_incr("ns.read_timeout");
+            let live = state
+                .record_expires
+                .map(|e| ctx.local_now() < e)
+                .unwrap_or(false);
+            if live && state.record_version > 0 {
+                // Graceful degradation: the quorum is unreachable but the
+                // last-known-good record has TTL left — keep serving it.
+                ctx.metric_incr("ns.degraded_rounds");
+                ctx.trace(format!(
+                    "audit=ns-degraded app={} version={}",
+                    app.0, state.record_version,
+                ));
+            }
+        }
+        self.start_ns_round(ctx, app);
+    }
+
+    /// The installed record's TTL ran out without a successful refresh:
+    /// the view reverts to empty (fail-closed through the
+    /// empty-manager-view path) until a quorum read lands again.
+    fn on_ns_expiry_timer(&mut self, ctx: &mut Context<'_, ProtoMsg>, app: AppId) {
+        let Some(state) = self.apps.get_mut(&app) else { return };
+        state.ns_expiry_timer = None;
+        let Some(expires) = state.record_expires else { return };
+        if ctx.local_now() < expires {
+            return; // superseded by a fresher install; its timer is armed
+        }
+        ctx.metric_incr("ns.record_expired");
+        ctx.trace(format!(
+            "audit=ns-expire app={} version={}",
+            app.0, state.record_version,
+        ));
+        state.record_expires = None;
+        state.managers.clear();
     }
 
     /// Starts (or restarts) one check attempt for a pending invoke.
@@ -820,11 +1089,16 @@ impl Node for HostNode {
                     }
                     state.ns_round = 0;
                     state.managers = managers;
-                    // Re-query shortly before the TTL runs out.
-                    let refresh = ttl.mul_f64(0.8);
+                    // Re-query shortly before the TTL runs out, jittered
+                    // so hosts whose TTLs expire together don't storm the
+                    // name service with synchronized re-queries.
+                    let refresh = jittered_refresh(ttl, ctx.rng());
                     state.ns_timer =
                         Some(ctx.set_timer(refresh, TAG_NS | u64::from(app.0)));
                 }
+            }
+            ProtoMsg::NsRecordReply { app, version, managers, ttl, signature } => {
+                self.on_ns_record_reply(ctx, from, app, version, managers, ttl, signature);
             }
             _ => {
                 ctx.metric_incr("host.unexpected_msg");
@@ -850,8 +1124,10 @@ impl Node for HostNode {
             }
             TAG_NS => {
                 let app = AppId(payload as u32);
-                if let Some(state) = self.apps.get_mut(&app) {
-                    if let ManagerDirectory::NameService { ns } = state.directory {
+                match self.apps.get_mut(&app).map(|s| &s.directory) {
+                    Some(ManagerDirectory::NameService { ns }) => {
+                        let ns = *ns;
+                        let state = self.apps.get_mut(&app).expect("just matched");
                         ctx.metric_incr("host.ns_refresh_rounds");
                         ctx.send(ns, ProtoMsg::NsQuery { app });
                         // Each fruitless round widens the re-query gap
@@ -862,7 +1138,14 @@ impl Node for HostNode {
                         state.ns_round = state.ns_round.saturating_add(1);
                         state.ns_timer = Some(ctx.set_timer(retry, TAG_NS | payload));
                     }
+                    Some(ManagerDirectory::Replicated { .. }) => {
+                        self.on_ns_round_timer(ctx, app);
+                    }
+                    _ => {}
                 }
+            }
+            TAG_NSEXP => {
+                self.on_ns_expiry_timer(ctx, AppId(payload as u32));
             }
             _ => {}
         }
@@ -874,8 +1157,15 @@ impl Node for HostNode {
             state.cache.clear();
             state.ns_timer = None;
             state.ns_round = 0;
-            if let ManagerDirectory::NameService { .. } = state.directory {
-                state.managers.clear();
+            state.ns_replies.clear();
+            state.ns_inflight = false;
+            state.record_version = 0;
+            state.record_expires = None;
+            state.ns_expiry_timer = None;
+            match state.directory {
+                ManagerDirectory::NameService { .. }
+                | ManagerDirectory::Replicated { .. } => state.managers.clear(),
+                ManagerDirectory::Static(_) => {}
             }
         }
         self.pending.clear();
@@ -1423,5 +1713,279 @@ mod tests {
         assert_eq!(host.cached_entries(AppId(0)), 0);
         // Stats survive (they are measurement, not protocol state).
         assert_eq!(host.stats().cache_misses, 1);
+    }
+
+    // ---- replicated-directory quorum reads ----
+
+    use crate::msg::NsRecord;
+    use rand::SeedableRng;
+    use wanacl_auth::rsa::KeyPair;
+
+    const TTL: SimDuration = SimDuration::from_secs(60);
+
+    fn writer_setup() -> (Arc<KeyRegistry>, KeyPair, PrincipalId) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let writer = PrincipalId(2_000_000);
+        let mut registry = KeyRegistry::new();
+        let kp = registry.enroll(writer, &mut rng);
+        (Arc::new(registry), kp, writer)
+    }
+
+    fn replicated_host(read_quorum: usize) -> (HostNode, KeyPair, PrincipalId) {
+        let replicas: Vec<NodeId> = (0..3).map(NodeId::from_index).collect();
+        let (registry, kp, writer) = writer_setup();
+        let mut host = host_with_directory(
+            ManagerDirectory::Replicated { replicas, read_quorum },
+            base_policy().build(),
+        );
+        host.set_ns_trust(registry, writer);
+        (host, kp, writer)
+    }
+
+    fn record_reply(record: &NsRecord) -> ProtoMsg {
+        ProtoMsg::NsRecordReply {
+            app: record.app,
+            version: record.version,
+            managers: record.managers.clone(),
+            ttl: TTL,
+            signature: Some(record.signature),
+        }
+    }
+
+    fn start_host(h: &mut Harness, host: &mut HostNode) -> Vec<Effect<ProtoMsg>> {
+        let mut effects = Vec::new();
+        {
+            let mut ctx =
+                Context::new(h.id, h.now, &mut effects, &mut h.rng, &mut h.next_timer);
+            host.on_start(&mut ctx);
+        }
+        effects
+    }
+
+    fn fire_timer(h: &mut Harness, host: &mut HostNode, tag: u64) -> Vec<Effect<ProtoMsg>> {
+        let mut effects = Vec::new();
+        {
+            let mut ctx =
+                Context::new(h.id, h.now, &mut effects, &mut h.rng, &mut h.next_timer);
+            host.on_timer(&mut ctx, tag);
+        }
+        effects
+    }
+
+    fn traces(effects: &[Effect<ProtoMsg>]) -> Vec<&str> {
+        effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Trace { text } => Some(text.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quorum_read_installs_freshest_verified_record() {
+        let (mut host, kp, writer) = replicated_host(2);
+        let mut h = Harness::new(9);
+        let effects = start_host(&mut h, &mut host);
+        // The round fans a query to every replica.
+        let queried: Vec<NodeId> = sends(&effects)
+            .into_iter()
+            .filter(|(_, m)| matches!(m, ProtoMsg::NsQuery { .. }))
+            .map(|(to, _)| to)
+            .collect();
+        assert_eq!(queried.len(), 3);
+        let v1 = NsRecord::signed(AppId(0), 1, vec![NodeId::from_index(4)], writer, &kp.secret);
+        let v2 = NsRecord::signed(
+            AppId(0),
+            2,
+            vec![NodeId::from_index(4), NodeId::from_index(5)],
+            writer,
+            &kp.secret,
+        );
+        // One verified reply is below quorum: nothing installs.
+        let e1 = h.at(1_000).deliver(&mut host, 0, record_reply(&v1));
+        assert!(host.manager_view(AppId(0)).is_empty());
+        assert!(!metric_incrs(&e1).contains(&"ns.installs"));
+        // The second reply carries a fresher version: it wins.
+        let e2 = h.at(2_000).deliver(&mut host, 1, record_reply(&v2));
+        assert_eq!(host.manager_view(AppId(0)).len(), 2);
+        assert_eq!(host.directory_version(AppId(0)), 2);
+        assert!(metric_incrs(&e2).contains(&"ns.installs"));
+        assert!(
+            e2.iter().any(|e| matches!(
+                e,
+                Effect::MetricObserve { name: "ns.lookup_latency_s", .. }
+            )),
+            "install must record the lookup latency"
+        );
+        let note = traces(&e2)
+            .into_iter()
+            .find(|t| t.starts_with("audit=ns-install"))
+            .expect("install note");
+        assert!(note.contains("version=2"), "{note}");
+        assert!(note.contains("mgrs=4;5"), "{note}");
+        // A straggler from the settled round is ignored.
+        let e3 = h.at(3_000).deliver(&mut host, 2, record_reply(&v1));
+        assert!(metric_incrs(&e3).contains(&"host.late_reply"));
+        assert_eq!(host.directory_version(AppId(0)), 2);
+    }
+
+    #[test]
+    fn forged_record_is_rejected_and_does_not_count_toward_quorum() {
+        let (mut host, kp, writer) = replicated_host(2);
+        let mut h = Harness::new(9);
+        start_host(&mut h, &mut host);
+        let genuine = NsRecord::signed(AppId(0), 1, vec![NodeId::from_index(4)], writer, &kp.secret);
+        // A malicious replica bumps the version but cannot re-sign.
+        let forged = ProtoMsg::NsRecordReply {
+            app: AppId(0),
+            version: 2,
+            managers: vec![NodeId::from_index(6)],
+            ttl: TTL,
+            signature: Some(genuine.signature),
+        };
+        let e1 = h.deliver(&mut host, 0, forged);
+        assert!(metric_incrs(&e1).contains(&"host.ns_reject_bad_sig"));
+        // An unsigned positive record is equally worthless.
+        let unsigned = ProtoMsg::NsRecordReply {
+            app: AppId(0),
+            version: 2,
+            managers: vec![NodeId::from_index(6)],
+            ttl: TTL,
+            signature: None,
+        };
+        let e2 = h.deliver(&mut host, 1, unsigned);
+        assert!(metric_incrs(&e2).contains(&"host.ns_reject_bad_sig"));
+        assert!(host.manager_view(AppId(0)).is_empty());
+        // Two genuine replies still reach the quorum afterwards.
+        h.deliver(&mut host, 0, record_reply(&genuine));
+        h.deliver(&mut host, 2, record_reply(&genuine));
+        assert_eq!(host.directory_version(AppId(0)), 1);
+        assert_eq!(host.manager_view(AppId(0)), &[NodeId::from_index(4)]);
+        // And a reply from outside the replica set never counts.
+        let e3 = h.deliver(&mut host, 8, record_reply(&genuine));
+        assert!(metric_incrs(&e3).contains(&"host.ns_reply_untrusted"));
+    }
+
+    #[test]
+    fn ns_trust_unsigned_bug_installs_forged_record() {
+        // The planted bug for invariant I7: a host that skips signature
+        // verification happily installs a forged manager set.
+        let (mut host, kp, writer) = replicated_host(2);
+        host.inject_ns_trust_unsigned();
+        let mut h = Harness::new(9);
+        start_host(&mut h, &mut host);
+        let genuine = NsRecord::signed(AppId(0), 1, vec![NodeId::from_index(4)], writer, &kp.secret);
+        let forged = ProtoMsg::NsRecordReply {
+            app: AppId(0),
+            version: 7,
+            managers: vec![NodeId::from_index(6)],
+            ttl: TTL,
+            signature: Some(genuine.signature),
+        };
+        h.deliver(&mut host, 0, record_reply(&genuine));
+        h.deliver(&mut host, 1, forged);
+        assert_eq!(host.directory_version(AppId(0)), 7);
+        assert_eq!(host.manager_view(AppId(0)), &[NodeId::from_index(6)]);
+    }
+
+    #[test]
+    fn degraded_round_keeps_last_known_good_then_ttl_expiry_fails_closed() {
+        let (mut host, kp, writer) = replicated_host(2);
+        let mut h = Harness::new(9);
+        start_host(&mut h, &mut host);
+        let v1 = NsRecord::signed(AppId(0), 1, vec![NodeId::from_index(4)], writer, &kp.secret);
+        h.deliver(&mut host, 0, record_reply(&v1));
+        h.deliver(&mut host, 1, record_reply(&v1));
+        assert_eq!(host.directory_version(AppId(0)), 1);
+        // The scheduled refresh fires: a new round starts (no timeout yet).
+        let tag = TAG_NS; // app 0 payload
+        let e1 = h.at(TTL.as_nanos() * 8 / 10).fire(&mut host, tag);
+        assert!(!metric_incrs(&e1).contains(&"ns.read_timeout"));
+        assert!(metric_incrs(&e1).contains(&"ns.read_rounds"));
+        // That round gets no replies; the retry timer fires inside the
+        // TTL: degraded mode, the stale-but-live record keeps serving.
+        let e2 = h.at(TTL.as_nanos() * 9 / 10).fire(&mut host, tag);
+        assert!(metric_incrs(&e2).contains(&"ns.read_timeout"));
+        assert!(metric_incrs(&e2).contains(&"ns.degraded_rounds"));
+        assert!(traces(&e2).iter().any(|t| t.starts_with("audit=ns-degraded")));
+        assert_eq!(host.manager_view(AppId(0)), &[NodeId::from_index(4)]);
+        // The TTL lapses without a refresh: the view empties (fail-closed
+        // through the empty-manager-view path).
+        let e3 = h.at(TTL.as_nanos() + 1).fire(&mut host, TAG_NSEXP);
+        assert!(metric_incrs(&e3).contains(&"ns.record_expired"));
+        assert!(traces(&e3).iter().any(|t| t.starts_with("audit=ns-expire")));
+        assert!(host.manager_view(AppId(0)).is_empty());
+        // A later quorum read heals the view.
+        h.deliver(&mut host, 0, record_reply(&v1));
+        h.deliver(&mut host, 2, record_reply(&v1));
+        assert_eq!(host.manager_view(AppId(0)), &[NodeId::from_index(4)]);
+    }
+
+    #[test]
+    fn stale_quorum_never_rolls_the_view_back() {
+        let (mut host, kp, writer) = replicated_host(2);
+        let mut h = Harness::new(9);
+        start_host(&mut h, &mut host);
+        let v1 = NsRecord::signed(AppId(0), 1, vec![NodeId::from_index(4)], writer, &kp.secret);
+        let v2 = NsRecord::signed(AppId(0), 2, vec![NodeId::from_index(5)], writer, &kp.secret);
+        h.deliver(&mut host, 0, record_reply(&v2));
+        h.deliver(&mut host, 1, record_reply(&v2));
+        assert_eq!(host.directory_version(AppId(0)), 2);
+        // A later round reaches only stale replicas answering v1.
+        h.at(1_000_000).fire(&mut host, TAG_NS);
+        h.deliver(&mut host, 0, record_reply(&v1));
+        let e = h.deliver(&mut host, 1, record_reply(&v1));
+        assert!(metric_incrs(&e).contains(&"ns.stale_quorum"));
+        assert_eq!(host.directory_version(AppId(0)), 2);
+        assert_eq!(host.manager_view(AppId(0)), &[NodeId::from_index(5)]);
+    }
+
+    #[test]
+    fn negative_quorum_installs_empty_view() {
+        let (mut host, _kp, _writer) = replicated_host(2);
+        let mut h = Harness::new(9);
+        start_host(&mut h, &mut host);
+        let negative = ProtoMsg::NsRecordReply {
+            app: AppId(0),
+            version: 0,
+            managers: Vec::new(),
+            ttl: SimDuration::from_secs(15),
+            signature: None,
+        };
+        h.deliver(&mut host, 0, negative.clone());
+        let e = h.deliver(&mut host, 1, negative);
+        assert!(metric_incrs(&e).contains(&"ns.installs"));
+        assert!(host.manager_view(AppId(0)).is_empty());
+        assert_eq!(host.directory_version(AppId(0)), 0);
+    }
+
+    #[test]
+    fn replicated_crash_clears_directory_state() {
+        let (mut host, kp, writer) = replicated_host(2);
+        let mut h = Harness::new(9);
+        start_host(&mut h, &mut host);
+        let v1 = NsRecord::signed(AppId(0), 1, vec![NodeId::from_index(4)], writer, &kp.secret);
+        h.deliver(&mut host, 0, record_reply(&v1));
+        h.deliver(&mut host, 1, record_reply(&v1));
+        assert_eq!(host.directory_version(AppId(0)), 1);
+        host.on_crash();
+        assert!(host.manager_view(AppId(0)).is_empty());
+        assert_eq!(host.directory_version(AppId(0)), 0);
+        // Recovery restarts the quorum-read machinery from scratch.
+        let effects = {
+            let mut effects = Vec::new();
+            let mut ctx =
+                Context::new(h.id, h.now, &mut effects, &mut h.rng, &mut h.next_timer);
+            host.on_recover(&mut ctx);
+            effects
+        };
+        assert!(sends(&effects).iter().any(|(_, m)| matches!(m, ProtoMsg::NsQuery { .. })));
+    }
+
+    impl Harness {
+        fn fire(&mut self, node: &mut HostNode, tag: u64) -> Vec<Effect<ProtoMsg>> {
+            fire_timer(self, node, tag)
+        }
     }
 }

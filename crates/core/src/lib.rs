@@ -50,6 +50,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub use wanacl_auth as auth;
+
 pub mod audit;
 pub mod cache;
 pub mod campaign;
@@ -84,7 +86,7 @@ pub mod prelude {
     pub use crate::msg::{
         AclOp, AdminStatus, InvokeOutcome, OpId, ProtoMsg, QueryVerdict, RejectReason, ReqId,
     };
-    pub use crate::nameservice::NameServiceNode;
+    pub use crate::nameservice::{DirectoryReplica, NameServiceNode};
     pub use crate::oracle::{InvariantKind, InvariantOracle, OracleStats, OracleViolation};
     pub use crate::policy::{ExhaustionBehavior, FreezePolicy, Policy, QueryFanout};
     pub use crate::scenario::{Deployment, Scenario};

@@ -362,6 +362,107 @@ pub enum ProtoMsg {
         /// How long the host may rely on it (host local clock).
         ttl: SimDuration,
     },
+    // ---- host <-> directory replica ----
+    /// A directory replica's answer to an `NsQuery`: a versioned,
+    /// writer-signed manager-set record. Hosts collect these from a read
+    /// quorum and install the freshest version whose signature verifies.
+    NsRecordReply {
+        /// The application looked up.
+        app: AppId,
+        /// Record version (monotone per app; 0 = no record held — a
+        /// negative answer, served with a capped TTL and no signature).
+        version: u64,
+        /// The manager set the record names.
+        managers: Vec<NodeId>,
+        /// How long the host may rely on the record (host local clock).
+        ttl: SimDuration,
+        /// Writer signature over [`ns_record_signing_bytes`]; `None` only
+        /// on negative (version-0) answers.
+        signature: Option<Signature>,
+    },
+    // ---- writer/env -> directory replica, replica -> replica ----
+    /// A signed directory-record publish: the namespace writer installs
+    /// a new manager-set version at a replica (replicas also push
+    /// accepted records to peers with this message). The replica
+    /// verifies the signature and the version before accepting.
+    NsPublish {
+        /// The record.
+        record: NsRecord,
+    },
+    // ---- replica <-> replica ----
+    /// Anti-entropy probe: the sender advertises the versions it holds;
+    /// the peer answers with every record it has that is strictly newer.
+    NsSyncRequest {
+        /// `(app, version)` pairs the sender currently holds.
+        versions: Vec<(AppId, u64)>,
+    },
+    /// Delta answering an `NsSyncRequest` with strictly-newer records.
+    /// Receivers re-verify every signature before storing, so a
+    /// compromised peer cannot poison the directory through sync.
+    NsSyncResponse {
+        /// The newer records.
+        records: Vec<NsRecord>,
+    },
+}
+
+/// A replicated directory record: which managers serve an application,
+/// stamped with a monotone version and signed by the namespace writer.
+/// TTLs are replica-side serving policy, not part of the record, so a
+/// record stays verifiable as it propagates between replicas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NsRecord {
+    /// The application the record describes.
+    pub app: AppId,
+    /// Monotone version stamp (higher wins everywhere).
+    pub version: u64,
+    /// The manager set.
+    pub managers: Vec<NodeId>,
+    /// Writer signature over [`ns_record_signing_bytes`].
+    pub signature: Signature,
+}
+
+impl NsRecord {
+    /// Builds a record signed by `writer` over its canonical bytes.
+    pub fn signed(
+        app: AppId,
+        version: u64,
+        managers: Vec<NodeId>,
+        writer: wanacl_auth::signed::PrincipalId,
+        key: &wanacl_auth::rsa::SecretKey,
+    ) -> NsRecord {
+        let signature =
+            wanacl_auth::signed::sign_bytes(writer, &ns_record_signing_bytes(app, version, &managers), key);
+        NsRecord { app, version, managers, signature }
+    }
+
+    /// Verifies the record against the writer's registered key.
+    pub fn verify(
+        &self,
+        registry: &wanacl_auth::signed::KeyRegistry,
+        writer: wanacl_auth::signed::PrincipalId,
+    ) -> bool {
+        wanacl_auth::signed::verify_bytes(
+            registry,
+            writer,
+            &ns_record_signing_bytes(self.app, self.version, &self.managers),
+            &self.signature,
+        )
+    }
+}
+
+/// Canonical bytes signed for a directory record. The writer principal
+/// is bound by the detached-signature discipline
+/// ([`wanacl_auth::signed::sign_bytes`] prepends the signer id), so the
+/// record body only needs to bind `(app, version, managers)`.
+pub fn ns_record_signing_bytes(app: AppId, version: u64, managers: &[NodeId]) -> Vec<u8> {
+    let mut out = Vec::new();
+    app.auth_encode(&mut out);
+    version.auth_encode(&mut out);
+    (managers.len() as u64).auth_encode(&mut out);
+    for m in managers {
+        (m.index() as u64).auth_encode(&mut out);
+    }
+    out
 }
 
 /// Canonical bytes signed for an admin operation.
@@ -425,6 +526,20 @@ mod tests {
         assert_ne!(inv, invoke_signing_bytes(UserId(1), AppId(2), ReqId(1), "x"));
         assert_ne!(inv, invoke_signing_bytes(UserId(1), AppId(1), ReqId(2), "x"));
         assert_ne!(inv, invoke_signing_bytes(UserId(1), AppId(1), ReqId(1), "y"));
+    }
+
+    #[test]
+    fn ns_record_signing_bytes_bind_all_fields() {
+        let mgrs = vec![NodeId::from_index(0), NodeId::from_index(1)];
+        let base = ns_record_signing_bytes(AppId(1), 3, &mgrs);
+        assert_ne!(base, ns_record_signing_bytes(AppId(2), 3, &mgrs));
+        assert_ne!(base, ns_record_signing_bytes(AppId(1), 4, &mgrs));
+        assert_ne!(base, ns_record_signing_bytes(AppId(1), 3, &[NodeId::from_index(0)]));
+        assert_ne!(
+            base,
+            ns_record_signing_bytes(AppId(1), 3, &[NodeId::from_index(1), NodeId::from_index(0)]),
+            "manager order is part of the record identity"
+        );
     }
 
     #[test]

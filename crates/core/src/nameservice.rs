@@ -1,32 +1,73 @@
-//! The trusted name service of §3.2.
+//! The trusted name service of §3.2 — stub and replicated forms.
 //!
 //! "This assumption [a fixed, known manager set] can easily be eliminated
 //! by using a trusted name service that provides each host with the set
 //! of managers when requested. If the set of managers changes, a scheme
 //! similar to the time-based expiration of cached information can be used
 //! to trigger a new query to the name service."
+//!
+//! [`NameServiceNode`] is the original single trusted directory.
+//! [`DirectoryReplica`] removes that single trusted point: N replicas
+//! hold versioned, writer-signed manager-set records, converge through
+//! anti-entropy sync backed by the WAL/snapshot [`Storage`] machinery,
+//! and serve [`ProtoMsg::NsRecordReply`] answers that hosts cross-check
+//! against a read quorum (freshest verified version wins). A replica is
+//! *not* trusted: hosts verify every record signature, and replica state
+//! accepted from peers is re-verified before it is stored, so one
+//! compromised replica can neither forge a manager set nor poison its
+//! peers.
 
 use std::any::Any;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
+use wanacl_auth::signed::{KeyRegistry, PrincipalId};
+use wanacl_sim::nemesis::Window;
 use wanacl_sim::node::{Context, Node, NodeId};
-use wanacl_sim::time::SimDuration;
+use wanacl_sim::storage::{Storage, StorageStats};
+use wanacl_sim::time::{SimDuration, SimTime};
 
-use crate::msg::ProtoMsg;
+use crate::msg::{NsRecord, ProtoMsg};
 use crate::types::AppId;
+
+/// Canonical audit rendering of a manager set: `;`-joined node indexes,
+/// `-` when empty. Replica publish notes and host install notes must
+/// agree on this byte-for-byte — the integrity invariant (I7) compares
+/// them as strings.
+pub(crate) fn fmt_mgrs(managers: &[NodeId]) -> String {
+    if managers.is_empty() {
+        return "-".to_string();
+    }
+    let items: Vec<String> = managers.iter().map(|m| m.index().to_string()).collect();
+    items.join(";")
+}
 
 /// A trusted directory mapping applications to their manager sets.
 #[derive(Debug, Default)]
 pub struct NameServiceNode {
     entries: BTreeMap<AppId, Vec<NodeId>>,
     ttl: SimDuration,
+    negative_ttl: SimDuration,
     lookups: u64,
 }
 
 impl NameServiceNode {
     /// Creates a name service whose answers carry the given TTL.
+    /// Negative answers (no record for the app) carry a quarter of it,
+    /// so a host that queries before registration does not cache "no
+    /// managers" for the full TTL.
     pub fn new(ttl: SimDuration) -> Self {
-        NameServiceNode { entries: BTreeMap::new(), ttl, lookups: 0 }
+        NameServiceNode {
+            entries: BTreeMap::new(),
+            ttl,
+            negative_ttl: ttl.mul_f64(0.25),
+            lookups: 0,
+        }
+    }
+
+    /// Overrides the TTL attached to negative (empty) answers.
+    pub fn set_negative_ttl(&mut self, ttl: SimDuration) {
+        self.negative_ttl = ttl;
     }
 
     /// Registers (or replaces) the manager set for an application.
@@ -54,7 +95,13 @@ impl Node for NameServiceNode {
                 self.lookups += 1;
                 ctx.metric_incr("ns.lookups");
                 let managers = self.entries.get(&app).cloned().unwrap_or_default();
-                ctx.send(from, ProtoMsg::NsReply { app, managers, ttl: self.ttl });
+                let ttl = if managers.is_empty() {
+                    ctx.metric_incr("ns.negative_reply");
+                    self.negative_ttl
+                } else {
+                    self.ttl
+                };
+                ctx.send(from, ProtoMsg::NsReply { app, managers, ttl });
             }
             // Environment injection: replace a manager set at runtime by
             // sending the service an NsReply (harness-only path).
@@ -76,9 +123,558 @@ impl Node for NameServiceNode {
     }
 }
 
+/// Timer tag of the periodic anti-entropy round.
+const TAG_SYNC: u64 = 1;
+
+/// How many accepted records trigger a snapshot that truncates the WAL.
+const SNAPSHOT_EVERY: u64 = 8;
+
+/// One replica of the replicated directory.
+///
+/// Holds versioned [`NsRecord`]s, serves signed [`ProtoMsg::NsRecordReply`]
+/// answers, and converges with its peers via periodic anti-entropy
+/// (advertise held versions, receive strictly-newer records) plus an
+/// eager push of freshly accepted publishes. Every record accepted from
+/// any source — writer publish, peer sync, or its own WAL at recovery —
+/// is verified against the namespace writer's key first.
+///
+/// Fault hooks for the nemesis harness:
+/// * [`set_suppress_sync`](DirectoryReplica::set_suppress_sync) freezes
+///   anti-entropy in both directions (the *stale replica* fault);
+/// * [`set_malicious`](DirectoryReplica::set_malicious) makes the
+///   replica serve forged, mis-signed records during a window (the
+///   *malicious partial master* fault).
+#[derive(Debug)]
+pub struct DirectoryReplica {
+    records: BTreeMap<AppId, NsRecord>,
+    ttl: SimDuration,
+    negative_ttl: SimDuration,
+    peers: Vec<NodeId>,
+    registry: Arc<KeyRegistry>,
+    writer: PrincipalId,
+    storage: Option<Box<dyn Storage>>,
+    sync_interval: SimDuration,
+    sync_cursor: usize,
+    since_snapshot: u64,
+    lookups: u64,
+    suppress_sync: bool,
+    malicious: Option<Window>,
+}
+
+impl DirectoryReplica {
+    /// Creates a replica serving records with the given TTL. `peers` are
+    /// the other replicas (anti-entropy partners); `writer` is the only
+    /// principal whose records are accepted, checked against `registry`.
+    pub fn new(
+        ttl: SimDuration,
+        peers: Vec<NodeId>,
+        registry: Arc<KeyRegistry>,
+        writer: PrincipalId,
+    ) -> Self {
+        DirectoryReplica {
+            records: BTreeMap::new(),
+            ttl,
+            negative_ttl: ttl.mul_f64(0.25),
+            peers,
+            registry,
+            writer,
+            storage: None,
+            sync_interval: ttl.mul_f64(0.25),
+            sync_cursor: 0,
+            since_snapshot: 0,
+            lookups: 0,
+            suppress_sync: false,
+            malicious: None,
+        }
+    }
+
+    /// Overrides the TTL attached to negative (no-record) answers.
+    pub fn set_negative_ttl(&mut self, ttl: SimDuration) {
+        self.negative_ttl = ttl;
+    }
+
+    /// Overrides the anti-entropy period (default: TTL / 4).
+    pub fn set_sync_interval(&mut self, interval: SimDuration) {
+        assert!(interval > SimDuration::ZERO, "sync interval must be positive");
+        self.sync_interval = interval;
+    }
+
+    /// Attaches stable storage: accepted records are WAL-appended and
+    /// fsynced before they are served, snapshots truncate the log, and
+    /// crash recovery replays both.
+    pub fn set_storage(&mut self, storage: Box<dyn Storage>) {
+        self.storage = Some(storage);
+    }
+
+    /// Mutable access to the attached storage (harness fault knobs).
+    pub fn storage_mut(&mut self) -> Option<&mut (dyn Storage + 'static)> {
+        self.storage.as_deref_mut()
+    }
+
+    /// Storage counters, if storage is attached.
+    pub fn storage_stats(&self) -> Option<StorageStats> {
+        self.storage.as_ref().map(|s| s.stats())
+    }
+
+    /// Nemesis hook: the *stale replica* fault. While set, the replica
+    /// neither initiates anti-entropy, answers peers' sync requests, nor
+    /// forwards accepted publishes — it keeps serving whatever versions
+    /// it already holds.
+    pub fn set_suppress_sync(&mut self, suppress: bool) {
+        self.suppress_sync = suppress;
+    }
+
+    /// Nemesis hook: the *malicious partial master* fault. During the
+    /// window the replica answers queries with a forged record — version
+    /// bumped past the genuine one, manager set altered, signature not
+    /// matching the forged content — which verifying hosts must reject.
+    pub fn set_malicious(&mut self, window: Window) {
+        self.malicious = Some(window);
+    }
+
+    /// Installs a record at build time, before the world runs (genesis
+    /// state; the record is persisted and announced in `on_start`).
+    pub fn preload(&mut self, record: NsRecord) {
+        self.records.insert(record.app, record);
+    }
+
+    /// The version currently held for an app (0 = none).
+    pub fn version_of(&self, app: AppId) -> u64 {
+        self.records.get(&app).map(|r| r.version).unwrap_or(0)
+    }
+
+    /// The manager set currently held for an app.
+    pub fn managers(&self, app: AppId) -> &[NodeId] {
+        self.records.get(&app).map(|r| r.managers.as_slice()).unwrap_or(&[])
+    }
+
+    /// How many lookups have been served.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    fn malicious_now(&self, ctx: &Context<'_, ProtoMsg>) -> bool {
+        // Replicas run perfect clocks, so local time reads as sim time.
+        match &self.malicious {
+            Some(w) => w.contains(SimTime::from_nanos(ctx.local_now().as_nanos())),
+            None => false,
+        }
+    }
+
+    fn note_record(ctx: &mut Context<'_, ProtoMsg>, kind: &str, record: &NsRecord) {
+        ctx.trace(format!(
+            "audit={kind} app={} version={} mgrs={}",
+            record.app.0,
+            record.version,
+            fmt_mgrs(&record.managers)
+        ));
+    }
+
+    /// Verifies and stores a record if it is strictly newer than what is
+    /// held; persists it and emits the audit note `kind` on acceptance.
+    fn accept(
+        &mut self,
+        ctx: &mut Context<'_, ProtoMsg>,
+        record: NsRecord,
+        kind: &'static str,
+    ) -> bool {
+        if !record.verify(&self.registry, self.writer) {
+            ctx.metric_incr("ns.publish_rejected");
+            return false;
+        }
+        if record.version <= self.version_of(record.app) {
+            ctx.metric_incr("ns.publish_stale");
+            return false;
+        }
+        self.persist(&record);
+        Self::note_record(ctx, kind, &record);
+        ctx.metric_incr("ns.records_accepted");
+        self.records.insert(record.app, record);
+        true
+    }
+
+    fn persist(&mut self, record: &NsRecord) {
+        let Some(storage) = self.storage.as_mut() else { return };
+        let _ = storage.append(&encode_record(record));
+        // A failed barrier keeps the buffer; the next accept retries it.
+        let _ = storage.sync();
+        self.since_snapshot += 1;
+        if self.since_snapshot >= SNAPSHOT_EVERY {
+            let snapshot = encode_snapshot(self.records.values());
+            if storage.write_snapshot(&snapshot).is_ok() {
+                self.since_snapshot = 0;
+            }
+        }
+    }
+
+    /// Replays stable storage into the in-memory record map (freshest
+    /// version wins; signatures re-verified — a WAL is not a trust root).
+    fn recover_from_disk(&mut self) {
+        let Some(storage) = self.storage.as_mut() else { return };
+        let recovered = storage.recover();
+        let mut decoded: Vec<NsRecord> = Vec::new();
+        if let Some(snapshot) = &recovered.snapshot {
+            decoded.extend(decode_snapshot(snapshot));
+        }
+        decoded.extend(recovered.records.iter().filter_map(|r| decode_record(r)));
+        for record in decoded {
+            if !record.verify(&self.registry, self.writer) {
+                continue;
+            }
+            if record.version > self.records.get(&record.app).map(|r| r.version).unwrap_or(0) {
+                self.records.insert(record.app, record);
+            }
+        }
+    }
+
+    /// Announces every held record (idempotent for the oracle) and arms
+    /// the anti-entropy timer.
+    fn announce_and_arm(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        let records: Vec<NsRecord> = self.records.values().cloned().collect();
+        for record in &records {
+            Self::note_record(ctx, "ns-publish", record);
+        }
+        self.arm_sync(ctx);
+    }
+
+    fn arm_sync(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        if self.peers.is_empty() {
+            return;
+        }
+        // Jittered so replica rounds interleave instead of phase-locking.
+        let delay = self.sync_interval.mul_f64(0.8 + 0.4 * ctx.rng().unit());
+        ctx.set_timer(delay, TAG_SYNC);
+    }
+
+    fn held_versions(&self) -> Vec<(AppId, u64)> {
+        self.records.values().map(|r| (r.app, r.version)).collect()
+    }
+}
+
+impl Node for DirectoryReplica {
+    type Msg = ProtoMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        self.recover_from_disk();
+        // Genesis records arrive via preload() before storage sees them;
+        // snapshot everything so they survive the first crash too.
+        if let Some(storage) = self.storage.as_mut() {
+            if !self.records.is_empty() {
+                let _ = storage.write_snapshot(&encode_snapshot(self.records.values()));
+                self.since_snapshot = 0;
+            }
+        }
+        self.announce_and_arm(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, ProtoMsg>, from: NodeId, msg: ProtoMsg) {
+        match msg {
+            ProtoMsg::NsQuery { app } => {
+                self.lookups += 1;
+                ctx.metric_incr("ns.lookups");
+                match self.records.get(&app) {
+                    Some(record) if self.malicious_now(ctx) => {
+                        // Forged answer: bumped version, altered manager
+                        // set, and a signature that does not cover the
+                        // forged content. A verifying host rejects this.
+                        ctx.metric_incr("ns.forged_reply");
+                        let forged: Vec<NodeId> = if record.managers.len() > 1 {
+                            record.managers[1..].to_vec()
+                        } else {
+                            record.managers.clone()
+                        };
+                        ctx.send(
+                            from,
+                            ProtoMsg::NsRecordReply {
+                                app,
+                                version: record.version + 1,
+                                managers: forged,
+                                ttl: self.ttl,
+                                signature: Some(record.signature),
+                            },
+                        );
+                    }
+                    Some(record) => {
+                        ctx.send(
+                            from,
+                            ProtoMsg::NsRecordReply {
+                                app,
+                                version: record.version,
+                                managers: record.managers.clone(),
+                                ttl: self.ttl,
+                                signature: Some(record.signature),
+                            },
+                        );
+                    }
+                    None => {
+                        ctx.metric_incr("ns.negative_reply");
+                        ctx.send(
+                            from,
+                            ProtoMsg::NsRecordReply {
+                                app,
+                                version: 0,
+                                managers: Vec::new(),
+                                ttl: self.negative_ttl,
+                                signature: None,
+                            },
+                        );
+                    }
+                }
+            }
+            ProtoMsg::NsPublish { record } => {
+                let accepted = self.accept(ctx, record.clone(), "ns-publish");
+                if accepted && !self.suppress_sync {
+                    // Eager push: peers converge ahead of the next
+                    // anti-entropy round (they re-verify on receipt).
+                    let peers = self.peers.clone();
+                    ctx.multicast(peers, ProtoMsg::NsPublish { record });
+                }
+            }
+            ProtoMsg::NsSyncRequest { versions } => {
+                if self.suppress_sync {
+                    ctx.metric_incr("ns.sync_suppressed");
+                    return;
+                }
+                let newer: Vec<NsRecord> = self
+                    .records
+                    .values()
+                    .filter(|r| {
+                        let theirs = versions
+                            .iter()
+                            .find(|(app, _)| *app == r.app)
+                            .map(|(_, v)| *v)
+                            .unwrap_or(0);
+                        r.version > theirs
+                    })
+                    .cloned()
+                    .collect();
+                if !newer.is_empty() {
+                    ctx.send(from, ProtoMsg::NsSyncResponse { records: newer });
+                }
+            }
+            ProtoMsg::NsSyncResponse { records } => {
+                if self.suppress_sync {
+                    ctx.metric_incr("ns.sync_suppressed");
+                    return;
+                }
+                for record in records {
+                    self.accept(ctx, record, "ns-apply");
+                }
+            }
+            _ => {
+                ctx.metric_incr("ns.unexpected_msg");
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, ProtoMsg>, tag: u64) {
+        if tag != TAG_SYNC {
+            return;
+        }
+        if !self.suppress_sync && !self.peers.is_empty() {
+            let peer = self.peers[self.sync_cursor % self.peers.len()];
+            self.sync_cursor = self.sync_cursor.wrapping_add(1);
+            ctx.metric_incr("ns.sync_rounds");
+            ctx.send(peer, ProtoMsg::NsSyncRequest { versions: self.held_versions() });
+        }
+        self.arm_sync(ctx);
+    }
+
+    fn on_crash(&mut self) {
+        if let Some(storage) = self.storage.as_mut() {
+            storage.crash();
+        }
+        self.records.clear();
+        self.since_snapshot = 0;
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        self.recover_from_disk();
+        if self.storage.is_some() && !self.records.is_empty() {
+            ctx.metric_incr("ns.recovered_from_disk");
+        }
+        self.announce_and_arm(ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+// ---- WAL / snapshot byte format ----
+//
+// record   := app:u32 | version:u64 | count:u32 | manager:u64 * count
+//             | signature:u64             (all big-endian)
+// snapshot := (len:u32 | record) *
+
+fn encode_record(record: &NsRecord) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24 + 8 * record.managers.len());
+    out.extend_from_slice(&record.app.0.to_be_bytes());
+    out.extend_from_slice(&record.version.to_be_bytes());
+    out.extend_from_slice(&(record.managers.len() as u32).to_be_bytes());
+    for m in &record.managers {
+        out.extend_from_slice(&(m.index() as u64).to_be_bytes());
+    }
+    out.extend_from_slice(&record.signature.0.to_be_bytes());
+    out
+}
+
+fn decode_record(bytes: &[u8]) -> Option<NsRecord> {
+    let mut at = 0usize;
+    let mut take = |n: usize| -> Option<&[u8]> {
+        let slice = bytes.get(at..at + n)?;
+        at += n;
+        Some(slice)
+    };
+    let app = AppId(u32::from_be_bytes(take(4)?.try_into().ok()?));
+    let version = u64::from_be_bytes(take(8)?.try_into().ok()?);
+    let count = u32::from_be_bytes(take(4)?.try_into().ok()?) as usize;
+    let mut managers = Vec::with_capacity(count);
+    for _ in 0..count {
+        let raw = u64::from_be_bytes(take(8)?.try_into().ok()?);
+        managers.push(NodeId::from_index(raw as usize));
+    }
+    let signature = wanacl_auth::rsa::Signature(u64::from_be_bytes(take(8)?.try_into().ok()?));
+    if at != bytes.len() {
+        return None;
+    }
+    Some(NsRecord { app, version, managers, signature })
+}
+
+fn encode_snapshot<'a>(records: impl Iterator<Item = &'a NsRecord>) -> Vec<u8> {
+    let mut out = Vec::new();
+    for record in records {
+        let bytes = encode_record(record);
+        out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+        out.extend_from_slice(&bytes);
+    }
+    out
+}
+
+fn decode_snapshot(bytes: &[u8]) -> Vec<NsRecord> {
+    let mut out = Vec::new();
+    let mut at = 0usize;
+    while at + 4 <= bytes.len() {
+        let len = u32::from_be_bytes(bytes[at..at + 4].try_into().expect("4 bytes")) as usize;
+        at += 4;
+        let Some(body) = bytes.get(at..at + len) else { break };
+        at += len;
+        if let Some(record) = decode_record(body) {
+            out.push(record);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use wanacl_auth::rsa::KeyPair;
+    use wanacl_sim::clock::LocalTime;
+    use wanacl_sim::node::Effect;
+    use wanacl_sim::rng::SimRng;
+    use wanacl_sim::storage::SimStorage;
+
+    const TTL: SimDuration = SimDuration::from_secs(60);
+
+    struct Harness {
+        rng: SimRng,
+        next_timer: u64,
+        now: LocalTime,
+        id: NodeId,
+    }
+
+    impl Harness {
+        fn new() -> Harness {
+            Harness {
+                rng: SimRng::seed_from(1),
+                next_timer: 0,
+                now: LocalTime::ZERO,
+                id: NodeId::from_index(0),
+            }
+        }
+
+        fn deliver<N: Node<Msg = ProtoMsg>>(
+            &mut self,
+            node: &mut N,
+            from: NodeId,
+            msg: ProtoMsg,
+        ) -> Vec<Effect<ProtoMsg>> {
+            let mut effects = Vec::new();
+            let mut ctx =
+                Context::new(self.id, self.now, &mut effects, &mut self.rng, &mut self.next_timer);
+            node.on_message(&mut ctx, from, msg);
+            effects
+        }
+
+        fn start<N: Node<Msg = ProtoMsg>>(&mut self, node: &mut N) -> Vec<Effect<ProtoMsg>> {
+            let mut effects = Vec::new();
+            let mut ctx =
+                Context::new(self.id, self.now, &mut effects, &mut self.rng, &mut self.next_timer);
+            node.on_start(&mut ctx);
+            effects
+        }
+
+        fn timer<N: Node<Msg = ProtoMsg>>(&mut self, node: &mut N, tag: u64) -> Vec<Effect<ProtoMsg>> {
+            let mut effects = Vec::new();
+            let mut ctx =
+                Context::new(self.id, self.now, &mut effects, &mut self.rng, &mut self.next_timer);
+            node.on_timer(&mut ctx, tag);
+            effects
+        }
+
+        fn recover<N: Node<Msg = ProtoMsg>>(&mut self, node: &mut N) -> Vec<Effect<ProtoMsg>> {
+            let mut effects = Vec::new();
+            let mut ctx =
+                Context::new(self.id, self.now, &mut effects, &mut self.rng, &mut self.next_timer);
+            node.on_recover(&mut ctx);
+            effects
+        }
+    }
+
+    fn sends(effects: &[Effect<ProtoMsg>]) -> Vec<(NodeId, ProtoMsg)> {
+        effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Send { to, msg } => Some((*to, msg.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn metric_incrs(effects: &[Effect<ProtoMsg>]) -> Vec<&'static str> {
+        effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::MetricIncr { name } => Some(*name),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn writer_setup() -> (Arc<KeyRegistry>, KeyPair, PrincipalId) {
+        let mut rng = StdRng::seed_from_u64(77);
+        let writer = PrincipalId(2_000_000);
+        let mut registry = KeyRegistry::new();
+        let kp = registry.enroll(writer, &mut rng);
+        (Arc::new(registry), kp, writer)
+    }
+
+    fn record(kp: &KeyPair, writer: PrincipalId, version: u64, managers: Vec<NodeId>) -> NsRecord {
+        NsRecord::signed(AppId(0), version, managers, writer, &kp.secret)
+    }
+
+    fn replica(registry: &Arc<KeyRegistry>, writer: PrincipalId, peers: Vec<NodeId>) -> DirectoryReplica {
+        DirectoryReplica::new(TTL, peers, Arc::clone(registry), writer)
+    }
 
     #[test]
     fn register_and_lookup() {
@@ -95,5 +691,238 @@ mod tests {
         ns.register(AppId(1), vec![NodeId::from_index(1)]);
         ns.register(AppId(1), vec![NodeId::from_index(9)]);
         assert_eq!(ns.managers(AppId(1)), &[NodeId::from_index(9)]);
+    }
+
+    #[test]
+    fn negative_reply_gets_capped_ttl_and_metric() {
+        let mut ns = NameServiceNode::new(SimDuration::from_secs(60));
+        ns.register(AppId(1), vec![NodeId::from_index(1)]);
+        let mut h = Harness::new();
+        let host = NodeId::from_index(7);
+
+        // Unknown app: empty set, quarter TTL, negative-reply metric.
+        let effects = h.deliver(&mut ns, host, ProtoMsg::NsQuery { app: AppId(9) });
+        assert!(metric_incrs(&effects).contains(&"ns.negative_reply"));
+        match &sends(&effects)[..] {
+            [(to, ProtoMsg::NsReply { managers, ttl, .. })] => {
+                assert_eq!(*to, host);
+                assert!(managers.is_empty());
+                assert_eq!(*ttl, SimDuration::from_secs(15));
+            }
+            other => panic!("unexpected effects: {other:?}"),
+        }
+
+        // Known app: full TTL, no negative metric.
+        let effects = h.deliver(&mut ns, host, ProtoMsg::NsQuery { app: AppId(1) });
+        assert!(!metric_incrs(&effects).contains(&"ns.negative_reply"));
+        match &sends(&effects)[..] {
+            [(_, ProtoMsg::NsReply { ttl, .. })] => assert_eq!(*ttl, SimDuration::from_secs(60)),
+            other => panic!("unexpected effects: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replica_serves_signed_record_and_negative_answer() {
+        let (registry, kp, writer) = writer_setup();
+        let mut rep = replica(&registry, writer, vec![]);
+        let mgrs = vec![NodeId::from_index(1), NodeId::from_index(2)];
+        rep.preload(record(&kp, writer, 1, mgrs.clone()));
+        let mut h = Harness::new();
+        let host = NodeId::from_index(9);
+
+        let effects = h.deliver(&mut rep, host, ProtoMsg::NsQuery { app: AppId(0) });
+        match &sends(&effects)[..] {
+            [(to, ProtoMsg::NsRecordReply { version, managers, signature, ttl, .. })] => {
+                assert_eq!(*to, host);
+                assert_eq!(*version, 1);
+                assert_eq!(managers, &mgrs);
+                assert_eq!(*ttl, TTL);
+                let sig = signature.expect("positive answers are signed");
+                let r = NsRecord { app: AppId(0), version: 1, managers: mgrs.clone(), signature: sig };
+                assert!(r.verify(&registry, writer));
+            }
+            other => panic!("unexpected effects: {other:?}"),
+        }
+
+        let effects = h.deliver(&mut rep, host, ProtoMsg::NsQuery { app: AppId(5) });
+        assert!(metric_incrs(&effects).contains(&"ns.negative_reply"));
+        match &sends(&effects)[..] {
+            [(_, ProtoMsg::NsRecordReply { version, managers, signature, ttl, .. })] => {
+                assert_eq!(*version, 0);
+                assert!(managers.is_empty());
+                assert!(signature.is_none());
+                assert_eq!(*ttl, TTL.mul_f64(0.25), "negative answers get the capped TTL");
+            }
+            other => panic!("unexpected effects: {other:?}"),
+        }
+        assert_eq!(rep.lookups(), 2);
+    }
+
+    #[test]
+    fn publish_rejects_forgery_and_rollback_accepts_newer() {
+        let (registry, kp, writer) = writer_setup();
+        let mut rep = replica(&registry, writer, vec![]);
+        let mut h = Harness::new();
+        let m = |i| NodeId::from_index(i);
+
+        // v2 accepted.
+        let v2 = record(&kp, writer, 2, vec![m(1)]);
+        let effects = h.deliver(&mut rep, NodeId::ENV, ProtoMsg::NsPublish { record: v2 });
+        assert!(metric_incrs(&effects).contains(&"ns.records_accepted"));
+        assert_eq!(rep.version_of(AppId(0)), 2);
+
+        // Rollback to v1 rejected even though the signature is valid.
+        let v1 = record(&kp, writer, 1, vec![m(9)]);
+        let effects = h.deliver(&mut rep, NodeId::ENV, ProtoMsg::NsPublish { record: v1 });
+        assert!(metric_incrs(&effects).contains(&"ns.publish_stale"));
+        assert_eq!(rep.version_of(AppId(0)), 2);
+
+        // Tampered v3 (signature does not cover the altered set) rejected.
+        let mut v3 = record(&kp, writer, 3, vec![m(1)]);
+        v3.managers = vec![m(4)];
+        let effects = h.deliver(&mut rep, NodeId::ENV, ProtoMsg::NsPublish { record: v3 });
+        assert!(metric_incrs(&effects).contains(&"ns.publish_rejected"));
+        assert_eq!(rep.managers(AppId(0)), &[m(1)]);
+
+        // Wrong-key v3 rejected too.
+        let mut rng = StdRng::seed_from_u64(78);
+        let mallory = KeyPair::generate(&mut rng);
+        let forged = NsRecord::signed(AppId(0), 3, vec![m(4)], writer, &mallory.secret);
+        let effects = h.deliver(&mut rep, NodeId::ENV, ProtoMsg::NsPublish { record: forged });
+        assert!(metric_incrs(&effects).contains(&"ns.publish_rejected"));
+        assert_eq!(rep.version_of(AppId(0)), 2);
+    }
+
+    #[test]
+    fn anti_entropy_converges_two_replicas() {
+        let (registry, kp, writer) = writer_setup();
+        let a_id = NodeId::from_index(0);
+        let b_id = NodeId::from_index(1);
+        let mut a = replica(&registry, writer, vec![b_id]);
+        let mut b = replica(&registry, writer, vec![a_id]);
+        let mut h = Harness::new();
+
+        // A holds v2; B holds nothing.
+        a.preload(record(&kp, writer, 2, vec![NodeId::from_index(3)]));
+
+        // B's sync round probes A ...
+        let effects = h.timer(&mut b, TAG_SYNC);
+        let (to, probe) = sends(&effects).remove(0);
+        assert_eq!(to, a_id);
+        // ... A answers with its newer record ...
+        let effects = h.deliver(&mut a, b_id, probe);
+        let (to, delta) = sends(&effects).remove(0);
+        assert_eq!(to, b_id);
+        // ... and B verifies + installs it.
+        let effects = h.deliver(&mut b, a_id, delta);
+        assert!(metric_incrs(&effects).contains(&"ns.records_accepted"));
+        assert_eq!(b.version_of(AppId(0)), 2);
+
+        // Converged: another probe draws no response.
+        let effects = h.timer(&mut b, TAG_SYNC);
+        let (_, probe) = sends(&effects).remove(0);
+        let effects = h.deliver(&mut a, b_id, probe);
+        assert!(sends(&effects).is_empty(), "no delta when in sync");
+    }
+
+    #[test]
+    fn stale_replica_suppresses_sync_both_ways() {
+        let (registry, kp, writer) = writer_setup();
+        let peer = NodeId::from_index(1);
+        let mut rep = replica(&registry, writer, vec![peer]);
+        rep.preload(record(&kp, writer, 2, vec![NodeId::from_index(3)]));
+        rep.set_suppress_sync(true);
+        let mut h = Harness::new();
+
+        // No outgoing probe (the timer still re-arms).
+        let effects = h.timer(&mut rep, TAG_SYNC);
+        assert!(sends(&effects).is_empty());
+        assert!(effects.iter().any(|e| matches!(e, Effect::SetTimer { .. })));
+
+        // Incoming probes and deltas are dropped.
+        let effects = h.deliver(&mut rep, peer, ProtoMsg::NsSyncRequest { versions: vec![] });
+        assert!(sends(&effects).is_empty());
+        assert!(metric_incrs(&effects).contains(&"ns.sync_suppressed"));
+        let newer = record(&kp, writer, 5, vec![NodeId::from_index(8)]);
+        let _ = h.deliver(&mut rep, peer, ProtoMsg::NsSyncResponse { records: vec![newer] });
+        assert_eq!(rep.version_of(AppId(0)), 2, "stale replica must stay stale");
+    }
+
+    #[test]
+    fn malicious_window_serves_forged_record_that_fails_verification() {
+        let (registry, kp, writer) = writer_setup();
+        let mut rep = replica(&registry, writer, vec![]);
+        let mgrs = vec![NodeId::from_index(1), NodeId::from_index(2)];
+        rep.preload(record(&kp, writer, 3, mgrs.clone()));
+        rep.set_malicious(Window::new(SimTime::ZERO, SimTime::from_secs(10)));
+        let mut h = Harness::new();
+
+        let effects = h.deliver(&mut rep, NodeId::from_index(9), ProtoMsg::NsQuery { app: AppId(0) });
+        assert!(metric_incrs(&effects).contains(&"ns.forged_reply"));
+        match &sends(&effects)[..] {
+            [(_, ProtoMsg::NsRecordReply { version, managers, signature, .. })] => {
+                assert_eq!(*version, 4, "forgery rolls the version forward");
+                assert_eq!(managers, &mgrs[1..], "forgery alters the manager set");
+                let r = NsRecord {
+                    app: AppId(0),
+                    version: *version,
+                    managers: managers.clone(),
+                    signature: signature.unwrap(),
+                };
+                assert!(!r.verify(&registry, writer), "forged record must not verify");
+            }
+            other => panic!("unexpected effects: {other:?}"),
+        }
+
+        // Outside the window the genuine record is served again.
+        h.now = LocalTime::from_nanos(SimDuration::from_secs(20).as_nanos());
+        let effects = h.deliver(&mut rep, NodeId::from_index(9), ProtoMsg::NsQuery { app: AppId(0) });
+        match &sends(&effects)[..] {
+            [(_, ProtoMsg::NsRecordReply { version, .. })] => assert_eq!(*version, 3),
+            other => panic!("unexpected effects: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crash_recovery_replays_records_from_stable_storage() {
+        let (registry, kp, writer) = writer_setup();
+        let mut rep = replica(&registry, writer, vec![]);
+        rep.set_storage(Box::new(SimStorage::new(42)));
+        rep.preload(record(&kp, writer, 1, vec![NodeId::from_index(1)]));
+        let mut h = Harness::new();
+
+        // Start persists genesis; a publish lands in the WAL.
+        let effects = h.start(&mut rep);
+        assert!(effects.iter().any(|e| matches!(
+            e,
+            Effect::Trace { text } if text.starts_with("audit=ns-publish")
+        )));
+        let v2 = record(&kp, writer, 2, vec![NodeId::from_index(4)]);
+        let _ = h.deliver(&mut rep, NodeId::ENV, ProtoMsg::NsPublish { record: v2 });
+        assert_eq!(rep.version_of(AppId(0)), 2);
+
+        // Crash wipes volatile state; recovery replays snapshot + WAL.
+        rep.on_crash();
+        assert_eq!(rep.version_of(AppId(0)), 0);
+        let effects = h.recover(&mut rep);
+        assert_eq!(rep.version_of(AppId(0)), 2);
+        assert_eq!(rep.managers(AppId(0)), &[NodeId::from_index(4)]);
+        assert!(metric_incrs(&effects).contains(&"ns.recovered_from_disk"));
+    }
+
+    #[test]
+    fn record_codec_round_trips_and_rejects_torn_bytes() {
+        let (_, kp, writer) = writer_setup();
+        let r = record(&kp, writer, 7, vec![NodeId::from_index(3), NodeId::from_index(0)]);
+        let bytes = encode_record(&r);
+        assert_eq!(decode_record(&bytes), Some(r.clone()));
+        assert_eq!(decode_record(&bytes[..bytes.len() - 1]), None, "torn tail");
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert_eq!(decode_record(&padded), None, "trailing garbage");
+
+        let empty = record(&kp, writer, 8, vec![]);
+        let snapshot = encode_snapshot([r.clone(), empty.clone()].iter());
+        assert_eq!(decode_snapshot(&snapshot), vec![r, empty]);
     }
 }

@@ -54,6 +54,11 @@ pub enum InvariantKind {
     /// I5: a disk recovery lost or rolled back an op the manager had
     /// already marked durable (and therefore acked).
     Durability,
+    /// I6: a host acted on a directory record past its TTL after a
+    /// fresher version was quorum-acknowledged.
+    DirectoryFreshness,
+    /// I7: a host installed a manager set no legitimate writer published.
+    DirectoryIntegrity,
 }
 
 impl std::fmt::Display for InvariantKind {
@@ -64,6 +69,8 @@ impl std::fmt::Display for InvariantKind {
             InvariantKind::CacheExpiry => "cache-expiry",
             InvariantKind::FreezeSafety => "freeze-safety",
             InvariantKind::Durability => "durability",
+            InvariantKind::DirectoryFreshness => "directory-freshness",
+            InvariantKind::DirectoryIntegrity => "directory-integrity",
         };
         f.write_str(s)
     }
@@ -119,11 +126,47 @@ pub struct OracleStats {
     pub durable_ops: u64,
     /// Disk-mode recoveries checked against the durable notes.
     pub disk_recoveries: u64,
+    /// Directory records observed being published or anti-entropy
+    /// applied on replicas.
+    pub ns_publishes: u64,
+    /// Host directory installs checked against I6/I7.
+    pub ns_installs: u64,
+    /// Directory versions that reached the write quorum (arming I6).
+    pub ns_acked_versions: u64,
 }
 
 /// One manager's durably-noted slots: `(app, user, right)` → newest
 /// `(seq, origin)` stamp fsynced before an ack.
 type DurableSlots = BTreeMap<(AppId, UserId, String), (u64, u64)>;
+
+/// In-flight allowance added to the I6 freshness deadline: the
+/// longest a directory reply generated *before* a newer version's
+/// write-quorum ack can still be travelling toward a host. Sized to
+/// dominate the nemesis delay-spike ceiling (~2.5 s extra one-way
+/// latency) so a reply that raced the ack never counts as a violation,
+/// while a record retained unboundedly past its TTL still trips I6.
+pub const NS_INFLIGHT_SLACK: SimDuration = SimDuration::from_secs(3);
+
+/// Replicated-directory shape the oracle checks I6/I7 against.
+#[derive(Debug, Clone, Copy)]
+struct DirectoryConfig {
+    /// Total replica count R.
+    replicas: usize,
+    /// The hosts' read quorum Q.
+    read_quorum: usize,
+    /// Worst-case real-time span of a record's TTL on a host clock
+    /// honouring the policy's rate bound (TTL / ρ), plus slack.
+    ttl_real: SimDuration,
+}
+
+impl DirectoryConfig {
+    /// The write quorum W = R − Q + 1: once a version sits on W
+    /// replicas, every read quorum intersects it, so no correct host
+    /// can quorum-read a staler version from then on.
+    fn write_quorum(&self) -> usize {
+        self.replicas - self.read_quorum + 1
+    }
+}
 
 /// The online safety checker. Attach with
 /// [`World::add_observer`](wanacl_sim::world::World::add_observer);
@@ -134,6 +177,7 @@ pub struct InvariantOracle {
     te_real: SimDuration,
     te_budget: SimDuration,
     check_quorum: usize,
+    rate_bound: f64,
     slack: SimDuration,
     /// Newest applied `Add` op per (app, user), in the managers'
     /// `(seq, origin)` last-writer-wins order.
@@ -149,6 +193,17 @@ pub struct InvariantOracle {
     /// Per manager: slot → newest `(seq, origin)` stamp it marked
     /// durable. The lower bound any later disk recovery must reach.
     durable: BTreeMap<NodeId, DurableSlots>,
+    /// Replicated-directory shape; `None` disables the I6/I7 checks.
+    directory: Option<DirectoryConfig>,
+    /// Distinct replicas seen holding each (app, version) — from
+    /// `ns-publish` / `ns-apply` notes.
+    ns_replica_records: BTreeMap<(AppId, u64), BTreeSet<NodeId>>,
+    /// Highest write-quorum-acknowledged version per app, with the
+    /// earliest time it reached the write quorum.
+    ns_acked: BTreeMap<AppId, (u64, SimTime)>,
+    /// Every (app, version, manager-set) a legitimate replica held —
+    /// the I7 whitelist a host install must match.
+    ns_published: BTreeSet<(AppId, u64, String)>,
     violations: Vec<OracleViolation>,
     stats: OracleStats,
     digest: u64,
@@ -184,11 +239,16 @@ impl InvariantOracle {
             te_real: policy.revocation_bound(),
             te_budget: policy.expiry_budget(),
             check_quorum: policy.check_quorum(),
+            rate_bound: policy.clock_rate_bound(),
             slack,
             last_add: BTreeMap::new(),
             stable_revokes: BTreeMap::new(),
             frozen: BTreeSet::new(),
             durable: BTreeMap::new(),
+            directory: None,
+            ns_replica_records: BTreeMap::new(),
+            ns_acked: BTreeMap::new(),
+            ns_published: BTreeSet::new(),
             violations: Vec::new(),
             stats: OracleStats::default(),
             digest: FNV_OFFSET,
@@ -210,6 +270,32 @@ impl InvariantOracle {
             }
         }
         o
+    }
+
+    /// Enables the I6/I7 replicated-directory checks for a deployment
+    /// of `replicas` directory replicas read with `read_quorum`, whose
+    /// records carry `ttl`. The freshness bound is scaled by the
+    /// policy's clock-rate bound — a slow-but-legal host clock may hold
+    /// a record for up to `ttl / ρ` real time — and padded by
+    /// [`NS_INFLIGHT_SLACK`]: a quorum reply carrying the old version
+    /// can already be on the wire when the new version reaches its
+    /// write quorum, so a host may legitimately install the old record
+    /// up to one maximum message delay *after* the ack and then keep it
+    /// for a full TTL.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= read_quorum <= replicas`.
+    pub fn set_directory(&mut self, replicas: usize, read_quorum: usize, ttl: SimDuration) {
+        assert!(
+            read_quorum >= 1 && read_quorum <= replicas,
+            "read quorum must satisfy 1 <= q <= replicas"
+        );
+        self.directory = Some(DirectoryConfig {
+            replicas,
+            read_quorum,
+            ttl_real: ttl.div_f64(self.rate_bound) + NS_INFLIGHT_SLACK,
+        });
     }
 
     /// The violations found so far (empty means every checked event was
@@ -462,6 +548,82 @@ impl InvariantOracle {
         }
     }
 
+    /// A replica published or anti-entropy-applied a record: whitelist
+    /// the (app, version, manager-set) for I7 and track which replicas
+    /// hold the version for the I6 write-quorum ack rule.
+    fn on_ns_record_held(&mut self, at: SimTime, node: NodeId, kv: &Kv<'_>) {
+        let Some(config) = self.directory else { return };
+        let (Some(app), Some(version), Some(mgrs)) =
+            (kv.app(), kv.nanos("version"), kv.get("mgrs"))
+        else {
+            return;
+        };
+        self.stats.ns_publishes += 1;
+        self.ns_published.insert((app, version, mgrs.to_string()));
+        let holders = self.ns_replica_records.entry((app, version)).or_default();
+        let first_crossing = holders.insert(node) && holders.len() == config.write_quorum();
+        if first_crossing {
+            // This version just reached the write quorum: every read
+            // quorum now intersects a holder, so the I6 clock starts —
+            // but only if it advances the app's acked version.
+            let acked = self.ns_acked.entry(app).or_insert((0, at));
+            if version > acked.0 {
+                *acked = (version, at);
+                self.stats.ns_acked_versions += 1;
+            }
+        }
+    }
+
+    /// I6/I7: a host installed a directory record (`ns-install`) or is
+    /// riding one through a degraded quorum round (`ns-degraded`).
+    fn on_ns_acted(&mut self, at: SimTime, index: u64, node: NodeId, kv: &Kv<'_>, installed: bool) {
+        let Some(config) = self.directory else { return };
+        let (Some(app), Some(version)) = (kv.app(), kv.nanos("version")) else { return };
+        if installed {
+            self.stats.ns_installs += 1;
+            // I7: the installed manager set must be one a legitimate
+            // writer published (version 0 = the negative answer, which
+            // installs the empty view and claims nothing).
+            if version > 0 {
+                let mgrs = kv.get("mgrs").unwrap_or("").to_string();
+                if !self.ns_published.contains(&(app, version, mgrs.clone())) {
+                    self.fail(
+                        at,
+                        index,
+                        node,
+                        InvariantKind::DirectoryIntegrity,
+                        format!(
+                            "host installed {app} version {version} mgrs={mgrs} that no legitimate writer published"
+                        ),
+                    );
+                }
+            }
+        }
+        // I6: once a fresher version is write-quorum-acknowledged, a
+        // host may ride an older record only until that record's TTL
+        // (worst-case real time) runs out.
+        if let Some(&(acked_version, acked_at)) = self.ns_acked.get(&app) {
+            if version < acked_version {
+                let deadline = acked_at + config.ttl_real + self.slack;
+                if at > deadline {
+                    let over = SimDuration::from_nanos(
+                        at.as_nanos().saturating_sub(acked_at.as_nanos()),
+                    );
+                    self.fail(
+                        at,
+                        index,
+                        node,
+                        InvariantKind::DirectoryFreshness,
+                        format!(
+                            "host acted on {app} version {version} {over} after version {acked_version} was quorum-acknowledged at {acked_at} (TTL bound {})",
+                            config.ttl_real
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
     fn on_note(&mut self, at: SimTime, index: u64, node: NodeId, text: &str) {
         let kv = Kv::parse(text);
         match kv.get("audit") {
@@ -497,6 +659,9 @@ impl InvariantOracle {
             }
             Some("durable") => self.on_durable(node, &kv),
             Some("recovered") => self.on_recovered(at, index, node, &kv),
+            Some("ns-publish") | Some("ns-apply") => self.on_ns_record_held(at, node, &kv),
+            Some("ns-install") => self.on_ns_acted(at, index, node, &kv, true),
+            Some("ns-degraded") => self.on_ns_acted(at, index, node, &kv, false),
             Some("freeze") => {
                 if let Some(app) = kv.app() {
                     self.frozen.insert((node, app));
@@ -768,6 +933,97 @@ mod tests {
         assert_eq!(mk(&a), mk(&a), "same stream, same digest");
         assert_ne!(mk(&a), mk(&b), "order matters");
         assert_ne!(mk(&a[..1]), mk(&a), "content matters");
+    }
+
+    fn directory_oracle() -> InvariantOracle {
+        // ρ = 0.9, TTL = 9 s → ttl_real = 10 s + 3 s in-flight slack.
+        let mut o = InvariantOracle::new(&policy(), SimDuration::ZERO);
+        o.set_directory(3, 2, SimDuration::from_secs(9));
+        o
+    }
+
+    #[test]
+    fn directory_checks_are_off_until_configured() {
+        let mut o = InvariantOracle::new(&policy(), SimDuration::ZERO);
+        note(&mut o, 1, 1, 6, "audit=ns-install app=0 version=5 mode=quorum acks=2 quorum=2 mgrs=0;1 ttl=9000000000");
+        assert!(o.is_clean(), "{:?}", o.violations());
+        assert_eq!(o.stats().ns_installs, 0);
+    }
+
+    #[test]
+    fn install_of_published_record_is_clean() {
+        let mut o = directory_oracle();
+        note(&mut o, 1, 1, 3, "audit=ns-publish app=0 version=1 mgrs=0;1");
+        note(&mut o, 1, 2, 4, "audit=ns-apply app=0 version=1 mgrs=0;1");
+        note(&mut o, 2, 3, 6, "audit=ns-install app=0 version=1 mode=quorum acks=2 quorum=2 mgrs=0;1 ttl=9000000000");
+        assert!(o.is_clean(), "{:?}", o.violations());
+        assert_eq!(o.stats().ns_publishes, 2);
+        assert_eq!(o.stats().ns_installs, 1);
+        assert_eq!(o.stats().ns_acked_versions, 1, "W = 3-2+1 = 2 holders ack v1");
+    }
+
+    #[test]
+    fn forged_install_violates_directory_integrity() {
+        let mut o = directory_oracle();
+        note(&mut o, 1, 1, 3, "audit=ns-publish app=0 version=1 mgrs=0;1");
+        // The version was never published with this manager set.
+        note(&mut o, 2, 5, 6, "audit=ns-install app=0 version=2 mode=quorum acks=2 quorum=2 mgrs=9 ttl=9000000000");
+        assert_eq!(o.violations().len(), 1);
+        let v = &o.violations()[0];
+        assert_eq!(v.kind, InvariantKind::DirectoryIntegrity);
+        assert_eq!(v.event_index, 5);
+        // A tampered manager set under a *published* version is equally
+        // a violation: the whitelist binds version AND set.
+        note(&mut o, 3, 6, 6, "audit=ns-install app=0 version=1 mode=quorum acks=2 quorum=2 mgrs=9 ttl=9000000000");
+        assert_eq!(o.violations().len(), 2);
+    }
+
+    #[test]
+    fn negative_install_claims_nothing() {
+        let mut o = directory_oracle();
+        note(&mut o, 1, 1, 6, "audit=ns-install app=0 version=0 mode=quorum acks=2 quorum=2 mgrs=- ttl=2000000000");
+        assert!(o.is_clean(), "{:?}", o.violations());
+    }
+
+    #[test]
+    fn stale_record_within_ttl_is_graceful_degradation_not_a_violation() {
+        let mut o = directory_oracle();
+        note(&mut o, 1, 1, 3, "audit=ns-publish app=0 version=1 mgrs=0");
+        note(&mut o, 1, 2, 4, "audit=ns-apply app=0 version=1 mgrs=0");
+        // v2 reaches the write quorum at t = 10 s.
+        note(&mut o, 10, 3, 3, "audit=ns-publish app=0 version=2 mgrs=0;1");
+        note(&mut o, 10, 4, 4, "audit=ns-apply app=0 version=2 mgrs=0;1");
+        // A host still riding v1 at t = 19 s is inside the 13 s bound.
+        note(&mut o, 19, 5, 6, "audit=ns-degraded app=0 version=1");
+        assert!(o.is_clean(), "{:?}", o.violations());
+    }
+
+    #[test]
+    fn stale_record_past_ttl_after_ack_violates_freshness() {
+        let mut o = directory_oracle();
+        note(&mut o, 1, 1, 3, "audit=ns-publish app=0 version=1 mgrs=0");
+        note(&mut o, 10, 2, 3, "audit=ns-publish app=0 version=2 mgrs=0;1");
+        note(&mut o, 10, 3, 4, "audit=ns-apply app=0 version=2 mgrs=0;1");
+        // 14 s after the v2 ack > 13 s (ttl/ρ + in-flight slack): the
+        // host must have expired v1 by now.
+        note(&mut o, 24, 7, 6, "audit=ns-degraded app=0 version=1");
+        assert_eq!(o.violations().len(), 1);
+        let v = &o.violations()[0];
+        assert_eq!(v.kind, InvariantKind::DirectoryFreshness);
+        assert_eq!(v.event_index, 7);
+    }
+
+    #[test]
+    fn one_replica_holding_a_version_does_not_arm_the_ack_clock() {
+        let mut o = directory_oracle();
+        note(&mut o, 1, 1, 3, "audit=ns-publish app=0 version=1 mgrs=0");
+        note(&mut o, 1, 2, 4, "audit=ns-apply app=0 version=1 mgrs=0");
+        // v2 sits on a single replica: below W = 2, no ack — a host
+        // serving v1 forever is legal (the write never committed).
+        note(&mut o, 5, 3, 3, "audit=ns-publish app=0 version=2 mgrs=0;1");
+        note(&mut o, 500, 4, 6, "audit=ns-install app=0 version=1 mode=quorum acks=2 quorum=2 mgrs=0 ttl=9000000000");
+        assert!(o.is_clean(), "{:?}", o.violations());
+        assert_eq!(o.stats().ns_acked_versions, 1, "only v1 ever acked");
     }
 
     #[test]

@@ -10,7 +10,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use wanacl_auth::rsa::SecretKey;
-use wanacl_auth::signed::KeyRegistry;
+use wanacl_auth::signed::{KeyRegistry, PrincipalId};
 use wanacl_sim::clock::ClockSpec;
 use wanacl_sim::net::NetModel;
 use wanacl_sim::node::NodeId;
@@ -20,11 +20,15 @@ use wanacl_sim::world::World;
 use crate::client::{AdminAction, AdminAgent, AdminAgentConfig, UserAgent, UserAgentConfig};
 use crate::host::{AppHost, HostNode, ManagerDirectory};
 use crate::manager::{ManagerApp, ManagerConfig, ManagerNode};
-use crate::msg::{AclOp, ProtoMsg, ReqId};
-use crate::nameservice::NameServiceNode;
+use crate::msg::{AclOp, NsRecord, ProtoMsg, ReqId};
+use crate::nameservice::{DirectoryReplica, NameServiceNode};
 use crate::policy::Policy;
 use crate::types::{Acl, AppId, Right, UserId};
 use crate::wrapper::{Application, CountingApp};
+
+/// The principal that signs directory records. Replicas and hosts trust
+/// exactly this writer; records signed by anyone else are rejected.
+pub const NS_WRITER: PrincipalId = PrincipalId(2_000_000);
 
 /// Builder describing a full deployment. Start from [`Scenario::builder`].
 pub struct Scenario {
@@ -37,6 +41,8 @@ pub struct Scenario {
     initial_rights: Vec<(UserId, Right)>,
     authenticate: bool,
     use_name_service: bool,
+    ns_replicas: usize,
+    ns_read_quorum: usize,
     ns_ttl: SimDuration,
     net: Option<Box<dyn NetModel>>,
     manager_clock: ClockSpec,
@@ -74,6 +80,8 @@ impl Scenario {
             initial_rights: Vec::new(),
             authenticate: false,
             use_name_service: false,
+            ns_replicas: 0,
+            ns_read_quorum: 0,
             ns_ttl: SimDuration::from_secs(300),
             net: None,
             manager_clock: ClockSpec::Perfect,
@@ -138,6 +146,25 @@ impl Scenario {
     /// configuration.
     pub fn with_name_service(mut self, ttl: SimDuration) -> Self {
         self.use_name_service = true;
+        self.ns_ttl = ttl;
+        self
+    }
+
+    /// Discovers managers through a replicated, signed directory:
+    /// `replicas` [`DirectoryReplica`] nodes hold versioned records
+    /// signed by [`NS_WRITER`], and every host issues quorum reads of
+    /// `read_quorum` verified replies (pass 0 for a majority). Takes
+    /// precedence over [`Scenario::with_name_service`].
+    pub fn with_replicated_directory(
+        mut self,
+        replicas: usize,
+        read_quorum: usize,
+        ttl: SimDuration,
+    ) -> Self {
+        assert!(replicas >= 1, "need at least one directory replica");
+        assert!(read_quorum <= replicas, "read quorum cannot exceed the replica count");
+        self.ns_replicas = replicas;
+        self.ns_read_quorum = if read_quorum == 0 { replicas / 2 + 1 } else { read_quorum };
         self.ns_ttl = ttl;
         self
     }
@@ -229,6 +256,14 @@ impl Scenario {
         } else {
             user_secrets.resize(self.users, None);
         }
+        // The directory writer key comes from its own stream so enabling
+        // the replicated directory never perturbs user/admin keys.
+        let mut ns_writer_secret = None;
+        if self.ns_replicas > 0 {
+            let mut wrng = StdRng::seed_from_u64(self.seed ^ 0x6e73_7772);
+            let kp = registry.enroll(NS_WRITER, &mut wrng);
+            ns_writer_secret = Some(kp.secret);
+        }
         let registry = Arc::new(registry);
         let registry_opt = if self.authenticate { Some(registry.clone()) } else { None };
         // Authenticated deployments also authenticate the host<->manager
@@ -271,8 +306,36 @@ impl Scenario {
             assert_eq!(got, id, "manager ids must be dense from zero");
         }
 
-        // Optional name service.
-        let name_service = if self.use_name_service {
+        // Optional replicated directory: replicas sit right after the
+        // managers so campaign node layouts stay arithmetic. Each starts
+        // from the same signed genesis record (version 1).
+        let mut ns_replica_ids: Vec<NodeId> = Vec::new();
+        if self.ns_replicas > 0 {
+            let first = self.managers;
+            ns_replica_ids =
+                (first..first + self.ns_replicas).map(NodeId::from_index).collect();
+            let genesis = NsRecord::signed(
+                self.app,
+                1,
+                manager_ids.clone(),
+                NS_WRITER,
+                ns_writer_secret.as_ref().expect("writer key exists when replicas do"),
+            );
+            for (i, &id) in ns_replica_ids.iter().enumerate() {
+                let peers: Vec<NodeId> =
+                    ns_replica_ids.iter().copied().filter(|p| *p != id).collect();
+                let mut replica =
+                    DirectoryReplica::new(self.ns_ttl, peers, registry.clone(), NS_WRITER);
+                replica.preload(genesis.clone());
+                let got =
+                    world.add_node(format!("nsreplica{i}"), Box::new(replica), ClockSpec::Perfect);
+                assert_eq!(got, id, "replica ids must follow the managers");
+            }
+        }
+
+        // Optional legacy name service (superseded by the replicated
+        // directory when both are requested).
+        let name_service = if self.use_name_service && self.ns_replicas == 0 {
             let mut ns = NameServiceNode::new(self.ns_ttl);
             ns.register(self.app, manager_ids.clone());
             Some(world.add_node("nameservice", Box::new(ns), ClockSpec::Perfect))
@@ -283,9 +346,16 @@ impl Scenario {
         // Hosts.
         let mut host_ids = Vec::with_capacity(self.hosts);
         for i in 0..self.hosts {
-            let directory = match name_service {
-                Some(ns) => ManagerDirectory::NameService { ns },
-                None => ManagerDirectory::Static(manager_ids.clone()),
+            let directory = if !ns_replica_ids.is_empty() {
+                ManagerDirectory::Replicated {
+                    replicas: ns_replica_ids.clone(),
+                    read_quorum: self.ns_read_quorum,
+                }
+            } else {
+                match name_service {
+                    Some(ns) => ManagerDirectory::NameService { ns },
+                    None => ManagerDirectory::Static(manager_ids.clone()),
+                }
             };
             let mut host = HostNode::new(
                 vec![AppHost {
@@ -296,6 +366,9 @@ impl Scenario {
                 }],
                 registry_opt.clone(),
             );
+            if !ns_replica_ids.is_empty() {
+                host.set_ns_trust(registry.clone(), NS_WRITER);
+            }
             if let Some(keys) = &channel {
                 host.set_channel_keys(keys.clone());
             }
@@ -342,6 +415,8 @@ impl Scenario {
             users,
             admin,
             admin_user,
+            ns_replicas: ns_replica_ids,
+            ns_writer_secret,
         }
     }
 }
@@ -363,6 +438,12 @@ pub struct Deployment {
     pub admin: NodeId,
     /// The admin principal (holds `manage` at bootstrap).
     pub admin_user: UserId,
+    /// Directory replica node ids (empty without the replicated
+    /// directory).
+    pub ns_replicas: Vec<NodeId>,
+    /// The directory writer's secret key, for publishing new records
+    /// mid-run (present iff replicas are).
+    pub ns_writer_secret: Option<SecretKey>,
 }
 
 impl Deployment {
@@ -386,6 +467,44 @@ impl Deployment {
             self.admin,
             ProtoMsg::Admin { op, req: ReqId(0), issuer: self.admin_user, signature: None },
         );
+    }
+
+    /// Publishes a new signed manager-set record for the app to ONE
+    /// replica (index `replica_index`) now. Anti-entropy is responsible
+    /// for spreading it — which is exactly what stale-replica and
+    /// split-brain faults attack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the deployment has no replicated directory.
+    pub fn republish_managers(
+        &mut self,
+        replica_index: usize,
+        version: u64,
+        managers: Vec<NodeId>,
+    ) {
+        let now = self.world.now();
+        self.republish_managers_at(now, replica_index, version, managers);
+    }
+
+    /// [`Deployment::republish_managers`] at a scheduled future instant.
+    pub fn republish_managers_at(
+        &mut self,
+        at: SimTime,
+        replica_index: usize,
+        version: u64,
+        managers: Vec<NodeId>,
+    ) {
+        let secret =
+            self.ns_writer_secret.as_ref().expect("deployment has no replicated directory");
+        let record = NsRecord::signed(self.app, version, managers, NS_WRITER, secret);
+        let target = self.ns_replicas[replica_index];
+        self.world.inject(at, target, ProtoMsg::NsPublish { record });
+    }
+
+    /// The directory replica node for index `i`.
+    pub fn ns_replica(&self, i: usize) -> &DirectoryReplica {
+        self.world.node_as::<DirectoryReplica>(self.ns_replicas[i])
     }
 
     /// Makes user `i` (0-based index) issue one request now.

@@ -291,6 +291,112 @@ fn live_full_cluster_restart_recovers_from_disk() {
     let _ = std::fs::remove_dir_all(&base);
 }
 
+/// The replicated directory on real threads: three live replicas serve
+/// signed records, the host installs its manager set from a verified
+/// quorum read, a fresher record published to ONE replica spreads by
+/// anti-entropy, and the host's jittered refresh picks it up.
+#[test]
+fn live_replicated_directory_quorum_reads_and_converges() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wanacl_core::auth::signed::KeyRegistry;
+    use wanacl_core::msg::NsRecord;
+    use wanacl_core::scenario::NS_WRITER;
+
+    let policy = live_policy(1);
+    let mut acl = Acl::new();
+    acl.add(UserId(1), Right::Use);
+
+    let mut registry = KeyRegistry::new();
+    let writer_kp = registry.enroll(NS_WRITER, &mut StdRng::seed_from_u64(7));
+    let registry = std::sync::Arc::new(registry);
+
+    let mut b: RuntimeBuilder<ProtoMsg> = RuntimeBuilder::new(7);
+    let manager_ids: Vec<NodeId> = (0..2).map(NodeId::from_index).collect();
+    for (i, &id) in manager_ids.iter().enumerate() {
+        let peers = manager_ids.iter().copied().filter(|p| *p != id).collect();
+        let got = b.add_node(
+            format!("manager{i}"),
+            Box::new(ManagerNode::new(fast_manager_config(peers, policy.clone(), acl.clone()))),
+        );
+        assert_eq!(got, id);
+    }
+    // Short TTL so anti-entropy (TTL/4) and the host refresh (~0.8 TTL)
+    // both fire well inside the test's sleeps.
+    let ttl = SimDuration::from_millis(800);
+    let replica_ids: Vec<NodeId> = (2..5).map(NodeId::from_index).collect();
+    let genesis = NsRecord::signed(AppId(0), 1, manager_ids.clone(), NS_WRITER, &writer_kp.secret);
+    for (i, &id) in replica_ids.iter().enumerate() {
+        let peers = replica_ids.iter().copied().filter(|p| *p != id).collect();
+        let mut replica = DirectoryReplica::new(ttl, peers, registry.clone(), NS_WRITER);
+        replica.preload(genesis.clone());
+        let got = b.add_node(format!("nsreplica{i}"), Box::new(replica));
+        assert_eq!(got, id);
+    }
+    let mut host_node = HostNode::new(
+        vec![AppHost {
+            app: AppId(0),
+            policy: policy.clone(),
+            directory: ManagerDirectory::Replicated {
+                replicas: replica_ids.clone(),
+                read_quorum: 2,
+            },
+            application: Box::new(CountingApp::new()),
+        }],
+        None,
+    );
+    host_node.set_ns_trust(registry.clone(), NS_WRITER);
+    let host = b.add_node("host", Box::new(host_node));
+    let user = b.add_node(
+        "user",
+        Box::new(UserAgent::new(UserAgentConfig {
+            user: UserId(1),
+            app: AppId(0),
+            hosts: vec![host],
+            workload: None,
+            payload: "live".into(),
+            secret: None,
+            request_timeout: SimDuration::from_secs(5),
+            max_requests: None,
+        })),
+    );
+    let rt = b.start();
+
+    // The startup quorum read must land a verified manager set before
+    // the first invoke can run its check.
+    std::thread::sleep(Duration::from_millis(300));
+    trigger_invoke(&rt, user);
+    std::thread::sleep(Duration::from_millis(400));
+
+    // Publish version 2 to ONE replica; anti-entropy spreads it and the
+    // host's TTL refresh re-reads the quorum.
+    let v2 = NsRecord::signed(AppId(0), 2, manager_ids.clone(), NS_WRITER, &writer_kp.secret);
+    rt.send_from_env(replica_ids[0], ProtoMsg::NsPublish { record: v2 });
+    std::thread::sleep(Duration::from_millis(1_200));
+
+    let snapshot = rt.metrics().snapshot();
+    let nodes = rt.shutdown();
+    let user = nodes[user.index()].as_any().downcast_ref::<UserAgent>().expect("user");
+    assert_eq!(user.stats().allowed, 1, "{:?}", user.stats());
+    for &id in &replica_ids {
+        let replica =
+            nodes[id.index()].as_any().downcast_ref::<DirectoryReplica>().expect("replica");
+        assert_eq!(replica.version_of(AppId(0)), 2, "anti-entropy must converge every replica");
+        assert!(replica.lookups() >= 1, "every replica answered quorum reads");
+    }
+    let host = nodes[host.index()].as_any().downcast_ref::<HostNode>().expect("host");
+    assert_eq!(host.directory_version(AppId(0)), 2, "refresh must pick up the new version");
+    // The directory path feeds the same registry the sim exports.
+    assert!(snapshot.counter("ns.installs") >= 1, "{snapshot:?}");
+    assert!(snapshot.counter("ns.read_rounds") >= 1, "{snapshot:?}");
+    assert!(snapshot.counter("ns.lookups") >= 3, "{snapshot:?}");
+    let latency = snapshot
+        .histogram("ns.lookup_latency_s")
+        .and_then(|h| h.summary())
+        .expect("lookup latency histogram");
+    assert!(latency.count >= 1 && latency.min > 0.0, "live quorum reads take wall-clock time");
+}
+
 #[test]
 fn live_partition_trips_check_quorum() {
     let (rt, host_id, user_id, mgrs) = build_live(3, 2);

@@ -168,6 +168,37 @@ pub enum Fault {
         /// Downtime before the scheduled recovery.
         down_for: SimDuration,
     },
+    /// A directory replica with anti-entropy suppressed for the whole
+    /// run: it neither probes peers, answers their sync requests, nor
+    /// forwards publishes, so it keeps serving whatever versions it
+    /// already holds. The campaign driver applies this to the replica
+    /// before the run starts.
+    StaleReplica {
+        /// The replica that stops syncing.
+        replica: NodeId,
+    },
+    /// Split-brain directory: replica-to-replica traffic between the
+    /// two sides is severed for the window, so the sides serve
+    /// divergent record versions while hosts can still reach both.
+    DirectorySplit {
+        /// When the cut holds.
+        window: Window,
+        /// One side of the replica set.
+        side_a: Vec<NodeId>,
+        /// The other side.
+        side_b: Vec<NodeId>,
+    },
+    /// Malicious partial master: for the window, one replica answers
+    /// quorum reads with forged records (bumped version, altered
+    /// manager set, stale signature). Verifying hosts must reject
+    /// them. The campaign driver applies this to the replica before
+    /// the run starts.
+    MaliciousReplica {
+        /// The replica that turns malicious.
+        replica: NodeId,
+        /// When it serves forged answers.
+        window: Window,
+    },
 }
 
 fn fmt_nodes(nodes: &[NodeId]) -> String {
@@ -205,6 +236,15 @@ impl std::fmt::Display for Fault {
             Fault::ClusterRestart { nodes, at, down_for } => {
                 write!(f, "cluster-restart {} at {at} for {down_for}", fmt_nodes(nodes))
             }
+            Fault::StaleReplica { replica } => {
+                write!(f, "stale-replica {replica} (anti-entropy suppressed)")
+            }
+            Fault::DirectorySplit { window, side_a, side_b } => {
+                write!(f, "directory-split {} | {} {window}", fmt_nodes(side_a), fmt_nodes(side_b))
+            }
+            Fault::MaliciousReplica { replica, window } => {
+                write!(f, "malicious-replica {replica} {window}")
+            }
         }
     }
 }
@@ -219,13 +259,16 @@ impl Fault {
                 | Fault::NsOutage { .. }
                 | Fault::DiskFault { .. }
                 | Fault::ClusterRestart { .. }
+                | Fault::StaleReplica { .. }
+                | Fault::MaliciousReplica { .. }
         )
     }
 
     /// Whether a partition-style fault currently severs `from -> to`.
     pub(crate) fn severs(&self, from: NodeId, to: NodeId, now: SimTime) -> bool {
         match self {
-            Fault::Partition { window, side_a, side_b } => {
+            Fault::Partition { window, side_a, side_b }
+            | Fault::DirectorySplit { window, side_a, side_b } => {
                 window.contains(now)
                     && ((side_a.contains(&from) && side_b.contains(&to))
                         || (side_b.contains(&from) && side_a.contains(&to)))
@@ -260,6 +303,10 @@ pub struct NemesisTargets {
     pub hosts: Vec<NodeId>,
     /// The name-service node, if the deployment uses discovery.
     pub name_service: Option<NodeId>,
+    /// Replicated-directory nodes, if the deployment runs the quorum
+    /// name service. Only [`NemesisPlan::sample_with_directory`] (and
+    /// the scripted builder) attacks these.
+    pub ns_replicas: Vec<NodeId>,
 }
 
 impl NemesisTargets {
@@ -301,7 +348,7 @@ impl NemesisTargets {
 /// let targets = NemesisTargets {
 ///     managers: (0..3).map(NodeId::from_index).collect(),
 ///     hosts: (3..5).map(NodeId::from_index).collect(),
-///     name_service: None,
+///     ..NemesisTargets::default()
 /// };
 /// let horizon = SimTime::from_secs(60);
 /// let a = NemesisPlan::sample(&targets, horizon, 1.0, &mut SimRng::seed_from(7));
@@ -338,7 +385,7 @@ impl NemesisPlan {
         intensity: f64,
         rng: &mut SimRng,
     ) -> NemesisPlan {
-        Self::sample_inner(targets, horizon, intensity, rng, false)
+        Self::sample_inner(targets, horizon, intensity, rng, false, false)
     }
 
     /// Like [`NemesisPlan::sample`], but the fault mix also includes
@@ -357,7 +404,30 @@ impl NemesisPlan {
         intensity: f64,
         rng: &mut SimRng,
     ) -> NemesisPlan {
-        Self::sample_inner(targets, horizon, intensity, rng, true)
+        Self::sample_inner(targets, horizon, intensity, rng, true, false)
+    }
+
+    /// Like [`NemesisPlan::sample_with_storage`] (pass `storage_faults`
+    /// to keep or drop the disk/cluster-restart mix), but the table
+    /// also includes replicated-directory failures when
+    /// [`NemesisTargets::ns_replicas`] is nonempty:
+    /// [`Fault::StaleReplica`] (anti-entropy suppressed),
+    /// [`Fault::DirectorySplit`] (split-brain between replica sides),
+    /// [`Fault::MaliciousReplica`] (forged answers for a window), and
+    /// [`Fault::Crash`] entries over the replica pool. A separate entry
+    /// point so plans drawn for existing seeds stay byte-identical.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`NemesisPlan::sample`].
+    pub fn sample_with_directory(
+        targets: &NemesisTargets,
+        horizon: SimTime,
+        intensity: f64,
+        rng: &mut SimRng,
+        storage_faults: bool,
+    ) -> NemesisPlan {
+        Self::sample_inner(targets, horizon, intensity, rng, storage_faults, true)
     }
 
     fn sample_inner(
@@ -366,6 +436,7 @@ impl NemesisPlan {
         intensity: f64,
         rng: &mut SimRng,
         storage_faults: bool,
+        directory_faults: bool,
     ) -> NemesisPlan {
         assert!(horizon > SimTime::ZERO, "horizon must be positive");
         assert!(intensity > 0.0, "intensity must be positive");
@@ -393,6 +464,14 @@ impl NemesisPlan {
         if storage_faults && !targets.managers.is_empty() {
             table.push((2, 9)); // manager disk fault
             table.push((2, 10)); // correlated cluster restart
+        }
+        if directory_faults && !targets.ns_replicas.is_empty() {
+            table.push((2, 11)); // stale replica
+            if targets.ns_replicas.len() >= 2 {
+                table.push((2, 12)); // split-brain directory
+            }
+            table.push((1, 13)); // malicious partial master
+            table.push((1, 14)); // replica crash/restart
         }
         let total_weight: u64 = table.iter().map(|(w, _)| w).sum();
 
@@ -482,8 +561,12 @@ impl NemesisPlan {
                     period: SimDuration::from_millis(rng.range(200, 2_000)),
                 }
             }
-            6 | 7 => {
-                let pool = if kind == 6 { &targets.managers } else { &targets.hosts };
+            6 | 7 | 14 => {
+                let pool = match kind {
+                    6 => &targets.managers,
+                    7 => &targets.hosts,
+                    _ => &targets.ns_replicas,
+                };
                 let node = *rng.choose(pool);
                 let at_ns = rng.range(0, (horizon.as_nanos() * 9 / 10).max(1));
                 let mean = (horizon.as_nanos() / 10).max(1) as f64;
@@ -502,6 +585,19 @@ impl NemesisPlan {
                 node: *rng.choose(&targets.managers),
                 sync_fail_prob: rng.uniform(0.05, 0.4),
                 torn_tail_prob: rng.uniform(0.2, 0.9),
+            },
+            11 => Fault::StaleReplica { replica: *rng.choose(&targets.ns_replicas) },
+            12 => {
+                let (side_a, side_b) = Self::sample_split(&targets.ns_replicas, rng);
+                Fault::DirectorySplit {
+                    window: Self::sample_window(horizon, rng),
+                    side_a,
+                    side_b,
+                }
+            }
+            13 => Fault::MaliciousReplica {
+                replica: *rng.choose(&targets.ns_replicas),
+                window: Self::sample_window(horizon, rng),
             },
             _ => {
                 // Each manager joins the restart group with p=0.6; one
@@ -602,6 +698,32 @@ impl NemesisPlan {
                 Fault::DiskFault { node, sync_fail_prob, torn_tail_prob } => {
                     Some((*node, *sync_fail_prob, *torn_tail_prob))
                 }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The replicas whose anti-entropy the plan suppresses. The
+    /// campaign driver applies these to each replica before the run
+    /// starts.
+    pub fn stale_replicas(&self) -> Vec<NodeId> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::StaleReplica { replica } => Some(*replica),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The malicious-replica entries as `(replica, window)` pairs. The
+    /// campaign driver arms each replica's forgery window before the
+    /// run starts.
+    pub fn malicious_replicas(&self) -> Vec<(NodeId, Window)> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::MaliciousReplica { replica, window } => Some((*replica, *window)),
                 _ => None,
             })
             .collect()
@@ -743,6 +865,34 @@ impl NemesisPlanBuilder {
         self
     }
 
+    /// Adds a directory replica that never syncs with its peers.
+    pub fn stale_replica(mut self, replica: NodeId) -> Self {
+        self.plan.faults.push(Fault::StaleReplica { replica });
+        self
+    }
+
+    /// Adds a split-brain cut between two sides of the replica set.
+    pub fn directory_split(
+        mut self,
+        side_a: Vec<NodeId>,
+        side_b: Vec<NodeId>,
+        start: SimTime,
+        end: SimTime,
+    ) -> Self {
+        self.plan
+            .faults
+            .push(Fault::DirectorySplit { window: Window::new(start, end), side_a, side_b });
+        self
+    }
+
+    /// Adds a replica that serves forged records for the window.
+    pub fn malicious_replica(mut self, replica: NodeId, start: SimTime, end: SimTime) -> Self {
+        self.plan
+            .faults
+            .push(Fault::MaliciousReplica { replica, window: Window::new(start, end) });
+        self
+    }
+
     /// Finishes the plan.
     pub fn build(self) -> NemesisPlan {
         self.plan
@@ -762,7 +912,12 @@ mod tests {
             managers: vec![n(0), n(1), n(2)],
             hosts: vec![n(3), n(4)],
             name_service: Some(n(5)),
+            ns_replicas: Vec::new(),
         }
+    }
+
+    fn directory_targets() -> NemesisTargets {
+        NemesisTargets { ns_replicas: vec![n(5), n(6), n(7)], ..targets() }
     }
 
     #[test]
@@ -819,6 +974,11 @@ mod tests {
                 Fault::DiskFault { .. } | Fault::ClusterRestart { .. } => {
                     panic!("plain sample() must never draw storage faults")
                 }
+                Fault::StaleReplica { .. }
+                | Fault::DirectorySplit { .. }
+                | Fault::MaliciousReplica { .. } => {
+                    panic!("plain sample() must never draw directory faults")
+                }
             }
         }
     }
@@ -868,6 +1028,125 @@ mod tests {
             }
         }
         assert!(saw_disk && saw_restart, "storage kinds never sampled");
+    }
+
+    #[test]
+    fn directory_sampling_is_deterministic_and_keeps_other_plans_stable() {
+        let horizon = SimTime::from_secs(120);
+        // Directory faults are drawn only by the new entry point; the
+        // extra targets field alone must not perturb existing plans.
+        let plain_a = NemesisPlan::sample(&targets(), horizon, 2.0, &mut SimRng::seed_from(11));
+        let plain_b =
+            NemesisPlan::sample(&directory_targets(), horizon, 2.0, &mut SimRng::seed_from(11));
+        assert_eq!(plain_a, plain_b, "ns_replicas must not affect plain sampling");
+        let storage_a =
+            NemesisPlan::sample_with_storage(&targets(), horizon, 2.0, &mut SimRng::seed_from(11));
+        let storage_b = NemesisPlan::sample_with_storage(
+            &directory_targets(),
+            horizon,
+            2.0,
+            &mut SimRng::seed_from(11),
+        );
+        assert_eq!(storage_a, storage_b, "ns_replicas must not affect storage sampling");
+
+        let a = NemesisPlan::sample_with_directory(
+            &directory_targets(),
+            horizon,
+            2.0,
+            &mut SimRng::seed_from(11),
+            true,
+        );
+        let b = NemesisPlan::sample_with_directory(
+            &directory_targets(),
+            horizon,
+            2.0,
+            &mut SimRng::seed_from(11),
+            true,
+        );
+        assert_eq!(a, b);
+
+        // With no replicas, the directory entry point degrades to the
+        // storage mix exactly.
+        let no_replicas = NemesisPlan::sample_with_directory(
+            &targets(),
+            horizon,
+            2.0,
+            &mut SimRng::seed_from(11),
+            true,
+        );
+        assert_eq!(no_replicas, storage_a);
+
+        // The directory mix actually produces every new kind at some
+        // seed, each one well-formed and aimed at the replica pool.
+        let replicas = directory_targets().ns_replicas;
+        let (mut saw_stale, mut saw_split, mut saw_malicious, mut saw_replica_crash) =
+            (false, false, false, false);
+        for seed in 0..40 {
+            let p = NemesisPlan::sample_with_directory(
+                &directory_targets(),
+                horizon,
+                2.0,
+                &mut SimRng::seed_from(seed),
+                false,
+            );
+            assert!(p
+                .faults
+                .iter()
+                .all(|f| !matches!(f, Fault::DiskFault { .. } | Fault::ClusterRestart { .. })));
+            for f in &p.faults {
+                match f {
+                    Fault::StaleReplica { replica } => {
+                        saw_stale = true;
+                        assert!(replicas.contains(replica));
+                    }
+                    Fault::DirectorySplit { window, side_a, side_b } => {
+                        saw_split = true;
+                        assert!(window.end <= horizon);
+                        assert!(!side_a.is_empty() && !side_b.is_empty());
+                        assert!(side_a.iter().chain(side_b).all(|x| replicas.contains(x)));
+                        assert!(side_a.iter().all(|x| !side_b.contains(x)));
+                    }
+                    Fault::MaliciousReplica { replica, window } => {
+                        saw_malicious = true;
+                        assert!(replicas.contains(replica));
+                        assert!(window.end <= horizon);
+                    }
+                    Fault::Crash { node, .. } if replicas.contains(node) => {
+                        saw_replica_crash = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(
+            saw_stale && saw_split && saw_malicious && saw_replica_crash,
+            "directory kinds never sampled: stale={saw_stale} split={saw_split} \
+             malicious={saw_malicious} crash={saw_replica_crash}"
+        );
+    }
+
+    #[test]
+    fn directory_accessors_and_builder_round_trip() {
+        let plan = NemesisPlan::builder(SimTime::from_secs(30))
+            .stale_replica(n(5))
+            .directory_split(vec![n(5)], vec![n(6), n(7)], SimTime::from_secs(2), SimTime::from_secs(9))
+            .malicious_replica(n(6), SimTime::from_secs(10), SimTime::from_secs(20))
+            .build();
+        assert_eq!(plan.stale_replicas(), vec![n(5)]);
+        let window = Window::new(SimTime::from_secs(10), SimTime::from_secs(20));
+        assert_eq!(plan.malicious_replicas(), vec![(n(6), window)]);
+        // Only the split is a network fault, and it severs like a
+        // symmetric partition while open.
+        let net = plan.net_faults();
+        assert_eq!(net.len(), 1);
+        assert!(net[0].severs(n(5), n(7), SimTime::from_secs(5)));
+        assert!(net[0].severs(n(6), n(5), SimTime::from_secs(5)));
+        assert!(!net[0].severs(n(6), n(7), SimTime::from_secs(5)), "same side stays connected");
+        assert!(!net[0].severs(n(5), n(7), SimTime::from_secs(9)), "cut heals at window end");
+        let text = plan.describe();
+        assert!(text.contains("stale-replica"), "{text}");
+        assert!(text.contains("directory-split"), "{text}");
+        assert!(text.contains("malicious-replica"), "{text}");
     }
 
     #[test]

@@ -9,8 +9,11 @@
 //! $ wanacl nemesis --seed 3 --inject-bug cache-expiry
 //! $ wanacl nemesis --disk-faults true --campaigns 50
 //! $ wanacl nemesis --disk-faults true --inject-bug drop-wal
+//! $ wanacl nemesis --ns-replicas 3 --ns-faults true --campaigns 100
+//! $ wanacl nemesis --ns-replicas 3 --inject-bug ns-trust-unsigned
 //! $ wanacl nemesis --campaigns 20 --jobs 4 --metrics-out metrics.jsonl
 //! $ wanacl obs --minutes 2 --format prometheus
+//! $ wanacl obs --ns-replicas 3 --format jsonl
 //! ```
 
 use std::collections::HashMap;
@@ -51,16 +54,27 @@ fn main() {
                  \x20                                       sweep (0 = one per core; results\n\
                  \x20                                       are identical at any job count)\n\
                  \x20                  --name-service true\n\
+                 \x20                  --ns-replicas N      replace the name service with N\n\
+                 \x20                                       directory replicas (signed records,\n\
+                 \x20                                       host quorum reads, anti-entropy)\n\
+                 \x20                  --ns-read-quorum Q   verified replies a read needs\n\
+                 \x20                                       (default: majority of replicas)\n\
+                 \x20                  --ns-faults true     add directory faults (stale\n\
+                 \x20                                       replicas, split-brain, malicious\n\
+                 \x20                                       partial masters, replica crashes)\n\
                  \x20                  --disk-faults true   add disk faults (torn tails,\n\
                  \x20                                       failed fsyncs) and correlated\n\
                  \x20                                       cluster restarts to the fault mix\n\
-                 \x20                  --inject-bug cache-expiry|drop-wal\n\
+                 \x20                  --inject-bug cache-expiry|drop-wal|ns-trust-unsigned\n\
                  \x20                  --metrics-out PATH   write per-seed + rollup metrics as\n\
                  \x20                                       JSONL to PATH and the Prometheus\n\
                  \x20                                       rollup snapshot to PATH.prom\n\
                  \x20 obs       run a short deployment and export its metrics snapshot\n\
                  \x20           flags: --managers N --hosts N --users N --check-quorum C\n\
                  \x20                  --minutes M --pi P --seed S\n\
+                 \x20                  --ns-replicas N --ns-read-quorum Q (directory ns.*\n\
+                 \x20                                       metrics: lookup latency, quorum\n\
+                 \x20                                       rounds, degraded/stale counters)\n\
                  \x20                  --format prometheus|jsonl (default prometheus)\n\
                  \x20                  --out PATH (default stdout)"
             );
@@ -185,24 +199,41 @@ fn nemesis(flags: &HashMap<String, String>) {
     let users: usize = get(flags, "users", 2);
     let intensity: f64 = get(flags, "intensity", 1.0);
     let use_name_service: bool = get(flags, "name-service", false);
+    let ns_replicas: usize = get(flags, "ns-replicas", 0);
+    let ns_read_quorum: usize = get(flags, "ns-read-quorum", 0);
+    let ns_faults: bool = get(flags, "ns-faults", false);
     let disk_faults: bool = get(flags, "disk-faults", false);
     let inject_bug = match flags.get("inject-bug").map(String::as_str) {
         None | Some("none") => None,
         Some("cache-expiry") => Some(InjectedBug::IgnoreCacheExpiry { host_index: 0 }),
         Some("drop-wal") => Some(InjectedBug::DropWal { manager_index: 0 }),
+        Some("ns-trust-unsigned") => Some(InjectedBug::NsTrustUnsigned { host_index: 0 }),
         Some(other) => {
-            eprintln!("unknown --inject-bug {other} (expected: cache-expiry or drop-wal)");
+            eprintln!(
+                "unknown --inject-bug {other} \
+                 (expected: cache-expiry, drop-wal, or ns-trust-unsigned)"
+            );
             std::process::exit(2);
         }
     };
+    if matches!(inject_bug, Some(InjectedBug::NsTrustUnsigned { .. })) && ns_replicas == 0 {
+        eprintln!("--inject-bug ns-trust-unsigned needs --ns-replicas N (N >= 1)");
+        std::process::exit(2);
+    }
 
     println!(
         "nemesis: {campaigns} campaign(s) from seed {seed}, horizon {horizon_secs}s, \
-         M={managers} hosts={hosts} users={users} intensity={intensity}{}{}",
+         M={managers} hosts={hosts} users={users} intensity={intensity}{}{}{}",
         if disk_faults { " +disk-faults" } else { "" },
+        if ns_replicas > 0 {
+            format!(" +directory[{ns_replicas} replicas{}]", if ns_faults { ", faults" } else { "" })
+        } else {
+            String::new()
+        },
         match inject_bug {
             Some(InjectedBug::IgnoreCacheExpiry { .. }) => " [BUG INJECTED: cache-expiry]",
             Some(InjectedBug::DropWal { .. }) => " [BUG INJECTED: drop-wal]",
+            Some(InjectedBug::NsTrustUnsigned { .. }) => " [BUG INJECTED: ns-trust-unsigned]",
             None => "",
         }
     );
@@ -215,6 +246,9 @@ fn nemesis(flags: &HashMap<String, String>) {
             horizon: SimDuration::from_secs(horizon_secs),
             intensity,
             use_name_service,
+            ns_replicas,
+            ns_read_quorum,
+            ns_faults,
             disk_faults,
             inject_bug,
             ..CampaignConfig::default()
@@ -280,6 +314,8 @@ fn obs(flags: &HashMap<String, String>) {
     let minutes: u64 = get(flags, "minutes", 2);
     let pi: f64 = get(flags, "pi", 0.1);
     let seed: u64 = get(flags, "seed", 1);
+    let ns_replicas: usize = get(flags, "ns-replicas", 0);
+    let ns_read_quorum: usize = get(flags, "ns-read-quorum", 0);
     let format = flags.get("format").map(String::as_str).unwrap_or("prometheus");
 
     let policy = Policy::builder(c)
@@ -295,15 +331,21 @@ fn obs(flags: &HashMap<String, String>) {
             seed ^ 0xdead,
         )))
         .build();
-    let mut d = Scenario::builder(seed)
+    let mut scenario = Scenario::builder(seed)
         .managers(managers)
         .hosts(hosts)
         .users(users)
         .policy(policy)
         .all_users_granted()
         .workload(SimDuration::from_secs(2))
-        .net(Box::new(net))
-        .build();
+        .net(Box::new(net));
+    if ns_replicas > 0 {
+        // Short TTL so lookup latency, quorum rounds, and refresh churn
+        // all show up in the ns.* metric rows within a couple minutes.
+        scenario =
+            scenario.with_replicated_directory(ns_replicas, ns_read_quorum, SimDuration::from_secs(15));
+    }
+    let mut d = scenario.build();
     d.run_for(SimDuration::from_secs(minutes * 60));
     // Exercise the revocation path too, so mgr.* metrics show up.
     d.revoke(UserId(1), Right::Use);
