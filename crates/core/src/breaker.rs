@@ -1,0 +1,253 @@
+//! Per-peer circuit breaker for the live check path.
+//!
+//! When a manager (or name-service replica) stops answering, every
+//! retry a host spends on it is latency stolen from the user. The
+//! breaker remembers recent silence and lets the host route around a
+//! dead peer instead of re-timing-out on it:
+//!
+//! ```text
+//!            failures >= threshold
+//!   Closed ──────────────────────────► Open(until)
+//!     ▲                                   │ now >= until
+//!     │ probe succeeds                    ▼
+//!     └───────────────────────────── HalfOpen
+//!                 probe fails: reopen with doubled window (capped)
+//! ```
+//!
+//! * **Closed** — peer looks healthy; queries flow normally. Consecutive
+//!   failures are counted; reaching the threshold opens the breaker.
+//! * **Open** — peer is skipped when selecting query targets, until the
+//!   hold-off window elapses. The window doubles on every consecutive
+//!   re-open, capped at `open_cap` (same capped-backoff shape as the
+//!   name-service retry schedule).
+//! * **HalfOpen** — the window elapsed; the peer is eligible again, but
+//!   only as a probe: the first failure snaps straight back to `Open`
+//!   with a longer window, while any success fully closes the breaker.
+//!
+//! The breaker is a *latency* mechanism, never a *safety* one: quorum
+//! rules (`C` grants, update-quorum intersection) are enforced
+//! downstream regardless of which peers the breaker admits, and when
+//! skipping open peers would make the check quorum unreachable the host
+//! degrades exactly as if those managers were partitioned away
+//! ([`crate::policy::ExhaustionBehavior`] decides the outcome).
+
+use std::collections::BTreeMap;
+
+use wanacl_sim::time::{SimDuration, SimTime};
+
+/// Tuning knobs for [`PeerBreaker`]. Attach to a policy with
+/// [`crate::policy::PolicyBuilder::breaker`]; the default is **off**.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip a Closed breaker (must be ≥ 1).
+    pub failure_threshold: u32,
+    /// Hold-off window after the first trip.
+    pub open_base: SimDuration,
+    /// Cap on the doubled hold-off window.
+    pub open_cap: SimDuration,
+}
+
+impl Default for BreakerConfig {
+    /// Three strikes, 1 s initial hold-off, capped at 8 s.
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            open_base: SimDuration::from_secs(1),
+            open_cap: SimDuration::from_secs(8),
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// Validates the knobs (threshold ≥ 1, positive base, cap ≥ base).
+    pub fn validate(&self) {
+        assert!(self.failure_threshold >= 1, "breaker threshold must be at least 1");
+        assert!(self.open_base > SimDuration::ZERO, "breaker open window must be positive");
+        assert!(self.open_cap >= self.open_base, "breaker cap must be at least the base window");
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Closed { failures: u32 },
+    Open { until: SimTime, window: SimDuration },
+    HalfOpen { window: SimDuration },
+}
+
+/// What [`PeerBreaker::record_failure`] did, so callers can emit the
+/// matching metric exactly once per transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureOutcome {
+    /// Still Closed; failure counted but below the threshold.
+    Counted,
+    /// The breaker just tripped (Closed → Open or HalfOpen → Open).
+    Opened,
+    /// Already Open; nothing changed.
+    AlreadyOpen,
+}
+
+/// Circuit breaker state for a set of peers, keyed by an arbitrary
+/// ordered id (the hosts use [`wanacl_sim::node::NodeId`]).
+///
+/// Peers with no recorded history are implicitly Closed, so the map
+/// stays empty until something actually fails.
+#[derive(Debug, Clone)]
+pub struct PeerBreaker<K: Ord + Copy> {
+    config: BreakerConfig,
+    peers: BTreeMap<K, State>,
+}
+
+impl<K: Ord + Copy> PeerBreaker<K> {
+    /// Creates a breaker set with the given knobs.
+    pub fn new(config: BreakerConfig) -> Self {
+        config.validate();
+        PeerBreaker { config, peers: BTreeMap::new() }
+    }
+
+    /// Whether `peer` should be offered traffic at `now`. Open peers
+    /// whose window has elapsed flip to HalfOpen (admitted as probes).
+    pub fn admits(&mut self, peer: K, now: SimTime) -> bool {
+        match self.peers.get(&peer).copied() {
+            None | Some(State::Closed { .. }) | Some(State::HalfOpen { .. }) => true,
+            Some(State::Open { until, window }) => {
+                if now >= until {
+                    self.peers.insert(peer, State::HalfOpen { window });
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a successful interaction: closes the breaker and clears
+    /// the failure count. Returns `true` only when a *tripped* breaker
+    /// (Open or HalfOpen) just closed — the caller's cue to emit a
+    /// close metric exactly once per recovery.
+    pub fn record_success(&mut self, peer: K) -> bool {
+        matches!(
+            self.peers.remove(&peer),
+            Some(State::Open { .. }) | Some(State::HalfOpen { .. })
+        )
+    }
+
+    /// Records a failed interaction (timeout / unreachable) at `now`.
+    pub fn record_failure(&mut self, peer: K, now: SimTime) -> FailureOutcome {
+        let state = self.peers.get(&peer).copied().unwrap_or(State::Closed { failures: 0 });
+        match state {
+            State::Closed { failures } => {
+                let failures = failures + 1;
+                if failures >= self.config.failure_threshold {
+                    let window = self.config.open_base;
+                    self.peers.insert(peer, State::Open { until: now + window, window });
+                    FailureOutcome::Opened
+                } else {
+                    self.peers.insert(peer, State::Closed { failures });
+                    FailureOutcome::Counted
+                }
+            }
+            State::HalfOpen { window } => {
+                // Failed probe: reopen with a doubled, capped window.
+                let window = (window + window).min(self.config.open_cap);
+                self.peers.insert(peer, State::Open { until: now + window, window });
+                FailureOutcome::Opened
+            }
+            State::Open { .. } => FailureOutcome::AlreadyOpen,
+        }
+    }
+
+    /// Number of peers currently in the Open state (HalfOpen counts as
+    /// admitted, not open).
+    pub fn open_count(&self, now: SimTime) -> usize {
+        self.peers
+            .values()
+            .filter(|s| matches!(s, State::Open { until, .. } if now < *until))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 2,
+            open_base: SimDuration::from_secs(1),
+            open_cap: SimDuration::from_secs(4),
+        }
+    }
+
+    #[test]
+    fn unknown_peers_are_admitted() {
+        let mut b: PeerBreaker<u32> = PeerBreaker::new(cfg());
+        assert!(b.admits(7, t(0)));
+        assert_eq!(b.open_count(t(0)), 0);
+    }
+
+    #[test]
+    fn threshold_failures_open_then_window_elapses_to_half_open() {
+        let mut b: PeerBreaker<u32> = PeerBreaker::new(cfg());
+        assert_eq!(b.record_failure(1, t(0)), FailureOutcome::Counted);
+        assert!(b.admits(1, t(0)), "below threshold stays closed");
+        assert_eq!(b.record_failure(1, t(0)), FailureOutcome::Opened);
+        assert!(!b.admits(1, t(0)), "open peer is skipped");
+        assert_eq!(b.open_count(t(0)), 1);
+        // Window (1 s) elapses: admitted again as a probe.
+        assert!(b.admits(1, t(1)));
+        assert_eq!(b.open_count(t(1)), 0);
+    }
+
+    #[test]
+    fn failed_probe_doubles_window_up_to_cap() {
+        let mut b: PeerBreaker<u32> = PeerBreaker::new(cfg());
+        b.record_failure(1, t(0));
+        b.record_failure(1, t(0)); // open, window 1 s
+        assert!(b.admits(1, t(1))); // half-open probe
+        assert_eq!(b.record_failure(1, t(1)), FailureOutcome::Opened); // window 2 s
+        assert!(!b.admits(1, t(2)), "2 s window holds at t=2");
+        assert!(b.admits(1, t(3)));
+        assert_eq!(b.record_failure(1, t(3)), FailureOutcome::Opened); // window 4 s (cap)
+        assert!(b.admits(1, t(7)));
+        assert_eq!(b.record_failure(1, t(7)), FailureOutcome::Opened); // capped at 4 s
+        assert!(!b.admits(1, t(10)));
+        assert!(b.admits(1, t(11)));
+    }
+
+    #[test]
+    fn success_closes_from_any_state() {
+        let mut b: PeerBreaker<u32> = PeerBreaker::new(cfg());
+        b.record_failure(1, t(0));
+        assert!(!b.record_success(1), "clearing a counted failure is not a close");
+        b.record_failure(1, t(0));
+        b.record_failure(1, t(0));
+        assert!(b.admits(1, t(1))); // half-open
+        assert!(b.record_success(1), "successful probe closes the breaker");
+        assert!(b.admits(1, t(1)));
+        assert_eq!(b.record_failure(1, t(1)), FailureOutcome::Counted, "counter reset");
+        assert!(!b.record_success(9), "no-op on healthy peer");
+    }
+
+    #[test]
+    fn while_open_additional_failures_do_not_extend_the_window() {
+        let mut b: PeerBreaker<u32> = PeerBreaker::new(cfg());
+        b.record_failure(1, t(0));
+        b.record_failure(1, t(0));
+        assert_eq!(b.record_failure(1, t(0)), FailureOutcome::AlreadyOpen);
+        assert!(b.admits(1, t(1)), "window unchanged by the extra failure");
+    }
+
+    #[test]
+    #[should_panic(expected = "cap must be at least")]
+    fn config_validation_rejects_cap_below_base() {
+        let _ = PeerBreaker::<u32>::new(BreakerConfig {
+            failure_threshold: 1,
+            open_base: SimDuration::from_secs(2),
+            open_cap: SimDuration::from_secs(1),
+        });
+    }
+}

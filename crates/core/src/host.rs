@@ -24,8 +24,9 @@ use wanacl_auth::signed::{KeyRegistry, PrincipalId};
 use wanacl_sim::clock::LocalTime;
 use wanacl_sim::node::{Context, Node, NodeId, TimerId};
 use wanacl_sim::rng::SimRng;
-use wanacl_sim::time::SimDuration;
+use wanacl_sim::time::{SimDuration, SimTime};
 
+use crate::breaker::{FailureOutcome, PeerBreaker};
 use crate::cache::{AclCache, CacheDecision};
 use crate::msg::{
     invoke_signing_bytes, ns_record_signing_bytes, InvokeOutcome, ProtoMsg, QueryVerdict, ReqId,
@@ -164,6 +165,13 @@ struct AppState {
     record_expires: Option<LocalTime>,
     /// The TTL-expiry timer for the installed record.
     ns_expiry_timer: Option<TimerId>,
+    /// The replicas actually queried by the in-flight quorum read (may
+    /// be a subset when the breaker is holding some replicas open).
+    ns_targets: Vec<NodeId>,
+    /// Per-peer circuit breaker over managers *and* directory replicas
+    /// (their [`NodeId`]s are disjoint). `None` unless the policy opts
+    /// in via [`Policy::breaker`].
+    breaker: Option<PeerBreaker<NodeId>>,
 }
 
 impl std::fmt::Debug for AppState {
@@ -217,6 +225,7 @@ impl HostNode {
                     Vec::new()
                 }
             };
+            let breaker = spec.policy.breaker().map(PeerBreaker::new);
             map.insert(
                 spec.app,
                 AppState {
@@ -233,6 +242,8 @@ impl HostNode {
                     record_version: 0,
                     record_expires: None,
                     ns_expiry_timer: None,
+                    ns_targets: Vec::new(),
+                    breaker,
                 },
             );
         }
@@ -372,8 +383,26 @@ impl HostNode {
     /// arms the capped-backoff retry timer for the round.
     fn start_ns_round(&mut self, ctx: &mut Context<'_, ProtoMsg>, app: AppId) {
         let Some(state) = self.apps.get_mut(&app) else { return };
-        let ManagerDirectory::Replicated { replicas, .. } = &state.directory else { return };
-        let replicas = replicas.clone();
+        let ManagerDirectory::Replicated { replicas, read_quorum } = &state.directory else {
+            return;
+        };
+        let read_quorum = *read_quorum;
+        let mut replicas = replicas.clone();
+        // Breaker-aware replica selection: skip replicas held Open —
+        // *unless* that would leave fewer admitted replicas than the
+        // read quorum needs, in which case query everyone (a probe of
+        // a dead replica costs less than a round that cannot succeed).
+        if let Some(b) = state.breaker.as_mut() {
+            let bnow = SimTime::from_nanos(ctx.local_now().as_nanos());
+            let admitted: Vec<NodeId> =
+                replicas.iter().filter(|r| b.admits(**r, bnow)).copied().collect();
+            if admitted.len() >= read_quorum && admitted.len() < replicas.len() {
+                for _ in admitted.len()..replicas.len() {
+                    ctx.metric_incr("rt.breaker_skipped");
+                }
+                replicas = admitted;
+            }
+        }
         if let Some(t) = state.ns_timer.take() {
             ctx.cancel_timer(t);
         }
@@ -381,6 +410,7 @@ impl HostNode {
         state.ns_replies.clear();
         state.ns_round_started = ctx.local_now();
         state.ns_inflight = true;
+        state.ns_targets = replicas.clone();
         for r in &replicas {
             ctx.send(*r, ProtoMsg::NsQuery { app });
         }
@@ -415,6 +445,14 @@ impl HostNode {
             return;
         }
         let quorum = *read_quorum;
+        // Even a straggler or an unverifiable reply proves the replica
+        // is up: the breaker tracks silence, not record validity.
+        if let Some(b) = state.breaker.as_mut() {
+            if b.record_success(from) {
+                ctx.metric_incr("rt.breaker_close");
+                ctx.trace(format!("audit=breaker-close peer={}", from.index()));
+            }
+        }
         if !state.ns_inflight {
             // A straggler from an already-settled round.
             ctx.metric_incr("host.late_reply");
@@ -511,6 +549,23 @@ impl HostNode {
         state.ns_timer = None;
         if state.ns_inflight {
             ctx.metric_incr("ns.read_timeout");
+            // Replicas queried this round that never answered are
+            // charged a breaker failure.
+            let silent: Vec<NodeId> = state
+                .ns_targets
+                .iter()
+                .filter(|r| !state.ns_replies.contains_key(r))
+                .copied()
+                .collect();
+            if let Some(b) = state.breaker.as_mut() {
+                let bnow = SimTime::from_nanos(ctx.local_now().as_nanos());
+                for peer in silent {
+                    if b.record_failure(peer, bnow) == FailureOutcome::Opened {
+                        ctx.metric_incr("rt.breaker_open");
+                        ctx.trace(format!("audit=breaker-open peer={}", peer.index()));
+                    }
+                }
+            }
             let live = state
                 .record_expires
                 .map(|e| ctx.local_now() < e)
@@ -551,7 +606,7 @@ impl HostNode {
     fn start_attempt(&mut self, ctx: &mut Context<'_, ProtoMsg>, pending_id: u64) {
         let query_req = self.fresh_req();
         let Some(p) = self.pending.get_mut(&pending_id) else { return };
-        let Some(state) = self.apps.get(&p.app) else { return };
+        let Some(state) = self.apps.get_mut(&p.app) else { return };
         let old_query = p.query_req;
         self.query_index.remove(&old_query);
         if let Some(t) = p.timer.take() {
@@ -564,23 +619,40 @@ impl HostNode {
         p.attempt_started = ctx.local_now();
         self.query_index.insert(query_req, pending_id);
 
+        // Circuit breaker: managers currently held Open are dropped from
+        // the candidate view *before* fan-out selection, so retries
+        // route around recently-silent peers instead of re-timing-out
+        // on them. This never loosens safety — the quorum rules below
+        // still apply to whatever subset remains.
+        let bnow = SimTime::from_nanos(ctx.local_now().as_nanos());
+        let mut view = state.managers.clone();
+        if let Some(b) = state.breaker.as_mut() {
+            view.retain(|m| {
+                let admitted = b.admits(*m, bnow);
+                if !admitted {
+                    ctx.metric_incr("rt.breaker_skipped");
+                }
+                admitted
+            });
+        }
+        let all_held_open = view.is_empty() && !state.managers.is_empty();
         // Choose which managers to ask this attempt.
         let targets: Vec<NodeId> = match state.policy.fanout() {
-            QueryFanout::All => state.managers.clone(),
+            QueryFanout::All => view.clone(),
             QueryFanout::Subset => {
-                let c = state.policy.check_quorum().min(state.managers.len());
-                let mut pool = state.managers.clone();
+                let c = state.policy.check_quorum().min(view.len());
+                let mut pool = view.clone();
                 ctx.rng().shuffle(&mut pool);
                 pool.truncate(c);
                 pool
             }
             QueryFanout::Sequential => {
                 // Figure 2: one manager at a time, rotating per attempt.
-                if state.managers.is_empty() {
+                if view.is_empty() {
                     Vec::new()
                 } else {
-                    let idx = (p.attempt as usize - 1) % state.managers.len();
-                    vec![state.managers[idx]]
+                    let idx = (p.attempt as usize - 1) % view.len();
+                    vec![view[idx]]
                 }
             }
         };
@@ -596,8 +668,12 @@ impl HostNode {
             // never produce a quorum, and retrying in the same event
             // cannot change the view. Waiting out R query timeouts would
             // only delay the inevitable, so resolve now per the Figure 4
-            // exhaustion policy.
+            // exhaustion policy. Every breaker being open degrades the
+            // same way: the managers are unreachable in practice.
             ctx.metric_incr("host.empty_manager_view");
+            if all_held_open {
+                ctx.metric_incr("rt.breaker_all_open");
+            }
             match exhaustion {
                 ExhaustionBehavior::FailOpen => self.finish(ctx, pending_id, FinishKind::FailOpen),
                 ExhaustionBehavior::FailClosed => {
@@ -956,6 +1032,14 @@ impl HostNode {
             ctx.metric_incr("host.reply_from_non_manager");
             return;
         }
+        // Any reply — grant, deny, or recovering — proves the peer is
+        // alive; the breaker tracks *silence*, not verdicts.
+        if let Some(b) = self.apps.get_mut(&app).and_then(|s| s.breaker.as_mut()) {
+            if b.record_success(from) {
+                ctx.metric_incr("rt.breaker_close");
+                ctx.trace(format!("audit=breaker-close peer={}", from.index()));
+            }
+        }
         let Some(p) = self.pending.get_mut(&pending_id) else { return };
         match verdict {
             QueryVerdict::Deny => {
@@ -997,6 +1081,28 @@ impl HostNode {
     }
 
     fn on_query_timeout(&mut self, ctx: &mut Context<'_, ProtoMsg>, pending_id: u64) {
+        // The attempt's timer ran out: every queried manager that never
+        // answered is charged a breaker failure. (The early abort via
+        // `Unavailable` replies does not charge anyone — those peers
+        // were never given their full timeout.)
+        if let Some(p) = self.pending.get(&pending_id) {
+            let silent: Vec<NodeId> = p
+                .targets
+                .iter()
+                .filter(|t| !p.grants.contains_key(t) && !p.unavailable.contains(t))
+                .copied()
+                .collect();
+            let app = p.app;
+            if let Some(b) = self.apps.get_mut(&app).and_then(|s| s.breaker.as_mut()) {
+                let bnow = SimTime::from_nanos(ctx.local_now().as_nanos());
+                for peer in silent {
+                    if b.record_failure(peer, bnow) == FailureOutcome::Opened {
+                        ctx.metric_incr("rt.breaker_open");
+                        ctx.trace(format!("audit=breaker-open peer={}", peer.index()));
+                    }
+                }
+            }
+        }
         self.attempt_failed(ctx, pending_id);
     }
 
@@ -1006,7 +1112,23 @@ impl HostNode {
     fn attempt_failed(&mut self, ctx: &mut Context<'_, ProtoMsg>, pending_id: u64) {
         let Some(p) = self.pending.get(&pending_id) else { return };
         let Some(state) = self.apps.get(&p.app) else { return };
-        let exhausted = p.attempt >= state.policy.max_attempts();
+        // Deadline budget: when the wall-clock budget for the *whole*
+        // check is spent, stop immediately — burning the remaining
+        // attempts only delays the Figure 4 resolution the user is
+        // already guaranteed to get.
+        let deadline_hit = state
+            .policy
+            .deadline_budget()
+            .map(|budget| ctx.local_now().since(p.first_started) >= budget)
+            .unwrap_or(false);
+        if deadline_hit {
+            ctx.metric_incr("rt.deadline_exceeded");
+            ctx.trace(format!(
+                "audit=deadline app={} user={} attempt={}",
+                p.app.0, p.user.0, p.attempt,
+            ));
+        }
+        let exhausted = deadline_hit || p.attempt >= state.policy.max_attempts();
         if exhausted {
             match state.policy.exhaustion() {
                 ExhaustionBehavior::FailOpen => self.finish(ctx, pending_id, FinishKind::FailOpen),

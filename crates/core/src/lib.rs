@@ -19,6 +19,7 @@
 //! * [`policy`] — the per-application knobs `C`, `Te`, `b`, `R`, `Ti`
 //! * [`msg`] — the wire protocol
 //! * [`cache`] — the host-side `ACL_cache` with expiry (Figures 2–3)
+//! * [`breaker`] — per-peer circuit breaker for the live check path
 //! * [`host`] — the application-host node (Figures 2–4 + check quorum)
 //! * [`manager`] — the manager node (quorum dissemination, freeze, recovery)
 //! * [`nameservice`] — the trusted directory of §3.2
@@ -53,6 +54,7 @@
 pub use wanacl_auth as auth;
 
 pub mod audit;
+pub mod breaker;
 pub mod cache;
 pub mod campaign;
 pub mod channel;
@@ -71,6 +73,7 @@ pub mod wrapper;
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::audit::{AuditEvent, AuditLog, Violation};
+    pub use crate::breaker::{BreakerConfig, FailureOutcome, PeerBreaker};
     pub use crate::cache::{AclCache, CacheDecision};
     pub use crate::campaign::{
         rollup_metrics, run_campaign, run_with_plan, sample_plan, shrink_plan, CampaignConfig,

@@ -1291,3 +1291,73 @@ fn counting_app_only_sees_authorized_requests() {
     let app: &CountingApp = host.application_as(d.app);
     assert_eq!(app.handled(), 1, "the wrapper must shield the app from unauthorized requests");
 }
+
+/// Deadline budget + per-peer circuit breaker: with one of two managers
+/// silently partitioned away (C = 2, so no check can complete), the host
+/// (a) opens the silent peer's breaker and stops querying it, and
+/// (b) resolves the check at the deadline budget instead of burning all
+/// `R` attempts. After the heal, a successful reply closes the breaker.
+#[test]
+fn breaker_and_deadline_bound_checks_against_a_silent_manager() {
+    let policy = Policy::builder(2)
+        .revocation_bound(SimDuration::from_secs(2)) // short te: cache dies fast
+        .clock_rate_bound(1.0)
+        .query_timeout(SimDuration::from_millis(200))
+        .max_attempts(10) // without the deadline this would take 2 s
+        .deadline_budget(SimDuration::from_millis(500))
+        .breaker(BreakerConfig {
+            failure_threshold: 1,
+            open_base: SimDuration::from_secs(2),
+            open_cap: SimDuration::from_secs(8),
+        })
+        .cache_sweep_interval(SimDuration::from_secs(1))
+        .build();
+    // Layout: managers 0..1, host 2, user 3. Cut manager 1 <-> host from
+    // 5 s to 15 s; the managers stay connected to each other.
+    let cut = ScheduledPartitions::cut_between(
+        vec![n(1)],
+        vec![n(2)],
+        SimTime::from_secs(5),
+        SimTime::from_secs(15),
+    );
+    let net = WanNet::builder()
+        .constant_delay(SimDuration::from_millis(20))
+        .partitions(Box::new(cut))
+        .build();
+    let mut d = Scenario::builder(42)
+        .managers(2)
+        .hosts(1)
+        .users(1)
+        .policy(policy)
+        .all_users_granted()
+        .net(Box::new(net))
+        .build();
+
+    // Pre-partition: both managers reachable, C = 2 satisfied.
+    d.run_until(SimTime::from_secs(1));
+    d.invoke_from(0);
+    d.run_until(SimTime::from_secs(2));
+    assert_eq!(d.user_agent(0).stats().allowed, 1);
+
+    // Inside the partition (cache long expired): attempt 1 gets one
+    // grant, times out on manager 1 (breaker opens), attempts 2+ skip
+    // it, and the 500 ms deadline resolves the check fail-closed well
+    // before the 10 × 200 ms attempt schedule would.
+    d.run_until(SimTime::from_secs(10));
+    d.invoke_from(0);
+    d.run_until(SimTime::from_secs(11));
+    let stats = d.user_agent(0).stats();
+    assert_eq!(stats.unavailable, 1, "deadline must resolve within 1 s");
+    let m = d.world.metrics();
+    assert!(m.counter("rt.breaker_open") >= 1, "silent manager must trip its breaker");
+    assert!(m.counter("rt.breaker_skipped") >= 1, "open peer must be skipped on retry");
+    assert!(m.counter("rt.deadline_exceeded") >= 1, "budget must cut the retry schedule");
+
+    // After the heal the next check queries manager 1 again (its window
+    // elapsed), succeeds, and closes the breaker.
+    d.run_until(SimTime::from_secs(16));
+    d.invoke_from(0);
+    d.run_until(SimTime::from_secs(17));
+    assert_eq!(d.user_agent(0).stats().allowed, 2);
+    assert!(d.world.metrics().counter("rt.breaker_close") >= 1);
+}

@@ -20,11 +20,15 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chaos;
 pub mod router;
 pub mod runtime;
 pub mod storage;
 
-pub use router::LinkPolicy;
-pub use runtime::{Runtime, RuntimeBuilder};
+pub use chaos::ChaosRouter;
+pub use router::{LinkPolicy, Transport};
+pub use runtime::{
+    LiveTraceEntry, NodeExit, NodeFactory, NodeResult, Runtime, RuntimeBuilder, TraceBuffer,
+};
 pub use storage::FileStorage;
 pub use wanacl_sim::obs::{metrics_jsonl, prometheus_text, MetricsSink};

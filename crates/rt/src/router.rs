@@ -1,11 +1,12 @@
 //! In-process message routing between node threads.
 
-use crossbeam::channel::Sender;
+use crossbeam::channel::{Sender, TrySendError};
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use wanacl_sim::node::NodeId;
+use wanacl_sim::obs::MetricsSink;
 
 /// An inbox item: a message or a lifecycle command.
 #[derive(Debug)]
@@ -26,6 +27,34 @@ pub enum Envelope<M> {
     Recover,
     /// Stop the node thread.
     Stop,
+    /// Tear the node thread down like a process kill: no `on_crash`
+    /// hook runs, the thread just exits. Used by
+    /// [`crate::Runtime::kill`] before a restart-from-storage.
+    Kill,
+}
+
+/// What node threads use to emit traffic: implemented by [`Router`]
+/// directly and by decorators such as [`crate::chaos::ChaosRouter`]
+/// that perturb delivery before handing off to the inner router.
+///
+/// Data-plane only — lifecycle envelopes never travel through a
+/// `Transport`, so fault injection can never eat a `Stop` or `Kill`.
+pub trait Transport<M: Send + Sync + 'static>: Send + Sync {
+    /// Routes one already-`Arc`-shared message.
+    fn send_shared(&self, from: NodeId, to: NodeId, msg: Arc<M>);
+
+    /// Routes one message.
+    fn send(&self, from: NodeId, to: NodeId, msg: M) {
+        self.send_shared(from, to, Arc::new(msg));
+    }
+
+    /// Fans one message out to every target, sharing the allocation.
+    fn broadcast(&self, from: NodeId, targets: &[NodeId], msg: M) {
+        let msg = Arc::new(msg);
+        for &to in targets {
+            self.send_shared(from, to, Arc::clone(&msg));
+        }
+    }
 }
 
 /// Per-link delivery policy (loss and symmetric partitions), evaluated at
@@ -122,11 +151,20 @@ impl<M> LinkPolicy<M> for LossyPolicy {
 }
 
 /// Routes messages to node inboxes, applying the link policy.
+///
+/// Inboxes are bounded (see [`crate::RuntimeBuilder::inbox_capacity`]);
+/// the overflow policy is drop-newest: a message that finds the
+/// destination queue full is discarded and counted (`rt.inbox_overflow`
+/// in the attached metrics sink), exactly like a NIC ring overrun. Only
+/// data-plane messages can overflow — lifecycle envelopes bypass the
+/// bound on the channel's control lane.
 pub struct Router<M> {
     inboxes: RwLock<Vec<Sender<Envelope<M>>>>,
     policy: RwLock<Arc<dyn LinkPolicy<M>>>,
+    metrics: RwLock<Option<MetricsSink>>,
     sent: AtomicU64,
     dropped: AtomicU64,
+    overflowed: AtomicU64,
 }
 
 impl<M> std::fmt::Debug for Router<M> {
@@ -135,6 +173,7 @@ impl<M> std::fmt::Debug for Router<M> {
             .field("nodes", &self.inboxes.read().len())
             .field("sent", &self.sent.load(Ordering::Relaxed))
             .field("dropped", &self.dropped.load(Ordering::Relaxed))
+            .field("overflowed", &self.overflowed.load(Ordering::Relaxed))
             .finish()
     }
 }
@@ -145,8 +184,10 @@ impl<M: Send + Sync + 'static> Router<M> {
         Arc::new(Router {
             inboxes: RwLock::new(Vec::new()),
             policy: RwLock::new(Arc::new(DeliverAll)),
+            metrics: RwLock::new(None),
             sent: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
+            overflowed: AtomicU64::new(0),
         })
     }
 
@@ -155,14 +196,30 @@ impl<M: Send + Sync + 'static> Router<M> {
         *self.policy.write() = policy;
     }
 
+    /// Attaches a sink for the router's own counters
+    /// (`rt.inbox_overflow`).
+    pub fn set_metrics(&self, metrics: MetricsSink) {
+        *self.metrics.write() = Some(metrics);
+    }
+
     pub(crate) fn register(&self, sender: Sender<Envelope<M>>) -> NodeId {
         let mut inboxes = self.inboxes.write();
         inboxes.push(sender);
         NodeId::from_index(inboxes.len() - 1)
     }
 
-    /// Routes one message; silently drops on policy denial or a closed
-    /// inbox (matching the unreliable-network model).
+    /// Swaps the inbox of an existing node id — the restart path: the
+    /// old receiver died with its thread, the respawned thread brings a
+    /// fresh channel under the same id.
+    pub(crate) fn replace(&self, id: NodeId, sender: Sender<Envelope<M>>) {
+        let mut inboxes = self.inboxes.write();
+        if let Some(slot) = inboxes.get_mut(id.index()) {
+            *slot = sender;
+        }
+    }
+
+    /// Routes one message; silently drops on policy denial, a full
+    /// inbox, or a closed inbox (matching the unreliable-network model).
     pub fn send(&self, from: NodeId, to: NodeId, msg: M) {
         self.send_shared(from, to, Arc::new(msg));
     }
@@ -176,7 +233,22 @@ impl<M: Send + Sync + 'static> Router<M> {
         }
         let inboxes = self.inboxes.read();
         if let Some(sender) = inboxes.get(to.index()) {
-            let _ = sender.send(Envelope::Msg { from, msg });
+            match sender.try_send(Envelope::Msg { from, msg }) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => {
+                    // Drop-newest overflow: the receiver is wedged or
+                    // badly behind; shedding here keeps senders from
+                    // blocking and makes backpressure observable.
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                    self.overflowed.fetch_add(1, Ordering::Relaxed);
+                    if let Some(metrics) = self.metrics.read().as_ref() {
+                        metrics.incr("rt.inbox_overflow");
+                    }
+                }
+                // A dead inbox is a down node: the network just loses
+                // the message.
+                Err(TrySendError::Disconnected(_)) => {}
+            }
         }
     }
 
@@ -191,9 +263,28 @@ impl<M: Send + Sync + 'static> Router<M> {
         }
     }
 
-    /// Messages sent / dropped so far.
+    /// Messages sent / dropped so far (drops include overflows).
     pub fn stats(&self) -> (u64, u64) {
         (self.sent.load(Ordering::Relaxed), self.dropped.load(Ordering::Relaxed))
+    }
+
+    /// Messages dropped because the destination inbox was full.
+    pub fn overflowed(&self) -> u64 {
+        self.overflowed.load(Ordering::Relaxed)
+    }
+}
+
+impl<M: Send + Sync + 'static> Transport<M> for Router<M> {
+    fn send_shared(&self, from: NodeId, to: NodeId, msg: Arc<M>) {
+        Router::send_shared(self, from, to, msg);
+    }
+
+    fn send(&self, from: NodeId, to: NodeId, msg: M) {
+        Router::send(self, from, to, msg);
+    }
+
+    fn broadcast(&self, from: NodeId, targets: &[NodeId], msg: M) {
+        Router::broadcast(self, from, targets, msg);
     }
 }
 
@@ -291,5 +382,40 @@ mod tests {
         let router: Arc<Router<u32>> = Router::new();
         router.send(NodeId::ENV, NodeId::from_index(9), 1);
         assert_eq!(router.stats(), (1, 0));
+    }
+
+    #[test]
+    fn full_inbox_sheds_newest_and_counts_overflow() {
+        let router: Arc<Router<u32>> = Router::new();
+        let sink = MetricsSink::new();
+        router.set_metrics(sink.clone());
+        let (tx, rx) = crossbeam::channel::bounded(2);
+        let id = router.register(tx);
+        for i in 0..5 {
+            router.send(NodeId::ENV, id, i);
+        }
+        assert_eq!(router.overflowed(), 3);
+        assert_eq!(router.stats(), (5, 3));
+        assert_eq!(sink.counter("rt.inbox_overflow"), 3);
+        // The two oldest messages survived; the overflow dropped newest.
+        let got: Vec<u32> = rx
+            .try_iter()
+            .map(|e| match e {
+                Envelope::Msg { msg, .. } => *msg,
+                other => panic!("unexpected envelope: {other:?}"),
+            })
+            .collect();
+        assert_eq!(got, vec![0, 1]);
+    }
+
+    #[test]
+    fn send_to_dead_inbox_is_silent() {
+        let router: Arc<Router<u32>> = Router::new();
+        let (tx, rx) = crossbeam::channel::bounded(4);
+        let id = router.register(tx);
+        drop(rx); // the node thread died
+        router.send(NodeId::ENV, id, 1);
+        assert_eq!(router.stats(), (1, 0));
+        assert_eq!(router.overflowed(), 0);
     }
 }

@@ -1,22 +1,107 @@
 //! The node-per-thread runtime.
 
 use std::collections::{BinaryHeap, HashSet};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 
 use wanacl_sim::clock::LocalTime;
 use wanacl_sim::node::{Context, Effect, Node, NodeId};
 use wanacl_sim::obs::MetricsSink;
 use wanacl_sim::rng::SimRng;
+use wanacl_sim::time::SimTime;
 
-use crate::router::{Envelope, Router};
+use crate::router::{Envelope, Router, Transport};
+
+/// Default bound on every node inbox. Large enough that a healthy node
+/// never sees it; small enough that a wedged node sheds load instead of
+/// growing a queue without limit.
+const DEFAULT_INBOX_CAPACITY: usize = 4096;
 
 /// A protocol node that can run on a thread.
 pub trait RtNode<M>: Node<Msg = M> + Send {}
 impl<M, T: Node<Msg = M> + Send> RtNode<M> for T {}
+
+/// Builds a fresh instance of a node for [`Runtime::restart`] — e.g. a
+/// `ManagerNode` reopening its `FileStorage` directory so `on_start`
+/// replays the WAL + snapshot, exactly what a respawned process does.
+pub type NodeFactory<M> = Arc<dyn Fn() -> Box<dyn RtNode<M>> + Send + Sync>;
+
+/// How a node thread ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeExit {
+    /// Clean stop via [`Runtime::shutdown`].
+    Stopped,
+    /// Torn down by [`Runtime::kill`] (process-death model: no
+    /// `on_crash` hook ran).
+    Killed,
+    /// The inbox disconnected while the node was running — the runtime
+    /// side dropped its sender without a `Stop`, i.e. the deployment
+    /// wedged rather than shut down. Counted as `rt.inbox_disconnected`.
+    Disconnected,
+}
+
+/// Per-node outcome of [`Runtime::shutdown`]: how the thread ended plus
+/// the node object for inspection, or the panic message if the thread
+/// panicked. One panicking node is a reportable result, not a cascade.
+pub type NodeResult<M> = Result<(NodeExit, Box<dyn RtNode<M>>), String>;
+
+/// One captured `Effect::Trace` from a live node, stamped against the
+/// deployment-wide epoch so events from different threads share a clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveTraceEntry {
+    /// Wall-clock time since [`Runtime`] start, as the sim time type the
+    /// oracle consumes.
+    pub at: SimTime,
+    /// The emitting node.
+    pub node: NodeId,
+    /// The trace text (e.g. `audit=...` notes).
+    pub text: String,
+}
+
+/// A shared, thread-safe buffer of live trace events.
+///
+/// Enabled via [`RuntimeBuilder::capture_traces`]; node threads append
+/// every `ctx.trace(..)` effect, and a chaos driver drains the buffer to
+/// feed the invariant oracle the same `Note` stream the simulator
+/// produces. Poison-tolerant like the metrics sink: a panicking node
+/// must not take the evidence down with it.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuffer {
+    entries: Arc<Mutex<Vec<LiveTraceEntry>>>,
+}
+
+impl TraceBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        TraceBuffer::default()
+    }
+
+    fn push(&self, entry: LiveTraceEntry) {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner()).push(entry);
+    }
+
+    /// Number of captured entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Takes all captured entries, sorted by timestamp (stable, so
+    /// same-instant events keep arrival order).
+    pub fn drain_sorted(&self) -> Vec<LiveTraceEntry> {
+        let mut entries =
+            std::mem::take(&mut *self.entries.lock().unwrap_or_else(|e| e.into_inner()));
+        entries.sort_by_key(|e| e.at);
+        entries
+    }
+}
 
 #[derive(Debug, PartialEq, Eq)]
 struct DueTimer {
@@ -37,11 +122,24 @@ impl PartialOrd for DueTimer {
     }
 }
 
+struct NodeSpec<M> {
+    name: String,
+    node: Box<dyn RtNode<M>>,
+    factory: Option<NodeFactory<M>>,
+}
+
+/// Decorates the base router into the transport node threads send
+/// through (see [`RuntimeBuilder::wrap_transport`]).
+type TransportWrap<M> = Box<dyn FnOnce(Arc<Router<M>>) -> Arc<dyn Transport<M>>>;
+
 /// Builds a threaded deployment.
 pub struct RuntimeBuilder<M> {
-    nodes: Vec<(String, Box<dyn RtNode<M>>)>,
+    nodes: Vec<NodeSpec<M>>,
     seed: u64,
     metrics: MetricsSink,
+    inbox_capacity: usize,
+    trace: Option<TraceBuffer>,
+    wrap: Option<TransportWrap<M>>,
 }
 
 impl<M> std::fmt::Debug for RuntimeBuilder<M> {
@@ -53,7 +151,14 @@ impl<M> std::fmt::Debug for RuntimeBuilder<M> {
 impl<M: Send + Sync + Clone + std::fmt::Debug + 'static> RuntimeBuilder<M> {
     /// Starts a builder; `seed` feeds each node's RNG stream.
     pub fn new(seed: u64) -> Self {
-        RuntimeBuilder { nodes: Vec::new(), seed, metrics: MetricsSink::new() }
+        RuntimeBuilder {
+            nodes: Vec::new(),
+            seed,
+            metrics: MetricsSink::new(),
+            inbox_capacity: DEFAULT_INBOX_CAPACITY,
+            trace: None,
+            wrap: None,
+        }
     }
 
     /// The deployment-wide metrics sink. All node threads record the
@@ -64,52 +169,146 @@ impl<M: Send + Sync + Clone + std::fmt::Debug + 'static> RuntimeBuilder<M> {
         &self.metrics
     }
 
+    /// Bounds every node inbox at `capacity` queued messages (default
+    /// 4096). Overflow is drop-newest and counted as
+    /// `rt.inbox_overflow`; lifecycle envelopes are exempt.
+    pub fn inbox_capacity(&mut self, capacity: usize) -> &mut Self {
+        self.inbox_capacity = capacity.max(1);
+        self
+    }
+
+    /// Enables trace capture and returns the shared buffer. Without
+    /// this, `Effect::Trace` stays dropped (tracing costs a mutex hit
+    /// per note, so it is opt-in).
+    pub fn capture_traces(&mut self) -> TraceBuffer {
+        let buffer = self.trace.get_or_insert_with(TraceBuffer::new);
+        buffer.clone()
+    }
+
+    /// Installs a transport decorator: `wrap` receives the base router
+    /// at `start` and returns what node threads actually send through
+    /// (e.g. a [`crate::chaos::ChaosRouter`]). Environment injection via
+    /// [`Runtime::send_from_env`] keeps using the base router, so test
+    /// drivers bypass injected faults.
+    pub fn wrap_transport(
+        &mut self,
+        wrap: impl FnOnce(Arc<Router<M>>) -> Arc<dyn Transport<M>> + 'static,
+    ) -> &mut Self {
+        self.wrap = Some(Box::new(wrap));
+        self
+    }
+
     /// Adds a node; returns the id it will run under. Ids are assigned
     /// densely in add order, exactly like the simulator.
     pub fn add_node(&mut self, name: impl Into<String>, node: Box<dyn RtNode<M>>) -> NodeId {
-        self.nodes.push((name.into(), node));
+        self.nodes.push(NodeSpec { name: name.into(), node, factory: None });
+        NodeId::from_index(self.nodes.len() - 1)
+    }
+
+    /// Adds a restartable node: the factory builds the initial instance
+    /// now and a fresh instance on every [`Runtime::restart`]. The
+    /// factory must rebind any durable resources (storage directories)
+    /// so the respawned node recovers from them.
+    pub fn add_node_with_factory(
+        &mut self,
+        name: impl Into<String>,
+        factory: NodeFactory<M>,
+    ) -> NodeId {
+        let node = factory();
+        self.nodes.push(NodeSpec { name: name.into(), node, factory: Some(factory) });
         NodeId::from_index(self.nodes.len() - 1)
     }
 
     /// Spawns all node threads and returns the running deployment.
     pub fn start(self) -> Runtime<M> {
         let router: Arc<Router<M>> = Router::new();
+        router.set_metrics(self.metrics.clone());
+        let transport: Arc<dyn Transport<M>> = match self.wrap {
+            Some(wrap) => wrap(router.clone()),
+            None => router.clone(),
+        };
+        let epoch = Instant::now();
         let mut senders: Vec<Sender<Envelope<M>>> = Vec::new();
         // Register all inboxes first so ids are stable before any thread
         // runs.
         let mut inboxes = Vec::new();
         for _ in &self.nodes {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = bounded(self.inbox_capacity);
             let id = router.register(tx.clone());
             senders.push(tx);
             inboxes.push((id, rx));
         }
-        let mut handles = Vec::new();
-        for ((name, mut node), (id, rx)) in self.nodes.into_iter().zip(inboxes) {
-            let router = router.clone();
-            let seed = self.seed ^ (id.index() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-            let metrics = self.metrics.clone();
-            let handle = std::thread::Builder::new()
-                .name(name)
-                .spawn(move || {
-                    run_node_thread(&mut *node, id, rx, router, seed, &metrics);
-                    node
-                })
-                .expect("thread spawn");
-            handles.push(handle);
+        let mut slots = Vec::new();
+        let mut names = Vec::new();
+        let mut factories = Vec::new();
+        for (spec, (id, rx)) in self.nodes.into_iter().zip(inboxes) {
+            names.push(spec.name.clone());
+            factories.push(spec.factory);
+            slots.push(Slot::Running(spawn_node_thread(
+                spec.name,
+                spec.node,
+                id,
+                rx,
+                &transport,
+                self.seed,
+                &self.metrics,
+                self.trace.as_ref(),
+                epoch,
+            )));
         }
-        Runtime { router, senders, handles, metrics: self.metrics }
+        Runtime {
+            router,
+            transport,
+            senders,
+            slots,
+            names,
+            factories,
+            seed: self.seed,
+            inbox_capacity: self.inbox_capacity,
+            metrics: self.metrics,
+            trace: self.trace,
+            epoch,
+        }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
+fn spawn_node_thread<M: Send + Sync + Clone + std::fmt::Debug + 'static>(
+    name: String,
+    mut node: Box<dyn RtNode<M>>,
+    id: NodeId,
+    rx: Receiver<Envelope<M>>,
+    transport: &Arc<dyn Transport<M>>,
+    deployment_seed: u64,
+    metrics: &MetricsSink,
+    trace: Option<&TraceBuffer>,
+    epoch: Instant,
+) -> JoinHandle<(NodeExit, Box<dyn RtNode<M>>)> {
+    let transport = Arc::clone(transport);
+    let seed = deployment_seed ^ (id.index() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let metrics = metrics.clone();
+    let trace = trace.cloned();
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(move || {
+            let exit =
+                run_node_thread(&mut *node, id, rx, transport, seed, &metrics, trace.as_ref(), epoch);
+            (exit, node)
+        })
+        .expect("thread spawn")
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_node_thread<M: Send + Sync + Clone + std::fmt::Debug + 'static>(
     node: &mut dyn RtNode<M>,
     id: NodeId,
-    rx: crossbeam::channel::Receiver<Envelope<M>>,
-    router: Arc<Router<M>>,
+    rx: Receiver<Envelope<M>>,
+    transport: Arc<dyn Transport<M>>,
     seed: u64,
     metrics: &MetricsSink,
-) {
+    trace: Option<&TraceBuffer>,
+    epoch: Instant,
+) -> NodeExit {
     let start = Instant::now();
     let mut rng = SimRng::seed_from(seed);
     let mut next_timer: u64 = 0;
@@ -125,7 +324,7 @@ fn run_node_thread<M: Send + Sync + Clone + std::fmt::Debug + 'static>(
         let mut ctx = Context::new(id, local_now(start), &mut effects, &mut rng, &mut next_timer);
         node.on_start(&mut ctx);
     }
-    apply_effects(id, effects, &router, &mut timers, &mut cancelled, metrics);
+    apply_effects(id, effects, &transport, &mut timers, &mut cancelled, metrics, trace, epoch);
 
     loop {
         // Fire due timers (only while up; a crash clears them anyway).
@@ -141,7 +340,7 @@ fn run_node_thread<M: Send + Sync + Clone + std::fmt::Debug + 'static>(
                     Context::new(id, local_now(start), &mut effects, &mut rng, &mut next_timer);
                 node.on_timer(&mut ctx, t.tag);
             }
-            apply_effects(id, effects, &router, &mut timers, &mut cancelled, metrics);
+            apply_effects(id, effects, &transport, &mut timers, &mut cancelled, metrics, trace, epoch);
         }
         // Wait for the next message or timer deadline.
         let wait = if up {
@@ -166,7 +365,16 @@ fn run_node_thread<M: Send + Sync + Clone + std::fmt::Debug + 'static>(
                         Context::new(id, local_now(start), &mut effects, &mut rng, &mut next_timer);
                     node.on_message(&mut ctx, from, msg);
                 }
-                apply_effects(id, effects, &router, &mut timers, &mut cancelled, metrics);
+                apply_effects(
+                    id,
+                    effects,
+                    &transport,
+                    &mut timers,
+                    &mut cancelled,
+                    metrics,
+                    trace,
+                    epoch,
+                );
             }
             Ok(Envelope::Crash) => {
                 if up {
@@ -190,27 +398,48 @@ fn run_node_thread<M: Send + Sync + Clone + std::fmt::Debug + 'static>(
                         );
                         node.on_recover(&mut ctx);
                     }
-                    apply_effects(id, effects, &router, &mut timers, &mut cancelled, metrics);
+                    apply_effects(
+                        id,
+                        effects,
+                        &transport,
+                        &mut timers,
+                        &mut cancelled,
+                        metrics,
+                        trace,
+                        epoch,
+                    );
                 }
             }
-            Ok(Envelope::Stop) => break,
+            Ok(Envelope::Stop) => return NodeExit::Stopped,
+            // Process-death model: no on_crash hook, the thread just
+            // dies. Unsynced storage buffers die with the node object.
+            Ok(Envelope::Kill) => return NodeExit::Killed,
             Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => break,
+            Err(RecvTimeoutError::Disconnected) => {
+                // Nobody can ever reach this node again and nobody told
+                // it to stop: that is a wedged deployment, not a clean
+                // exit — count it so chaos runs can tell the two apart.
+                metrics.incr("rt.inbox_disconnected");
+                return NodeExit::Disconnected;
+            }
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn apply_effects<M: Send + Sync + Clone + std::fmt::Debug + 'static>(
     id: NodeId,
     effects: Vec<Effect<M>>,
-    router: &Router<M>,
+    transport: &Arc<dyn Transport<M>>,
     timers: &mut BinaryHeap<DueTimer>,
     cancelled: &mut HashSet<u64>,
     metrics: &MetricsSink,
+    trace: Option<&TraceBuffer>,
+    epoch: Instant,
 ) {
     for effect in effects {
         match effect {
-            Effect::Send { to, msg } => router.send(id, to, msg),
+            Effect::Send { to, msg } => transport.send(id, to, msg),
             Effect::SetTimer { id: timer_id, local_delay, tag } => {
                 let due = Instant::now() + Duration::from_nanos(local_delay.as_nanos());
                 timers.push(DueTimer { due, id: timer_id.into_raw(), tag });
@@ -223,19 +452,48 @@ fn apply_effects<M: Send + Sync + Clone + std::fmt::Debug + 'static>(
             // the simulator's World.
             Effect::MetricIncr { name } => metrics.incr(name),
             Effect::MetricObserve { name, value } => metrics.observe(name, value),
-            // Traces are a simulator-side convenience; the threaded
-            // runtime drops them.
-            Effect::Trace { .. } => {}
+            // With capture enabled, traces (audit notes) feed the live
+            // oracle; otherwise they stay a sim-side convenience.
+            Effect::Trace { text } => {
+                if let Some(buffer) = trace {
+                    let at = SimTime::from_nanos(epoch.elapsed().as_nanos() as u64);
+                    buffer.push(LiveTraceEntry { at, node: id, text });
+                }
+            }
         }
     }
+}
+
+/// Where one node slot currently stands.
+enum Slot<M> {
+    /// The thread is (presumed) running.
+    Running(JoinHandle<(NodeExit, Box<dyn RtNode<M>>)>),
+    /// The thread was joined (after a kill); the outcome is held for
+    /// [`Runtime::shutdown`].
+    Finished(NodeResult<M>),
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "node thread panicked (non-string payload)".into())
 }
 
 /// A running threaded deployment.
 pub struct Runtime<M> {
     router: Arc<Router<M>>,
+    transport: Arc<dyn Transport<M>>,
     senders: Vec<Sender<Envelope<M>>>,
-    handles: Vec<JoinHandle<Box<dyn RtNode<M>>>>,
+    slots: Vec<Slot<M>>,
+    names: Vec<String>,
+    factories: Vec<Option<NodeFactory<M>>>,
+    seed: u64,
+    inbox_capacity: usize,
     metrics: MetricsSink,
+    trace: Option<TraceBuffer>,
+    epoch: Instant,
 }
 
 impl<M> std::fmt::Debug for Runtime<M> {
@@ -251,6 +509,12 @@ impl<M: Send + Sync + Clone + std::fmt::Debug + 'static> Runtime<M> {
         &self.router
     }
 
+    /// The transport node threads send through (the router itself, or
+    /// the decorator installed via [`RuntimeBuilder::wrap_transport`]).
+    pub fn transport(&self) -> &Arc<dyn Transport<M>> {
+        &self.transport
+    }
+
     /// The deployment-wide metrics sink fed by every node thread.
     /// `metrics().snapshot()` gives a point-in-time [`wanacl_sim::metrics::Metrics`]
     /// for the exporters in [`wanacl_sim::obs`].
@@ -258,7 +522,20 @@ impl<M: Send + Sync + Clone + std::fmt::Debug + 'static> Runtime<M> {
         &self.metrics
     }
 
-    /// Injects a message as the environment.
+    /// The live trace buffer, when capture was enabled at build time.
+    pub fn trace(&self) -> Option<&TraceBuffer> {
+        self.trace.as_ref()
+    }
+
+    /// The instant the deployment started — the zero point of every
+    /// [`LiveTraceEntry::at`].
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Injects a message as the environment. Goes through the base
+    /// router, bypassing any chaos decorator: the test driver's control
+    /// traffic is not subject to injected faults.
     pub fn send_from_env(&self, to: NodeId, msg: M) {
         self.router.send(NodeId::ENV, to, msg);
     }
@@ -278,13 +555,110 @@ impl<M: Send + Sync + Clone + std::fmt::Debug + 'static> Runtime<M> {
         }
     }
 
-    /// Stops every node thread and returns the node objects for
-    /// inspection, in id order.
-    pub fn shutdown(self) -> Vec<Box<dyn RtNode<M>>> {
-        for tx in &self.senders {
-            let _ = tx.send(Envelope::Stop);
+    /// Kills a node like a process death: the thread exits without any
+    /// `on_crash` hook, its inbox closes (so in-flight traffic to it is
+    /// lost, as to a down host), and the stale node object is parked
+    /// for [`Runtime::shutdown`]. Returns how the thread ended, or the
+    /// panic message if it was already down from a panic.
+    pub fn kill(&mut self, node: NodeId) -> Result<NodeExit, String> {
+        let index = node.index();
+        let Some(slot) = self.slots.get_mut(index) else {
+            return Err(format!("unknown node {index}"));
+        };
+        if matches!(slot, Slot::Finished(_)) {
+            return Err(format!("node {index} is not running"));
         }
-        self.handles.into_iter().map(|h| h.join().expect("node thread panicked")).collect()
+        if let Some(tx) = self.senders.get(index) {
+            // Control lane: enqueues even past a full inbox. Fails only
+            // if the thread is already gone, which join handles below.
+            let _ = tx.send(Envelope::Kill);
+        }
+        let Slot::Running(handle) =
+            std::mem::replace(slot, Slot::Finished(Err("killed (slot taken)".into())))
+        else {
+            unreachable!("checked above");
+        };
+        let outcome = match handle.join() {
+            Ok((exit, node)) => {
+                self.metrics.incr("rt.node_killed");
+                (Ok(exit), Slot::Finished(Ok((exit, node))))
+            }
+            Err(payload) => {
+                let msg = panic_message(payload);
+                (Err(msg.clone()), Slot::Finished(Err(msg)))
+            }
+        };
+        self.slots[index] = outcome.1;
+        outcome.0
+    }
+
+    /// Respawns a killed node from its registered factory (see
+    /// [`RuntimeBuilder::add_node_with_factory`]): a fresh node instance
+    /// on a fresh thread under the same id, with a fresh inbox swapped
+    /// into the router. Durable state comes back through whatever the
+    /// factory rebinds — for managers, the `FileStorage` WAL + snapshot
+    /// recovery in `on_start`.
+    pub fn restart(&mut self, node: NodeId) -> Result<(), String> {
+        let index = node.index();
+        if !matches!(self.slots.get(index), Some(Slot::Finished(_))) {
+            return Err(format!("node {index} is still running (kill it first)"));
+        }
+        let Some(Some(factory)) = self.factories.get(index) else {
+            return Err(format!("node {index} has no restart factory"));
+        };
+        let fresh = factory();
+        let (tx, rx) = bounded(self.inbox_capacity);
+        self.router.replace(node, tx.clone());
+        self.senders[index] = tx;
+        self.slots[index] = Slot::Running(spawn_node_thread(
+            self.names[index].clone(),
+            fresh,
+            node,
+            rx,
+            &self.transport,
+            self.seed,
+            &self.metrics,
+            self.trace.as_ref(),
+            self.epoch,
+        ));
+        self.metrics.incr("rt.node_restarted");
+        Ok(())
+    }
+
+    /// Stops every running node thread and returns the per-node
+    /// outcomes, in id order: the exit status and node object, or the
+    /// panic message for a thread that panicked. A single crashed node
+    /// no longer aborts the whole teardown.
+    pub fn shutdown(self) -> Vec<NodeResult<M>> {
+        for (slot, tx) in self.slots.iter().zip(&self.senders) {
+            if matches!(slot, Slot::Running(_)) {
+                let _ = tx.send(Envelope::Stop);
+            }
+        }
+        self.slots
+            .into_iter()
+            .map(|slot| match slot {
+                Slot::Running(handle) => match handle.join() {
+                    Ok((exit, node)) => Ok((exit, node)),
+                    Err(payload) => Err(panic_message(payload)),
+                },
+                Slot::Finished(outcome) => outcome,
+            })
+            .collect()
+    }
+
+    /// Convenience teardown for tests and examples that expect every
+    /// node to come back: unwraps each outcome, panicking with the
+    /// node's panic message otherwise.
+    pub fn shutdown_nodes(self) -> Vec<Box<dyn RtNode<M>>> {
+        self.shutdown()
+            .into_iter()
+            .enumerate()
+            .map(|(i, outcome)| match outcome {
+                Ok((_, node)) => node,
+                Err(msg) => panic!("node {i} panicked: {msg}"),
+            })
+            .collect()
     }
 }
 
@@ -356,7 +730,7 @@ mod tests {
         let rt = b.start();
         rt.send_from_env(opener_id, 0);
         std::thread::sleep(Duration::from_millis(200));
-        let nodes = rt.shutdown();
+        let nodes = rt.shutdown_nodes();
         let counter = nodes[0].as_any().downcast_ref::<Counter>().expect("counter");
         let opener = nodes[1].as_any().downcast_ref::<Opener>().expect("opener");
         // Ping-pong 0->1->2->3 gives the counter messages 0 and 2.
@@ -412,5 +786,118 @@ mod tests {
         let rt = b.start();
         let nodes = rt.shutdown();
         assert_eq!(nodes.len(), 2);
+        for (i, outcome) in nodes.into_iter().enumerate() {
+            let (exit, _) = outcome.unwrap_or_else(|e| panic!("node {i}: {e}"));
+            assert_eq!(exit, NodeExit::Stopped);
+        }
+    }
+
+    /// On any message, dies the way a buggy node would.
+    #[derive(Debug)]
+    struct Panicker;
+
+    impl Node for Panicker {
+        type Msg = u64;
+        fn on_message(&mut self, _ctx: &mut Context<'_, u64>, _from: NodeId, _msg: u64) {
+            panic!("injected node bug");
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn one_panicking_node_is_reported_not_cascaded() {
+        let mut b: RuntimeBuilder<u64> = RuntimeBuilder::new(5);
+        let bad = b.add_node("bad", Box::new(Panicker));
+        let good = b.add_node("good", Box::new(Counter::default()));
+        let rt = b.start();
+        rt.send_from_env(bad, 1);
+        rt.send_from_env(good, 1);
+        std::thread::sleep(Duration::from_millis(100));
+        let outcomes = rt.shutdown();
+        let Err(err) = outcomes[bad.index()].as_ref() else {
+            panic!("panic must surface as Err");
+        };
+        assert!(err.contains("injected node bug"), "{err}");
+        let (exit, node) = outcomes[good.index()].as_ref().expect("good node survives");
+        assert_eq!(*exit, NodeExit::Stopped);
+        assert_eq!(node.as_any().downcast_ref::<Counter>().expect("counter").seen, 1);
+    }
+
+    #[test]
+    fn kill_then_restart_respawns_from_the_factory() {
+        let mut b: RuntimeBuilder<u64> = RuntimeBuilder::new(9);
+        let a = b.add_node_with_factory("replayable", Arc::new(|| Box::new(Counter::default())));
+        let mut rt = b.start();
+        rt.send_from_env(a, 1);
+        std::thread::sleep(Duration::from_millis(50));
+
+        assert_eq!(rt.kill(a), Ok(NodeExit::Killed));
+        assert!(rt.kill(a).is_err(), "double kill is an error");
+        // Traffic to a killed node vanishes silently, like a down host.
+        rt.send_from_env(a, 2);
+        std::thread::sleep(Duration::from_millis(20));
+
+        rt.restart(a).expect("factory registered");
+        rt.send_from_env(a, 3);
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(rt.metrics().counter("rt.node_killed"), 1);
+        assert_eq!(rt.metrics().counter("rt.node_restarted"), 1);
+
+        let outcomes = rt.shutdown();
+        let (exit, node) = outcomes[a.index()].as_ref().expect("restarted node");
+        assert_eq!(*exit, NodeExit::Stopped);
+        // The fresh instance saw only the post-restart message.
+        assert_eq!(node.as_any().downcast_ref::<Counter>().expect("counter").seen, 1);
+    }
+
+    #[test]
+    fn restart_without_factory_is_an_error() {
+        let mut b: RuntimeBuilder<u64> = RuntimeBuilder::new(9);
+        let a = b.add_node("fixed", Box::new(Counter::default()));
+        let mut rt = b.start();
+        rt.kill(a).expect("kill");
+        let err = rt.restart(a).expect_err("no factory");
+        assert!(err.contains("factory"), "{err}");
+        rt.shutdown();
+    }
+
+    #[derive(Debug)]
+    struct Tracer;
+
+    impl Node for Tracer {
+        type Msg = u64;
+        fn on_message(&mut self, ctx: &mut Context<'_, u64>, _from: NodeId, msg: u64) {
+            ctx.trace(format!("audit=test msg={msg}"));
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn trace_capture_collects_notes_with_a_shared_clock() {
+        let mut b: RuntimeBuilder<u64> = RuntimeBuilder::new(11);
+        let buffer = b.capture_traces();
+        let a = b.add_node("tracer", Box::new(Tracer));
+        let rt = b.start();
+        rt.send_from_env(a, 42);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while buffer.is_empty() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        rt.shutdown();
+        let entries = buffer.drain_sorted();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].node, a);
+        assert_eq!(entries[0].text, "audit=test msg=42");
+        assert!(buffer.is_empty(), "drain takes everything");
     }
 }

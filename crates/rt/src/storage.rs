@@ -105,6 +105,9 @@ pub struct FileStorage {
     stats: StorageStats,
     /// Optional sink for `storage.*` counters and fsync latency.
     metrics: Option<MetricsSink>,
+    /// Planted-bug hook mirroring `SimStorage::set_drop_state_on_recover`:
+    /// when armed, `recover()` pretends the directory read back empty.
+    drop_state_on_recover: bool,
 }
 
 impl FileStorage {
@@ -118,7 +121,17 @@ impl FileStorage {
             buffered: Vec::new(),
             stats: StorageStats::default(),
             metrics: None,
+            drop_state_on_recover: false,
         })
+    }
+
+    /// Arms the planted drop-the-WAL bug: the next [`Storage::recover`]
+    /// reports empty stable storage, as if the directory were wiped.
+    /// Exists so the live chaos harness can prove the durability oracle
+    /// (I5) catches a real recovery bug on real disks, exactly like the
+    /// sim's `SimStorage::set_drop_state_on_recover`.
+    pub fn set_drop_state_on_recover(&mut self, drop: bool) {
+        self.drop_state_on_recover = drop;
     }
 
     /// Attaches a metrics sink: every [`Storage::sync`] then records a
@@ -227,6 +240,10 @@ impl Storage for FileStorage {
         self.stats.recoveries += 1;
         self.wal = None;
         self.buffered.clear();
+        if self.drop_state_on_recover {
+            // Planted bug: durable bytes "read back" empty.
+            return Recovered { snapshot: None, records: Vec::new(), torn_records: 0 };
+        }
 
         // The snapshot is itself one CRC frame, so a corrupt snapshot
         // file reads back as absent rather than as garbage state.

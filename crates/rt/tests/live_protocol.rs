@@ -105,7 +105,7 @@ fn live_grant_flow_with_quorum() {
     trigger_invoke(&rt, user_id); // should be a cache hit
     std::thread::sleep(Duration::from_millis(400));
     let snapshot = rt.metrics().snapshot();
-    let nodes = rt.shutdown();
+    let nodes = rt.shutdown_nodes();
     let user = nodes[user_id.index()].as_any().downcast_ref::<UserAgent>().expect("user");
     assert_eq!(user.stats().allowed, 2, "stats: {:?}", user.stats());
     let host = nodes[host_id.index()].as_any().downcast_ref::<HostNode>().expect("host");
@@ -147,7 +147,7 @@ fn live_revocation_denies_user() {
     std::thread::sleep(Duration::from_millis(500));
     trigger_invoke(&rt, user_id);
     std::thread::sleep(Duration::from_millis(400));
-    let nodes = rt.shutdown();
+    let nodes = rt.shutdown_nodes();
     let user = nodes[user_id.index()].as_any().downcast_ref::<UserAgent>().expect("user");
     let stats = user.stats();
     assert_eq!(stats.allowed, 1, "{stats:?}");
@@ -178,7 +178,7 @@ fn live_manager_crash_and_recovery() {
     std::thread::sleep(Duration::from_millis(600));
     trigger_invoke(&rt, user_id);
     std::thread::sleep(Duration::from_millis(400));
-    let nodes = rt.shutdown();
+    let nodes = rt.shutdown_nodes();
     let m1 = nodes[mgrs[1].index()].as_any().downcast_ref::<ManagerNode>().expect("manager");
     assert!(!m1.is_recovering(), "manager must have synced");
     assert!(!m1.acl_has(AppId(0), UserId(1), Right::Use), "sync must carry the revoke");
@@ -271,7 +271,7 @@ fn live_full_cluster_restart_recovers_from_disk() {
     trigger_invoke(&rt, user); // user 1 was revoked pre-crash
     std::thread::sleep(Duration::from_millis(400));
     let snapshot = rt.metrics().snapshot();
-    let nodes = rt.shutdown();
+    let nodes = rt.shutdown_nodes();
     // Each acked op was fsynced before its ack; the attached sink saw
     // every barrier with a real wall-clock latency sample.
     assert!(snapshot.counter("storage.wal_fsync") >= 3, "{snapshot:?}");
@@ -375,7 +375,7 @@ fn live_replicated_directory_quorum_reads_and_converges() {
     std::thread::sleep(Duration::from_millis(1_200));
 
     let snapshot = rt.metrics().snapshot();
-    let nodes = rt.shutdown();
+    let nodes = rt.shutdown_nodes();
     let user = nodes[user.index()].as_any().downcast_ref::<UserAgent>().expect("user");
     assert_eq!(user.stats().allowed, 1, "{:?}", user.stats());
     for &id in &replica_ids {
@@ -411,9 +411,154 @@ fn live_partition_trips_check_quorum() {
     std::thread::sleep(Duration::from_millis(100));
     trigger_invoke(&rt, user_id);
     std::thread::sleep(Duration::from_millis(500));
-    let nodes = rt.shutdown();
+    let nodes = rt.shutdown_nodes();
     let user = nodes[user_id.index()].as_any().downcast_ref::<UserAgent>().expect("user");
     let stats = user.stats();
     assert_eq!(stats.unavailable, 1, "partitioned check must fail closed: {stats:?}");
     assert_eq!(stats.allowed, 1, "healed network must serve again: {stats:?}");
+}
+
+/// Process-death recovery on the live check path: a manager is
+/// [`wanacl_rt::Runtime::kill`]ed mid-update (no `on_crash` hook, the
+/// thread just dies), respawned from its `FileStorage` WAL by the node
+/// factory, and the update retry converges — with the captured live
+/// trace staying clean under the invariant oracle (no I5 violation:
+/// everything acked before the kill comes back from disk).
+#[test]
+fn live_kill_restart_mid_update_converges_from_wal() {
+    let policy = live_policy(2); // C = 2: checks need BOTH managers
+    let mut acl = Acl::new();
+    acl.add(UserId(1), Right::Use);
+
+    let base = std::env::temp_dir().join(format!("wanacl-live-kill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    let mut b: RuntimeBuilder<ProtoMsg> = RuntimeBuilder::new(11);
+    let traces = b.capture_traces();
+    let manager_ids: Vec<NodeId> = (0..2).map(NodeId::from_index).collect();
+    for (i, &id) in manager_ids.iter().enumerate() {
+        let mut config =
+            fast_manager_config(vec![manager_ids[1 - i]], policy.clone(), acl.clone());
+        config.snapshot_every = 2;
+        let dir = base.join(format!("m{i}"));
+        let sink = b.metrics().clone();
+        let got = b.add_node_with_factory(
+            format!("manager{i}"),
+            std::sync::Arc::new(move || {
+                let mut node = ManagerNode::new(config.clone());
+                node.set_storage(Box::new(
+                    wanacl_rt::FileStorage::open(dir.clone())
+                        .expect("storage dir")
+                        .with_metrics(sink.clone()),
+                ));
+                Box::new(node)
+            }),
+        );
+        assert_eq!(got, id);
+    }
+    let host = b.add_node(
+        "host",
+        Box::new(HostNode::new(
+            vec![AppHost {
+                app: AppId(0),
+                policy: policy.clone(),
+                directory: ManagerDirectory::Static(manager_ids.clone()),
+                application: Box::new(CountingApp::new()),
+            }],
+            None,
+        )),
+    );
+    let user = b.add_node(
+        "user",
+        Box::new(UserAgent::new(UserAgentConfig {
+            user: UserId(1),
+            app: AppId(0),
+            hosts: vec![host],
+            workload: None,
+            payload: "live".into(),
+            secret: None,
+            request_timeout: SimDuration::from_secs(5),
+            max_requests: None,
+        })),
+    );
+    let mut rt = b.start();
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Durable state before the kill: an op acked and fsynced everywhere.
+    rt.send_from_env(
+        manager_ids[1],
+        ProtoMsg::Admin {
+            op: AclOp::Add { app: AppId(0), user: UserId(2), right: Right::Use },
+            req: ReqId(1),
+            issuer: UserId(999),
+            signature: None,
+        },
+    );
+    std::thread::sleep(Duration::from_millis(200));
+
+    // Mid-update process death: issue an op at manager 1 and kill
+    // manager 0 immediately, before dissemination can reach it. The
+    // update quorum (M - C + 1 = 1) accepts at manager 1, which keeps
+    // retrying the transfer to its dead peer.
+    rt.send_from_env(
+        manager_ids[1],
+        ProtoMsg::Admin {
+            op: AclOp::Add { app: AppId(0), user: UserId(2), right: Right::Manage },
+            req: ReqId(2),
+            issuer: UserId(999),
+            signature: None,
+        },
+    );
+    assert_eq!(rt.kill(manager_ids[0]), Ok(wanacl_rt::NodeExit::Killed));
+
+    // A check during the outage cannot reach C = 2 managers: the host
+    // retries, the attempt budget runs out, the user sees fail-closed.
+    trigger_invoke(&rt, user);
+    std::thread::sleep(Duration::from_millis(600));
+
+    // Respawn from disk: the factory reopens the same WAL directory and
+    // `on_start` replays snapshot + tail, then peer retransmission
+    // delivers the op issued while the process was dead.
+    rt.restart(manager_ids[0]).expect("restart");
+    std::thread::sleep(Duration::from_millis(800));
+    trigger_invoke(&rt, user);
+    std::thread::sleep(Duration::from_millis(500));
+
+    assert_eq!(rt.metrics().counter("rt.node_killed"), 1);
+    assert_eq!(rt.metrics().counter("rt.node_restarted"), 1);
+    let nodes = rt.shutdown_nodes();
+    let m0 = nodes[0].as_any().downcast_ref::<ManagerNode>().expect("manager");
+    assert!(!m0.is_recovering(), "restarted manager must be serving");
+    assert_eq!(m0.stats().recovered_from_disk, 1, "respawn must replay the WAL");
+    assert!(
+        m0.acl_has(AppId(0), UserId(2), Right::Use),
+        "state acked before the kill must come back from disk"
+    );
+    assert!(
+        m0.acl_has(AppId(0), UserId(2), Right::Manage),
+        "the mid-kill update's retry must converge after the restart"
+    );
+    let user = nodes[user.index()].as_any().downcast_ref::<UserAgent>().expect("user");
+    let stats = user.stats();
+    assert_eq!(stats.unavailable, 1, "outage check must fail closed: {stats:?}");
+    assert_eq!(stats.allowed, 1, "post-restart check must serve: {stats:?}");
+
+    // The live trace, replayed through the campaign oracle: bounded
+    // revocation, quorum hygiene, and durability (I5) all hold — the
+    // disk recovery claim must account for every durable slot.
+    use wanacl_sim::world::Observer;
+    let mut oracle = InvariantOracle::new(&policy, SimDuration::from_millis(500));
+    let entries = traces.drain_sorted();
+    for (i, e) in entries.iter().enumerate() {
+        let event =
+            wanacl_sim::trace::TraceEvent::Note { node: e.node, text: e.text.clone() };
+        oracle.on_event(e.at, i as u64, &event);
+    }
+    assert!(oracle.stats().allows >= 1, "the oracle must have seen real evidence");
+    assert!(
+        oracle.is_clean(),
+        "live kill/restart must not violate invariants: {:?}",
+        oracle.violations()
+    );
+    let _ = std::fs::remove_dir_all(&base);
 }

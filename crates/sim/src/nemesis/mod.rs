@@ -265,7 +265,12 @@ impl Fault {
     }
 
     /// Whether a partition-style fault currently severs `from -> to`.
-    pub(crate) fn severs(&self, from: NodeId, to: NodeId, now: SimTime) -> bool {
+    ///
+    /// Public so live executors (the `wanacl-rt` chaos transport) can
+    /// replay the same plan against wall-clock time: they map elapsed
+    /// real time onto [`SimTime`] and ask the identical question the
+    /// simulated net decorator asks.
+    pub fn severs(&self, from: NodeId, to: NodeId, now: SimTime) -> bool {
         match self {
             Fault::Partition { window, side_a, side_b }
             | Fault::DirectorySplit { window, side_a, side_b } => {

@@ -14,16 +14,22 @@
 //! $ wanacl nemesis --campaigns 20 --jobs 4 --metrics-out metrics.jsonl
 //! $ wanacl obs --minutes 2 --format prometheus
 //! $ wanacl obs --ns-replicas 3 --format jsonl
+//! $ wanacl chaos --seed 1 --seconds 8
+//! $ wanacl chaos --seed 1 --inject-bug drop-wal
+//! $ wanacl chaos --control true --bench-out BENCH_rt.json
 //! ```
 
 use std::collections::HashMap;
+use std::time::Duration;
 
 use wanacl::core::audit::AuditLog;
 use wanacl::core::campaign::{
-    rollup_metrics, run_campaigns_parallel, shrink_plan, CampaignConfig, InjectedBug,
+    rollup_metrics, run_campaigns_parallel, sample_plan, shrink_plan, CampaignConfig, InjectedBug,
 };
 use wanacl::prelude::*;
+use wanacl::rt::{ChaosRouter, FileStorage, NodeExit, RuntimeBuilder};
 use wanacl::sim::obs::{metrics_jsonl, prometheus_text};
+use wanacl::sim::trace::TraceEvent;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,6 +40,7 @@ fn main() {
         Some("tables") => tables(&flags),
         Some("audit") => audit(&flags),
         Some("nemesis") => nemesis(&flags),
+        Some("chaos") => chaos(&flags),
         Some("obs") => obs(&flags),
         _ => {
             eprintln!(
@@ -69,6 +76,18 @@ fn main() {
                  \x20                  --metrics-out PATH   write per-seed + rollup metrics as\n\
                  \x20                                       JSONL to PATH and the Prometheus\n\
                  \x20                                       rollup snapshot to PATH.prom\n\
+                 \x20 chaos     run a live (threaded) soak under the seeded fault plan\n\
+                 \x20           `nemesis` would use, with a manager kill/restart and\n\
+                 \x20           crash/recover, checked by the invariant oracle\n\
+                 \x20           flags: --seed S --seconds T --managers N --hosts N\n\
+                 \x20                  --users N --check-quorum C --intensity X\n\
+                 \x20                  --inject-bug drop-wal  arm manager 0's WAL to drop\n\
+                 \x20                                       state on recovery (the oracle\n\
+                 \x20                                       must catch it live)\n\
+                 \x20                  --report-out PATH    write the JSONL soak report\n\
+                 \x20                  --control true       fault-free control run\n\
+                 \x20                  --bench-out PATH     (control only) write BENCH_rt\n\
+                 \x20                                       baseline JSONL\n\
                  \x20 obs       run a short deployment and export its metrics snapshot\n\
                  \x20           flags: --managers N --hosts N --users N --check-quorum C\n\
                  \x20                  --minutes M --pi P --seed S\n\
@@ -301,6 +320,438 @@ fn nemesis(flags: &HashMap<String, String>) {
         std::process::exit(1);
     }
     println!("all {campaigns} campaign(s) clean: no invariant violations");
+}
+
+/// A scheduled action in the live soak, offset from the runtime epoch.
+enum LiveEvent {
+    Admin(AclOp),
+    Crash(NodeId),
+    Recover(NodeId),
+    Kill(NodeId),
+    Restart(NodeId),
+}
+
+/// Minimal JSON string escaping for the soak report lines.
+fn json_str(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Runs a seeded chaos soak on the *live* threaded runtime: the same
+/// node objects the simulator runs, on OS threads, under the exact
+/// fault plan `wanacl nemesis` samples for this seed (replayed by a
+/// `ChaosRouter` over wall-clock windows), plus a deterministic
+/// kill/restart (process death, recovery from the `FileStorage` WAL)
+/// and crash/recover cycle of manager 0. The drained live trace feeds
+/// the same invariant oracle (I1–I7) the campaigns use; any violation
+/// prints and exits 1. `--control true` skips all fault injection and
+/// can emit a `BENCH_rt` baseline via `--bench-out`.
+fn chaos(flags: &HashMap<String, String>) {
+    let seed: u64 = get(flags, "seed", 1);
+    let seconds: u64 = get(flags, "seconds", 8);
+    let managers: usize = get(flags, "managers", 3);
+    let hosts: usize = get(flags, "hosts", 2);
+    let users: usize = get(flags, "users", 2);
+    let c: usize = get(flags, "check-quorum", 2.min(managers.max(1)));
+    let intensity: f64 = get(flags, "intensity", 1.0);
+    let control: bool = get(flags, "control", false);
+    let drop_wal = match flags.get("inject-bug").map(String::as_str) {
+        None | Some("none") => false,
+        Some("drop-wal") => true,
+        Some(other) => {
+            eprintln!("unknown --inject-bug {other} (live chaos supports: drop-wal)");
+            std::process::exit(2);
+        }
+    };
+    if managers == 0 || hosts == 0 || users == 0 || seconds == 0 {
+        eprintln!("chaos needs at least one manager, host, user, and second");
+        std::process::exit(2);
+    }
+    if drop_wal && control {
+        eprintln!("--inject-bug drop-wal contradicts --control true");
+        std::process::exit(2);
+    }
+
+    // The live check path runs with its belt on: a deadline budget and
+    // a per-peer circuit breaker on top of the usual quorum policy.
+    let te = SimDuration::from_secs(2);
+    let policy = Policy::builder(c)
+        .revocation_bound(te)
+        .clock_rate_bound(1.0)
+        .query_timeout(SimDuration::from_millis(100))
+        .max_attempts(2)
+        .cache_sweep_interval(SimDuration::from_millis(500))
+        .deadline_budget(SimDuration::from_secs(1))
+        .breaker(BreakerConfig::default())
+        .build();
+
+    // Plan parity with the simulator: same CampaignConfig shape, same
+    // seed derivation, same sampler — `wanacl nemesis --seed S` and
+    // `wanacl chaos --seed S` replay one fault plan on two executors.
+    let horizon = SimDuration::from_secs(seconds);
+    let campaign = CampaignConfig {
+        seed,
+        managers,
+        hosts,
+        users,
+        horizon,
+        intensity,
+        ..CampaignConfig::default()
+    };
+    let plan = sample_plan(&campaign);
+    println!(
+        "chaos: seed {seed}, {seconds}s live soak, M={managers} C={c} hosts={hosts} users={users}{}{}",
+        if control { " [CONTROL: no faults]" } else { "" },
+        if drop_wal { " [BUG INJECTED: drop-wal]" } else { "" },
+    );
+    if !control {
+        print!("{}", plan.describe());
+    }
+
+    // Fresh WAL directories per run; managers respawn from them.
+    let base = std::env::temp_dir().join(format!("wanacl-chaos-{seed}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    let mut b: RuntimeBuilder<ProtoMsg> = RuntimeBuilder::new(seed);
+    b.inbox_capacity(1024);
+    let traces = b.capture_traces();
+    let sink = b.metrics().clone();
+    let mut acl = Acl::new();
+    for u in 1..=users {
+        acl.add(UserId(u as u64), Right::Use);
+    }
+    // Node layout mirrors `campaign_targets`: managers first, hosts
+    // right after, so the sampled plan's NodeIds land on the same roles.
+    let manager_ids: Vec<NodeId> = (0..managers).map(NodeId::from_index).collect();
+    for (i, &id) in manager_ids.iter().enumerate() {
+        let config = ManagerConfig {
+            peers: manager_ids.iter().copied().filter(|p| *p != id).collect(),
+            apps: vec![ManagerApp { app: AppId(0), policy: policy.clone(), initial_acl: acl.clone() }],
+            registry: None,
+            enforce_manage_right: false,
+            retry_interval: SimDuration::from_millis(100),
+            retry_cap: SimDuration::from_secs(2),
+            retry_jitter: 0.1,
+            heartbeat_interval: SimDuration::from_millis(100),
+            grant_sweep_interval: SimDuration::from_millis(500),
+            snapshot_every: 8,
+        };
+        let dir = base.join(format!("m{i}"));
+        let arm = drop_wal && i == 0;
+        let factory_sink = sink.clone();
+        let got = b.add_node_with_factory(
+            format!("manager{i}"),
+            std::sync::Arc::new(move || {
+                let mut node = ManagerNode::new(config.clone());
+                let mut storage = FileStorage::open(dir.clone())
+                    .expect("chaos storage dir")
+                    .with_metrics(factory_sink.clone());
+                if arm {
+                    storage.set_drop_state_on_recover(true);
+                }
+                node.set_storage(Box::new(storage));
+                Box::new(node)
+            }),
+        );
+        assert_eq!(got, id);
+    }
+    let host_ids: Vec<NodeId> =
+        (managers..managers + hosts).map(NodeId::from_index).collect();
+    for (i, &id) in host_ids.iter().enumerate() {
+        let got = b.add_node(
+            format!("host{i}"),
+            Box::new(HostNode::new(
+                vec![AppHost {
+                    app: AppId(0),
+                    policy: policy.clone(),
+                    directory: ManagerDirectory::Static(manager_ids.clone()),
+                    application: Box::new(CountingApp::new()),
+                }],
+                None,
+            )),
+        );
+        assert_eq!(got, id);
+    }
+    let mut user_ids = Vec::new();
+    for u in 1..=users {
+        user_ids.push(b.add_node(
+            format!("user{u}"),
+            Box::new(UserAgent::new(UserAgentConfig {
+                user: UserId(u as u64),
+                app: AppId(0),
+                hosts: host_ids.clone(),
+                workload: Some(WorkloadShape::Periodic { period: SimDuration::from_millis(300) }),
+                payload: "chaos".into(),
+                secret: None,
+                request_timeout: SimDuration::from_secs(5),
+                max_requests: None,
+            })),
+        ));
+    }
+    let net_fault_count = plan.net_faults().len();
+    if !control && net_fault_count > 0 {
+        let faults = plan.net_faults();
+        let chaos_sink = sink.clone();
+        b.wrap_transport(move |router| ChaosRouter::new(router, faults, seed, Some(chaos_sink)));
+    }
+    let mut rt = b.start();
+    let epoch = rt.epoch();
+
+    // Build the event schedule up front, offsets from the epoch: admin
+    // churn (same shape as the campaign's: revoke then re-grant every
+    // user inside the horizon), the plan's lifecycle faults, and — on
+    // every non-control run — a deterministic kill/restart plus a
+    // crash/recover cycle of manager 0 so the WAL recovery path runs.
+    let mut schedule: Vec<(Duration, LiveEvent)> = Vec::new();
+    let h = horizon.as_secs_f64();
+    let mut rng = SimRng::seed_from(seed ^ 0x6164_6d69);
+    for u in 1..=users {
+        let user = UserId(u as u64);
+        let revoke_at = h * (0.2 + 0.4 * rng.unit());
+        let regrant_at = (revoke_at + h * (0.1 + 0.2 * rng.unit())).min(h);
+        schedule.push((
+            Duration::from_secs_f64(revoke_at),
+            LiveEvent::Admin(AclOp::Revoke { app: AppId(0), user, right: Right::Use }),
+        ));
+        schedule.push((
+            Duration::from_secs_f64(regrant_at),
+            LiveEvent::Admin(AclOp::Add { app: AppId(0), user, right: Right::Use }),
+        ));
+    }
+    if !control {
+        for fault in &plan.faults {
+            if let Fault::Crash { node, at, down_for } = fault {
+                let at = Duration::from_secs_f64(at.as_secs_f64());
+                schedule.push((at, LiveEvent::Crash(*node)));
+                schedule.push((
+                    at + Duration::from_secs_f64(down_for.as_secs_f64()),
+                    LiveEvent::Recover(*node),
+                ));
+            }
+        }
+        let kill_at = Duration::from_secs_f64(h * 0.40);
+        schedule.push((kill_at, LiveEvent::Kill(manager_ids[0])));
+        schedule.push((kill_at + Duration::from_millis(300), LiveEvent::Restart(manager_ids[0])));
+        let crash_at = Duration::from_secs_f64(h * 0.65);
+        schedule.push((crash_at, LiveEvent::Crash(manager_ids[0])));
+        schedule.push((crash_at + Duration::from_millis(200), LiveEvent::Recover(manager_ids[0])));
+    }
+    schedule.sort_by_key(|(at, _)| *at);
+
+    // Dispatch against the wall clock. Admin ops go to the last manager
+    // (not the kill victim) over the env channel, which bypasses chaos —
+    // only the *dissemination* between managers runs the gauntlet.
+    let admin_target = manager_ids[managers - 1];
+    let mut req = 0u64;
+    let mut lifecycle_log = Vec::new();
+    for (at, event) in schedule {
+        let now = epoch.elapsed();
+        if at > now {
+            std::thread::sleep(at - now);
+        }
+        let stamp = epoch.elapsed().as_secs_f64();
+        match event {
+            LiveEvent::Admin(op) => {
+                req += 1;
+                rt.send_from_env(
+                    admin_target,
+                    ProtoMsg::Admin { op, req: ReqId(req), issuer: UserId(999), signature: None },
+                );
+            }
+            LiveEvent::Crash(n) => {
+                lifecycle_log.push(format!("crash {n} at {stamp:.2}s"));
+                rt.crash(n);
+            }
+            LiveEvent::Recover(n) => {
+                lifecycle_log.push(format!("recover {n} at {stamp:.2}s"));
+                rt.recover(n);
+            }
+            LiveEvent::Kill(n) => match rt.kill(n) {
+                Ok(exit) => lifecycle_log.push(format!("kill {n} at {stamp:.2}s ({exit:?})")),
+                Err(e) => lifecycle_log.push(format!("kill {n} at {stamp:.2}s FAILED: {e}")),
+            },
+            LiveEvent::Restart(n) => match rt.restart(n) {
+                Ok(()) => lifecycle_log.push(format!("restart {n} at {stamp:.2}s")),
+                Err(e) => lifecycle_log.push(format!("restart {n} at {stamp:.2}s FAILED: {e}")),
+            },
+        }
+    }
+    // Drain tail: run past the horizon so residual leases expire and
+    // retransmissions settle, mirroring the campaign's drain window.
+    let end = Duration::from_secs(seconds) + Duration::from_secs_f64(2.0 * te.as_secs_f64());
+    while epoch.elapsed() < end {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let soak_wall_ns = epoch.elapsed().as_nanos() as u64;
+    for line in &lifecycle_log {
+        println!("  {line}");
+    }
+
+    let results = rt.shutdown();
+    let snapshot = sink.snapshot();
+
+    // Same oracle as the campaigns, over the drained live trace. The
+    // slack absorbs wall-clock jitter (thread scheduling, sleep
+    // overshoot) that the deterministic simulator never has.
+    let mut oracle = InvariantOracle::new(&policy, SimDuration::from_millis(1_000));
+    let entries = traces.drain_sorted();
+    for (i, e) in entries.iter().enumerate() {
+        let event = TraceEvent::Note { node: e.node, text: e.text.clone() };
+        oracle.on_event(e.at, i as u64, &event);
+    }
+    let stats = oracle.stats();
+
+    // Per-node exits: a panic or wedged inbox is a failure of the soak
+    // even when the oracle stays clean.
+    let mut panics = Vec::new();
+    for (i, r) in results.iter().enumerate() {
+        match r {
+            Ok((NodeExit::Stopped | NodeExit::Killed, _)) => {}
+            Ok((NodeExit::Disconnected, _)) => {
+                panics.push(format!("node {i} inbox disconnected (wedged deployment)"));
+            }
+            Err(msg) => panics.push(format!("node {i} panicked: {msg}")),
+        }
+    }
+    let mut user_stats = UserStats::default();
+    for &id in &user_ids {
+        if let Some(Ok((_, node))) = results.get(id.index()) {
+            if let Some(agent) = node.as_any().downcast_ref::<UserAgent>() {
+                let s = agent.stats();
+                user_stats.sent += s.sent;
+                user_stats.allowed += s.allowed;
+                user_stats.denied += s.denied;
+                user_stats.unavailable += s.unavailable;
+                user_stats.timeouts += s.timeouts;
+            }
+        }
+    }
+
+    println!(
+        "oracle: {} allows, {} revokes checked over {} live trace events",
+        stats.allows,
+        stats.revokes,
+        entries.len()
+    );
+    println!(
+        "user outcomes: {} sent, {} allowed, {} denied, {} unavailable, {} timeouts",
+        user_stats.sent,
+        user_stats.allowed,
+        user_stats.denied,
+        user_stats.unavailable,
+        user_stats.timeouts
+    );
+    println!(
+        "hardening: breaker open={} close={} skipped={} all-open={} deadline-exceeded={}",
+        snapshot.counter("rt.breaker_open"),
+        snapshot.counter("rt.breaker_close"),
+        snapshot.counter("rt.breaker_skipped"),
+        snapshot.counter("rt.breaker_all_open"),
+        snapshot.counter("rt.deadline_exceeded"),
+    );
+    if !control {
+        println!(
+            "chaos transport: dropped={} duplicated={} delayed={} inbox overflow={} disconnected={}",
+            snapshot.counter("rt.chaos_dropped"),
+            snapshot.counter("rt.chaos_duplicated"),
+            snapshot.counter("rt.chaos_delayed"),
+            snapshot.counter("rt.inbox_overflow"),
+            snapshot.counter("rt.inbox_disconnected"),
+        );
+    }
+
+    // JSONL report: one meta line, one line per injected fault, the
+    // oracle roll-up, every violation, and the outcome verdict.
+    if let Some(path) = flags.get("report-out") {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"kind\":\"meta\",\"seed\":{seed},\"seconds\":{seconds},\"managers\":{managers},\
+             \"hosts\":{hosts},\"users\":{users},\"check_quorum\":{c},\"intensity\":{intensity},\
+             \"control\":{control},\"inject_bug\":\"{}\"}}\n",
+            if drop_wal { "drop-wal" } else { "none" }
+        ));
+        if !control {
+            for fault in &plan.faults {
+                out.push_str(&format!("{{\"kind\":\"fault\",\"desc\":\"{}\"}}\n", json_str(&format!("{fault}"))));
+            }
+            for line in &lifecycle_log {
+                out.push_str(&format!("{{\"kind\":\"lifecycle\",\"desc\":\"{}\"}}\n", json_str(line)));
+            }
+        }
+        out.push_str(&format!(
+            "{{\"kind\":\"oracle\",\"allows\":{},\"revokes\":{},\"trace_events\":{},\
+             \"digest\":{},\"violations\":{}}}\n",
+            stats.allows,
+            stats.revokes,
+            entries.len(),
+            oracle.audit_digest(),
+            oracle.violations().len()
+        ));
+        for v in oracle.violations() {
+            out.push_str(&format!("{{\"kind\":\"violation\",\"detail\":\"{}\"}}\n", json_str(&format!("{v}"))));
+        }
+        for p in &panics {
+            out.push_str(&format!("{{\"kind\":\"panic\",\"detail\":\"{}\"}}\n", json_str(p)));
+        }
+        out.push_str(&format!(
+            "{{\"kind\":\"outcome\",\"clean\":{},\"sent\":{},\"allowed\":{},\"denied\":{},\
+             \"unavailable\":{},\"timeouts\":{}}}\n",
+            oracle.is_clean() && panics.is_empty(),
+            user_stats.sent,
+            user_stats.allowed,
+            user_stats.denied,
+            user_stats.unavailable,
+            user_stats.timeouts
+        ));
+        if let Err(e) = std::fs::write(path, out) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("report: JSONL soak report -> {path}");
+    }
+
+    // Fault-free control runs can emit the live baseline BENCH_rt.json:
+    // wall time per issued request plus the measured cold-check latency.
+    if control {
+        if let Some(path) = flags.get("bench-out") {
+            let mut out = String::new();
+            if user_stats.sent > 0 {
+                out.push_str(&format!(
+                    "{{\"label\":\"rt_soak/wall_per_invoke\",\"mean_ns\":{:.1},\"iters\":{}}}\n",
+                    soak_wall_ns as f64 / user_stats.sent as f64,
+                    user_stats.sent
+                ));
+            }
+            if let Some(summary) =
+                snapshot.histogram("host.check_latency_s").and_then(|hist| hist.summary())
+            {
+                out.push_str(&format!(
+                    "{{\"label\":\"rt_soak/cold_check_latency\",\"mean_ns\":{:.1},\"iters\":{}}}\n",
+                    summary.mean * 1e9,
+                    summary.count
+                ));
+            }
+            if let Err(e) = std::fs::write(path, out) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+            println!("bench: live baseline -> {path}");
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&base);
+    let mut failed = false;
+    for v in oracle.violations() {
+        println!("VIOLATION: {v}");
+        failed = true;
+    }
+    for p in &panics {
+        println!("FAILURE: {p}");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("chaos soak clean: no invariant violations, no node failures");
 }
 
 /// Runs a short standard deployment and exports its full metrics

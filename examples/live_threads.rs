@@ -110,7 +110,7 @@ fn main() {
 
     let (sent, dropped) = rt.router().stats();
     let snapshot = rt.metrics().snapshot();
-    let nodes = rt.shutdown();
+    let nodes = rt.shutdown_nodes();
     let agent = nodes[user.index()].as_any().downcast_ref::<UserAgent>().expect("user agent");
     let stats = agent.stats();
     println!(

@@ -1,11 +1,20 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
 //! Provides `crossbeam::channel` with the subset of the crossbeam-channel
-//! API that `wanacl-rt` uses: [`channel::unbounded`], cloneable + `Sync`
-//! [`channel::Sender`]s, and receivers with `recv_timeout` / `try_recv` /
-//! `try_iter`. Built on a mutex + condvar queue — slower than the real
-//! lock-free implementation but semantically identical for the runtime's
-//! node-per-thread message loop.
+//! API that `wanacl-rt` uses: [`channel::unbounded`] and
+//! [`channel::bounded`], cloneable + `Sync` [`channel::Sender`]s, and
+//! receivers with `recv_timeout` / `try_recv` / `try_iter`. Built on a
+//! mutex + condvar queue — slower than the real lock-free implementation
+//! but semantically identical for the runtime's node-per-thread message
+//! loop.
+//!
+//! One deliberate divergence from upstream crossbeam: on a bounded
+//! channel, [`channel::Sender::send`] never blocks and never fails on a
+//! full queue — only [`channel::Sender::try_send`] observes the capacity.
+//! The runtime routes data-plane traffic through `try_send` (so overflow
+//! is an explicit, countable drop) and reserves the always-enqueue `send`
+//! as a control lane for lifecycle envelopes, which must not be lost and
+//! must not deadlock a sender that holds other locks.
 
 #![warn(missing_docs)]
 
@@ -20,6 +29,9 @@ pub mod channel {
         queue: VecDeque<T>,
         senders: usize,
         receiver_alive: bool,
+        /// Queue capacity enforced by [`Sender::try_send`]; `None` for
+        /// unbounded channels.
+        capacity: Option<usize>,
     }
 
     struct Shared<T> {
@@ -41,6 +53,15 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
+    /// Why [`Sender::try_send`] refused a value.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded queue is at capacity; the value is handed back.
+        Full(T),
+        /// The receiver was dropped; the value is handed back.
+        Disconnected(T),
+    }
+
     /// Why [`Receiver::try_recv`] returned nothing.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub enum TryRecvError {
@@ -59,25 +80,56 @@ pub mod channel {
         Disconnected,
     }
 
-    /// Creates an unbounded channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn channel_with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             inner: Mutex::new(Inner {
                 queue: VecDeque::new(),
                 senders: 1,
                 receiver_alive: true,
+                capacity,
             }),
             available: Condvar::new(),
         });
         (Sender { shared: shared.clone() }, Receiver { shared })
     }
 
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel_with_capacity(None)
+    }
+
+    /// Creates a bounded channel holding at most `capacity` queued items.
+    ///
+    /// The bound is enforced only by [`Sender::try_send`]; see the crate
+    /// docs for why [`Sender::send`] stays an always-enqueue control
+    /// lane.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        channel_with_capacity(Some(capacity))
+    }
+
     impl<T> Sender<T> {
-        /// Enqueues `value`; fails only if the receiver was dropped.
+        /// Enqueues `value` regardless of capacity; fails only if the
+        /// receiver was dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
             if !inner.receiver_alive {
                 return Err(SendError(value));
+            }
+            inner.queue.push_back(value);
+            drop(inner);
+            self.shared.available.notify_one();
+            Ok(())
+        }
+
+        /// Enqueues `value` unless the bounded queue is full or the
+        /// receiver was dropped; never blocks.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            if !inner.receiver_alive {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if inner.capacity.is_some_and(|cap| inner.queue.len() >= cap) {
+                return Err(TrySendError::Full(value));
             }
             inner.queue.push_back(value);
             drop(inner);
@@ -255,5 +307,20 @@ mod tests {
         let (tx, rx) = unbounded();
         drop(rx);
         assert_eq!(tx.send(5), Err(SendError(5)));
+    }
+
+    #[test]
+    fn bounded_try_send_observes_capacity_but_send_does_not() {
+        let (tx, rx) = bounded(2);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Ok(()));
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        // The control lane still enqueues past the bound.
+        tx.send(4).unwrap();
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![1, 2, 4]);
+        // Draining frees capacity for try_send again.
+        assert_eq!(tx.try_send(5), Ok(()));
+        drop(rx);
+        assert_eq!(tx.try_send(6), Err(TrySendError::Disconnected(6)));
     }
 }
