@@ -29,8 +29,9 @@ use crate::msg::AclOp;
 use crate::nameservice::DirectoryReplica;
 use crate::oracle::{InvariantOracle, OracleStats, OracleViolation};
 use crate::policy::Policy;
+use crate::msg::ShardEntry;
 use crate::scenario::{Deployment, Scenario};
-use crate::types::{Right, UserId};
+use crate::types::{AppId, Right, ShardId, UserId};
 
 /// A deliberately planted protocol bug, for proving the oracle catches
 /// real unsafety (a campaign harness that never fires is worthless).
@@ -59,6 +60,18 @@ pub enum InjectedBug {
     NsTrustUnsigned {
         /// Which host (0-based) carries the bug.
         host_index: usize,
+    },
+    /// One manager silently drops the tail operation of every shard
+    /// transfer it installs (see
+    /// [`crate::manager::ManagerNode::set_drop_handoff_tail`]): a grant
+    /// or revoke handed over during an online rebalance vanishes on the
+    /// new owner, which the oracle's rebalance-safety invariant (I9)
+    /// must catch through the diverged install digest. Sharded
+    /// campaigns force one rebalance onto the bugged manager so the bug
+    /// always has a handoff to corrupt.
+    LostHandoff {
+        /// Which manager (0-based) carries the bug.
+        manager_index: usize,
     },
 }
 
@@ -101,6 +114,24 @@ pub struct CampaignConfig {
     /// correlated crash-restarts of manager groups up to the whole
     /// cluster ([`wanacl_sim::nemesis::Fault::ClusterRestart`]).
     pub disk_faults: bool,
+    /// Number of tenants (0 = the flat single-app deployment). When
+    /// positive the deployment switches to the sharded multi-tenant
+    /// plane: each tenant is its own application, its user keyspace
+    /// splits into [`CampaignConfig::shards_per_tenant`] bucket-range
+    /// shards, every shard is served by its own two-manager set, and
+    /// `managers` is ignored (the layout is `2 × tenants ×
+    /// shards_per_tenant`). Requires `ns_replicas > 0` — the shard map
+    /// lives in the replicated directory.
+    pub tenants: usize,
+    /// Shards per tenant in sharded mode (ignored when `tenants == 0`).
+    pub shards_per_tenant: usize,
+    /// Let the nemesis plan draw shard faults too: online rebalances
+    /// racing the network faults
+    /// ([`wanacl_sim::nemesis::Fault::ShardRebalance`]) and hosts pinned
+    /// to a stale shard map
+    /// ([`wanacl_sim::nemesis::Fault::StaleShardMap`]). Only effective
+    /// in sharded mode.
+    pub shard_faults: bool,
     /// Optional planted bug.
     pub inject_bug: Option<InjectedBug>,
 }
@@ -134,6 +165,9 @@ impl Default for CampaignConfig {
             ns_read_quorum: 0,
             ns_faults: false,
             disk_faults: false,
+            tenants: 0,
+            shards_per_tenant: 1,
+            shard_faults: false,
             inject_bug: None,
         }
     }
@@ -229,28 +263,44 @@ fn effective_read_quorum(config: &CampaignConfig) -> usize {
     }
 }
 
+/// The number of managers a config actually deploys: the sharded
+/// layout overrides `managers` with two per shard.
+fn effective_managers(config: &CampaignConfig) -> usize {
+    if config.tenants > 0 {
+        2 * config.tenants * config.shards_per_tenant
+    } else {
+        config.managers
+    }
+}
+
 /// The deterministic node layout a campaign deployment will get, known
 /// before the world is built (managers first, then directory replicas
 /// or the optional name service, then hosts — asserted against the real
-/// deployment).
+/// deployment). In sharded mode `shard_managers[s]` lists the two
+/// genesis owners of global shard `s`.
 pub fn campaign_targets(config: &CampaignConfig) -> NemesisTargets {
-    let managers: Vec<NodeId> = (0..config.managers).map(NodeId::from_index).collect();
-    let replicated = config.ns_replicas > 0;
-    let ns_replicas: Vec<NodeId> = if replicated {
-        (config.managers..config.managers + config.ns_replicas)
-            .map(NodeId::from_index)
+    let mgr_count = effective_managers(config);
+    let managers: Vec<NodeId> = (0..mgr_count).map(NodeId::from_index).collect();
+    let shard_managers: Vec<Vec<NodeId>> = if config.tenants > 0 {
+        (0..config.tenants * config.shards_per_tenant)
+            .map(|s| vec![NodeId::from_index(2 * s), NodeId::from_index(2 * s + 1)])
             .collect()
     } else {
         Vec::new()
     };
-    let name_service = (config.use_name_service && !replicated)
-        .then(|| NodeId::from_index(config.managers));
-    let host_base = config.managers
-        + config.ns_replicas
-        + usize::from(config.use_name_service && !replicated);
+    let replicated = config.ns_replicas > 0;
+    let ns_replicas: Vec<NodeId> = if replicated {
+        (mgr_count..mgr_count + config.ns_replicas).map(NodeId::from_index).collect()
+    } else {
+        Vec::new()
+    };
+    let name_service =
+        (config.use_name_service && !replicated).then(|| NodeId::from_index(mgr_count));
+    let host_base =
+        mgr_count + config.ns_replicas + usize::from(config.use_name_service && !replicated);
     let hosts: Vec<NodeId> =
         (host_base..host_base + config.hosts).map(NodeId::from_index).collect();
-    NemesisTargets { managers, hosts, name_service, ns_replicas }
+    NemesisTargets { managers, hosts, name_service, ns_replicas, shard_managers }
 }
 
 /// Samples the nemesis plan the given config's seed implies. With
@@ -262,7 +312,16 @@ pub fn sample_plan(config: &CampaignConfig) -> NemesisPlan {
     let targets = campaign_targets(config);
     let horizon = SimTime::ZERO + config.horizon;
     let mut rng = SimRng::seed_from(config.seed ^ 0x6e65_6d65);
-    if config.ns_faults && config.ns_replicas > 0 {
+    if config.shard_faults && config.tenants > 0 {
+        NemesisPlan::sample_with_shards(
+            &targets,
+            horizon,
+            config.intensity,
+            &mut rng,
+            config.disk_faults,
+            config.ns_faults && config.ns_replicas > 0,
+        )
+    } else if config.ns_faults && config.ns_replicas > 0 {
         NemesisPlan::sample_with_directory(
             &targets,
             horizon,
@@ -279,22 +338,30 @@ pub fn sample_plan(config: &CampaignConfig) -> NemesisPlan {
 
 /// Admin churn: every user gets its `use` right revoked and re-granted
 /// at seed-deterministic times inside the horizon, so the oracle's
-/// bounded-revocation check has real revocations to bite on.
+/// bounded-revocation check has real revocations to bite on. In sharded
+/// mode the ops span tenants — user `u` belongs to application
+/// `(u − 1) mod tenants` — so every shard sees churn, including churn
+/// racing a rebalance of its own keyspace.
 fn admin_script(config: &CampaignConfig) -> Vec<AdminAction> {
     let mut rng = SimRng::seed_from(config.seed ^ 0x6164_6d69);
     let h = config.horizon.as_secs_f64();
     let mut script = Vec::new();
     for i in 1..=config.users {
         let user = UserId(i as u64);
+        let app = if config.tenants > 0 {
+            AppId(((i - 1) % config.tenants) as u32)
+        } else {
+            AppId(0)
+        };
         let revoke_at = h * (0.2 + 0.4 * rng.unit());
         let regrant_at = revoke_at + h * (0.1 + 0.2 * rng.unit());
         script.push(AdminAction {
             delay: SimDuration::from_secs_f64(revoke_at),
-            op: AclOp::Revoke { app: crate::types::AppId(0), user, right: Right::Use },
+            op: AclOp::Revoke { app, user, right: Right::Use },
         });
         script.push(AdminAction {
             delay: SimDuration::from_secs_f64(regrant_at),
-            op: AclOp::Add { app: crate::types::AppId(0), user, right: Right::Use },
+            op: AclOp::Add { app, user, right: Right::Use },
         });
     }
     script
@@ -324,8 +391,8 @@ fn build_deployment(
         .build();
     let min_rate = config.policy.clock_rate_bound();
     let mean_interarrival = SimDuration::from_millis(300);
+    let sharded = config.tenants > 0;
     let mut scenario = Scenario::builder(config.seed)
-        .managers(config.managers)
         .hosts(config.hosts)
         .users(config.users)
         .policy(config.policy.clone())
@@ -336,6 +403,16 @@ fn build_deployment(
         .request_timeout(SimDuration::from_secs(5))
         .admin_script(admin_script(config))
         .net(Box::new(plan.wrap_net(Box::new(base))));
+    if sharded {
+        assert!(
+            config.ns_replicas > 0,
+            "sharded campaigns need the replicated directory (the shard map lives there)"
+        );
+        scenario =
+            scenario.tenants(config.tenants).shards_per_tenant(config.shards_per_tenant);
+    } else {
+        scenario = scenario.managers(config.managers);
+    }
     if config.ns_replicas > 0 {
         scenario = scenario.with_replicated_directory(
             config.ns_replicas,
@@ -392,9 +469,11 @@ fn build_deployment(
         for (replica, window) in plan.malicious_replicas() {
             deployment.world.node_as_mut::<DirectoryReplica>(replica).set_malicious(window);
         }
-        let at = SimTime::ZERO + config.horizon.mul_f64(0.4);
-        let managers = deployment.managers.clone();
-        deployment.republish_managers_at(at, 0, 2, managers);
+        if !sharded {
+            let at = SimTime::ZERO + config.horizon.mul_f64(0.4);
+            let managers = deployment.managers.clone();
+            deployment.republish_managers_at(at, 0, 2, managers);
+        }
     }
 
     match config.inject_bug {
@@ -411,13 +490,70 @@ fn build_deployment(
             let host = deployment.hosts[host_index];
             deployment.world.node_as_mut::<HostNode>(host).inject_ns_trust_unsigned();
         }
+        Some(InjectedBug::LostHandoff { manager_index }) => {
+            assert!(sharded, "the lost-handoff bug needs a sharded deployment");
+            deployment.manager_mut(manager_index).set_drop_handoff_tail(true);
+        }
         None => {}
+    }
+
+    // Sharded driver: schedule the plan's online rebalances (ring-next
+    // targets, skipping moves an earlier move made non-disjoint), pin
+    // stale-map hosts, and record every shard-map version the run can
+    // legitimately route by — the oracle's tenant-isolation check (I8)
+    // accepts exactly this set.
+    let mut expected_maps: Vec<(AppId, u64, Vec<ShardEntry>)> = Vec::new();
+    if sharded {
+        for (app, (version, entries)) in &deployment.shard_maps {
+            expected_maps.push((*app, *version, entries.clone()));
+        }
+        let total_shards = (config.tenants * config.shards_per_tenant) as u32;
+        let mut moves: Vec<(u32, SimTime)> = plan.shard_rebalances();
+        if let Some(InjectedBug::LostHandoff { manager_index }) = config.inject_bug {
+            // Force one rebalance whose targets include the bugged
+            // manager: with ring-next targeting, moving the ring-
+            // *previous* shard lands on the bugged manager's set, so the
+            // dropped tail always has a handoff to corrupt.
+            let owned = (manager_index / 2) as u32;
+            let victim = (owned + total_shards - 1) % total_shards;
+            moves.push((victim, SimTime::ZERO + config.horizon.mul_f64(0.5)));
+            moves.sort_by_key(|&(_, at)| at);
+        }
+        for (s, at) in moves {
+            let shard = ShardId(s % total_shards);
+            let sources = deployment.shard_owners(shard);
+            let targets = deployment.shard_owners(ShardId((shard.0 + 1) % total_shards));
+            if targets.iter().any(|t| sources.contains(t)) {
+                continue;
+            }
+            deployment.rebalance_shard_at(at, shard, targets);
+            let (app, (version, entries)) = deployment
+                .shard_maps
+                .iter()
+                .find(|(_, (_, es))| es.iter().any(|e| e.shard == shard))
+                .expect("rebalanced shard keeps a map entry");
+            expected_maps.push((*app, *version, entries.clone()));
+        }
+        let apps: Vec<AppId> = deployment.shard_maps.keys().copied().collect();
+        for node in plan.stale_shard_map_hosts() {
+            let i = deployment
+                .hosts
+                .iter()
+                .position(|&h| h == node)
+                .expect("stale-map fault targets a campaign host");
+            for &app in &apps {
+                deployment.host_mut(i).set_pin_ns_version(app);
+            }
+        }
     }
 
     plan.install_lifecycle(&mut deployment.world);
     let mut oracle = InvariantOracle::new(&config.policy, SimDuration::ZERO);
     if config.ns_replicas > 0 {
         oracle.set_directory(config.ns_replicas, effective_read_quorum(config), CAMPAIGN_NS_TTL);
+    }
+    for (app, version, entries) in &expected_maps {
+        oracle.expect_shard_map(*app, *version, entries);
     }
     let oracle_id = deployment.world.add_observer(Box::new(oracle));
     (deployment, oracle_id)
@@ -814,6 +950,80 @@ mod tests {
         assert_eq!(targets.name_service, None);
         assert_eq!(targets.ns_replicas.len(), 3);
         assert_eq!(targets.hosts[0], NodeId::from_index(config.managers + 3));
+    }
+
+    fn sharded_config(seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            tenants: 2,
+            shards_per_tenant: 2,
+            users: 4,
+            ns_replicas: 3,
+            shard_faults: true,
+            horizon: SimDuration::from_secs(8),
+            ..quick_config(seed)
+        }
+    }
+
+    #[test]
+    fn sharded_layout_matches_deployment_and_plans_draw_shard_faults() {
+        let config = sharded_config(3);
+        let targets = campaign_targets(&config);
+        assert_eq!(targets.managers.len(), 8, "2 tenants x 2 shards x 2 managers");
+        assert_eq!(targets.shard_managers.len(), 4);
+        assert_eq!(targets.ns_replicas[0], NodeId::from_index(8));
+        assert_eq!(targets.hosts[0], NodeId::from_index(11));
+        // Over a handful of seeds the shard fault kinds actually appear.
+        let drew_rebalance = (0..10).any(|seed| {
+            !sample_plan(&sharded_config(seed)).shard_rebalances().is_empty()
+        });
+        assert!(drew_rebalance, "no seed in 0..10 drew a shard rebalance");
+    }
+
+    #[test]
+    fn sharded_campaign_is_deterministic_and_clean() {
+        // build_deployment asserts the 8-manager layout internally; the
+        // run must survive rebalances racing the network faults with
+        // every invariant — including I8/I9 — intact.
+        for seed in [21, 24] {
+            let config = sharded_config(seed);
+            let a = run_campaign(&config);
+            let b = run_campaign(&config);
+            assert_eq!(a.plan, b.plan);
+            assert_eq!(a.violations, b.violations);
+            assert_eq!(a.oracle_stats, b.oracle_stats);
+            assert_eq!(a.audit_digest, b.audit_digest);
+            assert_eq!(a.metrics, b.metrics);
+            assert!(a.is_clean(), "{}", a.render());
+            assert!(a.oracle_stats.allows > 0, "campaign produced no evidence");
+        }
+    }
+
+    #[test]
+    fn injected_lost_handoff_bug_is_caught() {
+        // A manager that drops the tail op of a shard transfer breaks
+        // I9: its install digest diverges from the source's handoff
+        // digest. shard_faults stays off so the only rebalance is the
+        // forced one targeting the bugged manager.
+        let mut caught = None;
+        for seed in 0..20 {
+            let config = CampaignConfig {
+                shard_faults: false,
+                inject_bug: Some(InjectedBug::LostHandoff { manager_index: 0 }),
+                ..sharded_config(seed)
+            };
+            let report = run_campaign(&config);
+            if !report.is_clean() {
+                caught = Some(report);
+                break;
+            }
+        }
+        let report = caught.expect("no seed in 0..20 tripped the lost-handoff bug");
+        let violation = report
+            .violations
+            .iter()
+            .find(|v| v.kind == crate::oracle::InvariantKind::RebalanceSafety)
+            .expect("lost handoff must surface as a rebalance-safety violation");
+        assert!(violation.event_index > 0, "violation must carry a replay coordinate");
     }
 
     #[test]

@@ -139,6 +139,8 @@ fn reject_reason_byte(reason: crate::msg::RejectReason) -> u8 {
         BadSignature => 1,
         Recovering => 2,
         UnknownApp => 3,
+        UnknownShard => 4,
+        ShardMoved => 5,
     }
 }
 

@@ -20,7 +20,7 @@ use crate::msg::{
     admin_signing_bytes, invoke_signing_bytes, AclOp, AdminStatus, InvokeOutcome, ProtoMsg,
     RejectReason, ReqId,
 };
-use crate::types::{AppId, UserId};
+use crate::types::{user_bucket, AppId, UserId};
 
 const TAG_KIND_SHIFT: u64 = 56;
 const TAG_ARRIVAL: u64 = 1 << TAG_KIND_SHIFT;
@@ -322,6 +322,20 @@ struct OpRecord {
     stable_after: Option<SimDuration>,
 }
 
+/// One row of an admin shard-routing table: operations on `app` whose
+/// subject hashes into `lo..=hi` go to `manager`.
+#[derive(Debug, Clone, Copy)]
+pub struct AdminRoute {
+    /// Application the row covers.
+    pub app: AppId,
+    /// Inclusive low end of the bucket range.
+    pub lo: u8,
+    /// Inclusive high end of the bucket range.
+    pub hi: u8,
+    /// Manager serving that shard.
+    pub manager: NodeId,
+}
+
 /// Configuration of an [`AdminAgent`].
 #[derive(Debug, Clone)]
 pub struct AdminAgentConfig {
@@ -331,6 +345,9 @@ pub struct AdminAgentConfig {
     pub secret: Option<SecretKey>,
     /// The manager node the agent talks to.
     pub manager: NodeId,
+    /// Sharded deployments: route each operation to the manager owning
+    /// the subject's bucket. Empty = always talk to `manager`.
+    pub routes: Vec<AdminRoute>,
     /// Scripted operations.
     pub script: Vec<AdminAction>,
     /// Retransmission period until the manager confirms `Applied`.
@@ -442,14 +459,27 @@ impl AdminAgent {
         idx
     }
 
+    /// Target manager for an operation: the covering route row in a
+    /// sharded deployment, the fixed manager otherwise.
+    fn route(&self, op: &AclOp) -> NodeId {
+        let bucket = user_bucket(op.user());
+        self.config
+            .routes
+            .iter()
+            .find(|r| r.app == op.app() && r.lo <= bucket && bucket <= r.hi)
+            .map(|r| r.manager)
+            .unwrap_or(self.config.manager)
+    }
+
     fn send_op(&mut self, ctx: &mut Context<'_, ProtoMsg>, idx: usize) {
         let rec = &self.ops[idx];
+        let target = self.route(&rec.op);
         let signature = self.config.secret.as_ref().map(|key| {
             rsa::sign(key, &admin_signing_bytes(self.config.issuer, &rec.op))
         });
         ctx.metric_incr("admin.op_sent");
         ctx.send(
-            self.config.manager,
+            target,
             ProtoMsg::Admin {
                 op: rec.op,
                 req: rec.req,

@@ -29,12 +29,26 @@ use wanacl_sim::time::{SimDuration, SimTime};
 use crate::breaker::{FailureOutcome, PeerBreaker};
 use crate::cache::{AclCache, CacheDecision};
 use crate::msg::{
-    invoke_signing_bytes, ns_record_signing_bytes, InvokeOutcome, ProtoMsg, QueryVerdict, ReqId,
+    invoke_signing_bytes, ns_record_signing_bytes_sharded, InvokeOutcome, ProtoMsg, QueryVerdict,
+    ReqId, ShardEntry,
 };
 use crate::nameservice::fmt_mgrs;
 use crate::policy::{ExhaustionBehavior, Policy, QueryFanout};
-use crate::types::{AppId, UserId};
+use crate::types::{user_bucket, AppId, UserId};
 use crate::wrapper::Application;
+
+/// Static per-shard check-counter names ([`Context::metric_incr`] takes
+/// `&'static str`); shards past the table share one overflow row.
+static SHARD_CHECK_METRICS: [&str; 8] = [
+    "shard.0.checks",
+    "shard.1.checks",
+    "shard.2.checks",
+    "shard.3.checks",
+    "shard.4.checks",
+    "shard.5.checks",
+    "shard.6.checks",
+    "shard.7.checks",
+];
 
 /// Timer-tag namespaces (top byte selects the kind).
 const TAG_KIND_SHIFT: u64 = 56;
@@ -141,6 +155,9 @@ struct PendingInvoke {
     background: bool,
 }
 
+/// One verified directory reply: `(version, managers, shards, ttl)`.
+type NsReplyEntry = (u64, Vec<NodeId>, Option<Vec<ShardEntry>>, SimDuration);
+
 struct AppState {
     policy: Policy,
     directory: ManagerDirectory,
@@ -151,10 +168,18 @@ struct AppState {
     /// Consecutive unanswered name-service queries; indexes the
     /// [`Policy::ns_retry_backoff`] schedule and resets on a reply.
     ns_round: u32,
+    /// The installed shard map, when the directory record carries one:
+    /// checks for a user route to the covering entry's manager set
+    /// instead of the flat view.
+    shards: Option<Vec<ShardEntry>>,
+    /// Fault injection: the *stale shard map* fault. While set, fresher
+    /// directory records are not installed — the host keeps routing on
+    /// whatever map it already holds.
+    ns_pinned: bool,
     /// Verified replies collected during the current quorum read:
-    /// replica → (version, managers, ttl). Only meaningful for
+    /// replica → (version, managers, shards, ttl). Only meaningful for
     /// [`ManagerDirectory::Replicated`].
-    ns_replies: BTreeMap<NodeId, (u64, Vec<NodeId>, SimDuration)>,
+    ns_replies: BTreeMap<NodeId, NsReplyEntry>,
     /// When the current quorum read started (for the latency histogram).
     ns_round_started: LocalTime,
     /// Whether a quorum read is in flight (armed but not yet installed).
@@ -236,6 +261,8 @@ impl HostNode {
                     application: spec.application,
                     ns_timer: None,
                     ns_round: 0,
+                    shards: None,
+                    ns_pinned: false,
                     ns_replies: BTreeMap::new(),
                     ns_round_started: LocalTime::ZERO,
                     ns_inflight: false,
@@ -327,6 +354,21 @@ impl HostNode {
             .unwrap_or_else(|| panic!("{app} not served by this host"))
             .cache
             .set_ignore_expiry(true);
+    }
+
+    /// Fault injection: the *stale shard map* fault. The host stops
+    /// installing fresher directory records for `app` and keeps routing
+    /// checks on whatever map (and manager view) it currently holds,
+    /// until the record's TTL lapses and the view fails closed.
+    pub fn set_pin_ns_version(&mut self, app: AppId) {
+        if let Some(state) = self.apps.get_mut(&app) {
+            state.ns_pinned = true;
+        }
+    }
+
+    /// The installed shard map for an application, if any.
+    pub fn shard_map(&self, app: AppId) -> Option<&[ShardEntry]> {
+        self.apps.get(&app).and_then(|a| a.shards.as_deref())
     }
 
     /// Access to a wrapped application for inspection, or `None` when
@@ -430,6 +472,7 @@ impl HostNode {
         app: AppId,
         version: u64,
         managers: Vec<NodeId>,
+        shards: Option<Vec<ShardEntry>>,
         ttl: SimDuration,
         signature: Option<rsa::Signature>,
     ) {
@@ -463,7 +506,12 @@ impl HostNode {
         if version > 0 && !self.ns_trust_unsigned {
             let verified = match (&self.ns_trust, &signature) {
                 (Some((registry, writer)), Some(sig)) => {
-                    let bytes = ns_record_signing_bytes(app, version, &managers);
+                    let bytes = ns_record_signing_bytes_sharded(
+                        app,
+                        version,
+                        &managers,
+                        shards.as_deref(),
+                    );
                     wanacl_auth::signed::verify_bytes(registry, *writer, &bytes, sig)
                 }
                 (Some(_), None) => false,
@@ -480,7 +528,7 @@ impl HostNode {
             }
         }
         let state = self.apps.get_mut(&app).expect("checked above");
-        state.ns_replies.insert(from, (version, managers, ttl));
+        state.ns_replies.insert(from, (version, managers, shards, ttl));
         if state.ns_replies.len() >= quorum {
             self.install_ns_record(ctx, app, quorum);
         }
@@ -490,10 +538,10 @@ impl HostNode {
     fn install_ns_record(&mut self, ctx: &mut Context<'_, ProtoMsg>, app: AppId, quorum: usize) {
         let Some(state) = self.apps.get_mut(&app) else { return };
         let acks = state.ns_replies.len();
-        let Some((version, managers, ttl)) = state
+        let Some((version, managers, shards, ttl)) = state
             .ns_replies
             .values()
-            .max_by_key(|(v, _, _)| *v)
+            .max_by_key(|(v, _, _, _)| *v)
             .cloned()
         else {
             return;
@@ -513,8 +561,14 @@ impl HostNode {
             // e.g. every reachable replica is stale. Never roll the view
             // back: keep the installed record on its original TTL.
             ctx.metric_incr("ns.stale_quorum");
+        } else if state.ns_pinned && state.record_version > 0 && version > state.record_version {
+            // Stale-shard-map fault: deliberately keep routing on the
+            // old map. The oracle must stay clean — safety can never
+            // depend on hosts refreshing promptly.
+            ctx.metric_incr("host.ns_pinned");
         } else {
             state.managers = managers;
+            state.shards = shards;
             state.record_version = version;
             state.record_expires = Some(ctx.local_now().plus(ttl));
             if let Some(t) = state.ns_expiry_timer.take() {
@@ -625,7 +679,30 @@ impl HostNode {
         // on them. This never loosens safety — the quorum rules below
         // still apply to whatever subset remains.
         let bnow = SimTime::from_nanos(ctx.local_now().as_nanos());
-        let mut view = state.managers.clone();
+        // Shard routing: with a shard map installed, only the covering
+        // entry's managers are candidates — the check fans out (and its
+        // quorum forms) over that set alone, so per-check traffic stays
+        // independent of how many shards or tenants exist elsewhere.
+        let mut view = match state.shards.as_deref() {
+            Some(entries) => {
+                let bucket = user_bucket(p.user);
+                match entries.iter().find(|e| e.covers(bucket)) {
+                    Some(entry) => {
+                        let label = SHARD_CHECK_METRICS
+                            .get(entry.shard.0 as usize)
+                            .copied()
+                            .unwrap_or("shard.other.checks");
+                        ctx.metric_incr(label);
+                        entry.managers.clone()
+                    }
+                    // A map that does not cover the user fails closed
+                    // through the empty-view path below.
+                    None => Vec::new(),
+                }
+            }
+            None => state.managers.clone(),
+        };
+        let had_candidates = !view.is_empty();
         if let Some(b) = state.breaker.as_mut() {
             view.retain(|m| {
                 let admitted = b.admits(*m, bnow);
@@ -635,7 +712,7 @@ impl HostNode {
                 admitted
             });
         }
-        let all_held_open = view.is_empty() && !state.managers.is_empty();
+        let all_held_open = view.is_empty() && had_candidates;
         // Choose which managers to ask this attempt.
         let targets: Vec<NodeId> = match state.policy.fanout() {
             QueryFanout::All => view.clone(),
@@ -1211,6 +1288,8 @@ impl Node for HostNode {
                     }
                     state.ns_round = 0;
                     state.managers = managers;
+                    // A flat directory answer replaces any shard map.
+                    state.shards = None;
                     // Re-query shortly before the TTL runs out, jittered
                     // so hosts whose TTLs expire together don't storm the
                     // name service with synchronized re-queries.
@@ -1219,8 +1298,8 @@ impl Node for HostNode {
                         Some(ctx.set_timer(refresh, TAG_NS | u64::from(app.0)));
                 }
             }
-            ProtoMsg::NsRecordReply { app, version, managers, ttl, signature } => {
-                self.on_ns_record_reply(ctx, from, app, version, managers, ttl, signature);
+            ProtoMsg::NsRecordReply { app, version, managers, shards, ttl, signature } => {
+                self.on_ns_record_reply(ctx, from, app, version, managers, shards.map(|b| *b), ttl, signature);
             }
             _ => {
                 ctx.metric_incr("host.unexpected_msg");
@@ -1869,6 +1948,7 @@ mod tests {
             app: record.app,
             version: record.version,
             managers: record.managers.clone(),
+            shards: None,
             ttl: TTL,
             signature: Some(record.signature),
         }
@@ -1963,6 +2043,7 @@ mod tests {
             app: AppId(0),
             version: 2,
             managers: vec![NodeId::from_index(6)],
+            shards: None,
             ttl: TTL,
             signature: Some(genuine.signature),
         };
@@ -1973,6 +2054,7 @@ mod tests {
             app: AppId(0),
             version: 2,
             managers: vec![NodeId::from_index(6)],
+            shards: None,
             ttl: TTL,
             signature: None,
         };
@@ -2002,6 +2084,7 @@ mod tests {
             app: AppId(0),
             version: 7,
             managers: vec![NodeId::from_index(6)],
+            shards: None,
             ttl: TTL,
             signature: Some(genuine.signature),
         };
@@ -2072,6 +2155,7 @@ mod tests {
             app: AppId(0),
             version: 0,
             managers: Vec::new(),
+            shards: None,
             ttl: SimDuration::from_secs(15),
             signature: None,
         };

@@ -76,24 +76,27 @@ pub mod prelude {
     pub use crate::breaker::{BreakerConfig, FailureOutcome, PeerBreaker};
     pub use crate::cache::{AclCache, CacheDecision};
     pub use crate::campaign::{
-        rollup_metrics, run_campaign, run_with_plan, sample_plan, shrink_plan, CampaignConfig,
-        CampaignReport, InjectedBug,
+        campaign_targets, rollup_metrics, run_campaign, run_campaigns_parallel, run_plans_parallel,
+        run_with_plan, sample_plan, shrink_plan, CampaignConfig, CampaignReport, InjectedBug,
     };
     pub use crate::channel::ChannelKeys;
     pub use crate::client::{
-        AdminAction, AdminAgent, AdminAgentConfig, OpProgress, UserAgent, UserAgentConfig,
-        UserStats, WorkloadShape,
+        AdminAction, AdminAgent, AdminAgentConfig, AdminRoute, OpProgress, UserAgent,
+        UserAgentConfig, UserStats, WorkloadShape,
     };
     pub use crate::host::{AppHost, HostNode, HostStats, ManagerDirectory};
-    pub use crate::manager::{ManagerApp, ManagerConfig, ManagerNode, ManagerStats};
+    pub use crate::manager::{
+        ManagerApp, ManagerConfig, ManagerNode, ManagerShard, ManagerStats,
+    };
     pub use crate::msg::{
-        AclOp, AdminStatus, InvokeOutcome, OpId, ProtoMsg, QueryVerdict, RejectReason, ReqId,
+        AclOp, AdminStatus, InvokeOutcome, NsRecord, OpId, ProtoMsg, QueryVerdict, RejectReason,
+        ReqId, ShardEntry,
     };
     pub use crate::nameservice::{DirectoryReplica, NameServiceNode};
     pub use crate::oracle::{InvariantKind, InvariantOracle, OracleStats, OracleViolation};
     pub use crate::policy::{ExhaustionBehavior, FreezePolicy, Policy, QueryFanout};
     pub use crate::scenario::{Deployment, Scenario};
     pub use crate::storelog::SnapshotState;
-    pub use crate::types::{Acl, AppId, Right, RightsSet, UserId};
+    pub use crate::types::{user_bucket, Acl, AppId, Right, RightsSet, ShardId, TenantId, UserId};
     pub use crate::wrapper::{Application, CountingApp, EchoApp, StockQuoteApp};
 }

@@ -34,11 +34,15 @@ use wanacl_sim::storage::{Recovered, Storage, StorageStats};
 use wanacl_sim::time::SimDuration;
 
 use crate::msg::{
-    admin_signing_bytes, AclOp, AdminStatus, OpId, ProtoMsg, QueryVerdict, RejectReason, ReqId,
+    admin_signing_bytes, AclOp, AdminStatus, NsRecord, OpId, ProtoMsg, QueryVerdict, RejectReason,
+    ReqId,
 };
 use crate::policy::Policy;
-use crate::storelog::{decode_record, decode_snapshot, encode_record, encode_snapshot, SnapshotState};
-use crate::types::{Acl, AppId, Right, UserId};
+use crate::storelog::{
+    decode_snapshot, decode_wal_record, encode_record, encode_release, encode_snapshot,
+    SnapshotState, WalRecord,
+};
+use crate::types::{user_bucket, Acl, AppId, Right, ShardId, UserId};
 
 /// Jump added to the Lamport clock after a disk recovery so a cold
 /// process restart (which loses the in-memory counter) can never mint an
@@ -51,6 +55,48 @@ const TAG_HEARTBEAT: u64 = 1 << TAG_KIND_SHIFT;
 const TAG_RETRY: u64 = 2 << TAG_KIND_SHIFT;
 const TAG_GSWEEP: u64 = 3 << TAG_KIND_SHIFT;
 const TAG_SYNC: u64 = 4 << TAG_KIND_SHIFT;
+const TAG_HANDOFF: u64 = 5 << TAG_KIND_SHIFT;
+
+/// Static per-shard metric labels ([`Context::metric_incr`] takes
+/// `&'static str`); shard ids past the table share one overflow row.
+const SHARD_QUERY_METRICS: [&str; 8] = [
+    "shard.0.queries",
+    "shard.1.queries",
+    "shard.2.queries",
+    "shard.3.queries",
+    "shard.4.queries",
+    "shard.5.queries",
+    "shard.6.queries",
+    "shard.7.queries",
+];
+const SHARD_UPDATE_METRICS: [&str; 8] = [
+    "shard.0.updates",
+    "shard.1.updates",
+    "shard.2.updates",
+    "shard.3.updates",
+    "shard.4.updates",
+    "shard.5.updates",
+    "shard.6.updates",
+    "shard.7.updates",
+];
+
+fn shard_metric(table: &'static [&'static str; 8], overflow: &'static str, shard: ShardId) -> &'static str {
+    table.get(shard.0 as usize).copied().unwrap_or(overflow)
+}
+
+/// Order-sensitive FNV-1a digest over the WAL encodings of a transfer's
+/// ops. Source and target both compute it; the oracle's rebalance-safety
+/// invariant (I9) compares the two sides.
+pub fn transfer_digest(ops: &[(OpId, AclOp)]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for (id, op) in ops {
+        for byte in encode_record(*id, op) {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
 
 /// One application managed by a manager node.
 #[derive(Debug, Clone)]
@@ -65,6 +111,26 @@ pub struct ManagerApp {
     pub initial_acl: Acl,
 }
 
+/// One shard a manager owns at deployment time (tentpole: the ACL
+/// keyspace is partitioned into bucket ranges, each served by its own
+/// manager set with independent check/update quorums).
+#[derive(Debug, Clone)]
+pub struct ManagerShard {
+    /// The shard's global id.
+    pub shard: ShardId,
+    /// The application (tenant) the shard belongs to.
+    pub app: AppId,
+    /// First covered [`user_bucket`] value (inclusive).
+    pub lo: u8,
+    /// Last covered [`user_bucket`] value (inclusive).
+    pub hi: u8,
+    /// The shard's co-owners (excluding this manager). Updates for the
+    /// shard fan out to exactly this set, so quorum traffic per
+    /// operation is independent of the deployment size and of other
+    /// tenants' ACLs.
+    pub peers: Vec<NodeId>,
+}
+
 /// Manager configuration.
 #[derive(Debug, Clone)]
 pub struct ManagerConfig {
@@ -72,6 +138,14 @@ pub struct ManagerConfig {
     pub peers: Vec<NodeId>,
     /// Applications this manager serves.
     pub apps: Vec<ManagerApp>,
+    /// Shards this manager initially owns. Empty = the legacy flat mode
+    /// (every manager holds every app's whole ACL); nonempty switches
+    /// query/admin routing to shard-scoped stores.
+    pub shards: Vec<ManagerShard>,
+    /// Trust anchor for verifying the namespace writer's signature on
+    /// shard-handoff records; `None` accepts handoffs unverified
+    /// (tests only — sharded scenarios always set it).
+    pub ns_trust: Option<Arc<KeyRegistry>>,
     /// Key registry for verifying admin signatures (`None` disables
     /// message authentication).
     pub registry: Option<Arc<KeyRegistry>>,
@@ -107,6 +181,8 @@ impl Default for ManagerConfig {
         ManagerConfig {
             peers: Vec::new(),
             apps: Vec::new(),
+            shards: Vec::new(),
+            ns_trust: None,
             registry: None,
             enforce_manage_right: false,
             retry_interval: SimDuration::from_millis(500),
@@ -154,6 +230,107 @@ pub struct ManagerStats {
     pub snapshot_writes: u64,
     /// Recoveries satisfied from local stable storage.
     pub recovered_from_disk: u64,
+    /// Shards this manager durably released during a handoff.
+    pub shards_released: u64,
+    /// Shards this manager acquired (activated) through a handoff.
+    pub shards_acquired: u64,
+}
+
+/// Source-side handoff bookkeeping while the shard is frozen.
+#[derive(Debug)]
+struct HandoffSource {
+    /// The new map version the handoff installs.
+    epoch: u64,
+    /// The pre-signed next-version record (retransmitted to late
+    /// participants; published by the primary once all sources release).
+    record: NsRecord,
+    targets: Vec<NodeId>,
+    publish_to: Vec<NodeId>,
+    /// Targets that have not acknowledged this source's transfer yet.
+    unacked_transfer: BTreeSet<NodeId>,
+    /// The transfer payload, fixed at freeze time so retransmissions
+    /// carry identical bytes (and the digest stays meaningful).
+    ops: Vec<(OpId, AclOp)>,
+    digest: u64,
+}
+
+/// Handoff coordination state, held by the primary source (the
+/// lowest-id current owner): tracks which sources have durably released
+/// and which targets have acknowledged activation.
+#[derive(Debug)]
+struct HandoffCoord {
+    epoch: u64,
+    record: NsRecord,
+    publish_to: Vec<NodeId>,
+    awaiting_release: BTreeSet<NodeId>,
+    awaiting_activate: BTreeSet<NodeId>,
+}
+
+/// Where one of this manager's shards is in its lifecycle.
+#[derive(Debug)]
+enum ShardPhase {
+    /// Serving checks and accepting updates.
+    Active,
+    /// Source side of a handoff: checks are still answered from the
+    /// frozen state (no update can become stable anywhere during the
+    /// freeze, so the answers stay sound), admin ops are silently
+    /// dropped (the agent's persistent resend carries them past the
+    /// handoff).
+    Frozen(HandoffSource),
+    /// Durably renounced: checks answer `Unavailable{ShardMoved}`,
+    /// admin ops are forwarded to the new owner set.
+    Released {
+        epoch: u64,
+        /// First member of the new owner set, for admin forwarding
+        /// (`None` after a crash recovery that only replayed the WAL
+        /// marker — admins are then dropped until the agent re-routes).
+        forward_to: Option<NodeId>,
+        /// Whether the handoff primary acknowledged our `ShardReleased`.
+        acked: bool,
+    },
+    /// Target side of a handoff: transfers are being merged; the shard
+    /// serves nothing until the primary activates it.
+    Preparing {
+        /// Sources whose transfer has been applied (dedupes resends).
+        received: BTreeSet<NodeId>,
+    },
+}
+
+/// One shard owned (or being acquired/relinquished) by this manager.
+#[derive(Debug)]
+struct ShardState {
+    app: AppId,
+    lo: u8,
+    hi: u8,
+    /// Co-owners under the epoch this state belongs to.
+    peers: Vec<NodeId>,
+    /// The shard-map version under which this manager (last) owned the
+    /// shard; targets carry the incoming epoch from creation.
+    epoch: u64,
+    phase: ShardPhase,
+}
+
+impl ShardState {
+    fn covers(&self, app: AppId, bucket: u8) -> bool {
+        self.app == app && bucket >= self.lo && bucket <= self.hi
+    }
+}
+
+/// How an `(app, user)` slot routes through this manager's shard table.
+enum ShardRoute {
+    /// No shard table configured, or no shard covers the slot.
+    None,
+    /// An active shard covers it: serve normally.
+    Active(ShardId),
+    /// The covering shard is frozen for handoff: queries are answered
+    /// from the frozen state (nothing can become stable meanwhile);
+    /// admins are silently dropped so the agent's resend carries them
+    /// past the freeze.
+    Frozen(ShardId),
+    /// The shard was handed off; `forward_to` is a new owner when known.
+    Moved { forward_to: Option<NodeId> },
+    /// The shard is arriving but not yet activated.
+    Preparing,
 }
 
 #[derive(Debug)]
@@ -168,6 +345,10 @@ struct PendingUpdate {
     op: AclOp,
     unacked: BTreeSet<NodeId>,
     applied_count: usize,
+    /// Applied-copy count that makes the op stable. Computed at origin
+    /// time: `M − C + 1` over the flat deployment in legacy mode, over
+    /// the owning shard's manager set in sharded mode.
+    quorum: usize,
     stable: bool,
     /// Whether this manager's own copy is durable yet. The origin counts
     /// itself toward the update quorum only once the op is WAL-synced
@@ -243,6 +424,19 @@ pub struct ManagerNode {
     /// WAL appends since the last snapshot (drives the cadence).
     wal_since_snapshot: u64,
     channel: Option<Arc<crate::channel::ChannelKeys>>,
+    /// Shard-scoped stores; empty = legacy flat mode.
+    shards: BTreeMap<ShardId, ShardState>,
+    /// Handoff coordination per shard (primary source only).
+    coord: BTreeMap<ShardId, HandoffCoord>,
+    /// Durable record of released shards (mirrors the WAL markers; the
+    /// snapshot carries it so compaction cannot forget a release).
+    released: BTreeMap<ShardId, u64>,
+    /// Whether the handoff retransmission timer is armed.
+    handoff_timer_armed: bool,
+    /// Planted-bug hook: the target drops the last op of every incoming
+    /// transfer, so its install digest diverges from the source's
+    /// handoff digest — the lost-handoff bug I9 must catch.
+    drop_handoff_tail: bool,
     stats: ManagerStats,
 }
 
@@ -254,6 +448,23 @@ impl ManagerNode {
             .iter()
             .map(|a| {
                 (a.app, ManagedApp { policy: a.policy.clone(), acl: a.initial_acl.clone(), frozen: false })
+            })
+            .collect();
+        let shards = config
+            .shards
+            .iter()
+            .map(|s| {
+                (
+                    s.shard,
+                    ShardState {
+                        app: s.app,
+                        lo: s.lo,
+                        hi: s.hi,
+                        peers: s.peers.clone(),
+                        epoch: 1,
+                        phase: ShardPhase::Active,
+                    },
+                )
             })
             .collect();
         ManagerNode {
@@ -275,8 +486,34 @@ impl ManagerNode {
             unlogged: BTreeMap::new(),
             wal_since_snapshot: 0,
             channel: None,
+            shards,
+            coord: BTreeMap::new(),
+            released: BTreeMap::new(),
+            handoff_timer_armed: false,
+            drop_handoff_tail: false,
             stats: ManagerStats::default(),
         }
+    }
+
+    /// Planted-bug hook (see [`crate::campaign::InjectedBug`]): drop the
+    /// tail op of every incoming shard transfer, silently losing an
+    /// update across the handoff. I9 must catch the digest divergence.
+    pub fn set_drop_handoff_tail(&mut self, on: bool) {
+        self.drop_handoff_tail = on;
+    }
+
+    /// Whether this manager currently serves `shard` (phase `Active`).
+    pub fn shard_active(&self, shard: ShardId) -> bool {
+        self.shards.get(&shard).is_some_and(|s| matches!(s.phase, ShardPhase::Active))
+    }
+
+    /// Whether this manager has durably released `shard`.
+    pub fn shard_released(&self, shard: ShardId) -> bool {
+        self.released.contains_key(&shard)
+            || self
+                .shards
+                .get(&shard)
+                .is_some_and(|s| matches!(s.phase, ShardPhase::Released { .. }))
     }
 
     /// Attaches stable storage. Install before the node starts; if the
@@ -488,10 +725,8 @@ impl ManagerNode {
     /// changed, reporting `Stable` to the issuer at the quorum and
     /// retiring the record once fully acked and locally durable.
     fn finish_quorum_check(&mut self, ctx: &mut Context<'_, ProtoMsg>, id: OpId) {
-        let deployment = self.deployment_size();
         let Some(pending) = self.pending.get_mut(&id) else { return };
-        let update_quorum =
-            state_policy_update_quorum(&self.apps, pending.op.app(), deployment);
+        let update_quorum = pending.quorum;
         if !pending.stable && pending.applied_count >= update_quorum {
             pending.stable = true;
             self.stats.quorum_reached += 1;
@@ -542,6 +777,7 @@ impl ManagerNode {
                 .iter()
                 .map(|(&(app, user, right), &(id, op))| (app, user, right, id, op))
                 .collect(),
+            released: self.released.iter().map(|(&s, &e)| (s, e)).collect(),
         }
     }
 
@@ -560,6 +796,10 @@ impl ManagerNode {
         self.lww.clear();
         self.origin_stamps.clear();
         self.unlogged.clear();
+        // Shard ownership is re-derived from config plus the durable
+        // release markers; acquired-but-volatile ownership is lost (the
+        // shard degrades to unavailability, never to unsafe serving).
+        self.reset_shards_to_config();
         let mut floor = 0u64;
         if let Some(bytes) = recovered.snapshot.as_deref() {
             if let Some(snap) = decode_snapshot(bytes) {
@@ -570,14 +810,24 @@ impl ManagerNode {
                 for (_, _, _, id, op) in snap.lww {
                     self.apply_op(&op, id);
                 }
+                for (shard, epoch) in snap.released {
+                    self.note_released(shard, epoch);
+                }
             }
         }
         let mut replayed = 0u64;
         for record in &recovered.records {
-            let Some((id, op)) = decode_record(record) else { continue };
-            self.record_applied(id);
-            self.apply_op(&op, id);
-            replayed += 1;
+            match decode_wal_record(record) {
+                Some(WalRecord::Op(id, op)) => {
+                    self.record_applied(id);
+                    self.apply_op(&op, id);
+                    replayed += 1;
+                }
+                Some(WalRecord::ShardRelease { shard, epoch }) => {
+                    self.note_released(shard, epoch);
+                }
+                None => continue,
+            }
         }
         // `apply_op` maxes the Lamport clock along the way; the margin
         // guards against OpId reuse when the in-memory counter did not
@@ -607,6 +857,550 @@ impl ManagerNode {
         let recovered = storage.recover();
         self.restore_from(ctx, recovered);
         true
+    }
+
+    /// Rebuilds the shard table from the deployment config: every
+    /// configured shard active, no coordination state. Durable release
+    /// markers are re-applied on top by the caller.
+    fn reset_shards_to_config(&mut self) {
+        self.shards = self
+            .config
+            .shards
+            .iter()
+            .map(|s| {
+                (
+                    s.shard,
+                    ShardState {
+                        app: s.app,
+                        lo: s.lo,
+                        hi: s.hi,
+                        peers: s.peers.clone(),
+                        epoch: 1,
+                        phase: ShardPhase::Active,
+                    },
+                )
+            })
+            .collect();
+        self.coord.clear();
+        self.released.clear();
+    }
+
+    /// Records a durably-released shard (from a WAL marker or snapshot):
+    /// the manager must stay silent for it. The new owner set is not
+    /// part of the marker, so admin forwarding is unavailable after a
+    /// recovery — admins for the shard are dropped and the agent's
+    /// resends reach the new owners through the republished map.
+    fn note_released(&mut self, shard: ShardId, epoch: u64) {
+        self.released.insert(shard, epoch);
+        if let Some(st) = self.shards.get_mut(&shard) {
+            st.phase = ShardPhase::Released { epoch, forward_to: None, acked: false };
+        }
+    }
+
+    /// Routes `(app, user)` to the covering shard's current phase.
+    fn shard_route(&self, app: AppId, user: UserId) -> ShardRoute {
+        let bucket = user_bucket(user);
+        for (&sid, st) in &self.shards {
+            if st.covers(app, bucket) {
+                return match &st.phase {
+                    ShardPhase::Active => ShardRoute::Active(sid),
+                    ShardPhase::Frozen(_) => ShardRoute::Frozen(sid),
+                    ShardPhase::Released { forward_to, .. } => {
+                        ShardRoute::Moved { forward_to: *forward_to }
+                    }
+                    ShardPhase::Preparing { .. } => ShardRoute::Preparing,
+                };
+            }
+        }
+        ShardRoute::None
+    }
+
+    /// The update fan-out set and quorum for an op: the owning shard's
+    /// manager set in sharded mode (quorum traffic per operation is
+    /// independent of the deployment and of other tenants), the whole
+    /// deployment otherwise.
+    fn update_scope(&self, app: AppId, user: UserId) -> (Vec<NodeId>, usize) {
+        if !self.shards.is_empty() {
+            let bucket = user_bucket(user);
+            if let Some(st) = self.shards.values().find(|s| s.covers(app, bucket)) {
+                let deployment = st.peers.len() + 1;
+                let c = self
+                    .apps
+                    .get(&app)
+                    .map(|a| a.policy.check_quorum())
+                    .unwrap_or(1);
+                // `deployment - C + 1` without the panic: an undersized
+                // shard cannot satisfy any check quorum (hosts fail
+                // closed), so the exact value is moot — use all owners.
+                let quorum =
+                    if deployment >= c { deployment - c + 1 } else { deployment };
+                return (st.peers.clone(), quorum);
+            }
+        }
+        let deployment = self.deployment_size();
+        (
+            self.config.peers.clone(),
+            state_policy_update_quorum(&self.apps, app, deployment),
+        )
+    }
+
+    /// Arms the handoff retransmission timer (fixed cadence, no RNG, so
+    /// handoffs never perturb the retry jitter stream).
+    fn arm_handoff(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        if !self.handoff_timer_armed {
+            self.handoff_timer_armed = true;
+            ctx.set_timer(self.config.retry_interval, TAG_HANDOFF);
+        }
+    }
+
+    /// Durably appends and fsyncs the shard-release marker. Without
+    /// storage the release is immediate (and survives nothing — sharded
+    /// deployments are expected to attach storage).
+    fn persist_release(&mut self, ctx: &mut Context<'_, ProtoMsg>, shard: ShardId, epoch: u64) -> bool {
+        if self.storage.is_none() {
+            return true;
+        }
+        let append_ok = self
+            .storage
+            .as_mut()
+            .map(|s| s.append(&encode_release(shard, epoch)).is_ok())
+            .unwrap_or(true);
+        if !append_ok {
+            ctx.metric_incr("mgr.wal_append_failed");
+            return false;
+        }
+        self.stats.wal_appends += 1;
+        ctx.metric_incr("mgr.wal_appends");
+        self.wal_since_snapshot += 1;
+        let sync_ok = self.storage.as_mut().map(|s| s.sync().is_ok()).unwrap_or(true);
+        if !sync_ok {
+            ctx.metric_incr("mgr.wal_sync_failed");
+            return false;
+        }
+        // The barrier also made any ops waiting on it durable.
+        self.flush_wal(ctx);
+        true
+    }
+
+    /// Starts or joins a shard handoff. The signed next-version record
+    /// is the capability: sources freeze and push their state to the
+    /// targets, targets start preparing.
+    #[allow(clippy::too_many_arguments)]
+    fn on_shard_handoff(
+        &mut self,
+        ctx: &mut Context<'_, ProtoMsg>,
+        from: NodeId,
+        shard: ShardId,
+        epoch: u64,
+        record: NsRecord,
+        targets: Vec<NodeId>,
+        publish_to: Vec<NodeId>,
+    ) {
+        if from != NodeId::ENV && !self.config.peers.contains(&from) {
+            ctx.metric_incr("mgr.msg_from_non_peer");
+            return;
+        }
+        if let Some(trust) = &self.config.ns_trust {
+            if !record.verify(trust, crate::scenario::NS_WRITER) {
+                ctx.metric_incr("mgr.handoff_bad_record");
+                return;
+            }
+        }
+        let me = ctx.id();
+        if targets.contains(&me) {
+            // Target role: note the incoming shard and wait for the
+            // sources' transfers.
+            let Some(entry) = record
+                .shards
+                .as_deref()
+                .and_then(|es| es.iter().find(|e| e.shard == shard))
+                .cloned()
+            else {
+                ctx.metric_incr("mgr.handoff_bad_record");
+                return;
+            };
+            if self.shards.get(&shard).is_some_and(|st| st.epoch >= epoch)
+                || self.released.contains_key(&shard)
+            {
+                return; // duplicate kickoff
+            }
+            self.shards.insert(
+                shard,
+                ShardState {
+                    app: record.app,
+                    lo: entry.lo,
+                    hi: entry.hi,
+                    peers: entry.managers.iter().copied().filter(|&m| m != me).collect(),
+                    epoch,
+                    phase: ShardPhase::Preparing { received: BTreeSet::new() },
+                },
+            );
+            ctx.metric_incr("mgr.handoff_target_started");
+            self.arm_handoff(ctx);
+            return;
+        }
+        // Source role: only a currently-active owner freezes.
+        let (app, lo, hi, peers) = match self.shards.get(&shard) {
+            Some(st) if matches!(st.phase, ShardPhase::Active) && epoch > st.epoch => {
+                (st.app, st.lo, st.hi, st.peers.clone())
+            }
+            _ => return,
+        };
+        let ops: Vec<(OpId, AclOp)> = self
+            .lww
+            .iter()
+            .filter(|&(&(a, u, _), _)| {
+                a == app && {
+                    let b = user_bucket(u);
+                    b >= lo && b <= hi
+                }
+            })
+            .map(|(_, &(id, op))| (id, op))
+            .collect();
+        let digest = transfer_digest(&ops);
+        // The I9 source-side note: what this source claims to have
+        // handed over. The target's install note must match it.
+        ctx.trace(format!(
+            "audit=shard-handoff shard={} epoch={epoch} src={} digest={digest} count={}",
+            shard.0,
+            me.index(),
+            ops.len()
+        ));
+        ctx.metric_incr("mgr.handoff_source_started");
+        for t in &targets {
+            ctx.send(
+                *t,
+                ProtoMsg::ShardTransfer { shard, epoch, app, ops: ops.clone(), digest },
+            );
+        }
+        let primary = peers.iter().copied().chain([me]).min().unwrap_or(me);
+        if primary == me {
+            self.coord.insert(
+                shard,
+                HandoffCoord {
+                    epoch,
+                    record: record.clone(),
+                    publish_to: publish_to.clone(),
+                    awaiting_release: peers.iter().copied().chain([me]).collect(),
+                    awaiting_activate: targets.iter().copied().collect(),
+                },
+            );
+        }
+        if let Some(st) = self.shards.get_mut(&shard) {
+            st.phase = ShardPhase::Frozen(HandoffSource {
+                epoch,
+                record,
+                targets: targets.clone(),
+                publish_to,
+                unacked_transfer: targets.into_iter().collect(),
+                ops,
+                digest,
+            });
+        }
+        self.arm_handoff(ctx);
+    }
+
+    /// Target side: merge a source's transfer, log it, and ack.
+    fn on_shard_transfer(
+        &mut self,
+        ctx: &mut Context<'_, ProtoMsg>,
+        from: NodeId,
+        shard: ShardId,
+        epoch: u64,
+        app: AppId,
+        mut ops: Vec<(OpId, AclOp)>,
+    ) {
+        if !self.is_from_peer(ctx, from) {
+            return;
+        }
+        let fresh = {
+            let Some(st) = self.shards.get_mut(&shard) else { return };
+            if st.epoch != epoch || st.app != app {
+                return;
+            }
+            match &mut st.phase {
+                ShardPhase::Preparing { received } => received.insert(from),
+                // A late resend after activation: just re-ack.
+                ShardPhase::Active => false,
+                _ => return,
+            }
+        };
+        if fresh {
+            if self.drop_handoff_tail {
+                ops.pop();
+            }
+            let digest = transfer_digest(&ops);
+            // The I9 target-side note: what was actually installed.
+            ctx.trace(format!(
+                "audit=shard-install shard={} epoch={epoch} src={} digest={digest} count={}",
+                shard.0,
+                from.index(),
+                ops.len()
+            ));
+            ctx.metric_incr("mgr.shard_installs");
+            for (id, op) in ops {
+                if !self.applied.contains(&id) {
+                    self.record_applied(id);
+                    self.apply_op(&op, id);
+                    self.log_op(ctx, id, op, None);
+                }
+            }
+        }
+        ctx.send(from, ProtoMsg::ShardTransferAck { shard, epoch });
+    }
+
+    /// Source side: a target acked the transfer; release once all have.
+    fn on_shard_transfer_ack(
+        &mut self,
+        ctx: &mut Context<'_, ProtoMsg>,
+        from: NodeId,
+        shard: ShardId,
+        epoch: u64,
+    ) {
+        if !self.is_from_peer(ctx, from) {
+            return;
+        }
+        let ready = {
+            let Some(st) = self.shards.get_mut(&shard) else { return };
+            let ShardPhase::Frozen(hs) = &mut st.phase else { return };
+            if hs.epoch != epoch {
+                return;
+            }
+            hs.unacked_transfer.remove(&from);
+            hs.unacked_transfer.is_empty()
+        };
+        if ready {
+            self.maybe_release_source(ctx, shard);
+        }
+    }
+
+    /// Every target holds this source's state: durably renounce the
+    /// shard and report to the handoff primary.
+    fn maybe_release_source(&mut self, ctx: &mut Context<'_, ProtoMsg>, shard: ShardId) {
+        let me = ctx.id();
+        let (epoch, forward_to, peers) = {
+            let Some(st) = self.shards.get(&shard) else { return };
+            let ShardPhase::Frozen(hs) = &st.phase else { return };
+            if !hs.unacked_transfer.is_empty() {
+                return;
+            }
+            (hs.epoch, hs.targets.first().copied(), st.peers.clone())
+        };
+        if !self.persist_release(ctx, shard, epoch) {
+            return; // the handoff tick retries the fsync
+        }
+        self.released.insert(shard, epoch);
+        self.stats.shards_released += 1;
+        ctx.metric_incr("mgr.shard_released");
+        // Pending updates for the shard can never complete here; their
+        // effects ride inside the transfer payload.
+        self.cancel_pending_for_shard(shard);
+        let primary = peers.iter().copied().chain([me]).min().unwrap_or(me);
+        let acked = primary == me;
+        if let Some(st) = self.shards.get_mut(&shard) {
+            st.phase = ShardPhase::Released { epoch, forward_to, acked };
+        }
+        if acked {
+            if let Some(c) = self.coord.get_mut(&shard) {
+                c.awaiting_release.remove(&me);
+            }
+            self.maybe_activate(ctx, shard);
+        } else {
+            ctx.send(primary, ProtoMsg::ShardReleased { shard, epoch });
+        }
+        self.arm_handoff(ctx);
+    }
+
+    /// Drops pending updates whose slot lives in the released shard.
+    fn cancel_pending_for_shard(&mut self, shard: ShardId) {
+        let Some(st) = self.shards.get(&shard) else { return };
+        let (app, lo, hi) = (st.app, st.lo, st.hi);
+        self.pending.retain(|_, p| {
+            let b = user_bucket(p.op.user());
+            !(p.op.app() == app && b >= lo && b <= hi)
+        });
+    }
+
+    /// Primary: a source reports its durable release.
+    fn on_shard_released(
+        &mut self,
+        ctx: &mut Context<'_, ProtoMsg>,
+        from: NodeId,
+        shard: ShardId,
+        epoch: u64,
+    ) {
+        if !self.is_from_peer(ctx, from) {
+            return;
+        }
+        let Some(c) = self.coord.get_mut(&shard) else { return };
+        if c.epoch != epoch {
+            return;
+        }
+        c.awaiting_release.remove(&from);
+        ctx.send(from, ProtoMsg::ShardReleasedAck { shard, epoch });
+        self.maybe_activate(ctx, shard);
+    }
+
+    /// Source: the primary saw our release; stop retransmitting it.
+    fn on_shard_released_ack(
+        &mut self,
+        ctx: &mut Context<'_, ProtoMsg>,
+        from: NodeId,
+        shard: ShardId,
+        epoch: u64,
+    ) {
+        if !self.is_from_peer(ctx, from) {
+            return;
+        }
+        if let Some(st) = self.shards.get_mut(&shard) {
+            if let ShardPhase::Released { epoch: e, acked, .. } = &mut st.phase {
+                if *e == epoch {
+                    *acked = true;
+                }
+            }
+        }
+    }
+
+    /// Primary: once every source has durably released, activate the
+    /// targets and publish the new map. Re-sent from the handoff tick
+    /// until every target acknowledges (replicas dedupe the publish).
+    fn maybe_activate(&mut self, ctx: &mut Context<'_, ProtoMsg>, shard: ShardId) {
+        let Some(c) = self.coord.get(&shard) else { return };
+        if !c.awaiting_release.is_empty() {
+            return;
+        }
+        if c.awaiting_activate.is_empty() {
+            self.coord.remove(&shard);
+            ctx.metric_incr("mgr.handoff_complete");
+            return;
+        }
+        let epoch = c.epoch;
+        let record = c.record.clone();
+        let targets: Vec<NodeId> = c.awaiting_activate.iter().copied().collect();
+        let publish_to = c.publish_to.clone();
+        for t in targets {
+            ctx.send(t, ProtoMsg::ShardActivate { shard, epoch });
+        }
+        for r in publish_to {
+            ctx.send(r, ProtoMsg::NsPublish { record: Box::new(record.clone()) });
+        }
+    }
+
+    /// Target: every source is silent — start serving the shard.
+    fn on_shard_activate(
+        &mut self,
+        ctx: &mut Context<'_, ProtoMsg>,
+        from: NodeId,
+        shard: ShardId,
+        epoch: u64,
+    ) {
+        if !self.is_from_peer(ctx, from) {
+            return;
+        }
+        let Some(st) = self.shards.get_mut(&shard) else { return };
+        if st.epoch != epoch {
+            return;
+        }
+        match st.phase {
+            ShardPhase::Preparing { .. } => {
+                st.phase = ShardPhase::Active;
+                self.stats.shards_acquired += 1;
+                ctx.metric_incr("mgr.shard_acquired");
+                ctx.send(from, ProtoMsg::ShardActivateAck { shard, epoch });
+            }
+            ShardPhase::Active => ctx.send(from, ProtoMsg::ShardActivateAck { shard, epoch }),
+            _ => {}
+        }
+    }
+
+    /// Primary: a target confirmed activation.
+    fn on_shard_activate_ack(
+        &mut self,
+        ctx: &mut Context<'_, ProtoMsg>,
+        from: NodeId,
+        shard: ShardId,
+        epoch: u64,
+    ) {
+        if !self.is_from_peer(ctx, from) {
+            return;
+        }
+        let done = {
+            let Some(c) = self.coord.get_mut(&shard) else { return };
+            if c.epoch != epoch {
+                return;
+            }
+            c.awaiting_activate.remove(&from);
+            c.awaiting_release.is_empty() && c.awaiting_activate.is_empty()
+        };
+        if done {
+            self.coord.remove(&shard);
+            ctx.metric_incr("mgr.handoff_complete");
+        }
+    }
+
+    /// Retransmission tick for all in-flight handoff roles.
+    fn on_handoff_tick(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        self.handoff_timer_armed = false;
+        let me = ctx.id();
+        let mut busy = false;
+        let mut release_ready: Vec<ShardId> = Vec::new();
+        let shard_ids: Vec<ShardId> = self.shards.keys().copied().collect();
+        for sid in &shard_ids {
+            let Some(st) = self.shards.get(sid) else { continue };
+            match &st.phase {
+                ShardPhase::Frozen(hs) => {
+                    busy = true;
+                    // Re-seed participants a partition may have cut off
+                    // from the kickoff, then push the transfer again.
+                    let kickoff = ProtoMsg::ShardHandoff {
+                        shard: *sid,
+                        epoch: hs.epoch,
+                        record: Box::new(hs.record.clone()),
+                        targets: hs.targets.clone(),
+                        publish_to: hs.publish_to.clone(),
+                    };
+                    for p in st.peers.iter().chain(hs.targets.iter()) {
+                        ctx.send(*p, kickoff.clone());
+                    }
+                    for t in &hs.unacked_transfer {
+                        ctx.metric_incr("mgr.shard_transfer_resent");
+                        ctx.send(
+                            *t,
+                            ProtoMsg::ShardTransfer {
+                                shard: *sid,
+                                epoch: hs.epoch,
+                                app: st.app,
+                                ops: hs.ops.clone(),
+                                digest: hs.digest,
+                            },
+                        );
+                    }
+                    if hs.unacked_transfer.is_empty() {
+                        // A failed release fsync left us frozen: retry.
+                        release_ready.push(*sid);
+                    }
+                }
+                ShardPhase::Released { epoch, acked: false, .. } => {
+                    let primary = st.peers.iter().copied().chain([me]).min().unwrap_or(me);
+                    if primary != me {
+                        busy = true;
+                        ctx.send(primary, ProtoMsg::ShardReleased { shard: *sid, epoch: *epoch });
+                    }
+                }
+                _ => {}
+            }
+        }
+        for sid in release_ready {
+            self.maybe_release_source(ctx, sid);
+        }
+        let coord_ids: Vec<ShardId> = self.coord.keys().copied().collect();
+        for sid in coord_ids {
+            busy = true;
+            self.maybe_activate(ctx, sid);
+        }
+        if busy {
+            self.arm_handoff(ctx);
+        }
     }
 
     /// Starts forwarding a revocation to every host recorded as caching
@@ -646,6 +1440,40 @@ impl ManagerNode {
         if self.recovering {
             reject(ctx, RejectReason::Recovering);
             return;
+        }
+        if !self.shards.is_empty() {
+            match self.shard_route(op.app(), op.user()) {
+                ShardRoute::Active(sid) => {
+                    ctx.metric_incr(shard_metric(
+                        &SHARD_UPDATE_METRICS,
+                        "shard.other.updates",
+                        sid,
+                    ));
+                }
+                ShardRoute::Moved { forward_to: Some(owner) } => {
+                    // Relay to the new owner; its reply matches the
+                    // agent's request id, so it answers `from` directly.
+                    ctx.metric_incr("mgr.admin_forwarded");
+                    ctx.send(
+                        owner,
+                        ProtoMsg::AdminForward { origin: from, op, req, issuer, signature },
+                    );
+                    return;
+                }
+                ShardRoute::Moved { forward_to: None }
+                | ShardRoute::Frozen(_)
+                | ShardRoute::Preparing => {
+                    // Rejection is terminal at the agent; dropping lets
+                    // its resend land once the new map is in effect.
+                    ctx.metric_incr("mgr.admin_frozen_shard");
+                    return;
+                }
+                ShardRoute::None => {
+                    ctx.metric_incr("mgr.unknown_shard");
+                    reject(ctx, RejectReason::UnknownShard);
+                    return;
+                }
+            }
         }
         let Some(state) = self.apps.get(&op.app()) else {
             reject(ctx, RejectReason::UnknownApp);
@@ -692,19 +1520,21 @@ impl ManagerNode {
         // The origin counts toward the quorum only once its own copy is
         // durable (`log_op` → `note_self_applied`); without storage that
         // happens before this call returns.
+        let (fan_peers, quorum) = self.update_scope(op.app(), op.user());
         self.pending.insert(
             id,
             PendingUpdate {
                 op,
-                unacked: self.config.peers.iter().copied().collect(),
+                unacked: fan_peers.iter().copied().collect(),
                 applied_count: 0,
                 stable: false,
                 self_durable: false,
+                quorum,
                 issuer: Some((from, req)),
                 started: ctx.local_now(),
             },
         );
-        for peer in &self.config.peers {
+        for peer in &fan_peers {
             ctx.metric_incr("mgr.updates_sent");
             ctx.send(*peer, ProtoMsg::Update { id, op });
         }
@@ -799,6 +1629,52 @@ impl ManagerNode {
                 QueryVerdict::Unavailable { reason: RejectReason::Recovering },
             );
             return;
+        }
+        if !self.shards.is_empty() {
+            match self.shard_route(app, user) {
+                ShardRoute::Active(sid) | ShardRoute::Frozen(sid) => {
+                    ctx.metric_incr(shard_metric(
+                        &SHARD_QUERY_METRICS,
+                        "shard.other.queries",
+                        sid,
+                    ));
+                }
+                ShardRoute::Moved { .. } => {
+                    ctx.metric_incr("mgr.shard_moved");
+                    self.send_query_reply(
+                        ctx,
+                        from,
+                        req,
+                        app,
+                        user,
+                        QueryVerdict::Unavailable { reason: RejectReason::ShardMoved },
+                    );
+                    return;
+                }
+                ShardRoute::Preparing => {
+                    self.send_query_reply(
+                        ctx,
+                        from,
+                        req,
+                        app,
+                        user,
+                        QueryVerdict::Unavailable { reason: RejectReason::Recovering },
+                    );
+                    return;
+                }
+                ShardRoute::None => {
+                    ctx.metric_incr("mgr.unknown_shard");
+                    self.send_query_reply(
+                        ctx,
+                        from,
+                        req,
+                        app,
+                        user,
+                        QueryVerdict::Unavailable { reason: RejectReason::UnknownShard },
+                    );
+                    return;
+                }
+            }
         }
         let Some(state) = self.apps.get(&app) else {
             self.send_query_reply(ctx, from, req, app, user, QueryVerdict::Deny);
@@ -1105,6 +1981,32 @@ impl Node for ManagerNode {
             ProtoMsg::SyncResponse { ops, stamps } => {
                 self.on_sync_response(ctx, from, ops, stamps);
             }
+            ProtoMsg::ShardHandoff { shard, epoch, record, targets, publish_to } => {
+                self.on_shard_handoff(ctx, from, shard, epoch, *record, targets, publish_to);
+            }
+            ProtoMsg::ShardTransfer { shard, epoch, app, ops, digest: _ } => {
+                self.on_shard_transfer(ctx, from, shard, epoch, app, ops);
+            }
+            ProtoMsg::ShardTransferAck { shard, epoch } => {
+                self.on_shard_transfer_ack(ctx, from, shard, epoch);
+            }
+            ProtoMsg::ShardReleased { shard, epoch } => {
+                self.on_shard_released(ctx, from, shard, epoch);
+            }
+            ProtoMsg::ShardReleasedAck { shard, epoch } => {
+                self.on_shard_released_ack(ctx, from, shard, epoch);
+            }
+            ProtoMsg::ShardActivate { shard, epoch } => {
+                self.on_shard_activate(ctx, from, shard, epoch);
+            }
+            ProtoMsg::ShardActivateAck { shard, epoch } => {
+                self.on_shard_activate_ack(ctx, from, shard, epoch);
+            }
+            ProtoMsg::AdminForward { origin, op, req, issuer, signature } => {
+                if self.is_from_peer(ctx, from) {
+                    self.on_admin(ctx, origin, op, req, issuer, signature);
+                }
+            }
             _ => {
                 ctx.metric_incr("mgr.unexpected_msg");
             }
@@ -1119,6 +2021,7 @@ impl Node for ManagerNode {
             TAG_SYNC if self.recovering || self.delta_syncing => {
                 self.send_sync_request(ctx);
             }
+            TAG_HANDOFF => self.on_handoff_tick(ctx),
             _ => {}
         }
     }
@@ -1143,6 +2046,13 @@ impl Node for ManagerNode {
         self.retry_round = 0;
         self.sync_round = 0;
         self.delta_syncing = false;
+        // Volatile handoff coordination is lost with everything else;
+        // durable release markers are re-applied during recovery, and a
+        // shard acquired-but-unfsynced degrades to unavailability (the
+        // recovered manager answers UnknownShard until re-handed-off),
+        // which is fail-closed and safe.
+        self.reset_shards_to_config();
+        self.handoff_timer_armed = false;
     }
 
     fn on_recover(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
@@ -1165,6 +2075,14 @@ impl Node for ManagerNode {
                 self.delta_syncing = true;
                 self.send_sync_request(ctx);
             }
+            // A durably-released shard may still owe its ShardReleased
+            // to the handoff primary; the tick retransmits it.
+            let owes_release = self.shards.values().any(|st| {
+                matches!(st.phase, ShardPhase::Released { acked: false, .. })
+            });
+            if owes_release {
+                self.arm_handoff(ctx);
+            }
         } else if self.config.peers.is_empty() {
             self.recovering = false;
         } else {
@@ -1185,6 +2103,7 @@ impl Node for ManagerNode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::msg::ShardEntry;
     use wanacl_sim::node::Effect;
     use wanacl_sim::rng::SimRng;
     use wanacl_sim::storage::{DiskFaultModel, SimStorage};
@@ -1578,5 +2497,232 @@ mod tests {
         for seq in 1..=7u64 {
             assert!(mgr.acl_has(AppId(0), UserId(100 + seq), Right::Use), "user {seq} lost");
         }
+    }
+
+    /// A manager serving one bucket-range shard of app 0 (unsigned
+    /// handoff records: `ns_trust` stays `None` in unit tests).
+    fn sharded_manager(id: usize, shard: u32, lo: u8, hi: u8) -> (ManagerNode, Harness) {
+        let mut acl = Acl::new();
+        acl.add(UserId(1), Right::Use);
+        acl.add(UserId(3), Right::Use);
+        let node = ManagerNode::new(ManagerConfig {
+            peers: (0..4).filter(|&p| p != id).map(NodeId::from_index).collect(),
+            apps: vec![ManagerApp {
+                app: AppId(0),
+                policy: Policy::builder(1).build(),
+                initial_acl: acl,
+            }],
+            shards: vec![ManagerShard {
+                shard: ShardId(shard),
+                app: AppId(0),
+                lo,
+                hi,
+                peers: Vec::new(),
+            }],
+            ..ManagerConfig::default()
+        });
+        (node, Harness::new(id))
+    }
+
+    /// A version-`epoch` shard-map record moving shard 0 onto
+    /// `new_owners` (dummy signature; verification is off).
+    fn handoff_record(epoch: u64, lo: u8, hi: u8, new_owners: &[usize]) -> NsRecord {
+        let managers: Vec<NodeId> = new_owners.iter().map(|&m| NodeId::from_index(m)).collect();
+        NsRecord {
+            app: AppId(0),
+            version: epoch,
+            managers: managers.clone(),
+            shards: Some(vec![ShardEntry { shard: ShardId(0), lo, hi, managers }]),
+            signature: rsa::Signature(0),
+        }
+    }
+
+    fn traces(effects: &[Effect<ProtoMsg>]) -> Vec<&str> {
+        effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Trace { text } => Some(text.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn handoff_source_freezes_transfers_and_releases_then_activates_targets() {
+        // Manager 0 owns shard 0 alone; the handoff moves it to manager 1.
+        let (mut mgr, mut h) = sharded_manager(0, 0, 0, 255);
+        // One live op so the transfer carries real state.
+        h.deliver(
+            &mut mgr,
+            9,
+            ProtoMsg::Admin {
+                op: AclOp::Add { app: AppId(0), user: UserId(7), right: Right::Use },
+                req: ReqId(1),
+                issuer: UserId(999),
+                signature: None,
+            },
+        );
+        let effects = h.deliver(
+            &mut mgr,
+            2,
+            ProtoMsg::ShardHandoff {
+                shard: ShardId(0),
+                epoch: 2,
+                record: Box::new(handoff_record(2, 0, 255, &[1])),
+                targets: vec![NodeId::from_index(1)],
+                publish_to: Vec::new(),
+            },
+        );
+        // Frozen: the source pushed its shard state to the target and
+        // noted the I9 handoff audit.
+        let transfer = sends(&effects)
+            .into_iter()
+            .find_map(|(to, m)| match m {
+                ProtoMsg::ShardTransfer { shard, epoch, ops, digest, .. } => {
+                    Some((to, *shard, *epoch, ops.clone(), *digest))
+                }
+                _ => None,
+            })
+            .expect("source must transfer on the kickoff");
+        assert_eq!(transfer.0, NodeId::from_index(1));
+        assert_eq!((transfer.1, transfer.2), (ShardId(0), 2));
+        assert_eq!(transfer.3.len(), 1, "the admin op rides the transfer");
+        assert_eq!(transfer.4, transfer_digest(&transfer.3));
+        assert!(traces(&effects).iter().any(|t| t.contains("audit=shard-handoff")));
+        assert!(!mgr.shard_released(ShardId(0)), "release waits for the transfer ack");
+        // Frozen shards drop further admin ops silently (the agent's
+        // resend lands after the new map installs).
+        let frozen = h.deliver(
+            &mut mgr,
+            9,
+            ProtoMsg::Admin {
+                op: AclOp::Add { app: AppId(0), user: UserId(8), right: Right::Use },
+                req: ReqId(2),
+                issuer: UserId(999),
+                signature: None,
+            },
+        );
+        assert!(sends(&frozen).is_empty(), "frozen shard must not answer admins");
+        // The target's ack releases the source durably; as handoff
+        // primary it then activates the target.
+        let effects =
+            h.deliver(&mut mgr, 1, ProtoMsg::ShardTransferAck { shard: ShardId(0), epoch: 2 });
+        assert!(mgr.shard_released(ShardId(0)));
+        assert!(sends(&effects).iter().any(|(to, m)| *to == NodeId::from_index(1)
+            && matches!(m, ProtoMsg::ShardActivate { shard: ShardId(0), epoch: 2 })));
+    }
+
+    #[test]
+    fn handoff_target_installs_activates_and_rejects_foreign_buckets() {
+        // Manager 2 owns the upper half of app 0's keyspace; shard 0
+        // (lower half) arrives via handoff from owner 0. Bucket facts:
+        // user 1 → 18 (shard 0), user 3 → 172 (manager 2's own shard).
+        let (mut mgr, mut h) = sharded_manager(2, 1, 128, 255);
+        let reply = h.deliver(
+            &mut mgr,
+            9,
+            ProtoMsg::Query { app: AppId(0), user: UserId(1), req: ReqId(1) },
+        );
+        assert!(
+            sends(&reply).iter().any(|(_, m)| matches!(
+                m,
+                ProtoMsg::QueryReply {
+                    verdict: QueryVerdict::Unavailable { reason: RejectReason::UnknownShard },
+                    ..
+                }
+            )),
+            "a bucket outside every owned shard must answer UnknownShard"
+        );
+        h.deliver(
+            &mut mgr,
+            0,
+            ProtoMsg::ShardHandoff {
+                shard: ShardId(0),
+                epoch: 2,
+                record: Box::new(handoff_record(2, 0, 127, &[2])),
+                targets: vec![NodeId::from_index(2)],
+                publish_to: Vec::new(),
+            },
+        );
+        let ops = vec![(
+            OpId { origin: NodeId::from_index(0), seq: 4 },
+            AclOp::Add { app: AppId(0), user: UserId(5), right: Right::Use },
+        )];
+        let effects = h.deliver(
+            &mut mgr,
+            0,
+            ProtoMsg::ShardTransfer {
+                shard: ShardId(0),
+                epoch: 2,
+                app: AppId(0),
+                ops: ops.clone(),
+                digest: transfer_digest(&ops),
+            },
+        );
+        // Installed: the I9 note matches the source's digest, the ack
+        // goes back, and the transferred op landed in the ACL.
+        let note = traces(&effects)
+            .into_iter()
+            .find(|t| t.contains("audit=shard-install"))
+            .expect("install audit note");
+        assert!(note.contains(&format!("digest={} count=1", transfer_digest(&ops))));
+        assert!(sends(&effects).iter().any(|(to, m)| *to == NodeId::from_index(0)
+            && matches!(m, ProtoMsg::ShardTransferAck { shard: ShardId(0), epoch: 2 })));
+        assert!(mgr.acl_has(AppId(0), UserId(5), Right::Use));
+        // Not serving yet: activation is the primary's call, after every
+        // source durably released.
+        assert!(!mgr.shard_active(ShardId(0)));
+        h.deliver(&mut mgr, 0, ProtoMsg::ShardActivate { shard: ShardId(0), epoch: 2 });
+        assert!(mgr.shard_active(ShardId(0)));
+        let reply = h.deliver(
+            &mut mgr,
+            9,
+            ProtoMsg::Query { app: AppId(0), user: UserId(1), req: ReqId(2) },
+        );
+        assert!(sends(&reply).iter().any(|(_, m)| matches!(
+            m,
+            ProtoMsg::QueryReply { verdict: QueryVerdict::Grant { .. }, .. }
+        )));
+    }
+
+    #[test]
+    fn dropped_transfer_tail_diverges_the_install_digest() {
+        let (mut mgr, mut h) = sharded_manager(2, 1, 128, 255);
+        mgr.set_drop_handoff_tail(true);
+        h.deliver(
+            &mut mgr,
+            0,
+            ProtoMsg::ShardHandoff {
+                shard: ShardId(0),
+                epoch: 2,
+                record: Box::new(handoff_record(2, 0, 127, &[2])),
+                targets: vec![NodeId::from_index(2)],
+                publish_to: Vec::new(),
+            },
+        );
+        let ops = vec![(
+            OpId { origin: NodeId::from_index(0), seq: 4 },
+            AclOp::Revoke { app: AppId(0), user: UserId(5), right: Right::Use },
+        )];
+        let effects = h.deliver(
+            &mut mgr,
+            0,
+            ProtoMsg::ShardTransfer {
+                shard: ShardId(0),
+                epoch: 2,
+                app: AppId(0),
+                ops: ops.clone(),
+                digest: transfer_digest(&ops),
+            },
+        );
+        let note = traces(&effects)
+            .into_iter()
+            .find(|t| t.contains("audit=shard-install"))
+            .expect("install audit note");
+        // The bug ate the revoke: count drops to 0 and the digest is the
+        // empty-transfer digest, not the source's — exactly what the
+        // oracle's I9 comparison flags.
+        assert!(note.contains(&format!("digest={} count=0", transfer_digest(&[]))));
+        assert_ne!(transfer_digest(&[]), transfer_digest(&ops));
     }
 }

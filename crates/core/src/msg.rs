@@ -13,7 +13,7 @@ use wanacl_auth::signed::AuthEncode;
 use wanacl_sim::node::NodeId;
 use wanacl_sim::time::SimDuration;
 
-use crate::types::{AppId, Right, UserId};
+use crate::types::{AppId, Right, ShardId, UserId};
 
 /// A request identifier, unique per issuing node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -203,6 +203,13 @@ pub enum RejectReason {
     Recovering,
     /// The manager does not serve this application.
     UnknownApp,
+    /// The manager serves the application but not the shard covering
+    /// this user's bucket (a misrouted request, e.g. from a stale shard
+    /// map). Retryable: another manager set owns the shard.
+    UnknownShard,
+    /// The shard was handed off to another manager set; the sender
+    /// should refresh its shard map and retry there.
+    ShardMoved,
 }
 
 impl std::fmt::Display for RejectReason {
@@ -212,6 +219,8 @@ impl std::fmt::Display for RejectReason {
             RejectReason::BadSignature => write!(f, "bad signature"),
             RejectReason::Recovering => write!(f, "manager recovering"),
             RejectReason::UnknownApp => write!(f, "unknown application"),
+            RejectReason::UnknownShard => write!(f, "unknown shard"),
+            RejectReason::ShardMoved => write!(f, "shard handed off"),
         }
     }
 }
@@ -376,6 +385,12 @@ pub enum ProtoMsg {
         managers: Vec<NodeId>,
         /// How long the host may rely on the record (host local clock).
         ttl: SimDuration,
+        /// The record's shard map, when the application's keyspace is
+        /// partitioned (`None` reproduces the flat single-manager-set
+        /// record byte for byte, so legacy signatures keep verifying).
+        /// Boxed so the sharded reply does not widen `ProtoMsg` for
+        /// every hot-path message.
+        shards: Option<Box<Vec<ShardEntry>>>,
         /// Writer signature over [`ns_record_signing_bytes`]; `None` only
         /// on negative (version-0) answers.
         signature: Option<Signature>,
@@ -386,8 +401,8 @@ pub enum ProtoMsg {
     /// accepted records to peers with this message). The replica
     /// verifies the signature and the version before accepting.
     NsPublish {
-        /// The record.
-        record: NsRecord,
+        /// The record (boxed to keep `size_of::<ProtoMsg>()` small).
+        record: Box<NsRecord>,
     },
     // ---- replica <-> replica ----
     /// Anti-entropy probe: the sender advertises the versions it holds;
@@ -403,6 +418,135 @@ pub enum ProtoMsg {
         /// The newer records.
         records: Vec<NsRecord>,
     },
+    // ---- env -> manager (rebalance kickoff) ----
+    /// Starts an online shard handoff. The deployment injects this to
+    /// every current owner (source) and every incoming owner (target) of
+    /// the shard; the pre-signed next-version record doubles as the
+    /// transfer capability — a manager acts on the handoff only if the
+    /// record verifies against the namespace-writer trust anchor.
+    /// Frozen sources also retransmit it to the other participants, so a
+    /// partition that swallowed the kickoff does not strand the handoff.
+    ShardHandoff {
+        /// The shard being moved.
+        shard: ShardId,
+        /// Handoff epoch (the new shard-map record's version).
+        epoch: u64,
+        /// The pre-signed next-version shard-map record, published to
+        /// the directory once the handoff completes. Boxed so the rare
+        /// rebalance kickoff does not inflate `size_of::<ProtoMsg>()`
+        /// for every queued message on the hot path.
+        record: Box<NsRecord>,
+        /// The incoming owner set.
+        targets: Vec<NodeId>,
+        /// Directory replicas the completed handoff publishes to.
+        publish_to: Vec<NodeId>,
+    },
+    // ---- source manager -> target manager ----
+    /// Snapshot-plus-WAL-tail state transfer for one shard: every
+    /// per-slot winning operation in the shard's bucket range, as held
+    /// by the (frozen) source. Retransmitted until acknowledged.
+    ShardTransfer {
+        /// The shard being moved.
+        shard: ShardId,
+        /// Handoff epoch.
+        epoch: u64,
+        /// The application the shard belongs to.
+        app: AppId,
+        /// The winning `(id, op)` per slot in the shard's range.
+        ops: Vec<(OpId, AclOp)>,
+        /// Order-sensitive FNV-1a digest over the ops — the receiver
+        /// recomputes it over what it actually applied, and the oracle's
+        /// rebalance-safety invariant compares the two sides.
+        digest: u64,
+    },
+    // ---- target manager -> source manager ----
+    /// Acknowledges a `ShardTransfer` (idempotent; dupes re-ack).
+    ShardTransferAck {
+        /// The shard being moved.
+        shard: ShardId,
+        /// Handoff epoch.
+        epoch: u64,
+    },
+    // ---- source manager -> handoff primary ----
+    /// A source reports that every target acked its transfer and that it
+    /// has durably released the shard (it no longer answers checks or
+    /// accepts updates for it). Retransmitted until acknowledged.
+    ShardReleased {
+        /// The shard being moved.
+        shard: ShardId,
+        /// Handoff epoch.
+        epoch: u64,
+    },
+    /// Acknowledges a `ShardReleased`.
+    ShardReleasedAck {
+        /// The shard being moved.
+        shard: ShardId,
+        /// Handoff epoch.
+        epoch: u64,
+    },
+    // ---- handoff primary -> target manager ----
+    /// Every source has released: targets may start serving checks and
+    /// accepting updates for the shard. Retransmitted until acknowledged.
+    ShardActivate {
+        /// The shard being moved.
+        shard: ShardId,
+        /// Handoff epoch.
+        epoch: u64,
+    },
+    /// Acknowledges a `ShardActivate`.
+    ShardActivateAck {
+        /// The shard being moved.
+        shard: ShardId,
+        /// Handoff epoch.
+        epoch: u64,
+    },
+    // ---- released manager -> current owner ----
+    /// An admin operation relayed by a manager that has released the
+    /// shard it targets. Carries the original issuer's node so the new
+    /// owner replies straight to the admin agent (which matches replies
+    /// by request id, not sender). The admin signature still travels
+    /// with the op, so the relay adds no authority.
+    AdminForward {
+        /// The node that issued the original `Admin`.
+        origin: NodeId,
+        /// The operation.
+        op: AclOp,
+        /// The issuer's request id.
+        req: ReqId,
+        /// Who issued it.
+        issuer: UserId,
+        /// RSA signature over `(issuer, op)`, if authentication is on.
+        signature: Option<Signature>,
+    },
+}
+
+/// One shard of a partitioned application keyspace: a contiguous range
+/// of [`crate::types::user_bucket`] values served by its own manager
+/// set with independent check/update quorums.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardEntry {
+    /// The shard's global id.
+    pub shard: ShardId,
+    /// First bucket the shard covers (inclusive).
+    pub lo: u8,
+    /// Last bucket the shard covers (inclusive).
+    pub hi: u8,
+    /// The managers serving the shard.
+    pub managers: Vec<NodeId>,
+}
+
+impl ShardEntry {
+    /// Whether the entry's bucket range covers `bucket`.
+    pub fn covers(&self, bucket: u8) -> bool {
+        bucket >= self.lo && bucket <= self.hi
+    }
+}
+
+impl std::fmt::Display for ShardEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mgrs: Vec<String> = self.managers.iter().map(|m| m.index().to_string()).collect();
+        write!(f, "{}[{}..={}]->{{{}}}", self.shard, self.lo, self.hi, mgrs.join(";"))
+    }
 }
 
 /// A replicated directory record: which managers serve an application,
@@ -415,14 +559,20 @@ pub struct NsRecord {
     pub app: AppId,
     /// Monotone version stamp (higher wins everywhere).
     pub version: u64,
-    /// The manager set.
+    /// The manager set (for sharded records: the union of all shard
+    /// manager sets, so flat consumers keep a meaningful view).
     pub managers: Vec<NodeId>,
+    /// The shard map, when the application's keyspace is partitioned.
+    /// `None` keeps the record — and its signing bytes — identical to
+    /// the flat records earlier deployments signed.
+    pub shards: Option<Vec<ShardEntry>>,
     /// Writer signature over [`ns_record_signing_bytes`].
     pub signature: Signature,
 }
 
 impl NsRecord {
-    /// Builds a record signed by `writer` over its canonical bytes.
+    /// Builds a flat (unsharded) record signed by `writer` over its
+    /// canonical bytes.
     pub fn signed(
         app: AppId,
         version: u64,
@@ -432,7 +582,30 @@ impl NsRecord {
     ) -> NsRecord {
         let signature =
             wanacl_auth::signed::sign_bytes(writer, &ns_record_signing_bytes(app, version, &managers), key);
-        NsRecord { app, version, managers, signature }
+        NsRecord { app, version, managers, shards: None, signature }
+    }
+
+    /// Builds a sharded record: the flat manager set is derived as the
+    /// ordered union of the shard manager sets, and the signature binds
+    /// the full shard map.
+    pub fn signed_sharded(
+        app: AppId,
+        version: u64,
+        shards: Vec<ShardEntry>,
+        writer: wanacl_auth::signed::PrincipalId,
+        key: &wanacl_auth::rsa::SecretKey,
+    ) -> NsRecord {
+        let mut managers: Vec<NodeId> = Vec::new();
+        for entry in &shards {
+            for &m in &entry.managers {
+                if !managers.contains(&m) {
+                    managers.push(m);
+                }
+            }
+        }
+        let bytes = ns_record_signing_bytes_sharded(app, version, &managers, Some(&shards));
+        let signature = wanacl_auth::signed::sign_bytes(writer, &bytes, key);
+        NsRecord { app, version, managers, shards: Some(shards), signature }
     }
 
     /// Verifies the record against the writer's registered key.
@@ -444,23 +617,57 @@ impl NsRecord {
         wanacl_auth::signed::verify_bytes(
             registry,
             writer,
-            &ns_record_signing_bytes(self.app, self.version, &self.managers),
+            &ns_record_signing_bytes_sharded(
+                self.app,
+                self.version,
+                &self.managers,
+                self.shards.as_deref(),
+            ),
             &self.signature,
         )
     }
 }
 
-/// Canonical bytes signed for a directory record. The writer principal
-/// is bound by the detached-signature discipline
+/// Canonical bytes signed for a flat directory record. The writer
+/// principal is bound by the detached-signature discipline
 /// ([`wanacl_auth::signed::sign_bytes`] prepends the signer id), so the
 /// record body only needs to bind `(app, version, managers)`.
 pub fn ns_record_signing_bytes(app: AppId, version: u64, managers: &[NodeId]) -> Vec<u8> {
+    ns_record_signing_bytes_sharded(app, version, managers, None)
+}
+
+/// Canonical bytes signed for a directory record, shard map included.
+/// A `None`/empty map appends nothing, so flat records produced before
+/// sharding existed keep their exact signing bytes (and signatures).
+pub fn ns_record_signing_bytes_sharded(
+    app: AppId,
+    version: u64,
+    managers: &[NodeId],
+    shards: Option<&[ShardEntry]>,
+) -> Vec<u8> {
     let mut out = Vec::new();
     app.auth_encode(&mut out);
     version.auth_encode(&mut out);
     (managers.len() as u64).auth_encode(&mut out);
     for m in managers {
         (m.index() as u64).auth_encode(&mut out);
+    }
+    if let Some(entries) = shards {
+        if !entries.is_empty() {
+            // Domain-separation tag: a sharded record can never collide
+            // with a flat record followed by attacker-chosen bytes.
+            out.extend_from_slice(b"SHRD");
+            (entries.len() as u64).auth_encode(&mut out);
+            for entry in entries {
+                u64::from(entry.shard.0).auth_encode(&mut out);
+                out.push(entry.lo);
+                out.push(entry.hi);
+                (entry.managers.len() as u64).auth_encode(&mut out);
+                for m in &entry.managers {
+                    (m.index() as u64).auth_encode(&mut out);
+                }
+            }
+        }
     }
     out
 }
@@ -583,8 +790,75 @@ mod tests {
             RejectReason::BadSignature,
             RejectReason::Recovering,
             RejectReason::UnknownApp,
+            RejectReason::UnknownShard,
+            RejectReason::ShardMoved,
         ] {
             assert!(!r.to_string().is_empty());
         }
+    }
+
+    fn entry(shard: u32, lo: u8, hi: u8, mgrs: &[usize]) -> ShardEntry {
+        ShardEntry {
+            shard: crate::types::ShardId(shard),
+            lo,
+            hi,
+            managers: mgrs.iter().map(|&i| NodeId::from_index(i)).collect(),
+        }
+    }
+
+    #[test]
+    fn sharded_signing_bytes_extend_flat_bytes() {
+        let mgrs = vec![NodeId::from_index(0), NodeId::from_index(1)];
+        let flat = ns_record_signing_bytes(AppId(1), 3, &mgrs);
+        // None and an empty map both reproduce the flat bytes exactly,
+        // so legacy signatures keep verifying.
+        assert_eq!(flat, ns_record_signing_bytes_sharded(AppId(1), 3, &mgrs, None));
+        assert_eq!(flat, ns_record_signing_bytes_sharded(AppId(1), 3, &mgrs, Some(&[])));
+        let sharded = ns_record_signing_bytes_sharded(
+            AppId(1),
+            3,
+            &mgrs,
+            Some(&[entry(0, 0, 127, &[0]), entry(1, 128, 255, &[1])]),
+        );
+        assert_ne!(flat, sharded);
+        assert!(sharded.starts_with(&flat), "shard bytes are appended, not interleaved");
+        // Every shard field is bound.
+        let base = ns_record_signing_bytes_sharded(AppId(1), 3, &mgrs, Some(&[entry(0, 0, 255, &[0])]));
+        assert_ne!(base, ns_record_signing_bytes_sharded(AppId(1), 3, &mgrs, Some(&[entry(1, 0, 255, &[0])])));
+        assert_ne!(base, ns_record_signing_bytes_sharded(AppId(1), 3, &mgrs, Some(&[entry(0, 1, 255, &[0])])));
+        assert_ne!(base, ns_record_signing_bytes_sharded(AppId(1), 3, &mgrs, Some(&[entry(0, 0, 254, &[0])])));
+        assert_ne!(base, ns_record_signing_bytes_sharded(AppId(1), 3, &mgrs, Some(&[entry(0, 0, 255, &[1])])));
+    }
+
+    #[test]
+    fn sharded_record_unions_managers_in_order() {
+        use rand::SeedableRng;
+        let mut registry = wanacl_auth::signed::KeyRegistry::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let writer = wanacl_auth::signed::PrincipalId(42);
+        let kp = registry.enroll(writer, &mut rng);
+        let rec = NsRecord::signed_sharded(
+            AppId(0),
+            1,
+            vec![entry(0, 0, 127, &[2, 3]), entry(1, 128, 255, &[3, 4])],
+            writer,
+            &kp.secret,
+        );
+        let union: Vec<NodeId> = [2, 3, 4].iter().map(|&i| NodeId::from_index(i)).collect();
+        assert_eq!(rec.managers, union);
+        assert!(rec.verify(&registry, writer));
+        // Stripping the shard map invalidates the signature: a
+        // downgrade to a flat record cannot reuse the sharded one.
+        let mut stripped = rec.clone();
+        stripped.shards = None;
+        assert!(!stripped.verify(&registry, writer));
+    }
+
+    #[test]
+    fn shard_entry_covers_inclusive_range() {
+        let e = entry(0, 10, 20, &[0]);
+        assert!(e.covers(10) && e.covers(20) && e.covers(15));
+        assert!(!e.covers(9) && !e.covers(21));
+        assert_eq!(e.to_string(), "shard0[10..=20]->{0}");
     }
 }

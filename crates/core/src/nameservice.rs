@@ -42,6 +42,15 @@ pub(crate) fn fmt_mgrs(managers: &[NodeId]) -> String {
     items.join(";")
 }
 
+/// Upper bound on the TTL carried by a "no such app" answer: even a
+/// misconfigured negative TTL must not pin "no managers" in host caches
+/// for long — an unknown app is usually one about to be registered.
+pub const UNKNOWN_APP_TTL_CAP: SimDuration = SimDuration::from_secs(30);
+
+fn capped_negative_ttl(negative_ttl: SimDuration) -> SimDuration {
+    if negative_ttl > UNKNOWN_APP_TTL_CAP { UNKNOWN_APP_TTL_CAP } else { negative_ttl }
+}
+
 /// A trusted directory mapping applications to their manager sets.
 #[derive(Debug, Default)]
 pub struct NameServiceNode {
@@ -94,10 +103,17 @@ impl Node for NameServiceNode {
             ProtoMsg::NsQuery { app } => {
                 self.lookups += 1;
                 ctx.metric_incr("ns.lookups");
-                let managers = self.entries.get(&app).cloned().unwrap_or_default();
+                let entry = self.entries.get(&app).cloned();
+                if entry.is_none() {
+                    // Unknown app (never registered) is distinct from a
+                    // registered-but-empty set, and its TTL is capped so
+                    // the answer cannot pin "no managers" for long.
+                    ctx.metric_incr("ns.unknown_app");
+                }
+                let managers = entry.unwrap_or_default();
                 let ttl = if managers.is_empty() {
                     ctx.metric_incr("ns.negative_reply");
-                    self.negative_ttl
+                    capped_negative_ttl(self.negative_ttl)
                 } else {
                     self.ttl
                 };
@@ -389,6 +405,7 @@ impl Node for DirectoryReplica {
                                 app,
                                 version: record.version + 1,
                                 managers: forged,
+                                shards: record.shards.clone().map(Box::new),
                                 ttl: self.ttl,
                                 signature: Some(record.signature),
                             },
@@ -401,12 +418,14 @@ impl Node for DirectoryReplica {
                                 app,
                                 version: record.version,
                                 managers: record.managers.clone(),
+                                shards: record.shards.clone().map(Box::new),
                                 ttl: self.ttl,
                                 signature: Some(record.signature),
                             },
                         );
                     }
                     None => {
+                        ctx.metric_incr("ns.unknown_app");
                         ctx.metric_incr("ns.negative_reply");
                         ctx.send(
                             from,
@@ -414,7 +433,8 @@ impl Node for DirectoryReplica {
                                 app,
                                 version: 0,
                                 managers: Vec::new(),
-                                ttl: self.negative_ttl,
+                                shards: None,
+                                ttl: capped_negative_ttl(self.negative_ttl),
                                 signature: None,
                             },
                         );
@@ -422,7 +442,7 @@ impl Node for DirectoryReplica {
                 }
             }
             ProtoMsg::NsPublish { record } => {
-                let accepted = self.accept(ctx, record.clone(), "ns-publish");
+                let accepted = self.accept(ctx, (*record).clone(), "ns-publish");
                 if accepted && !self.suppress_sync {
                     // Eager push: peers converge ahead of the next
                     // anti-entropy round (they re-verify on receipt).
@@ -508,8 +528,16 @@ impl Node for DirectoryReplica {
 // ---- WAL / snapshot byte format ----
 //
 // record   := app:u32 | version:u64 | count:u32 | manager:u64 * count
-//             | signature:u64             (all big-endian)
+//             | signature:u64 [| shard-section]       (all big-endian)
+// shard-section := scount:u32
+//                  | (shard:u32 | lo:u8 | hi:u8
+//                     | mcount:u32 | manager:u64 * mcount) * scount
 // snapshot := (len:u32 | record) *
+//
+// Flat records (`shards == None` or empty) encode exactly the legacy
+// bytes, so directories written before sharding replay unchanged; the
+// shard section is appended only when entries exist, and a record with
+// no trailing bytes decodes as a flat record.
 
 fn encode_record(record: &NsRecord) -> Vec<u8> {
     let mut out = Vec::with_capacity(24 + 8 * record.managers.len());
@@ -520,29 +548,77 @@ fn encode_record(record: &NsRecord) -> Vec<u8> {
         out.extend_from_slice(&(m.index() as u64).to_be_bytes());
     }
     out.extend_from_slice(&record.signature.0.to_be_bytes());
+    if let Some(entries) = record.shards.as_deref() {
+        if !entries.is_empty() {
+            out.extend_from_slice(&(entries.len() as u32).to_be_bytes());
+            for e in entries {
+                out.extend_from_slice(&e.shard.0.to_be_bytes());
+                out.push(e.lo);
+                out.push(e.hi);
+                out.extend_from_slice(&(e.managers.len() as u32).to_be_bytes());
+                for m in &e.managers {
+                    out.extend_from_slice(&(m.index() as u64).to_be_bytes());
+                }
+            }
+        }
+    }
     out
 }
 
-fn decode_record(bytes: &[u8]) -> Option<NsRecord> {
-    let mut at = 0usize;
-    let mut take = |n: usize| -> Option<&[u8]> {
-        let slice = bytes.get(at..at + n)?;
-        at += n;
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let slice = self.bytes.get(self.at..self.at + n)?;
+        self.at += n;
         Some(slice)
-    };
-    let app = AppId(u32::from_be_bytes(take(4)?.try_into().ok()?));
-    let version = u64::from_be_bytes(take(8)?.try_into().ok()?);
-    let count = u32::from_be_bytes(take(4)?.try_into().ok()?) as usize;
+    }
+
+    fn done(&self) -> bool {
+        self.at == self.bytes.len()
+    }
+}
+
+fn decode_record(bytes: &[u8]) -> Option<NsRecord> {
+    let mut cur = Cursor { bytes, at: 0 };
+    let app = AppId(u32::from_be_bytes(cur.take(4)?.try_into().ok()?));
+    let version = u64::from_be_bytes(cur.take(8)?.try_into().ok()?);
+    let count = u32::from_be_bytes(cur.take(4)?.try_into().ok()?) as usize;
     let mut managers = Vec::with_capacity(count);
     for _ in 0..count {
-        let raw = u64::from_be_bytes(take(8)?.try_into().ok()?);
+        let raw = u64::from_be_bytes(cur.take(8)?.try_into().ok()?);
         managers.push(NodeId::from_index(raw as usize));
     }
-    let signature = wanacl_auth::rsa::Signature(u64::from_be_bytes(take(8)?.try_into().ok()?));
-    if at != bytes.len() {
+    let signature = wanacl_auth::rsa::Signature(u64::from_be_bytes(cur.take(8)?.try_into().ok()?));
+    let shards = if cur.done() {
+        None
+    } else {
+        let scount = u32::from_be_bytes(cur.take(4)?.try_into().ok()?) as usize;
+        if scount == 0 {
+            return None; // the section is omitted when empty
+        }
+        let mut entries = Vec::with_capacity(scount);
+        for _ in 0..scount {
+            let shard = crate::types::ShardId(u32::from_be_bytes(cur.take(4)?.try_into().ok()?));
+            let lo = cur.take(1)?[0];
+            let hi = cur.take(1)?[0];
+            let mcount = u32::from_be_bytes(cur.take(4)?.try_into().ok()?) as usize;
+            let mut mgrs = Vec::with_capacity(mcount);
+            for _ in 0..mcount {
+                let raw = u64::from_be_bytes(cur.take(8)?.try_into().ok()?);
+                mgrs.push(NodeId::from_index(raw as usize));
+            }
+            entries.push(crate::msg::ShardEntry { shard, lo, hi, managers: mgrs });
+        }
+        Some(entries)
+    };
+    if !cur.done() {
         return None;
     }
-    Some(NsRecord { app, version, managers, signature })
+    Some(NsRecord { app, version, managers, shards, signature })
 }
 
 fn encode_snapshot<'a>(records: impl Iterator<Item = &'a NsRecord>) -> Vec<u8> {
@@ -738,7 +814,7 @@ mod tests {
                 assert_eq!(managers, &mgrs);
                 assert_eq!(*ttl, TTL);
                 let sig = signature.expect("positive answers are signed");
-                let r = NsRecord { app: AppId(0), version: 1, managers: mgrs.clone(), signature: sig };
+                let r = NsRecord { app: AppId(0), version: 1, managers: mgrs.clone(), shards: None, signature: sig };
                 assert!(r.verify(&registry, writer));
             }
             other => panic!("unexpected effects: {other:?}"),
@@ -767,20 +843,20 @@ mod tests {
 
         // v2 accepted.
         let v2 = record(&kp, writer, 2, vec![m(1)]);
-        let effects = h.deliver(&mut rep, NodeId::ENV, ProtoMsg::NsPublish { record: v2 });
+        let effects = h.deliver(&mut rep, NodeId::ENV, ProtoMsg::NsPublish { record: Box::new(v2) });
         assert!(metric_incrs(&effects).contains(&"ns.records_accepted"));
         assert_eq!(rep.version_of(AppId(0)), 2);
 
         // Rollback to v1 rejected even though the signature is valid.
         let v1 = record(&kp, writer, 1, vec![m(9)]);
-        let effects = h.deliver(&mut rep, NodeId::ENV, ProtoMsg::NsPublish { record: v1 });
+        let effects = h.deliver(&mut rep, NodeId::ENV, ProtoMsg::NsPublish { record: Box::new(v1) });
         assert!(metric_incrs(&effects).contains(&"ns.publish_stale"));
         assert_eq!(rep.version_of(AppId(0)), 2);
 
         // Tampered v3 (signature does not cover the altered set) rejected.
         let mut v3 = record(&kp, writer, 3, vec![m(1)]);
         v3.managers = vec![m(4)];
-        let effects = h.deliver(&mut rep, NodeId::ENV, ProtoMsg::NsPublish { record: v3 });
+        let effects = h.deliver(&mut rep, NodeId::ENV, ProtoMsg::NsPublish { record: Box::new(v3) });
         assert!(metric_incrs(&effects).contains(&"ns.publish_rejected"));
         assert_eq!(rep.managers(AppId(0)), &[m(1)]);
 
@@ -788,7 +864,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(78);
         let mallory = KeyPair::generate(&mut rng);
         let forged = NsRecord::signed(AppId(0), 3, vec![m(4)], writer, &mallory.secret);
-        let effects = h.deliver(&mut rep, NodeId::ENV, ProtoMsg::NsPublish { record: forged });
+        let effects = h.deliver(&mut rep, NodeId::ENV, ProtoMsg::NsPublish { record: Box::new(forged) });
         assert!(metric_incrs(&effects).contains(&"ns.publish_rejected"));
         assert_eq!(rep.version_of(AppId(0)), 2);
     }
@@ -867,6 +943,7 @@ mod tests {
                     app: AppId(0),
                     version: *version,
                     managers: managers.clone(),
+                    shards: None,
                     signature: signature.unwrap(),
                 };
                 assert!(!r.verify(&registry, writer), "forged record must not verify");
@@ -898,7 +975,7 @@ mod tests {
             Effect::Trace { text } if text.starts_with("audit=ns-publish")
         )));
         let v2 = record(&kp, writer, 2, vec![NodeId::from_index(4)]);
-        let _ = h.deliver(&mut rep, NodeId::ENV, ProtoMsg::NsPublish { record: v2 });
+        let _ = h.deliver(&mut rep, NodeId::ENV, ProtoMsg::NsPublish { record: Box::new(v2) });
         assert_eq!(rep.version_of(AppId(0)), 2);
 
         // Crash wipes volatile state; recovery replays snapshot + WAL.

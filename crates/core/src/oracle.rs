@@ -29,6 +29,16 @@
 //!   last-writer stamp — after any disk recovery by that manager.
 //!   Sync-mode recoveries are exempt: without storage nothing was ever
 //!   promised durable.
+//! * **Tenant isolation (I8)** — in a sharded deployment, every
+//!   quorum-backed allow must cite only managers that own the subject's
+//!   bucket in some registered version of the tenant's shard map. A
+//!   manager from another tenant (or another shard) confirming a check
+//!   is cross-tenant contamination.
+//! * **Rebalance safety (I9)** — every shard install must replay exactly
+//!   the op set its source handed off: matching digest and count per
+//!   `(shard, epoch, source)`, and no install without a corresponding
+//!   handoff. A lost or doubled grant/revoke during the move diverges
+//!   the FNV digest.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -38,7 +48,7 @@ use wanacl_sim::trace::TraceEvent;
 use wanacl_sim::world::Observer;
 
 use crate::policy::Policy;
-use crate::types::{AppId, UserId};
+use crate::types::{user_bucket, AppId, UserId};
 
 /// Which safety invariant a violation broke.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +69,12 @@ pub enum InvariantKind {
     DirectoryFreshness,
     /// I7: a host installed a manager set no legitimate writer published.
     DirectoryIntegrity,
+    /// I8: a quorum allow cited a manager outside the subject's shard in
+    /// every registered version of the tenant's shard map.
+    TenantIsolation,
+    /// I9: a shard handoff lost or invented operations — the install
+    /// digest diverged from the source's, or had no source at all.
+    RebalanceSafety,
 }
 
 impl std::fmt::Display for InvariantKind {
@@ -71,6 +87,8 @@ impl std::fmt::Display for InvariantKind {
             InvariantKind::Durability => "durability",
             InvariantKind::DirectoryFreshness => "directory-freshness",
             InvariantKind::DirectoryIntegrity => "directory-integrity",
+            InvariantKind::TenantIsolation => "tenant-isolation",
+            InvariantKind::RebalanceSafety => "rebalance-safety",
         };
         f.write_str(s)
     }
@@ -133,6 +151,12 @@ pub struct OracleStats {
     pub ns_installs: u64,
     /// Directory versions that reached the write quorum (arming I6).
     pub ns_acked_versions: u64,
+    /// Quorum allows checked against a registered shard map (I8).
+    pub shard_allows: u64,
+    /// Source-side shard handoff notes observed (I9).
+    pub shard_handoffs: u64,
+    /// Target-side shard install notes checked (I9).
+    pub shard_installs: u64,
 }
 
 /// One manager's durably-noted slots: `(app, user, right)` → newest
@@ -167,6 +191,9 @@ impl DirectoryConfig {
         self.replicas - self.read_quorum + 1
     }
 }
+
+/// One registered shard-map row: `(shard, lo, hi, owner node indexes)`.
+type ShardMapRow = (u32, u8, u8, BTreeSet<usize>);
 
 /// The online safety checker. Attach with
 /// [`World::add_observer`](wanacl_sim::world::World::add_observer);
@@ -204,6 +231,12 @@ pub struct InvariantOracle {
     /// Every (app, version, manager-set) a legitimate replica held —
     /// the I7 whitelist a host install must match.
     ns_published: BTreeSet<(AppId, u64, String)>,
+    /// Registered shard maps (I8): per app, per published version, the
+    /// entries as `(shard, lo, hi, owner node indexes)`.
+    shard_maps: BTreeMap<AppId, BTreeMap<u64, Vec<ShardMapRow>>>,
+    /// Source-side handoff claims (I9): `(shard, epoch, source index)`
+    /// → `(digest, op count)`.
+    handoff_digests: BTreeMap<(u32, u64, usize), (u64, u64)>,
     violations: Vec<OracleViolation>,
     stats: OracleStats,
     digest: u64,
@@ -249,6 +282,8 @@ impl InvariantOracle {
             ns_replica_records: BTreeMap::new(),
             ns_acked: BTreeMap::new(),
             ns_published: BTreeSet::new(),
+            shard_maps: BTreeMap::new(),
+            handoff_digests: BTreeMap::new(),
             violations: Vec::new(),
             stats: OracleStats::default(),
             digest: FNV_OFFSET,
@@ -296,6 +331,22 @@ impl InvariantOracle {
             read_quorum,
             ttl_real: ttl.div_f64(self.rate_bound) + NS_INFLIGHT_SLACK,
         });
+    }
+
+    /// Registers a published shard map version for `app`, arming the I8
+    /// tenant-isolation check: from now on every quorum allow for a user
+    /// of `app` must cite only managers owning the user's bucket in
+    /// *some* registered version (tolerating map-install races without
+    /// tolerating cross-tenant contamination). Call once for the genesis
+    /// map and once per rebalance.
+    pub fn expect_shard_map(&mut self, app: AppId, version: u64, entries: &[crate::msg::ShardEntry]) {
+        let rows = entries
+            .iter()
+            .map(|e| {
+                (e.shard.0, e.lo, e.hi, e.managers.iter().map(|m| m.index()).collect())
+            })
+            .collect();
+        self.shard_maps.entry(app).or_default().insert(version, rows);
     }
 
     /// The violations found so far (empty means every checked event was
@@ -403,6 +454,40 @@ impl InvariantOracle {
                             self.check_quorum
                         ),
                     );
+                }
+                // I8: in a sharded tenant, only managers owning the
+                // user's bucket (in some registered map version) may
+                // confirm the check.
+                let bucket = user_bucket(user);
+                let allowed: Option<BTreeSet<usize>> = self.shard_maps.get(&app).map(|versions| {
+                    versions
+                        .values()
+                        .flat_map(|rows| rows.iter())
+                        .filter(|(_, lo, hi, _)| *lo <= bucket && bucket <= *hi)
+                        .flat_map(|(_, _, _, owners)| owners.iter().copied())
+                        .collect()
+                });
+                if let Some(allowed) = allowed {
+                    self.stats.shard_allows += 1;
+                    let foreign: Vec<&str> = distinct
+                        .iter()
+                        .copied()
+                        .filter(|m| {
+                            m.parse::<usize>().map(|i| !allowed.contains(&i)).unwrap_or(true)
+                        })
+                        .collect();
+                    if !foreign.is_empty() {
+                        self.fail(
+                            at,
+                            index,
+                            node,
+                            InvariantKind::TenantIsolation,
+                            format!(
+                                "allow for {user} (bucket {bucket}) on {app} confirmed by managers [{}] outside the user's shard in every registered map version",
+                                foreign.join(";")
+                            ),
+                        );
+                    }
                 }
             }
             "cache" => {
@@ -624,6 +709,58 @@ impl InvariantOracle {
         }
     }
 
+    /// I9 source side: remember what the source claims it handed off.
+    fn on_shard_handoff(&mut self, kv: &Kv<'_>) {
+        let (Some(shard), Some(epoch), Some(src), Some(digest), Some(count)) = (
+            kv.nanos("shard"),
+            kv.nanos("epoch"),
+            kv.nanos("src"),
+            kv.nanos("digest"),
+            kv.nanos("count"),
+        ) else {
+            return;
+        };
+        self.stats.shard_handoffs += 1;
+        self.handoff_digests.insert((shard as u32, epoch, src as usize), (digest, count));
+    }
+
+    /// I9 target side: the install must byte-match its source's claim.
+    fn on_shard_install(&mut self, at: SimTime, index: u64, node: NodeId, kv: &Kv<'_>) {
+        let (Some(shard), Some(epoch), Some(src), Some(digest), Some(count)) = (
+            kv.nanos("shard"),
+            kv.nanos("epoch"),
+            kv.nanos("src"),
+            kv.nanos("digest"),
+            kv.nanos("count"),
+        ) else {
+            return;
+        };
+        self.stats.shard_installs += 1;
+        match self.handoff_digests.get(&(shard as u32, epoch, src as usize)) {
+            None => self.fail(
+                at,
+                index,
+                node,
+                InvariantKind::RebalanceSafety,
+                format!(
+                    "shard {shard} epoch {epoch} installed from manager {src} which never noted a handoff"
+                ),
+            ),
+            Some(&(want_digest, want_count)) if want_digest != digest || want_count != count => {
+                self.fail(
+                    at,
+                    index,
+                    node,
+                    InvariantKind::RebalanceSafety,
+                    format!(
+                        "shard {shard} epoch {epoch} install from manager {src} diverged: got digest {digest} count {count}, source handed off digest {want_digest} count {want_count}"
+                    ),
+                )
+            }
+            Some(_) => {}
+        }
+    }
+
     fn on_note(&mut self, at: SimTime, index: u64, node: NodeId, text: &str) {
         let kv = Kv::parse(text);
         match kv.get("audit") {
@@ -659,6 +796,8 @@ impl InvariantOracle {
             }
             Some("durable") => self.on_durable(node, &kv),
             Some("recovered") => self.on_recovered(at, index, node, &kv),
+            Some("shard-handoff") => self.on_shard_handoff(&kv),
+            Some("shard-install") => self.on_shard_install(at, index, node, &kv),
             Some("ns-publish") | Some("ns-apply") => self.on_ns_record_held(at, node, &kv),
             Some("ns-install") => self.on_ns_acted(at, index, node, &kv, true),
             Some("ns-degraded") => self.on_ns_acted(at, index, node, &kv, false),
@@ -1024,6 +1163,103 @@ mod tests {
         note(&mut o, 500, 4, 6, "audit=ns-install app=0 version=1 mode=quorum acks=2 quorum=2 mgrs=0 ttl=9000000000");
         assert!(o.is_clean(), "{:?}", o.violations());
         assert_eq!(o.stats().ns_acked_versions, 1, "only v1 ever acked");
+    }
+
+    fn shard_entry(shard: u32, lo: u8, hi: u8, owners: &[usize]) -> crate::msg::ShardEntry {
+        crate::msg::ShardEntry {
+            shard: crate::types::ShardId(shard),
+            lo,
+            hi,
+            managers: owners.iter().map(|&i| NodeId::from_index(i)).collect(),
+        }
+    }
+
+    #[test]
+    fn shard_allow_by_owners_is_clean_and_by_foreigners_is_not() {
+        let mut o = InvariantOracle::new(&policy(), SimDuration::ZERO);
+        o.expect_shard_map(
+            AppId(0),
+            1,
+            &[shard_entry(0, 0, 127, &[0, 1]), shard_entry(1, 128, 255, &[2, 3])],
+        );
+        // user 1's bucket decides which owner pair is legal.
+        let b = user_bucket(UserId(1));
+        let (own, foreign) = if b <= 127 { ("0;1", "2;3") } else { ("2;3", "0;1") };
+        note(
+            &mut o,
+            1,
+            1,
+            9,
+            &format!("audit=allow app=0 user=1 mode=quorum confirms=2 c=2 mgrs={own}"),
+        );
+        assert!(o.is_clean(), "{:?}", o.violations());
+        assert_eq!(o.stats().shard_allows, 1);
+        // An unsharded app stays unchecked.
+        note(&mut o, 2, 2, 9, "audit=allow app=7 user=1 mode=quorum confirms=2 c=2 mgrs=5;6");
+        assert_eq!(o.stats().shard_allows, 1);
+        assert!(o.is_clean());
+        // The other shard's owners confirming this user is contamination.
+        note(
+            &mut o,
+            3,
+            3,
+            9,
+            &format!("audit=allow app=0 user=1 mode=quorum confirms=2 c=2 mgrs={foreign}"),
+        );
+        assert_eq!(o.violations().len(), 1);
+        assert_eq!(o.violations()[0].kind, InvariantKind::TenantIsolation);
+    }
+
+    #[test]
+    fn shard_allow_accepts_any_registered_map_version() {
+        // After a rebalance both the old and new owners may briefly
+        // answer (the drain window); registering both versions keeps the
+        // oracle race-free without admitting third parties.
+        let mut o = InvariantOracle::new(&policy(), SimDuration::ZERO);
+        let b = user_bucket(UserId(1));
+        o.expect_shard_map(AppId(0), 1, &[shard_entry(0, 0, 255, &[0, 1])]);
+        o.expect_shard_map(AppId(0), 2, &[shard_entry(0, 0, 255, &[2, 3])]);
+        let _ = b;
+        note(&mut o, 1, 1, 9, "audit=allow app=0 user=1 mode=quorum confirms=2 c=2 mgrs=0;1");
+        note(&mut o, 2, 2, 9, "audit=allow app=0 user=1 mode=quorum confirms=2 c=2 mgrs=2;3");
+        assert!(o.is_clean(), "{:?}", o.violations());
+        note(&mut o, 3, 3, 9, "audit=allow app=0 user=1 mode=quorum confirms=2 c=2 mgrs=4;5");
+        assert_eq!(o.violations().len(), 1);
+        assert_eq!(o.violations()[0].kind, InvariantKind::TenantIsolation);
+    }
+
+    #[test]
+    fn matching_handoff_and_install_digests_are_clean() {
+        let mut o = InvariantOracle::new(&policy(), SimDuration::ZERO);
+        note(&mut o, 1, 1, 0, "audit=shard-handoff shard=0 epoch=2 src=0 digest=777 count=3");
+        note(&mut o, 2, 2, 4, "audit=shard-install shard=0 epoch=2 src=0 digest=777 count=3");
+        assert!(o.is_clean(), "{:?}", o.violations());
+        assert_eq!(o.stats().shard_handoffs, 1);
+        assert_eq!(o.stats().shard_installs, 1);
+    }
+
+    #[test]
+    fn diverged_install_digest_is_a_rebalance_violation() {
+        let mut o = InvariantOracle::new(&policy(), SimDuration::ZERO);
+        note(&mut o, 1, 1, 0, "audit=shard-handoff shard=0 epoch=2 src=0 digest=777 count=3");
+        // The lost-tail bug: one op short, different digest.
+        note(&mut o, 2, 5, 4, "audit=shard-install shard=0 epoch=2 src=0 digest=123 count=2");
+        assert_eq!(o.violations().len(), 1);
+        let v = &o.violations()[0];
+        assert_eq!(v.kind, InvariantKind::RebalanceSafety);
+        assert_eq!(v.event_index, 5);
+    }
+
+    #[test]
+    fn install_without_a_handoff_is_a_rebalance_violation() {
+        let mut o = InvariantOracle::new(&policy(), SimDuration::ZERO);
+        note(&mut o, 1, 1, 4, "audit=shard-install shard=0 epoch=2 src=0 digest=777 count=3");
+        assert_eq!(o.violations().len(), 1);
+        assert_eq!(o.violations()[0].kind, InvariantKind::RebalanceSafety);
+        // Same epoch from a *different* source is tracked independently.
+        note(&mut o, 2, 2, 0, "audit=shard-handoff shard=0 epoch=2 src=1 digest=9 count=1");
+        note(&mut o, 3, 3, 4, "audit=shard-install shard=0 epoch=2 src=1 digest=9 count=1");
+        assert_eq!(o.violations().len(), 1);
     }
 
     #[test]

@@ -17,13 +17,13 @@ use wanacl_sim::node::NodeId;
 use wanacl_sim::time::{SimDuration, SimTime};
 use wanacl_sim::world::World;
 
-use crate::client::{AdminAction, AdminAgent, AdminAgentConfig, UserAgent, UserAgentConfig};
+use crate::client::{AdminAction, AdminAgent, AdminAgentConfig, AdminRoute, UserAgent, UserAgentConfig};
 use crate::host::{AppHost, HostNode, ManagerDirectory};
-use crate::manager::{ManagerApp, ManagerConfig, ManagerNode};
-use crate::msg::{AclOp, NsRecord, ProtoMsg, ReqId};
+use crate::manager::{ManagerApp, ManagerConfig, ManagerNode, ManagerShard};
+use crate::msg::{AclOp, NsRecord, ProtoMsg, ReqId, ShardEntry};
 use crate::nameservice::{DirectoryReplica, NameServiceNode};
 use crate::policy::Policy;
-use crate::types::{Acl, AppId, Right, UserId};
+use crate::types::{Acl, AppId, Right, ShardId, UserId};
 use crate::wrapper::{Application, CountingApp};
 
 /// The principal that signs directory records. Replicas and hosts trust
@@ -35,6 +35,8 @@ pub struct Scenario {
     seed: u64,
     app: AppId,
     policy: Policy,
+    tenants: usize,
+    shards_per_tenant: usize,
     managers: usize,
     hosts: usize,
     users: usize,
@@ -74,6 +76,8 @@ impl Scenario {
             seed,
             app: AppId(0),
             policy: Policy::default(),
+            tenants: 0,
+            shards_per_tenant: 1,
             managers: 1,
             hosts: 1,
             users: 1,
@@ -93,6 +97,27 @@ impl Scenario {
             app_factory: Box::new(|_| Box::new(CountingApp::new())),
             manager_config: ManagerConfig::default(),
         }
+    }
+
+    /// Switches the deployment to sharded multi-tenant mode: `n` tenants,
+    /// each an application `AppId(0..n)` whose ACL keyspace is split into
+    /// [`Scenario::shards_per_tenant`] bucket-range shards served by two
+    /// managers each. Requires [`Scenario::with_replicated_directory`]
+    /// (the signed shard map is a directory record). User `u` belongs to
+    /// tenant `(u - 1) % n`. `0` (the default) keeps the legacy
+    /// single-app, unsharded layout byte-identical.
+    pub fn tenants(mut self, n: usize) -> Self {
+        self.tenants = n;
+        self
+    }
+
+    /// Number of shards each tenant's keyspace is split into (sharded
+    /// mode only; default 1).
+    pub fn shards_per_tenant(mut self, k: usize) -> Self {
+        assert!(k >= 1, "need at least one shard per tenant");
+        assert!(k <= 256, "at most one shard per bucket");
+        self.shards_per_tenant = k;
+        self
     }
 
     /// Sets the number of managers `M`.
@@ -281,21 +306,99 @@ impl Scenario {
             initial_acl.add(*user, *right);
         }
 
+        // Sharded multi-tenant layout: tenant `t` is `AppId(t)`, its
+        // keyspace splits into `shards_per_tenant` contiguous bucket
+        // ranges, and global shard `s` is served by managers `2s` and
+        // `2s+1`. Legacy deployments leave `shard_entries` empty and hit
+        // exactly the single-app paths below.
+        let sharded = self.tenants > 0;
+        let managers_total = if sharded {
+            assert!(
+                self.ns_replicas > 0,
+                "sharded mode publishes the shard map through the replicated \
+                 directory; call with_replicated_directory first"
+            );
+            2 * self.tenants * self.shards_per_tenant
+        } else {
+            self.managers
+        };
+        let apps: Vec<AppId> =
+            if sharded { (0..self.tenants as u32).map(AppId).collect() } else { vec![self.app] };
+        // Per-app bootstrap ACL. Tenants are isolated: a user's initial
+        // rights land only on their own tenant's application.
+        let acl_for = |app: AppId| -> Acl {
+            if !sharded {
+                return initial_acl.clone();
+            }
+            let mut acl = Acl::new();
+            acl.add(admin_user, Right::Manage);
+            for (user, right) in &self.initial_rights {
+                if user.0 >= 1 && (user.0 - 1) % self.tenants as u64 == u64::from(app.0) {
+                    acl.add(*user, *right);
+                }
+            }
+            acl
+        };
+        let mut shard_entries: Vec<(AppId, ShardEntry)> = Vec::new();
+        if sharded {
+            let spt = self.shards_per_tenant;
+            for t in 0..self.tenants {
+                for j in 0..spt {
+                    let s = t * spt + j;
+                    shard_entries.push((
+                        AppId(t as u32),
+                        ShardEntry {
+                            shard: ShardId(s as u32),
+                            lo: (j * 256 / spt) as u8,
+                            hi: ((j + 1) * 256 / spt - 1) as u8,
+                            managers: vec![
+                                NodeId::from_index(2 * s),
+                                NodeId::from_index(2 * s + 1),
+                            ],
+                        },
+                    ));
+                }
+            }
+        }
+
         // Managers occupy ids 0..M (added first, so ids are known up
         // front for peer lists).
-        let manager_ids: Vec<NodeId> = (0..self.managers).map(NodeId::from_index).collect();
+        let manager_ids: Vec<NodeId> = (0..managers_total).map(NodeId::from_index).collect();
         for (i, &id) in manager_ids.iter().enumerate() {
             let peers: Vec<NodeId> =
                 manager_ids.iter().copied().filter(|p| *p != id).collect();
+            // Every manager carries the full per-app bootstrap ACL; the
+            // shard map — not ACL content — decides who serves whom, so a
+            // rebalance target can activate on deltas alone.
+            let shards: Vec<ManagerShard> = shard_entries
+                .iter()
+                .filter(|(_, e)| e.managers.contains(&id))
+                .map(|(app, e)| ManagerShard {
+                    shard: e.shard,
+                    app: *app,
+                    lo: e.lo,
+                    hi: e.hi,
+                    peers: e.managers.iter().copied().filter(|m| *m != id).collect(),
+                })
+                .collect();
             let config = ManagerConfig {
                 peers,
-                apps: vec![ManagerApp {
-                    app: self.app,
-                    policy: self.policy.clone(),
-                    initial_acl: initial_acl.clone(),
-                }],
+                apps: apps
+                    .iter()
+                    .map(|&app| ManagerApp {
+                        app,
+                        policy: self.policy.clone(),
+                        initial_acl: acl_for(app),
+                    })
+                    .collect(),
                 registry: registry_opt.clone(),
                 enforce_manage_right: self.authenticate,
+                shards,
+                ns_trust: if sharded {
+                    Some(registry.clone())
+                } else {
+                    self.manager_config.ns_trust.clone()
+                },
                 ..self.manager_config.clone()
             };
             let mut node = ManagerNode::new(config);
@@ -311,22 +414,34 @@ impl Scenario {
         // from the same signed genesis record (version 1).
         let mut ns_replica_ids: Vec<NodeId> = Vec::new();
         if self.ns_replicas > 0 {
-            let first = self.managers;
+            let first = managers_total;
             ns_replica_ids =
                 (first..first + self.ns_replicas).map(NodeId::from_index).collect();
-            let genesis = NsRecord::signed(
-                self.app,
-                1,
-                manager_ids.clone(),
-                NS_WRITER,
-                ns_writer_secret.as_ref().expect("writer key exists when replicas do"),
-            );
+            let secret = ns_writer_secret.as_ref().expect("writer key exists when replicas do");
+            // One genesis record per app; sharded deployments publish the
+            // shard map inside the record (version 1 = handoff epoch 1).
+            let genesis: Vec<NsRecord> = if sharded {
+                apps.iter()
+                    .map(|&app| {
+                        let entries: Vec<ShardEntry> = shard_entries
+                            .iter()
+                            .filter(|(a, _)| *a == app)
+                            .map(|(_, e)| e.clone())
+                            .collect();
+                        NsRecord::signed_sharded(app, 1, entries, NS_WRITER, secret)
+                    })
+                    .collect()
+            } else {
+                vec![NsRecord::signed(self.app, 1, manager_ids.clone(), NS_WRITER, secret)]
+            };
             for (i, &id) in ns_replica_ids.iter().enumerate() {
                 let peers: Vec<NodeId> =
                     ns_replica_ids.iter().copied().filter(|p| *p != id).collect();
                 let mut replica =
                     DirectoryReplica::new(self.ns_ttl, peers, registry.clone(), NS_WRITER);
-                replica.preload(genesis.clone());
+                for record in &genesis {
+                    replica.preload(record.clone());
+                }
                 let got =
                     world.add_node(format!("nsreplica{i}"), Box::new(replica), ClockSpec::Perfect);
                 assert_eq!(got, id, "replica ids must follow the managers");
@@ -358,12 +473,14 @@ impl Scenario {
                 }
             };
             let mut host = HostNode::new(
-                vec![AppHost {
-                    app: self.app,
-                    policy: self.policy.clone(),
-                    directory,
-                    application: (self.app_factory)(i),
-                }],
+                apps.iter()
+                    .map(|&app| AppHost {
+                        app,
+                        policy: self.policy.clone(),
+                        directory: directory.clone(),
+                        application: (self.app_factory)(i),
+                    })
+                    .collect(),
                 registry_opt.clone(),
             );
             if !ns_replica_ids.is_empty() {
@@ -379,9 +496,11 @@ impl Scenario {
         let mut users = Vec::with_capacity(self.users);
         for i in 1..=self.users {
             let user = UserId(i as u64);
+            let user_app =
+                if sharded { AppId(((i - 1) % self.tenants) as u32) } else { self.app };
             let agent = UserAgent::new(UserAgentConfig {
                 user,
-                app: self.app,
+                app: user_app,
                 hosts: host_ids.clone(),
                 workload: self.workload,
                 payload: format!("request-from-{user}").into(),
@@ -400,6 +519,15 @@ impl Scenario {
                 issuer: admin_user,
                 secret: admin_secret,
                 manager: manager_ids[0],
+                routes: shard_entries
+                    .iter()
+                    .map(|(app, e)| AdminRoute {
+                        app: *app,
+                        lo: e.lo,
+                        hi: e.hi,
+                        manager: e.managers[0],
+                    })
+                    .collect(),
                 script: self.admin_script,
                 resend_interval: SimDuration::from_millis(500),
                 serial: self.serial_admin,
@@ -407,9 +535,19 @@ impl Scenario {
             ClockSpec::Perfect,
         );
 
+        // The live shard map the deployment tracks for rebalances: per
+        // app, the current record version plus its entries.
+        let mut shard_maps: std::collections::BTreeMap<AppId, (u64, Vec<ShardEntry>)> =
+            std::collections::BTreeMap::new();
+        for (app, entry) in &shard_entries {
+            shard_maps.entry(*app).or_insert_with(|| (1, Vec::new())).1.push(entry.clone());
+        }
+
         Deployment {
             world,
             app: self.app,
+            tenants: self.tenants,
+            shards_per_tenant: self.shards_per_tenant,
             managers: manager_ids,
             hosts: host_ids,
             users,
@@ -417,6 +555,7 @@ impl Scenario {
             admin_user,
             ns_replicas: ns_replica_ids,
             ns_writer_secret,
+            shard_maps,
         }
     }
 }
@@ -426,8 +565,13 @@ impl Scenario {
 pub struct Deployment {
     /// The simulated world (run it with `run_until`/`run_for`).
     pub world: World<ProtoMsg>,
-    /// The application under access control.
+    /// The application under access control (the first tenant's app in
+    /// sharded mode).
     pub app: AppId,
+    /// Tenant count (0 = legacy single-app deployment).
+    pub tenants: usize,
+    /// Shards per tenant (meaningful only when `tenants > 0`).
+    pub shards_per_tenant: usize,
     /// Manager node ids.
     pub managers: Vec<NodeId>,
     /// Host node ids.
@@ -444,6 +588,9 @@ pub struct Deployment {
     /// The directory writer's secret key, for publishing new records
     /// mid-run (present iff replicas are).
     pub ns_writer_secret: Option<SecretKey>,
+    /// Per-app current shard map: `(record version, entries)`. Empty in
+    /// legacy deployments; updated by [`Deployment::rebalance_shard_at`].
+    pub shard_maps: std::collections::BTreeMap<AppId, (u64, Vec<ShardEntry>)>,
 }
 
 impl Deployment {
@@ -499,12 +646,84 @@ impl Deployment {
             self.ns_writer_secret.as_ref().expect("deployment has no replicated directory");
         let record = NsRecord::signed(self.app, version, managers, NS_WRITER, secret);
         let target = self.ns_replicas[replica_index];
-        self.world.inject(at, target, ProtoMsg::NsPublish { record });
+        self.world.inject(at, target, ProtoMsg::NsPublish { record: Box::new(record) });
     }
 
     /// The directory replica node for index `i`.
     pub fn ns_replica(&self, i: usize) -> &DirectoryReplica {
         self.world.node_as::<DirectoryReplica>(self.ns_replicas[i])
+    }
+
+    /// Current owners of a shard (sharded deployments).
+    pub fn shard_owners(&self, shard: ShardId) -> Vec<NodeId> {
+        self.shard_maps
+            .values()
+            .flat_map(|(_, entries)| entries.iter())
+            .find(|e| e.shard == shard)
+            .map(|e| e.managers.clone())
+            .expect("unknown shard")
+    }
+
+    /// Injects an arbitrary admin operation through the admin agent (so
+    /// it is signed, routed to the owning shard, and retried).
+    pub fn admin_op(&mut self, op: AclOp) {
+        self.inject_admin(op);
+    }
+
+    /// Schedules an online rebalance of `shard` onto `new_owners` at
+    /// `at`: signs the version-bumped shard-map record and injects the
+    /// `ShardHandoff` kickoff to every current owner (sources) and every
+    /// new owner (targets). The sources freeze, snapshot-transfer, and
+    /// durably release before any target activates and republishes the
+    /// map (DESIGN.md §14).
+    ///
+    /// # Panics
+    ///
+    /// Panics without a replicated directory, on an unknown shard, or if
+    /// `new_owners` overlaps the current owner set.
+    pub fn rebalance_shard_at(&mut self, at: SimTime, shard: ShardId, new_owners: Vec<NodeId>) {
+        let secret = self
+            .ns_writer_secret
+            .as_ref()
+            .expect("rebalance needs the replicated directory's writer key");
+        let (&app, _) = self
+            .shard_maps
+            .iter()
+            .find(|(_, (_, entries))| entries.iter().any(|e| e.shard == shard))
+            .expect("unknown shard");
+        let (version, entries) = self.shard_maps.get_mut(&app).expect("map exists");
+        let idx = entries.iter().position(|e| e.shard == shard).expect("entry exists");
+        let old_owners = entries[idx].managers.clone();
+        assert!(
+            old_owners.iter().all(|m| !new_owners.contains(m)),
+            "rebalance targets must be disjoint from the current owners"
+        );
+        *version += 1;
+        let epoch = *version;
+        entries[idx].managers = new_owners.clone();
+        let record = NsRecord::signed_sharded(app, epoch, entries.clone(), NS_WRITER, secret);
+        let kickoff = ProtoMsg::ShardHandoff {
+            shard,
+            epoch,
+            record: Box::new(record),
+            targets: new_owners.clone(),
+            publish_to: self.ns_replicas.clone(),
+        };
+        for &m in old_owners.iter().chain(new_owners.iter()) {
+            self.world.inject(at, m, kickoff.clone());
+        }
+    }
+
+    /// Mutable access to manager `i` (fault hooks like the planted
+    /// lost-handoff bug).
+    pub fn manager_mut(&mut self, i: usize) -> &mut ManagerNode {
+        self.world.node_as_mut::<ManagerNode>(self.managers[i])
+    }
+
+    /// Mutable access to host `i` (fault hooks like the stale-shard-map
+    /// pin).
+    pub fn host_mut(&mut self, i: usize) -> &mut HostNode {
+        self.world.node_as_mut::<HostNode>(self.hosts[i])
     }
 
     /// Makes user `i` (0-based index) issue one request now.

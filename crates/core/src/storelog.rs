@@ -15,11 +15,13 @@
 use wanacl_sim::node::NodeId;
 
 use crate::msg::{AclOp, OpId};
-use crate::types::{AppId, Right, UserId};
+use crate::types::{AppId, Right, ShardId, UserId};
 
-/// Snapshot format version (bumped on incompatible changes; decoders
-/// reject other versions).
+/// Snapshot format version for flat (no released shards) state.
 const SNAPSHOT_VERSION: u8 = 1;
+/// Snapshot format version carrying a released-shard set. Only emitted
+/// when the set is nonempty, so legacy snapshots stay byte-identical.
+const SNAPSHOT_VERSION_SHARDED: u8 = 2;
 /// Magic prefix distinguishing a snapshot from arbitrary bytes.
 const SNAPSHOT_MAGIC: &[u8; 4] = b"WSNP";
 
@@ -53,6 +55,51 @@ pub fn encode_record(id: OpId, op: &AclOp) -> Vec<u8> {
     out
 }
 
+/// One decoded WAL record: either an applied ACL operation or a
+/// shard-release marker (the manager durably renounced ownership of a
+/// shard during a handoff, so it must stay silent for it after a crash).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalRecord {
+    /// An applied `(OpId, AclOp)` pair — the legacy record kinds 0/1.
+    Op(OpId, AclOp),
+    /// A shard-release marker — record kind 2.
+    ShardRelease {
+        /// The shard this manager released.
+        shard: ShardId,
+        /// The handoff epoch the release belongs to.
+        epoch: u64,
+    },
+}
+
+/// Encodes a shard-release marker as a fixed-size WAL record, reusing
+/// the op-record layout: the shard id rides in the app-field slot and
+/// the epoch in the user-field slot; the remaining fields are zero.
+pub fn encode_release(shard: ShardId, epoch: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(RECORD_LEN);
+    out.push(2);
+    out.extend_from_slice(&shard.0.to_be_bytes());
+    out.extend_from_slice(&epoch.to_be_bytes());
+    out.push(0);
+    out.extend_from_slice(&0u32.to_be_bytes());
+    out.extend_from_slice(&0u64.to_be_bytes());
+    out
+}
+
+/// Decodes any WAL record kind; `None` on wrong length or invalid
+/// fields. [`decode_record`] remains the op-only entry point for
+/// callers that never see release markers.
+pub fn decode_wal_record(bytes: &[u8]) -> Option<WalRecord> {
+    if bytes.len() != RECORD_LEN {
+        return None;
+    }
+    if bytes[0] == 2 {
+        let shard = ShardId(u32::from_be_bytes(bytes[1..5].try_into().ok()?));
+        let epoch = u64::from_be_bytes(bytes[5..13].try_into().ok()?);
+        return Some(WalRecord::ShardRelease { shard, epoch });
+    }
+    decode_record(bytes).map(|(id, op)| WalRecord::Op(id, op))
+}
+
 /// Decodes a WAL record; `None` on wrong length or invalid fields.
 pub fn decode_record(bytes: &[u8]) -> Option<(OpId, AclOp)> {
     if bytes.len() != RECORD_LEN {
@@ -82,15 +129,22 @@ pub struct SnapshotState {
     pub applied: Vec<OpId>,
     /// Per-slot last writer with the winning op, in slot order.
     pub lww: Vec<(AppId, UserId, Right, OpId, AclOp)>,
+    /// Shards this manager has durably released (with the handoff
+    /// epoch). Empty in every flat deployment; when empty the snapshot
+    /// is emitted in the legacy version-1 format, byte-identical to
+    /// pre-shard builds.
+    pub released: Vec<(ShardId, u64)>,
 }
 
 /// Encodes a snapshot.
 pub fn encode_snapshot(state: &SnapshotState) -> Vec<u8> {
     let mut out = Vec::with_capacity(
-        16 + state.applied.len() * 12 + state.lww.len() * (14 + RECORD_LEN),
+        16 + state.applied.len() * 12
+            + state.lww.len() * (14 + RECORD_LEN)
+            + state.released.len() * 12,
     );
     out.extend_from_slice(SNAPSHOT_MAGIC);
-    out.push(SNAPSHOT_VERSION);
+    out.push(if state.released.is_empty() { SNAPSHOT_VERSION } else { SNAPSHOT_VERSION_SHARDED });
     out.extend_from_slice(&state.lamport.to_be_bytes());
     out.extend_from_slice(&(state.applied.len() as u32).to_be_bytes());
     for id in &state.applied {
@@ -103,6 +157,13 @@ pub fn encode_snapshot(state: &SnapshotState) -> Vec<u8> {
         // the WAL record encoding doubles as the slot entry encoding.
         out.extend_from_slice(&encode_record(*id, op));
     }
+    if !state.released.is_empty() {
+        out.extend_from_slice(&(state.released.len() as u32).to_be_bytes());
+        for (shard, epoch) in &state.released {
+            out.extend_from_slice(&shard.0.to_be_bytes());
+            out.extend_from_slice(&epoch.to_be_bytes());
+        }
+    }
     out
 }
 
@@ -110,7 +171,7 @@ pub fn encode_snapshot(state: &SnapshotState) -> Vec<u8> {
 pub fn decode_snapshot(bytes: &[u8]) -> Option<SnapshotState> {
     let rest = bytes.strip_prefix(&SNAPSHOT_MAGIC[..])?;
     let (&version, rest) = rest.split_first()?;
-    if version != SNAPSHOT_VERSION {
+    if version != SNAPSHOT_VERSION && version != SNAPSHOT_VERSION_SHARDED {
         return None;
     }
     if rest.len() < 12 {
@@ -143,10 +204,33 @@ pub fn decode_snapshot(bytes: &[u8]) -> Option<SnapshotState> {
         lww.push((op.app(), op.user(), op.right(), id, op));
         rest = &rest[RECORD_LEN..];
     }
+    let mut released = Vec::new();
+    if version == SNAPSHOT_VERSION_SHARDED {
+        if rest.len() < 4 {
+            return None;
+        }
+        let released_len = u32::from_be_bytes(rest[..4].try_into().ok()?) as usize;
+        if released_len == 0 {
+            // Version 2 exists only to carry a nonempty set; an empty
+            // one belongs in version 1.
+            return None;
+        }
+        rest = &rest[4..];
+        released.reserve(released_len.min(1 << 20));
+        for _ in 0..released_len {
+            if rest.len() < 12 {
+                return None;
+            }
+            let shard = ShardId(u32::from_be_bytes(rest[..4].try_into().ok()?));
+            let epoch = u64::from_be_bytes(rest[4..12].try_into().ok()?);
+            released.push((shard, epoch));
+            rest = &rest[12..];
+        }
+    }
     if !rest.is_empty() {
         return None;
     }
-    Some(SnapshotState { lamport, applied, lww })
+    Some(SnapshotState { lamport, applied, lww, released })
 }
 
 #[cfg(test)]
@@ -195,9 +279,49 @@ mod tests {
                 (op_a.app(), op_a.user(), op_a.right(), id(0, 1), op_a),
                 (op_b.app(), op_b.user(), op_b.right(), id(2, 41), op_b),
             ],
+            released: vec![],
         };
         let bytes = encode_snapshot(&state);
+        assert_eq!(bytes[4], 1, "no released shards stays version 1");
         assert_eq!(decode_snapshot(&bytes), Some(state));
+    }
+
+    #[test]
+    fn release_record_round_trips() {
+        let bytes = encode_release(ShardId(3), 17);
+        assert_eq!(bytes.len(), RECORD_LEN);
+        assert_eq!(
+            decode_wal_record(&bytes),
+            Some(WalRecord::ShardRelease { shard: ShardId(3), epoch: 17 })
+        );
+        // The op-only decoder must not misread a release as an op.
+        assert_eq!(decode_record(&bytes), None);
+        // And the generic decoder still reads op records.
+        let op = AclOp::Add { app: AppId(1), user: UserId(2), right: Right::Use };
+        let op_bytes = encode_record(id(0, 5), &op);
+        assert_eq!(decode_wal_record(&op_bytes), Some(WalRecord::Op(id(0, 5), op)));
+        assert_eq!(decode_wal_record(&bytes[..RECORD_LEN - 1]), None);
+    }
+
+    #[test]
+    fn sharded_snapshot_round_trips() {
+        let op = AclOp::Add { app: AppId(0), user: UserId(1), right: Right::Use };
+        let state = SnapshotState {
+            lamport: 9,
+            applied: vec![id(0, 1)],
+            lww: vec![(op.app(), op.user(), op.right(), id(0, 1), op)],
+            released: vec![(ShardId(0), 2), (ShardId(4), 7)],
+        };
+        let bytes = encode_snapshot(&state);
+        assert_eq!(bytes[4], 2, "released shards bump to version 2");
+        assert_eq!(decode_snapshot(&bytes), Some(state.clone()));
+        assert_eq!(decode_snapshot(&bytes[..bytes.len() - 1]), None, "truncated");
+        // A flat-era decoder would reject version 2 outright; our
+        // decoder rejects the degenerate empty-set version 2 too.
+        let mut empty_v2 = encode_snapshot(&SnapshotState::default());
+        empty_v2[4] = 2;
+        empty_v2.extend_from_slice(&0u32.to_be_bytes());
+        assert_eq!(decode_snapshot(&empty_v2), None);
     }
 
     #[test]

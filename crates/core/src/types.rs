@@ -47,6 +47,45 @@ impl From<UserId> for wanacl_auth::signed::PrincipalId {
     }
 }
 
+/// Identifies one shard of the partitioned ACL keyspace. Shard ids are
+/// global across applications (assigned by the scenario builder), so a
+/// manager can own shards of several tenants without ambiguity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardId(pub u32);
+
+impl std::fmt::Display for ShardId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard{}", self.0)
+    }
+}
+
+/// Identifies a tenant in a multi-tenant deployment. The scenario
+/// builder maps tenant `t` to application [`AppId`]`(t)`, so tenancy and
+/// application identity coincide by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u32);
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant{}", self.0)
+    }
+}
+
+/// Hashes a user into the 256-slot bucket space shards partition.
+///
+/// FNV-1a over the big-endian user id, folded to the low byte. The
+/// function is pure (no per-run salt): a user's bucket — and therefore
+/// its owning shard under a given map — is the same in every world, so
+/// replayed counterexamples route identically.
+pub fn user_bucket(user: UserId) -> u8 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in user.0.to_be_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (hash & 0xff) as u8
+}
+
 /// The two access-right kinds of §2.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Right {
@@ -293,5 +332,22 @@ mod tests {
     fn user_id_converts_to_principal() {
         let p: wanacl_auth::signed::PrincipalId = UserId(77).into();
         assert_eq!(p.0, 77);
+    }
+
+    #[test]
+    fn user_bucket_is_stable_and_spreads() {
+        // Pure function: the same user always lands in the same bucket.
+        assert_eq!(user_bucket(UserId(1)), user_bucket(UserId(1)));
+        // A handful of small ids must not all collide into one bucket,
+        // or every scenario user would live in a single shard.
+        let buckets: std::collections::BTreeSet<u8> =
+            (1..=16).map(|u| user_bucket(UserId(u))).collect();
+        assert!(buckets.len() >= 8, "small user ids collapsed: {buckets:?}");
+    }
+
+    #[test]
+    fn shard_and_tenant_display() {
+        assert_eq!(ShardId(2).to_string(), "shard2");
+        assert_eq!(TenantId(1).to_string(), "tenant1");
     }
 }

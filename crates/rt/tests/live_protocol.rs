@@ -32,6 +32,7 @@ fn fast_manager_config(peers: Vec<NodeId>, app_policy: Policy, acl: Acl) -> Mana
         heartbeat_interval: SimDuration::from_millis(100),
         grant_sweep_interval: SimDuration::from_millis(500),
         snapshot_every: 64,
+        ..ManagerConfig::default()
     }
 }
 
@@ -371,7 +372,7 @@ fn live_replicated_directory_quorum_reads_and_converges() {
     // Publish version 2 to ONE replica; anti-entropy spreads it and the
     // host's TTL refresh re-reads the quorum.
     let v2 = NsRecord::signed(AppId(0), 2, manager_ids.clone(), NS_WRITER, &writer_kp.secret);
-    rt.send_from_env(replica_ids[0], ProtoMsg::NsPublish { record: v2 });
+    rt.send_from_env(replica_ids[0], ProtoMsg::NsPublish { record: Box::new(v2) });
     std::thread::sleep(Duration::from_millis(1_200));
 
     let snapshot = rt.metrics().snapshot();

@@ -199,6 +199,29 @@ pub enum Fault {
         /// When it serves forged answers.
         window: Window,
     },
+    /// Online shard rebalance kicked off mid-run: the campaign driver
+    /// signs a version-bumped shard map moving shard `shard` to the
+    /// ring-next owner set and injects the handoff at `at` — on top of
+    /// whatever partitions, crashes, and delay spikes the rest of the
+    /// plan has open at that moment. The driver applies this fault (it
+    /// is neither a network nor a lifecycle fault).
+    ShardRebalance {
+        /// Index of the shard to move (into the deployment's shard
+        /// table).
+        shard: u32,
+        /// When the handoff kickoff is injected.
+        at: SimTime,
+    },
+    /// One host never advances its shard map past the version it holds:
+    /// fresher directory records are ignored, so its checks chase the
+    /// pre-rebalance owners. Routing safety (I8/I9) must hold anyway —
+    /// released sources answer with fail-closed unavailability, never
+    /// stale grants. The driver applies this to the host before the run
+    /// starts.
+    StaleShardMap {
+        /// The host whose shard map is pinned.
+        host: NodeId,
+    },
 }
 
 fn fmt_nodes(nodes: &[NodeId]) -> String {
@@ -245,6 +268,12 @@ impl std::fmt::Display for Fault {
             Fault::MaliciousReplica { replica, window } => {
                 write!(f, "malicious-replica {replica} {window}")
             }
+            Fault::ShardRebalance { shard, at } => {
+                write!(f, "shard-rebalance shard{shard} at {at}")
+            }
+            Fault::StaleShardMap { host } => {
+                write!(f, "stale-shard-map {host} (map pinned)")
+            }
         }
     }
 }
@@ -261,6 +290,8 @@ impl Fault {
                 | Fault::ClusterRestart { .. }
                 | Fault::StaleReplica { .. }
                 | Fault::MaliciousReplica { .. }
+                | Fault::ShardRebalance { .. }
+                | Fault::StaleShardMap { .. }
         )
     }
 
@@ -312,6 +343,11 @@ pub struct NemesisTargets {
     /// name service. Only [`NemesisPlan::sample_with_directory`] (and
     /// the scripted builder) attacks these.
     pub ns_replicas: Vec<NodeId>,
+    /// Per-shard manager sets of a sharded deployment, indexed by shard.
+    /// Only [`NemesisPlan::sample_with_shards`] (and the scripted
+    /// builder) draws shard faults, so plans for unsharded campaigns
+    /// stay byte-identical.
+    pub shard_managers: Vec<Vec<NodeId>>,
 }
 
 impl NemesisTargets {
@@ -390,7 +426,7 @@ impl NemesisPlan {
         intensity: f64,
         rng: &mut SimRng,
     ) -> NemesisPlan {
-        Self::sample_inner(targets, horizon, intensity, rng, false, false)
+        Self::sample_inner(targets, horizon, intensity, rng, false, false, false)
     }
 
     /// Like [`NemesisPlan::sample`], but the fault mix also includes
@@ -409,7 +445,7 @@ impl NemesisPlan {
         intensity: f64,
         rng: &mut SimRng,
     ) -> NemesisPlan {
-        Self::sample_inner(targets, horizon, intensity, rng, true, false)
+        Self::sample_inner(targets, horizon, intensity, rng, true, false, false)
     }
 
     /// Like [`NemesisPlan::sample_with_storage`] (pass `storage_faults`
@@ -432,7 +468,30 @@ impl NemesisPlan {
         rng: &mut SimRng,
         storage_faults: bool,
     ) -> NemesisPlan {
-        Self::sample_inner(targets, horizon, intensity, rng, storage_faults, true)
+        Self::sample_inner(targets, horizon, intensity, rng, storage_faults, true, false)
+    }
+
+    /// Like [`NemesisPlan::sample_with_directory`], but the table also
+    /// includes shard-plane failures when
+    /// [`NemesisTargets::shard_managers`] has at least two shards:
+    /// [`Fault::ShardRebalance`] (an online handoff racing whatever
+    /// other faults the plan has open — partitions mid-handoff, source
+    /// crashes mid-transfer) and [`Fault::StaleShardMap`] (one host
+    /// pinned to a pre-rebalance map). A separate entry point so plans
+    /// drawn for existing seeds stay byte-identical.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`NemesisPlan::sample`].
+    pub fn sample_with_shards(
+        targets: &NemesisTargets,
+        horizon: SimTime,
+        intensity: f64,
+        rng: &mut SimRng,
+        storage_faults: bool,
+        directory_faults: bool,
+    ) -> NemesisPlan {
+        Self::sample_inner(targets, horizon, intensity, rng, storage_faults, directory_faults, true)
     }
 
     fn sample_inner(
@@ -442,6 +501,7 @@ impl NemesisPlan {
         rng: &mut SimRng,
         storage_faults: bool,
         directory_faults: bool,
+        shard_faults: bool,
     ) -> NemesisPlan {
         assert!(horizon > SimTime::ZERO, "horizon must be positive");
         assert!(intensity > 0.0, "intensity must be positive");
@@ -477,6 +537,12 @@ impl NemesisPlan {
             }
             table.push((1, 13)); // malicious partial master
             table.push((1, 14)); // replica crash/restart
+        }
+        if shard_faults && targets.shard_managers.len() >= 2 {
+            table.push((3, 15)); // online shard rebalance
+            if !targets.hosts.is_empty() {
+                table.push((1, 16)); // host pinned to a stale shard map
+            }
         }
         let total_weight: u64 = table.iter().map(|(w, _)| w).sum();
 
@@ -604,6 +670,15 @@ impl NemesisPlan {
                 replica: *rng.choose(&targets.ns_replicas),
                 window: Self::sample_window(horizon, rng),
             },
+            15 => {
+                // Early-enough kickoff that the handoff has a chance to
+                // finish inside the horizon — racing whatever partitions
+                // and crashes the rest of the plan holds open then.
+                let shard = rng.range(0, targets.shard_managers.len() as u64) as u32;
+                let at_ns = rng.range(0, (horizon.as_nanos() * 7 / 10).max(1));
+                Fault::ShardRebalance { shard, at: SimTime::from_nanos(at_ns) }
+            }
+            16 => Fault::StaleShardMap { host: *rng.choose(&targets.hosts) },
             _ => {
                 // Each manager joins the restart group with p=0.6; one
                 // time in four the whole manager set goes down together
@@ -655,6 +730,33 @@ impl NemesisPlan {
     /// The network-layer faults (for [`NemesisNet`]).
     pub fn net_faults(&self) -> Vec<Fault> {
         self.faults.iter().filter(|f| f.is_net()).cloned().collect()
+    }
+
+    /// The `(shard, at)` rebalance kickoffs in the plan, in time order —
+    /// for the campaign driver, which signs the map records and injects
+    /// the handoffs.
+    pub fn shard_rebalances(&self) -> Vec<(u32, SimTime)> {
+        let mut out: Vec<(u32, SimTime)> = self
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::ShardRebalance { shard, at } => Some((*shard, *at)),
+                _ => None,
+            })
+            .collect();
+        out.sort_by_key(|&(_, at)| at);
+        out
+    }
+
+    /// Hosts whose shard map the driver pins before the run starts.
+    pub fn stale_shard_map_hosts(&self) -> Vec<NodeId> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::StaleShardMap { host } => Some(*host),
+                _ => None,
+            })
+            .collect()
     }
 
     /// Wraps a base network model with this plan's network faults.
@@ -890,6 +992,18 @@ impl NemesisPlanBuilder {
         self
     }
 
+    /// Kicks off an online rebalance of shard `shard` at `at`.
+    pub fn shard_rebalance(mut self, shard: u32, at: SimTime) -> Self {
+        self.plan.faults.push(Fault::ShardRebalance { shard, at });
+        self
+    }
+
+    /// Pins one host's shard map to whatever it holds at start.
+    pub fn stale_shard_map(mut self, host: NodeId) -> Self {
+        self.plan.faults.push(Fault::StaleShardMap { host });
+        self
+    }
+
     /// Adds a replica that serves forged records for the window.
     pub fn malicious_replica(mut self, replica: NodeId, start: SimTime, end: SimTime) -> Self {
         self.plan
@@ -918,11 +1032,19 @@ mod tests {
             hosts: vec![n(3), n(4)],
             name_service: Some(n(5)),
             ns_replicas: Vec::new(),
+            shard_managers: Vec::new(),
         }
     }
 
     fn directory_targets() -> NemesisTargets {
         NemesisTargets { ns_replicas: vec![n(5), n(6), n(7)], ..targets() }
+    }
+
+    fn shard_targets() -> NemesisTargets {
+        NemesisTargets {
+            shard_managers: vec![vec![n(0), n(1)], vec![n(2), n(8)]],
+            ..directory_targets()
+        }
     }
 
     #[test]
@@ -984,6 +1106,9 @@ mod tests {
                 | Fault::MaliciousReplica { .. } => {
                     panic!("plain sample() must never draw directory faults")
                 }
+                Fault::ShardRebalance { .. } | Fault::StaleShardMap { .. } => {
+                    panic!("plain sample() must never draw shard faults")
+                }
             }
         }
     }
@@ -1033,6 +1158,91 @@ mod tests {
             }
         }
         assert!(saw_disk && saw_restart, "storage kinds never sampled");
+    }
+
+    #[test]
+    fn shard_sampling_is_deterministic_and_keeps_existing_plans_stable() {
+        let horizon = SimTime::from_secs(120);
+        // Every pre-existing entry point must be untouched by the shard
+        // kinds: with no shard targets the weight table is identical, so
+        // fixed-seed plans replay byte-for-byte.
+        let dir = NemesisPlan::sample_with_directory(
+            &directory_targets(),
+            horizon,
+            2.0,
+            &mut SimRng::seed_from(11),
+            true,
+        );
+        let dir_via_shards = NemesisPlan::sample_with_shards(
+            &directory_targets(),
+            horizon,
+            2.0,
+            &mut SimRng::seed_from(11),
+            true,
+            true,
+        );
+        assert_eq!(dir, dir_via_shards, "no shard targets => identical plans");
+        let a = NemesisPlan::sample_with_shards(
+            &shard_targets(),
+            horizon,
+            2.0,
+            &mut SimRng::seed_from(11),
+            true,
+            true,
+        );
+        let b = NemesisPlan::sample_with_shards(
+            &shard_targets(),
+            horizon,
+            2.0,
+            &mut SimRng::seed_from(11),
+            true,
+            true,
+        );
+        assert_eq!(a, b);
+        // The shard mix actually produces both kinds at some seed, with
+        // in-range parameters.
+        let (mut saw_rebalance, mut saw_stale_map) = (false, false);
+        for seed in 0..40 {
+            let p = NemesisPlan::sample_with_shards(
+                &shard_targets(),
+                horizon,
+                2.0,
+                &mut SimRng::seed_from(seed),
+                true,
+                true,
+            );
+            for f in &p.faults {
+                match f {
+                    Fault::ShardRebalance { shard, at } => {
+                        saw_rebalance = true;
+                        assert!((*shard as usize) < shard_targets().shard_managers.len());
+                        assert!(*at < horizon);
+                    }
+                    Fault::StaleShardMap { host } => {
+                        saw_stale_map = true;
+                        assert!(shard_targets().hosts.contains(host));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(saw_rebalance && saw_stale_map, "shard kinds never sampled");
+    }
+
+    #[test]
+    fn shard_plan_accessors_extract_and_order_driver_faults() {
+        let plan = NemesisPlan::builder(SimTime::from_secs(60))
+            .shard_rebalance(1, SimTime::from_secs(30))
+            .stale_shard_map(n(3))
+            .shard_rebalance(0, SimTime::from_secs(10))
+            .build();
+        assert_eq!(
+            plan.shard_rebalances(),
+            vec![(0, SimTime::from_secs(10)), (1, SimTime::from_secs(30))],
+            "rebalances come out in time order"
+        );
+        assert_eq!(plan.stale_shard_map_hosts(), vec![n(3)]);
+        assert!(plan.net_faults().is_empty(), "driver faults are not net faults");
     }
 
     #[test]

@@ -11,11 +11,14 @@
 //! $ wanacl nemesis --disk-faults true --inject-bug drop-wal
 //! $ wanacl nemesis --ns-replicas 3 --ns-faults true --campaigns 100
 //! $ wanacl nemesis --ns-replicas 3 --inject-bug ns-trust-unsigned
+//! $ wanacl nemesis --tenants 2 --shards-per-tenant 2 --ns-replicas 3 --shard-faults true
+//! $ wanacl nemesis --tenants 2 --shards-per-tenant 2 --ns-replicas 3 --inject-bug lost-handoff
 //! $ wanacl nemesis --campaigns 20 --jobs 4 --metrics-out metrics.jsonl
 //! $ wanacl obs --minutes 2 --format prometheus
 //! $ wanacl obs --ns-replicas 3 --format jsonl
 //! $ wanacl chaos --seed 1 --seconds 8
 //! $ wanacl chaos --seed 1 --inject-bug drop-wal
+//! $ wanacl chaos --seed 1 --tenants 2 --shards-per-tenant 2
 //! $ wanacl chaos --control true --bench-out BENCH_rt.json
 //! ```
 
@@ -72,7 +75,17 @@ fn main() {
                  \x20                  --disk-faults true   add disk faults (torn tails,\n\
                  \x20                                       failed fsyncs) and correlated\n\
                  \x20                                       cluster restarts to the fault mix\n\
-                 \x20                  --inject-bug cache-expiry|drop-wal|ns-trust-unsigned\n\
+                 \x20                  --tenants N          sharded multi-tenant plane: N\n\
+                 \x20                                       tenant apps, each keyspace split\n\
+                 \x20                                       into shards served by their own\n\
+                 \x20                                       manager pairs (needs --ns-replicas;\n\
+                 \x20                                       overrides --managers)\n\
+                 \x20                  --shards-per-tenant K  shards per tenant (default 1)\n\
+                 \x20                  --shard-faults true  add shard faults (online\n\
+                 \x20                                       rebalances racing the nemesis,\n\
+                 \x20                                       hosts pinned to stale shard maps)\n\
+                 \x20                  --inject-bug cache-expiry|drop-wal|ns-trust-unsigned|\n\
+                 \x20                               lost-handoff\n\
                  \x20                  --metrics-out PATH   write per-seed + rollup metrics as\n\
                  \x20                                       JSONL to PATH and the Prometheus\n\
                  \x20                                       rollup snapshot to PATH.prom\n\
@@ -84,6 +97,11 @@ fn main() {
                  \x20                  --inject-bug drop-wal  arm manager 0's WAL to drop\n\
                  \x20                                       state on recovery (the oracle\n\
                  \x20                                       must catch it live)\n\
+                 \x20                  --tenants N          live sharded soak: N tenant apps\n\
+                 \x20                                       on their own manager pairs, a\n\
+                 \x20                                       replicated directory, and a live\n\
+                 \x20                                       online rebalance mid-soak\n\
+                 \x20                  --shards-per-tenant K  shards per tenant (default 2)\n\
                  \x20                  --report-out PATH    write the JSONL soak report\n\
                  \x20                  --control true       fault-free control run\n\
                  \x20                  --bench-out PATH     (control only) write BENCH_rt\n\
@@ -222,15 +240,19 @@ fn nemesis(flags: &HashMap<String, String>) {
     let ns_read_quorum: usize = get(flags, "ns-read-quorum", 0);
     let ns_faults: bool = get(flags, "ns-faults", false);
     let disk_faults: bool = get(flags, "disk-faults", false);
+    let tenants: usize = get(flags, "tenants", 0);
+    let shards_per_tenant: usize = get(flags, "shards-per-tenant", 1);
+    let shard_faults: bool = get(flags, "shard-faults", false);
     let inject_bug = match flags.get("inject-bug").map(String::as_str) {
         None | Some("none") => None,
         Some("cache-expiry") => Some(InjectedBug::IgnoreCacheExpiry { host_index: 0 }),
         Some("drop-wal") => Some(InjectedBug::DropWal { manager_index: 0 }),
         Some("ns-trust-unsigned") => Some(InjectedBug::NsTrustUnsigned { host_index: 0 }),
+        Some("lost-handoff") => Some(InjectedBug::LostHandoff { manager_index: 0 }),
         Some(other) => {
             eprintln!(
                 "unknown --inject-bug {other} \
-                 (expected: cache-expiry, drop-wal, or ns-trust-unsigned)"
+                 (expected: cache-expiry, drop-wal, ns-trust-unsigned, or lost-handoff)"
             );
             std::process::exit(2);
         }
@@ -239,11 +261,33 @@ fn nemesis(flags: &HashMap<String, String>) {
         eprintln!("--inject-bug ns-trust-unsigned needs --ns-replicas N (N >= 1)");
         std::process::exit(2);
     }
+    if matches!(inject_bug, Some(InjectedBug::LostHandoff { .. })) && tenants == 0 {
+        eprintln!("--inject-bug lost-handoff needs --tenants N (the sharded plane)");
+        std::process::exit(2);
+    }
+    if tenants > 0 && ns_replicas == 0 {
+        eprintln!("--tenants needs --ns-replicas N (the shard map lives in the directory)");
+        std::process::exit(2);
+    }
+    if shard_faults && tenants == 0 {
+        eprintln!("--shard-faults true needs --tenants N (the sharded plane)");
+        std::process::exit(2);
+    }
 
     println!(
         "nemesis: {campaigns} campaign(s) from seed {seed}, horizon {horizon_secs}s, \
-         M={managers} hosts={hosts} users={users} intensity={intensity}{}{}{}",
+         {} hosts={hosts} users={users} intensity={intensity}{}{}{}{}",
+        if tenants > 0 {
+            format!(
+                "tenants={tenants} shards/tenant={shards_per_tenant} \
+                 M={}",
+                2 * tenants * shards_per_tenant
+            )
+        } else {
+            format!("M={managers}")
+        },
         if disk_faults { " +disk-faults" } else { "" },
+        if shard_faults { " +shard-faults" } else { "" },
         if ns_replicas > 0 {
             format!(" +directory[{ns_replicas} replicas{}]", if ns_faults { ", faults" } else { "" })
         } else {
@@ -253,6 +297,7 @@ fn nemesis(flags: &HashMap<String, String>) {
             Some(InjectedBug::IgnoreCacheExpiry { .. }) => " [BUG INJECTED: cache-expiry]",
             Some(InjectedBug::DropWal { .. }) => " [BUG INJECTED: drop-wal]",
             Some(InjectedBug::NsTrustUnsigned { .. }) => " [BUG INJECTED: ns-trust-unsigned]",
+            Some(InjectedBug::LostHandoff { .. }) => " [BUG INJECTED: lost-handoff]",
             None => "",
         }
     );
@@ -269,6 +314,9 @@ fn nemesis(flags: &HashMap<String, String>) {
             ns_read_quorum,
             ns_faults,
             disk_faults,
+            tenants,
+            shards_per_tenant,
+            shard_faults,
             inject_bug,
             ..CampaignConfig::default()
         })
@@ -346,6 +394,10 @@ fn json_str(s: &str) -> String {
 /// prints and exits 1. `--control true` skips all fault injection and
 /// can emit a `BENCH_rt` baseline via `--bench-out`.
 fn chaos(flags: &HashMap<String, String>) {
+    if get::<usize>(flags, "tenants", 0) > 0 {
+        chaos_sharded(flags);
+        return;
+    }
     let seed: u64 = get(flags, "seed", 1);
     let seconds: u64 = get(flags, "seconds", 8);
     let managers: usize = get(flags, "managers", 3);
@@ -434,6 +486,7 @@ fn chaos(flags: &HashMap<String, String>) {
             heartbeat_interval: SimDuration::from_millis(100),
             grant_sweep_interval: SimDuration::from_millis(500),
             snapshot_every: 8,
+            ..ManagerConfig::default()
         };
         let dir = base.join(format!("m{i}"));
         let arm = drop_wal && i == 0;
@@ -752,6 +805,472 @@ fn chaos(flags: &HashMap<String, String>) {
         std::process::exit(1);
     }
     println!("chaos soak clean: no invariant violations, no node failures");
+}
+
+/// Runs a seeded chaos soak of the *sharded multi-tenant* plane on the
+/// live threaded runtime: `2 × tenants × shards-per-tenant` managers
+/// each serving their own bucket-range shard, three directory replicas
+/// publishing the signed shard map, hosts routing checks through
+/// verified quorum reads, and — mid-soak — a live online rebalance
+/// (every `ShardRebalance` the seed's plan draws, or one forced move
+/// when it draws none) racing the plan's network faults plus the
+/// deterministic kill/restart of manager 0. The drained trace feeds the
+/// oracle with the tenant-isolation (I8) and rebalance-safety (I9)
+/// invariants armed.
+fn chaos_sharded(flags: &HashMap<String, String>) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wanacl::core::auth::signed::KeyRegistry;
+    use wanacl::core::scenario::NS_WRITER;
+
+    let seed: u64 = get(flags, "seed", 1);
+    let seconds: u64 = get(flags, "seconds", 8);
+    let tenants: usize = get(flags, "tenants", 2);
+    let spt: usize = get(flags, "shards-per-tenant", 2);
+    let hosts: usize = get(flags, "hosts", 2);
+    let users: usize = get(flags, "users", 4);
+    let intensity: f64 = get(flags, "intensity", 1.0);
+    let ns_replicas = 3usize;
+    let managers = 2 * tenants * spt;
+    let total_shards = tenants * spt;
+    if seconds == 0 || hosts == 0 || users == 0 || spt == 0 || spt > 256 {
+        eprintln!("chaos --tenants needs seconds, hosts, users > 0 and 1..=256 shards per tenant");
+        std::process::exit(2);
+    }
+
+    let te = SimDuration::from_secs(2);
+    let policy = Policy::builder(2)
+        .revocation_bound(te)
+        .clock_rate_bound(1.0)
+        .query_timeout(SimDuration::from_millis(100))
+        .max_attempts(2)
+        .cache_sweep_interval(SimDuration::from_millis(500))
+        .deadline_budget(SimDuration::from_secs(1))
+        .breaker(BreakerConfig::default())
+        .build();
+
+    // Same sampler as `wanacl nemesis --tenants ...`: one plan, two
+    // executors.
+    let horizon = SimDuration::from_secs(seconds);
+    let campaign = CampaignConfig {
+        seed,
+        hosts,
+        users,
+        horizon,
+        intensity,
+        tenants,
+        shards_per_tenant: spt,
+        ns_replicas,
+        shard_faults: true,
+        ..CampaignConfig::default()
+    };
+    let plan = sample_plan(&campaign);
+    println!(
+        "chaos: seed {seed}, {seconds}s live sharded soak, tenants={tenants} \
+         shards/tenant={spt} M={managers} hosts={hosts} users={users}"
+    );
+    print!("{}", plan.describe());
+
+    // Deterministic key material: the directory writer signs the shard
+    // map; every manager, replica, and host verifies against the same
+    // registry.
+    let mut registry = KeyRegistry::new();
+    let mut wrng = StdRng::seed_from_u64(seed ^ 0x6e73_7772);
+    let writer_secret = registry.enroll(NS_WRITER, &mut wrng).secret;
+    let registry = std::sync::Arc::new(registry);
+
+    // The genesis shard map: global shard s = tenant·spt + j covers
+    // buckets [j·256/spt, (j+1)·256/spt) and is owned by managers
+    // {2s, 2s+1}.
+    let apps: Vec<AppId> = (0..tenants as u32).map(AppId).collect();
+    let shard_range = |j: usize| -> (u8, u8) {
+        ((j * 256 / spt) as u8, ((j + 1) * 256 / spt - 1) as u8)
+    };
+    let genesis_entry = |s: usize| -> ShardEntry {
+        let (lo, hi) = shard_range(s % spt);
+        ShardEntry {
+            shard: ShardId(s as u32),
+            lo,
+            hi,
+            managers: vec![NodeId::from_index(2 * s), NodeId::from_index(2 * s + 1)],
+        }
+    };
+    let entries_of = |app: AppId, owners: &[Vec<NodeId>]| -> Vec<ShardEntry> {
+        (0..spt)
+            .map(|j| {
+                let s = app.0 as usize * spt + j;
+                let (lo, hi) = shard_range(j);
+                ShardEntry { shard: ShardId(s as u32), lo, hi, managers: owners[s].clone() }
+            })
+            .collect()
+    };
+    let mut owners: Vec<Vec<NodeId>> =
+        (0..total_shards).map(|s| genesis_entry(s).managers.clone()).collect();
+    let mut versions: Vec<u64> = vec![1; tenants];
+
+    // The oracle accepts exactly the map versions this run publishes.
+    let mut expected_maps: Vec<(AppId, u64, Vec<ShardEntry>)> = Vec::new();
+    for &app in &apps {
+        expected_maps.push((app, 1, entries_of(app, &owners)));
+    }
+
+    // Fresh WAL directories per run; managers respawn from them.
+    let base =
+        std::env::temp_dir().join(format!("wanacl-chaos-shard-{seed}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    let mut b: RuntimeBuilder<ProtoMsg> = RuntimeBuilder::new(seed);
+    b.inbox_capacity(1024);
+    let traces = b.capture_traces();
+    let sink = b.metrics().clone();
+
+    // Managers: every manager bootstraps the full per-app ACL (routing
+    // comes from the shard map, not ACL content) and serves only its own
+    // shard's bucket range.
+    let manager_ids: Vec<NodeId> = (0..managers).map(NodeId::from_index).collect();
+    for (i, &id) in manager_ids.iter().enumerate() {
+        let s = i / 2;
+        let entry = genesis_entry(s);
+        let config = ManagerConfig {
+            peers: manager_ids.iter().copied().filter(|p| *p != id).collect(),
+            apps: apps
+                .iter()
+                .map(|&app| {
+                    let mut acl = Acl::new();
+                    for u in 1..=users {
+                        if (u - 1) % tenants == app.0 as usize {
+                            acl.add(UserId(u as u64), Right::Use);
+                        }
+                    }
+                    ManagerApp { app, policy: policy.clone(), initial_acl: acl }
+                })
+                .collect(),
+            registry: None,
+            enforce_manage_right: false,
+            shards: vec![ManagerShard {
+                shard: entry.shard,
+                app: AppId((s / spt) as u32),
+                lo: entry.lo,
+                hi: entry.hi,
+                peers: entry.managers.iter().copied().filter(|p| *p != id).collect(),
+            }],
+            ns_trust: Some(registry.clone()),
+            retry_interval: SimDuration::from_millis(100),
+            retry_cap: SimDuration::from_secs(2),
+            retry_jitter: 0.1,
+            heartbeat_interval: SimDuration::from_millis(100),
+            grant_sweep_interval: SimDuration::from_millis(500),
+            snapshot_every: 8,
+        };
+        let dir = base.join(format!("m{i}"));
+        let factory_sink = sink.clone();
+        let got = b.add_node_with_factory(
+            format!("manager{i}"),
+            std::sync::Arc::new(move || {
+                let mut node = ManagerNode::new(config.clone());
+                let storage = FileStorage::open(dir.clone())
+                    .expect("chaos storage dir")
+                    .with_metrics(factory_sink.clone());
+                node.set_storage(Box::new(storage));
+                Box::new(node)
+            }),
+        );
+        assert_eq!(got, id);
+    }
+
+    // Directory replicas, preloaded with the signed genesis maps.
+    let replica_ids: Vec<NodeId> =
+        (managers..managers + ns_replicas).map(NodeId::from_index).collect();
+    let genesis_records: Vec<NsRecord> = apps
+        .iter()
+        .map(|&app| {
+            NsRecord::signed_sharded(app, 1, entries_of(app, &owners), NS_WRITER, &writer_secret)
+        })
+        .collect();
+    for (i, &id) in replica_ids.iter().enumerate() {
+        let peers: Vec<NodeId> = replica_ids.iter().copied().filter(|p| *p != id).collect();
+        let mut replica =
+            DirectoryReplica::new(SimDuration::from_secs(2), peers, registry.clone(), NS_WRITER);
+        for record in &genesis_records {
+            replica.preload(record.clone());
+        }
+        let got = b.add_node(format!("nsreplica{i}"), Box::new(replica));
+        assert_eq!(got, id);
+    }
+
+    // Hosts route every check through the directory-published map; the
+    // plan's stale-map fault pins a host to whatever it installs first.
+    let host_ids: Vec<NodeId> =
+        (managers + ns_replicas..managers + ns_replicas + hosts).map(NodeId::from_index).collect();
+    let pinned = plan.stale_shard_map_hosts();
+    for (i, &id) in host_ids.iter().enumerate() {
+        let mut host = HostNode::new(
+            apps.iter()
+                .map(|&app| AppHost {
+                    app,
+                    policy: policy.clone(),
+                    directory: ManagerDirectory::Replicated {
+                        replicas: replica_ids.clone(),
+                        read_quorum: 2,
+                    },
+                    application: Box::new(CountingApp::new()),
+                })
+                .collect(),
+            None,
+        );
+        host.set_ns_trust(registry.clone(), NS_WRITER);
+        if pinned.contains(&id) {
+            for &app in &apps {
+                host.set_pin_ns_version(app);
+            }
+        }
+        let got = b.add_node(format!("host{i}"), Box::new(host));
+        assert_eq!(got, id);
+    }
+
+    let mut user_ids = Vec::new();
+    for u in 1..=users {
+        user_ids.push(b.add_node(
+            format!("user{u}"),
+            Box::new(UserAgent::new(UserAgentConfig {
+                user: UserId(u as u64),
+                app: AppId(((u - 1) % tenants) as u32),
+                hosts: host_ids.clone(),
+                workload: Some(WorkloadShape::Periodic { period: SimDuration::from_millis(300) }),
+                payload: "chaos".into(),
+                secret: None,
+                request_timeout: SimDuration::from_secs(5),
+                max_requests: None,
+            })),
+        ));
+    }
+    if !plan.net_faults().is_empty() {
+        let faults = plan.net_faults();
+        let chaos_sink = sink.clone();
+        b.wrap_transport(move |router| ChaosRouter::new(router, faults, seed, Some(chaos_sink)));
+    }
+    let mut rt = b.start();
+    let epoch = rt.epoch();
+
+    // Live rebalances: every ShardRebalance the plan drew (ring-next
+    // targets, skipping moves an earlier move made non-disjoint), or one
+    // forced move of shard 0 when the plan drew none — a soak without a
+    // handoff would leave I9 untested.
+    enum SEvent {
+        Admin(AclOp),
+        Handoff { recipients: Vec<NodeId>, msg: ProtoMsg },
+        Crash(NodeId),
+        Recover(NodeId),
+        Kill(NodeId),
+        Restart(NodeId),
+    }
+    let mut schedule: Vec<(Duration, SEvent)> = Vec::new();
+    let h = horizon.as_secs_f64();
+    let mut moves: Vec<(u32, f64)> = plan
+        .shard_rebalances()
+        .into_iter()
+        .map(|(s, at)| (s, at.as_secs_f64()))
+        .collect();
+    if moves.is_empty() {
+        moves.push((0, h * 0.5));
+    }
+    let mut scheduled_moves = Vec::new();
+    for (s, at) in moves {
+        let s = (s as usize) % total_shards;
+        let sources = owners[s].clone();
+        let targets = owners[(s + 1) % total_shards].clone();
+        if targets.iter().any(|t| sources.contains(t)) {
+            continue;
+        }
+        let t = s / spt;
+        versions[t] += 1;
+        let epoch_v = versions[t];
+        owners[s] = targets.clone();
+        let app = AppId(t as u32);
+        let entries = entries_of(app, &owners);
+        let record =
+            NsRecord::signed_sharded(app, epoch_v, entries.clone(), NS_WRITER, &writer_secret);
+        expected_maps.push((app, epoch_v, entries));
+        let msg = ProtoMsg::ShardHandoff {
+            shard: ShardId(s as u32),
+            epoch: epoch_v,
+            record: Box::new(record),
+            targets: targets.clone(),
+            publish_to: replica_ids.clone(),
+        };
+        scheduled_moves.push(format!("shard {s} -> {targets:?} at {at:.2}s (map v{epoch_v})"));
+        schedule.push((
+            Duration::from_secs_f64(at),
+            SEvent::Handoff { recipients: sources.into_iter().chain(targets).collect(), msg },
+        ));
+    }
+    for line in &scheduled_moves {
+        println!("  rebalance: {line}");
+    }
+
+    // Admin churn spans tenants; ops route to the genesis primary owner
+    // of the user's shard (post-move sources forward them on).
+    let route_admin = |app: AppId, user: UserId| -> NodeId {
+        let bucket = wanacl::core::types::user_bucket(user);
+        let j = (0..spt).position(|j| {
+            let (lo, hi) = shard_range(j);
+            lo <= bucket && bucket <= hi
+        });
+        let s = app.0 as usize * spt + j.expect("bucket ranges tile 0..=255");
+        NodeId::from_index(2 * s)
+    };
+    let mut rng = SimRng::seed_from(seed ^ 0x6164_6d69);
+    for u in 1..=users {
+        let user = UserId(u as u64);
+        let app = AppId(((u - 1) % tenants) as u32);
+        let revoke_at = h * (0.2 + 0.4 * rng.unit());
+        let regrant_at = (revoke_at + h * (0.1 + 0.2 * rng.unit())).min(h);
+        schedule.push((
+            Duration::from_secs_f64(revoke_at),
+            SEvent::Admin(AclOp::Revoke { app, user, right: Right::Use }),
+        ));
+        schedule.push((
+            Duration::from_secs_f64(regrant_at),
+            SEvent::Admin(AclOp::Add { app, user, right: Right::Use }),
+        ));
+    }
+    for fault in &plan.faults {
+        if let Fault::Crash { node, at, down_for } = fault {
+            let at = Duration::from_secs_f64(at.as_secs_f64());
+            schedule.push((at, SEvent::Crash(*node)));
+            schedule
+                .push((at + Duration::from_secs_f64(down_for.as_secs_f64()), SEvent::Recover(*node)));
+        }
+    }
+    // The deterministic kill/restart: manager 0 is a genesis owner of
+    // shard 0, so when a move of shard 0 lands nearby this doubles as a
+    // source death racing the handoff — recovery must honour the durable
+    // release markers in its WAL.
+    let kill_at = Duration::from_secs_f64(h * 0.40);
+    schedule.push((kill_at, SEvent::Kill(manager_ids[0])));
+    schedule.push((kill_at + Duration::from_millis(300), SEvent::Restart(manager_ids[0])));
+    schedule.sort_by_key(|(at, _)| *at);
+
+    let mut req = 0u64;
+    let mut lifecycle_log = Vec::new();
+    for (at, event) in schedule {
+        let now = epoch.elapsed();
+        if at > now {
+            std::thread::sleep(at - now);
+        }
+        let stamp = epoch.elapsed().as_secs_f64();
+        match event {
+            SEvent::Admin(op) => {
+                req += 1;
+                let target = route_admin(op.app(), op.user());
+                rt.send_from_env(
+                    target,
+                    ProtoMsg::Admin { op, req: ReqId(req), issuer: UserId(999), signature: None },
+                );
+            }
+            SEvent::Handoff { recipients, msg } => {
+                lifecycle_log.push(format!("handoff kickoff at {stamp:.2}s"));
+                for node in recipients {
+                    rt.send_from_env(node, msg.clone());
+                }
+            }
+            SEvent::Crash(n) => {
+                lifecycle_log.push(format!("crash {n} at {stamp:.2}s"));
+                rt.crash(n);
+            }
+            SEvent::Recover(n) => {
+                lifecycle_log.push(format!("recover {n} at {stamp:.2}s"));
+                rt.recover(n);
+            }
+            SEvent::Kill(n) => match rt.kill(n) {
+                Ok(exit) => lifecycle_log.push(format!("kill {n} at {stamp:.2}s ({exit:?})")),
+                Err(e) => lifecycle_log.push(format!("kill {n} at {stamp:.2}s FAILED: {e}")),
+            },
+            SEvent::Restart(n) => match rt.restart(n) {
+                Ok(()) => lifecycle_log.push(format!("restart {n} at {stamp:.2}s")),
+                Err(e) => lifecycle_log.push(format!("restart {n} at {stamp:.2}s FAILED: {e}")),
+            },
+        }
+    }
+    let end = Duration::from_secs(seconds) + Duration::from_secs_f64(2.0 * te.as_secs_f64());
+    while epoch.elapsed() < end {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    for line in &lifecycle_log {
+        println!("  {line}");
+    }
+
+    let results = rt.shutdown();
+
+    // Same oracle as the sharded campaigns — I8 armed with every map
+    // version this run published, I9 from the handoff/install audits.
+    let mut oracle = InvariantOracle::new(&policy, SimDuration::from_millis(1_000));
+    for (app, version, entries) in &expected_maps {
+        oracle.expect_shard_map(*app, *version, entries);
+    }
+    let entries = traces.drain_sorted();
+    for (i, e) in entries.iter().enumerate() {
+        let event = TraceEvent::Note { node: e.node, text: e.text.clone() };
+        oracle.on_event(e.at, i as u64, &event);
+    }
+    let stats = oracle.stats();
+
+    let mut panics = Vec::new();
+    for (i, r) in results.iter().enumerate() {
+        match r {
+            Ok((NodeExit::Stopped | NodeExit::Killed, _)) => {}
+            Ok((NodeExit::Disconnected, _)) => {
+                panics.push(format!("node {i} inbox disconnected (wedged deployment)"));
+            }
+            Err(msg) => panics.push(format!("node {i} panicked: {msg}")),
+        }
+    }
+    let mut user_stats = UserStats::default();
+    for &id in &user_ids {
+        if let Some(Ok((_, node))) = results.get(id.index()) {
+            if let Some(agent) = node.as_any().downcast_ref::<UserAgent>() {
+                let s = agent.stats();
+                user_stats.sent += s.sent;
+                user_stats.allowed += s.allowed;
+                user_stats.denied += s.denied;
+                user_stats.unavailable += s.unavailable;
+                user_stats.timeouts += s.timeouts;
+            }
+        }
+    }
+    println!(
+        "oracle: {} allows ({} shard-routed), {} revokes, {} handoffs, {} installs \
+         over {} live trace events",
+        stats.allows,
+        stats.shard_allows,
+        stats.revokes,
+        stats.shard_handoffs,
+        stats.shard_installs,
+        entries.len()
+    );
+    println!(
+        "user outcomes: {} sent, {} allowed, {} denied, {} unavailable, {} timeouts",
+        user_stats.sent,
+        user_stats.allowed,
+        user_stats.denied,
+        user_stats.unavailable,
+        user_stats.timeouts
+    );
+
+    let _ = std::fs::remove_dir_all(&base);
+    let mut failed = false;
+    for v in oracle.violations() {
+        println!("VIOLATION: {v}");
+        failed = true;
+    }
+    for p in &panics {
+        println!("FAILURE: {p}");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("sharded chaos soak clean: no invariant violations, no node failures");
 }
 
 /// Runs a short standard deployment and exports its full metrics

@@ -41,6 +41,7 @@ fn main() {
                 heartbeat_interval: SimDuration::from_millis(200),
                 grant_sweep_interval: SimDuration::from_secs(1),
                 snapshot_every: 64,
+                ..ManagerConfig::default()
             })),
         );
     }
