@@ -35,6 +35,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod binomial;
+pub mod empirical;
 pub mod experiments;
 pub mod figures;
 pub mod hetero;

@@ -115,7 +115,7 @@ pub fn measure_scale_affinity(
                 vec![AppHost {
                     app: AppId(0),
                     policy: policy.clone(),
-                    directory: ManagerDirectory::Static(manager_ids.clone()),
+                    directory: ManagerDirectory::Static(manager_ids.clone().into()),
                     application: Box::new(CountingApp::new()),
                 }],
                 None,
@@ -130,7 +130,7 @@ pub fn measure_scale_affinity(
             Box::new(UserAgent::new(UserAgentConfig {
                 user: UserId((i + 1) as u64),
                 app: AppId(0),
-                hosts: vec![pinned],
+                hosts: vec![pinned].into(),
                 workload: Some(WorkloadShape::Poisson { mean: SimDuration::from_secs(30) }),
                 payload: "req".into(),
                 secret: None,
@@ -216,7 +216,7 @@ pub fn measure_skew(
                 vec![AppHost {
                     app: AppId(0),
                     policy: policy.clone(),
-                    directory: ManagerDirectory::Static(manager_ids.clone()),
+                    directory: ManagerDirectory::Static(manager_ids.clone().into()),
                     application: Box::new(CountingApp::new()),
                 }],
                 None,
@@ -239,7 +239,7 @@ pub fn measure_skew(
             Box::new(UserAgent::new(UserAgentConfig {
                 user: UserId((i + 1) as u64),
                 app: AppId(0),
-                hosts: host_ids.clone(),
+                hosts: host_ids.clone().into(),
                 workload: Some(WorkloadShape::Poisson {
                     mean: SimDuration::from_secs_f64(mean_secs),
                 }),

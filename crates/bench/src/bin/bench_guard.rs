@@ -5,12 +5,21 @@
 //!
 //! ```console
 //! $ bench_guard <baseline.json> <current.json> [--threshold 0.25]
+//!       [--threshold-for LABEL=FRACTION ...] [--require-faster FAST=SLOW ...]
 //! ```
 //!
 //! Labels present in only one file are reported but never fatal, so
 //! adding or retiring a benchmark doesn't break the guard. When a label
 //! appears multiple times in a file (e.g. appended runs), the last
 //! occurrence wins. Exits 1 on any regression past the threshold.
+//!
+//! `--threshold-for` overrides the default threshold for one label — a
+//! large-world benchmark with few iterations needs a looser bound than
+//! the microbenchmarks without weakening their gates. `--require-faster`
+//! asserts an ordering *within the current file*: the `FAST` label's
+//! mean must be strictly below `SLOW`'s (e.g. the indexed event queue
+//! must beat its naive-heap control), exiting 1 when it is not and 2
+//! when either label is missing.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -19,6 +28,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut threshold = 0.25f64;
+    let mut per_label: BTreeMap<String, f64> = BTreeMap::new();
+    let mut orderings: Vec<(String, String)> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--threshold" {
@@ -26,6 +37,22 @@ fn main() -> ExitCode {
                 .get(i + 1)
                 .and_then(|v| v.parse().ok())
                 .unwrap_or_else(|| usage("--threshold needs a number"));
+            i += 2;
+        } else if args[i] == "--threshold-for" {
+            let (label, frac) = args
+                .get(i + 1)
+                .and_then(|v| v.split_once('='))
+                .and_then(|(l, f)| Some((l.to_owned(), f.parse::<f64>().ok()?)))
+                .unwrap_or_else(|| usage("--threshold-for needs LABEL=FRACTION"));
+            per_label.insert(label, frac);
+            i += 2;
+        } else if args[i] == "--require-faster" {
+            let (fast, slow) = args
+                .get(i + 1)
+                .and_then(|v| v.split_once('='))
+                .map(|(a, b)| (a.to_owned(), b.to_owned()))
+                .unwrap_or_else(|| usage("--require-faster needs FAST=SLOW"));
+            orderings.push((fast, slow));
             i += 2;
         } else {
             paths.push(args[i].clone());
@@ -57,8 +84,9 @@ fn main() -> ExitCode {
         };
         compared += 1;
         println!("{label:<55} {base_ns:>12.1} {cur_ns:>12.1} {:>+7.1}%", delta * 100.0);
-        if delta > threshold {
-            regressions.push((label.clone(), delta));
+        let limit = per_label.get(label).copied().unwrap_or(threshold);
+        if delta > limit {
+            regressions.push((label.clone(), delta, limit));
         }
     }
     for label in current.keys().filter(|l| !baseline.contains_key(*l)) {
@@ -77,19 +105,37 @@ fn main() -> ExitCode {
         eprintln!("bench_guard: no overlapping labels between the two files");
         return ExitCode::from(2);
     }
-    if regressions.is_empty() {
+    let mut order_failures = Vec::new();
+    for (fast, slow) in &orderings {
+        let (Some(f), Some(s)) = (current.get(fast), current.get(slow)) else {
+            eprintln!("bench_guard: --require-faster label missing from current file: {fast}={slow}");
+            return ExitCode::from(2);
+        };
+        println!("{fast:<55} {f:>12.1} vs {s:>12.1} (must be faster)");
+        if f >= s {
+            order_failures.push((fast, slow, *f, *s));
+        }
+    }
+    if regressions.is_empty() && order_failures.is_empty() {
         println!(
-            "bench_guard: OK — {compared} benchmark(s) within {:.0}% of baseline",
-            threshold * 100.0
+            "bench_guard: OK — {compared} benchmark(s) within threshold{}",
+            if orderings.is_empty() {
+                String::new()
+            } else {
+                format!(", {} ordering(s) hold", orderings.len())
+            }
         );
         return ExitCode::SUCCESS;
     }
-    for (label, delta) in &regressions {
+    for (label, delta, limit) in &regressions {
         eprintln!(
             "bench_guard: REGRESSION {label}: {:+.1}% (threshold {:.0}%)",
             delta * 100.0,
-            threshold * 100.0
+            limit * 100.0
         );
+    }
+    for (fast, slow, f, s) in &order_failures {
+        eprintln!("bench_guard: ORDERING {fast} ({f:.1} ns) is not faster than {slow} ({s:.1} ns)");
     }
     ExitCode::FAILURE
 }
@@ -107,7 +153,11 @@ fn relative_delta(base_ns: f64, cur_ns: f64) -> Option<f64> {
 }
 
 fn usage(msg: &str) -> ! {
-    eprintln!("bench_guard: {msg}\nusage: bench_guard <baseline.json> <current.json> [--threshold FRACTION]");
+    eprintln!(
+        "bench_guard: {msg}\nusage: bench_guard <baseline.json> <current.json> \
+         [--threshold FRACTION] [--threshold-for LABEL=FRACTION ...] \
+         [--require-faster FAST=SLOW ...]"
+    );
     std::process::exit(2);
 }
 

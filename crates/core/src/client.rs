@@ -63,8 +63,10 @@ pub struct UserAgentConfig {
     pub user: UserId,
     /// The application it invokes.
     pub app: AppId,
-    /// Hosts it may contact (chosen uniformly per request).
-    pub hosts: Vec<NodeId>,
+    /// Hosts it may contact (chosen uniformly per request). Shared
+    /// (`Arc<[NodeId]>`): every user in a deployment points at the same
+    /// host list instead of carrying its own copy.
+    pub hosts: Arc<[NodeId]>,
     /// Automatic request stream; `None` disables it (requests are then
     /// only triggered by the harness injecting an `Invoke` from the
     /// environment).

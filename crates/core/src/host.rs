@@ -70,7 +70,10 @@ fn jittered_refresh(ttl: SimDuration, rng: &mut SimRng) -> SimDuration {
 #[derive(Debug, Clone)]
 pub enum ManagerDirectory {
     /// A fixed set, "known to all the hosts in Hosts(A)".
-    Static(Vec<NodeId>),
+    ///
+    /// Shared (`Arc<[NodeId]>`) so a 10k-host deployment holds one
+    /// manager list, not 10k copies of it.
+    Static(Arc<[NodeId]>),
     /// A trusted name service queried with TTL-based refresh.
     NameService {
         /// The name-service node.
@@ -240,7 +243,7 @@ impl HostNode {
         let mut map = BTreeMap::new();
         for spec in apps {
             let managers = match &spec.directory {
-                ManagerDirectory::Static(m) => m.clone(),
+                ManagerDirectory::Static(m) => m.to_vec(),
                 ManagerDirectory::NameService { .. } => Vec::new(),
                 ManagerDirectory::Replicated { replicas, read_quorum } => {
                     assert!(
@@ -538,14 +541,18 @@ impl HostNode {
     fn install_ns_record(&mut self, ctx: &mut Context<'_, ProtoMsg>, app: AppId, quorum: usize) {
         let Some(state) = self.apps.get_mut(&app) else { return };
         let acks = state.ns_replies.len();
-        let Some((version, managers, shards, ttl)) = state
+        // Move the winning reply out instead of cloning it: the round is
+        // settled, so the reply buffer is about to be discarded anyway.
+        let Some(best) = state
             .ns_replies
-            .values()
-            .max_by_key(|(v, _, _, _)| *v)
-            .cloned()
+            .iter()
+            .max_by_key(|(_, (v, _, _, _))| *v)
+            .map(|(&from, _)| from)
         else {
             return;
         };
+        let (version, managers, shards, ttl) =
+            state.ns_replies.remove(&best).expect("chosen above");
         state.ns_replies.clear();
         state.ns_inflight = false;
         state.ns_round = 0;
@@ -810,19 +817,18 @@ impl HostNode {
                     .get(&p.app)
                     .map(|s| s.policy.check_quorum())
                     .unwrap_or(0);
-                let mgrs = p
-                    .grants
-                    .keys()
-                    .map(|n| n.index().to_string())
-                    .collect::<Vec<_>>()
-                    .join(";");
-                let mut detail = format!(
-                    "mode=quorum confirms={} c={} mgrs={} started={}",
-                    p.grants.len(),
-                    check_quorum,
-                    mgrs,
-                    p.attempt_started.as_nanos(),
-                );
+                // Streamed into the detail buffer: this runs once per
+                // granted check, so no per-manager Strings or join vector.
+                use std::fmt::Write as _;
+                let mut detail =
+                    format!("mode=quorum confirms={} c={} mgrs=", p.grants.len(), check_quorum);
+                for (i, n) in p.grants.keys().enumerate() {
+                    if i > 0 {
+                        detail.push(';');
+                    }
+                    let _ = write!(detail, "{}", n.index());
+                }
+                let _ = write!(detail, " started={}", p.attempt_started.as_nanos());
                 if min_te > SimDuration::ZERO {
                     let limit = p.attempt_started.plus(min_te);
                     detail.push_str(&format!(" limit={}", limit.as_nanos()));
@@ -1450,7 +1456,7 @@ mod tests {
                     .query_timeout(SimDuration::from_millis(100))
                     .max_attempts(1)
                     .build(),
-                directory: ManagerDirectory::Static(ids),
+                directory: ManagerDirectory::Static(ids.into()),
                 application: Box::new(CountingApp::new()),
             }],
             None,
@@ -1632,10 +1638,9 @@ mod tests {
                     .query_timeout(SimDuration::from_millis(100))
                     .max_attempts(2)
                     .build(),
-                directory: ManagerDirectory::Static(vec![
-                    NodeId::from_index(0),
-                    NodeId::from_index(1),
-                ]),
+                directory: ManagerDirectory::Static(
+                    vec![NodeId::from_index(0), NodeId::from_index(1)].into(),
+                ),
                 application: Box::new(CountingApp::new()),
             }],
             None,

@@ -836,18 +836,19 @@ impl ManagerNode {
         self.wal_since_snapshot = recovered.records.len() as u64;
         self.stats.recovered_from_disk += 1;
         ctx.metric_incr("mgr.recovered_from_disk");
-        let slots: Vec<String> = self
-            .lww
-            .iter()
-            .map(|(&(app, user, right), &(id, _))| {
-                format!("{}:{}:{}:{}:{}", app.0, user.0, right, id.seq, id.origin.index())
-            })
-            .collect();
-        ctx.trace(format!(
-            "audit=recovered mode=disk replayed={replayed} torn={} slots={}",
+        use std::fmt::Write as _;
+        let mut note = format!(
+            "audit=recovered mode=disk replayed={replayed} torn={} slots=",
             recovered.torn_records,
-            slots.join(",")
-        ));
+        );
+        for (i, (&(app, user, right), &(id, _))) in self.lww.iter().enumerate() {
+            if i > 0 {
+                note.push(',');
+            }
+            let _ =
+                write!(note, "{}:{}:{}:{}:{}", app.0, user.0, right, id.seq, id.origin.index());
+        }
+        ctx.trace(note);
     }
 
     /// Replays local stable storage if there is any; returns whether the

@@ -544,8 +544,16 @@ impl ShardEntry {
 
 impl std::fmt::Display for ShardEntry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let mgrs: Vec<String> = self.managers.iter().map(|m| m.index().to_string()).collect();
-        write!(f, "{}[{}..={}]->{{{}}}", self.shard, self.lo, self.hi, mgrs.join(";"))
+        // Rendered straight into the formatter: no per-manager Strings
+        // or join vector on audit paths that print shard maps.
+        write!(f, "{}[{}..={}]->{{", self.shard, self.lo, self.hi)?;
+        for (i, m) in self.managers.iter().enumerate() {
+            if i > 0 {
+                f.write_str(";")?;
+            }
+            write!(f, "{}", m.index())?;
+        }
+        f.write_str("}")
     }
 }
 

@@ -35,11 +35,20 @@ use crate::types::AppId;
 /// agree on this byte-for-byte — the integrity invariant (I7) compares
 /// them as strings.
 pub(crate) fn fmt_mgrs(managers: &[NodeId]) -> String {
+    use std::fmt::Write as _;
     if managers.is_empty() {
         return "-".to_string();
     }
-    let items: Vec<String> = managers.iter().map(|m| m.index().to_string()).collect();
-    items.join(";")
+    // Streamed into one buffer: this renders on audit paths, so no
+    // intermediate per-manager Strings or join vector.
+    let mut out = String::with_capacity(managers.len() * 4);
+    for (i, m) in managers.iter().enumerate() {
+        if i > 0 {
+            out.push(';');
+        }
+        let _ = write!(out, "{}", m.index());
+    }
+    out
 }
 
 /// Upper bound on the TTL carried by a "no such app" answer: even a
@@ -288,10 +297,16 @@ impl DirectoryReplica {
 
     /// Verifies and stores a record if it is strictly newer than what is
     /// held; persists it and emits the audit note `kind` on acceptance.
+    ///
+    /// Takes the record by reference: verification and the
+    /// newer-than-held check run on the borrowed payload, so rejected,
+    /// stale, and duplicate publishes (the common case under eager push
+    /// plus anti-entropy) never copy the manager/shard vectors. The one
+    /// clone happens only on actual acceptance — once per config change.
     fn accept(
         &mut self,
         ctx: &mut Context<'_, ProtoMsg>,
-        record: NsRecord,
+        record: &NsRecord,
         kind: &'static str,
     ) -> bool {
         if !record.verify(&self.registry, self.writer) {
@@ -302,10 +317,10 @@ impl DirectoryReplica {
             ctx.metric_incr("ns.publish_stale");
             return false;
         }
-        self.persist(&record);
-        Self::note_record(ctx, kind, &record);
+        self.persist(record);
+        Self::note_record(ctx, kind, record);
         ctx.metric_incr("ns.records_accepted");
-        self.records.insert(record.app, record);
+        self.records.insert(record.app, record.clone());
         true
     }
 
@@ -442,7 +457,7 @@ impl Node for DirectoryReplica {
                 }
             }
             ProtoMsg::NsPublish { record } => {
-                let accepted = self.accept(ctx, (*record).clone(), "ns-publish");
+                let accepted = self.accept(ctx, &record, "ns-publish");
                 if accepted && !self.suppress_sync {
                     // Eager push: peers converge ahead of the next
                     // anti-entropy round (they re-verify on receipt).
@@ -477,7 +492,7 @@ impl Node for DirectoryReplica {
                     ctx.metric_incr("ns.sync_suppressed");
                     return;
                 }
-                for record in records {
+                for record in &records {
                     self.accept(ctx, record, "ns-apply");
                 }
             }

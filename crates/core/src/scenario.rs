@@ -458,7 +458,9 @@ impl Scenario {
             None
         };
 
-        // Hosts.
+        // Hosts. The static manager list is shared once across every
+        // host/app instead of cloned per host (O(hosts) at 10k+ hosts).
+        let shared_managers: Arc<[NodeId]> = manager_ids.clone().into();
         let mut host_ids = Vec::with_capacity(self.hosts);
         for i in 0..self.hosts {
             let directory = if !ns_replica_ids.is_empty() {
@@ -469,7 +471,7 @@ impl Scenario {
             } else {
                 match name_service {
                     Some(ns) => ManagerDirectory::NameService { ns },
-                    None => ManagerDirectory::Static(manager_ids.clone()),
+                    None => ManagerDirectory::Static(shared_managers.clone()),
                 }
             };
             let mut host = HostNode::new(
@@ -492,7 +494,10 @@ impl Scenario {
             host_ids.push(world.add_node(format!("host{i}"), Box::new(host), self.host_clock));
         }
 
-        // Users.
+        // Users. The host list is shared across all user agents — at
+        // scale, per-user clones were the largest setup allocation
+        // (O(hosts × users) NodeIds).
+        let shared_hosts: Arc<[NodeId]> = host_ids.clone().into();
         let mut users = Vec::with_capacity(self.users);
         for i in 1..=self.users {
             let user = UserId(i as u64);
@@ -501,7 +506,7 @@ impl Scenario {
             let agent = UserAgent::new(UserAgentConfig {
                 user,
                 app: user_app,
-                hosts: host_ids.clone(),
+                hosts: shared_hosts.clone(),
                 workload: self.workload,
                 payload: format!("request-from-{user}").into(),
                 secret: user_secrets[i - 1],

@@ -839,13 +839,13 @@ fn multiple_applications_are_independent() {
                 AppHost {
                     app: magazine,
                     policy: mag_policy,
-                    directory: ManagerDirectory::Static(manager_ids.to_vec()),
+                    directory: ManagerDirectory::Static(manager_ids.to_vec().into()),
                     application: Box::new(CountingApp::new()),
                 },
                 AppHost {
                     app: vault,
                     policy: vault_policy,
-                    directory: ManagerDirectory::Static(manager_ids.to_vec()),
+                    directory: ManagerDirectory::Static(manager_ids.to_vec().into()),
                     application: Box::new(CountingApp::new()),
                 },
             ],

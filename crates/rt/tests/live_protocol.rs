@@ -62,7 +62,7 @@ fn build_live(
             vec![AppHost {
                 app: AppId(0),
                 policy: policy.clone(),
-                directory: ManagerDirectory::Static(manager_ids.clone()),
+                directory: ManagerDirectory::Static(manager_ids.clone().into()),
                 application: Box::new(CountingApp::new()),
             }],
             None,
@@ -73,7 +73,7 @@ fn build_live(
         Box::new(UserAgent::new(UserAgentConfig {
             user: UserId(1),
             app: AppId(0),
-            hosts: vec![host],
+            hosts: vec![host].into(),
             workload: None,
             payload: "live".into(),
             secret: None,
@@ -220,7 +220,7 @@ fn live_full_cluster_restart_recovers_from_disk() {
             vec![AppHost {
                 app: AppId(0),
                 policy: policy.clone(),
-                directory: ManagerDirectory::Static(manager_ids.clone()),
+                directory: ManagerDirectory::Static(manager_ids.clone().into()),
                 application: Box::new(CountingApp::new()),
             }],
             None,
@@ -231,7 +231,7 @@ fn live_full_cluster_restart_recovers_from_disk() {
         Box::new(UserAgent::new(UserAgentConfig {
             user: UserId(1),
             app: AppId(0),
-            hosts: vec![host],
+            hosts: vec![host].into(),
             workload: None,
             payload: "live".into(),
             secret: None,
@@ -353,7 +353,7 @@ fn live_replicated_directory_quorum_reads_and_converges() {
         Box::new(UserAgent::new(UserAgentConfig {
             user: UserId(1),
             app: AppId(0),
-            hosts: vec![host],
+            hosts: vec![host].into(),
             workload: None,
             payload: "live".into(),
             secret: None,
@@ -463,7 +463,7 @@ fn live_kill_restart_mid_update_converges_from_wal() {
             vec![AppHost {
                 app: AppId(0),
                 policy: policy.clone(),
-                directory: ManagerDirectory::Static(manager_ids.clone()),
+                directory: ManagerDirectory::Static(manager_ids.clone().into()),
                 application: Box::new(CountingApp::new()),
             }],
             None,
@@ -474,7 +474,7 @@ fn live_kill_restart_mid_update_converges_from_wal() {
         Box::new(UserAgent::new(UserAgentConfig {
             user: UserId(1),
             app: AppId(0),
-            hosts: vec![host],
+            hosts: vec![host].into(),
             workload: None,
             payload: "live".into(),
             secret: None,

@@ -56,10 +56,12 @@ pub mod nemesis;
 pub mod net;
 pub mod node;
 pub mod obs;
+pub mod queue;
 pub mod rng;
 pub mod storage;
 pub mod time;
 pub mod trace;
+pub mod workload;
 pub mod world;
 
 /// Convenient glob-import surface for simulator users.
@@ -72,8 +74,12 @@ pub mod prelude {
     pub use crate::net::{NetModel, PerfectNet, Verdict, WanNet};
     pub use crate::node::{Context, Node, NodeId, TimerId};
     pub use crate::obs::{metrics_jsonl, prometheus_text, MetricsSink};
+    pub use crate::queue::Scheduler;
     pub use crate::rng::{SimRng, Zipf};
     pub use crate::storage::{DiskFaultModel, Recovered, SimStorage, Storage, StorageStats};
     pub use crate::time::{SimDuration, SimTime};
+    pub use crate::workload::{
+        arrivals, next_arrival, FlashCrowd, LoadCurve, RegionalTopology, ZipfPopularity,
+    };
     pub use crate::world::{Observer, ObserverId, World};
 }

@@ -1,0 +1,511 @@
+//! Seed-deterministic workload generators for planet-scale experiments.
+//!
+//! The paper evaluates its availability/security tradeoff analytically;
+//! regenerating those curves *empirically* needs realistic load: user
+//! popularity is heavy-tailed (a few principals issue most requests),
+//! request rates follow the sun (diurnal cycles), news events cause flash
+//! crowds, and WAN latency is dominated by which *regions* two hosts sit
+//! in. This module provides generators for each, all driven exclusively by
+//! [`SimRng`] so a fixed seed reproduces the exact same workload on any
+//! machine, any thread count, any run.
+//!
+//! * [`ZipfPopularity`] — heavy-tailed per-user request shares,
+//! * [`LoadCurve`] — diurnal rate modulation plus [`FlashCrowd`] spikes,
+//! * [`arrivals`]/[`next_arrival`] — a non-homogeneous Poisson process
+//!   over a [`LoadCurve`] (Lewis–Shedler thinning),
+//! * [`RegionalTopology`] — a region-based latency matrix implementing
+//!   [`DelayModel`], pluggable straight into
+//!   [`WanNet::builder`](crate::net::WanNet).
+
+use crate::net::delay::DelayModel;
+use crate::node::NodeId;
+use crate::rng::{SimRng, Zipf};
+use crate::time::{SimDuration, SimTime};
+
+/// Heavy-tailed user popularity: rank `r` (0-based) receives a share of
+/// the total load proportional to `1 / (r+1)^s`.
+///
+/// A thin wrapper over [`Zipf`] that adds rate bookkeeping: given an
+/// aggregate request rate, it splits the rate across users by Zipf mass.
+///
+/// # Examples
+///
+/// ```
+/// use wanacl_sim::workload::ZipfPopularity;
+///
+/// let pop = ZipfPopularity::new(100, 1.0);
+/// let rates = pop.rates(50.0); // 50 req/s across 100 users
+/// assert!(rates[0] > rates[99]);
+/// let total: f64 = rates.iter().sum();
+/// assert!((total - 50.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfPopularity {
+    zipf: Zipf,
+    users: usize,
+}
+
+impl ZipfPopularity {
+    /// Creates a popularity distribution over `users` ranks with Zipf
+    /// exponent `s` (0 = uniform; 1 ≈ classic web-request skew).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `users` is zero or `s` is negative/NaN.
+    pub fn new(users: usize, s: f64) -> Self {
+        ZipfPopularity { zipf: Zipf::new(users, s), users }
+    }
+
+    /// Number of users covered.
+    pub fn users(&self) -> usize {
+        self.users
+    }
+
+    /// The share of total load belonging to the user at `rank` (0-based).
+    pub fn share(&self, rank: usize) -> f64 {
+        self.zipf.mass(rank)
+    }
+
+    /// Splits `total_rate` (requests/sec) across all users by popularity.
+    pub fn rates(&self, total_rate: f64) -> Vec<f64> {
+        (0..self.users).map(|r| total_rate * self.zipf.mass(r)).collect()
+    }
+
+    /// Draws the rank of the user issuing the next request.
+    pub fn sample_user(&self, rng: &mut SimRng) -> usize {
+        self.zipf.sample(rng)
+    }
+}
+
+/// A flash crowd: between `start` and `start + duration` the load curve
+/// is multiplied by `multiplier` (> 1 spikes, < 1 models a brown-out).
+#[derive(Debug, Clone, Copy)]
+pub struct FlashCrowd {
+    /// When the crowd arrives.
+    pub start: SimTime,
+    /// How long it stays.
+    pub duration: SimDuration,
+    /// Rate multiplier while active.
+    pub multiplier: f64,
+}
+
+impl FlashCrowd {
+    /// Whether the crowd is active at `t`.
+    pub fn active_at(&self, t: SimTime) -> bool {
+        t >= self.start && t < self.start + self.duration
+    }
+}
+
+/// A time-varying aggregate request rate: a base rate, optionally
+/// modulated by a sinusoidal diurnal cycle, times any active
+/// [`FlashCrowd`] multipliers.
+///
+/// `rate(t) = base · (1 + amplitude · sin(2π·(t − peak_offset + P/4)/P)) · Π crowds(t)`
+///
+/// With the default `peak_offset = 0` the diurnal peak lands at `t = P/4`
+/// (mid-morning of a day starting at midnight) and the trough at `3P/4`.
+///
+/// # Examples
+///
+/// ```
+/// use wanacl_sim::prelude::*;
+/// use wanacl_sim::workload::LoadCurve;
+///
+/// let curve = LoadCurve::constant(10.0)
+///     .diurnal(0.5, SimDuration::from_secs(86_400))
+///     .flash_crowd(SimTime::from_secs(3_600), SimDuration::from_secs(600), 4.0);
+/// assert!(curve.rate_at(SimTime::from_secs(3_700)) > 10.0);
+/// assert!(curve.peak_rate() >= curve.rate_at(SimTime::from_secs(3_700)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoadCurve {
+    base: f64,
+    amplitude: f64,
+    period: SimDuration,
+    peak_offset: SimDuration,
+    crowds: Vec<FlashCrowd>,
+}
+
+impl LoadCurve {
+    /// A flat curve of `rate` requests/sec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is negative or not finite.
+    pub fn constant(rate: f64) -> Self {
+        assert!(rate >= 0.0 && rate.is_finite(), "rate must be non-negative, got {rate}");
+        LoadCurve {
+            base: rate,
+            amplitude: 0.0,
+            period: SimDuration::from_secs(86_400),
+            peak_offset: SimDuration::ZERO,
+            crowds: Vec::new(),
+        }
+    }
+
+    /// Adds a sinusoidal diurnal cycle: `amplitude` in `[0, 1]` is the
+    /// relative swing (0.5 ⇒ rate varies between 50% and 150% of base)
+    /// and `period` is the cycle length (a simulated "day").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amplitude` is outside `[0, 1]` or `period` is zero.
+    pub fn diurnal(mut self, amplitude: f64, period: SimDuration) -> Self {
+        assert!((0.0..=1.0).contains(&amplitude), "amplitude must be in [0,1], got {amplitude}");
+        assert!(period > SimDuration::ZERO, "period must be positive");
+        self.amplitude = amplitude;
+        self.period = period;
+        self
+    }
+
+    /// Shifts the diurnal peak to land at `offset + period/4`.
+    pub fn peak_offset(mut self, offset: SimDuration) -> Self {
+        self.peak_offset = offset;
+        self
+    }
+
+    /// Adds a flash crowd.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multiplier` is negative or not finite.
+    pub fn flash_crowd(mut self, start: SimTime, duration: SimDuration, multiplier: f64) -> Self {
+        assert!(
+            multiplier >= 0.0 && multiplier.is_finite(),
+            "multiplier must be non-negative, got {multiplier}"
+        );
+        self.crowds.push(FlashCrowd { start, duration, multiplier });
+        self
+    }
+
+    /// The instantaneous aggregate rate at `t`, in requests/sec.
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        let mut rate = self.base;
+        if self.amplitude > 0.0 {
+            let phase = t.as_nanos().wrapping_sub(self.peak_offset.as_nanos()) as f64
+                / self.period.as_nanos() as f64;
+            rate *= 1.0 + self.amplitude * (2.0 * std::f64::consts::PI * phase).sin();
+        }
+        for crowd in &self.crowds {
+            if crowd.active_at(t) {
+                rate *= crowd.multiplier;
+            }
+        }
+        rate
+    }
+
+    /// An upper bound on `rate_at` over all time — the thinning envelope
+    /// for [`next_arrival`]. Conservative: assumes every crowd with a
+    /// multiplier above 1 could overlap the diurnal peak.
+    pub fn peak_rate(&self) -> f64 {
+        let mut peak = self.base * (1.0 + self.amplitude);
+        for crowd in &self.crowds {
+            if crowd.multiplier > 1.0 {
+                peak *= crowd.multiplier;
+            }
+        }
+        peak
+    }
+}
+
+/// Draws the next arrival of a non-homogeneous Poisson process with
+/// instantaneous rate `curve.rate_at(t)`, strictly after `after`.
+///
+/// Lewis–Shedler thinning: candidate gaps are drawn from the homogeneous
+/// envelope `peak_rate()` and accepted with probability
+/// `rate_at(t) / peak_rate()`. Fully deterministic in `rng`.
+///
+/// Returns `None` if the curve's peak rate is zero (no arrivals ever).
+pub fn next_arrival(curve: &LoadCurve, after: SimTime, rng: &mut SimRng) -> Option<SimTime> {
+    let envelope = curve.peak_rate();
+    if envelope <= 0.0 {
+        return None;
+    }
+    let mut t = after;
+    loop {
+        let gap = rng.exponential(1.0 / envelope);
+        t = t.checked_add(SimDuration::from_secs_f64(gap))?;
+        if rng.unit() < curve.rate_at(t) / envelope {
+            return Some(t);
+        }
+    }
+}
+
+/// All arrivals of the process in `[after, until)`, in order.
+///
+/// Convenience wrapper over [`next_arrival`] for tests and batch
+/// generation; long-running drivers should call [`next_arrival`] lazily.
+pub fn arrivals(
+    curve: &LoadCurve,
+    after: SimTime,
+    until: SimTime,
+    rng: &mut SimRng,
+) -> Vec<SimTime> {
+    let mut out = Vec::new();
+    let mut t = after;
+    while let Some(next) = next_arrival(curve, t, rng) {
+        if next >= until {
+            break;
+        }
+        out.push(next);
+        t = next;
+    }
+    out
+}
+
+/// A WAN organized as geographic regions with a one-way latency matrix.
+///
+/// Nodes are assigned to regions round-robin by [`NodeId`] index (override
+/// with [`RegionalTopology::assign`]); each message samples
+/// `base[from_region][to_region]` plus uniform jitter of up to
+/// `jitter` × base. Implements [`DelayModel`], so it plugs into
+/// [`WanNet::builder().delay_model(...)`](crate::net::WanNetBuilder::delay_model).
+///
+/// # Examples
+///
+/// ```
+/// use wanacl_sim::prelude::*;
+/// use wanacl_sim::workload::RegionalTopology;
+///
+/// let net = WanNet::builder()
+///     .delay_model(Box::new(RegionalTopology::planet()))
+///     .build();
+/// # let _ = net;
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegionalTopology {
+    /// `base[f][t]` = one-way base latency from region `f` to region `t`.
+    base: Vec<Vec<SimDuration>>,
+    /// Relative uniform jitter (0.2 ⇒ up to +20% of base).
+    jitter: f64,
+    /// Explicit node→region assignments; nodes past the end fall back to
+    /// round-robin by index.
+    assign: Vec<u16>,
+}
+
+impl RegionalTopology {
+    /// Builds a topology from a square one-way latency matrix with 20%
+    /// relative jitter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is empty or not square.
+    pub fn new(base: Vec<Vec<SimDuration>>) -> Self {
+        assert!(!base.is_empty(), "need at least one region");
+        for row in &base {
+            assert_eq!(row.len(), base.len(), "latency matrix must be square");
+        }
+        RegionalTopology { base, jitter: 0.2, assign: Vec::new() }
+    }
+
+    /// A canonical five-region planet (US-East, US-West, Europe, Asia,
+    /// Oceania) with realistic one-way inter-region latencies (35–140 ms)
+    /// and 2 ms intra-region latency.
+    pub fn planet() -> Self {
+        const MS: &[[u64; 5]; 5] = &[
+            // us-east us-west europe  asia  oceania
+            [2, 35, 45, 110, 100], // us-east
+            [35, 2, 70, 60, 80],   // us-west
+            [45, 70, 2, 90, 140],  // europe
+            [110, 60, 90, 2, 60],  // asia
+            [100, 80, 140, 60, 2], // oceania
+        ];
+        Self::new(
+            MS.iter()
+                .map(|row| row.iter().map(|&ms| SimDuration::from_millis(ms)).collect())
+                .collect(),
+        )
+    }
+
+    /// Sets the relative uniform jitter added on top of the base latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jitter` is negative or not finite.
+    pub fn jitter(mut self, jitter: f64) -> Self {
+        assert!(jitter >= 0.0 && jitter.is_finite(), "jitter must be non-negative");
+        self.jitter = jitter;
+        self
+    }
+
+    /// Pins `node` to `region` instead of the round-robin default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region` is out of range.
+    pub fn assign(mut self, node: NodeId, region: usize) -> Self {
+        assert!(region < self.base.len(), "region {region} out of range");
+        let idx = node.index();
+        if idx >= self.assign.len() {
+            // Fill the gap with the round-robin default.
+            let regions = self.base.len();
+            let start = self.assign.len();
+            self.assign.extend((start..=idx).map(|i| (i % regions) as u16));
+        }
+        self.assign[idx] = region as u16;
+        self
+    }
+
+    /// Number of regions.
+    pub fn regions(&self) -> usize {
+        self.base.len()
+    }
+
+    /// The region a node belongs to.
+    pub fn region_of(&self, node: NodeId) -> usize {
+        match self.assign.get(node.index()) {
+            Some(&r) => r as usize,
+            None => node.index() % self.base.len(),
+        }
+    }
+
+    /// The base (jitter-free) one-way latency between two nodes.
+    pub fn base_latency(&self, from: NodeId, to: NodeId) -> SimDuration {
+        self.base[self.region_of(from)][self.region_of(to)]
+    }
+}
+
+impl DelayModel for RegionalTopology {
+    fn sample(&mut self, from: NodeId, to: NodeId, rng: &mut SimRng) -> SimDuration {
+        let base = self.base_latency(from, to);
+        if self.jitter == 0.0 {
+            return base;
+        }
+        let extra = rng.uniform(0.0, self.jitter) * base.as_nanos() as f64;
+        base + SimDuration::from_nanos(extra as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_popularity_shares_sum_to_one() {
+        let pop = ZipfPopularity::new(1_000, 1.1);
+        let total: f64 = (0..pop.users()).map(|r| pop.share(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Rank 0 dominates under s > 0.
+        assert!(pop.share(0) > 10.0 * pop.share(999));
+    }
+
+    #[test]
+    fn zipf_sampling_is_seed_deterministic() {
+        let pop = ZipfPopularity::new(500, 1.0);
+        let draw = |seed| {
+            let mut rng = SimRng::seed_from(seed);
+            (0..100).map(|_| pop.sample_user(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    #[test]
+    fn diurnal_curve_peaks_and_troughs() {
+        let day = SimDuration::from_secs(86_400);
+        let curve = LoadCurve::constant(100.0).diurnal(0.5, day);
+        let peak = curve.rate_at(SimTime::from_secs(86_400 / 4));
+        let trough = curve.rate_at(SimTime::from_secs(3 * 86_400 / 4));
+        assert!((peak - 150.0).abs() < 1e-6, "peak {peak}");
+        assert!((trough - 50.0).abs() < 1e-6, "trough {trough}");
+        // Midnight and noon sit at the base rate.
+        assert!((curve.rate_at(SimTime::ZERO) - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flash_crowd_multiplies_rate_only_inside_window() {
+        let curve = LoadCurve::constant(10.0).flash_crowd(
+            SimTime::from_secs(100),
+            SimDuration::from_secs(50),
+            3.0,
+        );
+        assert!((curve.rate_at(SimTime::from_secs(99)) - 10.0).abs() < 1e-9);
+        assert!((curve.rate_at(SimTime::from_secs(120)) - 30.0).abs() < 1e-9);
+        assert!((curve.rate_at(SimTime::from_secs(151)) - 10.0).abs() < 1e-9);
+        assert!((curve.peak_rate() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arrivals_are_seed_deterministic_and_ordered() {
+        let curve = LoadCurve::constant(50.0)
+            .diurnal(0.8, SimDuration::from_secs(600))
+            .flash_crowd(SimTime::from_secs(100), SimDuration::from_secs(30), 5.0);
+        let run = |seed| {
+            let mut rng = SimRng::seed_from(seed);
+            arrivals(&curve, SimTime::ZERO, SimTime::from_secs(300), &mut rng)
+        };
+        let a = run(42);
+        assert_eq!(a, run(42), "same seed must reproduce the sample sequence");
+        assert_ne!(a, run(43));
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "arrivals must be ordered");
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn thinning_tracks_the_rate_envelope() {
+        // Over many arrivals the empirical rate during the flash crowd
+        // should be roughly `multiplier` times the rate outside it.
+        let curve = LoadCurve::constant(20.0).flash_crowd(
+            SimTime::from_secs(1_000),
+            SimDuration::from_secs(1_000),
+            4.0,
+        );
+        let mut rng = SimRng::seed_from(9);
+        let all = arrivals(&curve, SimTime::ZERO, SimTime::from_secs(2_000), &mut rng);
+        let inside =
+            all.iter().filter(|t| **t >= SimTime::from_secs(1_000)).count() as f64;
+        let outside = (all.len() as f64) - inside;
+        let ratio = inside / outside;
+        assert!((2.5..6.0).contains(&ratio), "crowd ratio {ratio} should be near 4");
+    }
+
+    #[test]
+    fn zero_rate_curve_yields_no_arrivals() {
+        let curve = LoadCurve::constant(0.0);
+        let mut rng = SimRng::seed_from(1);
+        assert!(next_arrival(&curve, SimTime::ZERO, &mut rng).is_none());
+        assert!(arrivals(&curve, SimTime::ZERO, SimTime::from_secs(10), &mut rng).is_empty());
+    }
+
+    #[test]
+    fn regional_topology_latency_and_assignment() {
+        let topo = RegionalTopology::planet();
+        assert_eq!(topo.regions(), 5);
+        // Round-robin default: node 0 → region 0, node 6 → region 1.
+        assert_eq!(topo.region_of(NodeId::from_index(0)), 0);
+        assert_eq!(topo.region_of(NodeId::from_index(6)), 1);
+        let topo = topo.assign(NodeId::from_index(6), 3);
+        assert_eq!(topo.region_of(NodeId::from_index(6)), 3);
+        // Matrix lookup: us-east → asia is 110 ms.
+        assert_eq!(
+            topo.base_latency(NodeId::from_index(0), NodeId::from_index(6)),
+            SimDuration::from_millis(110)
+        );
+    }
+
+    #[test]
+    fn regional_delay_sampling_is_deterministic_and_bounded() {
+        let run = |seed| {
+            let mut topo = RegionalTopology::planet().jitter(0.25);
+            let mut rng = SimRng::seed_from(seed);
+            (0..50)
+                .map(|i| {
+                    topo.sample(NodeId::from_index(i), NodeId::from_index(i + 1), &mut rng)
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = run(3);
+        assert_eq!(a, run(3));
+        assert_ne!(a, run(4));
+        let mut topo = RegionalTopology::planet().jitter(0.25);
+        let mut rng = SimRng::seed_from(11);
+        for i in 0..20 {
+            let from = NodeId::from_index(i);
+            let to = NodeId::from_index(i + 7);
+            let base = topo.base_latency(from, to);
+            let d = topo.sample(from, to, &mut rng);
+            assert!(d >= base, "jitter is additive");
+            assert!(d.as_nanos() as f64 <= base.as_nanos() as f64 * 1.2501);
+        }
+    }
+}

@@ -4,14 +4,23 @@
 //! RNG stream), a network model, an event queue ordered by real simulation
 //! time, and run-level metrics/trace. Everything is deterministic in the
 //! seed passed to [`World::new`].
-
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+//!
+//! # Layout
+//!
+//! Node state is stored **struct-of-arrays**: names, boxed protocol
+//! state machines, clocks, liveness metadata, and RNG streams live in
+//! parallel vectors indexed by the dense [`NodeId`]. Dispatch touches only
+//! the columns it needs (clock + rng + node for a delivery; a 8-byte meta
+//! word for an up-check), which keeps the hot loop's working set small at
+//! 10k+ nodes. Pending events live in a bucketed calendar queue (see
+//! [`crate::queue`]); timer cancellation is a dense bitset over the
+//! monotonically-assigned timer ids rather than a hash set.
 
 use crate::clock::{ClockSpec, DriftClock, LocalTime};
 use crate::metrics::Metrics;
 use crate::net::{DropReason, NetModel, PerfectNet, Verdict};
 use crate::node::{Context, Effect, Node, NodeId};
+use crate::queue::{EventQueue, Scheduler};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TraceEvent};
@@ -25,47 +34,46 @@ enum EventKind<M> {
     Recover { node: NodeId },
 }
 
-#[derive(Debug)]
-struct QueueItem<M> {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind<M>,
-}
-
-impl<M> PartialEq for QueueItem<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for QueueItem<M> {}
-impl<M> PartialOrd for QueueItem<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for QueueItem<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Time first, then insertion order: FIFO among simultaneous events.
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
-struct Slot<M> {
-    name: String,
-    node: Box<dyn Node<Msg = M>>,
-    clock: DriftClock,
+/// Per-node liveness metadata, kept in its own dense column so up-checks
+/// and incarnation guards never touch the boxed node state.
+#[derive(Debug, Clone, Copy)]
+struct NodeMeta {
     up: bool,
     incarnation: u32,
-    rng: SimRng,
 }
 
-impl<M> std::fmt::Debug for Slot<M> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Slot")
-            .field("name", &self.name)
-            .field("up", &self.up)
-            .field("incarnation", &self.incarnation)
-            .finish_non_exhaustive()
+/// Dense bitset over timer ids recording pending cancellations.
+///
+/// Timer ids are assigned from a monotonically increasing counter, so the
+/// id space is contiguous and a bit per id beats a `HashSet<u64>`: no
+/// hashing on the timer hot path and one cache line covers 512 timers.
+/// The set only grows when a cancellation actually happens.
+#[derive(Debug, Default)]
+struct CancelSet {
+    words: Vec<u64>,
+}
+
+impl CancelSet {
+    fn insert(&mut self, id: u64) {
+        let w = (id >> 6) as usize;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1u64 << (id & 63);
+    }
+
+    /// Clears and reports the bit — `true` iff the timer was cancelled.
+    fn take(&mut self, id: u64) -> bool {
+        let w = (id >> 6) as usize;
+        match self.words.get_mut(w) {
+            Some(word) => {
+                let bit = 1u64 << (id & 63);
+                let was = *word & bit != 0;
+                *word &= !bit;
+                was
+            }
+            None => false,
+        }
     }
 }
 
@@ -137,14 +145,22 @@ pub struct ObserverId(usize);
 /// ```
 pub struct World<M> {
     now: SimTime,
-    queue: BinaryHeap<Reverse<QueueItem<M>>>,
+    queue: EventQueue<EventKind<M>>,
     seq: u64,
-    slots: Vec<Slot<M>>,
+    // Node arena, struct-of-arrays: parallel columns indexed by NodeId.
+    names: Vec<String>,
+    nodes: Vec<Box<dyn Node<Msg = M>>>,
+    clocks: Vec<DriftClock>,
+    meta: Vec<NodeMeta>,
+    node_rngs: Vec<SimRng>,
     net: Box<dyn NetModel>,
     net_rng: SimRng,
     root_rng: SimRng,
-    cancelled_timers: HashSet<u64>,
+    cancelled_timers: CancelSet,
     next_timer: u64,
+    /// Reusable buffer for node effects; handlers never re-enter, so one
+    /// scratch vector serves every dispatch without reallocating.
+    effects_scratch: Vec<Effect<M>>,
     metrics: Metrics,
     trace: Trace,
     observers: Vec<Box<dyn Observer>>,
@@ -157,27 +173,41 @@ impl<M> std::fmt::Debug for World<M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("World")
             .field("now", &self.now)
-            .field("nodes", &self.slots.len())
+            .field("nodes", &self.nodes.len())
             .field("queued", &self.queue.len())
             .finish_non_exhaustive()
     }
 }
 
 impl<M: Clone + std::fmt::Debug + 'static> World<M> {
-    /// Creates an empty world with a perfect 50 ms network.
+    /// Creates an empty world with a perfect 50 ms network and the
+    /// default calendar-queue scheduler.
     pub fn new(seed: u64) -> Self {
+        Self::with_scheduler(seed, Scheduler::default())
+    }
+
+    /// Creates an empty world using an explicit event [`Scheduler`].
+    ///
+    /// Both schedulers produce identical event orderings; the naive heap
+    /// exists as a benchmarking control and parity-test oracle.
+    pub fn with_scheduler(seed: u64, scheduler: Scheduler) -> Self {
         let mut root_rng = SimRng::seed_from(seed);
         let net_rng = root_rng.fork("net");
         World {
             now: SimTime::ZERO,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(scheduler),
             seq: 0,
-            slots: Vec::new(),
+            names: Vec::new(),
+            nodes: Vec::new(),
+            clocks: Vec::new(),
+            meta: Vec::new(),
+            node_rngs: Vec::new(),
             net: Box::new(PerfectNet::new(SimDuration::from_millis(50))),
             net_rng,
             root_rng,
-            cancelled_timers: HashSet::new(),
+            cancelled_timers: CancelSet::default(),
             next_timer: 0,
+            effects_scratch: Vec::new(),
             metrics: Metrics::new(),
             trace: Trace::new(),
             observers: Vec::new(),
@@ -262,10 +292,14 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
         clock: ClockSpec,
     ) -> NodeId {
         let name = name.into();
-        let mut rng = self.root_rng.fork(&format!("node:{}:{}", self.slots.len(), name));
+        let mut rng = self.root_rng.fork(&format!("node:{}:{}", self.nodes.len(), name));
         let clock = clock.build(&mut rng);
-        let id = NodeId(self.slots.len() as u32);
-        self.slots.push(Slot { name, node, clock, up: true, incarnation: 0, rng });
+        let id = NodeId(self.nodes.len() as u32);
+        self.names.push(name);
+        self.nodes.push(node);
+        self.clocks.push(clock);
+        self.meta.push(NodeMeta { up: true, incarnation: 0 });
+        self.node_rngs.push(rng);
         if self.started {
             self.start_node(id);
         }
@@ -279,7 +313,7 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
 
     /// Number of nodes in the world.
     pub fn node_count(&self) -> usize {
-        self.slots.len()
+        self.nodes.len()
     }
 
     /// The name a node was registered with.
@@ -288,22 +322,22 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
     ///
     /// Panics if `id` is not a node of this world.
     pub fn node_name(&self, id: NodeId) -> &str {
-        &self.slots[id.index()].name
+        &self.names[id.index()]
     }
 
     /// Whether the node is currently up.
     pub fn is_up(&self, id: NodeId) -> bool {
-        self.slots[id.index()].up
+        self.meta[id.index()].up
     }
 
     /// The node's clock.
     pub fn clock(&self, id: NodeId) -> DriftClock {
-        self.slots[id.index()].clock
+        self.clocks[id.index()]
     }
 
     /// The node's local-clock reading at the current real time.
     pub fn local_time(&self, id: NodeId) -> LocalTime {
-        self.slots[id.index()].clock.read(self.now)
+        self.clocks[id.index()].read(self.now)
     }
 
     /// Immutable access to a node downcast to its concrete type.
@@ -312,8 +346,7 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
     ///
     /// Panics if the node is not a `T`.
     pub fn node_as<T: 'static>(&self, id: NodeId) -> &T {
-        self.slots[id.index()]
-            .node
+        self.nodes[id.index()]
             .as_any()
             .downcast_ref::<T>()
             .unwrap_or_else(|| panic!("node {id} is not a {}", std::any::type_name::<T>()))
@@ -325,8 +358,7 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
     ///
     /// Panics if the node is not a `T`.
     pub fn node_as_mut<T: 'static>(&mut self, id: NodeId) -> &mut T {
-        self.slots[id.index()]
-            .node
+        self.nodes[id.index()]
             .as_any_mut()
             .downcast_mut::<T>()
             .unwrap_or_else(|| panic!("node {id} is not a {}", std::any::type_name::<T>()))
@@ -384,11 +416,11 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
     pub fn run_until(&mut self, deadline: SimTime) {
         self.ensure_started();
         loop {
-            match self.queue.peek() {
-                Some(Reverse(item)) if item.at <= deadline => {
-                    let Reverse(item) = self.queue.pop().expect("peeked");
-                    self.now = item.at;
-                    self.dispatch(item.kind);
+            match self.queue.next_time() {
+                Some(at) if at <= deadline => {
+                    let (at, kind) = self.queue.pop().expect("peeked");
+                    self.now = at;
+                    self.dispatch(kind);
                 }
                 _ => break,
             }
@@ -411,13 +443,13 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
     pub fn run_until_idle(&mut self, deadline: SimTime) -> bool {
         self.ensure_started();
         loop {
-            match self.queue.peek() {
+            match self.queue.next_time() {
                 None => return true,
-                Some(Reverse(item)) if item.at > deadline => return false,
+                Some(at) if at > deadline => return false,
                 Some(_) => {
-                    let Reverse(item) = self.queue.pop().expect("peeked");
-                    self.now = item.at;
-                    self.dispatch(item.kind);
+                    let (at, kind) = self.queue.pop().expect("peeked");
+                    self.now = at;
+                    self.dispatch(kind);
                 }
             }
         }
@@ -428,9 +460,9 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
     pub fn step(&mut self) -> bool {
         self.ensure_started();
         match self.queue.pop() {
-            Some(Reverse(item)) => {
-                self.now = item.at;
-                self.dispatch(item.kind);
+            Some((at, kind)) => {
+                self.now = at;
+                self.dispatch(kind);
                 true
             }
             None => false,
@@ -442,40 +474,56 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
             return;
         }
         self.started = true;
-        for i in 0..self.slots.len() {
+        for i in 0..self.nodes.len() {
             self.start_node(NodeId(i as u32));
         }
     }
 
-    fn start_node(&mut self, id: NodeId) {
-        let mut effects = Vec::new();
+    /// Runs a node handler with a fresh [`Context`] over the scratch
+    /// effects buffer, then applies whatever the handler emitted.
+    ///
+    /// `call` receives the node and its context. The scratch buffer is
+    /// reusable because effect application never re-enters a handler.
+    fn with_node_ctx(
+        &mut self,
+        id: NodeId,
+        call: impl FnOnce(&mut dyn Node<Msg = M>, &mut Context<'_, M>),
+    ) {
+        let mut effects = std::mem::take(&mut self.effects_scratch);
+        debug_assert!(effects.is_empty());
         {
-            let slot = &mut self.slots[id.index()];
+            let idx = id.index();
             let mut ctx = Context {
                 id,
-                local_now: slot.clock.read(self.now),
+                local_now: self.clocks[idx].read(self.now),
                 effects: &mut effects,
-                rng: &mut slot.rng,
+                rng: &mut self.node_rngs[idx],
                 next_timer: &mut self.next_timer,
             };
-            slot.node.on_start(&mut ctx);
+            call(self.nodes[idx].as_mut(), &mut ctx);
         }
-        self.apply_effects(id, effects);
+        self.apply_effects(id, &mut effects);
+        effects.clear();
+        self.effects_scratch = effects;
+    }
+
+    fn start_node(&mut self, id: NodeId) {
+        self.with_node_ctx(id, |node, ctx| node.on_start(ctx));
     }
 
     fn push(&mut self, at: SimTime, kind: EventKind<M>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(QueueItem { at, seq, kind }));
+        self.queue.push(at, seq, kind);
     }
 
     fn dispatch(&mut self, kind: EventKind<M>) {
         match kind {
             EventKind::Deliver { from, to, msg } => {
-                if to.index() >= self.slots.len() {
+                if to.index() >= self.nodes.len() {
                     return;
                 }
-                if !self.slots[to.index()].up {
+                if !self.meta[to.index()].up {
                     self.metrics.incr("net.drop.destination_down");
                     self.emit(TraceEvent::Dropped {
                         from,
@@ -488,84 +536,44 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
                 if self.wants_message_events() {
                     self.emit(TraceEvent::Delivered { from, to, desc: format!("{msg:?}") });
                 }
-                let mut effects = Vec::new();
-                {
-                    let slot = &mut self.slots[to.index()];
-                    let mut ctx = Context {
-                        id: to,
-                        local_now: slot.clock.read(self.now),
-                        effects: &mut effects,
-                        rng: &mut slot.rng,
-                        next_timer: &mut self.next_timer,
-                    };
-                    slot.node.on_message(&mut ctx, from, msg);
-                }
-                self.apply_effects(to, effects);
+                self.with_node_ctx(to, |node, ctx| node.on_message(ctx, from, msg));
             }
             EventKind::Timer { node, id, tag, incarnation } => {
-                if self.cancelled_timers.remove(&id) {
+                if self.cancelled_timers.take(id) {
                     return;
                 }
-                let slot_ok = {
-                    let slot = &self.slots[node.index()];
-                    slot.up && slot.incarnation == incarnation
-                };
-                if !slot_ok {
+                let meta = self.meta[node.index()];
+                if !meta.up || meta.incarnation != incarnation {
                     return;
                 }
                 self.emit(TraceEvent::TimerFired { node, tag });
-                let mut effects = Vec::new();
-                {
-                    let slot = &mut self.slots[node.index()];
-                    let mut ctx = Context {
-                        id: node,
-                        local_now: slot.clock.read(self.now),
-                        effects: &mut effects,
-                        rng: &mut slot.rng,
-                        next_timer: &mut self.next_timer,
-                    };
-                    slot.node.on_timer(&mut ctx, tag);
-                }
-                self.apply_effects(node, effects);
+                self.with_node_ctx(node, |n, ctx| n.on_timer(ctx, tag));
             }
             EventKind::Crash { node } => {
-                let slot = &mut self.slots[node.index()];
-                if !slot.up {
+                let meta = &mut self.meta[node.index()];
+                if !meta.up {
                     return;
                 }
-                slot.up = false;
-                slot.incarnation += 1;
-                slot.node.on_crash();
+                meta.up = false;
+                meta.incarnation += 1;
+                self.nodes[node.index()].on_crash();
                 self.metrics.incr("node.crashes");
                 self.emit(TraceEvent::Crashed { node });
             }
             EventKind::Recover { node } => {
-                let up = self.slots[node.index()].up;
-                if up {
+                if self.meta[node.index()].up {
                     return;
                 }
-                self.slots[node.index()].up = true;
+                self.meta[node.index()].up = true;
                 self.metrics.incr("node.recoveries");
                 self.emit(TraceEvent::Recovered { node });
-                let mut effects = Vec::new();
-                {
-                    let slot = &mut self.slots[node.index()];
-                    let mut ctx = Context {
-                        id: node,
-                        local_now: slot.clock.read(self.now),
-                        effects: &mut effects,
-                        rng: &mut slot.rng,
-                        next_timer: &mut self.next_timer,
-                    };
-                    slot.node.on_recover(&mut ctx);
-                }
-                self.apply_effects(node, effects);
+                self.with_node_ctx(node, |n, ctx| n.on_recover(ctx));
             }
         }
     }
 
-    fn apply_effects(&mut self, origin: NodeId, effects: Vec<Effect<M>>) {
-        for effect in effects {
+    fn apply_effects(&mut self, origin: NodeId, effects: &mut Vec<Effect<M>>) {
+        for effect in effects.drain(..) {
             match effect {
                 Effect::Send { to, msg } => {
                     self.metrics.incr("net.sent");
@@ -601,15 +609,14 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
                     }
                 }
                 Effect::SetTimer { id, local_delay, tag } => {
-                    let slot = &self.slots[origin.index()];
-                    let real_delay = slot.clock.real_duration_for(local_delay);
+                    let real_delay = self.clocks[origin.index()].real_duration_for(local_delay);
                     self.push(
                         self.now + real_delay,
                         EventKind::Timer {
                             node: origin,
                             id: id.0,
                             tag,
-                            incarnation: slot.incarnation,
+                            incarnation: self.meta[origin.index()].incarnation,
                         },
                     );
                 }

@@ -45,6 +45,7 @@ fn main() {
         Some("nemesis") => nemesis(&flags),
         Some("chaos") => chaos(&flags),
         Some("obs") => obs(&flags),
+        Some("scale") => scale(&flags),
         _ => {
             eprintln!(
                 "usage: wanacl <command> [--flag value ...]\n\n\
@@ -113,7 +114,18 @@ fn main() {
                  \x20                                       metrics: lookup latency, quorum\n\
                  \x20                                       rounds, degraded/stale counters)\n\
                  \x20                  --format prometheus|jsonl (default prometheus)\n\
-                 \x20                  --out PATH (default stdout)"
+                 \x20                  --out PATH (default stdout)\n\
+                 \x20 scale     run a planet-scale probe world and compare measured\n\
+                 \x20           PA/PS curves against the closed-form model\n\
+                 \x20           flags: --hosts N (default 10000) --managers M\n\
+                 \x20                  --check-quorum C --pi P --epoch-secs S\n\
+                 \x20                  --horizon-secs T --checks-per-host X\n\
+                 \x20                  --diurnal A --zipf-users N --zipf-s S\n\
+                 \x20                  --flash-at SECS --flash-secs D --flash-mult X\n\
+                 \x20                  --revoke-ops N --timeout-ms MS --seed S\n\
+                 \x20                  --scheduler calendar|heap (bench control)\n\
+                 \x20                  --metrics-out PATH   write the scale.* metrics\n\
+                 \x20                                       snapshot as JSONL"
             );
             std::process::exit(2);
         }
@@ -217,6 +229,138 @@ fn tradeoff(flags: &HashMap<String, String>) {
 fn tables(_flags: &HashMap<String, String>) {
     println!("{}", wanacl::analysis::tables::render_table1(10, &[0.1, 0.2]));
     println!("{}", wanacl::analysis::tables::render_table2(&[0.1, 0.2]));
+}
+
+/// Runs one planet-scale probe world (`empirical::run_empirical`) and
+/// prints the measured PA/PS curves against the closed-form model, plus
+/// the per-operation check-overhead numbers. This is the interactive
+/// face of `repro_scale`'s empirical section: one configurable world
+/// instead of the paper's full table sweep.
+fn scale(flags: &HashMap<String, String>) {
+    use wanacl::analysis::empirical::{run_empirical, FlashSpec, ScaleConfig};
+
+    let hosts: usize = get(flags, "hosts", 10_000);
+    let managers: usize = get(flags, "managers", 10);
+    let check_quorum: usize = get(flags, "check-quorum", (managers / 2).max(1));
+    let pi: f64 = get(flags, "pi", 0.1);
+    let epoch_secs: u64 = get(flags, "epoch-secs", 10);
+    let horizon_secs: u64 = get(flags, "horizon-secs", 600);
+    let checks_per_host: f64 = get(flags, "checks-per-host", 5.0);
+    let diurnal: f64 = get(flags, "diurnal", 0.5);
+    let zipf_users: usize = get(flags, "zipf-users", hosts.max(1));
+    let zipf_s: f64 = get(flags, "zipf-s", 1.1);
+    let revoke_ops: u64 = get(flags, "revoke-ops", 2_000);
+    let timeout_ms: u64 = get(flags, "timeout-ms", 1_000);
+    let seed: u64 = get(flags, "seed", 1);
+    let scheduler = match flags.get("scheduler").map(String::as_str) {
+        None | Some("calendar") => Scheduler::Calendar,
+        Some("heap") => Scheduler::NaiveHeap,
+        Some(other) => {
+            eprintln!("unknown scheduler: {other} (expected calendar|heap)");
+            std::process::exit(2);
+        }
+    };
+    let flash = flags.get("flash-at").map(|at| {
+        let start_secs: u64 = at.parse().unwrap_or_else(|_| {
+            eprintln!("--flash-at must be seconds");
+            std::process::exit(2);
+        });
+        FlashSpec {
+            start: SimTime::ZERO + SimDuration::from_secs(start_secs),
+            duration: SimDuration::from_secs(get(flags, "flash-secs", 60)),
+            multiplier: get(flags, "flash-mult", 3.0),
+        }
+    });
+
+    let cfg = ScaleConfig {
+        hosts,
+        managers,
+        check_quorum,
+        pi,
+        epoch: SimDuration::from_secs(epoch_secs),
+        horizon: SimDuration::from_secs(horizon_secs),
+        checks_per_host,
+        diurnal_amplitude: diurnal,
+        flash,
+        zipf_users,
+        zipf_s,
+        revoke_ops,
+        timeout: SimDuration::from_millis(timeout_ms),
+        jitter: 0.1,
+        seed,
+        scheduler,
+    };
+
+    println!(
+        "planet-scale probe: {hosts} hosts, M={managers} C={check_quorum} Pi={pi} \
+         epoch={epoch_secs}s horizon={horizon_secs}s seed={seed} ({scheduler:?} queue)"
+    );
+    println!(
+        "workload: Zipf(s={zipf_s}) over {zipf_users} users, diurnal amplitude {diurnal}{}",
+        match flash {
+            Some(f) => format!(
+                ", flash crowd x{} for {}s at t={}",
+                f.multiplier,
+                f.duration.as_secs_f64(),
+                f.start
+            ),
+            None => String::new(),
+        }
+    );
+
+    let wall = std::time::Instant::now();
+    let out = run_empirical(&cfg);
+    let wall = wall.elapsed();
+    let msgs = out.metrics.counter("net.sent");
+    println!(
+        "ran {} checks + {} revocations ({} messages) in {:.2}s wall ({:.0} msgs/s)\n",
+        out.checks,
+        out.revokes,
+        msgs,
+        wall.as_secs_f64(),
+        msgs as f64 / wall.as_secs_f64().max(1e-9)
+    );
+
+    println!("  C   PA emp   PA model     |d|   PS emp   PS model     |d|");
+    println!(" ---------------------------------------------------------------");
+    for c in 1..=out.m {
+        let (pa_e, pa_m) = (out.pa(c), out.pa_model(c));
+        let (ps_e, ps_m) = (out.ps(c), out.ps_model(c));
+        let marker = if c == out.check_quorum { "  <- C" } else { "" };
+        println!(
+            " {c:2}  {pa_e:7.4}  {pa_m:9.4}  {:6.4}  {ps_e:7.4}  {ps_m:9.4}  {:6.4}{marker}",
+            (pa_e - pa_m).abs(),
+            (ps_e - ps_m).abs()
+        );
+    }
+    println!("\n  max |empirical - analytic| across C: {:.4}", out.max_abs_error());
+    let emp_range = out.fig5_series().sweet_range(0.9);
+    let model_range = wanacl::analysis::figures::fig5(out.m as u64, pi).sweet_range(0.9);
+    println!("  sweet range (PA,PS >= 0.9): model {model_range:?}  empirical {emp_range:?}");
+
+    println!("\nper-operation check overhead at C={check_quorum}:");
+    match &out.quorum_latency {
+        Some(s) => println!(
+            "  time-to-quorum: mean {:.3}s  p50 {:.3}s  p99 {:.3}s  over {} quorate checks",
+            s.mean, s.p50, s.p99, s.count
+        ),
+        None => println!("  time-to-quorum: no check reached quorum"),
+    }
+    let unavail = out.metrics.counter("scale.check_unavail");
+    println!("  messages per check round: {:.2}", out.msgs_per_check);
+    println!(
+        "  unavailable rounds: {} ({:.2}%)",
+        unavail,
+        100.0 * unavail as f64 / out.checks.max(1) as f64
+    );
+
+    if let Some(path) = flags.get("metrics-out") {
+        std::fs::write(path, metrics_jsonl(&out.metrics, "scale")).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("\nmetrics snapshot written to {path}");
+    }
 }
 
 /// Runs `--campaigns` nemesis campaigns starting at `--seed`, each a
@@ -516,7 +660,7 @@ fn chaos(flags: &HashMap<String, String>) {
                 vec![AppHost {
                     app: AppId(0),
                     policy: policy.clone(),
-                    directory: ManagerDirectory::Static(manager_ids.clone()),
+                    directory: ManagerDirectory::Static(manager_ids.clone().into()),
                     application: Box::new(CountingApp::new()),
                 }],
                 None,
@@ -531,7 +675,7 @@ fn chaos(flags: &HashMap<String, String>) {
             Box::new(UserAgent::new(UserAgentConfig {
                 user: UserId(u as u64),
                 app: AppId(0),
-                hosts: host_ids.clone(),
+                hosts: host_ids.clone().into(),
                 workload: Some(WorkloadShape::Periodic { period: SimDuration::from_millis(300) }),
                 payload: "chaos".into(),
                 secret: None,
@@ -1035,7 +1179,7 @@ fn chaos_sharded(flags: &HashMap<String, String>) {
             Box::new(UserAgent::new(UserAgentConfig {
                 user: UserId(u as u64),
                 app: AppId(((u - 1) % tenants) as u32),
-                hosts: host_ids.clone(),
+                hosts: host_ids.clone().into(),
                 workload: Some(WorkloadShape::Periodic { period: SimDuration::from_millis(300) }),
                 payload: "chaos".into(),
                 secret: None,

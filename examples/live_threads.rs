@@ -51,7 +51,7 @@ fn main() {
             vec![AppHost {
                 app: AppId(0),
                 policy: policy.clone(),
-                directory: ManagerDirectory::Static(manager_ids.clone()),
+                directory: ManagerDirectory::Static(manager_ids.clone().into()),
                 application: Box::new(EchoApp),
             }],
             None,
@@ -62,7 +62,7 @@ fn main() {
         Box::new(UserAgent::new(UserAgentConfig {
             user: UserId(1),
             app: AppId(0),
-            hosts: vec![host],
+            hosts: vec![host].into(),
             workload: None,
             payload: "live request".into(),
             secret: None,

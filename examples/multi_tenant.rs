@@ -81,13 +81,13 @@ fn main() {
                 AppHost {
                     app: newspaper,
                     policy: newspaper_policy,
-                    directory: ManagerDirectory::Static(manager_ids.to_vec()),
+                    directory: ManagerDirectory::Static(manager_ids.to_vec().into()),
                     application: Box::new(CountingApp::new()),
                 },
                 AppHost {
                     app: payroll,
                     policy: payroll_policy,
-                    directory: ManagerDirectory::Static(manager_ids.to_vec()),
+                    directory: ManagerDirectory::Static(manager_ids.to_vec().into()),
                     application: Box::new(CountingApp::new()),
                 },
             ],
