@@ -1,18 +1,22 @@
-//! # wanacl-rt — real-time threaded driver
+//! # wanacl-rt — event-driven live runtime
 //!
 //! The protocol nodes of `wanacl-core` are written against the
 //! [`wanacl_sim::node::Node`] interface: they observe only incoming
 //! messages, local-clock timers, and their RNG. This crate drives those
-//! *same* node implementations over OS threads, crossbeam channels, and
-//! wall-clock timers — demonstrating that the logic is
-//! substrate-independent and providing a live deployment vehicle.
+//! *same* node implementations on a small fixed worker pool over
+//! wall-clock time — demonstrating that the logic is
+//! substrate-independent and providing a live deployment vehicle that
+//! scales to thousands of logical nodes.
 //!
-//! Each node runs on its own thread with an inbox; effects requested
-//! through the [`wanacl_sim::node::Context`] are executed by the driver:
-//! sends are routed through an in-process [`router`] (with optional
-//! loss/partition policy), timers become `recv_timeout` deadlines.
+//! Each worker multiplexes its share of nodes: inbound envelopes land
+//! in per-node inbox cells (bounded data lane, unbounded control lane),
+//! each wake drains-then-steps one node, outbound sends coalesce into
+//! one per-peer batch through the in-process [`router`] (with optional
+//! loss/partition policy), and timers fire from a per-worker
+//! [`mod@wheel`] by absolute deadline. Batches that must cross a byte
+//! boundary are framed by the [`codec`].
 //!
-//! Unlike the simulator, a threaded run is *not* deterministic — thread
+//! Unlike the simulator, a pooled run is *not* deterministic — worker
 //! scheduling and wall-clock jitter are real. That is the point: the
 //! protocol must tolerate it, and the tests in this crate check outcomes
 //! rather than traces.
@@ -21,14 +25,17 @@
 #![warn(missing_debug_implementations)]
 
 pub mod chaos;
+pub mod codec;
 pub mod router;
 pub mod runtime;
 pub mod storage;
+pub mod wheel;
 
 pub use chaos::ChaosRouter;
 pub use router::{LinkPolicy, Transport};
 pub use runtime::{
-    LiveTraceEntry, NodeExit, NodeFactory, NodeResult, Runtime, RuntimeBuilder, TraceBuffer,
+    LiveTraceEntry, NodeExit, NodeFactory, NodeResult, Runtime, RuntimeBuilder, RuntimeError,
+    TraceBuffer,
 };
 pub use storage::FileStorage;
 pub use wanacl_sim::obs::{metrics_jsonl, prometheus_text, MetricsSink};

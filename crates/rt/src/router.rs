@@ -8,7 +8,12 @@ use std::sync::Arc;
 use wanacl_sim::node::NodeId;
 use wanacl_sim::obs::MetricsSink;
 
-/// An inbox item: a message or a lifecycle command.
+/// An inbox item delivered through a raw channel mailbox (the
+/// [`Router::register`] path used by router/chaos tests and external
+/// taps). Pool-backed nodes instead receive `(from, msg)` pairs through
+/// their worker's [`crate::runtime::NodeCell`]; lifecycle commands
+/// travel on the runtime's control lane and never appear on either
+/// data path.
 #[derive(Debug)]
 pub enum Envelope<M> {
     /// A routed protocol message. The payload is `Arc`-shared so a
@@ -20,17 +25,6 @@ pub enum Envelope<M> {
         /// The payload (shared; see [`Router::broadcast`]).
         msg: Arc<M>,
     },
-    /// Simulate a crash: the node drops volatile state and ignores
-    /// traffic until [`Envelope::Recover`].
-    Crash,
-    /// Recover from a crash.
-    Recover,
-    /// Stop the node thread.
-    Stop,
-    /// Tear the node thread down like a process kill: no `on_crash`
-    /// hook runs, the thread just exits. Used by
-    /// [`crate::Runtime::kill`] before a restart-from-storage.
-    Kill,
 }
 
 /// What node threads use to emit traffic: implemented by [`Router`]
@@ -53,6 +47,17 @@ pub trait Transport<M: Send + Sync + 'static>: Send + Sync {
         let msg = Arc::new(msg);
         for &to in targets {
             self.send_shared(from, to, Arc::clone(&msg));
+        }
+    }
+
+    /// Routes an ordered per-peer batch of already-shared messages —
+    /// the worker pool's coalesced flush. The default forwards one
+    /// message at a time so fault-injecting decorators keep their
+    /// per-message drop/dup/delay semantics; [`Router`] overrides it to
+    /// lock and wake the destination mailbox once for the whole batch.
+    fn send_batch(&self, from: NodeId, to: NodeId, msgs: Vec<Arc<M>>) {
+        for msg in msgs {
+            self.send_shared(from, to, msg);
         }
     }
 }
@@ -159,12 +164,21 @@ impl<M> LinkPolicy<M> for LossyPolicy {
 /// data-plane messages can overflow — lifecycle envelopes bypass the
 /// bound on the channel's control lane.
 pub struct Router<M> {
-    inboxes: RwLock<Vec<Sender<Envelope<M>>>>,
+    inboxes: RwLock<Vec<Mailbox<M>>>,
     policy: RwLock<Arc<dyn LinkPolicy<M>>>,
     metrics: RwLock<Option<MetricsSink>>,
     sent: AtomicU64,
     dropped: AtomicU64,
     overflowed: AtomicU64,
+}
+
+/// Where one node's data traffic lands.
+pub(crate) enum Mailbox<M> {
+    /// A raw channel inbox (tests, decorator probes), delivered as
+    /// [`Envelope`]s via `try_send`.
+    Channel(Sender<Envelope<M>>),
+    /// A pooled node's inbox cell; a push wakes the owning worker.
+    Pool(Arc<crate::runtime::NodeCell<M>>),
 }
 
 impl<M> std::fmt::Debug for Router<M> {
@@ -202,20 +216,24 @@ impl<M: Send + Sync + 'static> Router<M> {
         *self.metrics.write() = Some(metrics);
     }
 
-    pub(crate) fn register(&self, sender: Sender<Envelope<M>>) -> NodeId {
+    /// Registers a channel-backed mailbox and returns the id it will
+    /// receive under. Deliveries arrive as [`Envelope`]s via `try_send`
+    /// (a full or closed channel is a silent network drop). The worker
+    /// pool registers cells instead; this entry point serves test
+    /// drivers and external observers that tap the traffic directly.
+    pub fn register(&self, sender: Sender<Envelope<M>>) -> NodeId {
         let mut inboxes = self.inboxes.write();
-        inboxes.push(sender);
+        inboxes.push(Mailbox::Channel(sender));
         NodeId::from_index(inboxes.len() - 1)
     }
 
-    /// Swaps the inbox of an existing node id — the restart path: the
-    /// old receiver died with its thread, the respawned thread brings a
-    /// fresh channel under the same id.
-    pub(crate) fn replace(&self, id: NodeId, sender: Sender<Envelope<M>>) {
+    /// Registers a worker-pool inbox cell. Restart reuses the same cell
+    /// (revived in place), so a node id's mailbox never changes after
+    /// registration.
+    pub(crate) fn register_cell(&self, cell: Arc<crate::runtime::NodeCell<M>>) -> NodeId {
         let mut inboxes = self.inboxes.write();
-        if let Some(slot) = inboxes.get_mut(id.index()) {
-            *slot = sender;
-        }
+        inboxes.push(Mailbox::Pool(cell));
+        NodeId::from_index(inboxes.len() - 1)
     }
 
     /// Routes one message; silently drops on policy denial, a full
@@ -232,23 +250,72 @@ impl<M: Send + Sync + 'static> Router<M> {
             return;
         }
         let inboxes = self.inboxes.read();
-        if let Some(sender) = inboxes.get(to.index()) {
-            match sender.try_send(Envelope::Msg { from, msg }) {
+        match inboxes.get(to.index()) {
+            Some(Mailbox::Channel(sender)) => match sender.try_send(Envelope::Msg { from, msg }) {
                 Ok(()) => {}
-                Err(TrySendError::Full(_)) => {
-                    // Drop-newest overflow: the receiver is wedged or
-                    // badly behind; shedding here keeps senders from
-                    // blocking and makes backpressure observable.
-                    self.dropped.fetch_add(1, Ordering::Relaxed);
-                    self.overflowed.fetch_add(1, Ordering::Relaxed);
-                    if let Some(metrics) = self.metrics.read().as_ref() {
-                        metrics.incr("rt.inbox_overflow");
-                    }
-                }
+                // Drop-newest overflow: the receiver is wedged or badly
+                // behind; shedding here keeps senders from blocking and
+                // makes backpressure observable.
+                Err(TrySendError::Full(_)) => self.count_overflow(1),
                 // A dead inbox is a down node: the network just loses
                 // the message.
                 Err(TrySendError::Disconnected(_)) => {}
+            },
+            Some(Mailbox::Pool(cell)) => match cell.push_data(from, msg) {
+                crate::runtime::CellPush::Delivered | crate::runtime::CellPush::Dead => {}
+                crate::runtime::CellPush::Full => self.count_overflow(1),
+            },
+            None => {}
+        }
+    }
+
+    /// Routes an ordered per-peer batch. Policy still sees every
+    /// message (so partitions and loss behave exactly as for singles),
+    /// but a pool mailbox is locked — and its worker woken — once for
+    /// the whole batch instead of once per message.
+    pub fn send_batch(&self, from: NodeId, to: NodeId, msgs: Vec<Arc<M>>) {
+        self.sent.fetch_add(msgs.len() as u64, Ordering::Relaxed);
+        let mut survivors = Vec::with_capacity(msgs.len());
+        {
+            let policy = self.policy.read();
+            for msg in msgs {
+                if policy.allow(from, to, &msg) {
+                    survivors.push(msg);
+                } else {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
             }
+        }
+        if survivors.is_empty() {
+            return;
+        }
+        let inboxes = self.inboxes.read();
+        match inboxes.get(to.index()) {
+            Some(Mailbox::Pool(cell)) => {
+                let overflowed = cell.push_data_batch(from, survivors);
+                self.count_overflow(overflowed);
+            }
+            Some(Mailbox::Channel(sender)) => {
+                for msg in survivors {
+                    match sender.try_send(Envelope::Msg { from, msg }) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(_)) => self.count_overflow(1),
+                        Err(TrySendError::Disconnected(_)) => {}
+                    }
+                }
+            }
+            None => {}
+        }
+    }
+
+    fn count_overflow(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.dropped.fetch_add(n, Ordering::Relaxed);
+        self.overflowed.fetch_add(n, Ordering::Relaxed);
+        if let Some(metrics) = self.metrics.read().as_ref() {
+            metrics.add("rt.inbox_overflow", n);
         }
     }
 
@@ -286,6 +353,10 @@ impl<M: Send + Sync + 'static> Transport<M> for Router<M> {
     fn broadcast(&self, from: NodeId, targets: &[NodeId], msg: M) {
         Router::broadcast(self, from, targets, msg);
     }
+
+    fn send_batch(&self, from: NodeId, to: NodeId, msgs: Vec<Arc<M>>) {
+        Router::send_batch(self, from, to, msgs);
+    }
 }
 
 #[cfg(test)]
@@ -299,10 +370,8 @@ mod tests {
         let (tx, rx) = unbounded();
         let id = router.register(tx);
         router.send(NodeId::ENV, id, 42);
-        match rx.try_recv().expect("delivered") {
-            Envelope::Msg { msg, .. } => assert_eq!(*msg, 42),
-            other => panic!("unexpected envelope: {other:?}"),
-        }
+        let Envelope::Msg { msg, .. } = rx.try_recv().expect("delivered");
+        assert_eq!(*msg, 42);
     }
 
     #[test]
@@ -313,12 +382,8 @@ mod tests {
         let a = router.register(tx_a);
         let b = router.register(tx_b);
         router.broadcast(NodeId::ENV, &[a, b], 7);
-        let Envelope::Msg { msg: msg_a, .. } = rx_a.try_recv().expect("a delivered") else {
-            panic!("expected Msg");
-        };
-        let Envelope::Msg { msg: msg_b, .. } = rx_b.try_recv().expect("b delivered") else {
-            panic!("expected Msg");
-        };
+        let Envelope::Msg { msg: msg_a, .. } = rx_a.try_recv().expect("a delivered");
+        let Envelope::Msg { msg: msg_b, .. } = rx_b.try_recv().expect("b delivered");
         assert_eq!((*msg_a, *msg_b), (7, 7));
         assert!(Arc::ptr_eq(&msg_a, &msg_b), "both recipients share the same buffer");
     }
@@ -400,9 +465,9 @@ mod tests {
         // The two oldest messages survived; the overflow dropped newest.
         let got: Vec<u32> = rx
             .try_iter()
-            .map(|e| match e {
-                Envelope::Msg { msg, .. } => *msg,
-                other => panic!("unexpected envelope: {other:?}"),
+            .map(|e| {
+                let Envelope::Msg { msg, .. } = e;
+                *msg
             })
             .collect();
         assert_eq!(got, vec![0, 1]);
@@ -417,5 +482,64 @@ mod tests {
         router.send(NodeId::ENV, id, 1);
         assert_eq!(router.stats(), (1, 0));
         assert_eq!(router.overflowed(), 0);
+    }
+
+    #[test]
+    fn pool_mailbox_sheds_newest_wakes_once_and_dies_silently() {
+        use crate::runtime::NodeCell;
+        let router: Arc<Router<u32>> = Router::new();
+        let sink = MetricsSink::new();
+        router.set_metrics(sink.clone());
+        let (wake_tx, wake_rx) = unbounded();
+        let cell = NodeCell::new(0, 2, wake_tx);
+        let id = router.register_cell(cell.clone());
+        for i in 0..5 {
+            router.send(NodeId::ENV, id, i);
+        }
+        assert_eq!(router.overflowed(), 3);
+        assert_eq!(sink.counter("rt.inbox_overflow"), 3);
+        assert_eq!(wake_rx.try_iter().count(), 1, "one wake per scheduling flip");
+        let (ctl, data, more) = cell.drain(16);
+        assert!(ctl.is_empty());
+        let got: Vec<u32> = data.iter().map(|(_, m)| **m).collect();
+        assert_eq!(got, vec![0, 1], "drop-newest kept the oldest two");
+        assert!(!more);
+        // A dead cell swallows traffic silently, like a down host.
+        cell.clear_dead();
+        router.send(NodeId::ENV, id, 9);
+        assert_eq!(router.overflowed(), 3);
+        assert_eq!(cell.drain(16).1.len(), 0);
+    }
+
+    #[test]
+    fn batch_to_pool_mailbox_delivers_in_order_with_one_wake() {
+        use crate::runtime::NodeCell;
+        let router: Arc<Router<u32>> = Router::new();
+        let (wake_tx, wake_rx) = unbounded();
+        let cell = NodeCell::new(0, 3, wake_tx);
+        let id = router.register_cell(cell.clone());
+        let msgs: Vec<Arc<u32>> = (0..5).map(Arc::new).collect();
+        router.send_batch(NodeId::ENV, id, msgs);
+        assert_eq!(router.stats(), (5, 2));
+        assert_eq!(router.overflowed(), 2, "capacity 3 sheds the newest 2");
+        assert_eq!(wake_rx.try_iter().count(), 1, "the whole batch costs one wake");
+        let (_, data, _) = cell.drain(16);
+        let got: Vec<u32> = data.iter().map(|(_, m)| **m).collect();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn batch_applies_policy_per_message() {
+        use crate::runtime::NodeCell;
+        let router: Arc<Router<u32>> = Router::new();
+        let (wake_tx, _wake_rx) = unbounded();
+        let cell = NodeCell::new(0, 2000, wake_tx);
+        let id = router.register_cell(cell.clone());
+        router.set_policy(LossyPolicy::new(0.5));
+        let msgs: Vec<Arc<u32>> = (0..1000).map(Arc::new).collect();
+        router.send_batch(NodeId::ENV, id, msgs);
+        let (sent, dropped) = router.stats();
+        assert_eq!(sent, 1000);
+        assert!((300..700).contains(&dropped), "dropped {dropped}");
     }
 }

@@ -1,11 +1,39 @@
-//! The node-per-thread runtime.
+//! The event-driven worker-pool runtime.
+//!
+//! A small fixed pool of workers (N ≈ cores by default) multiplexes
+//! every logical node, replacing the old one-OS-thread-per-node design.
+//! Each node owns an inbox *cell* — a control queue (unbounded, for
+//! lifecycle commands that must never be lost) and a bounded data queue
+//! with drop-newest overflow (`rt.inbox_overflow`). A push to an idle
+//! cell sends one wake token to the owning worker; further pushes ride
+//! the already-scheduled wake for free.
+//!
+//! Workers drain-the-inbox-then-step: each wake processes control
+//! first, then up to a fixed batch of data envelopes, and flushes all
+//! resulting sends coalesced per peer — one mailbox lock and one worker
+//! wake per destination per step (`Transport::send_batch`), reusing the
+//! `Arc`-envelope zero-copy path. Timers live in one sharded
+//! [`TimerWheel`](crate::wheel) per worker and fire by absolute
+//! deadline; the gap between a timer's deadline and its firing is
+//! recorded in the `rt.timer_drift_ns` histogram.
+//!
+//! Node panics are caught per handler invocation: a panicking node
+//! becomes a reportable [`NodeResult`] error and its worker keeps
+//! serving every other node. A worker thread the OS refuses to spawn is
+//! a startup-time [`RuntimeError`], not a panic.
+//!
+//! Unlike the simulator, a pooled run is *not* deterministic — worker
+//! scheduling and wall-clock jitter are real. That is the point: the
+//! protocol must tolerate it, and tests check outcomes rather than
+//! traces.
 
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{HashSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
 use wanacl_sim::clock::LocalTime;
 use wanacl_sim::node::{Context, Effect, Node, NodeId};
@@ -13,14 +41,24 @@ use wanacl_sim::obs::MetricsSink;
 use wanacl_sim::rng::SimRng;
 use wanacl_sim::time::SimTime;
 
-use crate::router::{Envelope, Router, Transport};
+use crate::router::{Router, Transport};
+use crate::wheel::{TimerEntry, TimerWheel};
 
-/// Default bound on every node inbox. Large enough that a healthy node
-/// never sees it; small enough that a wedged node sheds load instead of
-/// growing a queue without limit.
+/// Default bound on every node's data queue. Large enough that a
+/// healthy node never sees it; small enough that a wedged node sheds
+/// load instead of growing a queue without limit.
 const DEFAULT_INBOX_CAPACITY: usize = 4096;
 
-/// A protocol node that can run on a thread.
+/// Data envelopes one node may consume per wake before yielding the
+/// worker — bounds per-step latency for its siblings while keeping the
+/// drain-then-flush coalescing window wide.
+const MAX_STEP_BATCH: usize = 64;
+
+/// Wake-channel sentinel telling a worker to exit. Never collides with
+/// a node index (that value is `NodeId::ENV`, which owns no cell).
+const WAKE_SHUTDOWN: u32 = u32::MAX;
+
+/// A protocol node that can run on the pool.
 pub trait RtNode<M>: Node<Msg = M> + Send {}
 impl<M, T: Node<Msg = M> + Send> RtNode<M> for T {}
 
@@ -29,7 +67,7 @@ impl<M, T: Node<Msg = M> + Send> RtNode<M> for T {}
 /// replays the WAL + snapshot, exactly what a respawned process does.
 pub type NodeFactory<M> = Arc<dyn Fn() -> Box<dyn RtNode<M>> + Send + Sync>;
 
-/// How a node thread ended.
+/// How a node ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NodeExit {
     /// Clean stop via [`Runtime::shutdown`].
@@ -37,19 +75,54 @@ pub enum NodeExit {
     /// Torn down by [`Runtime::kill`] (process-death model: no
     /// `on_crash` hook ran).
     Killed,
-    /// The inbox disconnected while the node was running — the runtime
-    /// side dropped its sender without a `Stop`, i.e. the deployment
-    /// wedged rather than shut down. Counted as `rt.inbox_disconnected`.
+    /// The runtime abandoned the node without a `Stop` — historically
+    /// the wedged-deployment signal. The worker pool can no longer
+    /// produce it (cells outlive their nodes), but chaos reports still
+    /// recognise it.
     Disconnected,
 }
 
-/// Per-node outcome of [`Runtime::shutdown`]: how the thread ended plus
-/// the node object for inspection, or the panic message if the thread
-/// panicked. One panicking node is a reportable result, not a cascade.
+/// Per-node outcome of [`Runtime::shutdown`]: how the node ended plus
+/// the node object for inspection, or the panic message if one of its
+/// handlers panicked. One panicking node is a reportable result, not a
+/// cascade.
 pub type NodeResult<M> = Result<(NodeExit, Box<dyn RtNode<M>>), String>;
 
+/// Why the runtime could not start.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// The OS refused to spawn a worker thread. Startup-time and
+    /// recoverable: already-spawned workers are shut down cleanly
+    /// before this is returned, so the caller can retry with fewer
+    /// workers or report and exit.
+    WorkerSpawn {
+        /// Index of the worker that failed to spawn.
+        worker: usize,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::WorkerSpawn { worker, source } => {
+                write!(f, "failed to spawn runtime worker {worker}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::WorkerSpawn { source, .. } => Some(source),
+        }
+    }
+}
+
 /// One captured `Effect::Trace` from a live node, stamped against the
-/// deployment-wide epoch so events from different threads share a clock.
+/// deployment-wide epoch so events from different workers share a clock.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LiveTraceEntry {
     /// Wall-clock time since [`Runtime`] start, as the sim time type the
@@ -63,11 +136,11 @@ pub struct LiveTraceEntry {
 
 /// A shared, thread-safe buffer of live trace events.
 ///
-/// Enabled via [`RuntimeBuilder::capture_traces`]; node threads append
-/// every `ctx.trace(..)` effect, and a chaos driver drains the buffer to
-/// feed the invariant oracle the same `Note` stream the simulator
-/// produces. Poison-tolerant like the metrics sink: a panicking node
-/// must not take the evidence down with it.
+/// Enabled via [`RuntimeBuilder::capture_traces`]; workers append every
+/// `ctx.trace(..)` effect, and a chaos driver drains the buffer to feed
+/// the invariant oracle the same `Note` stream the simulator produces.
+/// Poison-tolerant like the metrics sink: a panicking node must not
+/// take the evidence down with it.
 #[derive(Debug, Clone, Default)]
 pub struct TraceBuffer {
     entries: Arc<Mutex<Vec<LiveTraceEntry>>>,
@@ -103,24 +176,161 @@ impl TraceBuffer {
     }
 }
 
-#[derive(Debug, PartialEq, Eq)]
-struct DueTimer {
-    due: Instant,
-    id: u64,
-    tag: u64,
+/// A lifecycle command on a node's control lane. Control is unbounded
+/// and drained before data, so a kill or stop can never be shed by a
+/// flash crowd.
+pub(crate) enum ControlMsg<M> {
+    /// Soft crash: drop volatile state, ignore traffic until `Recover`.
+    Crash,
+    /// Recover from a soft crash.
+    Recover,
+    /// Clean stop; replies with the node object.
+    Stop(Sender<NodeResult<M>>),
+    /// Process-death teardown; replies with the node object.
+    Kill(Sender<NodeResult<M>>),
+    /// Install a fresh node instance under this id (restart path).
+    Install(Box<dyn RtNode<M>>),
 }
 
-impl Ord for DueTimer {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest first.
-        other.due.cmp(&self.due).then(other.id.cmp(&self.id))
+/// The result of pushing one data message into a [`NodeCell`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CellPush {
+    /// Queued (and the worker woken if it wasn't already scheduled).
+    Delivered,
+    /// The bounded data queue was full; the message was shed.
+    Full,
+    /// The node is dead (killed, stopped, or panicked); the network
+    /// silently loses the message, like traffic to a down host.
+    Dead,
+}
+
+/// What [`NodeCell::drain`] hands the worker: all queued control, a
+/// bounded batch of data envelopes, and whether data remains queued.
+pub(crate) type Drained<M> = (Vec<ControlMsg<M>>, Vec<(NodeId, Arc<M>)>, bool);
+
+struct CellState<M> {
+    control: VecDeque<ControlMsg<M>>,
+    data: VecDeque<(NodeId, Arc<M>)>,
+    /// True while a wake token for this cell is outstanding (in the
+    /// worker's channel or local run queue). Pushes to a scheduled cell
+    /// ride the existing wake for free.
+    scheduled: bool,
+    alive: bool,
+}
+
+/// One logical node's inbox, shared between the router (producers) and
+/// the owning worker (consumer).
+pub(crate) struct NodeCell<M> {
+    index: u32,
+    capacity: usize,
+    wake: Sender<u32>,
+    state: parking_lot::Mutex<CellState<M>>,
+}
+
+impl<M> NodeCell<M> {
+    pub(crate) fn new(index: u32, capacity: usize, wake: Sender<u32>) -> Arc<Self> {
+        Arc::new(NodeCell {
+            index,
+            capacity,
+            wake,
+            state: parking_lot::Mutex::new(CellState {
+                control: VecDeque::new(),
+                data: VecDeque::new(),
+                scheduled: false,
+                alive: true,
+            }),
+        })
+    }
+
+    pub(crate) fn push_data(&self, from: NodeId, msg: Arc<M>) -> CellPush {
+        let wake = {
+            let mut s = self.state.lock();
+            if !s.alive {
+                return CellPush::Dead;
+            }
+            if s.data.len() >= self.capacity {
+                return CellPush::Full;
+            }
+            s.data.push_back((from, msg));
+            !std::mem::replace(&mut s.scheduled, true)
+        };
+        if wake {
+            let _ = self.wake.send(self.index);
+        }
+        CellPush::Delivered
+    }
+
+    /// Pushes an ordered batch under one lock and at most one wake;
+    /// returns how many messages were shed on a full queue. A dead cell
+    /// swallows the whole batch silently (overflow count 0).
+    pub(crate) fn push_data_batch(&self, from: NodeId, msgs: Vec<Arc<M>>) -> u64 {
+        let total = msgs.len();
+        let (wake, overflowed) = {
+            let mut s = self.state.lock();
+            if !s.alive {
+                return 0;
+            }
+            let room = self.capacity.saturating_sub(s.data.len());
+            let take = room.min(total);
+            for msg in msgs.into_iter().take(take) {
+                s.data.push_back((from, msg));
+            }
+            let wake = take > 0 && !std::mem::replace(&mut s.scheduled, true);
+            (wake, (total - take) as u64)
+        };
+        if wake {
+            let _ = self.wake.send(self.index);
+        }
+        overflowed
+    }
+
+    /// Control always enqueues — the lane is unbounded and ignores
+    /// `alive` so a queued `Stop` can still reach a poisoned node's
+    /// worker for its reply.
+    fn push_control(&self, ctl: ControlMsg<M>) {
+        let wake = {
+            let mut s = self.state.lock();
+            s.control.push_back(ctl);
+            !std::mem::replace(&mut s.scheduled, true)
+        };
+        if wake {
+            let _ = self.wake.send(self.index);
+        }
+    }
+
+    /// Re-opens a dead cell for the restart path, before the `Install`
+    /// control message is queued — arriving data then sits behind the
+    /// install, exactly like traffic reaching a booting process.
+    fn revive(&self) {
+        self.state.lock().alive = true;
+    }
+
+    /// Marks the cell dead and discards everything queued.
+    pub(crate) fn clear_dead(&self) {
+        let mut s = self.state.lock();
+        s.alive = false;
+        s.data.clear();
+        s.control.clear();
+    }
+
+    /// Takes all queued control plus up to `max_data` data envelopes.
+    /// The returned flag says whether data remains (the worker requeues
+    /// itself); when nothing remains the cell becomes schedulable again.
+    pub(crate) fn drain(&self, max_data: usize) -> Drained<M> {
+        let mut s = self.state.lock();
+        let ctls: Vec<ControlMsg<M>> = s.control.drain(..).collect();
+        let take = s.data.len().min(max_data);
+        let data: Vec<(NodeId, Arc<M>)> = s.data.drain(..take).collect();
+        let more = !s.data.is_empty();
+        if !more {
+            s.scheduled = false;
+        }
+        (ctls, data, more)
     }
 }
-impl PartialOrd for DueTimer {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
+
+/// A worker's share of the deployment at start: `(node index, node)`.
+type WorkerNodes<M> = Vec<(u32, Box<dyn RtNode<M>>)>;
 
 struct NodeSpec<M> {
     name: String,
@@ -128,16 +338,18 @@ struct NodeSpec<M> {
     factory: Option<NodeFactory<M>>,
 }
 
-/// Decorates the base router into the transport node threads send
-/// through (see [`RuntimeBuilder::wrap_transport`]).
+/// Decorates the base router into the transport nodes send through
+/// (see [`RuntimeBuilder::wrap_transport`]).
 type TransportWrap<M> = Box<dyn FnOnce(Arc<Router<M>>) -> Arc<dyn Transport<M>>>;
 
-/// Builds a threaded deployment.
+/// Builds a pooled deployment.
 pub struct RuntimeBuilder<M> {
     nodes: Vec<NodeSpec<M>>,
     seed: u64,
     metrics: MetricsSink,
     inbox_capacity: usize,
+    workers: Option<usize>,
+    coalesce: bool,
     trace: Option<TraceBuffer>,
     wrap: Option<TransportWrap<M>>,
 }
@@ -156,12 +368,14 @@ impl<M: Send + Sync + Clone + std::fmt::Debug + 'static> RuntimeBuilder<M> {
             seed,
             metrics: MetricsSink::new(),
             inbox_capacity: DEFAULT_INBOX_CAPACITY,
+            workers: None,
+            coalesce: true,
             trace: None,
             wrap: None,
         }
     }
 
-    /// The deployment-wide metrics sink. All node threads record the
+    /// The deployment-wide metrics sink. All workers record the
     /// `ctx.metric_incr`/`ctx.metric_observe` effects here — the same
     /// named counters and latency histograms the simulator's `World`
     /// collects. Clone the handle to keep reading after `start`.
@@ -169,11 +383,28 @@ impl<M: Send + Sync + Clone + std::fmt::Debug + 'static> RuntimeBuilder<M> {
         &self.metrics
     }
 
-    /// Bounds every node inbox at `capacity` queued messages (default
+    /// Bounds every node's data queue at `capacity` messages (default
     /// 4096). Overflow is drop-newest and counted as
-    /// `rt.inbox_overflow`; lifecycle envelopes are exempt.
+    /// `rt.inbox_overflow`; the control lane is exempt.
     pub fn inbox_capacity(&mut self, capacity: usize) -> &mut Self {
         self.inbox_capacity = capacity.max(1);
+        self
+    }
+
+    /// Fixes the worker-pool size (default: the machine's available
+    /// parallelism, clamped to the node count). Clamped to at least 1.
+    pub fn workers(&mut self, n: usize) -> &mut Self {
+        self.workers = Some(n.max(1));
+        self
+    }
+
+    /// Enables or disables per-peer send coalescing (default on). With
+    /// it off, every outbound message takes its own
+    /// `Transport::send_shared` call — the A/B switch the batched-vs-
+    /// unbatched equivalence tests flip; protocol outcomes must not
+    /// depend on it.
+    pub fn coalesce_sends(&mut self, on: bool) -> &mut Self {
+        self.coalesce = on;
         self
     }
 
@@ -186,8 +417,8 @@ impl<M: Send + Sync + Clone + std::fmt::Debug + 'static> RuntimeBuilder<M> {
     }
 
     /// Installs a transport decorator: `wrap` receives the base router
-    /// at `start` and returns what node threads actually send through
-    /// (e.g. a [`crate::chaos::ChaosRouter`]). Environment injection via
+    /// at start and returns what nodes actually send through (e.g. a
+    /// [`crate::chaos::ChaosRouter`]). Environment injection via
     /// [`Runtime::send_from_env`] keeps using the base router, so test
     /// drivers bypass injected faults.
     pub fn wrap_transport(
@@ -219,8 +450,20 @@ impl<M: Send + Sync + Clone + std::fmt::Debug + 'static> RuntimeBuilder<M> {
         NodeId::from_index(self.nodes.len() - 1)
     }
 
-    /// Spawns all node threads and returns the running deployment.
+    /// Spawns the worker pool and returns the running deployment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OS refuses a worker thread; use
+    /// [`RuntimeBuilder::try_start`] to handle that as an error.
     pub fn start(self) -> Runtime<M> {
+        self.try_start().unwrap_or_else(|e| panic!("runtime start failed: {e}"))
+    }
+
+    /// Spawns the worker pool, surfacing a refused worker thread as a
+    /// recoverable [`RuntimeError`] instead of a panic. Workers that
+    /// did spawn are shut down cleanly before the error returns.
+    pub fn try_start(self) -> Result<Runtime<M>, RuntimeError> {
         let router: Arc<Router<M>> = Router::new();
         router.set_metrics(self.metrics.clone());
         let transport: Arc<dyn Transport<M>> = match self.wrap {
@@ -228,249 +471,137 @@ impl<M: Send + Sync + Clone + std::fmt::Debug + 'static> RuntimeBuilder<M> {
             None => router.clone(),
         };
         let epoch = Instant::now();
-        let mut senders: Vec<Sender<Envelope<M>>> = Vec::new();
-        // Register all inboxes first so ids are stable before any thread
-        // runs.
-        let mut inboxes = Vec::new();
-        for _ in &self.nodes {
-            let (tx, rx) = bounded(self.inbox_capacity);
-            let id = router.register(tx.clone());
-            senders.push(tx);
-            inboxes.push((id, rx));
+        let nnodes = self.nodes.len();
+        let nworkers = self
+            .workers
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+            })
+            .clamp(1, nnodes.max(1));
+
+        let mut wake_txs: Vec<Sender<u32>> = Vec::with_capacity(nworkers);
+        let mut wake_rxs: Vec<Receiver<u32>> = Vec::with_capacity(nworkers);
+        for _ in 0..nworkers {
+            let (tx, rx) = unbounded();
+            wake_txs.push(tx);
+            wake_rxs.push(rx);
         }
-        let mut slots = Vec::new();
-        let mut names = Vec::new();
-        let mut factories = Vec::new();
-        for (spec, (id, rx)) in self.nodes.into_iter().zip(inboxes) {
-            names.push(spec.name.clone());
+
+        // Register all cells first so ids are stable before any worker
+        // runs; node `i` belongs to worker `i % nworkers`.
+        let mut cells: Vec<Arc<NodeCell<M>>> = Vec::with_capacity(nnodes);
+        for i in 0..nnodes {
+            let cell =
+                NodeCell::new(i as u32, self.inbox_capacity, wake_txs[i % nworkers].clone());
+            router.register_cell(cell.clone());
+            cells.push(cell);
+        }
+
+        let mut names = Vec::with_capacity(nnodes);
+        let mut factories = Vec::with_capacity(nnodes);
+        let mut initial: Vec<WorkerNodes<M>> = (0..nworkers).map(|_| Vec::new()).collect();
+        for (i, spec) in self.nodes.into_iter().enumerate() {
+            names.push(spec.name);
             factories.push(spec.factory);
-            slots.push(Slot::Running(spawn_node_thread(
-                spec.name,
-                spec.node,
-                id,
-                rx,
-                &transport,
-                self.seed,
-                &self.metrics,
-                self.trace.as_ref(),
-                epoch,
-            )));
+            initial[i % nworkers].push((i as u32, spec.node));
         }
-        Runtime {
+
+        let mut pool = WorkerPool { wakes: wake_txs, handles: Vec::with_capacity(nworkers) };
+        for (w, (wake_rx, nodes)) in wake_rxs.into_iter().zip(initial).enumerate() {
+            let worker = Worker {
+                seed: self.seed,
+                coalesce: self.coalesce,
+                wake_rx,
+                cells: cells.clone(),
+                slots: (0..nnodes).map(|_| WorkerSlot::Empty).collect(),
+                epochs: vec![0; nnodes],
+                wheel: TimerWheel::new(epoch),
+                transport: transport.clone(),
+                metrics: self.metrics.clone(),
+                trace: self.trace.clone(),
+                epoch_instant: epoch,
+                outbox: Vec::new(),
+                counters: Vec::new(),
+            };
+            match std::thread::Builder::new()
+                .name(format!("rt-worker-{w}"))
+                .spawn(move || worker.run(nodes))
+            {
+                Ok(handle) => pool.handles.push(handle),
+                // Dropping `pool` here sends the shutdown sentinel to
+                // every spawned worker and joins them, so a partial
+                // start never leaks threads.
+                Err(source) => return Err(RuntimeError::WorkerSpawn { worker: w, source }),
+            }
+        }
+
+        Ok(Runtime {
             router,
             transport,
-            senders,
-            slots,
+            cells,
+            slots: (0..nnodes).map(|_| RtSlot::Running).collect(),
             names,
             factories,
-            seed: self.seed,
-            inbox_capacity: self.inbox_capacity,
             metrics: self.metrics,
             trace: self.trace,
             epoch,
-        }
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn spawn_node_thread<M: Send + Sync + Clone + std::fmt::Debug + 'static>(
-    name: String,
-    mut node: Box<dyn RtNode<M>>,
-    id: NodeId,
-    rx: Receiver<Envelope<M>>,
-    transport: &Arc<dyn Transport<M>>,
-    deployment_seed: u64,
-    metrics: &MetricsSink,
-    trace: Option<&TraceBuffer>,
-    epoch: Instant,
-) -> JoinHandle<(NodeExit, Box<dyn RtNode<M>>)> {
-    let transport = Arc::clone(transport);
-    let seed = deployment_seed ^ (id.index() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    let metrics = metrics.clone();
-    let trace = trace.cloned();
-    std::thread::Builder::new()
-        .name(name)
-        .spawn(move || {
-            let exit =
-                run_node_thread(&mut *node, id, rx, transport, seed, &metrics, trace.as_ref(), epoch);
-            (exit, node)
+            pool,
         })
-        .expect("thread spawn")
+    }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run_node_thread<M: Send + Sync + Clone + std::fmt::Debug + 'static>(
-    node: &mut dyn RtNode<M>,
-    id: NodeId,
-    rx: Receiver<Envelope<M>>,
-    transport: Arc<dyn Transport<M>>,
-    seed: u64,
-    metrics: &MetricsSink,
-    trace: Option<&TraceBuffer>,
-    epoch: Instant,
-) -> NodeExit {
-    let start = Instant::now();
-    let mut rng = SimRng::seed_from(seed);
-    let mut next_timer: u64 = 0;
-    let mut timers: BinaryHeap<DueTimer> = BinaryHeap::new();
-    let mut cancelled: HashSet<u64> = HashSet::new();
-    let mut up = true;
+/// Owns the worker threads; dropping it (after [`Runtime::shutdown`]'s
+/// orderly per-node stop, or on an abandoned runtime) sends each worker
+/// the exit sentinel and joins it, so workers never outlive the
+/// deployment.
+struct WorkerPool {
+    wakes: Vec<Sender<u32>>,
+    handles: Vec<JoinHandle<()>>,
+}
 
-    let local_now = |start: Instant| LocalTime::from_nanos(start.elapsed().as_nanos() as u64);
-
-    // on_start.
-    let mut effects = Vec::new();
-    {
-        let mut ctx = Context::new(id, local_now(start), &mut effects, &mut rng, &mut next_timer);
-        node.on_start(&mut ctx);
-    }
-    apply_effects(id, effects, &transport, &mut timers, &mut cancelled, metrics, trace, epoch);
-
-    loop {
-        // Fire due timers (only while up; a crash clears them anyway).
-        let now = Instant::now();
-        while up && timers.peek().is_some_and(|t| t.due <= now) {
-            let t = timers.pop().expect("peeked");
-            if cancelled.remove(&t.id) {
-                continue;
-            }
-            let mut effects = Vec::new();
-            {
-                let mut ctx =
-                    Context::new(id, local_now(start), &mut effects, &mut rng, &mut next_timer);
-                node.on_timer(&mut ctx, t.tag);
-            }
-            apply_effects(id, effects, &transport, &mut timers, &mut cancelled, metrics, trace, epoch);
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for wake in &self.wakes {
+            let _ = wake.send(WAKE_SHUTDOWN);
         }
-        // Wait for the next message or timer deadline.
-        let wait = if up {
-            timers
-                .peek()
-                .map(|t| t.due.saturating_duration_since(Instant::now()))
-                .unwrap_or(Duration::from_millis(50))
-        } else {
-            Duration::from_millis(50)
-        };
-        match rx.recv_timeout(wait) {
-            Ok(Envelope::Msg { from, msg }) => {
-                if !up {
-                    continue; // a crashed node hears nothing
-                }
-                // Point-to-point sends hold the only reference, so this
-                // unwraps without copying; broadcast recipients clone.
-                let msg = Arc::try_unwrap(msg).unwrap_or_else(|shared| (*shared).clone());
-                let mut effects = Vec::new();
-                {
-                    let mut ctx =
-                        Context::new(id, local_now(start), &mut effects, &mut rng, &mut next_timer);
-                    node.on_message(&mut ctx, from, msg);
-                }
-                apply_effects(
-                    id,
-                    effects,
-                    &transport,
-                    &mut timers,
-                    &mut cancelled,
-                    metrics,
-                    trace,
-                    epoch,
-                );
-            }
-            Ok(Envelope::Crash) => {
-                if up {
-                    up = false;
-                    timers.clear();
-                    cancelled.clear();
-                    node.on_crash();
-                }
-            }
-            Ok(Envelope::Recover) => {
-                if !up {
-                    up = true;
-                    let mut effects = Vec::new();
-                    {
-                        let mut ctx = Context::new(
-                            id,
-                            local_now(start),
-                            &mut effects,
-                            &mut rng,
-                            &mut next_timer,
-                        );
-                        node.on_recover(&mut ctx);
-                    }
-                    apply_effects(
-                        id,
-                        effects,
-                        &transport,
-                        &mut timers,
-                        &mut cancelled,
-                        metrics,
-                        trace,
-                        epoch,
-                    );
-                }
-            }
-            Ok(Envelope::Stop) => return NodeExit::Stopped,
-            // Process-death model: no on_crash hook, the thread just
-            // dies. Unsynced storage buffers die with the node object.
-            Ok(Envelope::Kill) => return NodeExit::Killed,
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => {
-                // Nobody can ever reach this node again and nobody told
-                // it to stop: that is a wedged deployment, not a clean
-                // exit — count it so chaos runs can tell the two apart.
-                metrics.incr("rt.inbox_disconnected");
-                return NodeExit::Disconnected;
-            }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
         }
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn apply_effects<M: Send + Sync + Clone + std::fmt::Debug + 'static>(
-    id: NodeId,
-    effects: Vec<Effect<M>>,
-    transport: &Arc<dyn Transport<M>>,
-    timers: &mut BinaryHeap<DueTimer>,
-    cancelled: &mut HashSet<u64>,
-    metrics: &MetricsSink,
-    trace: Option<&TraceBuffer>,
-    epoch: Instant,
-) {
-    for effect in effects {
-        match effect {
-            Effect::Send { to, msg } => transport.send(id, to, msg),
-            Effect::SetTimer { id: timer_id, local_delay, tag } => {
-                let due = Instant::now() + Duration::from_nanos(local_delay.as_nanos());
-                timers.push(DueTimer { due, id: timer_id.into_raw(), tag });
-            }
-            Effect::CancelTimer { id: timer_id } => {
-                cancelled.insert(timer_id.into_raw());
-            }
-            // Metric effects land in the shared deployment sink, so the
-            // live runtime reports the same named counters/latencies as
-            // the simulator's World.
-            Effect::MetricIncr { name } => metrics.incr(name),
-            Effect::MetricObserve { name, value } => metrics.observe(name, value),
-            // With capture enabled, traces (audit notes) feed the live
-            // oracle; otherwise they stay a sim-side convenience.
-            Effect::Trace { text } => {
-                if let Some(buffer) = trace {
-                    let at = SimTime::from_nanos(epoch.elapsed().as_nanos() as u64);
-                    buffer.push(LiveTraceEntry { at, node: id, text });
-                }
-            }
+/// A node as the owning worker sees it.
+struct WorkerNode<M> {
+    node: Box<dyn RtNode<M>>,
+    rng: SimRng,
+    next_timer: u64,
+    cancelled: HashSet<u64>,
+    up: bool,
+    /// This incarnation's local-clock zero (`LocalTime` = elapsed).
+    started: Instant,
+}
+
+impl<M> WorkerNode<M> {
+    fn new(node: Box<dyn RtNode<M>>, deployment_seed: u64, idx: u32) -> Self {
+        let seed = deployment_seed ^ (idx as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        WorkerNode {
+            node,
+            rng: SimRng::seed_from(seed),
+            next_timer: 0,
+            cancelled: HashSet::new(),
+            up: true,
+            started: Instant::now(),
         }
     }
 }
 
-/// Where one node slot currently stands.
-enum Slot<M> {
-    /// The thread is (presumed) running.
-    Running(JoinHandle<(NodeExit, Box<dyn RtNode<M>>)>),
-    /// The thread was joined (after a kill); the outcome is held for
-    /// [`Runtime::shutdown`].
-    Finished(NodeResult<M>),
+enum WorkerSlot<M> {
+    /// No instance under this id (not this worker's node, or killed).
+    Empty,
+    /// A live instance.
+    Live(WorkerNode<M>),
+    /// A handler panicked; the message is held for kill/stop replies.
+    Poisoned(String),
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -478,27 +609,440 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
         .downcast_ref::<&str>()
         .map(|s| (*s).to_string())
         .or_else(|| payload.downcast_ref::<String>().cloned())
-        .unwrap_or_else(|| "node thread panicked (non-string payload)".into())
+        .unwrap_or_else(|| "node handler panicked (non-string payload)".into())
 }
 
-/// A running threaded deployment.
+/// Runs one handler invocation under `catch_unwind` and folds its
+/// effects into the step's outbox/counters/wheel. Returns the panic
+/// message if the handler blew up.
+#[allow(clippy::too_many_arguments)]
+fn invoke<M, F>(
+    wn: &mut WorkerNode<M>,
+    idx: u32,
+    tepoch: u32,
+    outbox: &mut Vec<(NodeId, Vec<Arc<M>>)>,
+    counters: &mut Vec<(&'static str, u64)>,
+    wheel: &mut TimerWheel,
+    metrics: &MetricsSink,
+    trace: Option<&TraceBuffer>,
+    epoch_instant: Instant,
+    call: F,
+) -> Result<(), String>
+where
+    M: Send + Sync + Clone + std::fmt::Debug + 'static,
+    F: FnOnce(&mut dyn RtNode<M>, &mut Context<'_, M>),
+{
+    let id = NodeId::from_index(idx as usize);
+    let mut effects: Vec<Effect<M>> = Vec::new();
+    let local = LocalTime::from_nanos(wn.started.elapsed().as_nanos() as u64);
+    {
+        let node = &mut wn.node;
+        let rng = &mut wn.rng;
+        let next_timer = &mut wn.next_timer;
+        let fx = &mut effects;
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(move || {
+            let mut ctx = Context::new(id, local, fx, rng, next_timer);
+            call(&mut **node, &mut ctx);
+        })) {
+            return Err(panic_message(payload));
+        }
+    }
+    for effect in effects {
+        match effect {
+            // Sends coalesce per peer and flush once per step.
+            Effect::Send { to, msg } => {
+                let msg = Arc::new(msg);
+                match outbox.iter_mut().find(|(peer, _)| *peer == to) {
+                    Some((_, batch)) => batch.push(msg),
+                    None => outbox.push((to, vec![msg])),
+                }
+            }
+            Effect::SetTimer { id: timer_id, local_delay, tag } => {
+                wheel.insert(TimerEntry {
+                    due: Instant::now() + Duration::from_nanos(local_delay.as_nanos()),
+                    node: idx,
+                    epoch: tepoch,
+                    id: timer_id.into_raw(),
+                    tag,
+                });
+            }
+            Effect::CancelTimer { id: timer_id } => {
+                wn.cancelled.insert(timer_id.into_raw());
+            }
+            // Counter bumps batch per step; one sink lock per distinct
+            // name instead of one per effect.
+            Effect::MetricIncr { name } => match counters.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, delta)) => *delta += 1,
+                None => counters.push((name, 1)),
+            },
+            Effect::MetricObserve { name, value } => metrics.observe(name, value),
+            // With capture enabled, traces (audit notes) feed the live
+            // oracle; otherwise they stay a sim-side convenience.
+            Effect::Trace { text } => {
+                if let Some(buffer) = trace {
+                    let at = SimTime::from_nanos(epoch_instant.elapsed().as_nanos() as u64);
+                    buffer.push(LiveTraceEntry { at, node: id, text });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+struct Worker<M> {
+    seed: u64,
+    coalesce: bool,
+    wake_rx: Receiver<u32>,
+    cells: Vec<Arc<NodeCell<M>>>,
+    slots: Vec<WorkerSlot<M>>,
+    epochs: Vec<u32>,
+    wheel: TimerWheel,
+    transport: Arc<dyn Transport<M>>,
+    metrics: MetricsSink,
+    trace: Option<TraceBuffer>,
+    epoch_instant: Instant,
+    /// Reusable per-step scratch: outbound sends grouped by peer.
+    outbox: Vec<(NodeId, Vec<Arc<M>>)>,
+    /// Reusable per-step scratch: aggregated counter bumps.
+    counters: Vec<(&'static str, u64)>,
+}
+
+impl<M: Send + Sync + Clone + std::fmt::Debug + 'static> Worker<M> {
+    fn run(mut self, initial: WorkerNodes<M>) {
+        for (idx, node) in initial {
+            self.boot(idx, node);
+        }
+        let mut run_queue: VecDeque<u32> = VecDeque::new();
+        loop {
+            // Drain wake tokens without blocking. The shutdown sentinel
+            // only arrives after every node was stopped (or the whole
+            // deployment was abandoned), so returning on it is safe.
+            loop {
+                match self.wake_rx.try_recv() {
+                    Ok(WAKE_SHUTDOWN) => return,
+                    Ok(idx) => run_queue.push_back(idx),
+                    Err(_) => break,
+                }
+            }
+            // Fire everything due, by absolute deadline.
+            let now = Instant::now();
+            while let Some(entry) = self.wheel.pop_due(now) {
+                self.fire(entry);
+            }
+            // One bounded batch for one node, then re-check wakes and
+            // timers — round-robin fairness under floods.
+            if let Some(idx) = run_queue.pop_front() {
+                if self.step(idx) {
+                    run_queue.push_back(idx);
+                }
+                continue;
+            }
+            // Idle: park until the next timer deadline or a wake.
+            let waited = match self.wheel.next_deadline() {
+                Some(deadline) => self.wake_rx.recv_deadline(deadline),
+                None => self.wake_rx.recv(),
+            };
+            match waited {
+                Ok(WAKE_SHUTDOWN) => return,
+                Ok(idx) => run_queue.push_back(idx),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+
+    /// Installs the initial instance of a node and runs `on_start`.
+    fn boot(&mut self, idx: u32, node: Box<dyn RtNode<M>>) {
+        let mut outbox = std::mem::take(&mut self.outbox);
+        let mut counters = std::mem::take(&mut self.counters);
+        let slot = self.make_node(idx, node, &mut outbox, &mut counters);
+        self.slots[idx as usize] = slot;
+        self.flush(idx, &mut outbox, &mut counters);
+        self.outbox = outbox;
+        self.counters = counters;
+    }
+
+    /// Builds a [`WorkerNode`] and runs its `on_start` under the
+    /// current timer epoch.
+    fn make_node(
+        &mut self,
+        idx: u32,
+        node: Box<dyn RtNode<M>>,
+        outbox: &mut Vec<(NodeId, Vec<Arc<M>>)>,
+        counters: &mut Vec<(&'static str, u64)>,
+    ) -> WorkerSlot<M> {
+        let mut wn = WorkerNode::new(node, self.seed, idx);
+        match invoke(
+            &mut wn,
+            idx,
+            self.epochs[idx as usize],
+            outbox,
+            counters,
+            &mut self.wheel,
+            &self.metrics,
+            self.trace.as_ref(),
+            self.epoch_instant,
+            |node, ctx| node.on_start(ctx),
+        ) {
+            Ok(()) => WorkerSlot::Live(wn),
+            Err(msg) => self.poison(idx as usize, msg),
+        }
+    }
+
+    /// Marks a node's remains after a handler panic: the cell goes
+    /// dead (traffic to it silently vanishes, like a crashed process),
+    /// pending timers die via the epoch bump, and the message is held
+    /// for the kill/stop reply.
+    fn poison(&mut self, i: usize, msg: String) -> WorkerSlot<M> {
+        self.cells[i].clear_dead();
+        self.epochs[i] = self.epochs[i].wrapping_add(1);
+        WorkerSlot::Poisoned(msg)
+    }
+
+    /// Fires one matured timer entry, discarding it if its epoch is
+    /// stale (crash/kill/restart since arming) or it was cancelled.
+    fn fire(&mut self, entry: TimerEntry) {
+        let i = entry.node as usize;
+        if self.epochs[i] != entry.epoch {
+            return;
+        }
+        let mut slot = std::mem::replace(&mut self.slots[i], WorkerSlot::Empty);
+        let mut outbox = std::mem::take(&mut self.outbox);
+        let mut counters = std::mem::take(&mut self.counters);
+        let mut poisoned = None;
+        if let WorkerSlot::Live(wn) = &mut slot {
+            if wn.up && !wn.cancelled.remove(&entry.id) {
+                let drift = Instant::now().saturating_duration_since(entry.due);
+                self.metrics.observe("rt.timer_drift_ns", drift.as_nanos() as f64);
+                if let Err(msg) = invoke(
+                    wn,
+                    entry.node,
+                    entry.epoch,
+                    &mut outbox,
+                    &mut counters,
+                    &mut self.wheel,
+                    &self.metrics,
+                    self.trace.as_ref(),
+                    self.epoch_instant,
+                    |node, ctx| node.on_timer(ctx, entry.tag),
+                ) {
+                    poisoned = Some(msg);
+                }
+            }
+        }
+        if let Some(msg) = poisoned {
+            slot = self.poison(i, msg);
+        }
+        self.slots[i] = slot;
+        self.flush(entry.node, &mut outbox, &mut counters);
+        self.outbox = outbox;
+        self.counters = counters;
+    }
+
+    /// Drains one node's cell and steps it: control first (lifecycle
+    /// can never be shed), then up to [`MAX_STEP_BATCH`] data
+    /// envelopes, then one coalesced flush. Returns whether data
+    /// remains queued (the caller requeues the node).
+    fn step(&mut self, idx: u32) -> bool {
+        let i = idx as usize;
+        let (ctls, data, more) = self.cells[i].drain(MAX_STEP_BATCH);
+        if ctls.is_empty() && data.is_empty() {
+            return more;
+        }
+        let mut slot = std::mem::replace(&mut self.slots[i], WorkerSlot::Empty);
+        let mut outbox = std::mem::take(&mut self.outbox);
+        let mut counters = std::mem::take(&mut self.counters);
+        // Set when Stop/Kill consumed the node: remaining queued work is
+        // void and the slot has already been settled.
+        let mut halted = false;
+
+        for ctl in ctls {
+            if halted {
+                break;
+            }
+            match ctl {
+                ControlMsg::Crash => {
+                    let mut poisoned = None;
+                    if let WorkerSlot::Live(wn) = &mut slot {
+                        if wn.up {
+                            wn.up = false;
+                            // Pending timers die with the volatile state.
+                            self.epochs[i] = self.epochs[i].wrapping_add(1);
+                            wn.cancelled.clear();
+                            if let Err(payload) =
+                                catch_unwind(AssertUnwindSafe(|| wn.node.on_crash()))
+                            {
+                                poisoned = Some(panic_message(payload));
+                            }
+                        }
+                    }
+                    if let Some(msg) = poisoned {
+                        slot = self.poison(i, msg);
+                    }
+                }
+                ControlMsg::Recover => {
+                    let mut poisoned = None;
+                    if let WorkerSlot::Live(wn) = &mut slot {
+                        if !wn.up {
+                            wn.up = true;
+                            if let Err(msg) = invoke(
+                                wn,
+                                idx,
+                                self.epochs[i],
+                                &mut outbox,
+                                &mut counters,
+                                &mut self.wheel,
+                                &self.metrics,
+                                self.trace.as_ref(),
+                                self.epoch_instant,
+                                |node, ctx| node.on_recover(ctx),
+                            ) {
+                                poisoned = Some(msg);
+                            }
+                        }
+                    }
+                    if let Some(msg) = poisoned {
+                        slot = self.poison(i, msg);
+                    }
+                }
+                ControlMsg::Stop(reply) | ControlMsg::Kill(reply)
+                    if matches!(slot, WorkerSlot::Empty) =>
+                {
+                    let _ = reply.send(Err(format!("node {idx} has no live instance")));
+                    halted = true;
+                }
+                ControlMsg::Stop(reply) => {
+                    let result = match std::mem::replace(&mut slot, WorkerSlot::Empty) {
+                        WorkerSlot::Live(wn) => Ok((NodeExit::Stopped, wn.node)),
+                        WorkerSlot::Poisoned(msg) => Err(msg),
+                        WorkerSlot::Empty => unreachable!("guarded above"),
+                    };
+                    self.cells[i].clear_dead();
+                    self.epochs[i] = self.epochs[i].wrapping_add(1);
+                    let _ = reply.send(result);
+                    halted = true;
+                }
+                ControlMsg::Kill(reply) => {
+                    let result = match std::mem::replace(&mut slot, WorkerSlot::Empty) {
+                        WorkerSlot::Live(wn) => Ok((NodeExit::Killed, wn.node)),
+                        WorkerSlot::Poisoned(msg) => Err(msg),
+                        WorkerSlot::Empty => unreachable!("guarded above"),
+                    };
+                    self.cells[i].clear_dead();
+                    self.epochs[i] = self.epochs[i].wrapping_add(1);
+                    let _ = reply.send(result);
+                    halted = true;
+                }
+                ControlMsg::Install(node) => {
+                    // A fresh incarnation: old timers are dead, the
+                    // local clock and RNG restart, `on_start` replays
+                    // durable state.
+                    self.epochs[i] = self.epochs[i].wrapping_add(1);
+                    slot = self.make_node(idx, node, &mut outbox, &mut counters);
+                }
+            }
+        }
+
+        if !halted && !data.is_empty() {
+            let mut poisoned = None;
+            if let WorkerSlot::Live(wn) = &mut slot {
+                if wn.up {
+                    self.metrics.observe("rt.batch_size", data.len() as f64);
+                    for (from, msg) in data {
+                        // Point-to-point sends hold the only reference,
+                        // so this unwraps without copying; broadcast
+                        // recipients clone.
+                        let msg = Arc::try_unwrap(msg).unwrap_or_else(|shared| (*shared).clone());
+                        if let Err(msg) = invoke(
+                            wn,
+                            idx,
+                            self.epochs[i],
+                            &mut outbox,
+                            &mut counters,
+                            &mut self.wheel,
+                            &self.metrics,
+                            self.trace.as_ref(),
+                            self.epoch_instant,
+                            |node, ctx| node.on_message(ctx, from, msg),
+                        ) {
+                            poisoned = Some(msg);
+                            break;
+                        }
+                    }
+                }
+                // A crashed (down) node hears nothing: the batch is
+                // consumed and dropped, as the old runtime did.
+            }
+            if let Some(msg) = poisoned {
+                slot = self.poison(i, msg);
+            }
+        }
+
+        self.slots[i] = slot;
+        self.flush(idx, &mut outbox, &mut counters);
+        self.outbox = outbox;
+        self.counters = counters;
+        more && !halted
+    }
+
+    /// Ships the step's coalesced sends (one `send_batch` per peer) and
+    /// aggregated counter bumps.
+    fn flush(
+        &mut self,
+        from_idx: u32,
+        outbox: &mut Vec<(NodeId, Vec<Arc<M>>)>,
+        counters: &mut Vec<(&'static str, u64)>,
+    ) {
+        let from = NodeId::from_index(from_idx as usize);
+        let mut batched = 0u64;
+        for (to, msgs) in outbox.drain(..) {
+            if self.coalesce && msgs.len() > 1 {
+                batched += 1;
+                self.transport.send_batch(from, to, msgs);
+            } else {
+                for msg in msgs {
+                    self.transport.send_shared(from, to, msg);
+                }
+            }
+        }
+        if batched > 0 {
+            counters.push(("rt.peer_batches", batched));
+        }
+        for (name, delta) in counters.drain(..) {
+            self.metrics.add(name, delta);
+        }
+    }
+}
+
+/// Runtime-side view of one node slot.
+enum RtSlot<M> {
+    /// The node is (presumed) live on its worker.
+    Running,
+    /// The node was stopped or killed; the outcome is held for
+    /// [`Runtime::shutdown`].
+    Finished(NodeResult<M>),
+}
+
+/// A running pooled deployment.
 pub struct Runtime<M> {
     router: Arc<Router<M>>,
     transport: Arc<dyn Transport<M>>,
-    senders: Vec<Sender<Envelope<M>>>,
-    slots: Vec<Slot<M>>,
+    cells: Vec<Arc<NodeCell<M>>>,
+    slots: Vec<RtSlot<M>>,
     names: Vec<String>,
     factories: Vec<Option<NodeFactory<M>>>,
-    seed: u64,
-    inbox_capacity: usize,
     metrics: MetricsSink,
     trace: Option<TraceBuffer>,
     epoch: Instant,
+    pool: WorkerPool,
 }
 
 impl<M> std::fmt::Debug for Runtime<M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Runtime").field("nodes", &self.senders.len()).finish()
+        f.debug_struct("Runtime")
+            .field("nodes", &self.cells.len())
+            .field("workers", &self.pool.handles.len())
+            .finish()
     }
 }
 
@@ -509,15 +1053,16 @@ impl<M: Send + Sync + Clone + std::fmt::Debug + 'static> Runtime<M> {
         &self.router
     }
 
-    /// The transport node threads send through (the router itself, or
-    /// the decorator installed via [`RuntimeBuilder::wrap_transport`]).
+    /// The transport nodes send through (the router itself, or the
+    /// decorator installed via [`RuntimeBuilder::wrap_transport`]).
     pub fn transport(&self) -> &Arc<dyn Transport<M>> {
         &self.transport
     }
 
-    /// The deployment-wide metrics sink fed by every node thread.
-    /// `metrics().snapshot()` gives a point-in-time [`wanacl_sim::metrics::Metrics`]
-    /// for the exporters in [`wanacl_sim::obs`].
+    /// The deployment-wide metrics sink fed by every worker.
+    /// `metrics().snapshot()` gives a point-in-time
+    /// [`wanacl_sim::metrics::Metrics`] for the exporters in
+    /// [`wanacl_sim::obs`].
     pub fn metrics(&self) -> &MetricsSink {
         &self.metrics
     }
@@ -525,6 +1070,11 @@ impl<M: Send + Sync + Clone + std::fmt::Debug + 'static> Runtime<M> {
     /// The live trace buffer, when capture was enabled at build time.
     pub fn trace(&self) -> Option<&TraceBuffer> {
         self.trace.as_ref()
+    }
+
+    /// Number of worker threads serving the deployment.
+    pub fn workers(&self) -> usize {
+        self.pool.handles.len()
     }
 
     /// The instant the deployment started — the zero point of every
@@ -543,108 +1093,103 @@ impl<M: Send + Sync + Clone + std::fmt::Debug + 'static> Runtime<M> {
     /// Crashes a node: it drops volatile state (`Node::on_crash`) and
     /// ignores all traffic until [`Runtime::recover`].
     pub fn crash(&self, node: NodeId) {
-        if let Some(tx) = self.senders.get(node.index()) {
-            let _ = tx.send(Envelope::Crash);
+        if matches!(self.slots.get(node.index()), Some(RtSlot::Running)) {
+            self.cells[node.index()].push_control(ControlMsg::Crash);
         }
     }
 
     /// Recovers a crashed node (`Node::on_recover`).
     pub fn recover(&self, node: NodeId) {
-        if let Some(tx) = self.senders.get(node.index()) {
-            let _ = tx.send(Envelope::Recover);
+        if matches!(self.slots.get(node.index()), Some(RtSlot::Running)) {
+            self.cells[node.index()].push_control(ControlMsg::Recover);
         }
     }
 
-    /// Kills a node like a process death: the thread exits without any
-    /// `on_crash` hook, its inbox closes (so in-flight traffic to it is
-    /// lost, as to a down host), and the stale node object is parked
-    /// for [`Runtime::shutdown`]. Returns how the thread ended, or the
-    /// panic message if it was already down from a panic.
+    /// Kills a node like a process death: no `on_crash` hook runs, its
+    /// inbox goes dead (in-flight traffic to it is lost, as to a down
+    /// host), and the stale node object is parked for
+    /// [`Runtime::shutdown`]. Blocks until the owning worker confirms.
+    /// Returns how the node ended, or the panic message if it was
+    /// already down from a panic.
     pub fn kill(&mut self, node: NodeId) -> Result<NodeExit, String> {
         let index = node.index();
         let Some(slot) = self.slots.get_mut(index) else {
             return Err(format!("unknown node {index}"));
         };
-        if matches!(slot, Slot::Finished(_)) {
-            return Err(format!("node {index} is not running"));
+        if matches!(slot, RtSlot::Finished(_)) {
+            return Err(format!("node {index} ({}) is not running", self.names[index]));
         }
-        if let Some(tx) = self.senders.get(index) {
-            // Control lane: enqueues even past a full inbox. Fails only
-            // if the thread is already gone, which join handles below.
-            let _ = tx.send(Envelope::Kill);
-        }
-        let Slot::Running(handle) =
-            std::mem::replace(slot, Slot::Finished(Err("killed (slot taken)".into())))
-        else {
-            unreachable!("checked above");
-        };
-        let outcome = match handle.join() {
-            Ok((exit, node)) => {
+        let (reply_tx, reply_rx) = unbounded();
+        self.cells[index].push_control(ControlMsg::Kill(reply_tx));
+        match reply_rx.recv() {
+            Ok(Ok((exit, stale))) => {
                 self.metrics.incr("rt.node_killed");
-                (Ok(exit), Slot::Finished(Ok((exit, node))))
+                self.slots[index] = RtSlot::Finished(Ok((exit, stale)));
+                Ok(exit)
             }
-            Err(payload) => {
-                let msg = panic_message(payload);
-                (Err(msg.clone()), Slot::Finished(Err(msg)))
+            Ok(Err(msg)) => {
+                self.slots[index] = RtSlot::Finished(Err(msg.clone()));
+                Err(msg)
             }
-        };
-        self.slots[index] = outcome.1;
-        outcome.0
+            Err(_) => Err(format!("worker serving node {index} is gone")),
+        }
     }
 
     /// Respawns a killed node from its registered factory (see
     /// [`RuntimeBuilder::add_node_with_factory`]): a fresh node instance
-    /// on a fresh thread under the same id, with a fresh inbox swapped
-    /// into the router. Durable state comes back through whatever the
-    /// factory rebinds — for managers, the `FileStorage` WAL + snapshot
-    /// recovery in `on_start`.
+    /// under the same id, with its inbox cell revived in place. Durable
+    /// state comes back through whatever the factory rebinds — for
+    /// managers, the `FileStorage` WAL + snapshot recovery in
+    /// `on_start`.
     pub fn restart(&mut self, node: NodeId) -> Result<(), String> {
         let index = node.index();
-        if !matches!(self.slots.get(index), Some(Slot::Finished(_))) {
+        if !matches!(self.slots.get(index), Some(RtSlot::Finished(_))) {
             return Err(format!("node {index} is still running (kill it first)"));
         }
         let Some(Some(factory)) = self.factories.get(index) else {
             return Err(format!("node {index} has no restart factory"));
         };
         let fresh = factory();
-        let (tx, rx) = bounded(self.inbox_capacity);
-        self.router.replace(node, tx.clone());
-        self.senders[index] = tx;
-        self.slots[index] = Slot::Running(spawn_node_thread(
-            self.names[index].clone(),
-            fresh,
-            node,
-            rx,
-            &self.transport,
-            self.seed,
-            &self.metrics,
-            self.trace.as_ref(),
-            self.epoch,
-        ));
+        // Revive before queueing the install so traffic arriving from
+        // now on sits behind `on_start`, like packets reaching a
+        // booting process.
+        self.cells[index].revive();
+        self.cells[index].push_control(ControlMsg::Install(fresh));
+        self.slots[index] = RtSlot::Running;
         self.metrics.incr("rt.node_restarted");
         Ok(())
     }
 
-    /// Stops every running node thread and returns the per-node
-    /// outcomes, in id order: the exit status and node object, or the
-    /// panic message for a thread that panicked. A single crashed node
-    /// no longer aborts the whole teardown.
+    /// Stops every running node and returns the per-node outcomes, in
+    /// id order: the exit status and node object, or the panic message
+    /// for a node whose handler panicked. A single crashed node never
+    /// aborts the whole teardown. Worker threads exit after the last
+    /// reply.
     pub fn shutdown(self) -> Vec<NodeResult<M>> {
-        for (slot, tx) in self.slots.iter().zip(&self.senders) {
-            if matches!(slot, Slot::Running(_)) {
-                let _ = tx.send(Envelope::Stop);
+        let mut pending: Vec<Option<Receiver<NodeResult<M>>>> = Vec::new();
+        for (i, slot) in self.slots.iter().enumerate() {
+            if matches!(slot, RtSlot::Running) {
+                let (tx, rx) = unbounded();
+                self.cells[i].push_control(ControlMsg::Stop(tx));
+                pending.push(Some(rx));
+            } else {
+                pending.push(None);
             }
         }
         self.slots
             .into_iter()
-            .map(|slot| match slot {
-                Slot::Running(handle) => match handle.join() {
-                    Ok((exit, node)) => Ok((exit, node)),
-                    Err(payload) => Err(panic_message(payload)),
+            .zip(pending)
+            .enumerate()
+            .map(|(i, (slot, rx))| match slot {
+                RtSlot::Finished(outcome) => outcome,
+                RtSlot::Running => match rx.expect("running slots queued a stop").recv() {
+                    Ok(outcome) => outcome,
+                    Err(_) => Err(format!("worker serving node {i} is gone")),
                 },
-                Slot::Finished(outcome) => outcome,
             })
             .collect()
+        // `self.pool` drops here: the exit sentinel goes to each worker
+        // and they are joined.
     }
 
     /// Convenience teardown for tests and examples that expect every
@@ -812,6 +1357,9 @@ mod tests {
     #[test]
     fn one_panicking_node_is_reported_not_cascaded() {
         let mut b: RuntimeBuilder<u64> = RuntimeBuilder::new(5);
+        // One worker: both nodes share it, proving a panic is contained
+        // per node, not per thread.
+        b.workers(1);
         let bad = b.add_node("bad", Box::new(Panicker));
         let good = b.add_node("good", Box::new(Counter::default()));
         let rt = b.start();
@@ -899,5 +1447,99 @@ mod tests {
         assert_eq!(entries[0].node, a);
         assert_eq!(entries[0].text, "audit=test msg=42");
         assert!(buffer.is_empty(), "drain takes everything");
+    }
+
+    #[test]
+    fn timer_firings_record_bounded_drift() {
+        let mut b: RuntimeBuilder<u64> = RuntimeBuilder::new(13);
+        b.add_node("ticker", Box::new(Counter::default()));
+        let rt = b.start();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let snap = rt.metrics().snapshot();
+            if snap.histogram("rt.timer_drift_ns").and_then(|h| h.summary()).is_some() {
+                break;
+            }
+            assert!(Instant::now() < deadline, "timer never fired");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let snap = rt.metrics().snapshot();
+        rt.shutdown();
+        let drift =
+            snap.histogram("rt.timer_drift_ns").and_then(|h| h.summary()).expect("drift sample");
+        assert!(drift.count >= 1);
+        // Absolute-deadline firing keeps drift far below the old
+        // stale-`recv_timeout` loop's worst case; 100ms is generous
+        // slack for a loaded CI machine.
+        assert!(drift.max < 100_000_000.0, "drift {:?}ns", drift.max);
+    }
+
+    /// On one trigger message, sprays `n` messages at one peer — the
+    /// coalescing path must batch them into a single flush.
+    #[derive(Debug)]
+    struct Sprayer {
+        target: NodeId,
+        n: u64,
+    }
+
+    impl Node for Sprayer {
+        type Msg = u64;
+        fn on_message(&mut self, ctx: &mut Context<'_, u64>, from: NodeId, _msg: u64) {
+            if from == NodeId::ENV {
+                for i in 0..self.n {
+                    ctx.send(self.target, i);
+                }
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn per_peer_sends_coalesce_into_one_batch() {
+        let mut b: RuntimeBuilder<u64> = RuntimeBuilder::new(17);
+        let sink_id_placeholder = NodeId::from_index(1);
+        let sprayer = b.add_node("sprayer", Box::new(Sprayer { target: sink_id_placeholder, n: 32 }));
+        let sink = b.add_node("sink", Box::new(Counter::default()));
+        assert_eq!(sink, sink_id_placeholder);
+        let rt = b.start();
+        rt.send_from_env(sprayer, 0);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while rt.metrics().counter("rt.peer_batches") < 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(rt.metrics().counter("rt.peer_batches") >= 1, "spray must coalesce");
+        let nodes = rt.shutdown_nodes();
+        let counter = nodes[sink.index()].as_any().downcast_ref::<Counter>().expect("sink");
+        assert_eq!(counter.seen, 32, "coalescing must not lose or reorder messages");
+    }
+
+    #[test]
+    fn worker_count_is_clamped_and_reported() {
+        let mut b: RuntimeBuilder<u64> = RuntimeBuilder::new(19);
+        b.workers(64);
+        for i in 0..3 {
+            b.add_node(format!("n{i}"), Box::new(Counter::default()));
+        }
+        let rt = b.start();
+        assert_eq!(rt.workers(), 3, "64 workers clamp to the 3 nodes");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn runtime_error_is_reportable() {
+        let err = RuntimeError::WorkerSpawn {
+            worker: 2,
+            source: std::io::Error::new(std::io::ErrorKind::OutOfMemory, "no threads left"),
+        };
+        let text = err.to_string();
+        assert!(text.contains("worker 2"), "{text}");
+        assert!(text.contains("no threads left"), "{text}");
+        assert!(std::error::Error::source(&err).is_some());
     }
 }

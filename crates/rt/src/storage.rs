@@ -161,7 +161,13 @@ impl FileStorage {
                 .open(self.wal_path())?;
             self.wal = Some(file);
         }
-        Ok(self.wal.as_mut().expect("just opened"))
+        match self.wal.as_mut() {
+            Some(file) => Ok(file),
+            // Unreachable today, but a torn-down handle must surface as
+            // an I/O error the durability path can report — a manager
+            // mid-recovery cannot afford a panic here.
+            None => Err(std::io::Error::other("wal handle unavailable after reopen")),
+        }
     }
 
     /// Fsyncs the directory so renames and truncations are durable
@@ -441,6 +447,29 @@ mod tests {
         let s = snap.histogram("storage.wal_fsync_s").and_then(|h| h.summary()).expect("samples");
         assert_eq!(s.count, 2);
         assert!(s.min >= 0.0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_wal_reopen_is_an_error_not_a_panic() {
+        let dir = scratch("reopenfail");
+        let mut st = FileStorage::open(&dir).unwrap();
+        st.append(b"r1").unwrap();
+        st.sync().unwrap();
+        // Crash drops the handle; a directory squatting on the WAL path
+        // then makes the lazy reopen fail at the filesystem.
+        st.crash();
+        fs::remove_file(dir.join(WAL_FILE)).unwrap();
+        fs::create_dir(dir.join(WAL_FILE)).unwrap();
+
+        st.append(b"r2").unwrap();
+        assert_eq!(st.sync(), Err(StorageError::SyncFailed));
+        assert_eq!(st.stats().sync_failures, 1);
+
+        // Clearing the obstruction lets the same storage recover and
+        // sync again — the failure was reportable, not fatal.
+        fs::remove_dir(dir.join(WAL_FILE)).unwrap();
+        assert_eq!(st.sync(), Ok(()));
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -55,7 +55,7 @@ impl Node for Gossip {
     fn on_message(&mut self, ctx: &mut Context<'_, u64>, from: NodeId, msg: u64) {
         // Bounce every third message back so simultaneous deliveries and
         // FIFO tie-breaking actually occur.
-        if msg % 3 == 0 {
+        if msg.is_multiple_of(3) {
             ctx.send(from, msg + 1);
         }
         ctx.trace(format!("got {msg}"));

@@ -103,6 +103,9 @@ fn main() {
                  \x20                                       replicated directory, and a live\n\
                  \x20                                       online rebalance mid-soak\n\
                  \x20                  --shards-per-tenant K  shards per tenant (default 2)\n\
+                 \x20                  --workers N          worker threads for the event\n\
+                 \x20                                       pool (default: one per core,\n\
+                 \x20                                       clamped to the node count)\n\
                  \x20                  --report-out PATH    write the JSONL soak report\n\
                  \x20                  --control true       fault-free control run\n\
                  \x20                  --bench-out PATH     (control only) write BENCH_rt\n\
@@ -550,6 +553,7 @@ fn chaos(flags: &HashMap<String, String>) {
     let c: usize = get(flags, "check-quorum", 2.min(managers.max(1)));
     let intensity: f64 = get(flags, "intensity", 1.0);
     let control: bool = get(flags, "control", false);
+    let workers: usize = get(flags, "workers", 0);
     let drop_wal = match flags.get("inject-bug").map(String::as_str) {
         None | Some("none") => false,
         Some("drop-wal") => true,
@@ -690,7 +694,17 @@ fn chaos(flags: &HashMap<String, String>) {
         let chaos_sink = sink.clone();
         b.wrap_transport(move |router| ChaosRouter::new(router, faults, seed, Some(chaos_sink)));
     }
-    let mut rt = b.start();
+    if workers > 0 {
+        b.workers(workers);
+    }
+    let mut rt = match b.try_start() {
+        Ok(rt) => rt,
+        Err(e) => {
+            eprintln!("chaos: cannot start the live runtime: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("chaos: worker pool of {} threads", rt.workers());
     let epoch = rt.epoch();
 
     // Build the event schedule up front, offsets from the epoch: admin
@@ -847,12 +861,11 @@ fn chaos(flags: &HashMap<String, String>) {
     );
     if !control {
         println!(
-            "chaos transport: dropped={} duplicated={} delayed={} inbox overflow={} disconnected={}",
+            "chaos transport: dropped={} duplicated={} delayed={} inbox overflow={}",
             snapshot.counter("rt.chaos_dropped"),
             snapshot.counter("rt.chaos_duplicated"),
             snapshot.counter("rt.chaos_delayed"),
             snapshot.counter("rt.inbox_overflow"),
-            snapshot.counter("rt.inbox_disconnected"),
         );
     }
 
@@ -974,6 +987,7 @@ fn chaos_sharded(flags: &HashMap<String, String>) {
     let hosts: usize = get(flags, "hosts", 2);
     let users: usize = get(flags, "users", 4);
     let intensity: f64 = get(flags, "intensity", 1.0);
+    let workers: usize = get(flags, "workers", 0);
     let ns_replicas = 3usize;
     let managers = 2 * tenants * spt;
     let total_shards = tenants * spt;
@@ -1193,7 +1207,17 @@ fn chaos_sharded(flags: &HashMap<String, String>) {
         let chaos_sink = sink.clone();
         b.wrap_transport(move |router| ChaosRouter::new(router, faults, seed, Some(chaos_sink)));
     }
-    let mut rt = b.start();
+    if workers > 0 {
+        b.workers(workers);
+    }
+    let mut rt = match b.try_start() {
+        Ok(rt) => rt,
+        Err(e) => {
+            eprintln!("chaos: cannot start the live runtime: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("chaos: worker pool of {} threads", rt.workers());
     let epoch = rt.epoch();
 
     // Live rebalances: every ShardRebalance the plan drew (ring-next

@@ -178,7 +178,15 @@ pub mod channel {
 
         /// Waits up to `timeout` for the next message.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-            let deadline = Instant::now() + timeout;
+            self.recv_deadline(Instant::now() + timeout)
+        }
+
+        /// Waits until the absolute `deadline` for the next message.
+        ///
+        /// Unlike a relative `recv_timeout` recomputed around spurious
+        /// wakeups, the deadline never drifts: the wait is re-derived
+        /// from the same `Instant` on every pass through the condvar.
+        pub fn recv_deadline(&self, deadline: Instant) -> Result<T, RecvTimeoutError> {
             let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(v) = inner.queue.pop_front() {
@@ -264,6 +272,20 @@ mod tests {
         assert_eq!(rx.try_recv(), Ok(1));
         assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![2]);
         assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn recv_deadline_honours_an_absolute_instant() {
+        use std::time::Instant;
+        let (tx, rx) = unbounded::<u32>();
+        let deadline = Instant::now() + Duration::from_millis(30);
+        assert_eq!(rx.recv_deadline(deadline), Err(RecvTimeoutError::Timeout));
+        assert!(Instant::now() >= deadline, "must not return before the deadline");
+        // An already-elapsed deadline returns immediately (no hang).
+        let past = Instant::now() - Duration::from_millis(5);
+        assert_eq!(rx.recv_deadline(past), Err(RecvTimeoutError::Timeout));
+        tx.send(1).unwrap();
+        assert_eq!(rx.recv_deadline(past), Ok(1), "queued data beats the deadline");
     }
 
     #[test]
